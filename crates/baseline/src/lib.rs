@@ -1,0 +1,24 @@
+//! Baselines and test oracles for uncertain-string searching.
+//!
+//! The paper positions its indexes against two kinds of competition:
+//!
+//! * the *online* algorithmic approach of Li et al. \[20\], which scans the
+//!   uncertain string per query — reproduced here as [`NaiveScanner`]
+//!   (per-position product with early termination) and the exact
+//!   KMP-automaton containment DP ([`containment_probability`]);
+//! * the paper's own *simple index* (§4.1): suffix range + exhaustive
+//!   scan + cumulative-probability verification — reproduced as
+//!   [`SimpleIndex`] and used in the ablation benchmarks.
+//!
+//! [`PossibleWorldOracle`] enumerates possible worlds outright and serves as
+//! the ground truth for every property test in the workspace.
+
+mod dp;
+mod oracle;
+mod scan;
+mod simple;
+
+pub use dp::{containment_probability, expected_occurrences, kmp_delta, prefix_function};
+pub use oracle::PossibleWorldOracle;
+pub use scan::NaiveScanner;
+pub use simple::SimpleIndex;

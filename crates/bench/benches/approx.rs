@@ -1,0 +1,48 @@
+//! Approximate-index microbenchmarks (§7): query latency and link-count
+//! scaling against ε, compared with the exact index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ustr_core::{ApproxIndex, Index};
+use ustr_workload::{generate_string, sample_patterns, DatasetConfig, PatternMode};
+
+fn bench_approx_vs_exact(c: &mut Criterion) {
+    let s = generate_string(&DatasetConfig::new(20_000, 0.3, 4));
+    let exact = Index::build(&s, 0.1).unwrap();
+    let approx = ApproxIndex::build(&s, 0.1, 0.05).unwrap();
+    let patterns = sample_patterns(&s, 6, 16, PatternMode::Probable, 6);
+
+    let mut group = c.benchmark_group("approx_query");
+    group.bench_function("exact_index", |b| {
+        b.iter(|| {
+            for p in &patterns {
+                std::hint::black_box(exact.query(p, 0.25).unwrap().len());
+            }
+        })
+    });
+    group.bench_function("approx_index_eps_0.05", |b| {
+        b.iter(|| {
+            for p in &patterns {
+                std::hint::black_box(approx.query(p, 0.25).unwrap().len());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_epsilon_scaling(c: &mut Criterion) {
+    let s = generate_string(&DatasetConfig::new(10_000, 0.3, 4));
+    let mut group = c.benchmark_group("approx_build_eps");
+    group.sample_size(10);
+    for eps in [0.2f64, 0.1, 0.05, 0.02] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &e| {
+            b.iter(|| {
+                let idx = ApproxIndex::build(&s, 0.1, e).unwrap();
+                std::hint::black_box(idx.num_links())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approx_vs_exact, bench_epsilon_scaling);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Construction-cost microbenchmarks (Figure 9): the maximal-factor
+//! transform and full index builds across n, θ, and τmin.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ustr_core::Index;
+use ustr_suffix::{suffix_array, SuffixTree};
+use ustr_uncertain::transform;
+use ustr_workload::{generate_string, DatasetConfig};
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform");
+    group.sample_size(10);
+    for theta in [0.1f64, 0.3] {
+        let s = generate_string(&DatasetConfig::new(20_000, theta, 3));
+        group.bench_with_input(BenchmarkId::from_parameter(theta), &s, |b, s| {
+            b.iter(|| std::hint::black_box(transform(s, 0.1).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_suffix_structures(c: &mut Criterion) {
+    let s = generate_string(&DatasetConfig::new(20_000, 0.3, 3));
+    let t = transform(&s, 0.1).unwrap();
+    let text = t.special.chars().to_vec();
+    let mut group = c.benchmark_group("suffix_construction");
+    group.sample_size(10);
+    group.bench_function("sa_is", |b| {
+        b.iter(|| std::hint::black_box(suffix_array(&text).len()))
+    });
+    group.bench_function("suffix_tree", |b| {
+        b.iter(|| std::hint::black_box(SuffixTree::build(text.clone()).num_nodes()))
+    });
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        for theta in [0.1f64, 0.3] {
+            let s = generate_string(&DatasetConfig::new(n, theta, 3));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_theta{theta}")),
+                &s,
+                |b, s| b.iter(|| std::hint::black_box(Index::build(s, 0.1).unwrap().stats().transformed_len)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_tau_min_build(c: &mut Criterion) {
+    let s = generate_string(&DatasetConfig::new(10_000, 0.3, 3));
+    let mut group = c.benchmark_group("index_build_tau_min");
+    group.sample_size(10);
+    for tau_min in [0.05f64, 0.1, 0.2] {
+        group.bench_with_input(BenchmarkId::from_parameter(tau_min), &tau_min, |b, &t| {
+            b.iter(|| std::hint::black_box(Index::build(&s, t).unwrap().stats().transformed_len))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transform,
+    bench_suffix_structures,
+    bench_index_build,
+    bench_tau_min_build
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! String-listing microbenchmarks (§6): output-sensitive listing against
+//! the scan-every-document baseline, and the relevance-metric variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ustr_baseline::NaiveScanner;
+use ustr_core::{ListingIndex, RelMetric};
+use ustr_uncertain::UncertainString;
+use ustr_workload::{generate_collection, sample_patterns, DatasetConfig, PatternMode};
+
+fn setup(n: usize, theta: f64) -> (Vec<UncertainString>, ListingIndex, Vec<Vec<u8>>) {
+    let docs = generate_collection(&DatasetConfig::new(n, theta, 2));
+    let index = ListingIndex::build(&docs, 0.1).unwrap();
+    let concat = UncertainString::new(
+        docs.iter()
+            .flat_map(|d| d.positions().iter().cloned())
+            .collect(),
+    );
+    let patterns = sample_patterns(&concat, 6, 16, PatternMode::Probable, 9);
+    (docs, index, patterns)
+}
+
+fn bench_listing_vs_naive(c: &mut Criterion) {
+    let (docs, index, patterns) = setup(20_000, 0.3);
+    let mut group = c.benchmark_group("listing_query");
+    group.bench_function("listing_index", |b| {
+        b.iter(|| {
+            for p in &patterns {
+                std::hint::black_box(index.query(p, 0.2).unwrap().len());
+            }
+        })
+    });
+    group.bench_function("scan_all_documents", |b| {
+        b.iter(|| {
+            for p in &patterns {
+                std::hint::black_box(NaiveScanner::listing(&docs, p, 0.2).len());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_relevance_metrics(c: &mut Criterion) {
+    let (_docs, index, patterns) = setup(10_000, 0.3);
+    let mut group = c.benchmark_group("listing_metrics");
+    for (name, metric) in [
+        ("rel_max", RelMetric::Max),
+        ("rel_or", RelMetric::Or),
+        ("rel_independent_or", RelMetric::IndependentOr),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &metric, |b, &m| {
+            b.iter(|| {
+                for p in &patterns {
+                    std::hint::black_box(index.query_with_metric(p, 0.15, m).unwrap().len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_listing_vs_collection_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("listing_vs_n");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000, 80_000] {
+        let (_docs, index, patterns) = setup(n, 0.2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &patterns, |b, ps| {
+            b.iter(|| {
+                for p in ps {
+                    std::hint::black_box(index.query(p, 0.2).unwrap().len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_listing_vs_naive,
+    bench_relevance_metrics,
+    bench_listing_vs_collection_size
+);
+criterion_main!(benches);

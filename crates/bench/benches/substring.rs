@@ -1,0 +1,67 @@
+//! Substring-search microbenchmarks: the efficient index (§4.2/§5) against
+//! the simple index (§4.1) and the online scanner (Li et al. style),
+//! plus the short/long pattern regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ustr_baseline::{NaiveScanner, SimpleIndex};
+use ustr_core::Index;
+use ustr_workload::{generate_string, sample_patterns, DatasetConfig, PatternMode};
+
+fn bench_query_paths(c: &mut Criterion) {
+    let n = 20_000;
+    let theta = 0.3;
+    let tau_min = 0.1;
+    let tau = 0.2;
+    let s = generate_string(&DatasetConfig::new(n, theta, 1));
+    let index = Index::build(&s, tau_min).unwrap();
+    let simple = SimpleIndex::build(&s, tau_min).unwrap();
+
+    let mut group = c.benchmark_group("substring_query");
+    for m in [4usize, 8, 16, 64] {
+        let patterns = sample_patterns(&s, m, 16, PatternMode::Probable, 7);
+        group.bench_with_input(BenchmarkId::new("efficient_index", m), &patterns, |b, ps| {
+            b.iter(|| {
+                for p in ps {
+                    std::hint::black_box(index.query(p, tau).unwrap().len());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simple_index", m), &patterns, |b, ps| {
+            b.iter(|| {
+                for p in ps {
+                    std::hint::black_box(simple.query(p, tau).unwrap().len());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("online_scan", m), &patterns, |b, ps| {
+            b.iter(|| {
+                for p in ps {
+                    std::hint::black_box(NaiveScanner::find(&s, p, tau).len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_output_sensitivity(c: &mut Criterion) {
+    // The §8 claim: short-pattern query time tracks m + occ, not n.
+    let mut group = c.benchmark_group("substring_vs_n");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000, 80_000] {
+        let s = generate_string(&DatasetConfig::new(n, 0.2, 5));
+        let index = Index::build(&s, 0.1).unwrap();
+        let patterns = sample_patterns(&s, 8, 16, PatternMode::Probable, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &patterns, |b, ps| {
+            b.iter(|| {
+                for p in ps {
+                    std::hint::black_box(index.query(p, 0.2).unwrap().len());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_paths, bench_output_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! `ustr` — command-line front end for the uncertain-strings workspace.
+//!
+//! ```text
+//! ustr generate --n 10000 --theta 0.3 --seed 42 --out data.ustr
+//! ustr search data.ustr PATTERN --tau 0.3 [--tau-min 0.1]
+//! ustr top data.ustr PATTERN --k 5 [--tau-min 0.1]
+//! ustr list collection.ustr PATTERN --tau 0.3   (one document per line)
+//! ustr stats data.ustr [--tau-min 0.1]
+//! ```
+//!
+//! Files hold uncertain strings in the text format of
+//! [`UncertainString::parse`]; `generate` writes one. For `list`, each
+//! non-empty line is one document.
+
+mod args;
+
+use std::fs;
+use std::process::ExitCode;
+
+use args::Args;
+use ustr_core::{Index, ListingIndex};
+use ustr_uncertain::UncertainString;
+use ustr_workload::{generate_string, DatasetConfig};
+
+const USAGE: &str = "usage:
+  ustr generate --n N --theta T --seed S [--out FILE]
+  ustr search FILE PATTERN --tau T [--tau-min T0]
+  ustr top FILE PATTERN --k K [--tau-min T0]
+  ustr list FILE PATTERN --tau T [--tau-min T0]
+  ustr stats FILE [--tau-min T0]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Dispatches a parsed command line; returns the text to print.
+fn run(argv: &[String]) -> Result<String, String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "search" => cmd_search(&args),
+        "top" => cmd_top(&args),
+        "list" => cmd_list(&args),
+        "stats" => cmd_stats(&args),
+        "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn load_string(path: &str) -> Result<UncertainString, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Newlines are treated as whitespace so long strings can wrap.
+    let joined = text.replace(['\n', '\r'], " ");
+    UncertainString::parse(joined.trim()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_collection(path: &str) -> Result<Vec<UncertainString>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .enumerate()
+        .map(|(i, l)| UncertainString::parse(l).map_err(|e| format!("{path}:{}: {e}", i + 1)))
+        .collect()
+}
+
+fn cmd_generate(args: &Args) -> Result<String, String> {
+    let n: usize = args.get_parsed("n", 10_000)?;
+    let theta: f64 = args.get_parsed("theta", 0.2)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let s = generate_string(&DatasetConfig::new(n, theta, seed));
+    let rendered = s.to_string().replace(" | ", " |\n");
+    match args.get("out") {
+        Some(path) => {
+            fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!(
+                "wrote {} positions (theta={theta}, seed={seed}) to {path}",
+                s.len()
+            ))
+        }
+        None => Ok(rendered),
+    }
+}
+
+fn cmd_search(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "FILE")?;
+    let pattern = args.positional(1, "PATTERN")?.as_bytes().to_vec();
+    let tau: f64 = args.get_parsed("tau", 0.5)?;
+    let tau_min: f64 = args.get_parsed("tau-min", tau.min(0.1))?;
+    let s = load_string(path)?;
+    let index = Index::build(&s, tau_min).map_err(|e| e.to_string())?;
+    let hits = index.query(&pattern, tau).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{} occurrence(s) of {:?} with probability >= {tau}\n",
+        hits.len(),
+        String::from_utf8_lossy(&pattern)
+    );
+    for &(pos, p) in hits.hits() {
+        out.push_str(&format!("  position {pos:>8}  p = {p:.6}\n"));
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_top(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "FILE")?;
+    let pattern = args.positional(1, "PATTERN")?.as_bytes().to_vec();
+    let k: usize = args.get_parsed("k", 5)?;
+    let tau_min: f64 = args.get_parsed("tau-min", 0.05)?;
+    let s = load_string(path)?;
+    let index = Index::build(&s, tau_min).map_err(|e| e.to_string())?;
+    let hits = index.query_top_k(&pattern, k).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "top {} occurrence(s) of {:?} (visibility floor tau_min = {tau_min})\n",
+        hits.len(),
+        String::from_utf8_lossy(&pattern)
+    );
+    for (rank, (pos, p)) in hits.iter().enumerate() {
+        out.push_str(&format!("  #{:<3} position {pos:>8}  p = {p:.6}\n", rank + 1));
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_list(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "FILE")?;
+    let pattern = args.positional(1, "PATTERN")?.as_bytes().to_vec();
+    let tau: f64 = args.get_parsed("tau", 0.5)?;
+    let tau_min: f64 = args.get_parsed("tau-min", tau.min(0.1))?;
+    let docs = load_collection(path)?;
+    let index = ListingIndex::build(&docs, tau_min).map_err(|e| e.to_string())?;
+    let hits = index.query(&pattern, tau).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{} of {} document(s) contain {:?} with probability >= {tau}\n",
+        hits.len(),
+        docs.len(),
+        String::from_utf8_lossy(&pattern)
+    );
+    for h in &hits {
+        out.push_str(&format!("  document {:>6}  Rel_max = {:.6}\n", h.doc, h.relevance));
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_stats(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "FILE")?;
+    let tau_min: f64 = args.get_parsed("tau-min", 0.1)?;
+    let s = load_string(path)?;
+    let index = Index::build(&s, tau_min).map_err(|e| e.to_string())?;
+    let st = index.stats();
+    Ok(format!(
+        "source positions      {}\n\
+         uncertain fraction    {:.3}\n\
+         total choices         {}\n\
+         tau_min               {}\n\
+         factors               {}\n\
+         transformed length    {}\n\
+         expansion             {:.2}x\n\
+         build time            {:?}\n\
+         index heap            {:.2} MiB",
+        st.source_len,
+        s.uncertain_fraction(),
+        s.total_choices(),
+        tau_min,
+        st.num_factors,
+        st.transformed_len,
+        st.expansion(),
+        st.build_time,
+        st.heap_mib()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_search_round_trip() {
+        let path = std::env::temp_dir().join("ustr_cli_gen.ustr");
+        let path = path.to_string_lossy().into_owned();
+        let msg = run(&argv(&format!(
+            "generate --n 200 --theta 0.2 --seed 7 --out {path}"
+        )))
+        .unwrap();
+        assert!(msg.contains("200 positions"));
+        let stats = run(&argv(&format!("stats {path} --tau-min 0.1"))).unwrap();
+        assert!(stats.contains("source positions      200"));
+    }
+
+    #[test]
+    fn search_finds_paper_example() {
+        let path = write_temp(
+            "ustr_cli_fig3.ustr",
+            "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 |\n\
+             I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+        );
+        let out = run(&argv(&format!("search {path} AT --tau 0.4 --tau-min 0.05"))).unwrap();
+        assert!(out.contains("1 occurrence(s)"), "{out}");
+        assert!(out.contains("position        8"), "{out}");
+    }
+
+    #[test]
+    fn top_k_orders_by_probability() {
+        let path = write_temp("ustr_cli_top.ustr", "a:.9,b:.1 | a | a:.5,b:.5 | a");
+        let out = run(&argv(&format!("top {path} aa --k 3 --tau-min 0.05"))).unwrap();
+        assert!(out.contains("#1"), "{out}");
+        let first = out.lines().find(|l| l.contains("#1")).unwrap();
+        assert!(first.contains("0.9000"), "{out}");
+    }
+
+    #[test]
+    fn list_reports_matching_documents() {
+        let path = write_temp(
+            "ustr_cli_docs.ustr",
+            "A:.4,B:.3,F:.3 | B:.3,L:.3,F:.3,J:.1 | F:.5,J:.5\n\
+             A:.6,C:.4 | B:.5,F:.3,E:.2 | B:.4,C:.3,P:.2,F:.1\n\
+             # comment line is skipped\n\
+             A:.4,F:.4,P:.2 | I:.3,L:.3,P:.3,T:.1 | A\n",
+        );
+        let out = run(&argv(&format!("list {path} BF --tau 0.1 --tau-min 0.05"))).unwrap();
+        assert!(out.contains("1 of 3 document(s)"), "{out}");
+        assert!(out.contains("document      0"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&argv("bogus")).is_err());
+        assert!(run(&argv("search missing_file.ustr AT --tau 0.4")).is_err());
+        assert!(run(&[]).is_err());
+        let help = run(&argv("help")).unwrap();
+        assert!(help.contains("usage"));
+    }
+}

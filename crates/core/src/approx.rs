@@ -1,0 +1,442 @@
+//! Approximate substring search (§7): ε-refined links in the suffix tree,
+//! after the top-k framework of Hon, Shah, Vitter (FOCS 2009).
+//!
+//! Every leaf of the suffix tree over the transformed text is marked with
+//! its original position `Posid`; internal nodes are marked at LCAs of
+//! equally-marked leaves. Each marked node links to its lowest marked
+//! proper ancestor, and each link is split into sub-links whose endpoint
+//! probabilities differ by at most ε (probabilities are evaluated on the
+//! *real* prefix of the witness suffix — the separator-capped window — so
+//! chains that run past a factor boundary stay finite).
+//!
+//! **Query.** For a pattern of length `m` with locus `ip`, the stabbed
+//! sub-link for position `d` is the unique one with
+//! `target_depth < m ≤ origin_depth` and origin preorder inside `ip`'s
+//! subtree. Using `m` (rather than `depth(ip)`, which can overshoot the
+//! pattern into a longer shared prefix) makes the additive guarantee exact:
+//! the true occurrence probability is sandwiched between the sub-link's
+//! endpoint probabilities, which differ by ≤ ε. Hence
+//! `exact(τ) ⊆ reported ⊆ exact(τ − ε)` — the paper's additive-error
+//! semantics.
+//!
+//! Retrieval walks a min-RMQ recursion over link target depths, reporting
+//! each link in O(1); links whose chains cross the locus but fail the
+//! probability cutoff cost extra visits (bounded by the τmin-occurrences),
+//! which is the documented deviation from the fixed-τ HSV machinery.
+
+use std::time::Instant;
+
+use ustr_rmq::{BlockRmq, Direction, Rmq, ThresholdReporter};
+use ustr_suffix::SuffixTree;
+use ustr_uncertain::{transform_with_options, Transformed, UncertainString};
+
+use crate::{
+    carray::CumulativeLogProb,
+    error::{validate_query, Error},
+    options::IndexOptions,
+    result::QueryResult,
+    stats::BuildStats,
+};
+
+/// One ε-refined link.
+#[derive(Debug, Clone)]
+struct Link {
+    /// Preorder rank of the (real) node whose subtree anchors the origin.
+    origin_pre: u32,
+    /// String depth of the (possibly dummy) origin endpoint.
+    origin_depth: u32,
+    /// String depth of the (possibly dummy) target endpoint.
+    target_depth: u32,
+    /// Original string position (`Posid`).
+    source_pos: u32,
+    /// Probability of the origin-depth prefix at `source_pos` (capped at the
+    /// factor boundary).
+    prob: f64,
+}
+
+/// Approximate substring-search index with additive error ε.
+///
+/// ```
+/// use ustr_core::ApproxIndex;
+/// use ustr_uncertain::UncertainString;
+/// let s = UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
+/// let idx = ApproxIndex::build(&s, 0.1, 0.05).unwrap();
+/// let hits = idx.query(b"QP", 0.4).unwrap();
+/// // Everything with true probability >= 0.4 is present ...
+/// assert!(hits.positions().contains(&0)); // .7 * .7 = .49
+/// // ... and nothing below 0.4 - eps = 0.35 can appear (position 1 has .3).
+/// assert!(!hits.positions().contains(&1));
+/// ```
+pub struct ApproxIndex {
+    #[allow(dead_code)]
+    transformed: Transformed,
+    tree: SuffixTree,
+    #[allow(dead_code)]
+    cum: CumulativeLogProb,
+    links: Vec<Link>,
+    /// Min-RMQ over `links[..].target_depth`.
+    target_rmq: BlockRmq,
+    epsilon: f64,
+    tau_min: f64,
+    stats: BuildStats,
+}
+
+impl ApproxIndex {
+    /// Builds the index for threshold floor `tau_min` and additive error
+    /// `epsilon ∈ (0, 1)`.
+    pub fn build(source: &UncertainString, tau_min: f64, epsilon: f64) -> Result<Self, Error> {
+        Self::build_with(source, tau_min, epsilon, &IndexOptions::default())
+    }
+
+    /// Builds with explicit [`IndexOptions`] (only the transform options are
+    /// consulted).
+    pub fn build_with(
+        source: &UncertainString,
+        tau_min: f64,
+        epsilon: f64,
+        options: &IndexOptions,
+    ) -> Result<Self, Error> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(Error::InvalidEpsilon { value: epsilon });
+        }
+        let start = Instant::now();
+        let transformed = transform_with_options(source, tau_min, &options.transform)?;
+        let tree = SuffixTree::build(transformed.special.chars().to_vec());
+        let cum = CumulativeLogProb::new(transformed.special.probs(), |i| {
+            transformed.special.char_at(i) == 0
+        });
+
+        // Group marked leaves by Posid. Slots ascend in preorder order.
+        let n_src = source.len();
+        let mut leaves_of: Vec<Vec<u32>> = vec![Vec::new(); n_src];
+        for slot in 1..tree.num_slots() {
+            let x = tree.sa(slot);
+            if x >= transformed.pos.len() {
+                continue;
+            }
+            if let Some(d) = transformed.source_pos(x) {
+                leaves_of[d].push(slot as u32);
+            }
+        }
+
+        let mut links: Vec<Link> = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+        let mut witness: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (d, slots) in leaves_of.iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            stack.clear();
+            witness.clear();
+            // Virtual (induced) tree over the marked leaves; emit one link
+            // per virtual edge.
+            let emit = |u: u32, v_depth: usize, links: &mut Vec<Link>, witness_x: u32| {
+                refine_link(
+                    &tree,
+                    &cum,
+                    u,
+                    v_depth,
+                    d as u32,
+                    witness_x,
+                    epsilon,
+                    links,
+                );
+            };
+            for &slot in slots {
+                let leaf = tree.leaf(slot as usize);
+                let x = tree.sa(slot as usize) as u32;
+                witness.insert(leaf, x);
+                if stack.is_empty() {
+                    stack.push(leaf);
+                    continue;
+                }
+                let l = tree.lca(*stack.last().unwrap(), leaf);
+                // Unwind stack nodes deeper than the new LCA, emitting their
+                // virtual-tree edges; the LCA ends up on top of the stack.
+                while let Some(&top) = stack.last() {
+                    if tree.string_depth(top) <= tree.string_depth(l) {
+                        break;
+                    }
+                    stack.pop();
+                    let wx = witness[&top];
+                    match stack.last() {
+                        Some(&p) if tree.string_depth(p) >= tree.string_depth(l) => {
+                            emit(top, tree.string_depth(p), &mut links, wx);
+                            witness.entry(p).or_insert(wx);
+                        }
+                        _ => {
+                            emit(top, tree.string_depth(l), &mut links, wx);
+                            witness.entry(l).or_insert(wx);
+                            stack.push(l);
+                            break;
+                        }
+                    }
+                }
+                debug_assert_eq!(stack.last(), Some(&l), "LCA tops the stack");
+                stack.push(leaf);
+            }
+            // Drain: connect the remaining right spine, then the virtual
+            // root to the tree root (target depth 0).
+            while stack.len() > 1 {
+                let top = stack.pop().unwrap();
+                let parent = *stack.last().unwrap();
+                let wx = witness[&top];
+                emit(top, tree.string_depth(parent), &mut links, wx);
+                witness.entry(parent).or_insert(wx);
+            }
+            let vr = stack.pop().unwrap();
+            if vr != tree.root() {
+                let wx = witness[&vr];
+                emit(vr, 0, &mut links, wx);
+            }
+        }
+
+        links.sort_unstable_by_key(|l| l.origin_pre);
+        let depths: Vec<f64> = links.iter().map(|l| l.target_depth as f64).collect();
+        let target_rmq = BlockRmq::new(&depths, Direction::Min);
+
+        let mut stats = BuildStats {
+            source_len: source.len(),
+            transformed_len: transformed.len(),
+            num_factors: transformed.num_factors,
+            build_time: start.elapsed(),
+            heap_bytes: 0,
+        };
+        let idx_heap = tree.heap_size()
+            + cum.heap_size()
+            + links.capacity() * std::mem::size_of::<Link>()
+            + links.len() * std::mem::size_of::<f64>() * 2;
+        stats.heap_bytes = idx_heap;
+        Ok(Self {
+            transformed,
+            tree,
+            cum,
+            links,
+            target_rmq,
+            epsilon,
+            tau_min,
+            stats,
+        })
+    }
+
+    /// The additive error bound ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The construction threshold floor.
+    pub fn tau_min(&self) -> f64 {
+        self.tau_min
+    }
+
+    /// Number of ε-refined links (the O(N/ε) structure of §7).
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Positions where `pattern` matches with probability ≥ τ, up to the
+    /// additive error: the result contains every position with true
+    /// probability ≥ τ and no position below τ − ε. Reported probabilities
+    /// are the link approximations (within ε below the true value).
+    pub fn query(&self, pattern: &[u8], tau: f64) -> Result<QueryResult, Error> {
+        validate_query(pattern, tau, self.tau_min)?;
+        let m = pattern.len();
+        let Some(locus) = self.tree.locus(pattern) else {
+            return Ok(QueryResult::default());
+        };
+        let (pl, pr) = self.tree.preorder_range(locus);
+        // Link range whose origin preorder falls inside the locus subtree.
+        let lo = self.links.partition_point(|l| (l.origin_pre as usize) < pl);
+        let hi = self.links.partition_point(|l| (l.origin_pre as usize) <= pr);
+        if lo >= hi {
+            return Ok(QueryResult::default());
+        }
+        let cutoff = tau - self.epsilon - ustr_uncertain::PROB_EPS;
+        let mut hits: Vec<(usize, f64)> = Vec::new();
+        // Pop links by ascending target depth; prune once the minimum
+        // target depth in a range reaches m.
+        let reporter = ThresholdReporter::new(
+            lo,
+            hi - 1,
+            (m - 1) as f64,
+            Direction::Min,
+            |a, b| self.target_rmq.query(a, b),
+            |i| self.links[i].target_depth as f64,
+        );
+        for (i, _) in reporter {
+            let link = &self.links[i];
+            if (link.origin_depth as usize) >= m && link.prob >= cutoff {
+                hits.push((link.source_pos as usize, link.prob));
+            }
+        }
+        Ok(QueryResult::from_hits(hits))
+    }
+}
+
+/// Splits the virtual edge from node `u` (string depth `o₀`) up to depth
+/// `t₀` into sub-links whose endpoint probabilities differ by ≤ ε.
+/// Probabilities are evaluated at the witness position `x`, capped at the
+/// factor boundary.
+#[allow(clippy::too_many_arguments)]
+fn refine_link(
+    tree: &SuffixTree,
+    cum: &CumulativeLogProb,
+    u: u32,
+    t0: usize,
+    source_pos: u32,
+    x: u32,
+    epsilon: f64,
+    links: &mut Vec<Link>,
+) {
+    let o0 = tree.string_depth(u);
+    debug_assert!(o0 > t0, "virtual child must be deeper than its parent");
+    let lmax = cum.run_length(x as usize);
+    let p_at = |depth: usize| -> f64 { cum.window(x as usize, depth.min(lmax)).exp() };
+    let origin_pre = tree.preorder(u) as u32;
+    let mut o = o0;
+    while o > t0 {
+        let p_o = p_at(o);
+        // Smallest t ∈ [t0, o-1] with P(t) − P(o) ≤ ε (P non-increasing in
+        // depth, so the predicate is monotone in t). If even one step up
+        // exceeds ε the link degenerates to a single character.
+        let (mut lo, mut hi) = (t0, o - 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if p_at(mid) - p_o <= epsilon {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let t = lo;
+        links.push(Link {
+            origin_pre,
+            origin_depth: o as u32,
+            target_depth: t as u32,
+            source_pos,
+            prob: p_o,
+        });
+        o = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustr_baseline::NaiveScanner;
+
+    fn sandwich_holds(s: &UncertainString, idx: &ApproxIndex, pattern: &[u8], tau: f64) {
+        let eps = idx.epsilon();
+        let reported = idx.query(pattern, tau).unwrap().positions();
+        let must_have = NaiveScanner::find(s, pattern, tau);
+        let may_have = NaiveScanner::find(s, pattern, (tau - eps).max(1e-12));
+        for p in &must_have {
+            assert!(
+                reported.contains(p),
+                "missing exact hit {p} for {:?} tau {tau}",
+                String::from_utf8_lossy(pattern)
+            );
+        }
+        for p in &reported {
+            assert!(
+                may_have.contains(p),
+                "spurious hit {p} below tau-eps for {:?} tau {tau}",
+                String::from_utf8_lossy(pattern)
+            );
+        }
+    }
+
+    #[test]
+    fn sandwich_on_figure_10() {
+        let s =
+            UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
+        let idx = ApproxIndex::build(&s, 0.05, 0.05).unwrap();
+        for pattern in [&b"QP"[..], b"P", b"QPP", b"PA", b"PPA", b"SP", b"Q"] {
+            for tau in [0.05, 0.1, 0.2, 0.4, 0.6, 0.9] {
+                sandwich_holds(&s, &idx, pattern, tau);
+            }
+        }
+    }
+
+    #[test]
+    fn sandwich_on_protein_fragment() {
+        let s = UncertainString::parse(
+            "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 | \
+             I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+        )
+        .unwrap();
+        let idx = ApproxIndex::build(&s, 0.02, 0.03).unwrap();
+        for pattern in [&b"AT"[..], b"PQ", b"SFPQ", b"PA", b"TPA", b"FPQP"] {
+            for tau in [0.05, 0.12, 0.3, 0.5] {
+                sandwich_holds(&s, &idx, pattern, tau);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_text_is_exact() {
+        let s = UncertainString::deterministic(b"abracadabra");
+        let idx = ApproxIndex::build(&s, 0.5, 0.1).unwrap();
+        let hits = idx.query(b"abra", 0.9).unwrap();
+        assert_eq!(hits.positions(), vec![0, 7]);
+        for &(_, p) in hits.hits() {
+            assert!((p - 1.0).abs() < 1e-9);
+        }
+        assert!(idx.query(b"zzz", 0.9).unwrap().is_empty());
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_links() {
+        let s = UncertainString::parse(
+            "a:.9,b:.1 | a:.9,b:.1 | a:.9,b:.1 | a:.9,b:.1 | a:.9,b:.1 | a:.9,b:.1",
+        )
+        .unwrap();
+        let coarse = ApproxIndex::build(&s, 0.05, 0.5).unwrap();
+        let fine = ApproxIndex::build(&s, 0.05, 0.01).unwrap();
+        assert!(
+            fine.num_links() > coarse.num_links(),
+            "fine {} vs coarse {}",
+            fine.num_links(),
+            coarse.num_links()
+        );
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        let s = UncertainString::deterministic(b"ab");
+        assert!(matches!(
+            ApproxIndex::build(&s, 0.5, 0.0),
+            Err(Error::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            ApproxIndex::build(&s, 0.5, 1.0),
+            Err(Error::InvalidEpsilon { .. })
+        ));
+    }
+
+    #[test]
+    fn reported_probability_within_epsilon() {
+        let s = UncertainString::parse("a:.8,b:.2 | a:.8,b:.2 | a:.8,b:.2").unwrap();
+        let idx = ApproxIndex::build(&s, 0.05, 0.1).unwrap();
+        for (pos, approx_p) in idx.query(b"aa", 0.3).unwrap() {
+            let true_p = s.match_probability(b"aa", pos);
+            assert!(approx_p <= true_p + 1e-9, "approximation never exceeds truth");
+            assert!(true_p - approx_p <= 0.1 + 1e-9, "within epsilon");
+        }
+    }
+
+    #[test]
+    fn positions_unique_per_query() {
+        let s = UncertainString::parse("a:.9,b:.1 | a | a:.9,b:.1 | a | a:.9,b:.1").unwrap();
+        let idx = ApproxIndex::build(&s, 0.05, 0.05).unwrap();
+        let hits = idx.query(b"aa", 0.1).unwrap();
+        let mut positions = hits.positions();
+        positions.dedup();
+        assert_eq!(positions.len(), hits.len(), "one link per position");
+    }
+}

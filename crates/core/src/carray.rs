@@ -1,0 +1,163 @@
+//! The cumulative probability array `C` (§4.1), in log space.
+//!
+//! The paper stores `C[j] = Π_{i≤j} pr(cᵢ)` and evaluates any window as
+//! `C[i+j-1] / C[i-1]`. Products of hundreds of probabilities underflow
+//! `f64`, so we store cumulative *log* probabilities and evaluate windows by
+//! subtraction — a monotone transform, so every comparison and every RMQ
+//! argmax is unchanged. Separator positions contribute 0 to the sums and are
+//! tracked separately so any window crossing one evaluates to −∞.
+
+/// Cumulative log-probability array with separator tracking.
+///
+/// ```
+/// use ustr_core::CumulativeLogProb;
+/// // Figure 5's special string: probabilities of "banana".
+/// let cum = CumulativeLogProb::new(&[0.4, 0.7, 0.5, 0.8, 0.9, 0.6], |_| false);
+/// // "ana" aligned at 1: .7*.5*.8 = .28
+/// assert!((cum.window(1, 3).exp() - 0.28).abs() < 1e-12);
+/// assert_eq!(cum.window(4, 3), f64::NEG_INFINITY); // out of bounds
+/// ```
+#[derive(Debug, Clone)]
+pub struct CumulativeLogProb {
+    /// `prefix[i]` = Σ log(prob) over the first `i` positions.
+    prefix: Vec<f64>,
+    /// `sentinels[i]` = number of separator positions among the first `i`.
+    sentinels: Vec<u32>,
+}
+
+impl CumulativeLogProb {
+    /// Builds from per-position probabilities; `is_sentinel(i)` marks
+    /// separator positions (their probability is ignored).
+    pub fn new(probs: &[f64], is_sentinel: impl Fn(usize) -> bool) -> Self {
+        let n = probs.len();
+        let mut prefix = Vec::with_capacity(n + 1);
+        let mut sentinels = Vec::with_capacity(n + 1);
+        prefix.push(0.0);
+        sentinels.push(0);
+        let mut sum = 0.0f64;
+        let mut count = 0u32;
+        for (i, &p) in probs.iter().enumerate() {
+            if is_sentinel(i) {
+                count += 1;
+            } else {
+                debug_assert!(p > 0.0, "probabilities must be positive");
+                sum += p.ln();
+            }
+            prefix.push(sum);
+            sentinels.push(count);
+        }
+        Self { prefix, sentinels }
+    }
+
+    /// Number of positions covered.
+    pub fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// Returns `true` when no positions are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Log probability of the window `[start, start + len)`: −∞ when the
+    /// window leaves the array or crosses a separator; 0 (= log 1) for the
+    /// empty window.
+    #[inline]
+    pub fn window(&self, start: usize, len: usize) -> f64 {
+        let end = start + len;
+        if end > self.len() {
+            return f64::NEG_INFINITY;
+        }
+        if self.sentinels[end] != self.sentinels[start] {
+            return f64::NEG_INFINITY;
+        }
+        self.prefix[end] - self.prefix[start]
+    }
+
+    /// Number of positions from `start` until the next separator (or the end
+    /// of the array): the longest valid window length at `start`.
+    pub fn run_length(&self, start: usize) -> usize {
+        // Binary search the first prefix index > start with a higher
+        // separator count.
+        let target = self.sentinels[start];
+        let mut lo = start;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.sentinels[mid + 1] > target {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo - start
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.prefix.capacity() * std::mem::size_of::<f64>()
+            + self.sentinels.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_match_direct_products() {
+        let probs = [0.4, 0.7, 0.5, 0.8, 0.9, 0.6];
+        let cum = CumulativeLogProb::new(&probs, |_| false);
+        for start in 0..probs.len() {
+            for len in 0..=probs.len() - start {
+                let direct: f64 = probs[start..start + len].iter().product();
+                assert!(
+                    (cum.window(start, len).exp() - direct).abs() < 1e-9,
+                    "window({start},{len})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sentinel_crossing_is_rejected() {
+        // probs: a b | c d  (index 2 is a separator)
+        let probs = [0.5, 0.5, 1.0, 0.5, 0.5];
+        let cum = CumulativeLogProb::new(&probs, |i| i == 2);
+        assert!(cum.window(0, 2).is_finite());
+        assert_eq!(cum.window(0, 3), f64::NEG_INFINITY);
+        assert_eq!(cum.window(1, 3), f64::NEG_INFINITY);
+        assert!(cum.window(3, 2).is_finite());
+        assert_eq!(cum.window(2, 1), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn run_length_finds_next_separator() {
+        let probs = [0.5, 0.5, 1.0, 0.5, 1.0, 0.5];
+        let cum = CumulativeLogProb::new(&probs, |i| i == 2 || i == 4);
+        assert_eq!(cum.run_length(0), 2);
+        assert_eq!(cum.run_length(1), 1);
+        assert_eq!(cum.run_length(2), 0);
+        assert_eq!(cum.run_length(3), 1);
+        assert_eq!(cum.run_length(5), 1);
+    }
+
+    #[test]
+    fn no_underflow_on_long_products() {
+        // 10^5 positions at 0.9 — a plain f64 product would underflow to 0
+        // near 7000 positions; log space keeps it exact.
+        let probs = vec![0.9f64; 100_000];
+        let cum = CumulativeLogProb::new(&probs, |_| false);
+        let logp = cum.window(0, 100_000);
+        assert!(logp.is_finite());
+        assert!((logp - 100_000.0 * 0.9f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_array() {
+        let cum = CumulativeLogProb::new(&[], |_| false);
+        assert!(cum.is_empty());
+        assert_eq!(cum.window(0, 0), 0.0);
+        assert_eq!(cum.window(0, 1), f64::NEG_INFINITY);
+    }
+}

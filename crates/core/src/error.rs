@@ -1,0 +1,118 @@
+//! Query/build errors for the index layer.
+
+use std::fmt;
+
+use ustr_uncertain::ModelError;
+
+/// Errors raised by index construction and querying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Underlying model/transform error.
+    Model(ModelError),
+    /// The query pattern was empty.
+    EmptyPattern,
+    /// The query pattern contains the reserved separator byte 0.
+    PatternContainsSentinel,
+    /// The query threshold is below the construction-time `τmin`.
+    ThresholdBelowTauMin { tau: f64, tau_min: f64 },
+    /// A threshold was outside `(0, 1]`.
+    InvalidThreshold { value: f64 },
+    /// ε for the approximate index was outside `(0, 1)`.
+    InvalidEpsilon { value: f64 },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Model(e) => write!(f, "{e}"),
+            Error::EmptyPattern => write!(f, "query pattern is empty"),
+            Error::PatternContainsSentinel => {
+                write!(f, "query pattern contains the reserved byte 0")
+            }
+            Error::ThresholdBelowTauMin { tau, tau_min } => write!(
+                f,
+                "query threshold {tau} is below the construction-time tau_min {tau_min}"
+            ),
+            Error::InvalidThreshold { value } => {
+                write!(f, "threshold {value} is outside (0, 1]")
+            }
+            Error::InvalidEpsilon { value } => {
+                write!(f, "epsilon {value} is outside (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for Error {
+    fn from(e: ModelError) -> Self {
+        Error::Model(e)
+    }
+}
+
+/// Validates a pattern alone (top-k queries have no threshold).
+pub(crate) fn validate_pattern(pattern: &[u8]) -> Result<(), Error> {
+    if pattern.is_empty() {
+        return Err(Error::EmptyPattern);
+    }
+    if pattern.contains(&0u8) {
+        return Err(Error::PatternContainsSentinel);
+    }
+    Ok(())
+}
+
+/// Validates a query `(pattern, tau)` pair against `tau_min`.
+pub(crate) fn validate_query(pattern: &[u8], tau: f64, tau_min: f64) -> Result<(), Error> {
+    validate_pattern(pattern)?;
+    if !(tau > 0.0 && tau <= 1.0) {
+        return Err(Error::InvalidThreshold { value: tau });
+    }
+    if tau < tau_min - 1e-12 {
+        return Err(Error::ThresholdBelowTauMin { tau, tau_min });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_query_covers_all_cases() {
+        assert!(validate_query(b"ab", 0.5, 0.1).is_ok());
+        assert_eq!(validate_query(b"", 0.5, 0.1), Err(Error::EmptyPattern));
+        assert_eq!(
+            validate_query(b"a\0b", 0.5, 0.1),
+            Err(Error::PatternContainsSentinel)
+        );
+        assert!(matches!(
+            validate_query(b"ab", 0.05, 0.1),
+            Err(Error::ThresholdBelowTauMin { .. })
+        ));
+        assert!(matches!(
+            validate_query(b"ab", 0.0, 0.1),
+            Err(Error::InvalidThreshold { .. })
+        ));
+        assert!(matches!(
+            validate_query(b"ab", 1.5, 0.1),
+            Err(Error::InvalidThreshold { .. })
+        ));
+        // Exactly tau_min is allowed.
+        assert!(validate_query(b"ab", 0.1, 0.1).is_ok());
+    }
+
+    #[test]
+    fn model_errors_convert() {
+        let e: Error = ModelError::EmptyPattern.into();
+        assert!(matches!(e, Error::Model(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,373 @@
+//! The general uncertain-string substring index (§5): Lemma-2 transform +
+//! position mapping + per-level duplicate elimination over the §4 machinery.
+
+use std::time::Instant;
+
+use ustr_suffix::SuffixTree;
+use ustr_uncertain::{transform_with_options, Transformed, UncertainString};
+
+use crate::{
+    carray::CumulativeLogProb,
+    error::{validate_query, Error},
+    levels::{DedupStrategy, Levels},
+    options::IndexOptions,
+    result::QueryResult,
+    stats::BuildStats,
+};
+
+/// Substring-search index over a general [`UncertainString`].
+///
+/// Built for a construction-time threshold `τmin`; answers queries for any
+/// `τ ≥ τmin` in `O(m + occ)` for short patterns (`m ≤ ⌈log₂ N⌉` over the
+/// transformed text) and `O(m · occ)`-flavoured time for longer ones.
+///
+/// ```
+/// use ustr_core::Index;
+/// use ustr_uncertain::UncertainString;
+/// // The running example of Figure 10.
+/// let s = UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
+/// let idx = Index::build(&s, 0.1).unwrap();
+/// // Query ("QP", 0.4): only position 0 qualifies (.7*.7 = .49);
+/// // position 1 reaches just .3*1 = .3.
+/// assert_eq!(idx.query(b"QP", 0.4).unwrap().positions(), vec![0]);
+/// ```
+pub struct Index {
+    source: UncertainString,
+    transformed: Transformed,
+    tree: SuffixTree,
+    cum: CumulativeLogProb,
+    levels: Levels,
+    tau_min: f64,
+    dedup_enabled: bool,
+    stats: BuildStats,
+}
+
+impl Index {
+    /// Builds the index with construction-time threshold `tau_min ∈ (0, 1]`.
+    pub fn build(source: &UncertainString, tau_min: f64) -> Result<Self, Error> {
+        Self::build_with(source, tau_min, &IndexOptions::default())
+    }
+
+    /// Builds with explicit [`IndexOptions`].
+    pub fn build_with(
+        source: &UncertainString,
+        tau_min: f64,
+        options: &IndexOptions,
+    ) -> Result<Self, Error> {
+        let start = Instant::now();
+        let transformed = transform_with_options(source, tau_min, &options.transform)?;
+        let tree = SuffixTree::build(transformed.special.chars().to_vec());
+        let cum = CumulativeLogProb::new(transformed.special.probs(), |i| {
+            transformed.special.char_at(i) == 0
+        });
+        let max_short = options.short_levels_for(tree.num_slots());
+        let source_key = |j: usize| -> Option<u32> {
+            let x = tree.sa(j);
+            if x >= transformed.pos.len() {
+                return None; // virtual-terminator slot
+            }
+            match transformed.pos[x] {
+                u32::MAX => None,
+                p => Some(p),
+            }
+        };
+        let dedup = if options.disable_dedup {
+            DedupStrategy::None
+        } else {
+            DedupStrategy::BySource(&source_key)
+        };
+        let levels = Levels::build(
+            &tree,
+            &cum,
+            max_short,
+            options.ratio(),
+            !options.disable_long_levels,
+            &dedup,
+        );
+        let mut stats = BuildStats {
+            source_len: source.len(),
+            transformed_len: transformed.len(),
+            num_factors: transformed.num_factors,
+            build_time: start.elapsed(),
+            heap_bytes: 0,
+        };
+        let mut idx = Self {
+            source: source.clone(),
+            transformed,
+            tree,
+            cum,
+            levels,
+            tau_min,
+            dedup_enabled: !options.disable_dedup,
+            stats: BuildStats::default(),
+        };
+        stats.heap_bytes = idx.heap_size();
+        idx.stats = stats;
+        Ok(idx)
+    }
+
+    /// The construction-time threshold.
+    pub fn tau_min(&self) -> f64 {
+        self.tau_min
+    }
+
+    /// Construction statistics (transform expansion, timings, space).
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// The source uncertain string.
+    pub fn source(&self) -> &UncertainString {
+        &self.source
+    }
+
+    /// Source position of the suffix in tree slot `j`, if it starts inside a
+    /// factor.
+    fn source_pos_of_slot(&self, slot: usize) -> Option<usize> {
+        let x = self.tree.sa(slot);
+        if x >= self.transformed.pos.len() {
+            return None;
+        }
+        self.transformed.source_pos(x)
+    }
+
+    /// All positions of the source string where `pattern` matches with
+    /// probability ≥ `tau` (requires `tau ≥ tau_min`). Positions are sorted;
+    /// each carries its exact occurrence probability.
+    pub fn query(&self, pattern: &[u8], tau: f64) -> Result<QueryResult, Error> {
+        validate_query(pattern, tau, self.tau_min)?;
+        let m = pattern.len();
+        let Some((l, r)) = self.tree.suffix_range(pattern) else {
+            return Ok(QueryResult::default());
+        };
+        let log_tau = tau.ln();
+        let has_corr = !self.source.correlations().is_empty();
+        let short = m <= self.levels.max_short();
+        let candidates = if short {
+            self.levels
+                .report_short(m, l, r, log_tau, &self.tree, &self.cum)
+        } else {
+            self.levels
+                .report_long(m, l, r, log_tau, &self.tree, &self.cum)
+        };
+        // Short path with dedup: each reported slot is a distinct source
+        // position (the suffix range is one locus partition). Long path and
+        // dedup-disabled builds may repeat sources — aggregate.
+        let mut hits: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
+        for (slot, stored) in candidates {
+            let Some(src) = self.source_pos_of_slot(slot) else {
+                continue;
+            };
+            let exact = if has_corr {
+                // Stored factor probabilities are upper bounds under
+                // correlation; re-verify against the source string.
+                self.source.match_probability(pattern, src)
+            } else {
+                stored.exp()
+            };
+            if exact >= tau - ustr_uncertain::PROB_EPS {
+                hits.push((src, exact));
+            }
+        }
+        if !(short && self.dedup_enabled && !has_corr) {
+            hits.sort_unstable_by_key(|&(p, _)| p);
+            hits.dedup_by_key(|&mut (p, _)| p);
+        }
+        Ok(QueryResult::from_hits(hits))
+    }
+
+    /// The `k` most probable occurrences of `pattern`, ranked by
+    /// occurrence probability (descending), among occurrences visible at
+    /// the construction threshold (every occurrence with probability ≥
+    /// `tau_min` is a candidate). Best-first search over the RMQ levels —
+    /// no threshold needed.
+    ///
+    /// Under correlations the ranking key is the stored upper bound; the
+    /// returned probabilities are exact.
+    pub fn query_top_k(&self, pattern: &[u8], k: usize) -> Result<Vec<(usize, f64)>, Error> {
+        crate::error::validate_pattern(pattern)?;
+        let Some((l, r)) = self.tree.suffix_range(pattern) else {
+            return Ok(Vec::new());
+        };
+        let m = pattern.len();
+        let has_corr = !self.source.correlations().is_empty();
+        let hits = crate::topk::top_k_for_range(
+            &self.tree,
+            &self.cum,
+            &self.levels,
+            m,
+            l,
+            r,
+            k,
+            |slot| self.source_pos_of_slot(slot),
+        );
+        let mut out: Vec<(usize, f64)> = hits
+            .into_iter()
+            .map(|(src, v)| {
+                let p = if has_corr {
+                    self.source.match_probability(pattern, src)
+                } else {
+                    v.exp()
+                };
+                (src, p)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(out)
+    }
+
+    /// Approximate heap footprint in bytes (Figure 9c).
+    pub fn heap_size(&self) -> usize {
+        self.tree.heap_size()
+            + self.cum.heap_size()
+            + self.levels.heap_size()
+            + self.transformed.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustr_baseline::NaiveScanner;
+
+    fn figure_10_string() -> UncertainString {
+        UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap()
+    }
+
+    #[test]
+    fn figure_10_running_example() {
+        let idx = Index::build(&figure_10_string(), 0.1).unwrap();
+        let r = idx.query(b"QP", 0.4).unwrap();
+        assert_eq!(r.positions(), vec![0]);
+        assert!((r.hits()[0].1 - 0.49).abs() < 1e-9);
+        // Both QP occurrences pass at tau = 0.2.
+        let r = idx.query(b"QP", 0.2).unwrap();
+        assert_eq!(r.positions(), vec![0, 1]);
+    }
+
+    #[test]
+    fn agrees_with_scanner_exhaustively() {
+        let s = figure_10_string();
+        let idx = Index::build(&s, 0.1).unwrap();
+        // All sentinel-free patterns over the observed alphabet up to len 4.
+        let alphabet = [b'Q', b'S', b'P', b'A', b'F'];
+        let mut patterns: Vec<Vec<u8>> = alphabet.iter().map(|&c| vec![c]).collect();
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for p in &patterns {
+                for &c in &alphabet {
+                    let mut q = p.clone();
+                    q.push(c);
+                    next.push(q);
+                }
+            }
+            patterns.extend(next);
+        }
+        for pattern in &patterns {
+            for tau in [0.1, 0.15, 0.25, 0.4, 0.7] {
+                let got = idx.query(pattern, tau).unwrap().positions();
+                let expected = NaiveScanner::find(&s, pattern, tau);
+                assert_eq!(
+                    got,
+                    expected,
+                    "pattern {:?} tau {tau}",
+                    String::from_utf8_lossy(pattern)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_text_behaves_like_plain_search() {
+        let s = UncertainString::deterministic(b"abracadabra");
+        let idx = Index::build(&s, 0.5).unwrap();
+        assert_eq!(idx.query(b"abra", 0.9).unwrap().positions(), vec![0, 7]);
+        assert_eq!(idx.query(b"a", 0.9).unwrap().positions(), vec![0, 3, 5, 7, 10]);
+        assert!(idx.query(b"zz", 0.9).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tau_below_tau_min_is_rejected() {
+        let idx = Index::build(&figure_10_string(), 0.2).unwrap();
+        assert!(matches!(
+            idx.query(b"QP", 0.1),
+            Err(Error::ThresholdBelowTauMin { .. })
+        ));
+    }
+
+    #[test]
+    fn long_patterns_on_mostly_deterministic_text() {
+        // A long deterministic body with a few uncertain positions.
+        let mut spec = String::new();
+        let body = b"abcdefghijklmnopqrstuvwxyzabcdefghijklmnopqrstuvwxyz";
+        for (i, &c) in body.iter().enumerate() {
+            if i > 0 {
+                spec.push_str(" | ");
+            }
+            if i % 10 == 3 {
+                spec.push_str(&format!("{}:.6,{}:.4", c as char, ((c - b'a' + 1) % 26 + b'a') as char));
+            } else {
+                spec.push(c as char);
+            }
+        }
+        let s = UncertainString::parse(&spec).unwrap();
+        let idx = Index::build(&s, 0.05).unwrap();
+        // A pattern of length 20 starting at 5 follows the most likely chars.
+        let world = s.most_probable_world();
+        let pattern = &world[5..25];
+        let got = idx.query(pattern, 0.05).unwrap().positions();
+        let expected = NaiveScanner::find(&s, pattern, 0.05);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dedup_ablation_gives_same_answers() {
+        let s = figure_10_string();
+        let idx = Index::build(&s, 0.1).unwrap();
+        let no_dedup = Index::build_with(
+            &s,
+            0.1,
+            &IndexOptions {
+                disable_dedup: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for pattern in [&b"QP"[..], b"P", b"PA", b"QPP", b"SP"] {
+            for tau in [0.1, 0.3, 0.5] {
+                assert_eq!(
+                    idx.query(pattern, tau).unwrap().positions(),
+                    no_dedup.query(pattern, tau).unwrap().positions(),
+                    "pattern {pattern:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_reported_are_exact() {
+        let s = figure_10_string();
+        let idx = Index::build(&s, 0.1).unwrap();
+        for (pos, prob) in idx.query(b"P", 0.1).unwrap() {
+            assert!((prob - s.match_probability(b"P", pos)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stats_capture_transform_expansion() {
+        let idx = Index::build(&figure_10_string(), 0.1).unwrap();
+        let st = idx.stats();
+        assert_eq!(st.source_len, 4);
+        assert!(st.transformed_len > 4, "factors + separators expand the text");
+        assert!(st.num_factors >= 2);
+        assert!(st.expansion() > 1.0);
+        assert!(st.heap_bytes > 0);
+    }
+
+    #[test]
+    fn empty_source_string() {
+        let s = UncertainString::new(Vec::new());
+        let idx = Index::build(&s, 0.5).unwrap();
+        assert!(idx.query(b"a", 0.5).unwrap().is_empty());
+    }
+}

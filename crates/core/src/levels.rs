@@ -1,0 +1,487 @@
+//! Per-pattern-length RMQ levels (`C_i` + `RMQ_i`) with duplicate
+//! elimination, plus the long-pattern blocking scheme (§4.2, §5.2).
+//!
+//! For every pattern length `i ≤ L = ⌈log₂ N⌉` the paper materialises
+//! `C_i[j]` = probability of the length-`i` prefix of the `j`-th suffix,
+//! builds an RMQ over it, and discards the array, re-deriving values from
+//! the cumulative array `C`. [`Levels`] does the same with
+//! [`SampledRmq`] structures whose accessors read
+//! [`CumulativeLogProb::window`].
+//!
+//! Duplicate elimination (§5.2/§6): within each level-`i` locus partition
+//! (maximal runs of suffix-array slots whose pairwise LCP is ≥ `i`),
+//! duplicate entries are masked to −∞ so each distinct source position (or
+//! document) is reported at most once. The suffix range of any length-`i`
+//! pattern coincides with exactly one partition, so masked levels report
+//! every distinct result exactly once.
+//!
+//! Long patterns (`m > L`): materialising per-length block maxima for every
+//! `i ∈ [log n, n]`, as §4.2 describes, costs Θ(n²) construction time; we
+//! build the blocking levels at geometric lengths `L, 2L, 4L, …` instead.
+//! Prefix probabilities are non-increasing in length, so a level-`i` value
+//! (`i ≤ m`) upper-bounds every length-`m` window in its block — a sound
+//! pruning filter; survivors are verified against `C` exactly. This keeps
+//! the paper's `O(m · occ)` long-pattern flavour at O(N log N) build cost.
+
+use std::collections::HashMap;
+
+use ustr_rmq::{Direction, SampledRmq, ThresholdReporter};
+use ustr_suffix::SuffixTree;
+
+use crate::carray::CumulativeLogProb;
+
+/// Compact bit vector for per-level duplicate masks.
+#[derive(Debug, Clone)]
+struct BitVec {
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    fn new(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn heap_size(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+/// How duplicate entries are eliminated inside each locus partition.
+pub enum DedupStrategy<'a> {
+    /// No masking (the special index: every slot is a distinct position).
+    None,
+    /// Mask slots whose source key repeats within the partition (general
+    /// substring index: key = original string position).
+    BySource(&'a dyn Fn(usize) -> Option<u32>),
+    /// Keep only the maximum-value slot per key per partition (listing
+    /// index: key = document id, value drives `Rel_max`).
+    ByKeyMax(&'a dyn Fn(usize) -> Option<u32>),
+}
+
+struct ShortLevel {
+    rmq: SampledRmq,
+    mask: BitVec,
+}
+
+struct LongLevel {
+    /// Prefix length this level filters with.
+    len: usize,
+    /// Block RMQ with block size = `len` (one champion per block, as in the
+    /// paper's `PB_i` arrays).
+    rmq: SampledRmq,
+}
+
+/// The per-length RMQ levels of an index.
+pub struct Levels {
+    max_short: usize,
+    short: Vec<ShortLevel>,
+    long: Vec<LongLevel>,
+}
+
+impl Levels {
+    /// Builds all levels for the suffix `tree` over probabilities `cum`.
+    ///
+    /// `slots` = `tree.num_slots()`; slot 0 (the virtual terminator) is
+    /// always masked. `max_short` short levels are built (lengths
+    /// `1..=max_short`); long levels at `max_short·ratioᵏ` while ≤ text
+    /// length, unless `enable_long` is false.
+    pub fn build(
+        tree: &SuffixTree,
+        cum: &CumulativeLogProb,
+        max_short: usize,
+        ratio: usize,
+        enable_long: bool,
+        dedup: &DedupStrategy<'_>,
+    ) -> Self {
+        let slots = tree.num_slots();
+
+        let mut short = Vec::with_capacity(max_short);
+        for i in 1..=max_short {
+            let mask = build_mask(tree, cum, i, dedup);
+            let accessor = |j: usize| {
+                if mask.get(j) {
+                    f64::NEG_INFINITY
+                } else {
+                    cum.window(tree.sa(j), i)
+                }
+            };
+            let rmq = SampledRmq::new(slots, Direction::Max, &accessor);
+            short.push(ShortLevel { rmq, mask });
+        }
+
+        let mut long = Vec::new();
+        if enable_long {
+            let mut len = max_short;
+            while len <= cum.len().max(1) {
+                let accessor = |j: usize| cum.window(tree.sa(j), len);
+                let rmq = SampledRmq::with_block_size(slots, len.max(1), Direction::Max, &accessor);
+                long.push(LongLevel { len, rmq });
+                match len.checked_mul(ratio) {
+                    Some(next) => len = next,
+                    None => break,
+                }
+            }
+        }
+
+        Self {
+            max_short,
+            short,
+            long,
+        }
+    }
+
+    /// Largest pattern length served by the short levels.
+    pub fn max_short(&self) -> usize {
+        self.max_short
+    }
+
+    /// Returns `true` when blocking levels exist for long patterns.
+    pub fn has_long(&self) -> bool {
+        !self.long.is_empty()
+    }
+
+    /// Short-pattern reporting (Algorithm 2/4): all unmasked slots in
+    /// `[l, r]` whose level-`m` value is ≥ `log_tau`, extreme-first. Requires
+    /// `1 ≤ m ≤ max_short`.
+    pub fn report_short(
+        &self,
+        m: usize,
+        l: usize,
+        r: usize,
+        log_tau: f64,
+        tree: &SuffixTree,
+        cum: &CumulativeLogProb,
+    ) -> Vec<(usize, f64)> {
+        debug_assert!(m >= 1 && m <= self.max_short);
+        let level = &self.short[m - 1];
+        let accessor = |j: usize| {
+            if level.mask.get(j) {
+                f64::NEG_INFINITY
+            } else {
+                cum.window(tree.sa(j), m)
+            }
+        };
+        ThresholdReporter::new(
+            l,
+            r,
+            log_tau - ustr_uncertain::PROB_EPS,
+            Direction::Max,
+            |a, b| level.rmq.query_with(a, b, &accessor),
+            accessor,
+        )
+        .collect()
+    }
+
+    /// Long-pattern reporting via the blocking scheme: slots in `[l, r]`
+    /// whose *length-m* window value is ≥ `log_tau`, pruned by the largest
+    /// level with `len ≤ m`. Returned values are the exact length-`m`
+    /// window log-probabilities. Duplicate sources are *not* eliminated —
+    /// the caller aggregates.
+    pub fn report_long(
+        &self,
+        m: usize,
+        l: usize,
+        r: usize,
+        log_tau: f64,
+        tree: &SuffixTree,
+        cum: &CumulativeLogProb,
+    ) -> Vec<(usize, f64)> {
+        let Some(level) = self.long.iter().rev().find(|lvl| lvl.len <= m) else {
+            // No filter level available: scan the whole range.
+            return scan_range(m, l, r, log_tau, tree, cum);
+        };
+        let filter_len = level.len;
+        let filter = |j: usize| cum.window(tree.sa(j), filter_len);
+        let threshold = log_tau - ustr_uncertain::PROB_EPS;
+        let mut out = Vec::new();
+        // Enumerate slots whose filter value passes; verify each at length m.
+        let reporter = ThresholdReporter::new(
+            l,
+            r,
+            threshold,
+            Direction::Max,
+            |a, b| level.rmq.query_with(a, b, &filter),
+            filter,
+        );
+        for (slot, _upper) in reporter {
+            let exact = cum.window(tree.sa(slot), m);
+            if exact >= threshold {
+                out.push((slot, exact));
+            }
+        }
+        out
+    }
+
+    /// Accessor pair for a short level: `(range-argmax query, value)`.
+    /// Used by the best-first top-k driver.
+    pub(crate) fn short_accessors<'a>(
+        &'a self,
+        m: usize,
+        tree: &'a SuffixTree,
+        cum: &'a CumulativeLogProb,
+    ) -> (
+        impl Fn(usize, usize) -> usize + 'a,
+        impl Fn(usize) -> f64 + Copy + 'a,
+    ) {
+        debug_assert!(m >= 1 && m <= self.max_short);
+        let level = &self.short[m - 1];
+        let value = move |j: usize| {
+            if level.mask.get(j) {
+                f64::NEG_INFINITY
+            } else {
+                cum.window(tree.sa(j), m)
+            }
+        };
+        let query = move |a: usize, b: usize| level.rmq.query_with(a, b, &value);
+        (query, value)
+    }
+
+    /// Accessor triple for the best long level ≤ `m`:
+    /// `(filter length, range-argmax query, upper-bound value)`.
+    #[allow(clippy::type_complexity)] // impl-trait tuple; aliases cannot name it
+    pub(crate) fn long_accessors<'a>(
+        &'a self,
+        m: usize,
+        tree: &'a SuffixTree,
+        cum: &'a CumulativeLogProb,
+    ) -> Option<(
+        usize,
+        impl Fn(usize, usize) -> usize + 'a,
+        impl Fn(usize) -> f64 + Copy + 'a,
+    )> {
+        let level = self.long.iter().rev().find(|lvl| lvl.len <= m)?;
+        let len = level.len;
+        let value = move |j: usize| cum.window(tree.sa(j), len);
+        let query = move |a: usize, b: usize| level.rmq.query_with(a, b, &value);
+        Some((len, query, value))
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.short
+            .iter()
+            .map(|s| s.rmq.heap_size() + s.mask.heap_size())
+            .sum::<usize>()
+            + self.long.iter().map(|l| l.rmq.heap_size()).sum::<usize>()
+    }
+}
+
+/// Exhaustive fallback when no blocking level applies.
+fn scan_range(
+    m: usize,
+    l: usize,
+    r: usize,
+    log_tau: f64,
+    tree: &SuffixTree,
+    cum: &CumulativeLogProb,
+) -> Vec<(usize, f64)> {
+    let threshold = log_tau - ustr_uncertain::PROB_EPS;
+    (l..=r)
+        .filter_map(|j| {
+            let v = cum.window(tree.sa(j), m);
+            (v >= threshold).then_some((j, v))
+        })
+        .collect()
+}
+
+/// Builds the duplicate mask for one level.
+fn build_mask(
+    tree: &SuffixTree,
+    cum: &CumulativeLogProb,
+    level: usize,
+    dedup: &DedupStrategy<'_>,
+) -> BitVec {
+    let slots = tree.num_slots();
+    let mut mask = BitVec::new(slots);
+    if slots > 0 {
+        mask.set(0); // virtual-terminator slot never matches
+    }
+    match dedup {
+        DedupStrategy::None => {}
+        DedupStrategy::BySource(key_of) => {
+            // Stamp-based "seen" set avoids clearing a hash set per partition.
+            let mut seen: HashMap<u32, u32> = HashMap::new();
+            let mut partition = 0u32;
+            for j in 1..slots {
+                if tree.slot_lcp(j) < level {
+                    partition += 1;
+                }
+                let valid = cum.window(tree.sa(j), level) > f64::NEG_INFINITY;
+                match key_of(j) {
+                    Some(key) if valid => {
+                        if seen.insert(key, partition) == Some(partition) {
+                            mask.set(j);
+                        }
+                    }
+                    _ => mask.set(j),
+                }
+            }
+        }
+        DedupStrategy::ByKeyMax(key_of) => {
+            let mut best: HashMap<u32, (usize, f64)> = HashMap::new();
+            let mut members: Vec<usize> = Vec::new();
+            let flush = |best: &mut HashMap<u32, (usize, f64)>,
+                             members: &mut Vec<usize>,
+                             mask: &mut BitVec| {
+                for &j in members.iter() {
+                    mask.set(j);
+                }
+                for (_, &(winner, _)) in best.iter() {
+                    // Clear the winner bit again.
+                    mask.words[winner / 64] &= !(1u64 << (winner % 64));
+                }
+                best.clear();
+                members.clear();
+            };
+            for j in 1..slots {
+                if tree.slot_lcp(j) < level {
+                    flush(&mut best, &mut members, &mut mask);
+                }
+                let value = cum.window(tree.sa(j), level);
+                match key_of(j) {
+                    Some(key) if value > f64::NEG_INFINITY => {
+                        members.push(j);
+                        match best.get(&key) {
+                            Some(&(_, v)) if v >= value => {}
+                            _ => {
+                                best.insert(key, (j, value));
+                            }
+                        }
+                    }
+                    _ => mask.set(j),
+                }
+            }
+            flush(&mut best, &mut members, &mut mask);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(text: &[u8], probs: &[f64]) -> (SuffixTree, CumulativeLogProb) {
+        let tree = SuffixTree::build(text.to_vec());
+        let sentinel: Vec<bool> = text.iter().map(|&b| b == 0).collect();
+        let cum = CumulativeLogProb::new(probs, |i| sentinel[i]);
+        (tree, cum)
+    }
+
+    #[test]
+    fn short_report_matches_brute_force() {
+        let text = b"banana";
+        let probs = [0.4, 0.7, 0.5, 0.8, 0.9, 0.6];
+        let (tree, cum) = setup(text, &probs);
+        let levels = Levels::build(&tree, &cum, 3, 2, true, &DedupStrategy::None);
+        // Level 3 over the suffix range of "ana" with tau = 0.3: Figure 5
+        // reports position 3 only (prob .432); position 1 has .28.
+        let (l, r) = tree.suffix_range(b"ana").unwrap();
+        let hits = levels.report_short(3, l, r, 0.3f64.ln(), &tree, &cum);
+        let positions: Vec<usize> = hits.iter().map(|&(j, _)| tree.sa(j)).collect();
+        assert_eq!(positions, vec![3]);
+        // First hit is the maximum.
+        assert!((hits[0].1.exp() - 0.432).abs() < 1e-9);
+        // Lower threshold reports both.
+        let hits = levels.report_short(3, l, r, 0.2f64.ln(), &tree, &cum);
+        let mut positions: Vec<usize> = hits.iter().map(|&(j, _)| tree.sa(j)).collect();
+        positions.sort_unstable();
+        assert_eq!(positions, vec![1, 3]);
+    }
+
+    #[test]
+    fn long_report_verifies_exact_length() {
+        let text = b"abababab";
+        let probs = [0.9; 8];
+        let (tree, cum) = setup(text, &probs);
+        let levels = Levels::build(&tree, &cum, 2, 2, true, &DedupStrategy::None);
+        assert!(levels.has_long());
+        let (l, r) = tree.suffix_range(b"abab").unwrap();
+        // length 4 at 0.9^4 = .6561; threshold .6 keeps all three occurrences
+        let hits = levels.report_long(4, l, r, 0.6f64.ln(), &tree, &cum);
+        let mut positions: Vec<usize> = hits.iter().map(|&(j, _)| tree.sa(j)).collect();
+        positions.sort_unstable();
+        assert_eq!(positions, vec![0, 2, 4]);
+        for &(_, v) in &hits {
+            assert!((v.exp() - 0.9f64.powi(4)).abs() < 1e-9);
+        }
+        // Threshold .66 rejects (0.6561 < 0.66).
+        let hits = levels.report_long(4, l, r, 0.66f64.ln(), &tree, &cum);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn dedup_by_source_masks_repeats_within_partition() {
+        // Text "AB\0AB\0" where both "AB" factors map to source position 7.
+        let text = b"AB\0AB\0";
+        let probs = [0.5, 0.5, 1.0, 0.5, 0.5, 1.0];
+        let (tree, cum) = setup(text, &probs);
+        let key = |j: usize| {
+            let p = tree.sa(j);
+            if p < 6 && text[p] != 0 {
+                Some(7u32) // every real slot pretends to be source 7
+            } else {
+                None
+            }
+        };
+        let dedup = DedupStrategy::BySource(&key);
+        let levels = Levels::build(&tree, &cum, 2, 2, false, &dedup);
+        let (l, r) = tree.suffix_range(b"AB").unwrap();
+        let hits = levels.report_short(2, l, r, 0.2f64.ln(), &tree, &cum);
+        assert_eq!(hits.len(), 1, "duplicate source reported once");
+    }
+
+    #[test]
+    fn dedup_by_key_max_keeps_best_entry() {
+        // Two "AB" occurrences with different probabilities, same document.
+        let text = b"AB\0AB\0";
+        let probs = [0.5, 0.5, 1.0, 0.9, 0.9, 1.0];
+        let (tree, cum) = setup(text, &probs);
+        let key = |j: usize| {
+            let p = tree.sa(j);
+            (p < 6 && text[p] != 0).then_some(0u32) // one document
+        };
+        let dedup = DedupStrategy::ByKeyMax(&key);
+        let levels = Levels::build(&tree, &cum, 2, 2, false, &dedup);
+        let (l, r) = tree.suffix_range(b"AB").unwrap();
+        let hits = levels.report_short(2, l, r, 0.1f64.ln(), &tree, &cum);
+        assert_eq!(hits.len(), 1);
+        assert!((hits[0].1.exp() - 0.81).abs() < 1e-9, "max entry kept");
+    }
+
+    #[test]
+    fn sentinel_windows_never_report() {
+        let text = b"A\0B";
+        let probs = [0.9, 1.0, 0.9];
+        let (tree, cum) = setup(text, &probs);
+        let levels = Levels::build(&tree, &cum, 2, 2, false, &DedupStrategy::None);
+        // "A\0" would cross the separator: the window is -inf at level 2.
+        let (l, r) = tree.suffix_range(b"A").unwrap();
+        let hits = levels.report_short(2, l, r, 0.001f64.ln(), &tree, &cum);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn report_long_without_levels_falls_back_to_scan() {
+        let text = b"aaaa";
+        let probs = [0.9; 4];
+        let (tree, cum) = setup(text, &probs);
+        let levels = Levels::build(&tree, &cum, 1, 2, false, &DedupStrategy::None);
+        assert!(!levels.has_long());
+        let (l, r) = tree.suffix_range(b"aa").unwrap();
+        let hits = levels.report_long(2, l, r, 0.5f64.ln(), &tree, &cum);
+        assert_eq!(hits.len(), 3);
+    }
+}

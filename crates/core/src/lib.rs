@@ -1,0 +1,45 @@
+//! The probabilistic threshold indexes of Thankachan, Patil, Shah, Biswas —
+//! *"Probabilistic Threshold Indexing for Uncertain Strings"* (EDBT 2016).
+//!
+//! Four indexes over character-level uncertain strings, all parameterised by
+//! a construction-time threshold `τmin` and answering queries for any
+//! `τ ≥ τmin`:
+//!
+//! | Type | Paper | Problem |
+//! |---|---|---|
+//! | [`SpecialIndex`] | §4 | substring search in a *special* uncertain string (one probabilistic character per position) |
+//! | [`Index`] | §5 | substring search in a general uncertain string |
+//! | [`ListingIndex`] | §6 | string listing from an uncertain collection, with [`RelMetric`] relevance |
+//! | [`ApproxIndex`] | §7 | approximate substring search with additive error ε |
+//!
+//! The machinery follows the paper: the uncertain string is reduced to a
+//! deterministic text (via the Lemma-2 maximal-factor transform for general
+//! strings), a suffix tree provides pattern loci, the cumulative probability
+//! array `C` gives O(1) window probabilities, per-length arrays `C_i` with
+//! range-maximum structures drive the *report-in-decreasing-probability*
+//! recursion, per-level duplicate elimination keeps output time proportional
+//! to distinct results, and a geometric blocking scheme covers patterns
+//! longer than `log n`.
+
+mod approx;
+mod carray;
+mod error;
+mod index;
+mod levels;
+mod listing;
+mod options;
+mod result;
+mod special;
+mod stats;
+mod topk;
+
+pub use approx::ApproxIndex;
+pub use carray::CumulativeLogProb;
+pub use error::Error;
+pub use index::Index;
+pub use levels::{DedupStrategy, Levels};
+pub use listing::{ListingHit, ListingIndex, RelMetric};
+pub use options::IndexOptions;
+pub use result::QueryResult;
+pub use special::SpecialIndex;
+pub use stats::BuildStats;

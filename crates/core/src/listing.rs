@@ -1,0 +1,497 @@
+//! Uncertain string listing (§6): report every string in a collection that
+//! contains a probable occurrence of the pattern.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ustr_suffix::SuffixTree;
+use ustr_uncertain::{transform_with_options, UncertainString};
+
+use crate::{
+    carray::CumulativeLogProb,
+    error::{validate_query, Error},
+    levels::{DedupStrategy, Levels},
+    options::IndexOptions,
+    stats::BuildStats,
+};
+
+/// Relevance metric for string listing (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelMetric {
+    /// Maximum occurrence probability (`Rel_max`) — supports the optimal
+    /// output-sensitive query path.
+    Max,
+    /// The paper's OR metric: `Σ prᵢ − Π prᵢ` over all occurrences with
+    /// probability ≥ τmin. Requires touching every occurrence.
+    Or,
+    /// Independent-event OR: `1 − Π(1 − prᵢ)` — exposed alongside the
+    /// paper's formula. Requires touching every occurrence.
+    IndependentOr,
+}
+
+/// One listed string: its id in the collection and its relevance value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListingHit {
+    /// Index of the string in the collection passed to `build`.
+    pub doc: usize,
+    /// Relevance of the query pattern in that string.
+    pub relevance: f64,
+}
+
+/// String-listing index over a collection of uncertain strings.
+///
+/// ```
+/// use ustr_core::{ListingIndex, RelMetric};
+/// use ustr_uncertain::UncertainString;
+/// // Figure 2: only d1 contains "BF" with probability > 0.1.
+/// let docs = vec![
+///     UncertainString::parse("A:.4,B:.3,F:.3 | B:.3,L:.3,F:.3,J:.1 | F:.5,J:.5").unwrap(),
+///     UncertainString::parse("A:.6,C:.4 | B:.5,F:.3,E:.2 | B:.4,C:.3,P:.2,F:.1").unwrap(),
+///     UncertainString::parse("A:.4,F:.4,P:.2 | I:.3,L:.3,P:.3,T:.1 | A").unwrap(),
+/// ];
+/// let idx = ListingIndex::build(&docs, 0.05).unwrap();
+/// let hits = idx.query(b"BF", 0.1).unwrap();
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(hits[0].doc, 0);
+/// ```
+pub struct ListingIndex {
+    docs: Vec<UncertainString>,
+    tree: SuffixTree,
+    cum: CumulativeLogProb,
+    levels: Levels,
+    /// X position → document id (`u32::MAX` at separators).
+    doc_of: Vec<u32>,
+    /// X position → source position *within its document*.
+    src_of: Vec<u32>,
+    /// Start of each document in the concatenated *source* position space
+    /// (for globally-unique dedup keys).
+    doc_base: Vec<u32>,
+    tau_min: f64,
+    has_correlations: bool,
+    stats: BuildStats,
+}
+
+const NONE32: u32 = u32::MAX;
+
+impl ListingIndex {
+    /// Builds the index over `docs` with construction threshold `tau_min`.
+    pub fn build(docs: &[UncertainString], tau_min: f64) -> Result<Self, Error> {
+        Self::build_with(docs, tau_min, &IndexOptions::default())
+    }
+
+    /// Builds with explicit [`IndexOptions`].
+    pub fn build_with(
+        docs: &[UncertainString],
+        tau_min: f64,
+        options: &IndexOptions,
+    ) -> Result<Self, Error> {
+        let start = Instant::now();
+        let mut chars: Vec<u8> = Vec::new();
+        let mut probs: Vec<f64> = Vec::new();
+        let mut doc_of: Vec<u32> = Vec::new();
+        let mut src_of: Vec<u32> = Vec::new();
+        let mut doc_base: Vec<u32> = Vec::with_capacity(docs.len());
+        let mut source_total = 0usize;
+        let mut num_factors = 0usize;
+        for (id, d) in docs.iter().enumerate() {
+            doc_base.push(source_total as u32);
+            let t = transform_with_options(d, tau_min, &options.transform)?;
+            num_factors += t.num_factors;
+            chars.extend_from_slice(t.special.chars());
+            probs.extend_from_slice(t.special.probs());
+            for k in 0..t.len() {
+                match t.source_pos(k) {
+                    Some(p) => {
+                        doc_of.push(id as u32);
+                        src_of.push(p as u32);
+                    }
+                    None => {
+                        doc_of.push(NONE32);
+                        src_of.push(NONE32);
+                    }
+                }
+            }
+            source_total += d.len();
+        }
+        let has_correlations = docs.iter().any(|d| !d.correlations().is_empty());
+        let tree = SuffixTree::build(chars.clone());
+        let cum = CumulativeLogProb::new(&probs, |i| chars[i] == 0);
+        let max_short = options.short_levels_for(tree.num_slots());
+
+        // Doc-level dedup keeps the max-probability entry per document per
+        // partition (Rel_max). Under correlations the stored values are only
+        // upper bounds, so the "max" entry could be the wrong one — fall back
+        // to source-level dedup and aggregate per document at query time.
+        let doc_key = |j: usize| -> Option<u32> {
+            let x = tree.sa(j);
+            doc_of.get(x).copied().filter(|&d| d != NONE32)
+        };
+        let source_key = |j: usize| -> Option<u32> {
+            let x = tree.sa(j);
+            let d = *doc_of.get(x)?;
+            if d == NONE32 {
+                return None;
+            }
+            Some(doc_base[d as usize] + src_of[x])
+        };
+        let dedup = if options.disable_dedup {
+            DedupStrategy::None
+        } else if has_correlations {
+            DedupStrategy::BySource(&source_key)
+        } else {
+            DedupStrategy::ByKeyMax(&doc_key)
+        };
+        let levels = Levels::build(
+            &tree,
+            &cum,
+            max_short,
+            options.ratio(),
+            !options.disable_long_levels,
+            &dedup,
+        );
+        let mut stats = BuildStats {
+            source_len: source_total,
+            transformed_len: chars.len(),
+            num_factors,
+            build_time: start.elapsed(),
+            heap_bytes: 0,
+        };
+        let mut idx = Self {
+            docs: docs.to_vec(),
+            tree,
+            cum,
+            levels,
+            doc_of,
+            src_of,
+            doc_base,
+            tau_min,
+            has_correlations,
+            stats: BuildStats::default(),
+        };
+        stats.heap_bytes = idx.heap_size();
+        idx.stats = stats;
+        Ok(idx)
+    }
+
+    /// Number of strings in the collection.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// The construction-time threshold.
+    pub fn tau_min(&self) -> f64 {
+        self.tau_min
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Lists all strings with `Rel_max ≥ tau` (the default metric), sorted
+    /// by document id.
+    pub fn query(&self, pattern: &[u8], tau: f64) -> Result<Vec<ListingHit>, Error> {
+        self.query_with_metric(pattern, tau, RelMetric::Max)
+    }
+
+    /// Lists all strings whose relevance under `metric` is ≥ `tau`.
+    ///
+    /// `Rel_max` runs in output-sensitive time via the RMQ recursion; the OR
+    /// metrics must inspect every occurrence in the suffix range (as §6
+    /// notes for complex relevance metrics).
+    pub fn query_with_metric(
+        &self,
+        pattern: &[u8],
+        tau: f64,
+        metric: RelMetric,
+    ) -> Result<Vec<ListingHit>, Error> {
+        validate_query(pattern, tau, self.tau_min)?;
+        let Some((l, r)) = self.tree.suffix_range(pattern) else {
+            return Ok(Vec::new());
+        };
+        match metric {
+            RelMetric::Max => self.query_max(pattern, tau, l, r),
+            RelMetric::Or | RelMetric::IndependentOr => {
+                self.query_aggregate(pattern, tau, l, r, metric)
+            }
+        }
+    }
+
+    fn doc_and_src(&self, slot: usize) -> Option<(usize, usize)> {
+        let x = self.tree.sa(slot);
+        let d = *self.doc_of.get(x)?;
+        if d == NONE32 {
+            return None;
+        }
+        Some((d as usize, self.src_of[x] as usize))
+    }
+
+    fn query_max(
+        &self,
+        pattern: &[u8],
+        tau: f64,
+        l: usize,
+        r: usize,
+    ) -> Result<Vec<ListingHit>, Error> {
+        let m = pattern.len();
+        let log_tau = tau.ln();
+        let candidates = if m <= self.levels.max_short() {
+            self.levels
+                .report_short(m, l, r, log_tau, &self.tree, &self.cum)
+        } else {
+            self.levels
+                .report_long(m, l, r, log_tau, &self.tree, &self.cum)
+        };
+        let mut best: HashMap<usize, f64> = HashMap::new();
+        for (slot, stored) in candidates {
+            let Some((doc, src)) = self.doc_and_src(slot) else {
+                continue;
+            };
+            let exact = if self.has_correlations {
+                self.docs[doc].match_probability(pattern, src)
+            } else {
+                stored.exp()
+            };
+            if exact >= tau - ustr_uncertain::PROB_EPS {
+                let e = best.entry(doc).or_insert(0.0);
+                if exact > *e {
+                    *e = exact;
+                }
+            }
+        }
+        let mut hits: Vec<ListingHit> = best
+            .into_iter()
+            .map(|(doc, relevance)| ListingHit { doc, relevance })
+            .collect();
+        hits.sort_unstable_by_key(|h| h.doc);
+        Ok(hits)
+    }
+
+    /// OR-style metrics: gather every distinct occurrence (probability ≥
+    /// τmin, the transform's visibility horizon) per document, then combine.
+    fn query_aggregate(
+        &self,
+        pattern: &[u8],
+        tau: f64,
+        l: usize,
+        r: usize,
+        metric: RelMetric,
+    ) -> Result<Vec<ListingHit>, Error> {
+        let m = pattern.len();
+        let mut occs: HashMap<(usize, usize), f64> = HashMap::new();
+        for slot in l..=r {
+            let Some((doc, src)) = self.doc_and_src(slot) else {
+                continue;
+            };
+            if occs.contains_key(&(doc, src)) {
+                continue;
+            }
+            let stored = self.cum.window(self.tree.sa(slot), m);
+            if stored == f64::NEG_INFINITY {
+                continue;
+            }
+            let exact = if self.has_correlations {
+                self.docs[doc].match_probability(pattern, src)
+            } else {
+                stored.exp()
+            };
+            if exact > 0.0 {
+                occs.insert((doc, src), exact);
+            }
+        }
+        let mut per_doc: HashMap<usize, Vec<f64>> = HashMap::new();
+        for ((doc, _), p) in occs {
+            per_doc.entry(doc).or_default().push(p);
+        }
+        let mut hits = Vec::new();
+        for (doc, probs) in per_doc {
+            let relevance = match metric {
+                RelMetric::Or => {
+                    // §6: a single occurrence's relevance is its probability;
+                    // the Σp − Πp form applies to multiple occurrences.
+                    if probs.len() == 1 {
+                        probs[0]
+                    } else {
+                        let sum: f64 = probs.iter().sum();
+                        let prod: f64 = probs.iter().product();
+                        sum - prod
+                    }
+                }
+                RelMetric::IndependentOr => 1.0 - probs.iter().map(|p| 1.0 - p).product::<f64>(),
+                RelMetric::Max => unreachable!("handled by query_max"),
+            };
+            if relevance >= tau - ustr_uncertain::PROB_EPS {
+                hits.push(ListingHit { doc, relevance });
+            }
+        }
+        hits.sort_unstable_by_key(|h| h.doc);
+        Ok(hits)
+    }
+
+    /// The `k` most relevant documents under `Rel_max`, ranked descending.
+    /// Best-first search over the doc-deduplicated RMQ levels; only
+    /// occurrences visible at `tau_min` are candidates.
+    pub fn query_top_k(&self, pattern: &[u8], k: usize) -> Result<Vec<ListingHit>, Error> {
+        crate::error::validate_pattern(pattern)?;
+        let Some((l, r)) = self.tree.suffix_range(pattern) else {
+            return Ok(Vec::new());
+        };
+        let m = pattern.len();
+        let hits = crate::topk::top_k_for_range(
+            &self.tree,
+            &self.cum,
+            &self.levels,
+            m,
+            l,
+            r,
+            k,
+            |slot| self.doc_and_src(slot).map(|(doc, _)| doc),
+        );
+        let mut out: Vec<ListingHit> = hits
+            .into_iter()
+            .map(|(doc, v)| {
+                let relevance = if self.has_correlations {
+                    // Stored values are bounds; recompute the document's
+                    // exact Rel_max.
+                    crate::listing::exact_rel_max(&self.docs[doc], pattern)
+                } else {
+                    v.exp()
+                };
+                ListingHit { doc, relevance }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.relevance
+                .partial_cmp(&a.relevance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Ok(out)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        use std::mem::size_of;
+        self.tree.heap_size()
+            + self.cum.heap_size()
+            + self.levels.heap_size()
+            + (self.doc_of.capacity() + self.src_of.capacity() + self.doc_base.capacity())
+                * size_of::<u32>()
+    }
+}
+
+/// Exact `Rel_max` by scanning one document (used only under correlations,
+/// where stored values are upper bounds).
+fn exact_rel_max(doc: &UncertainString, pattern: &[u8]) -> f64 {
+    let m = pattern.len();
+    if m > doc.len() {
+        return 0.0;
+    }
+    (0..=doc.len() - m)
+        .map(|i| doc.match_probability(pattern, i))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustr_baseline::NaiveScanner;
+
+    fn figure_2_docs() -> Vec<UncertainString> {
+        vec![
+            UncertainString::parse("A:.4,B:.3,F:.3 | B:.3,L:.3,F:.3,J:.1 | F:.5,J:.5").unwrap(),
+            UncertainString::parse("A:.6,C:.4 | B:.5,F:.3,E:.2 | B:.4,C:.3,P:.2,F:.1").unwrap(),
+            UncertainString::parse("A:.4,F:.4,P:.2 | I:.3,L:.3,P:.3,T:.1 | A").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn figure_2_listing() {
+        let idx = ListingIndex::build(&figure_2_docs(), 0.05).unwrap();
+        let hits = idx.query(b"BF", 0.1).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, 0);
+        assert!((hits[0].relevance - 0.3 * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_naive_listing() {
+        let docs = figure_2_docs();
+        let idx = ListingIndex::build(&docs, 0.02).unwrap();
+        let alphabet = [b'A', b'B', b'F', b'C', b'L'];
+        for &a in &alphabet {
+            for &b in &alphabet {
+                let pattern = [a, b];
+                for tau in [0.02, 0.05, 0.1, 0.3] {
+                    let got: Vec<usize> =
+                        idx.query(&pattern, tau).unwrap().into_iter().map(|h| h.doc).collect();
+                    let expected = NaiveScanner::listing(&docs, &pattern, tau);
+                    assert_eq!(got, expected, "pattern {pattern:?} tau {tau}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relevance_values_are_max_probabilities() {
+        let docs = figure_2_docs();
+        let idx = ListingIndex::build(&docs, 0.02).unwrap();
+        for hit in idx.query(b"F", 0.02).unwrap() {
+            let expected = NaiveScanner::relevance_max(&docs[hit.doc], b"F");
+            assert!((hit.relevance - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn or_metric_aggregates_occurrences() {
+        let docs = figure_2_docs();
+        // Tiny tau_min so the transform sees every occurrence.
+        let idx = ListingIndex::build(&docs, 0.001).unwrap();
+        let hits = idx.query_with_metric(b"F", 0.05, RelMetric::Or).unwrap();
+        for hit in &hits {
+            let expected = NaiveScanner::relevance_or(&docs[hit.doc], b"F");
+            assert!(
+                (hit.relevance - expected).abs() < 1e-9,
+                "doc {} rel {} expected {expected}",
+                hit.doc,
+                hit.relevance
+            );
+        }
+        assert!(!hits.is_empty());
+        let indep = idx
+            .query_with_metric(b"F", 0.05, RelMetric::IndependentOr)
+            .unwrap();
+        for hit in &indep {
+            let expected = NaiveScanner::relevance_independent_or(&docs[hit.doc], b"F");
+            assert!((hit.relevance - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_collection_and_missing_patterns() {
+        let idx = ListingIndex::build(&[], 0.1).unwrap();
+        assert!(idx.query(b"A", 0.5).unwrap().is_empty());
+        let idx = ListingIndex::build(&figure_2_docs(), 0.1).unwrap();
+        assert!(idx.query(b"ZZZ", 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn docs_never_duplicated_in_output() {
+        // A document with many occurrences of the pattern must be listed once.
+        let docs = vec![
+            UncertainString::deterministic(b"ABABABAB"),
+            UncertainString::deterministic(b"CCCC"),
+        ];
+        let idx = ListingIndex::build(&docs, 0.5).unwrap();
+        let hits = idx.query(b"AB", 0.9).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, 0);
+    }
+
+    #[test]
+    fn stats_aggregate_collection() {
+        let idx = ListingIndex::build(&figure_2_docs(), 0.05).unwrap();
+        assert_eq!(idx.stats().source_len, 9);
+        assert_eq!(idx.num_docs(), 3);
+        assert!(idx.stats().heap_bytes > 0);
+    }
+}

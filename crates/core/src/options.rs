@@ -1,0 +1,74 @@
+//! Construction options shared by the indexes.
+
+use ustr_uncertain::TransformOptions;
+
+/// Tuning knobs for index construction. The defaults follow the paper:
+/// short levels up to `⌈log₂ N⌉`, long (blocking-scheme) levels at geometric
+/// lengths with ratio 2.
+#[derive(Debug, Clone, Default)]
+pub struct IndexOptions {
+    /// Largest pattern length served by the per-length RMQ levels
+    /// (`log n` in the paper). `None` = `⌈log₂(N + 1)⌉` of the transformed
+    /// text.
+    pub max_short_level: Option<usize>,
+    /// Geometric ratio between successive long-level block sizes (≥ 2).
+    /// `None` = 2.
+    pub long_level_ratio: Option<usize>,
+    /// Disable the long-pattern blocking levels entirely (queries longer
+    /// than the short levels then scan the suffix range directly, i.e. the
+    /// simple-index behavior).
+    pub disable_long_levels: bool,
+    /// Disable per-level duplicate elimination (ablation; outputs are then
+    /// deduplicated at query time instead).
+    pub disable_dedup: bool,
+    /// Options forwarded to the maximal-factor transform.
+    pub transform: TransformOptions,
+}
+
+impl IndexOptions {
+    /// Effective short-level count for a transformed text of `n` slots.
+    pub(crate) fn short_levels_for(&self, n: usize) -> usize {
+        match self.max_short_level {
+            Some(l) => l.max(1),
+            None => (usize::BITS - n.max(1).leading_zeros()) as usize, // ceil(log2(n+1))
+        }
+    }
+
+    /// Effective long-level ratio.
+    pub(crate) fn ratio(&self) -> usize {
+        self.long_level_ratio.unwrap_or(2).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_levels_scale_logarithmically() {
+        let o = IndexOptions::default();
+        assert_eq!(o.short_levels_for(1), 1);
+        assert_eq!(o.short_levels_for(7), 3);
+        assert_eq!(o.short_levels_for(8), 4);
+        assert_eq!(o.short_levels_for(1 << 20), 21);
+        assert_eq!(o.ratio(), 2);
+    }
+
+    #[test]
+    fn explicit_overrides() {
+        let o = IndexOptions {
+            max_short_level: Some(12),
+            long_level_ratio: Some(4),
+            ..Default::default()
+        };
+        assert_eq!(o.short_levels_for(10), 12);
+        assert_eq!(o.ratio(), 4);
+        let o = IndexOptions {
+            max_short_level: Some(0),
+            long_level_ratio: Some(1),
+            ..Default::default()
+        };
+        assert_eq!(o.short_levels_for(10), 1, "clamped to at least 1");
+        assert_eq!(o.ratio(), 2, "clamped to at least 2");
+    }
+}

@@ -1,0 +1,77 @@
+//! Query result container.
+
+/// Result of a substring-search query: occurrence positions with their
+/// occurrence probabilities, sorted by position.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    hits: Vec<(usize, f64)>,
+}
+
+impl QueryResult {
+    /// Builds from `(position, probability)` pairs; sorts by position.
+    pub(crate) fn from_hits(mut hits: Vec<(usize, f64)>) -> Self {
+        hits.sort_unstable_by_key(|&(pos, _)| pos);
+        Self { hits }
+    }
+
+    /// The `(position, probability)` pairs, sorted by position.
+    pub fn hits(&self) -> &[(usize, f64)] {
+        &self.hits
+    }
+
+    /// The occurrence positions, sorted ascending.
+    pub fn positions(&self) -> Vec<usize> {
+        self.hits.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// Number of occurrences.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Returns `true` when nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// The maximum occurrence probability, or 0 when empty.
+    pub fn max_probability(&self) -> f64 {
+        self.hits.iter().map(|&(_, p)| p).fold(0.0, f64::max)
+    }
+
+    /// Iterates over `(position, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, f64)> {
+        self.hits.iter()
+    }
+}
+
+impl IntoIterator for QueryResult {
+    type Item = (usize, f64);
+    type IntoIter = std::vec::IntoIter<(usize, f64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.hits.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_by_position() {
+        let r = QueryResult::from_hits(vec![(5, 0.2), (1, 0.9), (3, 0.5)]);
+        assert_eq!(r.positions(), vec![1, 3, 5]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert!((r.max_probability() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = QueryResult::default();
+        assert!(r.is_empty());
+        assert_eq!(r.max_probability(), 0.0);
+        assert_eq!(r.into_iter().count(), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! The special-uncertain-string index (§4): the paper's core machinery in
+//! its simplest setting — every text position is a distinct occurrence
+//! position, so no transformation or duplicate elimination is needed.
+
+use std::time::Instant;
+
+use ustr_suffix::SuffixTree;
+use ustr_uncertain::{CorrelationSet, SpecialUncertainString};
+
+use crate::{
+    carray::CumulativeLogProb,
+    error::{validate_query, Error},
+    levels::{DedupStrategy, Levels},
+    options::IndexOptions,
+    result::QueryResult,
+    stats::BuildStats,
+};
+
+/// Index over a [`SpecialUncertainString`] (Definition 1) supporting
+/// arbitrary thresholds `τ ∈ (0, 1]` (no transform means no `τmin`
+/// restriction).
+///
+/// Query cost: `O(m + occ)` for `m ≤ ⌈log₂ n⌉` (per-length RMQ levels),
+/// `O(m · occ)`-flavoured for longer patterns (blocking scheme).
+///
+/// ```
+/// use ustr_core::SpecialIndex;
+/// use ustr_uncertain::SpecialUncertainString;
+/// // Figure 5: X = (b,.4)(a,.7)(n,.5)(a,.8)(n,.9)(a,.6), query ("ana", 0.3).
+/// let x = SpecialUncertainString::new(
+///     b"banana".to_vec(),
+///     vec![0.4, 0.7, 0.5, 0.8, 0.9, 0.6],
+/// ).unwrap();
+/// let idx = SpecialIndex::build(&x).unwrap();
+/// assert_eq!(idx.query(b"ana", 0.3).unwrap().positions(), vec![3]);
+/// assert_eq!(idx.query(b"ana", 0.2).unwrap().positions(), vec![1, 3]);
+/// ```
+pub struct SpecialIndex {
+    special: SpecialUncertainString,
+    correlations: CorrelationSet,
+    tree: SuffixTree,
+    cum: CumulativeLogProb,
+    levels: Levels,
+    /// Log-space slack added to the recursion threshold so upward
+    /// correlation adjustments cannot prune true matches (§4.1).
+    boost_log: f64,
+    stats: BuildStats,
+}
+
+impl SpecialIndex {
+    /// Builds the index without correlations.
+    pub fn build(special: &SpecialUncertainString) -> Result<Self, Error> {
+        Self::build_with(special, CorrelationSet::new(), &IndexOptions::default())
+    }
+
+    /// Builds with correlations and explicit options.
+    pub fn build_with(
+        special: &SpecialUncertainString,
+        correlations: CorrelationSet,
+        options: &IndexOptions,
+    ) -> Result<Self, Error> {
+        let start = Instant::now();
+        let tree = SuffixTree::build(special.chars().to_vec());
+        let cum = CumulativeLogProb::new(special.probs(), |i| special.char_at(i) == 0);
+        let max_short = options.short_levels_for(tree.num_slots());
+        let levels = Levels::build(
+            &tree,
+            &cum,
+            max_short,
+            options.ratio(),
+            !options.disable_long_levels,
+            &DedupStrategy::None,
+        );
+        // Correlations can raise a window's probability above the stored
+        // product (stored probabilities play the paper's pr⁺ role). The
+        // recursion threshold is relaxed by the total possible uplift; exact
+        // verification filters afterwards.
+        let mut boost_log = 0.0f64;
+        for corr in correlations.iter() {
+            let pos = corr.subject_pos;
+            if special.chars().get(pos) == Some(&corr.subject_char) {
+                let stored = special.prob_at(pos);
+                let uplift = (corr.max_prob().ln() - stored.ln()).max(0.0);
+                boost_log += uplift;
+            }
+        }
+        let mut stats = BuildStats {
+            source_len: special.len(),
+            transformed_len: special.len(),
+            num_factors: 1,
+            build_time: start.elapsed(),
+            heap_bytes: 0,
+        };
+        let mut idx = Self {
+            special: special.clone(),
+            correlations,
+            tree,
+            cum,
+            levels,
+            boost_log,
+            stats: BuildStats::default(),
+        };
+        stats.heap_bytes = idx.heap_size();
+        idx.stats = stats;
+        Ok(idx)
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// The indexed string.
+    pub fn special(&self) -> &SpecialUncertainString {
+        &self.special
+    }
+
+    /// All positions where `pattern` matches with probability ≥ `tau`.
+    pub fn query(&self, pattern: &[u8], tau: f64) -> Result<QueryResult, Error> {
+        validate_query(pattern, tau, 0.0)?;
+        let m = pattern.len();
+        let Some((l, r)) = self.tree.suffix_range(pattern) else {
+            return Ok(QueryResult::default());
+        };
+        let log_tau = tau.ln();
+        // Candidates come back with their *stored* window log-probability.
+        let candidates = if m <= self.levels.max_short() {
+            self.levels
+                .report_short(m, l, r, log_tau - self.boost_log, &self.tree, &self.cum)
+        } else {
+            self.levels
+                .report_long(m, l, r, log_tau - self.boost_log, &self.tree, &self.cum)
+        };
+        let mut hits = Vec::with_capacity(candidates.len());
+        for (slot, stored) in candidates {
+            let pos = self.tree.sa(slot);
+            let exact = if self.correlations.is_empty() {
+                stored.exp()
+            } else {
+                self.special.window_prob_with(&self.correlations, pos, m)
+            };
+            if exact >= tau - ustr_uncertain::PROB_EPS {
+                hits.push((pos, exact));
+            }
+        }
+        Ok(QueryResult::from_hits(hits))
+    }
+
+    /// The `k` most probable occurrences of `pattern`, ranked descending.
+    /// Without correlations this is the exact top-k; with correlations the
+    /// ranking key is the stored probability (returned probabilities are
+    /// exact).
+    pub fn query_top_k(&self, pattern: &[u8], k: usize) -> Result<Vec<(usize, f64)>, Error> {
+        crate::error::validate_pattern(pattern)?;
+        let Some((l, r)) = self.tree.suffix_range(pattern) else {
+            return Ok(Vec::new());
+        };
+        let m = pattern.len();
+        let hits = crate::topk::top_k_for_range(
+            &self.tree,
+            &self.cum,
+            &self.levels,
+            m,
+            l,
+            r,
+            k,
+            |slot| Some(self.tree.sa(slot)),
+        );
+        let mut out: Vec<(usize, f64)> = hits
+            .into_iter()
+            .map(|(pos, v)| {
+                let p = if self.correlations.is_empty() {
+                    v.exp()
+                } else {
+                    self.special.window_prob_with(&self.correlations, pos, m)
+                };
+                (pos, p)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(out)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.tree.heap_size()
+            + self.cum.heap_size()
+            + self.levels.heap_size()
+            + self.special.len() * (1 + std::mem::size_of::<f64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustr_uncertain::Correlation;
+
+    fn banana() -> SpecialUncertainString {
+        SpecialUncertainString::new(b"banana".to_vec(), vec![0.4, 0.7, 0.5, 0.8, 0.9, 0.6]).unwrap()
+    }
+
+    #[test]
+    fn figure_5_query() {
+        let idx = SpecialIndex::build(&banana()).unwrap();
+        let r = idx.query(b"ana", 0.3).unwrap();
+        assert_eq!(r.positions(), vec![3]);
+        assert!((r.max_probability() - 0.432).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_pattern_lengths_match_brute_force() {
+        let x = banana();
+        let idx = SpecialIndex::build(&x).unwrap();
+        let text = b"banana";
+        for m in 1..=6 {
+            for start in 0..=6 - m {
+                let pattern = &text[start..start + m];
+                for tau in [0.05, 0.1, 0.3, 0.5, 0.9] {
+                    let got = idx.query(pattern, tau).unwrap();
+                    let expected: Vec<usize> = (0..=6 - m)
+                        .filter(|&i| {
+                            &text[i..i + m] == pattern && x.window_prob(i, m) >= tau - 1e-12
+                        })
+                        .collect();
+                    assert_eq!(got.positions(), expected, "pattern {pattern:?} tau {tau}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_patterns_use_blocking_path() {
+        // 40 characters forces patterns beyond ceil(log2(41)) = 6.
+        let chars: Vec<u8> = b"abcabcabcabcabcabcabcabcabcabcabcabcabca".to_vec();
+        let probs = vec![0.95f64; 40];
+        let x = SpecialUncertainString::new(chars.clone(), probs).unwrap();
+        let idx = SpecialIndex::build(&x).unwrap();
+        let pattern = &chars[0..12]; // "abcabcabcabc"
+        let got = idx.query(pattern, 0.5).unwrap();
+        let expected: Vec<usize> = (0..=40 - 12)
+            .filter(|&i| chars[i..i + 12] == pattern[..] && 0.95f64.powi(12) >= 0.5)
+            .collect();
+        assert_eq!(got.positions(), expected);
+    }
+
+    #[test]
+    fn correlation_uplift_is_not_pruned() {
+        // Stored probability .2 at the subject, but pr+ = .9: the stored
+        // window value underestimates; without the boost the recursion would
+        // prune the true match at tau = .5.
+        let x = SpecialUncertainString::new(b"eqz".to_vec(), vec![1.0, 1.0, 0.2]).unwrap();
+        let mut corrs = CorrelationSet::new();
+        corrs
+            .add(Correlation {
+                subject_pos: 2,
+                subject_char: b'z',
+                cond_pos: 0,
+                cond_char: b'e',
+                p_present: 0.9,
+                p_absent: 0.1,
+            })
+            .unwrap();
+        let idx = SpecialIndex::build_with(&x, corrs, &IndexOptions::default()).unwrap();
+        let r = idx.query(b"eqz", 0.5).unwrap();
+        assert_eq!(r.positions(), vec![0]);
+        assert!((r.hits()[0].1 - 0.9).abs() < 1e-9);
+        // And the downward adjustment filters correctly: window "qz" uses the
+        // marginal 1.0*.9 + 0*.1 = .9 (e always present).
+        let r = idx.query(b"qz", 0.95).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn query_validation() {
+        let idx = SpecialIndex::build(&banana()).unwrap();
+        assert!(matches!(idx.query(b"", 0.5), Err(Error::EmptyPattern)));
+        assert!(matches!(
+            idx.query(b"a\0", 0.5),
+            Err(Error::PatternContainsSentinel)
+        ));
+        assert!(matches!(
+            idx.query(b"a", 0.0),
+            Err(Error::InvalidThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_pattern_is_empty() {
+        let idx = SpecialIndex::build(&banana()).unwrap();
+        assert!(idx.query(b"xyz", 0.1).unwrap().is_empty());
+        assert!(idx.query(b"bananaX", 0.1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let idx = SpecialIndex::build(&banana()).unwrap();
+        assert_eq!(idx.stats().source_len, 6);
+        assert!(idx.stats().heap_bytes > 0);
+        assert!(idx.heap_size() > 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Ranked top-k retrieval — an extension the paper's related-work section
+//! motivates (top-k queries on probabilistic data, Re et al. / Li et al.).
+//!
+//! The threshold machinery already retrieves occurrences in decreasing
+//! probability order from RMQ ranges; replacing the recursion stack with a
+//! max-heap ("best-first" search) yields the k most probable occurrences
+//! without any threshold at all, in O((k + log n)·log k)-flavoured time.
+//!
+//! Long patterns use the *lazy bound* pattern: heap entries carry the
+//! filter-level upper bound; when an entry surfaces, its exact length-`m`
+//! value is computed and re-inserted, and it is only emitted once exact —
+//! correct because every other entry still bounds its contents from above.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use ustr_suffix::SuffixTree;
+
+use crate::carray::CumulativeLogProb;
+
+/// Max-heap entry: either an unexplored range (keyed by the value of its
+/// best slot) or an exact candidate awaiting emission.
+enum Entry {
+    Range { key: f64, slot: usize, l: usize, r: usize },
+    Exact { key: f64, slot: usize },
+}
+
+impl Entry {
+    fn key(&self) -> f64 {
+        match self {
+            Entry::Range { key, .. } | Entry::Exact { key, .. } => *key,
+        }
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key()
+            .partial_cmp(&other.key())
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Best-first top-k over `[l, r]`.
+///
+/// `bound(l, r) -> (slot, value)` returns the best slot of a range and an
+/// *upper bound* of its value; `exact(slot)` returns the true value
+/// (`-inf` to drop the slot); `source(slot)` maps a slot to the deduplicated
+/// output key and position. Emits at most `k` distinct sources in
+/// decreasing exact-value order, skipping values below `floor`.
+pub(crate) fn top_k_search(
+    l: usize,
+    r: usize,
+    k: usize,
+    floor: f64,
+    bound: impl Fn(usize, usize) -> (usize, f64),
+    exact: impl Fn(usize) -> f64,
+    source: impl Fn(usize) -> Option<usize>,
+) -> Vec<(usize, f64)> {
+    let mut out: Vec<(usize, f64)> = Vec::with_capacity(k);
+    if k == 0 || l > r {
+        return out;
+    }
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    let (slot, key) = bound(l, r);
+    heap.push(Entry::Range { key, slot, l, r });
+    while let Some(entry) = heap.pop() {
+        if out.len() >= k || entry.key() < floor {
+            break;
+        }
+        match entry {
+            Entry::Range { slot, l, r, .. } => {
+                let v = exact(slot);
+                if v >= floor {
+                    heap.push(Entry::Exact { key: v, slot });
+                }
+                if slot > l {
+                    let (s, b) = bound(l, slot - 1);
+                    if b >= floor {
+                        heap.push(Entry::Range { key: b, slot: s, l, r: slot - 1 });
+                    }
+                }
+                if slot < r {
+                    let (s, b) = bound(slot + 1, r);
+                    if b >= floor {
+                        heap.push(Entry::Range { key: b, slot: s, l: slot + 1, r });
+                    }
+                }
+            }
+            Entry::Exact { key, slot } => {
+                if let Some(src) = source(slot) {
+                    if seen.insert(src) {
+                        out.push((src, key));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Shared driver used by the index types: top-k over the suffix range of a
+/// pattern at window length `m`, through a level RMQ accessor pair.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn top_k_for_range(
+    tree: &SuffixTree,
+    cum: &CumulativeLogProb,
+    levels: &crate::levels::Levels,
+    m: usize,
+    l: usize,
+    r: usize,
+    k: usize,
+    source: impl Fn(usize) -> Option<usize>,
+) -> Vec<(usize, f64)> {
+    let floor = f64::MIN; // no threshold: ranked purely by probability
+    if m <= levels.max_short() {
+        let (query, value) = levels.short_accessors(m, tree, cum);
+        top_k_search(
+            l,
+            r,
+            k,
+            floor,
+            |a, b| {
+                let s = query(a, b);
+                (s, value(s))
+            },
+            value,
+            source,
+        )
+    } else {
+        let Some((filter_len, query, value)) = levels.long_accessors(m, tree, cum) else {
+            // No blocking level: rank by scanning (rare; tiny texts only).
+            let mut all: Vec<(usize, f64)> = (l..=r)
+                .filter_map(|j| {
+                    let v = cum.window(tree.sa(j), m);
+                    if v == f64::NEG_INFINITY {
+                        return None;
+                    }
+                    source(j).map(|s| (s, v))
+                })
+                .collect();
+            all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+            let mut seen = HashSet::new();
+            all.retain(|&(s, _)| seen.insert(s));
+            all.truncate(k);
+            return all;
+        };
+        debug_assert!(filter_len <= m);
+        top_k_search(
+            l,
+            r,
+            k,
+            floor,
+            |a, b| {
+                let s = query(a, b);
+                (s, value(s)) // filter-length value: an upper bound for m
+            },
+            |slot| cum.window(tree.sa(slot), m),
+            source,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_returns_descending_distinct() {
+        let values = [0.3, 0.9, 0.1, 0.7, 0.9, 0.2];
+        let bound = |l: usize, r: usize| {
+            let mut best = l;
+            for i in l + 1..=r {
+                if values[i] > values[best] {
+                    best = i;
+                }
+            }
+            (best, values[best])
+        };
+        let got = top_k_search(0, 5, 3, f64::MIN, bound, |s| values[s], Some);
+        let vals: Vec<f64> = got.iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![0.9, 0.9, 0.7]);
+    }
+
+    #[test]
+    fn top_k_dedupes_sources() {
+        let values = [0.9, 0.8, 0.7];
+        let bound = |l: usize, r: usize| {
+            let mut best = l;
+            for i in l + 1..=r {
+                if values[i] > values[best] {
+                    best = i;
+                }
+            }
+            (best, values[best])
+        };
+        // Every slot maps to the same source: only one output.
+        let got = top_k_search(0, 2, 3, f64::MIN, bound, |s| values[s], |_| Some(42));
+        assert_eq!(got, vec![(42, 0.9)]);
+    }
+
+    #[test]
+    fn lazy_bounds_resolve_correctly() {
+        // Bounds deliberately overestimate; exact values reorder entries.
+        let bounds = [1.0, 0.95, 0.9];
+        let exacts = [0.1, 0.94, 0.5];
+        let bound = |l: usize, r: usize| {
+            let mut best = l;
+            for i in l + 1..=r {
+                if bounds[i] > bounds[best] {
+                    best = i;
+                }
+            }
+            (best, bounds[best])
+        };
+        let got = top_k_search(0, 2, 3, f64::MIN, bound, |s| exacts[s], Some);
+        let vals: Vec<f64> = got.iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![0.94, 0.5, 0.1], "emitted in exact order");
+    }
+
+    #[test]
+    fn zero_k_and_empty_range() {
+        let bound = |_: usize, _: usize| (0, 1.0);
+        assert!(top_k_search(0, 5, 0, f64::MIN, bound, |_| 1.0, Some).is_empty());
+        assert!(top_k_search(3, 2, 4, f64::MIN, bound, |_| 1.0, Some).is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! Fischer–Heun style succinct RMQ (the structure the paper's Lemma 1
+//! cites: Fischer & Heun 2007/2008).
+//!
+//! Elements are grouped into blocks of 8. Two blocks whose values induce
+//! the same *Cartesian tree* answer every in-block range query with the
+//! same argument position, so each block stores only a 16-bit Cartesian
+//! tree *signature* (the push/pop sequence of the treap-stack simulation —
+//! 2 bits per element). A shared table, keyed by signature, holds the
+//! precomputed in-block answers; across blocks, a sparse table over block
+//! champions finishes the query. Neither part reads the original values:
+//! only the final ≤3-way candidate comparison does, through the caller's
+//! accessor — so the value array itself can be discarded, which is the
+//! whole point of the succinct design.
+//!
+//! Space: 2 bytes/element of signatures + shared tables (≤ Catalan(8) =
+//! 1430 distinct signatures × 64 bytes) + n/8 champions with a block RMQ
+//! over them — ≈ 4.5 bytes/element in total, roughly half of materialised
+//! f64 values. Queries are O(1).
+
+use std::collections::HashMap;
+
+use crate::{block::BlockRmq, Direction, Rmq};
+
+const BLOCK: usize = 8;
+
+/// In-block answer table for one Cartesian-tree signature:
+/// `table[l][r]` = argext position within the block for the range `[l, r]`.
+type BlockTable = [[u8; BLOCK]; BLOCK];
+
+/// Succinct RMQ after Fischer–Heun: O(1) queries, ~4.5 bytes/element, and
+/// the value array is only consulted through an accessor at query time.
+///
+/// ```
+/// use ustr_rmq::{Direction, FischerHeunRmq};
+/// let values: Vec<f64> = (0..1000).map(|i| ((i * 31) % 97) as f64).collect();
+/// let at = |i: usize| values[i];
+/// let rmq = FischerHeunRmq::new(values.len(), Direction::Max, &at);
+/// let best = rmq.query_with(100, 900, &at);
+/// assert!((100..=900).all(|i| values[i] <= values[best]));
+/// ```
+pub struct FischerHeunRmq {
+    len: usize,
+    direction: Direction,
+    /// Cartesian-tree signature per block.
+    signatures: Vec<u16>,
+    /// Signature → index into `tables`.
+    table_of: HashMap<u16, u32>,
+    tables: Vec<BlockTable>,
+    /// Champion (extreme) index of each block.
+    champions: Vec<u32>,
+    /// Block RMQ over champion values (block level).
+    block_table: Option<BlockRmq>,
+}
+
+impl FischerHeunRmq {
+    /// Builds over `len` virtual elements read through `accessor`.
+    pub fn new(len: usize, direction: Direction, accessor: &dyn Fn(usize) -> f64) -> Self {
+        let num_blocks = len.div_ceil(BLOCK);
+        let mut signatures = Vec::with_capacity(num_blocks);
+        let mut table_of: HashMap<u16, u32> = HashMap::new();
+        let mut tables: Vec<BlockTable> = Vec::new();
+        let mut champions = Vec::with_capacity(num_blocks);
+        let mut champion_values = Vec::with_capacity(num_blocks);
+        let mut block_vals = [0.0f64; BLOCK];
+
+        for b in 0..num_blocks {
+            let start = b * BLOCK;
+            let end = (start + BLOCK).min(len);
+            let size = end - start;
+            for (k, slot) in block_vals.iter_mut().enumerate().take(size) {
+                *slot = accessor(start + k);
+            }
+            // Short final blocks are padded with the identity so that their
+            // Cartesian signature stays well-defined.
+            for slot in block_vals.iter_mut().take(BLOCK).skip(size) {
+                *slot = direction.identity();
+            }
+            let sig = cartesian_signature(&block_vals, direction);
+            signatures.push(sig);
+            let table_idx = *table_of.entry(sig).or_insert_with(|| {
+                tables.push(build_block_table(&block_vals, direction));
+                (tables.len() - 1) as u32
+            });
+            let table = &tables[table_idx as usize];
+            let champ_off = table[0][size - 1] as usize;
+            champions.push((start + champ_off) as u32);
+            champion_values.push(block_vals[champ_off]);
+        }
+
+        let block_table = if num_blocks > 0 {
+            Some(BlockRmq::new(&champion_values, direction))
+        } else {
+            None
+        };
+        Self {
+            len,
+            direction,
+            signatures,
+            table_of,
+            tables,
+            champions,
+            block_table,
+        }
+    }
+
+    /// Number of virtual elements covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no elements are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct Cartesian-tree signatures encountered (bounded by
+    /// the Catalan number C₈ = 1430).
+    pub fn num_signatures(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        use std::mem::size_of;
+        self.signatures.capacity() * size_of::<u16>()
+            + self.tables.capacity() * size_of::<BlockTable>()
+            + self.table_of.len() * (size_of::<u16>() + size_of::<u32>() + 16)
+            + self.champions.capacity() * size_of::<u32>()
+            // BlockRmq over champions: values + masks + its own top table.
+            + self.block_table.as_ref().map_or(0, |t| {
+                let n = t.len();
+                n * (size_of::<f64>() + size_of::<u64>())
+                    + n.div_ceil(64) * (size_of::<u32>() + size_of::<f64>()) * 2
+            })
+    }
+
+    #[inline]
+    fn in_block(&self, block: usize, l: usize, r: usize) -> usize {
+        let sig = self.signatures[block];
+        let table = &self.tables[self.table_of[&sig] as usize];
+        block * BLOCK + table[l][r] as usize
+    }
+
+    /// Index of the extreme value within `[l, r]`. The accessor is only used
+    /// to compare the ≤3 final candidates and must be consistent with the
+    /// one supplied at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > r` or `r >= self.len()`.
+    pub fn query_with(&self, l: usize, r: usize, accessor: &dyn Fn(usize) -> f64) -> usize {
+        assert!(l <= r, "invalid range: l={l} > r={r}");
+        assert!(r < self.len, "range end {r} out of bounds (len {})", self.len);
+        let bl = l / BLOCK;
+        let br = r / BLOCK;
+        if bl == br {
+            return self.in_block(bl, l % BLOCK, r % BLOCK);
+        }
+        let mut best = self.in_block(bl, l % BLOCK, BLOCK - 1);
+        let mut best_val = accessor(best);
+        if bl + 1 < br {
+            let table = self
+                .block_table
+                .as_ref()
+                .expect("non-empty structure has a block table");
+            let mid_block = table.query(bl + 1, br - 1);
+            let mid = self.champions[mid_block] as usize;
+            let mid_val = table.value(mid_block);
+            if self.direction.beats(mid_val, best_val) {
+                best = mid;
+                best_val = mid_val;
+            }
+        }
+        let right = self.in_block(br, 0, r % BLOCK);
+        let right_val = accessor(right);
+        if self.direction.beats(right_val, best_val) {
+            best = right;
+        }
+        best
+    }
+}
+
+/// Cartesian-tree signature of one block: simulate the rightmost-path stack
+/// of an incremental Cartesian-tree build; each element contributes its pop
+/// count (as 0-bits) followed by one push (1-bit). Equal signatures ⇒
+/// identical argext positions for every in-block range.
+fn cartesian_signature(values: &[f64; BLOCK], direction: Direction) -> u16 {
+    let mut sig = 0u16;
+    let mut bit = 0u32;
+    let mut stack = [0usize; BLOCK];
+    let mut top = 0usize; // stack length
+    for (i, &v) in values.iter().enumerate() {
+        while top > 0 && direction.beats(v, values[stack[top - 1]]) {
+            top -= 1;
+            bit += 1; // pop: 0-bit (implicit — bit position advances)
+        }
+        stack[top] = i;
+        top += 1;
+        sig |= 1 << bit; // push: 1-bit
+        bit += 1;
+    }
+    sig
+}
+
+/// Precomputes all `l ≤ r` in-block answers for one representative block.
+fn build_block_table(values: &[f64; BLOCK], direction: Direction) -> BlockTable {
+    let mut table = [[0u8; BLOCK]; BLOCK];
+    for (l, row) in table.iter_mut().enumerate() {
+        let mut best = l;
+        row[l] = l as u8;
+        for r in l + 1..BLOCK {
+            if direction.beats(values[r], values[best]) {
+                best = r;
+            }
+            row[r] = best as u8;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan_extreme;
+
+    fn values(n: usize, seed: u64, modulus: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % modulus) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_scan_exhaustively() {
+        let v = values(200, 11, 50);
+        let at = |i: usize| v[i];
+        for dir in [Direction::Max, Direction::Min] {
+            let rmq = FischerHeunRmq::new(v.len(), dir, &at);
+            for l in 0..v.len() {
+                for r in l..v.len() {
+                    assert_eq!(
+                        rmq.query_with(l, r, &at),
+                        scan_extreme(&v, l, r, dir),
+                        "dir {dir:?} range [{l},{r}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_values_tie_leftmost() {
+        let v = values(300, 3, 4); // tiny modulus → many ties
+        let at = |i: usize| v[i];
+        let rmq = FischerHeunRmq::new(v.len(), Direction::Max, &at);
+        for l in (0..v.len()).step_by(7) {
+            for r in (l..v.len()).step_by(5) {
+                assert_eq!(rmq.query_with(l, r, &at), scan_extreme(&v, l, r, Direction::Max));
+            }
+        }
+    }
+
+    #[test]
+    fn signature_sharing_bounds_table_count() {
+        // 10K elements but at most Catalan(8) = 1430 distinct signatures.
+        let v = values(10_000, 5, 1000);
+        let at = |i: usize| v[i];
+        let rmq = FischerHeunRmq::new(v.len(), Direction::Max, &at);
+        assert!(rmq.num_signatures() <= 1430);
+        assert!(rmq.num_signatures() > 1);
+    }
+
+    #[test]
+    fn identical_blocks_share_one_table() {
+        // A periodic array with period 8 has a single signature.
+        let v: Vec<f64> = (0..160).map(|i| (i % 8) as f64).collect();
+        let at = |i: usize| v[i];
+        let rmq = FischerHeunRmq::new(v.len(), Direction::Max, &at);
+        assert_eq!(rmq.num_signatures(), 1);
+    }
+
+    #[test]
+    fn block_boundary_sizes() {
+        for n in [1usize, 7, 8, 9, 15, 16, 17, 64, 65] {
+            let v = values(n, n as u64, 30);
+            let at = |i: usize| v[i];
+            let rmq = FischerHeunRmq::new(n, Direction::Min, &at);
+            assert_eq!(rmq.query_with(0, n - 1, &at), scan_extreme(&v, 0, n - 1, Direction::Min));
+            assert_eq!(rmq.len(), n);
+        }
+    }
+
+    #[test]
+    fn neg_infinity_values_are_handled() {
+        let mut v = vec![f64::NEG_INFINITY; 50];
+        v[23] = 1.0;
+        v[37] = 2.0;
+        let at = |i: usize| v[i];
+        let rmq = FischerHeunRmq::new(v.len(), Direction::Max, &at);
+        assert_eq!(rmq.query_with(0, 49, &at), 37);
+        assert_eq!(rmq.query_with(0, 30, &at), 23);
+    }
+
+    #[test]
+    fn heap_is_smaller_than_values() {
+        let v = values(100_000, 9, 1 << 30);
+        let at = |i: usize| v[i];
+        let rmq = FischerHeunRmq::new(v.len(), Direction::Max, &at);
+        // ~4.5 bytes/element vs 8 bytes/element for materialised values.
+        assert!(rmq.heap_size() < v.len() * 6, "heap {}", rmq.heap_size());
+    }
+}

@@ -1,0 +1,120 @@
+//! Range maximum/minimum query (RMQ) substrate for uncertain-string indexing.
+//!
+//! The indexes of Thankachan et al. (EDBT 2016) retrieve occurrences in
+//! decreasing probability order by iterating *range maximum queries* over
+//! per-pattern-length probability arrays (the paper's Lemma 1 cites the
+//! Fischer–Heun 2n+o(n)-bit structure). This crate provides the practical
+//! equivalents used throughout the workspace:
+//!
+//! * [`SparseTable`] — classic O(n log n)-word, O(1)-query table; used for
+//!   LCP/LCA queries and as the top level of the hybrid structures.
+//! * [`BlockRmq`] — O(n)-word hybrid with word-parallel in-block queries
+//!   (one `u64` "visible extrema" mask per element) and a sparse table over
+//!   per-block extrema. O(1) query with small constants.
+//! * [`SampledRmq`] — accessor-based hybrid that stores only per-block
+//!   champion indices (the underlying value array can be *discarded*, exactly
+//!   as the paper discards the `C_i` arrays after building `RMQ_i`); partial
+//!   blocks are rescanned through the accessor.
+//! * [`FischerHeunRmq`] — the succinct design Lemma 1 actually cites:
+//!   16-bit Cartesian-tree signatures per 8-element block with shared
+//!   in-block answer tables; ~2.5 bytes/element, O(1) queries, values
+//!   consulted only for the final candidate comparison.
+//! * [`ThresholdReporter`] — the recursive "report everything above τ in
+//!   decreasing order" driver shared by every index (Algorithm 2/4 in the
+//!   paper).
+//!
+//! All structures are parameterised over a [`Direction`] (maximum or
+//! minimum) and break ties toward the *leftmost* index, which the reporting
+//! recursion relies on for determinism.
+
+mod block;
+mod fischer_heun;
+mod reporter;
+mod sampled;
+mod sparse;
+
+pub use block::BlockRmq;
+pub use fischer_heun::FischerHeunRmq;
+pub use reporter::{report_above, ThresholdReporter};
+pub use sampled::SampledRmq;
+pub use sparse::SparseTable;
+
+/// Whether a structure answers range-maximum or range-minimum queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Range maximum: `query` returns the index of the largest value.
+    Max,
+    /// Range minimum: `query` returns the index of the smallest value.
+    Min,
+}
+
+impl Direction {
+    /// Returns `true` when `candidate` should replace `incumbent` under this
+    /// direction. Strict comparison, so earlier (leftmost) indices win ties.
+    #[inline]
+    pub fn beats(self, candidate: f64, incumbent: f64) -> bool {
+        match self {
+            Direction::Max => candidate > incumbent,
+            Direction::Min => candidate < incumbent,
+        }
+    }
+
+    /// The identity element for this direction (`-inf` for max, `+inf` for
+    /// min), i.e. a value every real input beats.
+    #[inline]
+    pub fn identity(self) -> f64 {
+        match self {
+            Direction::Max => f64::NEG_INFINITY,
+            Direction::Min => f64::INFINITY,
+        }
+    }
+}
+
+/// Common interface implemented by every RMQ structure in this crate that
+/// materialises its own values.
+pub trait Rmq {
+    /// Number of elements covered by the structure.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the structure covers no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of the extreme value within the inclusive range `[l, r]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > r` or `r >= self.len()`.
+    fn query(&self, l: usize, r: usize) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) fn scan_extreme(values: &[f64], l: usize, r: usize, dir: Direction) -> usize {
+    let mut best = l;
+    for i in l + 1..=r {
+        if dir.beats(values[i], values[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_beats_is_strict() {
+        assert!(Direction::Max.beats(2.0, 1.0));
+        assert!(!Direction::Max.beats(1.0, 1.0));
+        assert!(Direction::Min.beats(1.0, 2.0));
+        assert!(!Direction::Min.beats(2.0, 2.0));
+    }
+
+    #[test]
+    fn direction_identity_loses_to_everything() {
+        assert!(Direction::Max.beats(-1e300, Direction::Max.identity()));
+        assert!(Direction::Min.beats(1e300, Direction::Min.identity()));
+    }
+}

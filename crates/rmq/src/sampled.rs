@@ -1,0 +1,239 @@
+//! Accessor-based RMQ that lets the caller discard the value array.
+//!
+//! The paper builds `RMQ_i` over each per-length probability array `C_i` and
+//! then *discards* `C_i`, re-deriving probabilities from the cumulative array
+//! `C` during queries. [`SampledRmq`] mirrors that: it stores only per-block
+//! champion indices plus a sparse table over champion values; partial blocks
+//! are rescanned through a caller-supplied accessor (each probe is O(1) via
+//! `C`), keeping queries O(block size) = O(1) for a fixed block size.
+
+use crate::{sparse::SparseTable, Direction, Rmq};
+
+/// Sampled hybrid RMQ over values provided by an accessor closure.
+///
+/// Space: `n / block_size` champion indices (u32) + a sparse table over the
+/// same count of f64 champions — for the default block size of 64 this is
+/// roughly `n/8` bytes, far below materialising `n` f64 values per level.
+///
+/// ```
+/// use ustr_rmq::{Direction, SampledRmq};
+/// let values: Vec<f64> = (0..500).map(|i| ((i * 13) % 83) as f64).collect();
+/// let at = |i: usize| values[i];
+/// let rmq = SampledRmq::new(values.len(), Direction::Max, &at);
+/// let best = rmq.query_with(120, 480, &at);
+/// assert!((120..=480).all(|i| values[i] <= values[best]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampledRmq {
+    len: usize,
+    block_size: usize,
+    champions: Vec<u32>,
+    block_table: Option<SparseTable>,
+    direction: Direction,
+}
+
+impl SampledRmq {
+    /// Default block size: balances the per-query rescan (≤ 2 partial blocks)
+    /// against stored-champion space.
+    pub const DEFAULT_BLOCK: usize = 64;
+
+    /// Builds over `len` virtual elements whose values come from `accessor`.
+    pub fn new(len: usize, direction: Direction, accessor: &dyn Fn(usize) -> f64) -> Self {
+        Self::with_block_size(len, Self::DEFAULT_BLOCK, direction, accessor)
+    }
+
+    /// Builds with an explicit block size (must be ≥ 1).
+    pub fn with_block_size(
+        len: usize,
+        block_size: usize,
+        direction: Direction,
+        accessor: &dyn Fn(usize) -> f64,
+    ) -> Self {
+        assert!(block_size >= 1, "block size must be at least 1");
+        let num_blocks = len.div_ceil(block_size);
+        let mut champions = Vec::with_capacity(num_blocks);
+        let mut champion_values = Vec::with_capacity(num_blocks);
+        for b in 0..num_blocks {
+            let start = b * block_size;
+            let end = (start + block_size).min(len);
+            let mut best = start;
+            let mut best_val = accessor(start);
+            for i in start + 1..end {
+                let v = accessor(i);
+                if direction.beats(v, best_val) {
+                    best = i;
+                    best_val = v;
+                }
+            }
+            champions.push(best as u32);
+            champion_values.push(best_val);
+        }
+        let block_table = if num_blocks > 0 {
+            Some(SparseTable::new(&champion_values, direction))
+        } else {
+            None
+        };
+        Self {
+            len,
+            block_size,
+            champions,
+            block_table,
+            direction,
+        }
+    }
+
+    /// Number of virtual elements covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no elements are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The direction (max or min) this structure answers.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Approximate heap footprint in bytes (for the space experiments).
+    pub fn heap_size(&self) -> usize {
+        let champions = self.champions.capacity() * std::mem::size_of::<u32>();
+        let table = self.block_table.as_ref().map_or(0, |t| {
+            // values + one u32 row per level
+            let n = t.len();
+            n * std::mem::size_of::<f64>()
+                + if n <= 1 {
+                    0
+                } else {
+                    (n.ilog2() as usize) * n * std::mem::size_of::<u32>()
+                }
+        });
+        champions + table
+    }
+
+    fn scan(
+        &self,
+        l: usize,
+        r: usize,
+        accessor: &dyn Fn(usize) -> f64,
+        mut best: Option<(usize, f64)>,
+    ) -> Option<(usize, f64)> {
+        for i in l..=r {
+            let v = accessor(i);
+            match best {
+                Some((_, bv)) if !self.direction.beats(v, bv) => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best
+    }
+
+    /// Index of the extreme value within `[l, r]`, re-reading partial blocks
+    /// through `accessor`. The accessor must be consistent with the one used
+    /// at construction time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > r` or `r >= self.len()`.
+    pub fn query_with(&self, l: usize, r: usize, accessor: &dyn Fn(usize) -> f64) -> usize {
+        assert!(l <= r, "invalid range: l={l} > r={r}");
+        assert!(r < self.len, "range end {r} out of bounds (len {})", self.len);
+        let bl = l / self.block_size;
+        let br = r / self.block_size;
+        if bl == br {
+            return self.scan(l, r, accessor, None).expect("non-empty range").0;
+        }
+        let left_end = (bl + 1) * self.block_size - 1;
+        let mut best = self.scan(l, left_end, accessor, None);
+        if bl + 1 < br {
+            let table = self
+                .block_table
+                .as_ref()
+                .expect("non-empty structure has a block table");
+            let mid_block = table.query(bl + 1, br - 1);
+            let mid = self.champions[mid_block] as usize;
+            let mid_val = table.value(mid_block);
+            match best {
+                Some((_, bv)) if !self.direction.beats(mid_val, bv) => {}
+                _ => best = Some((mid, mid_val)),
+            }
+        }
+        best = self.scan(br * self.block_size, r, accessor, best);
+        best.expect("non-empty range").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan_extreme;
+
+    fn values(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 89) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_scan_for_various_block_sizes() {
+        let v = values(211, 3);
+        let at = |i: usize| v[i];
+        for bs in [1, 2, 7, 64, 300] {
+            let rmq = SampledRmq::with_block_size(v.len(), bs, Direction::Max, &at);
+            for l in (0..v.len()).step_by(4) {
+                for r in (l..v.len()).step_by(6) {
+                    assert_eq!(
+                        rmq.query_with(l, r, &at),
+                        scan_extreme(&v, l, r, Direction::Max),
+                        "bs={bs} range=[{l},{r}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_direction_works() {
+        let v = values(130, 5);
+        let at = |i: usize| v[i];
+        let rmq = SampledRmq::new(v.len(), Direction::Min, &at);
+        for l in 0..v.len() {
+            let r = v.len() - 1;
+            assert_eq!(rmq.query_with(l, r, &at), scan_extreme(&v, l, r, Direction::Min));
+        }
+    }
+
+    #[test]
+    fn leftmost_tie_break() {
+        let v = [3.0, 7.0, 7.0, 7.0, 3.0, 7.0];
+        let at = |i: usize| v[i];
+        let rmq = SampledRmq::with_block_size(v.len(), 2, Direction::Max, &at);
+        assert_eq!(rmq.query_with(0, 5, &at), 1);
+        assert_eq!(rmq.query_with(2, 5, &at), 2);
+    }
+
+    #[test]
+    fn empty_structure_is_ok() {
+        let at = |_: usize| 0.0;
+        let rmq = SampledRmq::new(0, Direction::Max, &at);
+        assert!(rmq.is_empty());
+        assert_eq!(rmq.heap_size(), 0);
+    }
+
+    #[test]
+    fn heap_size_is_sublinear_in_values() {
+        let v = values(64 * 100, 9);
+        let at = |i: usize| v[i];
+        let rmq = SampledRmq::new(v.len(), Direction::Max, &at);
+        let full = v.len() * std::mem::size_of::<f64>();
+        assert!(rmq.heap_size() < full / 2, "sampled structure should be small");
+    }
+}

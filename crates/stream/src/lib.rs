@@ -1,0 +1,396 @@
+//! Online matching over uncertain event streams.
+//!
+//! Section 2 of the paper motivates uncertain strings with *streams*: ECG
+//! beat annotations arriving from a Holter monitor, RFID events from a
+//! security system. The offline indexes require the whole string up front;
+//! this crate provides the streaming counterpart:
+//!
+//! * [`StreamMatcher`] — push one uncertain character at a time and receive
+//!   an alert whenever the pattern's occurrence probability at the window
+//!   ending there reaches the threshold. Per-event cost is O(active
+//!   alignments) ≤ O(m), with aggressive pruning: an alignment dies the
+//!   moment its running product drops below τ.
+//! * [`ContainmentTracker`] — exact probability that the pattern has
+//!   occurred *at least once* in the stream so far (the KMP-automaton DP of
+//!   Li et al., made incremental).
+//!
+//! Both are deterministic replays of their offline counterparts: the test
+//! suite checks every prefix of random streams against [`NaiveScanner`] and
+//! the exhaustive containment DP.
+//!
+//! [`NaiveScanner`]: ustr_baseline::NaiveScanner
+
+use ustr_baseline::{kmp_delta, prefix_function};
+use ustr_uncertain::{ModelError, UncertainChar};
+
+/// An occurrence alert: the pattern matched the window ending at the event
+/// just pushed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Start position of the occurrence (0-based event index).
+    pub start: usize,
+    /// Occurrence probability (product over the window).
+    pub probability: f64,
+}
+
+/// Sliding-window threshold matcher over an uncertain event stream.
+///
+/// ```
+/// use ustr_stream::StreamMatcher;
+/// use ustr_uncertain::UncertainChar;
+///
+/// let mut m = StreamMatcher::new(b"NA".to_vec(), 0.5).unwrap();
+/// assert_eq!(m.push(&UncertainChar::deterministic(b'N')), None);
+/// let alert = m
+///     .push(&UncertainChar::new(vec![(b'A', 0.8), (b'V', 0.2)], 1).unwrap())
+///     .unwrap();
+/// assert_eq!(alert.start, 0);
+/// assert!((alert.probability - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamMatcher {
+    pattern: Vec<u8>,
+    tau: f64,
+    log_tau: f64,
+    /// Ring buffer of live alignments: `live[k]` = running log-probability
+    /// of the alignment that needs `pattern[k..]` matched next (taken modulo
+    /// ring rotation). `f64::NEG_INFINITY` marks dead alignments.
+    live: Vec<f64>,
+    /// Ring head: index in `live` of the alignment expecting `pattern[m-1]`
+    /// at the *current* event.
+    head: usize,
+    /// Number of events consumed so far.
+    position: usize,
+}
+
+impl StreamMatcher {
+    /// Creates a matcher for `pattern` with threshold `tau ∈ (0, 1]`.
+    pub fn new(pattern: Vec<u8>, tau: f64) -> Result<Self, ModelError> {
+        if pattern.is_empty() {
+            return Err(ModelError::EmptyPattern);
+        }
+        if !(tau > 0.0 && tau <= 1.0) {
+            return Err(ModelError::InvalidThreshold { value: tau });
+        }
+        let m = pattern.len();
+        Ok(Self {
+            pattern,
+            tau,
+            log_tau: tau.ln(),
+            live: vec![f64::NEG_INFINITY; m],
+            head: 0,
+            position: 0,
+        })
+    }
+
+    /// The pattern being matched.
+    pub fn pattern(&self) -> &[u8] {
+        &self.pattern
+    }
+
+    /// The alert threshold.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Number of events consumed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Number of alignments currently above the threshold (diagnostics; at
+    /// most `pattern.len()`).
+    pub fn live_alignments(&self) -> usize {
+        self.live.iter().filter(|p| p.is_finite()).count()
+    }
+
+    /// Consumes one uncertain event. Returns an alert when the pattern's
+    /// occurrence probability over the window ending at this event is
+    /// ≥ τ (at most one occurrence can end per event).
+    pub fn push(&mut self, event: &UncertainChar) -> Option<Alert> {
+        let m = self.pattern.len();
+        let mut alert = None;
+        // Ring layout: slot (head + k) % m holds the alignment that expects
+        // pattern[m-1-k] at this event. Each alignment advances one step
+        // toward completion (slot k → slot k-1); the k = m-1 slot is always
+        // the alignment *starting* at this event (running probability 1).
+        // Every destination slot is written unconditionally — dead
+        // alignments propagate −∞ rather than leaving stale state behind.
+        for k in 0..m {
+            let slot = (self.head + k) % m;
+            let lp = if k == m - 1 { 0.0 } else { self.live[slot] };
+            let next = if lp == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
+            } else {
+                let needed = self.pattern[m - 1 - k];
+                let p = event.prob_of(needed);
+                let cand = if p > 0.0 { lp + p.ln() } else { f64::NEG_INFINITY };
+                // Prune below τ: probabilities only shrink with more events.
+                if cand >= self.log_tau - ustr_uncertain::PROB_EPS {
+                    cand
+                } else {
+                    f64::NEG_INFINITY
+                }
+            };
+            if k == 0 {
+                if next > f64::NEG_INFINITY && self.position + 1 >= m {
+                    alert = Some(Alert {
+                        start: self.position + 1 - m,
+                        probability: next.exp(),
+                    });
+                }
+                if m == 1 {
+                    // Single-slot ring: nothing will overwrite slot 0; the
+                    // next event's "starting" read ignores it anyway.
+                    self.live[slot] = f64::NEG_INFINITY;
+                }
+            } else {
+                let dest = (self.head + k - 1) % m;
+                self.live[dest] = next;
+                if k == m - 1 {
+                    self.live[slot] = f64::NEG_INFINITY;
+                }
+            }
+        }
+        self.position += 1;
+        alert
+    }
+
+    /// Consumes a batch of events, collecting all alerts.
+    pub fn push_all<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a UncertainChar>,
+    ) -> Vec<Alert> {
+        events.into_iter().filter_map(|e| self.push(e)).collect()
+    }
+
+    /// Resets the matcher to the beginning of a new stream.
+    pub fn reset(&mut self) {
+        self.live.fill(f64::NEG_INFINITY);
+        self.head = 0;
+        self.position = 0;
+    }
+}
+
+/// Exact probability that the pattern has occurred at least once in the
+/// stream so far — the KMP-automaton DP of Li et al., incremental.
+///
+/// Positions are assumed independent (no correlations), matching the DP's
+/// offline counterpart.
+///
+/// ```
+/// use ustr_stream::ContainmentTracker;
+/// use ustr_uncertain::UncertainChar;
+///
+/// let mut t = ContainmentTracker::new(b"ab".to_vec()).unwrap();
+/// t.push(&UncertainChar::new(vec![(b'a', 0.5), (b'b', 0.5)], 0).unwrap());
+/// assert_eq!(t.probability(), 0.0); // too short
+/// t.push(&UncertainChar::new(vec![(b'a', 0.5), (b'b', 0.5)], 1).unwrap());
+/// assert!((t.probability() - 0.25).abs() < 1e-12); // "ab"
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContainmentTracker {
+    pattern: Vec<u8>,
+    pi: Vec<usize>,
+    /// Distribution over KMP states 0..m (state m is absorbed into
+    /// `accepted` immediately).
+    dist: Vec<f64>,
+    scratch: Vec<f64>,
+    accepted: f64,
+    position: usize,
+}
+
+impl ContainmentTracker {
+    /// Creates a tracker for `pattern`.
+    pub fn new(pattern: Vec<u8>) -> Result<Self, ModelError> {
+        if pattern.is_empty() {
+            return Err(ModelError::EmptyPattern);
+        }
+        let m = pattern.len();
+        let pi = prefix_function(&pattern);
+        let mut dist = vec![0.0; m];
+        dist[0] = 1.0;
+        Ok(Self {
+            pattern,
+            pi,
+            dist,
+            scratch: vec![0.0; m],
+            accepted: 0.0,
+            position: 0,
+        })
+    }
+
+    /// Probability that the pattern occurred at least once so far.
+    pub fn probability(&self) -> f64 {
+        self.accepted.min(1.0)
+    }
+
+    /// Number of events consumed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Consumes one uncertain event; returns the updated containment
+    /// probability.
+    pub fn push(&mut self, event: &UncertainChar) -> f64 {
+        let m = self.pattern.len();
+        self.scratch.fill(0.0);
+        let mut listed = 0.0f64;
+        for &(c, p) in event.choices() {
+            listed += p;
+            for q in 0..m {
+                if self.dist[q] > 0.0 {
+                    let nq = kmp_delta(&self.pattern, &self.pi, q, c);
+                    if nq == m {
+                        self.accepted += self.dist[q] * p;
+                    } else {
+                        self.scratch[nq] += self.dist[q] * p;
+                    }
+                }
+            }
+        }
+        // Residual (unlisted) mass matches no pattern character: state 0.
+        let residual = (1.0 - listed).max(0.0);
+        if residual > 0.0 {
+            let live: f64 = self.dist.iter().sum();
+            self.scratch[0] += live * residual;
+        }
+        std::mem::swap(&mut self.dist, &mut self.scratch);
+        self.position += 1;
+        self.probability()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustr_baseline::{containment_probability, NaiveScanner};
+    use ustr_uncertain::UncertainString;
+
+    fn stream_of(spec: &str) -> UncertainString {
+        UncertainString::parse(spec).unwrap()
+    }
+
+    fn run_matcher(s: &UncertainString, pattern: &[u8], tau: f64) -> Vec<usize> {
+        let mut m = StreamMatcher::new(pattern.to_vec(), tau).unwrap();
+        let mut starts = Vec::new();
+        for c in s.positions() {
+            if let Some(a) = m.push(c) {
+                starts.push(a.start);
+            }
+        }
+        starts
+    }
+
+    #[test]
+    fn matches_scanner_on_paper_fragment() {
+        let s = stream_of(
+            "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 | \
+             I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+        );
+        for pattern in [&b"AT"[..], b"PQ", b"P", b"SFPQ", b"FPQP"] {
+            for tau in [0.04, 0.1, 0.3, 0.5] {
+                assert_eq!(
+                    run_matcher(&s, pattern, tau),
+                    NaiveScanner::find(&s, pattern, tau),
+                    "pattern {:?} tau {tau}",
+                    String::from_utf8_lossy(pattern)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alert_probabilities_are_exact() {
+        let s = stream_of("a:.9,b:.1 | a:.8,b:.2 | a:.7,b:.3 | a:.6,b:.4");
+        let mut m = StreamMatcher::new(b"aa".to_vec(), 0.1).unwrap();
+        let mut alerts = Vec::new();
+        for c in s.positions() {
+            if let Some(a) = m.push(c) {
+                alerts.push(a);
+            }
+        }
+        let expected = NaiveScanner::find_with_probs(&s, b"aa", 0.1);
+        assert_eq!(alerts.len(), expected.len());
+        for (a, (start, p)) in alerts.iter().zip(expected) {
+            assert_eq!(a.start, start);
+            assert!((a.probability - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_character_patterns() {
+        let s = stream_of("x:.9,y:.1 | y:.8,x:.2 | x");
+        assert_eq!(run_matcher(&s, b"x", 0.5), vec![0, 2]);
+        assert_eq!(run_matcher(&s, b"y", 0.5), vec![1]);
+        assert_eq!(run_matcher(&s, b"x", 0.05), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reset_restarts_cleanly() {
+        let s = stream_of("a | b | a | b");
+        let mut m = StreamMatcher::new(b"ab".to_vec(), 0.5).unwrap();
+        for c in s.positions() {
+            m.push(c);
+        }
+        assert_eq!(m.position(), 4);
+        m.reset();
+        assert_eq!(m.position(), 0);
+        let starts: Vec<usize> = s
+            .positions()
+            .iter()
+            .filter_map(|c| m.push(c).map(|a| a.start))
+            .collect();
+        assert_eq!(starts, vec![0, 2]);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(StreamMatcher::new(Vec::new(), 0.5).is_err());
+        assert!(StreamMatcher::new(b"a".to_vec(), 0.0).is_err());
+        assert!(StreamMatcher::new(b"a".to_vec(), 1.5).is_err());
+        assert!(ContainmentTracker::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn containment_tracker_matches_offline_dp_on_every_prefix() {
+        let s = stream_of("a:.5,b:.5 | b:.3,a:.7 | a:.2,b:.8 | a:.6,b:.4 | b:.9,a:.1");
+        for pattern in [&b"ab"[..], b"ba", b"aa", b"abb"] {
+            let mut t = ContainmentTracker::new(pattern.to_vec()).unwrap();
+            for i in 0..s.len() {
+                t.push(s.position(i));
+                let prefix = UncertainString::new(s.positions()[..=i].to_vec());
+                let offline = containment_probability(&prefix, pattern);
+                assert!(
+                    (t.probability() - offline).abs() < 1e-9,
+                    "pattern {:?} prefix {}: {} vs {}",
+                    String::from_utf8_lossy(pattern),
+                    i + 1,
+                    t.probability(),
+                    offline
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn containment_handles_residual_mass() {
+        let s = stream_of("a | a:.6 | a");
+        let mut t = ContainmentTracker::new(b"aaa".to_vec()).unwrap();
+        for c in s.positions() {
+            t.push(c);
+        }
+        assert!((t.probability() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn live_alignment_count_is_bounded_and_pruned() {
+        let s = stream_of("a:.2 | a:.2 | a:.2 | a:.2 | a:.2 | a:.2");
+        let mut m = StreamMatcher::new(b"aaaa".to_vec(), 0.5).unwrap();
+        for c in s.positions() {
+            m.push(c);
+            // τ = .5 kills every alignment after one .2-probability event.
+            assert_eq!(m.live_alignments(), 0);
+        }
+    }
+}

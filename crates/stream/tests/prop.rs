@@ -1,0 +1,72 @@
+//! Property tests: stream replay equals offline evaluation on every prefix.
+
+use proptest::prelude::*;
+use ustr_baseline::{containment_probability, NaiveScanner};
+use ustr_stream::{ContainmentTracker, StreamMatcher};
+use ustr_uncertain::UncertainString;
+
+fn rows() -> impl Strategy<Value = Vec<Vec<(u8, f64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..3, 1u32..40), 1..=3),
+        1..=20,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|mut row| {
+                row.sort_by_key(|&(c, _)| c);
+                row.dedup_by_key(|&mut (c, _)| c);
+                let total: u32 = row.iter().map(|&(_, w)| w).sum();
+                row.into_iter()
+                    .map(|(c, w)| (b'a' + c, w as f64 / total as f64))
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The stream matcher finds exactly the scanner's occurrence set, with
+    /// matching probabilities.
+    #[test]
+    fn matcher_replays_scanner(
+        r in rows(),
+        p in prop::collection::vec(0u8..3, 1..5),
+        tau_idx in 0usize..3,
+    ) {
+        let s = UncertainString::from_rows(r).unwrap();
+        let pattern: Vec<u8> = p.into_iter().map(|c| b'a' + c).collect();
+        let tau = [0.1, 0.3, 0.6][tau_idx];
+        let mut m = StreamMatcher::new(pattern.clone(), tau).unwrap();
+        let mut got: Vec<(usize, f64)> = Vec::new();
+        for c in s.positions() {
+            if let Some(a) = m.push(c) {
+                got.push((a.start, a.probability));
+            }
+        }
+        let expected = NaiveScanner::find_with_probs(&s, &pattern, tau);
+        prop_assert_eq!(got.len(), expected.len());
+        for ((gs, gp), (es, ep)) in got.iter().zip(expected.iter()) {
+            prop_assert_eq!(gs, es);
+            prop_assert!((gp - ep).abs() < 1e-9);
+        }
+    }
+
+    /// The containment tracker equals the offline DP at every prefix.
+    #[test]
+    fn tracker_replays_dp(
+        r in rows(),
+        p in prop::collection::vec(0u8..2, 1..4),
+    ) {
+        let s = UncertainString::from_rows(r).unwrap();
+        let pattern: Vec<u8> = p.into_iter().map(|c| b'a' + c).collect();
+        let mut t = ContainmentTracker::new(pattern.clone()).unwrap();
+        for i in 0..s.len() {
+            t.push(s.position(i));
+            let prefix = UncertainString::new(s.positions()[..=i].to_vec());
+            let offline = containment_probability(&prefix, &pattern);
+            prop_assert!((t.probability() - offline).abs() < 1e-9);
+        }
+    }
+}

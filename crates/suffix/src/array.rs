@@ -1,0 +1,186 @@
+//! Owned suffix-array bundle with pattern range search.
+
+use std::cmp::Ordering;
+
+use crate::{lcp_array, rank_array, sais::suffix_array};
+
+/// A text together with its suffix array; supports O(m log n) suffix-range
+/// lookup for a pattern. This is the search structure of the paper's
+/// *simple index* (Section 4.1); the efficient indexes use [`crate::SuffixTree`].
+///
+/// ```
+/// use ustr_suffix::SuffixArray;
+/// let sa = SuffixArray::new(b"banana".to_vec());
+/// assert_eq!(sa.suffix_range(b"ana"), Some((1, 2)));
+/// assert_eq!(sa.suffix_range(b"nan"), Some((5, 5)));
+/// assert_eq!(sa.suffix_range(b"x"), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuffixArray {
+    text: Vec<u8>,
+    sa: Vec<u32>,
+}
+
+impl SuffixArray {
+    /// Builds the suffix array of `text` (linear time, SA-IS).
+    pub fn new(text: Vec<u8>) -> Self {
+        let sa = suffix_array(&text);
+        Self { text, sa }
+    }
+
+    /// The indexed text.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// The suffix array entries.
+    pub fn sa(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// Text length.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Returns `true` for an empty text.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Computes the LCP array (not cached).
+    pub fn lcp(&self) -> Vec<u32> {
+        lcp_array(&self.text, &self.sa)
+    }
+
+    /// Computes the inverse suffix array (not cached).
+    pub fn rank(&self) -> Vec<u32> {
+        rank_array(&self.sa)
+    }
+
+    /// Compares the suffix at `pos` against `pattern` for prefix containment:
+    /// `Less` if the suffix sorts before all pattern-prefixed suffixes,
+    /// `Equal` if `pattern` is a prefix of the suffix, `Greater` otherwise.
+    fn classify(&self, pos: usize, pattern: &[u8]) -> Ordering {
+        let suffix = &self.text[pos..];
+        let k = suffix.len().min(pattern.len());
+        match suffix[..k].cmp(&pattern[..k]) {
+            Ordering::Equal => {
+                if suffix.len() >= pattern.len() {
+                    Ordering::Equal
+                } else {
+                    // Proper prefix of the pattern: sorts before it.
+                    Ordering::Less
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Inclusive suffix-array range `[l, r]` of all suffixes having `pattern`
+    /// as a prefix, or `None` when the pattern does not occur. The empty
+    /// pattern matches every suffix.
+    pub fn suffix_range(&self, pattern: &[u8]) -> Option<(usize, usize)> {
+        if self.text.is_empty() {
+            return None;
+        }
+        if pattern.is_empty() {
+            return Some((0, self.sa.len() - 1));
+        }
+        let lo = self
+            .sa
+            .partition_point(|&p| self.classify(p as usize, pattern) == Ordering::Less);
+        let hi = self
+            .sa
+            .partition_point(|&p| self.classify(p as usize, pattern) != Ordering::Greater);
+        if lo < hi {
+            Some((lo, hi - 1))
+        } else {
+            None
+        }
+    }
+
+    /// All text positions where `pattern` occurs (unsorted).
+    pub fn occurrences(&self, pattern: &[u8]) -> Vec<usize> {
+        match self.suffix_range(pattern) {
+            Some((l, r)) => self.sa[l..=r].iter().map(|&p| p as usize).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.text.capacity() + self.sa.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_all_occurrences() {
+        let sa = SuffixArray::new(b"abracadabra".to_vec());
+        let mut occ = sa.occurrences(b"abra");
+        occ.sort_unstable();
+        assert_eq!(occ, vec![0, 7]);
+        let mut occ = sa.occurrences(b"a");
+        occ.sort_unstable();
+        assert_eq!(occ, vec![0, 3, 5, 7, 10]);
+    }
+
+    #[test]
+    fn missing_pattern_returns_none() {
+        let sa = SuffixArray::new(b"abracadabra".to_vec());
+        assert_eq!(sa.suffix_range(b"abx"), None);
+        assert_eq!(sa.suffix_range(b"zzz"), None);
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        let sa = SuffixArray::new(b"ab".to_vec());
+        assert_eq!(sa.suffix_range(b"abc"), None);
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let sa = SuffixArray::new(b"abc".to_vec());
+        assert_eq!(sa.suffix_range(b""), Some((0, 2)));
+    }
+
+    #[test]
+    fn empty_text() {
+        let sa = SuffixArray::new(Vec::new());
+        assert_eq!(sa.suffix_range(b"a"), None);
+        assert_eq!(sa.suffix_range(b""), None);
+        assert!(sa.is_empty());
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let text = b"abaabbabaabbaabab".to_vec();
+        let sa = SuffixArray::new(text.clone());
+        for m in 1..=4 {
+            for start in 0..text.len() - m {
+                let pattern = &text[start..start + m];
+                let mut expected: Vec<usize> = (0..=text.len() - m)
+                    .filter(|&i| &text[i..i + m] == pattern)
+                    .collect();
+                expected.sort_unstable();
+                let mut got = sa.occurrences(pattern);
+                got.sort_unstable();
+                assert_eq!(got, expected, "pattern {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sentinel_bytes_in_text() {
+        let sa = SuffixArray::new(b"AB\0AB\0".to_vec());
+        let mut occ = sa.occurrences(b"AB");
+        occ.sort_unstable();
+        assert_eq!(occ, vec![0, 3]);
+        // Patterns containing the separator never match across it.
+        assert_eq!(sa.occurrences(b"B\0A"), vec![1]);
+    }
+}

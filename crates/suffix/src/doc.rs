@@ -1,0 +1,133 @@
+//! Document-collection bookkeeping for the generalized suffix tree (§6).
+
+/// Concatenation of a document collection with separator bytes, plus the
+/// position → document mapping needed by the string-listing index.
+///
+/// Documents are joined by a single separator byte that must not occur in
+/// any document; a trailing separator terminates the last document so every
+/// document suffix ends at a separator.
+///
+/// ```
+/// use ustr_suffix::DocumentConcat;
+/// let cat = DocumentConcat::new(&[b"AB".to_vec(), b"CD".to_vec()], 0);
+/// assert_eq!(cat.text(), b"AB\0CD\0");
+/// assert_eq!(cat.doc_of(0), Some(0));
+/// assert_eq!(cat.doc_of(3), Some(1));
+/// assert_eq!(cat.doc_of(2), None); // separator position
+/// ```
+#[derive(Debug, Clone)]
+pub struct DocumentConcat {
+    text: Vec<u8>,
+    separator: u8,
+    /// doc id per text position; `u32::MAX` at separators.
+    doc: Vec<u32>,
+    /// Start offset of each document in `text`.
+    starts: Vec<u32>,
+}
+
+const SEP_MARK: u32 = u32::MAX;
+
+impl DocumentConcat {
+    /// Concatenates `docs` with `separator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any document contains the separator byte.
+    pub fn new(docs: &[Vec<u8>], separator: u8) -> Self {
+        let total: usize = docs.iter().map(|d| d.len() + 1).sum();
+        let mut text = Vec::with_capacity(total);
+        let mut doc = Vec::with_capacity(total);
+        let mut starts = Vec::with_capacity(docs.len());
+        for (id, d) in docs.iter().enumerate() {
+            assert!(
+                !d.contains(&separator),
+                "document {id} contains the separator byte {separator:#x}"
+            );
+            starts.push(text.len() as u32);
+            text.extend_from_slice(d);
+            doc.extend(std::iter::repeat(id as u32).take(d.len()));
+            text.push(separator);
+            doc.push(SEP_MARK);
+        }
+        Self {
+            text,
+            separator,
+            doc,
+            starts,
+        }
+    }
+
+    /// The concatenated text.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// The separator byte.
+    pub fn separator(&self) -> u8 {
+        self.separator
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Document containing text position `pos`, or `None` at separators or
+    /// out of bounds.
+    pub fn doc_of(&self, pos: usize) -> Option<usize> {
+        match self.doc.get(pos) {
+            Some(&d) if d != SEP_MARK => Some(d as usize),
+            _ => None,
+        }
+    }
+
+    /// Start offset of document `id` within the concatenated text.
+    pub fn doc_start(&self, id: usize) -> usize {
+        self.starts[id] as usize
+    }
+
+    /// Offset of `pos` within its own document.
+    pub fn offset_in_doc(&self, pos: usize) -> Option<usize> {
+        self.doc_of(pos).map(|d| pos - self.doc_start(d))
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.text.capacity()
+            + self.doc.capacity() * std::mem::size_of::<u32>()
+            + self.starts.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_positions_to_documents() {
+        let cat = DocumentConcat::new(&[b"abc".to_vec(), b"".to_vec(), b"xy".to_vec()], b'$');
+        assert_eq!(cat.text(), b"abc$$xy$");
+        assert_eq!(cat.num_docs(), 3);
+        assert_eq!(cat.doc_of(0), Some(0));
+        assert_eq!(cat.doc_of(2), Some(0));
+        assert_eq!(cat.doc_of(3), None);
+        assert_eq!(cat.doc_of(4), None); // empty doc's separator
+        assert_eq!(cat.doc_of(5), Some(2));
+        assert_eq!(cat.doc_of(100), None);
+        assert_eq!(cat.offset_in_doc(6), Some(1));
+        assert_eq!(cat.doc_start(2), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "contains the separator")]
+    fn rejects_separator_in_document() {
+        DocumentConcat::new(&[b"a$b".to_vec()], b'$');
+    }
+
+    #[test]
+    fn empty_collection() {
+        let cat = DocumentConcat::new(&[], 0);
+        assert_eq!(cat.num_docs(), 0);
+        assert!(cat.text().is_empty());
+    }
+}

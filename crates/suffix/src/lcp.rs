@@ -1,0 +1,108 @@
+//! Kasai's linear-time LCP array construction.
+
+/// Inverse suffix array: `rank[p]` = rank of the suffix starting at `p`.
+pub fn rank_array(sa: &[u32]) -> Vec<u32> {
+    let mut rank = vec![0u32; sa.len()];
+    for (j, &p) in sa.iter().enumerate() {
+        rank[p as usize] = j as u32;
+    }
+    rank
+}
+
+/// Longest-common-prefix array via Kasai et al. (2001).
+///
+/// `lcp[0] = 0`; for `j >= 1`, `lcp[j]` is the length of the longest common
+/// prefix of the suffixes at `sa[j-1]` and `sa[j]`.
+///
+/// ```
+/// use ustr_suffix::{lcp_array, suffix_array};
+/// let text = b"banana";
+/// let sa = suffix_array(text);
+/// assert_eq!(lcp_array(text, &sa), vec![0, 1, 3, 0, 0, 2]);
+/// ```
+pub fn lcp_array(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    debug_assert_eq!(sa.len(), n);
+    let mut lcp = vec![0u32; n];
+    if n == 0 {
+        return lcp;
+    }
+    let rank = rank_array(sa);
+    let mut h = 0usize;
+    for p in 0..n {
+        let r = rank[p] as usize;
+        if r == 0 {
+            h = 0;
+            continue;
+        }
+        let q = sa[r - 1] as usize;
+        while p + h < n && q + h < n && text[p + h] == text[q + h] {
+            h += 1;
+        }
+        lcp[r] = h as u32;
+        h = h.saturating_sub(1);
+    }
+    lcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suffix_array;
+
+    fn naive_lcp(text: &[u8], sa: &[u32]) -> Vec<u32> {
+        let mut lcp = vec![0u32; sa.len()];
+        for j in 1..sa.len() {
+            let a = &text[sa[j - 1] as usize..];
+            let b = &text[sa[j] as usize..];
+            lcp[j] = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count() as u32;
+        }
+        lcp
+    }
+
+    #[test]
+    fn banana() {
+        let text = b"banana";
+        let sa = suffix_array(text);
+        assert_eq!(lcp_array(text, &sa), naive_lcp(text, &sa));
+    }
+
+    #[test]
+    fn repetitive_and_sentinel_texts() {
+        for text in [&b"aaaa"[..], b"abababab", b"AB\0AB\0B\0", b"x"] {
+            let sa = suffix_array(text);
+            assert_eq!(lcp_array(text, &sa), naive_lcp(text, &sa), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn pseudo_random() {
+        let mut state = 99u64;
+        let text: Vec<u8> = (0..2000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 3) as u8 + b'a'
+            })
+            .collect();
+        let sa = suffix_array(&text);
+        assert_eq!(lcp_array(&text, &sa), naive_lcp(&text, &sa));
+    }
+
+    #[test]
+    fn rank_inverts_sa() {
+        let text = b"mississippi";
+        let sa = suffix_array(text);
+        let rank = rank_array(&sa);
+        for (j, &p) in sa.iter().enumerate() {
+            assert_eq!(rank[p as usize] as usize, j);
+        }
+    }
+
+    #[test]
+    fn empty_text() {
+        assert_eq!(lcp_array(b"", &[]), Vec::<u32>::new());
+        assert_eq!(rank_array(&[]), Vec::<u32>::new());
+    }
+}

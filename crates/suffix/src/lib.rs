@@ -1,0 +1,28 @@
+//! Deterministic-string substrate: suffix arrays, LCP arrays, and suffix
+//! trees (Section 3.4 of the paper).
+//!
+//! The uncertain-string indexes of Thankachan et al. reduce every query to
+//! classic suffix-structure operations over a *deterministic* text `t`
+//! derived from the uncertain string:
+//!
+//! * [`suffix_array`] — linear-time SA-IS construction.
+//! * [`lcp_array`] — Kasai's linear-time longest-common-prefix array.
+//! * [`SuffixArray`] — text + SA bundle with O(m log n) pattern range search
+//!   (used by the simple/naive baselines).
+//! * [`SuffixTree`] — explicit suffix tree built from SA + LCP in linear
+//!   time, with O(m log σ) locus/suffix-range descent, preorder numbering,
+//!   subtree intervals, and O(1) LCA — everything Sections 4–7 need.
+//! * [`DocumentConcat`] — document-collection bookkeeping for the
+//!   generalized suffix tree of Section 6.
+
+mod array;
+mod doc;
+mod lcp;
+mod sais;
+mod tree;
+
+pub use array::SuffixArray;
+pub use doc::DocumentConcat;
+pub use lcp::{lcp_array, rank_array};
+pub use sais::suffix_array;
+pub use tree::{NodeId, SuffixTree};

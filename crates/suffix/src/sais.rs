@@ -1,0 +1,290 @@
+//! Linear-time suffix array construction by induced sorting (SA-IS).
+//!
+//! Nong, Zhang, Chan, "Two Efficient Algorithms for Linear Time Suffix Array
+//! Construction" (2009). The implementation works on `usize` sequences so the
+//! recursion over renamed LMS substrings reuses the same code path; the
+//! public entry point handles the byte alphabet and the implicit sentinel.
+
+/// Builds the suffix array of `text`.
+///
+/// Returns `sa` with `sa[j]` = starting position of the j-th smallest suffix
+/// of `text`. Suffix comparison treats a shorter suffix that is a prefix of
+/// a longer one as smaller (the ordering induced by a unique minimal
+/// sentinel, which the implementation appends internally).
+///
+/// ```
+/// use ustr_suffix::suffix_array;
+/// assert_eq!(suffix_array(b"banana"), vec![5, 3, 1, 0, 4, 2]);
+/// assert_eq!(suffix_array(b""), Vec::<u32>::new());
+/// ```
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    if text.is_empty() {
+        return Vec::new();
+    }
+    // Shift bytes by +1 so 0 is a unique, strictly smallest sentinel.
+    let mut s: Vec<usize> = Vec::with_capacity(text.len() + 1);
+    s.extend(text.iter().map(|&b| b as usize + 1));
+    s.push(0);
+    let sa = sais(&s, 257);
+    // Drop the sentinel suffix (always first).
+    sa.into_iter().skip(1).map(|p| p as u32).collect()
+}
+
+const EMPTY: usize = usize::MAX;
+
+/// Core SA-IS over a sequence ending with a unique smallest sentinel (0).
+fn sais(s: &[usize], sigma: usize) -> Vec<usize> {
+    let n = s.len();
+    debug_assert!(n >= 1);
+    debug_assert_eq!(s[n - 1], 0, "sequence must end with the sentinel 0");
+    if n == 1 {
+        return vec![0];
+    }
+    if n == 2 {
+        return vec![1, 0];
+    }
+
+    // Suffix types: true = S-type (suffix smaller than its right neighbour).
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    let mut bucket = vec![0usize; sigma];
+    for &c in s {
+        bucket[c] += 1;
+    }
+
+    let mut sa = vec![EMPTY; n];
+
+    // Pass 1: drop LMS suffixes at their bucket tails (arbitrary intra-bucket
+    // order), then induce. This sorts the LMS *substrings*.
+    place_lms_at_tails(&mut sa, s, &bucket, (0..n).filter(|&i| is_lms(i)));
+    induce(&mut sa, s, &is_s, &bucket);
+
+    // Name LMS substrings in their induced (sorted) order.
+    let lms_count = (0..n).filter(|&i| is_lms(i)).count();
+    let mut name_of = vec![EMPTY; n];
+    let mut name = 0usize;
+    let mut prev = EMPTY;
+    for &p in sa.iter() {
+        if p == EMPTY || !is_lms(p) {
+            continue;
+        }
+        if prev != EMPTY && !lms_substrings_equal(s, &is_lms, prev, p) {
+            name += 1;
+        }
+        name_of[p] = name;
+        prev = p;
+    }
+    let num_names = name + 1;
+
+    // LMS positions in text order, and the reduced sequence of their names.
+    let lms_positions: Vec<usize> = (0..n).filter(|&i| is_lms(i)).collect();
+    let lms_sorted: Vec<usize> = if num_names == lms_count {
+        // All names unique: the names themselves give the order.
+        let mut order = vec![0usize; lms_count];
+        for &p in &lms_positions {
+            order[name_of[p]] = p;
+        }
+        order
+    } else {
+        // Recurse on the reduced problem. The reduced sequence ends with the
+        // sentinel's name (always 0, unique) because the sentinel is LMS.
+        let reduced: Vec<usize> = lms_positions.iter().map(|&p| name_of[p]).collect();
+        debug_assert_eq!(*reduced.last().unwrap(), 0);
+        let sub_sa = sais(&reduced, num_names);
+        sub_sa.into_iter().map(|k| lms_positions[k]).collect()
+    };
+
+    // Pass 2: place LMS suffixes in their true sorted order, induce again.
+    sa.fill(EMPTY);
+    place_lms_at_tails(&mut sa, s, &bucket, lms_sorted.into_iter());
+    induce(&mut sa, s, &is_s, &bucket);
+    sa
+}
+
+/// Places the given LMS positions at the current tails of their buckets.
+/// Positions must be supplied in increasing rank order; they are inserted
+/// back-to-front so the best-ranked element ends up first in each bucket.
+fn place_lms_at_tails(
+    sa: &mut [usize],
+    s: &[usize],
+    bucket: &[usize],
+    positions: impl DoubleEndedIterator<Item = usize>,
+) {
+    let mut tails = bucket_tails(bucket);
+    for p in positions.rev() {
+        let c = s[p];
+        tails[c] -= 1;
+        sa[tails[c]] = p;
+    }
+}
+
+/// Exclusive prefix sums: index of the first slot of each bucket.
+fn bucket_heads(bucket: &[usize]) -> Vec<usize> {
+    let mut heads = Vec::with_capacity(bucket.len());
+    let mut sum = 0usize;
+    for &b in bucket {
+        heads.push(sum);
+        sum += b;
+    }
+    heads
+}
+
+/// Inclusive prefix sums: one past the last slot of each bucket.
+fn bucket_tails(bucket: &[usize]) -> Vec<usize> {
+    let mut tails = Vec::with_capacity(bucket.len());
+    let mut sum = 0usize;
+    for &b in bucket {
+        sum += b;
+        tails.push(sum);
+    }
+    tails
+}
+
+/// The two induced-sorting sweeps: L-types left-to-right from bucket heads,
+/// then S-types right-to-left from bucket tails.
+#[allow(clippy::needless_range_loop)] // index-driven sweeps mirror the algorithm's presentation
+fn induce(sa: &mut [usize], s: &[usize], is_s: &[bool], bucket: &[usize]) {
+    let n = s.len();
+    let mut heads = bucket_heads(bucket);
+    for i in 0..n {
+        let j = sa[i];
+        if j != EMPTY && j > 0 && !is_s[j - 1] {
+            let c = s[j - 1];
+            sa[heads[c]] = j - 1;
+            heads[c] += 1;
+        }
+    }
+    let mut tails = bucket_tails(bucket);
+    for i in (0..n).rev() {
+        let j = sa[i];
+        if j != EMPTY && j > 0 && is_s[j - 1] {
+            let c = s[j - 1];
+            tails[c] -= 1;
+            sa[tails[c]] = j - 1;
+        }
+    }
+}
+
+/// Compares the LMS substrings starting at `a` and `b` (both LMS positions).
+/// An LMS substring runs from its LMS position through the *next* LMS
+/// position inclusive.
+fn lms_substrings_equal(s: &[usize], is_lms: &impl Fn(usize) -> bool, a: usize, b: usize) -> bool {
+    if s[a] != s[b] {
+        return false;
+    }
+    // The sentinel (unique smallest) only equals itself and is caught above.
+    let mut i = a + 1;
+    let mut j = b + 1;
+    loop {
+        let a_end = is_lms(i);
+        let b_end = is_lms(j);
+        if a_end && b_end {
+            return s[i] == s[j];
+        }
+        if a_end != b_end || s[i] != s[j] {
+            return false;
+        }
+        i += 1;
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n² log n) reference construction.
+    pub(crate) fn naive_suffix_array(text: &[u8]) -> Vec<u32> {
+        let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+        sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        sa
+    }
+
+    #[test]
+    fn known_small_cases() {
+        assert_eq!(suffix_array(b"banana"), vec![5, 3, 1, 0, 4, 2]);
+        assert_eq!(suffix_array(b"mississippi"), naive_suffix_array(b"mississippi"));
+        assert_eq!(suffix_array(b"a"), vec![0]);
+        assert_eq!(suffix_array(b"ab"), vec![0, 1]);
+        assert_eq!(suffix_array(b"ba"), vec![1, 0]);
+    }
+
+    #[test]
+    fn repetitive_inputs() {
+        for text in [
+            &b"aaaaaaaaaa"[..],
+            b"abababababab",
+            b"abcabcabcabc",
+            b"aabaabaabaab",
+            b"zzzzyzzzzyzzzzy",
+        ] {
+            assert_eq!(suffix_array(text), naive_suffix_array(text), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn embedded_zero_bytes() {
+        // The separator convention of the transformed strings: 0 bytes appear
+        // repeatedly inside the text.
+        let text = b"AB\0CAB\0B\0\0AB";
+        assert_eq!(suffix_array(text), naive_suffix_array(text));
+    }
+
+    #[test]
+    fn full_byte_range() {
+        let text: Vec<u8> = (0..=255u8).rev().collect();
+        assert_eq!(suffix_array(&text), naive_suffix_array(&text));
+    }
+
+    #[test]
+    fn pseudo_random_matches_naive() {
+        let mut state = 0x12345678u64;
+        for len in [2usize, 3, 5, 17, 64, 100, 257, 1000] {
+            let text: Vec<u8> = (0..len)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state % 4) as u8 + b'a'
+                })
+                .collect();
+            assert_eq!(suffix_array(&text), naive_suffix_array(&text), "len {len}");
+        }
+    }
+
+    #[test]
+    fn larger_alphabet_random() {
+        let mut state = 0xABCDEFu64;
+        let text: Vec<u8> = (0..5000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 22) as u8 + b'A'
+            })
+            .collect();
+        assert_eq!(suffix_array(&text), naive_suffix_array(&text));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(suffix_array(b""), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn sa_is_a_permutation() {
+        let text = b"the quick brown fox jumps over the lazy dog";
+        let sa = suffix_array(text);
+        let mut seen = vec![false; text.len()];
+        for &p in &sa {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,682 @@
+//! Explicit suffix tree built from SA + LCP in linear time.
+//!
+//! The tree is constructed over the text extended with a *virtual
+//! terminator* — a character strictly smaller than every byte that appears
+//! exactly once at the end. This guarantees no suffix is a prefix of another
+//! (so every suffix is a distinct leaf), even for texts that embed repeated
+//! separator bytes, which the transformed uncertain strings do.
+//!
+//! Consequences for users:
+//!
+//! * The tree has `n + 1` leaves; SA slot `0` is the virtual-terminator
+//!   suffix (text position `n`), slots `1..=n` are the real suffixes in the
+//!   same order as [`crate::suffix_array`].
+//! * Leaf string depths are inflated by 1 (the virtual terminator);
+//!   internal-node depths are real LCP values.
+//! * Pattern descent never matches the virtual terminator, so suffix ranges
+//!   of non-empty patterns always lie within `[1, n]`.
+//!
+//! Space: nodes are 16-byte structs, children live in one CSR array, and
+//! LCA is answered from the slot-LCP array + per-boundary split nodes with
+//! an O(n)-word block RMQ — everything is O(n) words with small constants.
+
+use ustr_rmq::{BlockRmq, Direction, Rmq};
+
+use crate::{lcp_array, sais::suffix_array};
+
+/// Node identifier within a [`SuffixTree`] (index into the node arena).
+pub type NodeId = u32;
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// String depth: length of the root-to-node path label. Leaf depths
+    /// include the virtual terminator.
+    depth: u32,
+    /// Inclusive SA-slot range of the leaves below this node.
+    l: u32,
+    r: u32,
+    parent: u32,
+}
+
+/// Explicit suffix tree with preorder numbering, subtree intervals, pattern
+/// locus descent, and O(1) LCA queries.
+///
+/// ```
+/// use ustr_suffix::SuffixTree;
+/// let st = SuffixTree::build(b"banana".to_vec());
+/// // "ana" prefixes the suffixes starting at 3 and 1.
+/// let (l, r) = st.suffix_range(b"ana").unwrap();
+/// let mut occ: Vec<usize> = (l..=r).map(|j| st.sa(j)).collect();
+/// occ.sort();
+/// assert_eq!(occ, vec![1, 3]);
+/// assert_eq!(st.suffix_range(b"nab"), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuffixTree {
+    text: Vec<u8>,
+    /// Virtual SA: `sa[0] = n` (terminator suffix), `sa[1..]` = real SA.
+    sa: Vec<u32>,
+    nodes: Vec<Node>,
+    root: u32,
+    /// CSR children: `child_flat[child_start[v]..child_start[v+1]]`, in SA
+    /// (lexicographic) order.
+    child_start: Vec<u32>,
+    child_flat: Vec<u32>,
+    /// SA slot -> leaf node id.
+    leaf_of_slot: Vec<u32>,
+    /// Node id -> preorder rank, and the largest preorder rank in its subtree.
+    pre: Vec<u32>,
+    pre_end: Vec<u32>,
+    /// `slot_lcp[j]` = LCP of the suffixes in slots `j-1` and `j` (0 for
+    /// `j <= 1`); `boundary_node[j]` = LCA of leaves `j-1` and `j`.
+    slot_lcp: Vec<u32>,
+    boundary_node: Vec<u32>,
+    /// Min-RMQ over `slot_lcp` for O(1) LCA.
+    lcp_rmq: BlockRmq,
+}
+
+impl SuffixTree {
+    /// Builds the suffix tree of `text` (linear time: SA-IS + Kasai + one
+    /// stack sweep).
+    pub fn build(text: Vec<u8>) -> Self {
+        let plain_sa = suffix_array(&text);
+        let lcp = lcp_array(&text, &plain_sa);
+        Self::from_parts(text, plain_sa, lcp)
+    }
+
+    /// Builds from a precomputed suffix array and LCP array of `text`.
+    pub fn from_parts(text: Vec<u8>, plain_sa: Vec<u32>, lcp: Vec<u32>) -> Self {
+        let n = text.len();
+        let m = n + 1; // leaves, including the virtual-terminator suffix
+
+        let mut sa = Vec::with_capacity(m);
+        sa.push(n as u32);
+        sa.extend_from_slice(&plain_sa);
+
+        let mut slot_lcp = vec![0u32; m];
+        if m > 2 {
+            slot_lcp[2..m].copy_from_slice(&lcp[1..m - 1]);
+        }
+
+        let mut nodes: Vec<Node> = Vec::with_capacity(2 * m);
+        nodes.push(Node {
+            depth: 0,
+            l: 0,
+            r: (m - 1) as u32,
+            parent: NO_NODE,
+        });
+        let root = 0u32;
+        let mut leaf_of_slot = vec![NO_NODE; m];
+        let mut boundary_node = vec![root; m];
+        let mut stack: Vec<u32> = vec![root];
+
+        // One sweep over the leaves; a node's parent is fixed when it leaves
+        // the stack.
+        for j in 0..=m {
+            let lcp_j = if j < m { slot_lcp[j] } else { 0 };
+            let mut last: Option<u32> = None;
+            loop {
+                let &top = stack.last().expect("root never pops");
+                if nodes[top as usize].depth <= lcp_j || top == root {
+                    break;
+                }
+                stack.pop();
+                nodes[top as usize].r = (j - 1) as u32;
+                if let Some(l) = last {
+                    nodes[l as usize].parent = top;
+                }
+                last = Some(top);
+            }
+            if let Some(l) = last {
+                let &top = stack.last().unwrap();
+                let boundary = if nodes[top as usize].depth == lcp_j {
+                    nodes[l as usize].parent = top;
+                    top
+                } else {
+                    // Split: new internal node at depth lcp_j adopting `last`
+                    // as its first (leftmost) child.
+                    let v = nodes.len() as u32;
+                    nodes.push(Node {
+                        depth: lcp_j,
+                        l: nodes[l as usize].l,
+                        r: NO_NODE, // finalized when popped
+                        parent: NO_NODE,
+                    });
+                    nodes[l as usize].parent = v;
+                    stack.push(v);
+                    v
+                };
+                if j < m {
+                    // The node at depth lcp_j is the LCA of leaves j-1 and j.
+                    boundary_node[j] = boundary;
+                }
+            }
+            if j < m {
+                // Leaf depth includes the virtual terminator.
+                let suffix_len = (n - sa[j] as usize) as u32 + 1;
+                let leaf = nodes.len() as u32;
+                nodes.push(Node {
+                    depth: suffix_len,
+                    l: j as u32,
+                    r: j as u32,
+                    parent: NO_NODE,
+                });
+                leaf_of_slot[j] = leaf;
+                stack.push(leaf);
+            }
+        }
+        debug_assert_eq!(stack.as_slice(), &[root]);
+        nodes[root as usize].r = (m - 1) as u32;
+
+        // CSR children via a stable counting sort on (parent, range start).
+        let count = nodes.len();
+        let mut child_start = vec![0u32; count + 1];
+        for v in nodes.iter().skip(1) {
+            child_start[v.parent as usize + 1] += 1;
+        }
+        for i in 0..count {
+            child_start[i + 1] += child_start[i];
+        }
+        let mut cursor = child_start.clone();
+        let mut order: Vec<u32> = (1..count as u32).collect();
+        // Children of one parent must appear in SA order; sorting all
+        // non-root nodes by (parent, l) achieves that in one pass.
+        order.sort_unstable_by_key(|&id| {
+            let nd = &nodes[id as usize];
+            ((nd.parent as u64) << 32) | nd.l as u64
+        });
+        let mut child_flat = vec![0u32; count.saturating_sub(1)];
+        for id in order {
+            let p = nodes[id as usize].parent as usize;
+            child_flat[cursor[p] as usize] = id;
+            cursor[p] += 1;
+        }
+
+        // Preorder numbering and subtree intervals.
+        let mut pre = vec![0u32; count];
+        let mut pre_end = vec![0u32; count];
+        let mut next_pre = 0u32;
+        let mut dfs: Vec<(u32, u32)> = vec![(root, child_start[root as usize])];
+        pre[root as usize] = 0;
+        next_pre += 1;
+        while let Some(&mut (node, ref mut cix)) = dfs.last_mut() {
+            let node_us = node as usize;
+            if *cix < child_start[node_us + 1] {
+                let child = child_flat[*cix as usize];
+                *cix += 1;
+                pre[child as usize] = next_pre;
+                next_pre += 1;
+                dfs.push((child, child_start[child as usize]));
+            } else {
+                pre_end[node_us] = next_pre - 1;
+                dfs.pop();
+            }
+        }
+
+        let lcp_f64: Vec<f64> = slot_lcp.iter().map(|&x| x as f64).collect();
+        let lcp_rmq = BlockRmq::new(&lcp_f64, Direction::Min);
+
+        Self {
+            text,
+            sa,
+            nodes,
+            root,
+            child_start,
+            child_flat,
+            leaf_of_slot,
+            pre,
+            pre_end,
+            slot_lcp,
+            boundary_node,
+            lcp_rmq,
+        }
+    }
+
+    /// The indexed text (without the virtual terminator).
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Text length (excluding the virtual terminator).
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Number of SA slots / leaves: `text_len() + 1`.
+    pub fn num_slots(&self) -> usize {
+        self.sa.len()
+    }
+
+    /// Total node count (internal + leaves).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Text position of the suffix in SA slot `j` (slot 0 is the virtual
+    /// terminator at position `text_len()`).
+    #[inline]
+    pub fn sa(&self, j: usize) -> usize {
+        self.sa[j] as usize
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// String depth of `node` (leaf depths include the virtual terminator).
+    #[inline]
+    pub fn string_depth(&self, node: NodeId) -> usize {
+        self.nodes[node as usize].depth as usize
+    }
+
+    /// Parent of `node`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        let p = self.nodes[node as usize].parent;
+        (p != NO_NODE).then_some(p)
+    }
+
+    /// Children of `node` in lexicographic (SA) order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        let v = node as usize;
+        &self.child_flat[self.child_start[v] as usize..self.child_start[v + 1] as usize]
+    }
+
+    /// Returns `true` when `node` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        let v = node as usize;
+        self.child_start[v] == self.child_start[v + 1]
+    }
+
+    /// Inclusive SA-slot range `[l, r]` of the leaves below `node`.
+    #[inline]
+    pub fn slot_range(&self, node: NodeId) -> (usize, usize) {
+        let n = &self.nodes[node as usize];
+        (n.l as usize, n.r as usize)
+    }
+
+    /// Leaf node for SA slot `j`.
+    #[inline]
+    pub fn leaf(&self, slot: usize) -> NodeId {
+        self.leaf_of_slot[slot]
+    }
+
+    /// LCP between the suffixes in slots `j-1` and `j` (0 for `j <= 1`).
+    #[inline]
+    pub fn slot_lcp(&self, j: usize) -> usize {
+        self.slot_lcp[j] as usize
+    }
+
+    /// Preorder rank of `node`.
+    #[inline]
+    pub fn preorder(&self, node: NodeId) -> usize {
+        self.pre[node as usize] as usize
+    }
+
+    /// Preorder interval `[preorder(node), ..]` covered by the subtree.
+    #[inline]
+    pub fn preorder_range(&self, node: NodeId) -> (usize, usize) {
+        (
+            self.pre[node as usize] as usize,
+            self.pre_end[node as usize] as usize,
+        )
+    }
+
+    /// Returns `true` when `a` is an ancestor of `b` (inclusive).
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        let (al, ar) = self.preorder_range(a);
+        let pb = self.preorder(b);
+        al <= pb && pb <= ar
+    }
+
+    /// LCA of the leaves in slots `i` and `j`: the boundary split node at
+    /// the minimum slot-LCP between them.
+    pub fn lca_of_slots(&self, i: usize, j: usize) -> NodeId {
+        if i == j {
+            return self.leaf_of_slot[i];
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let k = self.lcp_rmq.query(lo + 1, hi);
+        self.boundary_node[k]
+    }
+
+    /// Lowest common ancestor of two nodes in O(1).
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        if a == b {
+            return a;
+        }
+        if self.is_ancestor(a, b) {
+            return a;
+        }
+        if self.is_ancestor(b, a) {
+            return b;
+        }
+        let (al, _) = self.slot_range(a);
+        let (bl, _) = self.slot_range(b);
+        self.lca_of_slots(al, bl)
+    }
+
+    /// First byte of the edge entering `child` from a parent at string depth
+    /// `parent_depth`, or `None` when the edge starts with the virtual
+    /// terminator.
+    fn edge_first_byte(&self, child: NodeId, parent_depth: usize) -> Option<u8> {
+        let pos = self.sa(self.nodes[child as usize].l as usize) + parent_depth;
+        self.text.get(pos).copied()
+    }
+
+    /// Locus of `pattern`: the node closest to the root whose path label has
+    /// `pattern` as a prefix. Returns the root for the empty pattern and
+    /// `None` when the pattern does not occur.
+    pub fn locus(&self, pattern: &[u8]) -> Option<NodeId> {
+        let m = pattern.len();
+        if m == 0 {
+            return Some(self.root);
+        }
+        let mut node = self.root;
+        let mut matched = 0usize; // chars matched == string depth reached
+        loop {
+            let depth = self.nodes[node as usize].depth as usize;
+            debug_assert_eq!(depth, matched);
+            let target = pattern[matched];
+            let child = *self
+                .children(node)
+                .iter()
+                .find(|&&c| self.edge_first_byte(c, depth) == Some(target))?;
+            let child_depth = self.nodes[child as usize].depth as usize;
+            let start = self.sa(self.nodes[child as usize].l as usize);
+            // Real characters available along this path (a leaf's final
+            // character is the virtual terminator, which matches nothing).
+            let real_limit = self.text.len() - start;
+            let end = child_depth.min(m);
+            if end > real_limit {
+                return None;
+            }
+            if self.text[start + matched + 1..start + end] != pattern[matched + 1..end] {
+                return None;
+            }
+            if end == m {
+                return Some(child);
+            }
+            matched = end; // == child_depth < m: descend further
+            node = child;
+        }
+    }
+
+    /// Inclusive SA-slot range of all suffixes prefixed by `pattern`, or
+    /// `None` when the pattern does not occur. The empty pattern matches
+    /// every slot including the virtual terminator.
+    pub fn suffix_range(&self, pattern: &[u8]) -> Option<(usize, usize)> {
+        if pattern.is_empty() {
+            return Some((0, self.sa.len() - 1));
+        }
+        let locus = self.locus(pattern)?;
+        Some(self.slot_range(locus))
+    }
+
+    /// All text positions where `pattern` occurs (unsorted).
+    pub fn occurrences(&self, pattern: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() {
+            return (0..self.text.len()).collect();
+        }
+        match self.suffix_range(pattern) {
+            Some((l, r)) => (l..=r).map(|j| self.sa(j)).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        use std::mem::size_of;
+        self.text.capacity()
+            + self.sa.capacity() * size_of::<u32>()
+            + self.nodes.capacity() * size_of::<Node>()
+            + (self.child_start.capacity()
+                + self.child_flat.capacity()
+                + self.leaf_of_slot.capacity()
+                + self.pre.capacity()
+                + self.pre_end.capacity()
+                + self.slot_lcp.capacity()
+                + self.boundary_node.capacity())
+                * size_of::<u32>()
+            // BlockRmq: one f64 value + one u64 mask per slot + champions.
+            + self.sa.len() * (size_of::<f64>() + size_of::<u64>())
+            + self.sa.len().div_ceil(64) * (size_of::<u32>() + size_of::<f64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SuffixArray;
+
+    #[test]
+    fn banana_structure() {
+        let st = SuffixTree::build(b"banana".to_vec());
+        assert_eq!(st.num_slots(), 7);
+        assert_eq!(st.sa(0), 6); // virtual terminator slot
+        // Real suffixes preserve plain SA order.
+        let plain = SuffixArray::new(b"banana".to_vec());
+        for j in 0..6 {
+            assert_eq!(st.sa(j + 1), plain.sa()[j] as usize);
+        }
+    }
+
+    #[test]
+    fn locus_and_ranges_match_suffix_array() {
+        let text = b"abaabbabaabbaabab".to_vec();
+        let st = SuffixTree::build(text.clone());
+        let sa = SuffixArray::new(text.clone());
+        for m in 1..=5 {
+            for start in 0..text.len() - m {
+                let pattern = &text[start..start + m];
+                let tree_range = st.suffix_range(pattern);
+                let arr_range = sa.suffix_range(pattern);
+                match (tree_range, arr_range) {
+                    (Some((tl, tr)), Some((al, ar))) => {
+                        // Tree slots are array slots shifted by 1 (virtual slot 0).
+                        assert_eq!((tl, tr), (al + 1, ar + 1), "pattern {pattern:?}");
+                    }
+                    (None, None) => {}
+                    other => panic!("mismatch for {pattern:?}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_patterns() {
+        let st = SuffixTree::build(b"mississippi".to_vec());
+        assert_eq!(st.suffix_range(b"x"), None);
+        assert_eq!(st.suffix_range(b"issx"), None);
+        assert_eq!(st.suffix_range(b"mississippix"), None);
+        assert_eq!(st.suffix_range(b"ppi\0"), None);
+    }
+
+    #[test]
+    fn pattern_is_full_text() {
+        let st = SuffixTree::build(b"abcde".to_vec());
+        let (l, r) = st.suffix_range(b"abcde").unwrap();
+        assert_eq!(l, r);
+        assert_eq!(st.sa(l), 0);
+    }
+
+    #[test]
+    fn repeated_separators_are_handled() {
+        // One suffix is a proper prefix of another ("0" of "00"): the virtual
+        // terminator keeps them distinct leaves.
+        let st = SuffixTree::build(b"A\0A\0\0".to_vec());
+        let (l, r) = st.suffix_range(b"A\0").unwrap();
+        let mut occ: Vec<usize> = (l..=r).map(|j| st.sa(j)).collect();
+        occ.sort_unstable();
+        assert_eq!(occ, vec![0, 2]);
+        let (l, r) = st.suffix_range(b"\0").unwrap();
+        assert_eq!(r - l + 1, 3);
+    }
+
+    #[test]
+    fn parent_child_consistency() {
+        let st = SuffixTree::build(b"abracadabra".to_vec());
+        for id in 0..st.num_nodes() as u32 {
+            for &c in st.children(id) {
+                assert_eq!(st.parent(c), Some(id));
+                assert!(st.string_depth(c) > st.string_depth(id));
+                let (pl, pr) = st.slot_range(id);
+                let (cl, cr) = st.slot_range(c);
+                assert!(pl <= cl && cr <= pr);
+            }
+            if st.parent(id).is_none() {
+                assert_eq!(id, st.root());
+            }
+        }
+    }
+
+    #[test]
+    fn children_partition_parent_range() {
+        let st = SuffixTree::build(b"abracadabra".to_vec());
+        for id in 0..st.num_nodes() as u32 {
+            if st.is_leaf(id) {
+                continue;
+            }
+            let (pl, pr) = st.slot_range(id);
+            let mut cursor = pl;
+            for &c in st.children(id) {
+                let (cl, cr) = st.slot_range(c);
+                assert_eq!(cl, cursor, "gap in children of node {id}");
+                cursor = cr + 1;
+            }
+            assert_eq!(cursor, pr + 1);
+            assert!(st.children(id).len() >= 2, "internal nodes branch");
+        }
+    }
+
+    #[test]
+    fn preorder_intervals_nest() {
+        let st = SuffixTree::build(b"mississippi".to_vec());
+        for id in 0..st.num_nodes() as u32 {
+            let (l, r) = st.preorder_range(id);
+            assert!(l <= r);
+            assert_eq!(st.preorder(id), l);
+            for &c in st.children(id) {
+                let (cl, cr) = st.preorder_range(c);
+                assert!(l < cl && cr <= r);
+                assert!(st.is_ancestor(id, c));
+                assert!(!st.is_ancestor(c, id));
+            }
+        }
+    }
+
+    #[test]
+    fn lca_agrees_with_ancestor_walk() {
+        let st = SuffixTree::build(b"abaababaabaab".to_vec());
+        let naive_lca = |mut a: NodeId, mut b: NodeId| -> NodeId {
+            let mut seen = std::collections::HashSet::new();
+            loop {
+                seen.insert(a);
+                match st.parent(a) {
+                    Some(p) => a = p,
+                    None => break,
+                }
+            }
+            seen.insert(a);
+            loop {
+                if seen.contains(&b) {
+                    return b;
+                }
+                b = st.parent(b).unwrap();
+            }
+        };
+        let slots = st.num_slots();
+        for i in 0..slots {
+            for j in 0..slots {
+                let (a, b) = (st.leaf(i), st.leaf(j));
+                assert_eq!(st.lca(a, b), naive_lca(a, b), "slots {i},{j}");
+            }
+        }
+        // Internal-node LCAs too.
+        for a in 0..st.num_nodes() as u32 {
+            for b in (0..st.num_nodes() as u32).step_by(3) {
+                assert_eq!(st.lca(a, b), naive_lca(a, b), "nodes {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn lca_of_leaves_has_lcp_string_depth() {
+        let text = b"abaababaabaab".to_vec();
+        let st = SuffixTree::build(text.clone());
+        let lcp_of = |a: usize, b: usize| -> usize {
+            text[a..]
+                .iter()
+                .zip(text[b..].iter())
+                .take_while(|(x, y)| x == y)
+                .count()
+        };
+        for i in 1..st.num_slots() {
+            for j in i + 1..st.num_slots() {
+                let l = st.lca(st.leaf(i), st.leaf(j));
+                assert_eq!(
+                    st.string_depth(l),
+                    lcp_of(st.sa(i), st.sa(j)),
+                    "slots {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_char_text() {
+        let st = SuffixTree::build(b"a".to_vec());
+        assert_eq!(st.suffix_range(b"a"), Some((1, 1)));
+        assert_eq!(st.suffix_range(b"b"), None);
+        assert_eq!(st.num_slots(), 2);
+    }
+
+    #[test]
+    fn all_equal_text() {
+        let st = SuffixTree::build(b"aaaaaa".to_vec());
+        let (l, r) = st.suffix_range(b"aaa").unwrap();
+        assert_eq!(r - l + 1, 4);
+        let mut occ = st.occurrences(b"aaa");
+        occ.sort_unstable();
+        assert_eq!(occ, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn occurrences_match_brute_force_random() {
+        let mut state = 77u64;
+        let text: Vec<u8> = (0..400)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 4) as u8 + b'a'
+            })
+            .collect();
+        let st = SuffixTree::build(text.clone());
+        for m in [1usize, 2, 3, 7, 12] {
+            for start in (0..text.len() - m).step_by(11) {
+                let pattern = text[start..start + m].to_vec();
+                let mut expected: Vec<usize> = (0..=text.len() - m)
+                    .filter(|&i| text[i..i + m] == pattern[..])
+                    .collect();
+                expected.sort_unstable();
+                let mut got = st.occurrences(&pattern);
+                got.sort_unstable();
+                assert_eq!(got, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_lcp_matches_lca_depth() {
+        let st = SuffixTree::build(b"mississippi".to_vec());
+        for j in 2..st.num_slots() {
+            let l = st.lca(st.leaf(j - 1), st.leaf(j));
+            assert_eq!(st.slot_lcp(j), st.string_depth(l));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the suffix substrate: SA-IS, LCP, tree structure,
+//! LCA, and document concatenation.
+
+use proptest::prelude::*;
+use ustr_suffix::{lcp_array, rank_array, suffix_array, DocumentConcat, SuffixArray, SuffixTree};
+
+fn byte_text() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Small alphabet with embedded separators (the transformed-text shape).
+        prop::collection::vec(prop::sample::select(vec![0u8, b'a', b'b', b'c']), 1..150),
+        // Full byte range.
+        prop::collection::vec(any::<u8>(), 1..80),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn sa_is_sorted_permutation(text in byte_text()) {
+        let sa = suffix_array(&text);
+        // Permutation.
+        let mut seen = vec![false; text.len()];
+        for &p in &sa {
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        // Sorted.
+        for w in sa.windows(2) {
+            prop_assert!(text[w[0] as usize..] < text[w[1] as usize..]);
+        }
+        // Rank inverts.
+        let rank = rank_array(&sa);
+        for (j, &p) in sa.iter().enumerate() {
+            prop_assert_eq!(rank[p as usize] as usize, j);
+        }
+    }
+
+    #[test]
+    fn lcp_is_exact_and_tight(text in byte_text()) {
+        let sa = suffix_array(&text);
+        let lcp = lcp_array(&text, &sa);
+        for j in 1..sa.len() {
+            let a = &text[sa[j - 1] as usize..];
+            let b = &text[sa[j] as usize..];
+            let l = lcp[j] as usize;
+            prop_assert_eq!(&a[..l], &b[..l], "common prefix");
+            if l < a.len() && l < b.len() {
+                prop_assert_ne!(a[l], b[l], "maximality");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_ranges_cover_exactly_the_occurrences(
+        text in byte_text(),
+        start in 0usize..150,
+        len in 1usize..8,
+    ) {
+        let start = start % text.len();
+        let len = len.min(text.len() - start);
+        let pattern = text[start..start + len].to_vec();
+        let tree = SuffixTree::build(text.clone());
+        let mut occ = tree.occurrences(&pattern);
+        occ.sort_unstable();
+        let expected: Vec<usize> = (0..=text.len() - len)
+            .filter(|&i| text[i..i + len] == pattern[..])
+            .collect();
+        prop_assert_eq!(occ, expected);
+        // The suffix array agrees.
+        let arr = SuffixArray::new(text.clone());
+        let mut a_occ = arr.occurrences(&pattern);
+        a_occ.sort_unstable();
+        let mut t_occ = tree.occurrences(&pattern);
+        t_occ.sort_unstable();
+        prop_assert_eq!(t_occ, a_occ);
+    }
+
+    #[test]
+    fn lca_depth_equals_pairwise_lcp(text in byte_text(), i in 0usize..150, j in 0usize..150) {
+        let tree = SuffixTree::build(text.clone());
+        let slots = tree.num_slots();
+        let (i, j) = (1 + i % (slots - 1).max(1), 1 + j % (slots - 1).max(1));
+        if i == j || slots < 3 {
+            return Ok(());
+        }
+        let l = tree.lca(tree.leaf(i), tree.leaf(j));
+        let (a, b) = (tree.sa(i), tree.sa(j));
+        let expected = text[a..]
+            .iter()
+            .zip(text[b..].iter())
+            .take_while(|(x, y)| x == y)
+            .count();
+        prop_assert_eq!(tree.string_depth(l), expected);
+    }
+
+    #[test]
+    fn tree_structural_invariants(text in byte_text()) {
+        let tree = SuffixTree::build(text);
+        for id in 0..tree.num_nodes() as u32 {
+            let (l, r) = tree.slot_range(id);
+            prop_assert!(l <= r);
+            let (pl, pr) = tree.preorder_range(id);
+            prop_assert!(pl <= pr);
+            if let Some(p) = tree.parent(id) {
+                prop_assert!(tree.is_ancestor(p, id));
+                prop_assert!(tree.string_depth(p) < tree.string_depth(id));
+            }
+            if !tree.is_leaf(id) {
+                let kids = tree.children(id);
+                prop_assert!(kids.len() >= 2 || id == tree.root());
+                let mut cursor = l;
+                for &c in kids {
+                    let (cl, cr) = tree.slot_range(c);
+                    prop_assert_eq!(cl, cursor);
+                    cursor = cr + 1;
+                }
+                prop_assert_eq!(cursor, r + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn document_concat_round_trips(docs in prop::collection::vec(
+        prop::collection::vec(1u8..255, 0..20), 0..8)
+    ) {
+        let cat = DocumentConcat::new(&docs, 0);
+        prop_assert_eq!(cat.num_docs(), docs.len());
+        let mut pos = 0usize;
+        for (id, d) in docs.iter().enumerate() {
+            prop_assert_eq!(cat.doc_start(id), pos);
+            for (off, &b) in d.iter().enumerate() {
+                prop_assert_eq!(cat.doc_of(pos + off), Some(id));
+                prop_assert_eq!(cat.offset_in_doc(pos + off), Some(off));
+                prop_assert_eq!(cat.text()[pos + off], b);
+            }
+            pos += d.len();
+            prop_assert_eq!(cat.doc_of(pos), None, "separator");
+            pos += 1;
+        }
+        prop_assert_eq!(cat.text().len(), pos);
+    }
+}

@@ -1,0 +1,47 @@
+//! Character-level uncertain string model (Sections 1, 3, 5.1 of
+//! Thankachan et al., EDBT 2016).
+//!
+//! An *uncertain string* assigns, at every position, a set of
+//! `(character, probability)` choices. This crate provides:
+//!
+//! * [`UncertainChar`] / [`UncertainString`] — the model, with parsing,
+//!   validation, and exact occurrence-probability evaluation
+//!   ([`UncertainString::match_probability`]).
+//! * [`Correlation`] / [`CorrelationSet`] — the pairwise correlation model of
+//!   §3.3 (`pr⁺` when the conditioning character is present, `pr⁻` when
+//!   absent, total-probability marginal when outside the window).
+//! * Possible-world semantics ([`UncertainString::possible_worlds`]) used as
+//!   the ground-truth oracle in tests.
+//! * [`SpecialUncertainString`] — Definition 1: one probabilistic character
+//!   per position.
+//! * [`transform`] — the Lemma-2 reduction from a general uncertain string to
+//!   a special one by concatenating *extended maximal factors* with respect
+//!   to a construction-time threshold `τmin`, together with the position
+//!   mapping `Pos` used to report original offsets.
+
+mod chars;
+mod correlation;
+mod error;
+mod special;
+mod string;
+mod transform;
+mod worlds;
+
+pub use chars::UncertainChar;
+pub use correlation::{Correlation, CorrelationSet};
+pub use error::ModelError;
+pub use special::SpecialUncertainString;
+pub use string::UncertainString;
+pub use transform::{transform, transform_with_options, Transformed, TransformOptions, NO_POSITION, SENTINEL};
+pub use worlds::{WorldIter, DEFAULT_WORLD_LIMIT};
+
+/// Relative tolerance used for probability comparisons throughout the
+/// workspace (products of hundreds of floats accumulate rounding error).
+pub const PROB_EPS: f64 = 1e-9;
+
+/// Natural-log threshold comparison with tolerance: `log_p >= log_tau` up to
+/// [`PROB_EPS`].
+#[inline]
+pub fn log_meets_threshold(log_p: f64, log_tau: f64) -> bool {
+    log_p >= log_tau - PROB_EPS
+}

@@ -1,0 +1,424 @@
+//! The Lemma-2 transformation (§5.1): reduce a general uncertain string to a
+//! special uncertain string by concatenating *extended maximal factors*.
+//!
+//! A **maximal factor** at position `i` w.r.t. `τmin` (Definition 2) is a
+//! maximal-length deterministic string that, aligned at `i`, has occurrence
+//! probability ≥ `τmin`. Concatenating, for enough start positions, all
+//! maximal factors — each followed by a separator — yields a special
+//! uncertain string `X` such that every deterministic substring of `S` with
+//! occurrence probability ≥ `τmin` occurs inside `X`, with the `Pos` array
+//! mapping `X`-offsets back to `S`-offsets.
+//!
+//! **Extension optimization** (our realisation of Amir et al.'s *extended*
+//! maximal factors): a factor start is only placed at position `i` when
+//! `i = 0` or position `i−1` is not effectively deterministic (single
+//! character, probability 1, not a correlation subject). Runs of
+//! deterministic characters thus extend factors leftwards instead of
+//! spawning suffix-sharing restarts. Soundness: if `p` matches at `j` with
+//! probability ≥ τmin and `r ≤ j` is the latest start, every character in
+//! `[r, j)` has probability exactly 1, so the factor at `r` following `p`'s
+//! choices keeps all its prefixes at probability ≥ τmin and extends through
+//! the whole occurrence.
+//!
+//! **Correlation handling**: during enumeration a correlated character
+//! contributes `max(pr⁺, pr⁻)` — an upper bound on every conditioning
+//! outcome (the marginal is a convex combination). Stored factor
+//! probabilities are therefore *upper bounds* on true window probabilities;
+//! the index layer uses them for RMQ ordering/pruning (never missing a true
+//! match) and re-verifies candidates exactly against the original string.
+
+use crate::{
+    error::ModelError, log_meets_threshold, special::SpecialUncertainString,
+    string::UncertainString,
+};
+
+/// Separator byte between factors in the transformed string. Reserved: it
+/// may not appear as an uncertain-string character.
+pub const SENTINEL: u8 = 0;
+
+/// `Pos` value marking separator positions.
+pub const NO_POSITION: u32 = u32::MAX;
+
+/// Options controlling the transformation.
+#[derive(Debug, Clone, Default)]
+pub struct TransformOptions {
+    /// Abort with [`ModelError::TransformTooLarge`] when the output exceeds
+    /// this many characters (`None` = unbounded). The paper bounds the
+    /// output by O((1/τmin)²·n); this guard catches pathological inputs.
+    pub max_output_len: Option<usize>,
+}
+
+/// Result of the Lemma-2 transformation.
+#[derive(Debug, Clone)]
+pub struct Transformed {
+    /// The special uncertain string `X` (factors joined by [`SENTINEL`]
+    /// positions carrying probability 1).
+    pub special: SpecialUncertainString,
+    /// `pos[k]` = position in the source string of the k-th character of
+    /// `X`; [`NO_POSITION`] at separators.
+    pub pos: Vec<u32>,
+    /// The construction-time threshold.
+    pub tau_min: f64,
+    /// Number of factors emitted.
+    pub num_factors: usize,
+    /// Length of the source uncertain string.
+    pub source_len: usize,
+}
+
+impl Transformed {
+    /// Output length (characters of `X`, separators included).
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Returns `true` when no factors were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.num_factors == 0
+    }
+
+    /// Source position of `X`-offset `k`, or `None` at separators.
+    #[inline]
+    pub fn source_pos(&self, k: usize) -> Option<usize> {
+        match self.pos[k] {
+            NO_POSITION => None,
+            p => Some(p as usize),
+        }
+    }
+
+    /// Expansion ratio |X| / |S| (the space constant of §8.7).
+    pub fn expansion(&self) -> f64 {
+        if self.source_len == 0 {
+            return 0.0;
+        }
+        self.pos.len() as f64 / self.source_len as f64
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.special.chars().len()
+            + std::mem::size_of_val(self.special.probs())
+            + self.pos.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Transforms `s` into a special uncertain string w.r.t. `tau_min`
+/// (see the module documentation). `tau_min` must lie in `(0, 1]`.
+///
+/// ```
+/// use ustr_uncertain::{transform, UncertainString};
+/// let s = UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
+/// let t = transform(&s, 0.1).unwrap();
+/// // Every probable substring of s occurs in the transformed text, e.g. "QPP".
+/// let text = t.special.chars();
+/// assert!(text.windows(3).any(|w| w == b"QPP"));
+/// ```
+pub fn transform(s: &UncertainString, tau_min: f64) -> Result<Transformed, ModelError> {
+    transform_with_options(s, tau_min, &TransformOptions::default())
+}
+
+/// [`transform`] with explicit [`TransformOptions`].
+pub fn transform_with_options(
+    s: &UncertainString,
+    tau_min: f64,
+    options: &TransformOptions,
+) -> Result<Transformed, ModelError> {
+    if !(tau_min > 0.0 && tau_min <= 1.0) {
+        return Err(ModelError::InvalidThreshold { value: tau_min });
+    }
+    let n = s.len();
+    let log_tau = tau_min.ln();
+    let mut out_chars: Vec<u8> = Vec::new();
+    let mut out_probs: Vec<f64> = Vec::new();
+    let mut out_pos: Vec<u32> = Vec::new();
+    let mut num_factors = 0usize;
+
+    // Upper-bound probability of choosing `ch` at position `q` (see module
+    // docs for why correlated characters use max(pr+, pr-)).
+    let upper_prob = |q: usize, ch: u8, base: f64| -> f64 {
+        match s.correlations().get(q, ch) {
+            Some(corr) => corr.max_prob(),
+            None => base,
+        }
+    };
+
+    let mut emit = |start: usize,
+                    chosen: &[(u8, f64)],
+                    out_chars: &mut Vec<u8>,
+                    out_probs: &mut Vec<f64>,
+                    out_pos: &mut Vec<u32>|
+     -> Result<(), ModelError> {
+        for (k, &(c, p)) in chosen.iter().enumerate() {
+            out_chars.push(c);
+            out_probs.push(p);
+            out_pos.push((start + k) as u32);
+        }
+        out_chars.push(SENTINEL);
+        out_probs.push(1.0);
+        out_pos.push(NO_POSITION);
+        num_factors += 1;
+        if let Some(limit) = options.max_output_len {
+            if out_chars.len() > limit {
+                return Err(ModelError::TransformTooLarge {
+                    produced: out_chars.len(),
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    };
+
+    for start in 0..n {
+        if start > 0 && s.is_effectively_deterministic(start - 1) {
+            continue; // covered by the factor extending through position start-1
+        }
+        // Iterative DFS over viable character choices. `chosen` is the
+        // current path; `levels[k]` holds the untried siblings at depth k.
+        let mut chosen: Vec<(u8, f64)> = Vec::new();
+        let mut levels: Vec<Vec<(u8, f64)>> = Vec::new();
+        let mut log_p = 0.0f64;
+
+        'dfs: loop {
+            let q = start + chosen.len();
+            let mut next: Vec<(u8, f64)> = Vec::new();
+            if q < n {
+                for &(c, base) in s.position(q).choices() {
+                    let p = upper_prob(q, c, base);
+                    if p > 0.0 && log_meets_threshold(log_p + p.ln(), log_tau) {
+                        next.push((c, p));
+                    }
+                }
+            }
+            if let Some(&(c, p)) = next.last() {
+                next.pop();
+                levels.push(next);
+                chosen.push((c, p));
+                log_p += p.ln();
+                continue;
+            }
+            // No viable extension: the current path is a maximal factor.
+            if !chosen.is_empty() {
+                emit(start, &chosen, &mut out_chars, &mut out_probs, &mut out_pos)?;
+            }
+            // Backtrack to the deepest level with an untried sibling.
+            loop {
+                let Some((_, p)) = chosen.pop() else {
+                    break 'dfs;
+                };
+                log_p -= p.ln();
+                let siblings = levels.last_mut().expect("levels track chosen");
+                if let Some(&(c2, p2)) = siblings.last() {
+                    siblings.pop();
+                    chosen.push((c2, p2));
+                    log_p += p2.ln();
+                    continue 'dfs;
+                }
+                levels.pop();
+            }
+        }
+    }
+
+    Ok(Transformed {
+        special: SpecialUncertainString::from_raw(out_chars, out_probs),
+        pos: out_pos,
+        tau_min,
+        num_factors,
+        source_len: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every substring of every world with probability ≥ τmin must occur in
+    /// the transformed text at a matching `Pos` alignment (Lemma 2).
+    fn assert_conservation(s: &UncertainString, tau_min: f64) {
+        let t = transform(s, tau_min).unwrap();
+        let text = t.special.chars();
+        for start in 0..s.len() {
+            for len in 1..=s.len() - start {
+                // Enumerate all deterministic strings for this window.
+                let window_rows: Vec<Vec<u8>> = (start..start + len)
+                    .map(|i| s.position(i).choices().iter().map(|&(c, _)| c).collect())
+                    .collect();
+                let mut stack = vec![Vec::<u8>::new()];
+                while let Some(prefix) = stack.pop() {
+                    if prefix.len() == len {
+                        let p = s.match_probability(&prefix, start);
+                        if p >= tau_min - 1e-12 {
+                            // Must appear in X aligned at source position `start`.
+                            let found = (0..text.len().saturating_sub(len - 1)).any(|k| {
+                                text[k..k + len] == prefix[..]
+                                    && t.source_pos(k) == Some(start)
+                                    && (0..len).all(|d| t.source_pos(k + d) == Some(start + d))
+                            });
+                            assert!(
+                                found,
+                                "substring {:?} at {} (prob {}) missing from transform",
+                                String::from_utf8_lossy(&prefix),
+                                start,
+                                p
+                            );
+                        }
+                        continue;
+                    }
+                    for &c in &window_rows[prefix.len()] {
+                        let mut next = prefix.clone();
+                        next.push(c);
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conservation_on_paper_figure_10_string() {
+        // S = Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1
+        let s =
+            UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
+        assert_conservation(&s, 0.1);
+        assert_conservation(&s, 0.3);
+    }
+
+    #[test]
+    fn conservation_on_deterministic_runs() {
+        let s = UncertainString::parse("A | B | C:.5,D:.5 | E | F | G:.9,H:.1").unwrap();
+        assert_conservation(&s, 0.2);
+    }
+
+    #[test]
+    fn deterministic_string_transforms_to_itself() {
+        let s = UncertainString::deterministic(b"banana");
+        let t = transform(&s, 0.5).unwrap();
+        assert_eq!(t.num_factors, 1);
+        assert_eq!(t.special.chars(), b"banana\0");
+        assert_eq!(t.pos, vec![0, 1, 2, 3, 4, 5, NO_POSITION]);
+        assert_eq!(t.expansion(), 7.0 / 6.0);
+    }
+
+    #[test]
+    fn factors_are_prefix_free_per_start() {
+        // Maximal factors starting at one position can never be prefixes of
+        // each other (maximality), hence they are ≤ 1/τmin many.
+        let s = UncertainString::parse(
+            "A:.5,B:.5 | C:.5,D:.5 | E:.5,F:.5 | G:.5,H:.5",
+        )
+        .unwrap();
+        let t = transform(&s, 0.25).unwrap();
+        // From position 0: prefixes of length 2 have prob .25 ≥ τ; length 3
+        // drops to .125 < τ. So factors from start 0 are the 4 two-char
+        // combos; similar for starts 1, 2; start 3: single chars.
+        let text = t.special.chars();
+        let factors: Vec<&[u8]> = text.split(|&b| b == SENTINEL).filter(|f| !f.is_empty()).collect();
+        assert_eq!(t.num_factors, factors.len());
+        for f in &factors {
+            assert!(f.len() <= 2);
+        }
+        assert_eq!(factors.iter().filter(|f| f.len() == 2).count(), 12);
+    }
+
+    #[test]
+    fn no_factor_when_probability_below_threshold() {
+        let s = UncertainString::parse("A:.1,B:.1 | C:.05,D:.05").unwrap();
+        let t = transform(&s, 0.2).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let s = UncertainString::deterministic(b"x");
+        assert!(matches!(
+            transform(&s, 0.0),
+            Err(ModelError::InvalidThreshold { .. })
+        ));
+        assert!(matches!(
+            transform(&s, 1.5),
+            Err(ModelError::InvalidThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn output_limit_enforced() {
+        let s = UncertainString::parse("A:.5,B:.5 | C:.5,D:.5 | E:.5,F:.5").unwrap();
+        let opts = TransformOptions {
+            max_output_len: Some(4),
+        };
+        assert!(matches!(
+            transform_with_options(&s, 0.1, &opts),
+            Err(ModelError::TransformTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_interior_positions_do_not_restart_factors() {
+        // "A B C" fully deterministic: only one start (position 0).
+        let s = UncertainString::deterministic(b"ABC");
+        let t = transform(&s, 0.9).unwrap();
+        assert_eq!(t.num_factors, 1);
+        // Prefixing with an uncertain position adds starts at 0 and 1 only.
+        let s = UncertainString::parse("X:.5,Y:.5 | A | B | C").unwrap();
+        let t = transform(&s, 0.4).unwrap();
+        // Start 0: factors XABC and YABC; start 1: ABC (positions 2,3 are
+        // covered by the factor through the deterministic run).
+        let text = t.special.chars();
+        let factors: Vec<&[u8]> =
+            text.split(|&b| b == SENTINEL).filter(|f| !f.is_empty()).collect();
+        assert_eq!(factors.len(), 3);
+        assert!(factors.contains(&&b"XABC"[..]));
+        assert!(factors.contains(&&b"YABC"[..]));
+        assert!(factors.contains(&&b"ABC"[..]));
+    }
+
+    #[test]
+    fn empty_string() {
+        let s = UncertainString::new(Vec::new());
+        let t = transform(&s, 0.5).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.expansion(), 0.0);
+    }
+
+    #[test]
+    fn pos_maps_every_character() {
+        let s = UncertainString::parse("A:.6,B:.4 | C | D:.5,E:.5").unwrap();
+        let t = transform(&s, 0.2).unwrap();
+        for k in 0..t.len() {
+            match t.source_pos(k) {
+                Some(p) => {
+                    assert!(p < s.len());
+                    // The character at X[k] must be a choice at S[p].
+                    let c = t.special.char_at(k);
+                    assert!(s.position(p).prob_of(c) > 0.0);
+                }
+                None => assert_eq!(t.special.char_at(k), SENTINEL),
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_subjects_use_upper_bound() {
+        use crate::correlation::{Correlation, CorrelationSet};
+        let mut s = UncertainString::parse("e:.6,f:.4 | q | z:.36").unwrap();
+        let mut corrs = CorrelationSet::new();
+        corrs
+            .add(Correlation {
+                subject_pos: 2,
+                subject_char: b'z',
+                cond_pos: 0,
+                cond_char: b'e',
+                p_present: 0.3,
+                p_absent: 0.4,
+            })
+            .unwrap();
+        s.set_correlations(corrs).unwrap();
+        let t = transform(&s, 0.2).unwrap();
+        // z's upper bound is .4: the factor "eqz" survives τ=.2 via
+        // .6*1*.4 = .24 even though the true conditional is .6*1*.3 = .18.
+        let text = t.special.chars();
+        assert!(text.windows(3).any(|w| w == b"eqz"));
+        // The stored probability for z inside that factor is the bound .4.
+        let k = (0..text.len() - 2).find(|&k| &text[k..k + 3] == b"eqz").unwrap();
+        assert!((t.special.prob_at(k + 2) - 0.4).abs() < 1e-12);
+    }
+}

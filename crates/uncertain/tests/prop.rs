@@ -1,0 +1,126 @@
+//! Property tests for the uncertain-string model and the Lemma-2 transform.
+
+use proptest::prelude::*;
+use ustr_uncertain::{transform, UncertainString, SENTINEL};
+
+fn uncertain_rows() -> impl Strategy<Value = Vec<Vec<(u8, f64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..4, 1u32..60), 1..=3),
+        1..=12,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|mut row| {
+                row.sort_by_key(|&(c, _)| c);
+                row.dedup_by_key(|&mut (c, _)| c);
+                let total: u32 = row.iter().map(|&(_, w)| w).sum();
+                row.into_iter()
+                    .map(|(c, w)| (b'a' + c, w as f64 / total as f64))
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// World probabilities are a probability distribution and match the
+    /// per-window evaluator.
+    #[test]
+    fn worlds_form_a_distribution(rows in uncertain_rows()) {
+        let s = UncertainString::from_rows(rows).unwrap();
+        let worlds = s.possible_worlds().unwrap();
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for (w, p) in &worlds {
+            prop_assert!((s.match_probability(w, 0) - p).abs() < 1e-12);
+        }
+    }
+
+    /// Parse/display round-trips preserve the model.
+    #[test]
+    fn display_parse_round_trip(rows in uncertain_rows()) {
+        let s = UncertainString::from_rows(rows).unwrap();
+        let text = s.to_string();
+        let s2 = UncertainString::parse(&text).unwrap();
+        prop_assert_eq!(s.len(), s2.len());
+        for i in 0..s.len() {
+            for &(c, p) in s.position(i).choices() {
+                prop_assert!((s2.position(i).prob_of(c) - p).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Lemma 2 both ways: (a) every probable window of every world occurs in
+    /// the transform with correct alignment; (b) every transformed window
+    /// maps back to a real window of the source with probability ≥ τmin.
+    #[test]
+    fn transform_is_sound_and_conservative(
+        rows in uncertain_rows(),
+        tau_pct in 10u32..40,
+    ) {
+        let s = UncertainString::from_rows(rows).unwrap();
+        let tau = tau_pct as f64 / 100.0;
+        let t = transform(&s, tau).unwrap();
+        let text = t.special.chars();
+
+        // (b) soundness: factor characters map to genuine choices, factor
+        // prefixes stay above τmin under the upper-bound semantics (without
+        // correlations the stored probabilities are exact).
+        let mut k = 0usize;
+        while k < text.len() {
+            if text[k] == SENTINEL {
+                k += 1;
+                continue;
+            }
+            let src = t.source_pos(k).expect("factor char has a source");
+            prop_assert!(s.position(src).prob_of(text[k]) > 0.0);
+            prop_assert!((s.position(src).prob_of(text[k]) - t.special.prob_at(k)).abs() < 1e-12);
+            k += 1;
+        }
+        // Factor prefix products ≥ τmin.
+        let mut start = 0usize;
+        for (i, &c) in text.iter().enumerate() {
+            if c == SENTINEL {
+                let mut prod = 1.0f64;
+                for j in start..i {
+                    prod *= t.special.prob_at(j);
+                    prop_assert!(prod >= tau - 1e-9, "prefix below tau at {}..{}", start, j);
+                }
+                start = i + 1;
+            }
+        }
+
+        // (a) conservation for the most probable world's windows.
+        let world = s.most_probable_world();
+        for w_start in 0..s.len() {
+            for w_len in 1..=(s.len() - w_start).min(6) {
+                let pattern = &world[w_start..w_start + w_len];
+                if s.match_probability(pattern, w_start) >= tau - 1e-12 {
+                    let found = (0..=text.len().saturating_sub(w_len)).any(|k| {
+                        &text[k..k + w_len] == pattern
+                            && (0..w_len).all(|d| t.source_pos(k + d) == Some(w_start + d))
+                    });
+                    prop_assert!(found, "window {}..{} lost", w_start, w_start + w_len);
+                }
+            }
+        }
+    }
+
+    /// The expansion of the transform stays within the paper's
+    /// O((1/τmin)²·n) bound (loose sanity check with the constant 4).
+    #[test]
+    fn transform_expansion_is_bounded(rows in uncertain_rows()) {
+        let s = UncertainString::from_rows(rows).unwrap();
+        let tau = 0.25f64;
+        let t = transform(&s, tau).unwrap();
+        let bound = 4.0 * (1.0 / tau) * (1.0 / tau) * (s.len() as f64) + 16.0;
+        prop_assert!(
+            (t.len() as f64) <= bound,
+            "expansion {} exceeds bound {}",
+            t.len(),
+            bound
+        );
+    }
+}

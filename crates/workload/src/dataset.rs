@@ -1,0 +1,228 @@
+//! The §8.1 dataset: edit-distance-neighbourhood pdfs over protein segments.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use ustr_uncertain::{UncertainChar, UncertainString};
+
+use crate::protein::{random_protein, sample_substitute};
+
+/// Configuration of the synthetic dataset generator.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Total number of positions (the paper's `n`, 2K–300K in §8).
+    pub n: usize,
+    /// Fraction of uncertain positions θ ∈ \[0, 1\] (§8.1: 0.1–0.5).
+    pub theta: f64,
+    /// RNG seed; every output is a pure function of the config.
+    pub seed: u64,
+    /// Segment length bounds (paper: ≈ normal over \[20, 45\]).
+    pub segment_len: (usize, usize),
+    /// Substitutions per neighbour string (paper: edit distance 4).
+    pub edits_per_neighbor: usize,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            n: 10_000,
+            theta: 0.2,
+            seed: 42,
+            segment_len: (20, 45),
+            edits_per_neighbor: 4,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// Convenience constructor for the common (n, θ, seed) sweep axes.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        Self {
+            n,
+            theta,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Approximate normal sample via the central limit of 4 uniforms, clamped
+/// to the configured segment bounds.
+fn segment_length(rng: &mut StdRng, bounds: (usize, usize)) -> usize {
+    let (lo, hi) = bounds;
+    if lo >= hi {
+        return lo;
+    }
+    let mid = (lo + hi) as f64 / 2.0;
+    let spread = (hi - lo) as f64 / 2.0;
+    let z: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 2.0 - 1.0; // ~N(0, 1/3)
+    let len = mid + z * spread;
+    (len.round() as usize).clamp(lo, hi)
+}
+
+/// Builds one uncertain segment following §8.1: select `⌈θ·L⌉` uncertain
+/// positions, generate neighbour strings whose `edits_per_neighbor`
+/// substitutions are drawn from those positions, and set each position's
+/// pdf to the normalized letter frequencies over the neighbourhood.
+fn generate_segment(rng: &mut StdRng, len: usize, cfg: &DatasetConfig) -> UncertainString {
+    let base = random_protein(rng, len);
+    let num_uncertain = ((cfg.theta * len as f64).round() as usize).min(len);
+    // Choose the uncertain position set (partial Fisher–Yates).
+    let mut order: Vec<usize> = (0..len).collect();
+    for i in 0..num_uncertain {
+        let j = rng.gen_range(i..len);
+        order.swap(i, j);
+    }
+    let uncertain = &order[..num_uncertain];
+
+    // Letter vote counts per uncertain position. The base string votes once
+    // per neighbour that did not edit the position, plus once for itself.
+    let neighbors = num_uncertain.max(4);
+    let mut votes: Vec<Vec<(u8, u32)>> = uncertain
+        .iter()
+        .map(|&p| vec![(base[p], 1 + neighbors as u32)])
+        .collect();
+    if num_uncertain > 0 {
+        let edits = cfg.edits_per_neighbor.min(num_uncertain);
+        let mut pick: Vec<usize> = (0..num_uncertain).collect();
+        for _ in 0..neighbors {
+            // Each neighbour substitutes at `edits` *distinct* uncertain
+            // positions (edit distance ≤ edits_per_neighbor).
+            for i in 0..edits {
+                let j = rng.gen_range(i..num_uncertain);
+                pick.swap(i, j);
+            }
+            for &k in &pick[..edits] {
+                let p = uncertain[k];
+                let sub = sample_substitute(rng, base[p]);
+                let row = &mut votes[k];
+                // The edited neighbour votes for `sub` instead of the base.
+                row[0].1 -= 1;
+                match row.iter_mut().find(|(c, _)| *c == sub) {
+                    Some(entry) => entry.1 += 1,
+                    None => row.push((sub, 1)),
+                }
+            }
+        }
+    }
+
+    let mut positions: Vec<UncertainChar> = base
+        .iter()
+        .map(|&c| UncertainChar::deterministic(c))
+        .collect();
+    for (k, &p) in uncertain.iter().enumerate() {
+        let total: u32 = votes[k].iter().map(|&(_, v)| v).sum();
+        let mut rows: Vec<(u8, f64)> = votes[k]
+            .iter()
+            .filter(|&&(_, v)| v > 0)
+            .map(|&(c, v)| (c, v as f64 / total as f64))
+            .collect();
+        // Guarantee genuine uncertainty: if every vote collapsed onto the
+        // base letter, add one alternative.
+        if rows.len() == 1 {
+            let alt = sample_substitute(rng, rows[0].0);
+            rows[0].1 = 0.8;
+            rows.push((alt, 0.2));
+        }
+        positions[p] = UncertainChar::new(rows, p).expect("vote pdf is valid");
+    }
+    UncertainString::new(positions)
+}
+
+/// Generates a single uncertain string of `cfg.n` positions by
+/// concatenating segments (the substring-search experiments of §8.2–8.6).
+pub fn generate_string(cfg: &DatasetConfig) -> UncertainString {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut positions = Vec::with_capacity(cfg.n);
+    while positions.len() < cfg.n {
+        let want = cfg.n - positions.len();
+        let len = segment_length(&mut rng, cfg.segment_len).min(want.max(1));
+        let seg = generate_segment(&mut rng, len, cfg);
+        positions.extend(seg.positions().iter().cloned());
+    }
+    positions.truncate(cfg.n);
+    UncertainString::new(positions)
+}
+
+/// Generates a collection of uncertain strings totalling `cfg.n` positions
+/// (the string-listing experiments).
+pub fn generate_collection(cfg: &DatasetConfig) -> Vec<UncertainString> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut docs = Vec::new();
+    let mut total = 0usize;
+    while total < cfg.n {
+        let want = cfg.n - total;
+        let len = segment_length(&mut rng, cfg.segment_len).min(want.max(1));
+        docs.push(generate_segment(&mut rng, len, cfg));
+        total += len;
+    }
+    docs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_has_requested_length_and_theta() {
+        let cfg = DatasetConfig::new(5000, 0.3, 11);
+        let s = generate_string(&cfg);
+        assert_eq!(s.len(), 5000);
+        let theta = s.uncertain_fraction();
+        assert!(
+            (theta - 0.3).abs() < 0.05,
+            "uncertain fraction {theta} should approximate 0.3"
+        );
+    }
+
+    #[test]
+    fn average_choices_near_five() {
+        let cfg = DatasetConfig::new(5000, 0.4, 3);
+        let s = generate_string(&cfg);
+        let uncertain: Vec<_> = s
+            .positions()
+            .iter()
+            .filter(|p| p.num_choices() > 1)
+            .collect();
+        let avg: f64 =
+            uncertain.iter().map(|p| p.num_choices() as f64).sum::<f64>() / uncertain.len() as f64;
+        assert!(
+            (3.0..=7.0).contains(&avg),
+            "average choices {avg} should be near the paper's 5"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = DatasetConfig::new(500, 0.2, 9);
+        let a = generate_string(&cfg);
+        let b = generate_string(&cfg);
+        assert_eq!(a.to_string(), b.to_string());
+        let c = generate_string(&DatasetConfig::new(500, 0.2, 10));
+        assert_ne!(a.to_string(), c.to_string());
+    }
+
+    #[test]
+    fn theta_zero_is_fully_deterministic() {
+        let s = generate_string(&DatasetConfig::new(300, 0.0, 5));
+        assert_eq!(s.uncertain_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pdfs_are_valid_distributions() {
+        let s = generate_string(&DatasetConfig::new(2000, 0.5, 21));
+        for (i, p) in s.positions().iter().enumerate() {
+            let sum: f64 = p.choices().iter().map(|&(_, pr)| pr).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "position {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn collection_lengths_respect_bounds() {
+        let cfg = DatasetConfig::new(3000, 0.2, 77);
+        let docs = generate_collection(&cfg);
+        let total: usize = docs.iter().map(|d| d.len()).sum();
+        assert!(total >= 3000);
+        for d in &docs[..docs.len() - 1] {
+            assert!((20..=45).contains(&d.len()), "len {}", d.len());
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! IUPAC nucleotide ambiguity codes → uncertain strings.
+//!
+//! §2 of the paper points at the NC-IUB recommendation (Lilley et al.) that
+//! standardises *incompletely specified bases* in DNA: `R` means A or G,
+//! `N` means any base, and so on. A sequence containing ambiguity codes is
+//! exactly a character-level uncertain string — each code expands to a
+//! uniform (or user-weighted) distribution over its base set — which makes
+//! every index in this workspace directly applicable to real FASTA data.
+
+use ustr_uncertain::{ModelError, UncertainChar, UncertainString};
+
+/// The base set of one IUPAC nucleotide code, or `None` for non-code bytes.
+///
+/// Both cases are accepted; `U` is treated as `T`.
+pub fn iupac_bases(code: u8) -> Option<&'static [u8]> {
+    match code.to_ascii_uppercase() {
+        b'A' => Some(b"A"),
+        b'C' => Some(b"C"),
+        b'G' => Some(b"G"),
+        b'T' | b'U' => Some(b"T"),
+        b'R' => Some(b"AG"),
+        b'Y' => Some(b"CT"),
+        b'S' => Some(b"CG"),
+        b'W' => Some(b"AT"),
+        b'K' => Some(b"GT"),
+        b'M' => Some(b"AC"),
+        b'B' => Some(b"CGT"),
+        b'D' => Some(b"AGT"),
+        b'H' => Some(b"ACT"),
+        b'V' => Some(b"ACG"),
+        b'N' => Some(b"ACGT"),
+        _ => None,
+    }
+}
+
+/// Converts an IUPAC-annotated nucleotide sequence into an uncertain string:
+/// every ambiguity code becomes a uniform distribution over its base set.
+///
+/// ```
+/// use ustr_workload::iupac::from_iupac;
+/// let s = from_iupac(b"ACGRN").unwrap();
+/// assert_eq!(s.len(), 5);
+/// assert_eq!(s.position(3).prob_of(b'A'), 0.5); // R = A|G
+/// assert_eq!(s.position(4).prob_of(b'T'), 0.25); // N = any
+/// // "ACGA" matches with probability .5 * 1 = ... times N's tail:
+/// assert!((s.match_probability(b"ACGA", 0) - 0.5).abs() < 1e-12);
+/// ```
+pub fn from_iupac(sequence: &[u8]) -> Result<UncertainString, ModelError> {
+    from_iupac_weighted(sequence, &|_, bases| {
+        let p = 1.0 / bases.len() as f64;
+        bases.iter().map(|&b| (b, p)).collect()
+    })
+}
+
+/// Like [`from_iupac`] with caller-provided weights: `weigh(position,
+/// base_set)` returns the `(base, probability)` rows for one ambiguity code
+/// (e.g. genome-wide base composition priors instead of uniform weights).
+pub fn from_iupac_weighted(
+    sequence: &[u8],
+    weigh: &dyn Fn(usize, &'static [u8]) -> Vec<(u8, f64)>,
+) -> Result<UncertainString, ModelError> {
+    let mut positions = Vec::with_capacity(sequence.len());
+    for (i, &code) in sequence.iter().enumerate() {
+        let bases = iupac_bases(code).ok_or_else(|| ModelError::Parse {
+            detail: format!(
+                "byte {:?} at position {i} is not an IUPAC nucleotide code",
+                code as char
+            ),
+        })?;
+        positions.push(UncertainChar::new(weigh(i, bases), i)?);
+    }
+    Ok(UncertainString::new(positions))
+}
+
+/// Fraction of ambiguous (multi-base) codes in a sequence — the θ this
+/// sequence would have as an uncertain string.
+pub fn ambiguity_fraction(sequence: &[u8]) -> f64 {
+    if sequence.is_empty() {
+        return 0.0;
+    }
+    let ambiguous = sequence
+        .iter()
+        .filter(|&&c| iupac_bases(c).is_some_and(|b| b.len() > 1))
+        .count();
+    ambiguous as f64 / sequence.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fifteen_codes_expand() {
+        let codes = b"ACGTRYSWKMBDHVN";
+        for &c in codes {
+            let bases = iupac_bases(c).unwrap();
+            assert!(!bases.is_empty());
+            // Base sets are sorted, distinct, and drawn from ACGT.
+            assert!(bases.windows(2).all(|w| w[0] < w[1]));
+            assert!(bases.iter().all(|b| b"ACGT".contains(b)));
+        }
+        assert_eq!(iupac_bases(b'u'), Some(&b"T"[..]), "U = T, case folded");
+        assert_eq!(iupac_bases(b'X'), None);
+        assert_eq!(iupac_bases(b'-'), None);
+    }
+
+    #[test]
+    fn uniform_expansion_probabilities() {
+        let s = from_iupac(b"ANRB").unwrap();
+        assert_eq!(s.position(0).prob_of(b'A'), 1.0);
+        for b in b"ACGT" {
+            assert_eq!(s.position(1).prob_of(*b), 0.25);
+        }
+        assert_eq!(s.position(2).prob_of(b'A'), 0.5);
+        assert_eq!(s.position(2).prob_of(b'G'), 0.5);
+        assert!((s.position(3).prob_of(b'C') - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.position(3).prob_of(b'A'), 0.0);
+    }
+
+    #[test]
+    fn weighted_expansion() {
+        // GC-rich prior: weight G/C twice as much as A/T.
+        let weigh = |_: usize, bases: &'static [u8]| -> Vec<(u8, f64)> {
+            let w = |b: u8| if b == b'G' || b == b'C' { 2.0 } else { 1.0 };
+            let total: f64 = bases.iter().map(|&b| w(b)).sum();
+            bases.iter().map(|&b| (b, w(b) / total)).collect()
+        };
+        let s = from_iupac_weighted(b"R", &weigh).unwrap();
+        assert!((s.position(0).prob_of(b'G') - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.position(0).prob_of(b'A') - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_iupac_bytes() {
+        assert!(from_iupac(b"ACGT").is_ok());
+        assert!(from_iupac(b"ACGT-").is_err());
+        assert!(from_iupac(b"AC GT").is_err());
+    }
+
+    #[test]
+    fn ambiguity_fraction_counts_multi_base_codes() {
+        assert_eq!(ambiguity_fraction(b"ACGT"), 0.0);
+        assert_eq!(ambiguity_fraction(b"ANGN"), 0.5);
+        assert_eq!(ambiguity_fraction(b""), 0.0);
+    }
+
+    #[test]
+    fn searching_iupac_sequences_end_to_end() {
+        use ustr_baseline::NaiveScanner;
+        // "ACGRNT": "GAT" matches at 2 (G, R→A, N→T) and at 3 (R→G, N→A, T),
+        // each with probability .5 * .25 = .125.
+        let s = from_iupac(b"ACGRNT").unwrap();
+        let hits = NaiveScanner::find_with_probs(&s, b"GAT", 0.05);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 2);
+        assert_eq!(hits[1].0, 3);
+        for &(_, p) in &hits {
+            assert!((p - 0.125).abs() < 1e-12);
+        }
+        // Raising the threshold above .125 excludes both.
+        assert!(NaiveScanner::find(&s, b"GAT", 0.2).is_empty());
+    }
+}

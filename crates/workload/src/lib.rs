@@ -1,0 +1,25 @@
+//! Synthetic workloads reproducing the paper's evaluation setup (§8.1).
+//!
+//! The authors derive a character-level probabilistic dataset from a
+//! concatenated mouse+human protein sequence (|Σ| = 22): the sequence is
+//! broken into short strings (lengths ≈ normal over \[20, 45\]); for each
+//! string `s` a set `A(s)` of strings within edit distance 4 is generated,
+//! and the pdf of each position is the normalized letter frequency over
+//! `A(s)`. The fraction of uncertain positions θ is varied in \[0.1, 0.5\]
+//! and each uncertain position averages 5 character choices.
+//!
+//! The original corpus is not redistributable, so [`protein`] synthesises
+//! protein-like sequences from published amino-acid frequencies — the same
+//! alphabet size and the same pdf construction, which is all the evaluation
+//! sweeps (n, θ, τ, τmin, m) depend on. Everything is deterministic under a
+//! seed.
+
+pub mod dataset;
+pub mod iupac;
+pub mod protein;
+pub mod queries;
+
+pub use dataset::{generate_collection, generate_string, DatasetConfig};
+pub use iupac::{ambiguity_fraction, from_iupac, from_iupac_weighted};
+pub use protein::{random_protein, PROTEIN_ALPHABET};
+pub use queries::{sample_patterns, PatternMode};

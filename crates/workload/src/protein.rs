@@ -1,0 +1,100 @@
+//! Protein-like sequence generation over the paper's 22-letter alphabet.
+
+use rand::Rng;
+
+/// The 22-letter protein alphabet used by the paper's dataset (20 amino
+/// acids plus the IUPAC ambiguity codes B and Z).
+pub const PROTEIN_ALPHABET: [u8; 22] = [
+    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P',
+    b'S', b'T', b'W', b'Y', b'V', b'B', b'Z',
+];
+
+/// Natural amino-acid abundances (percent), with small masses for the
+/// ambiguity codes. Source: UniProtKB/Swiss-Prot composition statistics.
+const FREQUENCIES: [f64; 22] = [
+    8.25, 5.53, 4.06, 5.45, 1.37, 3.93, 6.75, 7.07, 2.27, 5.96, 9.66, 5.84, 2.42, 3.86, 4.70,
+    6.56, 5.34, 1.08, 2.92, 6.87, 0.05, 0.06,
+];
+
+/// Cumulative distribution for inverse-transform sampling.
+fn cdf() -> [f64; 22] {
+    let total: f64 = FREQUENCIES.iter().sum();
+    let mut acc = 0.0;
+    let mut out = [0.0; 22];
+    for (i, f) in FREQUENCIES.iter().enumerate() {
+        acc += f / total;
+        out[i] = acc;
+    }
+    out[21] = 1.0;
+    out
+}
+
+/// Samples one letter from the abundance distribution.
+pub fn sample_letter(rng: &mut impl Rng) -> u8 {
+    let table = cdf();
+    let x: f64 = rng.gen();
+    for (i, &c) in table.iter().enumerate() {
+        if x <= c {
+            return PROTEIN_ALPHABET[i];
+        }
+    }
+    PROTEIN_ALPHABET[21]
+}
+
+/// Samples a letter different from `not`, uniformly over the remaining
+/// alphabet (substitution model for the edit-distance neighbourhood).
+pub fn sample_substitute(rng: &mut impl Rng, not: u8) -> u8 {
+    loop {
+        let c = PROTEIN_ALPHABET[rng.gen_range(0..PROTEIN_ALPHABET.len())];
+        if c != not {
+            return c;
+        }
+    }
+}
+
+/// Generates a protein-like sequence of length `len`.
+pub fn random_protein(rng: &mut impl Rng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| sample_letter(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn alphabet_has_22_distinct_letters() {
+        let mut set = PROTEIN_ALPHABET.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), 22);
+        assert!(!PROTEIN_ALPHABET.contains(&0u8), "sentinel byte excluded");
+    }
+
+    #[test]
+    fn sequences_are_deterministic_under_seed() {
+        let a = random_protein(&mut StdRng::seed_from_u64(7), 100);
+        let b = random_protein(&mut StdRng::seed_from_u64(7), 100);
+        let c = random_protein(&mut StdRng::seed_from_u64(8), 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn letters_come_from_the_alphabet() {
+        let s = random_protein(&mut StdRng::seed_from_u64(1), 5000);
+        assert!(s.iter().all(|c| PROTEIN_ALPHABET.contains(c)));
+        // Common letters dominate rare ones over a long sample.
+        let count = |c: u8| s.iter().filter(|&&x| x == c).count();
+        assert!(count(b'L') > count(b'W'));
+        assert!(count(b'A') > count(b'B'));
+    }
+
+    #[test]
+    fn substitutes_never_equal_the_original() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            assert_ne!(sample_substitute(&mut rng, b'A'), b'A');
+        }
+    }
+}

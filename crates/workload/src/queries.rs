@@ -1,0 +1,112 @@
+//! Query-pattern sampling for the evaluation sweeps.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use ustr_uncertain::UncertainString;
+
+/// How patterns are drawn from the indexed string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternMode {
+    /// Follow the most probable character at each position: patterns that
+    /// actually match with high probability ("hit" workload).
+    Probable,
+    /// Sample each character proportionally to its probability: a mix of
+    /// strong and weak matches.
+    Weighted,
+    /// Uniform random letters from the string's alphabet: mostly misses.
+    Random,
+}
+
+/// Samples `count` patterns of length `m` anchored at random positions of
+/// `s`. Deterministic under `seed`.
+pub fn sample_patterns(
+    s: &UncertainString,
+    m: usize,
+    count: usize,
+    mode: PatternMode,
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = s.len();
+    if n == 0 || m == 0 || m > n {
+        return Vec::new();
+    }
+    // Alphabet observed in the string, for Random mode.
+    let mut alphabet: Vec<u8> = s
+        .positions()
+        .iter()
+        .flat_map(|p| p.choices().iter().map(|&(c, _)| c))
+        .collect();
+    alphabet.sort_unstable();
+    alphabet.dedup();
+
+    (0..count)
+        .map(|_| {
+            let start = rng.gen_range(0..=n - m);
+            (0..m)
+                .map(|k| match mode {
+                    PatternMode::Probable => s.position(start + k).most_probable().0,
+                    PatternMode::Weighted => {
+                        let choices = s.position(start + k).choices();
+                        let total: f64 = choices.iter().map(|&(_, p)| p).sum();
+                        let mut x: f64 = rng.gen::<f64>() * total;
+                        for &(c, p) in choices {
+                            x -= p;
+                            if x <= 0.0 {
+                                return c;
+                            }
+                        }
+                        choices[choices.len() - 1].0
+                    }
+                    PatternMode::Random => alphabet[rng.gen_range(0..alphabet.len())],
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_string, DatasetConfig};
+
+    #[test]
+    fn probable_patterns_usually_match() {
+        let s = generate_string(&DatasetConfig::new(2000, 0.2, 1));
+        let patterns = sample_patterns(&s, 8, 20, PatternMode::Probable, 2);
+        assert_eq!(patterns.len(), 20);
+        let hits = patterns
+            .iter()
+            .filter(|p| {
+                (0..=s.len() - p.len()).any(|i| s.match_probability(p, i) > 0.0)
+            })
+            .count();
+        assert!(hits >= 18, "probable patterns should nearly always occur");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let s = generate_string(&DatasetConfig::new(500, 0.3, 4));
+        let a = sample_patterns(&s, 10, 5, PatternMode::Weighted, 9);
+        let b = sample_patterns(&s, 10, 5, PatternMode::Weighted, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty() {
+        let s = generate_string(&DatasetConfig::new(50, 0.1, 4));
+        assert!(sample_patterns(&s, 0, 5, PatternMode::Probable, 1).is_empty());
+        assert!(sample_patterns(&s, 100, 5, PatternMode::Probable, 1).is_empty());
+        let empty = UncertainString::new(Vec::new());
+        assert!(sample_patterns(&empty, 3, 5, PatternMode::Probable, 1).is_empty());
+    }
+
+    #[test]
+    fn pattern_lengths_are_exact() {
+        let s = generate_string(&DatasetConfig::new(300, 0.2, 6));
+        for m in [1, 5, 17] {
+            for p in sample_patterns(&s, m, 10, PatternMode::Random, 3) {
+                assert_eq!(p.len(), m);
+            }
+        }
+    }
+}

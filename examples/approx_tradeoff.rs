@@ -1,0 +1,66 @@
+//! The ε trade-off of the approximate index (§7): fewer links and O(m+occ)
+//! retrieval, at the cost of an additive error on the threshold.
+//!
+//! Run with: `cargo run --release --example approx_tradeoff`
+
+use std::time::Instant;
+
+use uncertain_strings::{
+    workload::{generate_string, sample_patterns, DatasetConfig, PatternMode},
+    ApproxIndex, Index,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let s = generate_string(&DatasetConfig::new(20_000, 0.3, 99));
+    let tau_min = 0.1;
+    let exact = Index::build(&s, tau_min)?;
+    println!(
+        "exact index: {:.2} MiB, built in {:?}",
+        exact.stats().heap_mib(),
+        exact.stats().build_time
+    );
+
+    let patterns = sample_patterns(&s, 6, 25, PatternMode::Probable, 5);
+    let tau = 0.25;
+
+    println!("\n{:<8} {:>10} {:>12} {:>10} {:>10} {:>8}", "epsilon", "links", "build", "query", "exact-q", "extra");
+    for eps in [0.2, 0.1, 0.05, 0.02] {
+        let t0 = Instant::now();
+        let approx = ApproxIndex::build(&s, tau_min, eps)?;
+        let build = t0.elapsed();
+
+        let mut extra = 0usize;
+        let t0 = Instant::now();
+        let mut approx_total = 0usize;
+        for p in &patterns {
+            approx_total += approx.query(p, tau)?.len();
+        }
+        let approx_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut exact_total = 0usize;
+        for p in &patterns {
+            let e = exact.query(p, tau)?;
+            exact_total += e.len();
+        }
+        let exact_time = t0.elapsed();
+
+        // Sanity: the approximate result always covers the exact one and
+        // never reports below tau - eps.
+        for p in &patterns {
+            let a = approx.query(p, tau)?.positions();
+            let must = exact.query(p, tau)?.positions();
+            let may = exact.query(p, (tau - eps).max(tau_min))?.positions();
+            assert!(must.iter().all(|x| a.contains(x)), "no misses");
+            assert!(a.iter().all(|x| may.contains(x)), "no spurious hits");
+        }
+        extra += approx_total - exact_total.min(approx_total);
+
+        println!(
+            "{eps:<8} {:>10} {build:>12.1?} {approx_time:>10.1?} {exact_time:>10.1?} {extra:>8}",
+            approx.num_links(),
+        );
+    }
+    println!("\nextra = occurrences reported between tau-eps and tau (allowed by the guarantee)");
+    Ok(())
+}

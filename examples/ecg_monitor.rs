@@ -1,0 +1,83 @@
+//! Event-monitoring scenario: ECG beat annotations (§2 of the paper).
+//!
+//! A Holter monitor labels each heartbeat N (normal), L/R (bundle branch
+//! block), A (atrial premature) or V (premature ventricular contraction);
+//! ambiguous beats carry a probability distribution. A clinician asks for
+//! positions where the pattern "NNAV" — two normal beats, an atrial
+//! premature beat, then a PVC — occurs with sufficient confidence.
+//!
+//! Run with: `cargo run --release --example ecg_monitor`
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use uncertain_strings::{Index, UncertainChar, UncertainString};
+
+/// Simulates an annotated beat stream: mostly-confident normal beats with
+/// occasional ambiguous arrhythmia episodes.
+fn simulate_beats(n: usize, seed: u64) -> UncertainString {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut beats = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < n {
+        if rng.gen::<f64>() < 0.02 && i + 4 <= n {
+            // An arrhythmia episode: N N A V with annotation uncertainty.
+            let episode: [Vec<(u8, f64)>; 4] = [
+                vec![(b'N', 0.9), (b'L', 0.1)],
+                vec![(b'N', 0.8), (b'R', 0.2)],
+                vec![(b'A', 0.7), (b'N', 0.3)],
+                vec![(b'V', 0.6), (b'A', 0.25), (b'N', 0.15)],
+            ];
+            for (k, row) in episode.into_iter().enumerate() {
+                beats.push(UncertainChar::new(row, i + k).expect("valid pdf"));
+            }
+            i += 4;
+        } else if rng.gen::<f64>() < 0.05 {
+            // A single noisy beat.
+            let alt = [b'L', b'R', b'A', b'V'][rng.gen_range(0..4)];
+            let p = 0.55 + rng.gen::<f64>() * 0.3;
+            beats.push(
+                UncertainChar::new(vec![(b'N', p), (alt, 1.0 - p)], i).expect("valid pdf"),
+            );
+            i += 1;
+        } else {
+            beats.push(UncertainChar::deterministic(b'N'));
+            i += 1;
+        }
+    }
+    UncertainString::new(beats)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stream = simulate_beats(20_000, 7);
+    println!(
+        "ECG stream: {} beats, {:.1}% ambiguous annotations",
+        stream.len(),
+        100.0 * stream.uncertain_fraction()
+    );
+
+    let index = Index::build(&stream, 0.05)?;
+    println!(
+        "index: {} factors, {:.2} MiB\n",
+        index.stats().num_factors,
+        index.stats().heap_mib()
+    );
+
+    // The clinician sweeps the confidence threshold to trade recall for
+    // precision — no rebuild needed (any tau >= tau_min).
+    let pattern = b"NNAV";
+    for tau in [0.5, 0.3, 0.1, 0.05] {
+        let hits = index.query(pattern, tau)?;
+        println!(
+            "pattern NNAV at confidence >= {tau:<4}: {:>3} episode(s){}",
+            hits.len(),
+            hits.hits()
+                .first()
+                .map(|&(pos, p)| format!("   first at beat {pos} (p={p:.3})"))
+                .unwrap_or_default()
+        );
+    }
+
+    // Single-event query: premature ventricular contractions anywhere.
+    let v = index.query(b"V", 0.5)?;
+    println!("\nconfident PVC annotations: {}", v.len());
+    Ok(())
+}

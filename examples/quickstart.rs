@@ -1,0 +1,55 @@
+//! Quickstart: index an uncertain string and run threshold queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use uncertain_strings::{Index, UncertainString};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An uncertain string in the text format: positions separated by '|',
+    // each position a comma-separated character distribution. This is the
+    // protein fragment of Figure 3 (gene At4g15440).
+    let s = UncertainString::parse(
+        "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 | \
+         I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+    )?;
+
+    println!("uncertain string ({} positions):\n  {s}\n", s.len());
+
+    // Build the index once, with a construction-time threshold floor
+    // tau_min; afterwards any query threshold tau >= tau_min is supported.
+    let tau_min = 0.02;
+    let index = Index::build(&s, tau_min)?;
+    println!(
+        "index built: {} factors, transformed length {}, ~{:.1} KiB\n",
+        index.stats().num_factors,
+        index.stats().transformed_len,
+        index.stats().heap_bytes as f64 / 1024.0
+    );
+
+    // The paper's motivating query: where does "AT" occur with probability
+    // at least 0.4?
+    for (pattern, tau) in [
+        (&b"AT"[..], 0.4),
+        (b"AT", 0.04),
+        (b"SFPQ", 0.3),
+        (b"PA", 0.3),
+        (b"ZZ", 0.3),
+    ] {
+        let hits = index.query(pattern, tau)?;
+        let rendered: Vec<String> = hits
+            .iter()
+            .map(|&(pos, p)| format!("{pos} (p={p:.3})"))
+            .collect();
+        println!(
+            "query {:?} tau={tau:<5} -> {}",
+            String::from_utf8_lossy(pattern),
+            if rendered.is_empty() {
+                "no occurrences".to_string()
+            } else {
+                rendered.join(", ")
+            }
+        );
+    }
+
+    Ok(())
+}

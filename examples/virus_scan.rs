@@ -1,0 +1,99 @@
+//! String-listing scenario: quarantine files containing a virus pattern
+//! (the motivating application of §6).
+//!
+//! A collection of files with fuzzy content (damaged sectors, OCR noise,
+//! polymorphic encodings) is modeled as uncertain strings. A scanner lists
+//! every file containing the signature with probability above a confidence
+//! threshold — in time proportional to the number of infected files, not
+//! the corpus size.
+//!
+//! Run with: `cargo run --release --example virus_scan`
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use uncertain_strings::{
+    baseline::NaiveScanner, ListingIndex, RelMetric, UncertainChar, UncertainString,
+};
+
+const SIGNATURE: &[u8] = b"XEVIL";
+
+/// A "file" of fuzzy text; `infected` plants the signature with per-byte
+/// confidence around `fidelity`.
+fn make_file(len: usize, infected: bool, fidelity: f64, seed: u64) -> UncertainString {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chars: Vec<UncertainChar> = (0..len)
+        .map(|i| {
+            let c = b'a' + (rng.gen_range(0..26u8));
+            if rng.gen::<f64>() < 0.15 {
+                let alt = b'a' + rng.gen_range(0..26u8);
+                if alt != c {
+                    return UncertainChar::new(vec![(c, 0.8), (alt, 0.2)], i).unwrap();
+                }
+            }
+            UncertainChar::deterministic(c)
+        })
+        .collect();
+    if infected {
+        let at = rng.gen_range(0..len - SIGNATURE.len());
+        for (k, &sig) in SIGNATURE.iter().enumerate() {
+            // The signature byte is observed with probability `fidelity`;
+            // the remainder is a corrupted read.
+            let noise = b'a' + rng.gen_range(0..26u8);
+            let row = if fidelity >= 1.0 - 1e-12 {
+                vec![(sig, 1.0)]
+            } else {
+                vec![(sig, fidelity), (noise, 1.0 - fidelity)]
+            };
+            chars[at + k] = UncertainChar::new(row, at + k).unwrap();
+        }
+    }
+    UncertainString::new(chars)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 40 files; a handful are infected at varying fidelity.
+    let mut files = Vec::new();
+    let mut truly_infected = Vec::new();
+    for id in 0..40 {
+        let infected = id % 9 == 3; // files 3, 12, 21, 30, 39
+        let fidelity = match id {
+            3 => 1.0,
+            12 => 0.95,
+            21 => 0.9,
+            30 => 0.8,
+            _ => 0.6,
+        };
+        if infected {
+            truly_infected.push(id);
+        }
+        files.push(make_file(400, infected, fidelity, 1000 + id as u64));
+    }
+
+    let index = ListingIndex::build(&files, 0.01)?;
+    println!(
+        "indexed {} files ({} positions total, {:.2} MiB)\n",
+        index.num_docs(),
+        index.stats().source_len,
+        index.stats().heap_mib()
+    );
+    println!("files with planted signature: {truly_infected:?}\n");
+
+    for tau in [0.9, 0.5, 0.25, 0.05] {
+        let hits = index.query(SIGNATURE, tau)?;
+        let ids: Vec<usize> = hits.iter().map(|h| h.doc).collect();
+        println!(
+            "confidence >= {tau:<4}: quarantine {:?}",
+            ids
+        );
+        // Cross-check against the scan-every-file baseline.
+        let expected = NaiveScanner::listing(&files, SIGNATURE, tau);
+        assert_eq!(ids, expected);
+    }
+
+    // The OR metric aggregates repeated weak evidence inside one file.
+    let or_hits = index.query_with_metric(SIGNATURE, 0.05, RelMetric::Or)?;
+    println!(
+        "\nOR-relevance >= 0.05: {:?}",
+        or_hits.iter().map(|h| (h.doc, h.relevance)).collect::<Vec<_>>()
+    );
+    Ok(())
+}

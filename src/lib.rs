@@ -1,0 +1,62 @@
+//! # uncertain-strings
+//!
+//! Probabilistic threshold indexing for uncertain strings — a Rust
+//! reproduction of Thankachan, Patil, Shah, Biswas,
+//! *"Probabilistic Threshold Indexing for Uncertain Strings"* (EDBT 2016).
+//!
+//! An **uncertain string** assigns, at each position, a probability
+//! distribution over characters. A deterministic pattern `p` *matches at
+//! position i with threshold τ* when the product of the per-position
+//! character probabilities along `p` is at least `τ`. This crate family
+//! answers, in near-optimal time after linear-space preprocessing:
+//!
+//! * **Substring searching** ([`Index`]): all positions of an uncertain
+//!   string where `p` matches with probability ≥ τ, for any `τ ≥ τmin`.
+//! * **String listing** ([`ListingIndex`]): all strings in a collection
+//!   containing at least one match of `p` with probability ≥ τ.
+//! * **Approximate search** ([`ApproxIndex`]): O(m + occ) retrieval with an
+//!   additive error ε on the probability threshold.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use uncertain_strings::{Index, UncertainString};
+//!
+//! // Figure 3 of the paper: a protein fragment with uncertain positions.
+//! let s = UncertainString::parse(
+//!     "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 | \
+//!      I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+//! )
+//! .unwrap();
+//!
+//! let index = Index::build(&s, 0.1).unwrap();
+//! let hits = index.query(b"AT", 0.4).unwrap();
+//! // "AT" matches at position 8 with probability 1.0 * 0.5 = 0.5;
+//! // the match at position 6 only reaches 0.4 * 0.1 < 0.4 and is excluded.
+//! assert_eq!(hits.positions(), vec![8]);
+//! ```
+//!
+//! # Crate map
+//!
+//! | Re-export | Crate | Role |
+//! |---|---|---|
+//! | [`UncertainString`], [`SpecialUncertainString`], correlation & transform | `ustr-uncertain` | data model, possible worlds, Lemma-2 factor transform |
+//! | [`Index`], [`SpecialIndex`], [`ListingIndex`], [`ApproxIndex`] | `ustr-core` | the paper's indexes (§4–§7) |
+//! | [`NaiveScanner`], [`SimpleIndex`], DP containment | `ustr-baseline` | baselines & test oracles |
+//! | [`StreamMatcher`], [`ContainmentTracker`] | `ustr-stream` | online matching over event streams (§2) |
+//! | suffix arrays / trees | `ustr-suffix` | SA-IS, LCP, suffix tree substrate |
+//! | RMQ structures | `ustr-rmq` | Lemma-1 substrate |
+//! | dataset generators | `ustr-workload` | §8.1 synthetic workloads |
+
+pub use ustr_baseline::{self as baseline, NaiveScanner, PossibleWorldOracle, SimpleIndex};
+pub use ustr_core::{
+    self as core, ApproxIndex, Error, Index, ListingIndex, QueryResult, RelMetric, SpecialIndex,
+};
+pub use ustr_rmq as rmq;
+pub use ustr_suffix::{self as suffix, SuffixArray, SuffixTree};
+pub use ustr_uncertain::{
+    self as uncertain, Correlation, CorrelationSet, SpecialUncertainString, Transformed,
+    UncertainChar, UncertainString,
+};
+pub use ustr_stream::{self as stream, Alert, ContainmentTracker, StreamMatcher};
+pub use ustr_workload as workload;

@@ -1,0 +1,159 @@
+//! End-to-end tests of the §3.3 correlation model through every layer:
+//! model evaluation, transform upper-bounding, and index verification.
+
+use uncertain_strings::{
+    baseline::NaiveScanner, Correlation, CorrelationSet, Index, ListingIndex, SpecialIndex,
+    SpecialUncertainString, UncertainString,
+};
+
+fn corr(
+    subject_pos: usize,
+    subject_char: u8,
+    cond_pos: usize,
+    cond_char: u8,
+    p_present: f64,
+    p_absent: f64,
+) -> Correlation {
+    Correlation {
+        subject_pos,
+        subject_char,
+        cond_pos,
+        cond_char,
+        p_present,
+        p_absent,
+    }
+}
+
+/// Figure 4's string with a backward correlation.
+fn figure_4_string() -> UncertainString {
+    let mut s = UncertainString::parse("e:.6,f:.4 | q | z:.36").unwrap();
+    let mut set = CorrelationSet::new();
+    set.add(corr(2, b'z', 0, b'e', 0.3, 0.4)).unwrap();
+    s.set_correlations(set).unwrap();
+    s
+}
+
+#[test]
+fn scanner_handles_all_three_window_cases() {
+    let s = figure_4_string();
+    // In-window, condition chosen: eqz = .6 * 1 * .3
+    let hits = NaiveScanner::find_with_probs(&s, b"eqz", 0.01);
+    assert_eq!(hits.len(), 1);
+    assert!((hits[0].1 - 0.18).abs() < 1e-12);
+    // In-window, condition not chosen: fqz = .4 * 1 * .4
+    let hits = NaiveScanner::find_with_probs(&s, b"fqz", 0.01);
+    assert!((hits[0].1 - 0.16).abs() < 1e-12);
+    // Out-of-window: qz = 1 * (.6*.3 + .4*.4) = .34
+    let hits = NaiveScanner::find_with_probs(&s, b"qz", 0.01);
+    assert!((hits[0].1 - 0.34).abs() < 1e-12);
+}
+
+#[test]
+fn general_index_agrees_with_scanner_under_correlation() {
+    let s = figure_4_string();
+    let idx = Index::build(&s, 0.05).unwrap();
+    for pattern in [&b"eqz"[..], b"fqz", b"qz", b"z", b"eq", b"e"] {
+        for tau in [0.05, 0.17, 0.2, 0.33, 0.35, 0.5] {
+            assert_eq!(
+                idx.query(pattern, tau).unwrap().positions(),
+                NaiveScanner::find(&s, pattern, tau),
+                "pattern {:?} tau {tau}",
+                String::from_utf8_lossy(pattern)
+            );
+        }
+    }
+}
+
+#[test]
+fn index_probabilities_are_correlation_exact() {
+    let s = figure_4_string();
+    let idx = Index::build(&s, 0.05).unwrap();
+    for (pos, p) in idx.query(b"qz", 0.05).unwrap() {
+        assert!((p - s.match_probability(b"qz", pos)).abs() < 1e-12);
+        assert!((p - 0.34).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn forward_correlation_within_window() {
+    // Subject at position 0 conditioned on a LATER position (forward edge):
+    // the transform's upper bound must still be sound.
+    let mut s = UncertainString::parse("x:.5 | a:.5,b:.5 | y").unwrap();
+    let mut set = CorrelationSet::new();
+    set.add(corr(0, b'x', 1, b'a', 0.9, 0.1)).unwrap();
+    s.set_correlations(set).unwrap();
+    let idx = Index::build(&s, 0.05).unwrap();
+    // xay: x's probability is conditional on a present = .9; total .9*.5*1.
+    for pattern in [&b"xay"[..], b"xby", b"xa", b"xb", b"x"] {
+        for tau in [0.05, 0.1, 0.3, 0.46, 0.5] {
+            assert_eq!(
+                idx.query(pattern, tau).unwrap().positions(),
+                NaiveScanner::find(&s, pattern, tau),
+                "pattern {:?} tau {tau}",
+                String::from_utf8_lossy(pattern)
+            );
+        }
+    }
+}
+
+#[test]
+fn special_index_boost_prevents_missed_uplifts() {
+    // Stored probability far below the conditional: without the §4.1 boost
+    // the RMQ recursion would prune a true match.
+    let x = SpecialUncertainString::new(b"abc".to_vec(), vec![1.0, 0.1, 1.0]).unwrap();
+    let mut set = CorrelationSet::new();
+    set.add(corr(1, b'b', 0, b'a', 0.95, 0.05)).unwrap();
+    let idx = SpecialIndex::build_with(&x, set, &Default::default()).unwrap();
+    // abc window: b's probability is .95 (a present) → product .95.
+    let hits = idx.query(b"abc", 0.9).unwrap();
+    assert_eq!(hits.positions(), vec![0]);
+    assert!((hits.hits()[0].1 - 0.95).abs() < 1e-12);
+    // bc window: marginal for b = 1.0*.95 + 0*.05 = .95 (a always present).
+    let hits = idx.query(b"bc", 0.9).unwrap();
+    assert_eq!(hits.positions(), vec![1]);
+}
+
+#[test]
+fn listing_with_correlated_documents() {
+    let mut d0 = UncertainString::parse("a:.5,b:.5 | c:.2 | d").unwrap();
+    let mut set = CorrelationSet::new();
+    set.add(corr(1, b'c', 0, b'a', 0.9, 0.1)).unwrap();
+    d0.set_correlations(set).unwrap();
+    let d1 = UncertainString::parse("a | c:.15 | d").unwrap();
+    let docs = vec![d0, d1];
+    let idx = ListingIndex::build(&docs, 0.05).unwrap();
+    for pattern in [&b"acd"[..], b"cd", b"c"] {
+        for tau in [0.05, 0.12, 0.2, 0.4, 0.5] {
+            let got: Vec<usize> = idx
+                .query(pattern, tau)
+                .unwrap()
+                .into_iter()
+                .map(|h| h.doc)
+                .collect();
+            let expected = NaiveScanner::listing(&docs, pattern, tau);
+            assert_eq!(got, expected, "pattern {pattern:?} tau {tau}");
+        }
+    }
+}
+
+#[test]
+fn correlation_chain_through_many_positions() {
+    // Several subjects conditioned on one hub position.
+    let mut s = UncertainString::parse("h:.5,g:.5 | a:.5 | b:.5 | c:.5").unwrap();
+    let mut set = CorrelationSet::new();
+    set.add(corr(1, b'a', 0, b'h', 0.8, 0.2)).unwrap();
+    set.add(corr(2, b'b', 0, b'h', 0.7, 0.3)).unwrap();
+    set.add(corr(3, b'c', 0, b'h', 0.6, 0.4)).unwrap();
+    s.set_correlations(set).unwrap();
+    let idx = Index::build(&s, 0.02).unwrap();
+    for pattern in [&b"habc"[..], b"gabc", b"abc", b"ab", b"bc"] {
+        for tau in [0.02, 0.1, 0.2, 0.35] {
+            assert_eq!(
+                idx.query(pattern, tau).unwrap().positions(),
+                NaiveScanner::find(&s, pattern, tau),
+                "pattern {:?} tau {tau}",
+                String::from_utf8_lossy(pattern)
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end reproductions of every worked example in the paper, driven
+//! through the public facade crate.
+
+use uncertain_strings::{
+    baseline::NaiveScanner, ApproxIndex, Index, ListingIndex, SimpleIndex, SpecialIndex,
+    SpecialUncertainString, UncertainString,
+};
+
+/// Figure 1: the uncertain string S and its possible worlds.
+#[test]
+fn figure_1_possible_worlds() {
+    let s = UncertainString::parse("a:.3,b:.4,d:.3 | a:.6,c:.4 | d | a:.5,c:.5 | a").unwrap();
+    assert_eq!(s.len(), 5);
+    assert_eq!(s.total_choices(), 9);
+    let worlds = s.possible_worlds().unwrap();
+    assert_eq!(worlds.len(), 12);
+    let p = |w: &[u8]| {
+        worlds
+            .iter()
+            .find(|(x, _)| x == w)
+            .map(|&(_, p)| p)
+            .unwrap_or(0.0)
+    };
+    // The probabilities tabulated in Figure 1(b).
+    assert!((p(b"aadaa") - 0.09).abs() < 1e-12);
+    assert!((p(b"aadca") - 0.09).abs() < 1e-12);
+    assert!((p(b"acdaa") - 0.06).abs() < 1e-12);
+    assert!((p(b"badaa") - 0.12).abs() < 1e-12);
+    assert!((p(b"dadaa") - 0.09).abs() < 1e-12);
+    assert!((p(b"dcdca") - 0.06).abs() < 1e-12);
+}
+
+/// Figure 2: string listing (“BF”, 0.1) returns only d1.
+#[test]
+fn figure_2_string_listing() {
+    let docs = vec![
+        UncertainString::parse("A:.4,B:.3,F:.3 | B:.3,L:.3,F:.3,J:.1 | F:.5,J:.5").unwrap(),
+        UncertainString::parse("A:.6,C:.4 | B:.5,F:.3,E:.2 | B:.4,C:.3,P:.2,F:.1").unwrap(),
+        UncertainString::parse("A:.4,F:.4,P:.2 | I:.3,L:.3,P:.3,T:.1 | A").unwrap(),
+    ];
+    let idx = ListingIndex::build(&docs, 0.05).unwrap();
+    let hits = idx.query(b"BF", 0.1).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].doc, 0);
+}
+
+/// Figure 3 / §3.2: the At4g15440 fragment, the "AT" query, and the SFPQ
+/// window probability.
+#[test]
+fn figure_3_queries() {
+    let s = UncertainString::parse(
+        "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 | \
+         I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+    )
+    .unwrap();
+    assert!((s.match_probability(b"SFPQ", 1) - 0.35).abs() < 1e-12);
+    let idx = Index::build(&s, 0.02).unwrap();
+    // {p = "AT", tau = 0.4}: position 9 in the paper's 1-based indexing.
+    assert_eq!(idx.query(b"AT", 0.4).unwrap().positions(), vec![8]);
+}
+
+/// Figure 5: the simple index on the special string (banana).
+#[test]
+fn figure_5_simple_and_efficient_special_index() {
+    let x = SpecialUncertainString::new(
+        b"banana".to_vec(),
+        vec![0.4, 0.7, 0.5, 0.8, 0.9, 0.6],
+    )
+    .unwrap();
+    // Efficient index (§4.2).
+    let idx = SpecialIndex::build(&x).unwrap();
+    let r = idx.query(b"ana", 0.3).unwrap();
+    assert_eq!(r.positions(), vec![3]);
+    // The suffix range of "ana" contains both occurrences; only one passes.
+    let r = idx.query(b"ana", 0.2).unwrap();
+    assert_eq!(r.positions(), vec![1, 3]);
+}
+
+/// Figure 10: the running example of Algorithm 4 (query ("QP", 0.4) on the
+/// transformed general string; the paper reports position 1, 1-based).
+#[test]
+fn figure_10_general_index() {
+    let s = UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
+    let idx = Index::build(&s, 0.1).unwrap();
+    let r = idx.query(b"QP", 0.4).unwrap();
+    assert_eq!(r.positions(), vec![0]);
+    assert!((r.hits()[0].1 - 0.49).abs() < 1e-9);
+    // The simple index (§4.1 baseline) agrees.
+    let simple = SimpleIndex::build(&s, 0.1).unwrap();
+    assert_eq!(simple.query(b"QP", 0.4).unwrap(), vec![0]);
+}
+
+/// §5.1: maximal factors of Figure 3's string at location 5 w.r.t. 0.15 are
+/// QPA, QPF, TPA, TPF.
+#[test]
+fn section_5_maximal_factors() {
+    let s = UncertainString::parse(
+        "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 | \
+         I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+    )
+    .unwrap();
+    // Location 5 in the paper's 1-based indexing = position 4 here.
+    let t = uncertain_strings::uncertain::transform(&s, 0.15).unwrap();
+    let text = t.special.chars();
+    for factor in [&b"QPA"[..], b"QPF", b"TPA", b"TPF"] {
+        let found = (0..text.len() - factor.len()).any(|k| {
+            &text[k..k + factor.len()] == factor && t.source_pos(k) == Some(4)
+        });
+        assert!(
+            found,
+            "maximal factor {:?} at location 5 missing",
+            String::from_utf8_lossy(factor)
+        );
+    }
+}
+
+/// §7: the approximate index honors the additive-error contract on the
+/// paper's examples.
+#[test]
+fn section_7_approximate_contract() {
+    let s = UncertainString::parse(
+        "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 | \
+         I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+    )
+    .unwrap();
+    let eps = 0.05;
+    let idx = ApproxIndex::build(&s, 0.02, eps).unwrap();
+    for pattern in [&b"AT"[..], b"PQ", b"PA", b"FP"] {
+        for tau in [0.1, 0.3, 0.5] {
+            let approx = idx.query(pattern, tau).unwrap().positions();
+            let exact = NaiveScanner::find(&s, pattern, tau);
+            let slack = NaiveScanner::find(&s, pattern, tau - eps);
+            for p in &exact {
+                assert!(approx.contains(p), "missed {p}");
+            }
+            for p in &approx {
+                assert!(slack.contains(p), "spurious {p}");
+            }
+        }
+    }
+}

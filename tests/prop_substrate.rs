@@ -1,0 +1,155 @@
+//! Property tests on the substrate crates: suffix structures, RMQ variants,
+//! the transform's conservation property, and the containment DP.
+
+use proptest::prelude::*;
+use uncertain_strings::{
+    baseline::{containment_probability, PossibleWorldOracle},
+    rmq::{BlockRmq, Direction, Rmq, SampledRmq, SparseTable},
+    suffix::{lcp_array, suffix_array, SuffixArray, SuffixTree},
+    uncertain::{transform, UncertainString},
+};
+
+fn text_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', 0u8]), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SA-IS equals the naive sort on arbitrary byte strings (separator
+    /// bytes included).
+    #[test]
+    fn sais_matches_naive(text in text_strategy()) {
+        let mut naive: Vec<u32> = (0..text.len() as u32).collect();
+        naive.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        prop_assert_eq!(suffix_array(&text), naive);
+    }
+
+    /// Kasai LCP equals direct prefix comparison.
+    #[test]
+    fn lcp_matches_naive(text in text_strategy()) {
+        let sa = suffix_array(&text);
+        let lcp = lcp_array(&text, &sa);
+        for j in 1..sa.len() {
+            let a = &text[sa[j - 1] as usize..];
+            let b = &text[sa[j] as usize..];
+            let expected = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+            prop_assert_eq!(lcp[j] as usize, expected);
+        }
+    }
+
+    /// Tree pattern search equals suffix-array binary search equals brute
+    /// force, for every substring of the text.
+    #[test]
+    fn tree_and_array_agree(text in text_strategy(), start in 0usize..100, len in 1usize..6) {
+        let start = start % text.len();
+        let len = len.min(text.len() - start);
+        let pattern = text[start..start + len].to_vec();
+        let tree = SuffixTree::build(text.clone());
+        let arr = SuffixArray::new(text.clone());
+        let mut t_occ = tree.occurrences(&pattern);
+        let mut a_occ = arr.occurrences(&pattern);
+        t_occ.sort_unstable();
+        a_occ.sort_unstable();
+        prop_assert_eq!(&t_occ, &a_occ);
+        let brute: Vec<usize> = (0..=text.len() - len)
+            .filter(|&i| text[i..i + len] == pattern[..])
+            .collect();
+        prop_assert_eq!(t_occ, brute);
+    }
+
+    /// All three RMQ structures agree with a linear scan.
+    #[test]
+    fn rmq_structures_agree(
+        values in prop::collection::vec(-1000i32..1000, 1..300),
+        queries in prop::collection::vec((0usize..300, 0usize..300), 1..20),
+    ) {
+        let values: Vec<f64> = values.into_iter().map(|v| v as f64).collect();
+        let n = values.len();
+        let sparse = SparseTable::new(&values, Direction::Max);
+        let block = BlockRmq::new(&values, Direction::Max);
+        let at = |i: usize| values[i];
+        let sampled = SampledRmq::new(n, Direction::Max, &at);
+        for (a, b) in queries {
+            let (l, r) = ((a % n).min(b % n), (a % n).max(b % n));
+            let mut best = l;
+            for i in l..=r {
+                if values[i] > values[best] {
+                    best = i;
+                }
+            }
+            prop_assert_eq!(sparse.query(l, r), best);
+            prop_assert_eq!(block.query(l, r), best);
+            prop_assert_eq!(sampled.query_with(l, r, &at), best);
+        }
+    }
+
+    /// Lemma 2 (conservation): every pattern sampled from a world of `s`
+    /// whose occurrence probability reaches τmin appears in the transformed
+    /// text with the correct Pos alignment.
+    #[test]
+    fn transform_conserves_probable_substrings(
+        rows in prop::collection::vec(
+            prop::collection::vec((0u8..3, 1u32..10), 1..=2),
+            1..=10,
+        ),
+        start in 0usize..10,
+        len in 1usize..5,
+    ) {
+        let rows: Vec<Vec<(u8, f64)>> = rows
+            .into_iter()
+            .map(|mut row| {
+                row.sort_by_key(|&(c, _)| c);
+                row.dedup_by_key(|&mut (c, _)| c);
+                let total: u32 = row.iter().map(|&(_, w)| w).sum();
+                row.into_iter()
+                    .map(|(c, w)| (b'a' + c, w as f64 / total as f64))
+                    .collect()
+            })
+            .collect();
+        let s = UncertainString::from_rows(rows).unwrap();
+        let tau_min = 0.15;
+        let t = transform(&s, tau_min).unwrap();
+        let start = start % s.len();
+        let len = len.min(s.len() - start);
+        // Take the most probable world's window as the candidate pattern.
+        let world = s.most_probable_world();
+        let pattern = &world[start..start + len];
+        let prob = s.match_probability(pattern, start);
+        if prob >= tau_min {
+            let text = t.special.chars();
+            let found = (0..=text.len().saturating_sub(len)).any(|k| {
+                &text[k..k + len] == pattern
+                    && (0..len).all(|d| t.source_pos(k + d) == Some(start + d))
+            });
+            prop_assert!(found, "conserved substring missing from transform");
+        }
+    }
+
+    /// The KMP containment DP equals exhaustive world enumeration.
+    #[test]
+    fn containment_dp_matches_oracle(
+        rows in prop::collection::vec(
+            prop::collection::vec((0u8..2, 1u32..10), 1..=2),
+            1..=8,
+        ),
+        p in prop::collection::vec(0u8..2, 1..4),
+    ) {
+        let rows: Vec<Vec<(u8, f64)>> = rows
+            .into_iter()
+            .map(|mut row| {
+                row.sort_by_key(|&(c, _)| c);
+                row.dedup_by_key(|&mut (c, _)| c);
+                let total: u32 = row.iter().map(|&(_, w)| w).sum();
+                row.into_iter()
+                    .map(|(c, w)| (b'a' + c, w as f64 / total as f64))
+                    .collect()
+            })
+            .collect();
+        let s = UncertainString::from_rows(rows).unwrap();
+        let pattern: Vec<u8> = p.into_iter().map(|c| b'a' + c).collect();
+        let dp = containment_probability(&s, &pattern);
+        let oracle = PossibleWorldOracle::containment_probability(&s, &pattern).unwrap();
+        prop_assert!((dp - oracle).abs() < 1e-9, "dp {} oracle {}", dp, oracle);
+    }
+}
