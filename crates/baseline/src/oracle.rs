@@ -52,10 +52,7 @@ impl PossibleWorldOracle {
 
     /// Probability that `pattern` occurs at least once (for validating the
     /// containment DP).
-    pub fn containment_probability(
-        s: &UncertainString,
-        pattern: &[u8],
-    ) -> Result<f64, ModelError> {
+    pub fn containment_probability(s: &UncertainString, pattern: &[u8]) -> Result<f64, ModelError> {
         let worlds = s.possible_worlds()?;
         let m = pattern.len();
         if m == 0 {
@@ -131,10 +128,15 @@ mod tests {
 
     #[test]
     fn listing_on_figure_2() {
-        let d1 = UncertainString::parse("A:.4,B:.3,F:.3 | B:.3,L:.3,F:.3,J:.1 | F:.5,J:.5").unwrap();
-        let d2 = UncertainString::parse("A:.6,C:.4 | B:.5,F:.3,E:.2 | B:.4,C:.3,P:.2,F:.1").unwrap();
+        let d1 =
+            UncertainString::parse("A:.4,B:.3,F:.3 | B:.3,L:.3,F:.3,J:.1 | F:.5,J:.5").unwrap();
+        let d2 =
+            UncertainString::parse("A:.6,C:.4 | B:.5,F:.3,E:.2 | B:.4,C:.3,P:.2,F:.1").unwrap();
         let d3 = UncertainString::parse("A:.4,F:.4,P:.2 | I:.3,L:.3,P:.3,T:.1 | A").unwrap();
         let docs = vec![d1, d2, d3];
-        assert_eq!(PossibleWorldOracle::listing(&docs, b"BF", 0.1).unwrap(), vec![0]);
+        assert_eq!(
+            PossibleWorldOracle::listing(&docs, b"BF", 0.1).unwrap(),
+            vec![0]
+        );
     }
 }

@@ -171,8 +171,10 @@ mod tests {
     #[test]
     fn listing_returns_matching_documents() {
         // Figure 2: only d1 contains "BF" with probability > 0.1.
-        let d1 = UncertainString::parse("A:.4,B:.3,F:.3 | B:.3,L:.3,F:.3,J:.1 | F:.5,J:.5").unwrap();
-        let d2 = UncertainString::parse("A:.6,C:.4 | B:.5,F:.3,E:.2 | B:.4,C:.3,P:.2,F:.1").unwrap();
+        let d1 =
+            UncertainString::parse("A:.4,B:.3,F:.3 | B:.3,L:.3,F:.3,J:.1 | F:.5,J:.5").unwrap();
+        let d2 =
+            UncertainString::parse("A:.6,C:.4 | B:.5,F:.3,E:.2 | B:.4,C:.3,P:.2,F:.1").unwrap();
         let d3 = UncertainString::parse("A:.4,F:.4,P:.2 | I:.3,L:.3,P:.3,T:.1 | A").unwrap();
         let docs = vec![d1, d2, d3];
         assert_eq!(NaiveScanner::listing(&docs, b"BF", 0.1), vec![0]);
@@ -184,6 +186,9 @@ mod tests {
         let paper = NaiveScanner::relevance_or(&s, b"BFA");
         let indep = NaiveScanner::relevance_independent_or(&s, b"BFA");
         assert!(paper > 0.0 && indep > 0.0);
-        assert!((paper - indep).abs() > 1e-6, "metrics are genuinely different");
+        assert!(
+            (paper - indep).abs() > 1e-6,
+            "metrics are genuinely different"
+        );
     }
 }

@@ -81,9 +81,7 @@ impl SimpleIndex {
     /// Number of candidates the query scans (for the ablation benchmarks):
     /// the full suffix-range size, regardless of how many pass the threshold.
     pub fn candidates(&self, pattern: &[u8]) -> usize {
-        self.sa
-            .suffix_range(pattern)
-            .map_or(0, |(l, r)| r - l + 1)
+        self.sa.suffix_range(pattern).map_or(0, |(l, r)| r - l + 1)
     }
 
     /// Approximate heap footprint in bytes.

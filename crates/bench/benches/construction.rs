@@ -43,7 +43,11 @@ fn bench_index_build(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::from_parameter(format!("n{n}_theta{theta}")),
                 &s,
-                |b, s| b.iter(|| std::hint::black_box(Index::build(s, 0.1).unwrap().stats().transformed_len)),
+                |b, s| {
+                    b.iter(|| {
+                        std::hint::black_box(Index::build(s, 0.1).unwrap().stats().transformed_len)
+                    })
+                },
             );
         }
     }

@@ -19,13 +19,17 @@ fn bench_query_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("substring_query");
     for m in [4usize, 8, 16, 64] {
         let patterns = sample_patterns(&s, m, 16, PatternMode::Probable, 7);
-        group.bench_with_input(BenchmarkId::new("efficient_index", m), &patterns, |b, ps| {
-            b.iter(|| {
-                for p in ps {
-                    std::hint::black_box(index.query(p, tau).unwrap().len());
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("efficient_index", m),
+            &patterns,
+            |b, ps| {
+                b.iter(|| {
+                    for p in ps {
+                        std::hint::black_box(index.query(p, tau).unwrap().len());
+                    }
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("simple_index", m), &patterns, |b, ps| {
             b.iter(|| {
                 for p in ps {

@@ -377,8 +377,8 @@ fn main() {
         .map(|s| s.as_str())
         .unwrap_or("all");
     const PANELS: [&str; 12] = [
-        "all", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c", "fig8d",
-        "fig9a", "fig9b", "fig9c",
+        "all", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b", "fig8c", "fig8d", "fig9a",
+        "fig9b", "fig9c",
     ];
     if !PANELS.contains(&panel) {
         eprintln!("unknown panel {panel:?}; expected one of {PANELS:?}");

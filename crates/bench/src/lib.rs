@@ -5,7 +5,9 @@ use std::time::{Duration, Instant};
 
 use ustr_core::{Index, ListingIndex};
 use ustr_uncertain::UncertainString;
-use ustr_workload::{generate_collection, generate_string, sample_patterns, DatasetConfig, PatternMode};
+use ustr_workload::{
+    generate_collection, generate_string, sample_patterns, DatasetConfig, PatternMode,
+};
 
 /// θ sweep used by every figure.
 pub const THETAS: [f64; 4] = [0.1, 0.2, 0.3, 0.4];
@@ -109,7 +111,13 @@ pub fn avg_query_micros(mut query: impl FnMut(&[u8]), patterns: &[Vec<u8>], repe
 
 /// Renders one figure series as an aligned table: rows = sweep values,
 /// one column per θ.
-pub fn print_table(title: &str, x_label: &str, xs: &[String], columns: &[(String, Vec<f64>)], unit: &str) {
+pub fn print_table(
+    title: &str,
+    x_label: &str,
+    xs: &[String],
+    columns: &[(String, Vec<f64>)],
+    unit: &str,
+) {
     println!("\n## {title}");
     print!("{x_label:>12}");
     for (name, _) in columns {

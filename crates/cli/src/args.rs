@@ -30,7 +30,8 @@ impl Args {
                 }
                 match iter.peek() {
                     Some(v) if !v.starts_with("--") => {
-                        out.options.insert(name.to_string(), iter.next().unwrap().clone());
+                        out.options
+                            .insert(name.to_string(), iter.next().unwrap().clone());
                     }
                     _ => out.flags.push(name.to_string()),
                 }
@@ -47,7 +48,6 @@ impl Args {
     }
 
     /// Returns `true` when `--name` was given without a value.
-    #[allow(dead_code)] // part of the parser surface; commands use it as they grow
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn parses_subcommand_positionals_and_options() {
-        let a = Args::parse(&argv("search data.ustr PAT --tau 0.3 --quiet --tau-min 0.1")).unwrap();
+        let a = Args::parse(&argv(
+            "search data.ustr PAT --tau 0.3 --quiet --tau-min 0.1",
+        ))
+        .unwrap();
         assert_eq!(a.command, "search");
         assert_eq!(a.positional, vec!["data.ustr", "PAT"]);
         assert_eq!(a.get("tau"), Some("0.3"));

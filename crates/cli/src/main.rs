@@ -3,14 +3,22 @@
 //! ```text
 //! ustr generate --n 10000 --theta 0.3 --seed 42 --out data.ustr
 //! ustr search data.ustr PATTERN --tau 0.3 [--tau-min 0.1]
+//! ustr search --index data.idx PATTERN --tau 0.3
 //! ustr top data.ustr PATTERN --k 5 [--tau-min 0.1]
 //! ustr list collection.ustr PATTERN --tau 0.3   (one document per line)
 //! ustr stats data.ustr [--tau-min 0.1]
+//! ustr build-index data.ustr --out data.idx [--tau-min 0.1]
+//! ustr serve-batch INDEXDIR queries.txt --threads 4
 //! ```
 //!
 //! Files hold uncertain strings in the text format of
 //! [`UncertainString::parse`]; `generate` writes one. For `list`, each
-//! non-empty line is one document.
+//! non-empty line is one document. `build-index` snapshots a built index to
+//! disk (`ustr-store` format); `search --index` loads one instead of
+//! rebuilding. `serve-batch` answers a file of `PATTERN TAU` query lines over
+//! a directory of `*.idx` snapshots (or a collection file) using the
+//! `ustr-service` concurrent engine. `--quiet` on any query command prints
+//! result rows only, for scripting.
 
 mod args;
 
@@ -19,25 +27,78 @@ use std::process::ExitCode;
 
 use args::Args;
 use ustr_core::{Index, ListingIndex};
+use ustr_service::{BatchQuery, QueryService, ServiceConfig};
+use ustr_store::Snapshot;
 use ustr_uncertain::UncertainString;
 use ustr_workload::{generate_string, DatasetConfig};
 
-const USAGE: &str = "usage:
-  ustr generate --n N --theta T --seed S [--out FILE]
-  ustr search FILE PATTERN --tau T [--tau-min T0]
-  ustr top FILE PATTERN --k K [--tau-min T0]
-  ustr list FILE PATTERN --tau T [--tau-min T0]
-  ustr stats FILE [--tau-min T0]";
+/// `(subcommand, usage, one-line description)` for every command.
+const COMMANDS: &[(&str, &str, &str)] = &[
+    (
+        "generate",
+        "ustr generate --n N --theta T --seed S [--out FILE]",
+        "write a synthetic uncertain string",
+    ),
+    (
+        "search",
+        "ustr search (FILE | --index FILE.idx) PATTERN --tau T [--tau-min T0] [--quiet]",
+        "probable occurrences of PATTERN",
+    ),
+    (
+        "top",
+        "ustr top FILE PATTERN --k K [--tau-min T0] [--quiet]",
+        "the K most probable occurrences",
+    ),
+    (
+        "list",
+        "ustr list FILE PATTERN --tau T [--tau-min T0] [--quiet]",
+        "documents containing PATTERN",
+    ),
+    (
+        "stats",
+        "ustr stats FILE [--tau-min T0]",
+        "construction statistics",
+    ),
+    (
+        "build-index",
+        "ustr build-index FILE --out FILE.idx [--tau-min T0] [--quiet]",
+        "build and snapshot an index",
+    ),
+    (
+        "serve-batch",
+        "ustr serve-batch (INDEXDIR | FILE) QUERIES.txt --threads N [--shards S] [--cache C] [--tau-min T0] [--quiet]",
+        "answer a query batch concurrently",
+    ),
+];
+
+/// Usage text for one subcommand, or the full listing for unknown input.
+fn usage_for(command: Option<&str>) -> String {
+    if let Some(cmd) = command {
+        if let Some((_, usage, _)) = COMMANDS.iter().find(|(name, _, _)| *name == cmd) {
+            return format!("usage: {usage}");
+        }
+    }
+    let mut out = String::from("usage:\n");
+    for (_, usage, what) in COMMANDS {
+        out.push_str(&format!("  {usage}\n      {what}\n"));
+    }
+    out.push_str("  ustr help");
+    out
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(output) => {
-            println!("{output}");
+            if !output.is_empty() {
+                println!("{output}");
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
+            // Only the failing subcommand's usage, not the whole blob.
+            let cmd = argv.first().map(|s| s.as_str());
+            eprintln!("error: {e}\n{}", usage_for(cmd));
             ExitCode::FAILURE
         }
     }
@@ -52,7 +113,9 @@ fn run(argv: &[String]) -> Result<String, String> {
         "top" => cmd_top(&args),
         "list" => cmd_list(&args),
         "stats" => cmd_stats(&args),
-        "help" | "--help" => Ok(USAGE.to_string()),
+        "build-index" => cmd_build_index(&args),
+        "serve-batch" => cmd_serve_batch(&args),
+        "help" | "--help" => Ok(usage_for(None)),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -93,20 +156,159 @@ fn cmd_generate(args: &Args) -> Result<String, String> {
 }
 
 fn cmd_search(args: &Args) -> Result<String, String> {
-    let path = args.positional(0, "FILE")?;
-    let pattern = args.positional(1, "PATTERN")?.as_bytes().to_vec();
+    let quiet = args.flag("quiet");
     let tau: f64 = args.get_parsed("tau", 0.5)?;
-    let tau_min: f64 = args.get_parsed("tau-min", tau.min(0.1))?;
+    // With --index the snapshot supplies the text and tau_min; otherwise the
+    // index is built from the uncertain-string file.
+    let (index, pattern) = match args.get("index") {
+        Some(idx_path) => {
+            let index = Index::load(idx_path).map_err(|e| e.to_string())?;
+            (index, args.positional(0, "PATTERN")?.as_bytes().to_vec())
+        }
+        None => {
+            let path = args.positional(0, "FILE")?;
+            let pattern = args.positional(1, "PATTERN")?.as_bytes().to_vec();
+            let tau_min: f64 = args.get_parsed("tau-min", tau.min(0.1))?;
+            let s = load_string(path)?;
+            let index = Index::build(&s, tau_min).map_err(|e| e.to_string())?;
+            (index, pattern)
+        }
+    };
+    let hits = index.query(&pattern, tau).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    if !quiet {
+        out.push_str(&format!(
+            "{} occurrence(s) of {:?} with probability >= {tau}\n",
+            hits.len(),
+            String::from_utf8_lossy(&pattern)
+        ));
+    }
+    for &(pos, p) in hits.hits() {
+        if quiet {
+            out.push_str(&format!("{pos} {p:.9}\n"));
+        } else {
+            out.push_str(&format!("  position {pos:>8}  p = {p:.6}\n"));
+        }
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_build_index(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "FILE")?;
+    let out_path = args
+        .get("out")
+        .ok_or_else(|| "missing required option --out".to_string())?;
+    let tau_min: f64 = args.get_parsed("tau-min", 0.1)?;
     let s = load_string(path)?;
     let index = Index::build(&s, tau_min).map_err(|e| e.to_string())?;
-    let hits = index.query(&pattern, tau).map_err(|e| e.to_string())?;
-    let mut out = format!(
-        "{} occurrence(s) of {:?} with probability >= {tau}\n",
-        hits.len(),
-        String::from_utf8_lossy(&pattern)
-    );
-    for &(pos, p) in hits.hits() {
-        out.push_str(&format!("  position {pos:>8}  p = {p:.6}\n"));
+    index.save(out_path).map_err(|e| e.to_string())?;
+    if args.flag("quiet") {
+        return Ok(String::new());
+    }
+    let bytes = fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+    let st = index.stats();
+    Ok(format!(
+        "wrote {out_path}: {} source positions, {} factors, tau_min {tau_min}, \
+         {bytes} bytes (built in {:?})",
+        st.source_len, st.num_factors, st.build_time
+    ))
+}
+
+/// Parses a queries file: one `PATTERN TAU` per line; `#` comments and blank
+/// lines are skipped.
+fn load_queries(path: &str) -> Result<Vec<BatchQuery>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let pattern = parts.next().expect("non-empty line").as_bytes().to_vec();
+        let tau: f64 = parts
+            .next()
+            .ok_or_else(|| format!("{path}:{}: expected 'PATTERN TAU'", lineno + 1))?
+            .parse()
+            .map_err(|_| format!("{path}:{}: invalid TAU", lineno + 1))?;
+        queries.push((pattern, tau));
+    }
+    Ok(queries)
+}
+
+fn cmd_serve_batch(args: &Args) -> Result<String, String> {
+    let source = args.positional(0, "INDEXDIR")?;
+    let queries_path = args.positional(1, "QUERIES.txt")?;
+    let quiet = args.flag("quiet");
+    let config = ServiceConfig {
+        threads: args.get_parsed("threads", 0usize)?,
+        shards: args.get_parsed("shards", 0usize)?,
+        cache_capacity: args.get_parsed("cache", 1024usize)?,
+    };
+    let queries = load_queries(queries_path)?;
+    let start = std::time::Instant::now();
+    let service = if fs::metadata(source)
+        .map_err(|e| format!("cannot read {source}: {e}"))?
+        .is_dir()
+    {
+        if args.get("tau-min").is_some() {
+            return Err(
+                "--tau-min applies only when building from a collection file; \
+                 snapshots carry their own tau_min"
+                    .to_string(),
+            );
+        }
+        QueryService::load_dir(source, config).map_err(|e| e.to_string())?
+    } else {
+        let docs = load_collection(source)?;
+        let tau_min: f64 = args.get_parsed("tau-min", 0.05)?;
+        QueryService::build(&docs, tau_min, config).map_err(|e| e.to_string())?
+    };
+    let ready = start.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let results = service.query_batch(&queries);
+    let answered = t0.elapsed();
+
+    let mut out = String::new();
+    if !quiet {
+        out.push_str(&format!(
+            "{} document(s) in {} shard(s), {} thread(s); ready in {ready:?}, \
+             {} query(ies) answered in {answered:?}\n",
+            service.num_docs(),
+            service.num_shards(),
+            service.threads(),
+            queries.len(),
+        ));
+    }
+    for (q, ((pattern, tau), result)) in queries.iter().zip(results.iter()).enumerate() {
+        match result {
+            Ok(hits) => {
+                if !quiet {
+                    out.push_str(&format!(
+                        "query {q} {:?} tau={tau}: {} document(s)\n",
+                        String::from_utf8_lossy(pattern),
+                        hits.len()
+                    ));
+                }
+                for doc_hits in hits.iter() {
+                    for &(pos, p) in &doc_hits.hits {
+                        if quiet {
+                            out.push_str(&format!("{q} {} {pos} {p:.9}\n", doc_hits.doc));
+                        } else {
+                            out.push_str(&format!(
+                                "  doc {:>6} position {pos:>8} p = {p:.6}\n",
+                                doc_hits.doc
+                            ));
+                        }
+                    }
+                }
+            }
+            Err(e) => out.push_str(&format!(
+                "query {q} {:?} tau={tau}: error: {e}\n",
+                String::from_utf8_lossy(pattern)
+            )),
+        }
     }
     Ok(out.trim_end().to_string())
 }
@@ -119,13 +321,24 @@ fn cmd_top(args: &Args) -> Result<String, String> {
     let s = load_string(path)?;
     let index = Index::build(&s, tau_min).map_err(|e| e.to_string())?;
     let hits = index.query_top_k(&pattern, k).map_err(|e| e.to_string())?;
-    let mut out = format!(
-        "top {} occurrence(s) of {:?} (visibility floor tau_min = {tau_min})\n",
-        hits.len(),
-        String::from_utf8_lossy(&pattern)
-    );
+    let quiet = args.flag("quiet");
+    let mut out = String::new();
+    if !quiet {
+        out.push_str(&format!(
+            "top {} occurrence(s) of {:?} (visibility floor tau_min = {tau_min})\n",
+            hits.len(),
+            String::from_utf8_lossy(&pattern)
+        ));
+    }
     for (rank, (pos, p)) in hits.iter().enumerate() {
-        out.push_str(&format!("  #{:<3} position {pos:>8}  p = {p:.6}\n", rank + 1));
+        if quiet {
+            out.push_str(&format!("{pos} {p:.9}\n"));
+        } else {
+            out.push_str(&format!(
+                "  #{:<3} position {pos:>8}  p = {p:.6}\n",
+                rank + 1
+            ));
+        }
     }
     Ok(out.trim_end().to_string())
 }
@@ -138,14 +351,25 @@ fn cmd_list(args: &Args) -> Result<String, String> {
     let docs = load_collection(path)?;
     let index = ListingIndex::build(&docs, tau_min).map_err(|e| e.to_string())?;
     let hits = index.query(&pattern, tau).map_err(|e| e.to_string())?;
-    let mut out = format!(
-        "{} of {} document(s) contain {:?} with probability >= {tau}\n",
-        hits.len(),
-        docs.len(),
-        String::from_utf8_lossy(&pattern)
-    );
+    let quiet = args.flag("quiet");
+    let mut out = String::new();
+    if !quiet {
+        out.push_str(&format!(
+            "{} of {} document(s) contain {:?} with probability >= {tau}\n",
+            hits.len(),
+            docs.len(),
+            String::from_utf8_lossy(&pattern)
+        ));
+    }
     for h in &hits {
-        out.push_str(&format!("  document {:>6}  Rel_max = {:.6}\n", h.doc, h.relevance));
+        if quiet {
+            out.push_str(&format!("{} {:.9}\n", h.doc, h.relevance));
+        } else {
+            out.push_str(&format!(
+                "  document {:>6}  Rel_max = {:.6}\n",
+                h.doc, h.relevance
+            ));
+        }
     }
     Ok(out.trim_end().to_string())
 }
@@ -247,5 +471,101 @@ mod tests {
         assert!(run(&[]).is_err());
         let help = run(&argv("help")).unwrap();
         assert!(help.contains("usage"));
+    }
+
+    #[test]
+    fn usage_is_per_subcommand() {
+        let u = usage_for(Some("search"));
+        assert!(u.contains("ustr search"), "{u}");
+        assert!(!u.contains("serve-batch"), "only the failing command: {u}");
+        let full = usage_for(Some("not-a-command"));
+        assert!(full.contains("serve-batch") && full.contains("generate"));
+        assert!(usage_for(None).contains("build-index"));
+    }
+
+    #[test]
+    fn build_index_then_search_via_snapshot() {
+        let data = write_temp(
+            "ustr_cli_snap.ustr",
+            "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 |\n\
+             I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+        );
+        let idx = std::env::temp_dir().join("ustr_cli_snap.idx");
+        let idx = idx.to_string_lossy().into_owned();
+        let msg = run(&argv(&format!(
+            "build-index {data} --out {idx} --tau-min 0.05"
+        )))
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        // Snapshot search equals rebuild search.
+        let from_snap = run(&argv(&format!("search --index {idx} AT --tau 0.4"))).unwrap();
+        let from_file = run(&argv(&format!("search {data} AT --tau 0.4 --tau-min 0.05"))).unwrap();
+        assert_eq!(from_snap, from_file);
+        assert!(from_snap.contains("position        8"), "{from_snap}");
+        // Missing --out is a clean error.
+        assert!(run(&argv(&format!("build-index {data}"))).is_err());
+    }
+
+    #[test]
+    fn quiet_prints_result_rows_only() {
+        let data = write_temp("ustr_cli_quiet.ustr", "a:.9,b:.1 | a | a:.5,b:.5 | a");
+        let out = run(&argv(&format!(
+            "search {data} aa --tau 0.3 --tau-min 0.05 --quiet"
+        )))
+        .unwrap();
+        for line in out.lines() {
+            let mut parts = line.split_whitespace();
+            parts.next().unwrap().parse::<usize>().expect("position");
+            parts.next().unwrap().parse::<f64>().expect("probability");
+            assert!(parts.next().is_none());
+        }
+        let top = run(&argv(&format!(
+            "top {data} aa --k 2 --tau-min 0.05 --quiet"
+        )))
+        .unwrap();
+        assert!(!top.contains("occurrence"), "{top}");
+    }
+
+    #[test]
+    fn serve_batch_answers_from_collection_and_snapshot_dir() {
+        let docs = write_temp(
+            "ustr_cli_serve_docs.ustr",
+            "A:.9,B:.1 | B | C\nC | C | C\nA:.5,B:.5 | B | C\n",
+        );
+        let queries = write_temp("ustr_cli_serve_q.txt", "# comment\nAB 0.3\nC 0.9\nZZ 0.5\n");
+        let out = run(&argv(&format!(
+            "serve-batch {docs} {queries} --threads 4 --shards 2 --tau-min 0.05"
+        )))
+        .unwrap();
+        assert!(out.contains("3 document(s)"), "{out}");
+        assert!(
+            out.contains("query 0 \"AB\" tau=0.3: 2 document(s)"),
+            "{out}"
+        );
+
+        // Snapshot directory route: save per-doc indexes, then serve.
+        let dir = std::env::temp_dir().join("ustr_cli_serve_idx");
+        let _ = fs::remove_dir_all(&dir);
+        let collection = load_collection(&docs).unwrap();
+        let service = QueryService::build(
+            &collection,
+            0.05,
+            ServiceConfig {
+                threads: 1,
+                shards: 1,
+                cache_capacity: 0,
+            },
+        )
+        .unwrap();
+        service.save_dir(&dir).unwrap();
+        let quiet = run(&argv(&format!(
+            "serve-batch {} {queries} --threads 2 --quiet",
+            dir.display()
+        )))
+        .unwrap();
+        // Quiet rows: `query doc pos prob`, identical hits to the build route.
+        assert!(quiet.lines().all(|l| l.split_whitespace().count() == 4));
+        assert!(quiet.contains("0 0 0 0.9"), "{quiet}");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -131,16 +131,7 @@ impl ApproxIndex {
             // Virtual (induced) tree over the marked leaves; emit one link
             // per virtual edge.
             let emit = |u: u32, v_depth: usize, links: &mut Vec<Link>, witness_x: u32| {
-                refine_link(
-                    &tree,
-                    &cum,
-                    u,
-                    v_depth,
-                    d as u32,
-                    witness_x,
-                    epsilon,
-                    links,
-                );
+                refine_link(&tree, &cum, u, v_depth, d as u32, witness_x, epsilon, links);
             };
             for &slot in slots {
                 let leaf = tree.leaf(slot as usize);
@@ -252,7 +243,9 @@ impl ApproxIndex {
         let (pl, pr) = self.tree.preorder_range(locus);
         // Link range whose origin preorder falls inside the locus subtree.
         let lo = self.links.partition_point(|l| (l.origin_pre as usize) < pl);
-        let hi = self.links.partition_point(|l| (l.origin_pre as usize) <= pr);
+        let hi = self
+            .links
+            .partition_point(|l| (l.origin_pre as usize) <= pr);
         if lo >= hi {
             return Ok(QueryResult::default());
         }
@@ -353,8 +346,7 @@ mod tests {
 
     #[test]
     fn sandwich_on_figure_10() {
-        let s =
-            UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
+        let s = UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
         let idx = ApproxIndex::build(&s, 0.05, 0.05).unwrap();
         for pattern in [&b"QP"[..], b"P", b"QPP", b"PA", b"PPA", b"SP", b"Q"] {
             for tau in [0.05, 0.1, 0.2, 0.4, 0.6, 0.9] {
@@ -425,7 +417,10 @@ mod tests {
         let idx = ApproxIndex::build(&s, 0.05, 0.1).unwrap();
         for (pos, approx_p) in idx.query(b"aa", 0.3).unwrap() {
             let true_p = s.match_probability(b"aa", pos);
-            assert!(approx_p <= true_p + 1e-9, "approximation never exceeds truth");
+            assert!(
+                approx_p <= true_p + 1e-9,
+                "approximation never exceeds truth"
+            );
             assert!(true_p - approx_p <= 0.1 + 1e-9, "within epsilon");
         }
     }

@@ -49,6 +49,27 @@ impl CumulativeLogProb {
         Self { prefix, sentinels }
     }
 
+    /// Decomposes into the `(prefix, sentinels)` arrays accepted by
+    /// [`CumulativeLogProb::from_parts`] (the persistent representation used
+    /// by index snapshots; serializing the prefix sums directly keeps window
+    /// evaluations bit-identical after a load).
+    pub fn to_parts(&self) -> (Vec<f64>, Vec<u32>) {
+        (self.prefix.clone(), self.sentinels.clone())
+    }
+
+    /// Reassembles from parts produced by [`CumulativeLogProb::to_parts`].
+    /// Fails when the arrays are structurally inconsistent (empty, unequal
+    /// lengths, or a non-monotone sentinel count).
+    pub fn from_parts(prefix: Vec<f64>, sentinels: Vec<u32>) -> Result<Self, &'static str> {
+        if prefix.is_empty() || prefix.len() != sentinels.len() {
+            return Err("prefix and sentinel arrays must be non-empty and equal-length");
+        }
+        if sentinels.windows(2).any(|w| w[0] > w[1]) {
+            return Err("sentinel counts must be non-decreasing");
+        }
+        Ok(Self { prefix, sentinels })
+    }
+
     /// Number of positions covered.
     pub fn len(&self) -> usize {
         self.prefix.len() - 1

@@ -19,6 +19,9 @@ pub enum Error {
     InvalidThreshold { value: f64 },
     /// ε for the approximate index was outside `(0, 1)`.
     InvalidEpsilon { value: f64 },
+    /// A snapshot's decoded state is structurally inconsistent and cannot be
+    /// assembled into an index.
+    InvalidSnapshot { detail: String },
 }
 
 impl fmt::Display for Error {
@@ -38,6 +41,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidEpsilon { value } => {
                 write!(f, "epsilon {value} is outside (0, 1)")
+            }
+            Error::InvalidSnapshot { detail } => {
+                write!(f, "invalid index snapshot: {detail}")
             }
         }
     }

@@ -12,6 +12,7 @@ use crate::{
     levels::{DedupStrategy, Levels},
     options::IndexOptions,
     result::QueryResult,
+    snapshot::{CumState, IndexState, TreeState},
     stats::BuildStats,
 };
 
@@ -111,6 +112,68 @@ impl Index {
         self.tau_min
     }
 
+    /// Decomposes the index into its persistence-ready snapshot state (see
+    /// [`crate::snapshot`]). The byte encoding lives in `ustr-store`.
+    pub fn to_snapshot(&self) -> IndexState {
+        let (text, sa, lcp) = self.tree.to_parts();
+        let (prefix, sentinels) = self.cum.to_parts();
+        IndexState {
+            source: self.source.clone(),
+            transformed: self.transformed.clone(),
+            tree: TreeState { text, sa, lcp },
+            cum: CumState { prefix, sentinels },
+            levels: self.levels.to_parts(),
+            tau_min: self.tau_min,
+            dedup_enabled: self.dedup_enabled,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Reassembles an index from snapshot state. Rebuilds only the cheap
+    /// derived structures (suffix-tree node arena from SA + LCP, RMQ champion
+    /// values from the cumulative array); the result answers every query
+    /// identically to the index the snapshot was taken from. Fails with
+    /// [`Error::InvalidSnapshot`] on structurally inconsistent state.
+    pub fn from_snapshot(state: IndexState) -> Result<Self, Error> {
+        use crate::snapshot::{invalid, validate_tree_state};
+        validate_tree_state(&state.tree)?;
+        if state.tree.text != state.transformed.special.chars() {
+            return Err(invalid("tree text does not match the transformed text"));
+        }
+        if state.transformed.pos.len() != state.transformed.special.len() {
+            return Err(invalid("position map length does not match text"));
+        }
+        let source_len = state.source.len();
+        if state
+            .transformed
+            .pos
+            .iter()
+            .any(|&p| p != u32::MAX && p as usize >= source_len)
+        {
+            return Err(invalid("position map points outside the source string"));
+        }
+        if !(state.tau_min > 0.0 && state.tau_min <= 1.0) {
+            return Err(invalid("tau_min outside (0, 1]"));
+        }
+        let tree = SuffixTree::from_parts(state.tree.text, state.tree.sa, state.tree.lcp);
+        let cum = CumulativeLogProb::from_parts(state.cum.prefix, state.cum.sentinels)
+            .map_err(invalid)?;
+        if cum.len() != tree.text_len() {
+            return Err(invalid("cumulative array length does not match text"));
+        }
+        let levels = Levels::from_parts(state.levels, &tree, &cum)?;
+        Ok(Self {
+            source: state.source,
+            transformed: state.transformed,
+            tree,
+            cum,
+            levels,
+            tau_min: state.tau_min,
+            dedup_enabled: state.dedup_enabled,
+            stats: state.stats,
+        })
+    }
+
     /// Construction statistics (transform expansion, timings, space).
     pub fn stats(&self) -> &BuildStats {
         &self.stats
@@ -191,16 +254,10 @@ impl Index {
         };
         let m = pattern.len();
         let has_corr = !self.source.correlations().is_empty();
-        let hits = crate::topk::top_k_for_range(
-            &self.tree,
-            &self.cum,
-            &self.levels,
-            m,
-            l,
-            r,
-            k,
-            |slot| self.source_pos_of_slot(slot),
-        );
+        let hits =
+            crate::topk::top_k_for_range(&self.tree, &self.cum, &self.levels, m, l, r, k, |slot| {
+                self.source_pos_of_slot(slot)
+            });
         let mut out: Vec<(usize, f64)> = hits
             .into_iter()
             .map(|(src, v)| {
@@ -282,7 +339,10 @@ mod tests {
         let s = UncertainString::deterministic(b"abracadabra");
         let idx = Index::build(&s, 0.5).unwrap();
         assert_eq!(idx.query(b"abra", 0.9).unwrap().positions(), vec![0, 7]);
-        assert_eq!(idx.query(b"a", 0.9).unwrap().positions(), vec![0, 3, 5, 7, 10]);
+        assert_eq!(
+            idx.query(b"a", 0.9).unwrap().positions(),
+            vec![0, 3, 5, 7, 10]
+        );
         assert!(idx.query(b"zz", 0.9).unwrap().is_empty());
     }
 
@@ -305,7 +365,11 @@ mod tests {
                 spec.push_str(" | ");
             }
             if i % 10 == 3 {
-                spec.push_str(&format!("{}:.6,{}:.4", c as char, ((c - b'a' + 1) % 26 + b'a') as char));
+                spec.push_str(&format!(
+                    "{}:.6,{}:.4",
+                    c as char,
+                    ((c - b'a' + 1) % 26 + b'a') as char
+                ));
             } else {
                 spec.push(c as char);
             }
@@ -358,7 +422,10 @@ mod tests {
         let idx = Index::build(&figure_10_string(), 0.1).unwrap();
         let st = idx.stats();
         assert_eq!(st.source_len, 4);
-        assert!(st.transformed_len > 4, "factors + separators expand the text");
+        assert!(
+            st.transformed_len > 4,
+            "factors + separators expand the text"
+        );
         assert!(st.num_factors >= 2);
         assert!(st.expansion() > 1.0);
         assert!(st.heap_bytes > 0);

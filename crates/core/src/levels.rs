@@ -90,6 +90,39 @@ pub struct Levels {
     long: Vec<LongLevel>,
 }
 
+/// Persistent representation of one short level (see [`Levels::to_parts`]).
+#[derive(Debug, Clone)]
+pub struct ShortLevelParts {
+    /// Duplicate-elimination mask, 64 slots per word.
+    pub mask_words: Vec<u64>,
+    /// RMQ sampling block size.
+    pub block_size: usize,
+    /// Per-block champion indices.
+    pub champions: Vec<u32>,
+}
+
+/// Persistent representation of one long (blocking-scheme) level.
+#[derive(Debug, Clone)]
+pub struct LongLevelParts {
+    /// Filter length of this level.
+    pub len: usize,
+    /// RMQ sampling block size.
+    pub block_size: usize,
+    /// Per-block champion indices.
+    pub champions: Vec<u32>,
+}
+
+/// Persistent representation of all RMQ levels of an index.
+#[derive(Debug, Clone)]
+pub struct LevelsParts {
+    /// Largest pattern length served by the short levels.
+    pub max_short: usize,
+    /// Short levels, in pattern-length order (`1..=max_short`).
+    pub short: Vec<ShortLevelParts>,
+    /// Long levels, in increasing filter-length order.
+    pub long: Vec<LongLevelParts>,
+}
+
 impl Levels {
     /// Builds all levels for the suffix `tree` over probabilities `cum`.
     ///
@@ -140,6 +173,103 @@ impl Levels {
             short,
             long,
         }
+    }
+
+    /// Decomposes all levels into the persistent representation accepted by
+    /// [`Levels::from_parts`]: per short level the duplicate-mask words and
+    /// RMQ champion indices, per long level its filter length and champions.
+    /// Champion *values* are never stored — they are re-derived from the
+    /// cumulative array on reload, exactly as queries re-derive them.
+    pub fn to_parts(&self) -> LevelsParts {
+        LevelsParts {
+            max_short: self.max_short,
+            short: self
+                .short
+                .iter()
+                .map(|s| ShortLevelParts {
+                    mask_words: s.mask.words.clone(),
+                    block_size: s.rmq.block_size(),
+                    champions: s.rmq.champions().to_vec(),
+                })
+                .collect(),
+            long: self
+                .long
+                .iter()
+                .map(|l| LongLevelParts {
+                    len: l.len,
+                    block_size: l.rmq.block_size(),
+                    champions: l.rmq.champions().to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reassembles levels from parts produced by [`Levels::to_parts`],
+    /// re-deriving all RMQ champion values through `tree` and `cum` (which
+    /// must be the reloaded structures of the same index). Fails with
+    /// [`Error::InvalidSnapshot`] on structurally inconsistent parts.
+    pub fn from_parts(
+        parts: LevelsParts,
+        tree: &SuffixTree,
+        cum: &CumulativeLogProb,
+    ) -> Result<Self, crate::error::Error> {
+        let invalid = |detail: &str| crate::error::Error::InvalidSnapshot {
+            detail: detail.to_string(),
+        };
+        let slots = tree.num_slots();
+        if parts.short.len() != parts.max_short {
+            return Err(invalid("short level count does not match max_short"));
+        }
+        let mut short = Vec::with_capacity(parts.short.len());
+        for (idx, level) in parts.short.into_iter().enumerate() {
+            let i = idx + 1; // pattern length served by this level
+            if level.mask_words.len() != slots.div_ceil(64) {
+                return Err(invalid("mask word count does not match slot count"));
+            }
+            let mask = BitVec {
+                words: level.mask_words,
+            };
+            let accessor = |j: usize| {
+                if mask.get(j) {
+                    f64::NEG_INFINITY
+                } else {
+                    cum.window(tree.sa(j), i)
+                }
+            };
+            let rmq = SampledRmq::from_parts(
+                slots,
+                level.block_size,
+                Direction::Max,
+                level.champions,
+                &accessor,
+            )
+            .map_err(invalid)?;
+            short.push(ShortLevel { rmq, mask });
+        }
+        let mut long = Vec::with_capacity(parts.long.len());
+        let mut prev_len = 0usize;
+        for level in parts.long {
+            if level.len <= prev_len {
+                return Err(invalid("long level lengths must be strictly increasing"));
+            }
+            prev_len = level.len;
+            let len = level.len;
+            let accessor = |j: usize| cum.window(tree.sa(j), len);
+            let rmq = SampledRmq::from_parts(
+                slots,
+                level.block_size,
+                Direction::Max,
+                level.champions,
+                &accessor,
+            )
+            .map_err(invalid)?;
+            long.push(LongLevel { len, rmq });
+        }
+        Ok(Self {
+            max_short: parts.max_short,
+            short,
+            long,
+        })
     }
 
     /// Largest pattern length served by the short levels.
@@ -333,8 +463,8 @@ fn build_mask(
             let mut best: HashMap<u32, (usize, f64)> = HashMap::new();
             let mut members: Vec<usize> = Vec::new();
             let flush = |best: &mut HashMap<u32, (usize, f64)>,
-                             members: &mut Vec<usize>,
-                             mask: &mut BitVec| {
+                         members: &mut Vec<usize>,
+                         mask: &mut BitVec| {
                 for &j in members.iter() {
                     mask.set(j);
                 }

@@ -12,6 +12,13 @@
 //! | [`ListingIndex`] | §6 | string listing from an uncertain collection, with [`RelMetric`] relevance |
 //! | [`ApproxIndex`] | §7 | approximate substring search with additive error ε |
 //!
+//! [`SpecialIndex`], [`Index`], and [`ListingIndex`] additionally expose
+//! `to_snapshot` / `from_snapshot` pairs over the plain-data state structs in
+//! [`snapshot`] — the build-once/serve-forever persistence layer. The byte
+//! encoding (magic, format version, checksum) lives in the `ustr-store`
+//! crate; the concurrent sharded serving engine on top of built or loaded
+//! indexes lives in `ustr-service`.
+//!
 //! The machinery follows the paper: the uncertain string is reduced to a
 //! deterministic text (via the Lemma-2 maximal-factor transform for general
 //! strings), a suffix tree provides pattern loci, the cumulative probability
@@ -29,6 +36,7 @@ mod levels;
 mod listing;
 mod options;
 mod result;
+pub mod snapshot;
 mod special;
 mod stats;
 mod topk;
@@ -37,9 +45,10 @@ pub use approx::ApproxIndex;
 pub use carray::CumulativeLogProb;
 pub use error::Error;
 pub use index::Index;
-pub use levels::{DedupStrategy, Levels};
+pub use levels::{DedupStrategy, Levels, LevelsParts, LongLevelParts, ShortLevelParts};
 pub use listing::{ListingHit, ListingIndex, RelMetric};
 pub use options::IndexOptions;
 pub use result::QueryResult;
+pub use snapshot::{CumState, IndexState, ListingIndexState, SpecialIndexState, TreeState};
 pub use special::SpecialIndex;
 pub use stats::BuildStats;

@@ -12,6 +12,7 @@ use crate::{
     error::{validate_query, Error},
     levels::{DedupStrategy, Levels},
     options::IndexOptions,
+    snapshot::{CumState, ListingIndexState, TreeState},
     stats::BuildStats,
 };
 
@@ -188,6 +189,73 @@ impl ListingIndex {
         &self.stats
     }
 
+    /// Decomposes the index into its persistence-ready snapshot state (see
+    /// [`crate::snapshot`]).
+    pub fn to_snapshot(&self) -> ListingIndexState {
+        let (text, sa, lcp) = self.tree.to_parts();
+        let (prefix, sentinels) = self.cum.to_parts();
+        ListingIndexState {
+            docs: self.docs.clone(),
+            tree: TreeState { text, sa, lcp },
+            cum: CumState { prefix, sentinels },
+            levels: self.levels.to_parts(),
+            doc_of: self.doc_of.clone(),
+            src_of: self.src_of.clone(),
+            doc_base: self.doc_base.clone(),
+            tau_min: self.tau_min,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Reassembles an index from snapshot state; the result answers every
+    /// query identically to the original. Fails with
+    /// [`Error::InvalidSnapshot`] on structurally inconsistent state.
+    pub fn from_snapshot(state: ListingIndexState) -> Result<Self, Error> {
+        use crate::snapshot::{invalid, validate_tree_state};
+        validate_tree_state(&state.tree)?;
+        let n = state.tree.text.len();
+        if state.doc_of.len() != n || state.src_of.len() != n {
+            return Err(invalid("document maps do not match the text length"));
+        }
+        if state.doc_base.len() != state.docs.len() {
+            return Err(invalid("document base count does not match collection"));
+        }
+        for (&d, &s) in state.doc_of.iter().zip(state.src_of.iter()) {
+            if d == NONE32 {
+                continue;
+            }
+            let Some(doc) = state.docs.get(d as usize) else {
+                return Err(invalid("document id outside the collection"));
+            };
+            if s == NONE32 || s as usize >= doc.len() {
+                return Err(invalid("source offset outside its document"));
+            }
+        }
+        if !(state.tau_min > 0.0 && state.tau_min <= 1.0) {
+            return Err(invalid("tau_min outside (0, 1]"));
+        }
+        let has_correlations = state.docs.iter().any(|d| !d.correlations().is_empty());
+        let tree = SuffixTree::from_parts(state.tree.text, state.tree.sa, state.tree.lcp);
+        let cum = CumulativeLogProb::from_parts(state.cum.prefix, state.cum.sentinels)
+            .map_err(invalid)?;
+        if cum.len() != tree.text_len() {
+            return Err(invalid("cumulative array length does not match text"));
+        }
+        let levels = Levels::from_parts(state.levels, &tree, &cum)?;
+        Ok(Self {
+            docs: state.docs,
+            tree,
+            cum,
+            levels,
+            doc_of: state.doc_of,
+            src_of: state.src_of,
+            doc_base: state.doc_base,
+            tau_min: state.tau_min,
+            has_correlations,
+            stats: state.stats,
+        })
+    }
+
     /// Lists all strings with `Rel_max ≥ tau` (the default metric), sorted
     /// by document id.
     pub fn query(&self, pattern: &[u8], tau: f64) -> Result<Vec<ListingHit>, Error> {
@@ -337,16 +405,10 @@ impl ListingIndex {
             return Ok(Vec::new());
         };
         let m = pattern.len();
-        let hits = crate::topk::top_k_for_range(
-            &self.tree,
-            &self.cum,
-            &self.levels,
-            m,
-            l,
-            r,
-            k,
-            |slot| self.doc_and_src(slot).map(|(doc, _)| doc),
-        );
+        let hits =
+            crate::topk::top_k_for_range(&self.tree, &self.cum, &self.levels, m, l, r, k, |slot| {
+                self.doc_and_src(slot).map(|(doc, _)| doc)
+            });
         let mut out: Vec<ListingHit> = hits
             .into_iter()
             .map(|(doc, v)| {
@@ -422,8 +484,12 @@ mod tests {
             for &b in &alphabet {
                 let pattern = [a, b];
                 for tau in [0.02, 0.05, 0.1, 0.3] {
-                    let got: Vec<usize> =
-                        idx.query(&pattern, tau).unwrap().into_iter().map(|h| h.doc).collect();
+                    let got: Vec<usize> = idx
+                        .query(&pattern, tau)
+                        .unwrap()
+                        .into_iter()
+                        .map(|h| h.doc)
+                        .collect();
                     let expected = NaiveScanner::listing(&docs, &pattern, tau);
                     assert_eq!(got, expected, "pattern {pattern:?} tau {tau}");
                 }

@@ -1,0 +1,147 @@
+//! Decomposed, persistence-ready state of the index types.
+//!
+//! Each index can be taken apart into a plain-data *snapshot state* struct
+//! (`Index::to_snapshot` / `Index::from_snapshot`, and likewise for
+//! [`crate::SpecialIndex`] and [`crate::ListingIndex`]) holding exactly the
+//! query-critical state:
+//!
+//! * the source model (uncertain string(s), correlations),
+//! * the transformed deterministic text and its position mapping,
+//! * the suffix substrate as a `(text, SA, LCP)` triple — the suffix tree is
+//!   rebuilt from these in one linear, deterministic pass,
+//! * the cumulative log-probability prefix sums (serialized verbatim so
+//!   window evaluations stay bit-identical),
+//! * per-level RMQ champion indices and duplicate masks (champion *values*
+//!   are re-derived from the cumulative array on reassembly).
+//!
+//! The byte-level encoding of these structs lives in the `ustr-store` crate;
+//! this module only defines the shapes and the invariant-checked assembly.
+//! Reassembly never recomputes the expensive parts of construction (SA-IS,
+//! the Lemma-2 transform, level mask sweeps) and produces an index that
+//! answers every query identically to the freshly built original.
+
+use ustr_uncertain::{SpecialUncertainString, Transformed, UncertainString};
+
+use crate::{levels::LevelsParts, stats::BuildStats};
+
+/// Suffix substrate of an index: the deterministic text with its suffix and
+/// LCP arrays (`ustr_suffix::SuffixTree::{to_parts, from_parts}`).
+#[derive(Debug, Clone)]
+pub struct TreeState {
+    /// The indexed deterministic text (no virtual terminator).
+    pub text: Vec<u8>,
+    /// Plain suffix array of `text`.
+    pub sa: Vec<u32>,
+    /// LCP array of `text` (`lcp[0] = 0`).
+    pub lcp: Vec<u32>,
+}
+
+/// Cumulative log-probability array state
+/// (`crate::CumulativeLogProb::{to_parts, from_parts}`).
+#[derive(Debug, Clone)]
+pub struct CumState {
+    /// Prefix sums of per-position log probabilities (`len + 1` entries).
+    pub prefix: Vec<f64>,
+    /// Running separator counts (`len + 1` entries).
+    pub sentinels: Vec<u32>,
+}
+
+/// Snapshot state of a general substring [`crate::Index`].
+#[derive(Debug, Clone)]
+pub struct IndexState {
+    /// The source uncertain string (with correlations).
+    pub source: UncertainString,
+    /// The Lemma-2 transform output.
+    pub transformed: Transformed,
+    /// Suffix substrate over the transformed text.
+    pub tree: TreeState,
+    /// Cumulative log probabilities of the transformed text.
+    pub cum: CumState,
+    /// Per-length RMQ levels.
+    pub levels: LevelsParts,
+    /// Construction-time threshold.
+    pub tau_min: f64,
+    /// Whether per-level duplicate elimination was enabled at build time.
+    pub dedup_enabled: bool,
+    /// Build statistics (the original build's numbers).
+    pub stats: BuildStats,
+}
+
+/// Snapshot state of a [`crate::SpecialIndex`].
+#[derive(Debug, Clone)]
+pub struct SpecialIndexState {
+    /// The indexed special uncertain string.
+    pub special: SpecialUncertainString,
+    /// Correlations attached at build time, as plain rows.
+    pub correlations: Vec<ustr_uncertain::Correlation>,
+    /// Suffix substrate over the string's characters.
+    pub tree: TreeState,
+    /// Cumulative log probabilities.
+    pub cum: CumState,
+    /// Per-length RMQ levels.
+    pub levels: LevelsParts,
+    /// Build statistics.
+    pub stats: BuildStats,
+}
+
+/// Snapshot state of a [`crate::ListingIndex`].
+#[derive(Debug, Clone)]
+pub struct ListingIndexState {
+    /// The indexed collection.
+    pub docs: Vec<UncertainString>,
+    /// Suffix substrate over the concatenated transformed texts.
+    pub tree: TreeState,
+    /// Cumulative log probabilities.
+    pub cum: CumState,
+    /// Per-length RMQ levels.
+    pub levels: LevelsParts,
+    /// Transformed position → document id (`u32::MAX` at separators).
+    pub doc_of: Vec<u32>,
+    /// Transformed position → offset within its document.
+    pub src_of: Vec<u32>,
+    /// Start of each document in concatenated source-position space.
+    pub doc_base: Vec<u32>,
+    /// Construction-time threshold.
+    pub tau_min: f64,
+    /// Build statistics.
+    pub stats: BuildStats,
+}
+
+/// Shorthand for snapshot-assembly failures.
+pub(crate) fn invalid(detail: impl Into<String>) -> crate::Error {
+    crate::Error::InvalidSnapshot {
+        detail: detail.into(),
+    }
+}
+
+/// Validates a `(text, sa, lcp)` triple well enough that
+/// `SuffixTree::from_parts` cannot panic: the SA must be a permutation of
+/// `0..n` and every LCP entry must be a genuine common-prefix length.
+pub(crate) fn validate_tree_state(state: &TreeState) -> Result<(), crate::Error> {
+    let n = state.text.len();
+    if state.sa.len() != n || state.lcp.len() != n {
+        return Err(invalid("suffix/LCP array length does not match text"));
+    }
+    let mut seen = vec![false; n];
+    for &p in &state.sa {
+        let p = p as usize;
+        if p >= n || seen[p] {
+            return Err(invalid("suffix array is not a permutation of 0..n"));
+        }
+        seen[p] = true;
+    }
+    for (j, &l) in state.lcp.iter().enumerate() {
+        let l = l as usize;
+        if j == 0 {
+            if l != 0 {
+                return Err(invalid("lcp[0] must be 0"));
+            }
+            continue;
+        }
+        let (a, b) = (state.sa[j - 1] as usize, state.sa[j] as usize);
+        if l > n - a || l > n - b || state.text[a..a + l] != state.text[b..b + l] {
+            return Err(invalid("LCP entry exceeds the true common prefix"));
+        }
+    }
+    Ok(())
+}

@@ -13,6 +13,7 @@ use crate::{
     levels::{DedupStrategy, Levels},
     options::IndexOptions,
     result::QueryResult,
+    snapshot::{CumState, SpecialIndexState, TreeState},
     stats::BuildStats,
 };
 
@@ -71,19 +72,7 @@ impl SpecialIndex {
             !options.disable_long_levels,
             &DedupStrategy::None,
         );
-        // Correlations can raise a window's probability above the stored
-        // product (stored probabilities play the paper's pr⁺ role). The
-        // recursion threshold is relaxed by the total possible uplift; exact
-        // verification filters afterwards.
-        let mut boost_log = 0.0f64;
-        for corr in correlations.iter() {
-            let pos = corr.subject_pos;
-            if special.chars().get(pos) == Some(&corr.subject_char) {
-                let stored = special.prob_at(pos);
-                let uplift = (corr.max_prob().ln() - stored.ln()).max(0.0);
-                boost_log += uplift;
-            }
-        }
+        let boost_log = correlation_boost(special, &correlations);
         let mut stats = BuildStats {
             source_len: special.len(),
             transformed_len: special.len(),
@@ -113,6 +102,55 @@ impl SpecialIndex {
     /// The indexed string.
     pub fn special(&self) -> &SpecialUncertainString {
         &self.special
+    }
+
+    /// Decomposes the index into its persistence-ready snapshot state (see
+    /// [`crate::snapshot`]).
+    pub fn to_snapshot(&self) -> SpecialIndexState {
+        let (text, sa, lcp) = self.tree.to_parts();
+        let (prefix, sentinels) = self.cum.to_parts();
+        SpecialIndexState {
+            special: self.special.clone(),
+            correlations: self.correlations.iter().cloned().collect(),
+            tree: TreeState { text, sa, lcp },
+            cum: CumState { prefix, sentinels },
+            levels: self.levels.to_parts(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Reassembles an index from snapshot state; the result answers every
+    /// query identically to the original. Fails with
+    /// [`Error::InvalidSnapshot`] on structurally inconsistent state.
+    pub fn from_snapshot(state: SpecialIndexState) -> Result<Self, Error> {
+        use crate::snapshot::{invalid, validate_tree_state};
+        validate_tree_state(&state.tree)?;
+        if state.tree.text != state.special.chars() {
+            return Err(invalid("tree text does not match the indexed string"));
+        }
+        let mut correlations = CorrelationSet::new();
+        for corr in state.correlations {
+            correlations.add(corr).map_err(Error::Model)?;
+        }
+        let tree = SuffixTree::from_parts(state.tree.text, state.tree.sa, state.tree.lcp);
+        let cum = CumulativeLogProb::from_parts(state.cum.prefix, state.cum.sentinels)
+            .map_err(invalid)?;
+        if cum.len() != tree.text_len() {
+            return Err(invalid("cumulative array length does not match text"));
+        }
+        let levels = Levels::from_parts(state.levels, &tree, &cum)?;
+        // Derived, never trusted from the snapshot: a too-small boost would
+        // silently prune true matches under correlation uplift.
+        let boost_log = correlation_boost(&state.special, &correlations);
+        Ok(Self {
+            special: state.special,
+            correlations,
+            tree,
+            cum,
+            levels,
+            boost_log,
+            stats: state.stats,
+        })
     }
 
     /// All positions where `pattern` matches with probability ≥ `tau`.
@@ -156,16 +194,10 @@ impl SpecialIndex {
             return Ok(Vec::new());
         };
         let m = pattern.len();
-        let hits = crate::topk::top_k_for_range(
-            &self.tree,
-            &self.cum,
-            &self.levels,
-            m,
-            l,
-            r,
-            k,
-            |slot| Some(self.tree.sa(slot)),
-        );
+        let hits =
+            crate::topk::top_k_for_range(&self.tree, &self.cum, &self.levels, m, l, r, k, |slot| {
+                Some(self.tree.sa(slot))
+            });
         let mut out: Vec<(usize, f64)> = hits
             .into_iter()
             .map(|(pos, v)| {
@@ -188,6 +220,23 @@ impl SpecialIndex {
             + self.levels.heap_size()
             + self.special.len() * (1 + std::mem::size_of::<f64>())
     }
+}
+
+/// Log-space slack for the reporting threshold: correlations can raise a
+/// window's probability above the stored product (stored probabilities play
+/// the paper's pr+ role), so the recursion threshold is relaxed by the total
+/// possible uplift; exact verification filters afterwards.
+fn correlation_boost(special: &SpecialUncertainString, correlations: &CorrelationSet) -> f64 {
+    let mut boost_log = 0.0f64;
+    for corr in correlations.iter() {
+        let pos = corr.subject_pos;
+        if special.chars().get(pos) == Some(&corr.subject_char) {
+            let stored = special.prob_at(pos);
+            let uplift = (corr.max_prob().ln() - stored.ln()).max(0.0);
+            boost_log += uplift;
+        }
+    }
+    boost_log
 }
 
 #[cfg(test)]

@@ -21,8 +21,16 @@ use crate::carray::CumulativeLogProb;
 /// Max-heap entry: either an unexplored range (keyed by the value of its
 /// best slot) or an exact candidate awaiting emission.
 enum Entry {
-    Range { key: f64, slot: usize, l: usize, r: usize },
-    Exact { key: f64, slot: usize },
+    Range {
+        key: f64,
+        slot: usize,
+        l: usize,
+        r: usize,
+    },
+    Exact {
+        key: f64,
+        slot: usize,
+    },
 }
 
 impl Entry {
@@ -89,13 +97,23 @@ pub(crate) fn top_k_search(
                 if slot > l {
                     let (s, b) = bound(l, slot - 1);
                     if b >= floor {
-                        heap.push(Entry::Range { key: b, slot: s, l, r: slot - 1 });
+                        heap.push(Entry::Range {
+                            key: b,
+                            slot: s,
+                            l,
+                            r: slot - 1,
+                        });
                     }
                 }
                 if slot < r {
                     let (s, b) = bound(slot + 1, r);
                     if b >= floor {
-                        heap.push(Entry::Range { key: b, slot: s, l: slot + 1, r });
+                        heap.push(Entry::Range {
+                            key: b,
+                            slot: s,
+                            l: slot + 1,
+                            r,
+                        });
                     }
                 }
             }

@@ -199,7 +199,10 @@ mod tests {
         for n in [63, 64, 65, 127, 128, 129, 192] {
             let v = values(n, n as u64);
             let rmq = BlockRmq::new(&v, Direction::Max);
-            assert_eq!(rmq.query(0, n - 1), scan_extreme(&v, 0, n - 1, Direction::Max));
+            assert_eq!(
+                rmq.query(0, n - 1),
+                scan_extreme(&v, 0, n - 1, Direction::Max)
+            );
             assert_eq!(rmq.len(), n);
         }
     }

@@ -150,7 +150,11 @@ impl FischerHeunRmq {
     /// Panics if `l > r` or `r >= self.len()`.
     pub fn query_with(&self, l: usize, r: usize, accessor: &dyn Fn(usize) -> f64) -> usize {
         assert!(l <= r, "invalid range: l={l} > r={r}");
-        assert!(r < self.len, "range end {r} out of bounds (len {})", self.len);
+        assert!(
+            r < self.len,
+            "range end {r} out of bounds (len {})",
+            self.len
+        );
         let bl = l / BLOCK;
         let br = r / BLOCK;
         if bl == br {
@@ -260,7 +264,10 @@ mod tests {
         let rmq = FischerHeunRmq::new(v.len(), Direction::Max, &at);
         for l in (0..v.len()).step_by(7) {
             for r in (l..v.len()).step_by(5) {
-                assert_eq!(rmq.query_with(l, r, &at), scan_extreme(&v, l, r, Direction::Max));
+                assert_eq!(
+                    rmq.query_with(l, r, &at),
+                    scan_extreme(&v, l, r, Direction::Max)
+                );
             }
         }
     }
@@ -290,7 +297,10 @@ mod tests {
             let v = values(n, n as u64, 30);
             let at = |i: usize| v[i];
             let rmq = FischerHeunRmq::new(n, Direction::Min, &at);
-            assert_eq!(rmq.query_with(0, n - 1, &at), scan_extreme(&v, 0, n - 1, Direction::Min));
+            assert_eq!(
+                rmq.query_with(0, n - 1, &at),
+                scan_extreme(&v, 0, n - 1, Direction::Min)
+            );
             assert_eq!(rmq.len(), n);
         }
     }

@@ -54,7 +54,14 @@ where
     /// `query(l, r)` must return the index of the extreme element in `[l, r]`
     /// (consistent with `direction`); `value(i)` returns the value used both
     /// for the threshold test and for the yielded pairs.
-    pub fn new(l: usize, r: usize, threshold: f64, direction: Direction, query: Q, value: V) -> Self {
+    pub fn new(
+        l: usize,
+        r: usize,
+        threshold: f64,
+        direction: Direction,
+        query: Q,
+        value: V,
+    ) -> Self {
         let stack = if l <= r { vec![(l, r)] } else { Vec::new() };
         Self {
             stack,
@@ -206,18 +213,33 @@ mod tests {
             |i| v[i],
         );
         assert_eq!(got.len(), 100);
-        assert!(calls <= 2 * got.len() + 1, "calls={calls} occ={}", got.len());
+        assert!(
+            calls <= 2 * got.len() + 1,
+            "calls={calls} occ={}",
+            got.len()
+        );
     }
 
     #[test]
     fn works_with_block_rmq_backend() {
         let v: Vec<f64> = (0..500)
-            .map(|i| if i % 97 == 0 { 1.0 } else { (i % 7) as f64 / 100.0 })
+            .map(|i| {
+                if i % 97 == 0 {
+                    1.0
+                } else {
+                    (i % 7) as f64 / 100.0
+                }
+            })
             .collect();
         let rmq = BlockRmq::new(&v, Direction::Max);
-        let got = report_above(0, v.len() - 1, 0.5, Direction::Max, |l, r| rmq.query(l, r), |i| {
-            v[i]
-        });
+        let got = report_above(
+            0,
+            v.len() - 1,
+            0.5,
+            Direction::Max,
+            |l, r| rmq.query(l, r),
+            |i| v[i],
+        );
         let expected = (0..500).filter(|i| i % 97 == 0).count();
         assert_eq!(got.len(), expected);
     }

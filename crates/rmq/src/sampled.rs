@@ -82,9 +82,66 @@ impl SampledRmq {
         }
     }
 
+    /// Reassembles a structure from its persistent parts: the element count,
+    /// block size, direction, and per-block champion indices previously read
+    /// from [`SampledRmq::champions`]. Champion *values* are re-derived
+    /// through `accessor` (exactly as queries re-derive partial-block
+    /// values), so only the `u32` indices need to be stored.
+    ///
+    /// Fails when the parts are structurally inconsistent: wrong champion
+    /// count for `(len, block_size)`, or a champion outside its block.
+    pub fn from_parts(
+        len: usize,
+        block_size: usize,
+        direction: Direction,
+        champions: Vec<u32>,
+        accessor: &dyn Fn(usize) -> f64,
+    ) -> Result<Self, &'static str> {
+        if block_size < 1 {
+            return Err("block size must be at least 1");
+        }
+        let num_blocks = len.div_ceil(block_size);
+        if champions.len() != num_blocks {
+            return Err("champion count does not match len / block_size");
+        }
+        let mut champion_values = Vec::with_capacity(num_blocks);
+        for (b, &c) in champions.iter().enumerate() {
+            let start = b * block_size;
+            let end = (start + block_size).min(len);
+            let c = c as usize;
+            if c < start || c >= end {
+                return Err("champion index outside its block");
+            }
+            champion_values.push(accessor(c));
+        }
+        let block_table = if num_blocks > 0 {
+            Some(SparseTable::new(&champion_values, direction))
+        } else {
+            None
+        };
+        Ok(Self {
+            len,
+            block_size,
+            champions,
+            block_table,
+            direction,
+        })
+    }
+
     /// Number of virtual elements covered.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// The block size champions are sampled at.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Per-block champion indices (the persistent representation; see
+    /// [`SampledRmq::from_parts`]).
+    pub fn champions(&self) -> &[u32] {
+        &self.champions
     }
 
     /// Returns `true` when no elements are covered.
@@ -139,7 +196,11 @@ impl SampledRmq {
     /// Panics if `l > r` or `r >= self.len()`.
     pub fn query_with(&self, l: usize, r: usize, accessor: &dyn Fn(usize) -> f64) -> usize {
         assert!(l <= r, "invalid range: l={l} > r={r}");
-        assert!(r < self.len, "range end {r} out of bounds (len {})", self.len);
+        assert!(
+            r < self.len,
+            "range end {r} out of bounds (len {})",
+            self.len
+        );
         let bl = l / self.block_size;
         let br = r / self.block_size;
         if bl == br {
@@ -207,7 +268,10 @@ mod tests {
         let rmq = SampledRmq::new(v.len(), Direction::Min, &at);
         for l in 0..v.len() {
             let r = v.len() - 1;
-            assert_eq!(rmq.query_with(l, r, &at), scan_extreme(&v, l, r, Direction::Min));
+            assert_eq!(
+                rmq.query_with(l, r, &at),
+                scan_extreme(&v, l, r, Direction::Min)
+            );
         }
     }
 
@@ -229,11 +293,55 @@ mod tests {
     }
 
     #[test]
+    fn parts_round_trip_preserves_queries() {
+        let v = values(333, 13);
+        let at = |i: usize| v[i];
+        for bs in [1usize, 7, 64] {
+            let original = SampledRmq::with_block_size(v.len(), bs, Direction::Max, &at);
+            let restored = SampledRmq::from_parts(
+                original.len(),
+                original.block_size(),
+                original.direction(),
+                original.champions().to_vec(),
+                &at,
+            )
+            .unwrap();
+            for l in (0..v.len()).step_by(5) {
+                for r in (l..v.len()).step_by(9) {
+                    assert_eq!(
+                        original.query_with(l, r, &at),
+                        restored.query_with(l, r, &at),
+                        "bs={bs} range=[{l},{r}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_input() {
+        let v = values(100, 17);
+        let at = |i: usize| v[i];
+        let rmq = SampledRmq::with_block_size(v.len(), 8, Direction::Max, &at);
+        // Wrong champion count.
+        assert!(SampledRmq::from_parts(v.len(), 8, Direction::Max, vec![0; 3], &at).is_err());
+        // Champion outside its block.
+        let mut bad = rmq.champions().to_vec();
+        bad[0] = 99;
+        assert!(SampledRmq::from_parts(v.len(), 8, Direction::Max, bad, &at).is_err());
+        // Zero block size.
+        assert!(SampledRmq::from_parts(v.len(), 0, Direction::Max, vec![], &at).is_err());
+    }
+
+    #[test]
     fn heap_size_is_sublinear_in_values() {
         let v = values(64 * 100, 9);
         let at = |i: usize| v[i];
         let rmq = SampledRmq::new(v.len(), Direction::Max, &at);
         let full = v.len() * std::mem::size_of::<f64>();
-        assert!(rmq.heap_size() < full / 2, "sampled structure should be small");
+        assert!(
+            rmq.heap_size() < full / 2,
+            "sampled structure should be small"
+        );
     }
 }

@@ -1,0 +1,610 @@
+//! Concurrent sharded query engine over uncertain-string indexes.
+//!
+//! The ROADMAP's north star is serving heavy query traffic over indexes
+//! that were built (or [loaded from snapshots](ustr_store)) once. This crate
+//! supplies the serving layer:
+//!
+//! * **Document sharding** — a collection is split into contiguous shards,
+//!   each holding one [`Index`] per document.
+//! * **Fixed thread pool** — batch queries fan out as one job per
+//!   `(query, shard)` pair onto [`ThreadPool`] workers.
+//! * **Deterministic merge** — per-shard results are reassembled in shard
+//!   order, so a parallel batch returns *exactly* the same answer as
+//!   sequential evaluation, regardless of thread interleaving.
+//! * **LRU result cache** — hot `(pattern, τ)` pairs are served from an
+//!   [`LruCache`] without touching the indexes.
+//!
+//! ```
+//! use ustr_service::{QueryService, ServiceConfig};
+//! use ustr_uncertain::UncertainString;
+//!
+//! let docs = vec![
+//!     UncertainString::parse("A:.9,B:.1 | B | C").unwrap(),
+//!     UncertainString::parse("C | C | C").unwrap(),
+//!     UncertainString::parse("A:.5,B:.5 | B | C").unwrap(),
+//! ];
+//! let service = QueryService::build(&docs, 0.05, ServiceConfig::default()).unwrap();
+//! let hits = service.query(b"AB", 0.4).unwrap();
+//! // Documents 0 (p = .9) and 2 (p = .5) contain "AB" at position 0.
+//! assert_eq!(hits.len(), 2);
+//! assert_eq!((hits[0].doc, hits[0].hits[0].0), (0, 0));
+//! assert_eq!((hits[1].doc, hits[1].hits[0].0), (2, 0));
+//! ```
+
+mod cache;
+mod pool;
+
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+
+use ustr_core::{Error, Index};
+use ustr_store::{Snapshot, StoreError};
+use ustr_uncertain::UncertainString;
+
+pub use cache::LruCache;
+pub use pool::ThreadPool;
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (0 = one per available core).
+    pub threads: usize,
+    /// Document shards (0 = same as the effective thread count).
+    pub shards: usize,
+    /// LRU cache capacity in `(pattern, τ)` entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            shards: 0,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// All probable occurrences of one query pattern within one document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocHits {
+    /// Document id (position in the collection the service was built from).
+    pub doc: usize,
+    /// Sorted `(position, probability)` occurrences within the document.
+    pub hits: Vec<(usize, f64)>,
+}
+
+/// A batch query: the pattern and its probability threshold τ.
+pub type BatchQuery = (Vec<u8>, f64);
+
+/// Shared, immutable results (cache entries hand out clones of the `Arc`).
+pub type SharedHits = Arc<Vec<DocHits>>;
+
+/// One shard: a contiguous run of documents, each with its own index.
+struct Shard {
+    /// `(doc_id, index)` pairs in ascending doc order.
+    docs: Vec<(usize, Index)>,
+}
+
+impl Shard {
+    /// Sequentially queries every document in the shard.
+    fn query(&self, pattern: &[u8], tau: f64) -> Result<Vec<DocHits>, Error> {
+        let mut out = Vec::new();
+        for (doc, index) in &self.docs {
+            let result = index.query(pattern, tau)?;
+            if !result.is_empty() {
+                out.push(DocHits {
+                    doc: *doc,
+                    hits: result.hits().to_vec(),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+type CacheKey = (Vec<u8>, u64);
+
+/// One shard's answer to one query (collected during a parallel batch).
+type ShardAnswer = Result<Vec<DocHits>, Error>;
+
+/// Errors from assembling a service out of snapshot files.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Index construction failed.
+    Index(Error),
+    /// A snapshot failed to load.
+    Store(StoreError),
+    /// Directory walking failed.
+    Io(std::io::Error),
+    /// The index directory holds no snapshots.
+    NoSnapshots,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Index(e) => write!(f, "index error: {e}"),
+            ServiceError::Store(e) => write!(f, "snapshot error: {e}"),
+            ServiceError::Io(e) => write!(f, "I/O error: {e}"),
+            ServiceError::NoSnapshots => write!(f, "no .idx snapshots found in directory"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<Error> for ServiceError {
+    fn from(e: Error) -> Self {
+        ServiceError::Index(e)
+    }
+}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+/// A document-sharded, thread-pooled, result-cached query engine.
+///
+/// Built from a collection ([`QueryService::build`]), pre-built indexes
+/// ([`QueryService::from_indexes`]), or a directory of snapshots
+/// ([`QueryService::load_dir`]).
+pub struct QueryService {
+    shards: Vec<Arc<Shard>>,
+    pool: ThreadPool,
+    cache: Option<Mutex<LruCache<CacheKey, SharedHits>>>,
+    /// Smallest τ every underlying index accepts.
+    tau_min: f64,
+    num_docs: usize,
+}
+
+impl QueryService {
+    /// Builds one index per document and shards the collection.
+    pub fn build(
+        docs: &[UncertainString],
+        tau_min: f64,
+        config: ServiceConfig,
+    ) -> Result<Self, Error> {
+        let indexes = docs
+            .iter()
+            .map(|d| Index::build(d, tau_min))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::from_indexes(indexes, config))
+    }
+
+    /// Assembles a service from pre-built (or snapshot-loaded) indexes.
+    /// Document ids follow the input order. The service's threshold floor is
+    /// the largest `τmin` among the indexes.
+    pub fn from_indexes(indexes: Vec<Index>, config: ServiceConfig) -> Self {
+        let num_docs = indexes.len();
+        let threads = config.effective_threads();
+        let num_shards = match config.shards {
+            0 => threads,
+            n => n,
+        }
+        .clamp(1, num_docs.max(1));
+        let tau_min = indexes.iter().map(|i| i.tau_min()).fold(0.0, f64::max);
+
+        // Contiguous, balanced shards: the first `rem` shards get one extra.
+        let base = num_docs / num_shards;
+        let rem = num_docs % num_shards;
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut iter = indexes.into_iter().enumerate();
+        for s in 0..num_shards {
+            let take = base + usize::from(s < rem);
+            let docs: Vec<(usize, Index)> = iter.by_ref().take(take).collect();
+            shards.push(Arc::new(Shard { docs }));
+        }
+
+        Self {
+            shards,
+            pool: ThreadPool::new(threads),
+            cache: (config.cache_capacity > 0)
+                .then(|| Mutex::new(LruCache::new(config.cache_capacity))),
+            tau_min,
+            num_docs,
+        }
+    }
+
+    /// Loads every `*.idx` snapshot in `dir` (sorted by file name — the sort
+    /// order defines document ids) and assembles a service.
+    pub fn load_dir(dir: impl AsRef<Path>, config: ServiceConfig) -> Result<Self, ServiceError> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "idx"))
+            .collect();
+        if paths.is_empty() {
+            return Err(ServiceError::NoSnapshots);
+        }
+        paths.sort();
+        let indexes = paths
+            .iter()
+            .map(Index::load)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::from_indexes(indexes, config))
+    }
+
+    /// Saves one snapshot per document into `dir` as `doc_<id>.idx`
+    /// (zero-padded so [`QueryService::load_dir`]'s name sort restores ids).
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), ServiceError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for shard in &self.shards {
+            for (doc, index) in &shard.docs {
+                index.save(dir.join(format!("doc_{doc:08}.idx")))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of documents served.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Number of document shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The smallest τ the service accepts (largest `τmin` of its indexes).
+    pub fn tau_min(&self) -> f64 {
+        self.tau_min
+    }
+
+    /// `(hits, misses)` of the result cache; zeros when caching is disabled.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache
+            .as_ref()
+            .map_or((0, 0), |c| c.lock().expect("cache poisoned").stats())
+    }
+
+    fn validate(&self, pattern: &[u8], tau: f64) -> Result<(), Error> {
+        if pattern.is_empty() {
+            return Err(Error::EmptyPattern);
+        }
+        if pattern.contains(&0u8) {
+            return Err(Error::PatternContainsSentinel);
+        }
+        if !(tau > 0.0 && tau <= 1.0) {
+            return Err(Error::InvalidThreshold { value: tau });
+        }
+        if tau < self.tau_min - 1e-12 {
+            return Err(Error::ThresholdBelowTauMin {
+                tau,
+                tau_min: self.tau_min,
+            });
+        }
+        Ok(())
+    }
+
+    fn cache_get(&self, key: &CacheKey) -> Option<SharedHits> {
+        self.cache
+            .as_ref()
+            .and_then(|c| c.lock().expect("cache poisoned").get(key))
+    }
+
+    fn cache_put(&self, key: CacheKey, value: SharedHits) {
+        if let Some(c) = &self.cache {
+            c.lock().expect("cache poisoned").insert(key, value);
+        }
+    }
+
+    /// Answers one query (through the cache and the thread pool).
+    pub fn query(&self, pattern: &[u8], tau: f64) -> Result<Vec<DocHits>, Error> {
+        let mut out = self.query_batch(&[(pattern.to_vec(), tau)]);
+        out.pop()
+            .expect("one query yields one result")
+            .map(|shared| shared.as_ref().clone())
+    }
+
+    /// Answers a batch of queries, fanning each across every shard on the
+    /// thread pool. Results are positionally aligned with `queries` and are
+    /// **identical** to [`QueryService::query_batch_sequential`] — per-shard
+    /// answers are merged in shard order, never in completion order.
+    pub fn query_batch(&self, queries: &[BatchQuery]) -> Vec<Result<SharedHits, Error>> {
+        let num_shards = self.shards.len();
+        let mut results: Vec<Option<Result<SharedHits, Error>>> = vec![None; queries.len()];
+
+        // Resolve validation failures and cache hits up front, and collapse
+        // duplicate (pattern, τ) queries onto one computation: only the first
+        // occurrence (the leader) fans out; followers copy its result.
+        let mut pending: Vec<usize> = Vec::new();
+        let mut leaders: std::collections::HashMap<CacheKey, usize> =
+            std::collections::HashMap::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new(); // (query, leader)
+        for (q, (pattern, tau)) in queries.iter().enumerate() {
+            if let Err(e) = self.validate(pattern, *tau) {
+                results[q] = Some(Err(e));
+                continue;
+            }
+            let key = (pattern.clone(), tau.to_bits());
+            if let Some(hit) = self.cache_get(&key) {
+                results[q] = Some(Ok(hit));
+                continue;
+            }
+            match leaders.get(&key) {
+                Some(&leader) => followers.push((q, leader)),
+                None => {
+                    leaders.insert(key, q);
+                    pending.push(q);
+                }
+            }
+        }
+
+        // Fan out: one job per (pending query, shard).
+        let (tx, rx) = channel::<(usize, usize, ShardAnswer)>();
+        for &q in &pending {
+            let (pattern, tau) = &queries[q];
+            for (s, shard) in self.shards.iter().enumerate() {
+                let shard = Arc::clone(shard);
+                let pattern = pattern.clone();
+                let tau = *tau;
+                let tx = tx.clone();
+                self.pool.execute(move || {
+                    // A send failure means the batch was abandoned; nothing
+                    // useful to do from a worker.
+                    let _ = tx.send((q, s, shard.query(&pattern, tau)));
+                });
+            }
+        }
+        drop(tx);
+
+        // Collect in completion order, merge in shard order.
+        let mut per_query: Vec<Vec<Option<ShardAnswer>>> =
+            vec![vec![None; num_shards]; queries.len()];
+        let mut outstanding = pending.len() * num_shards;
+        while outstanding > 0 {
+            let (q, s, result) = rx.recv().expect("workers never drop mid-batch");
+            per_query[q][s] = Some(result);
+            outstanding -= 1;
+        }
+        for &q in &pending {
+            let mut merged = Vec::new();
+            let mut error: Option<Error> = None;
+            for slot in per_query[q].drain(..) {
+                match slot.expect("every shard reported") {
+                    Ok(mut part) => merged.append(&mut part),
+                    Err(e) => {
+                        // Keep the first (lowest-shard) error: deterministic.
+                        error.get_or_insert(e);
+                    }
+                }
+            }
+            results[q] = Some(match error {
+                Some(e) => Err(e),
+                None => {
+                    let shared: SharedHits = Arc::new(merged);
+                    let (pattern, tau) = &queries[q];
+                    self.cache_put((pattern.clone(), tau.to_bits()), Arc::clone(&shared));
+                    Ok(shared)
+                }
+            });
+        }
+
+        for (q, leader) in followers {
+            results[q] = Some(results[leader].clone().expect("leader resolved"));
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every query resolved"))
+            .collect()
+    }
+
+    /// Reference implementation: the same batch answered shard-by-shard on
+    /// the calling thread (no pool), sharing the same cache. Exists to state
+    /// — and test — the determinism contract of [`QueryService::query_batch`].
+    pub fn query_batch_sequential(&self, queries: &[BatchQuery]) -> Vec<Result<SharedHits, Error>> {
+        queries
+            .iter()
+            .map(|(pattern, tau)| {
+                self.validate(pattern, *tau)?;
+                let key = (pattern.clone(), tau.to_bits());
+                if let Some(hit) = self.cache_get(&key) {
+                    return Ok(hit);
+                }
+                let mut merged = Vec::new();
+                for shard in &self.shards {
+                    merged.append(&mut shard.query(pattern, *tau)?);
+                }
+                let shared: SharedHits = Arc::new(merged);
+                self.cache_put(key, Arc::clone(&shared));
+                Ok(shared)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection() -> Vec<UncertainString> {
+        vec![
+            UncertainString::parse("A:.9,B:.1 | B | C | A | B").unwrap(),
+            UncertainString::parse("C | C | C").unwrap(),
+            UncertainString::parse("A:.5,B:.5 | B | A:.7,C:.3 | B").unwrap(),
+            UncertainString::deterministic(b"ABABAB"),
+            UncertainString::parse("B | A:.2,B:.8 | B").unwrap(),
+        ]
+    }
+
+    fn config(threads: usize, shards: usize, cache: usize) -> ServiceConfig {
+        ServiceConfig {
+            threads,
+            shards,
+            cache_capacity: cache,
+        }
+    }
+
+    #[test]
+    fn doc_ids_and_positions_are_global() {
+        let service = QueryService::build(&collection(), 0.05, config(3, 2, 16)).unwrap();
+        assert_eq!(service.num_docs(), 5);
+        assert_eq!(service.num_shards(), 2);
+        let hits = service.query(b"AB", 0.4).unwrap();
+        let docs: Vec<usize> = hits.iter().map(|h| h.doc).collect();
+        assert_eq!(docs, vec![0, 2, 3]);
+        // Doc 3 is deterministic "ABABAB": AB at 0, 2, 4 with p = 1.
+        let d3 = hits.iter().find(|h| h.doc == 3).unwrap();
+        assert_eq!(
+            d3.hits.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+    }
+
+    #[test]
+    fn parallel_batches_equal_sequential() {
+        let docs = collection();
+        let parallel = QueryService::build(&docs, 0.05, config(4, 3, 0)).unwrap();
+        let sequential = QueryService::build(&docs, 0.05, config(1, 1, 0)).unwrap();
+        let batch: Vec<BatchQuery> = vec![
+            (b"AB".to_vec(), 0.3),
+            (b"B".to_vec(), 0.5),
+            (b"C".to_vec(), 0.9),
+            (b"ZZ".to_vec(), 0.1),
+            (b"A".to_vec(), 0.05),
+        ];
+        let a = parallel.query_batch(&batch);
+        let b = parallel.query_batch_sequential(&batch);
+        let c = sequential.query_batch(&batch);
+        for ((x, y), z) in a.iter().zip(b.iter()).zip(c.iter()) {
+            let x = x.as_ref().unwrap();
+            assert_eq!(x.as_ref(), y.as_ref().unwrap().as_ref());
+            assert_eq!(x.as_ref(), z.as_ref().unwrap().as_ref());
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeats_without_divergence() {
+        let service = QueryService::build(&collection(), 0.05, config(2, 2, 8)).unwrap();
+        let first = service.query(b"AB", 0.3).unwrap();
+        let (h0, m0) = service.cache_stats();
+        assert_eq!((h0, m0), (0, 1));
+        let second = service.query(b"AB", 0.3).unwrap();
+        assert_eq!(first, second);
+        let (h1, m1) = service.cache_stats();
+        assert_eq!((h1, m1), (1, 1));
+        // Different τ is a different cache entry.
+        let _ = service.query(b"AB", 0.5).unwrap();
+        assert_eq!(service.cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn validation_errors_are_per_query() {
+        let service = QueryService::build(&collection(), 0.1, config(2, 2, 4)).unwrap();
+        let batch: Vec<BatchQuery> = vec![
+            (b"".to_vec(), 0.3),
+            (b"AB".to_vec(), 0.05), // below tau_min
+            (b"AB".to_vec(), 0.3),
+            (b"A\0B".to_vec(), 0.3),
+            (b"AB".to_vec(), 1.5),
+        ];
+        let results = service.query_batch(&batch);
+        assert!(matches!(results[0], Err(Error::EmptyPattern)));
+        assert!(matches!(
+            results[1],
+            Err(Error::ThresholdBelowTauMin { .. })
+        ));
+        assert!(results[2].is_ok());
+        assert!(matches!(results[3], Err(Error::PatternContainsSentinel)));
+        assert!(matches!(results[4], Err(Error::InvalidThreshold { .. })));
+    }
+
+    #[test]
+    fn duplicate_queries_in_a_batch_compute_once() {
+        let service = QueryService::build(&collection(), 0.05, config(2, 2, 16)).unwrap();
+        let batch: Vec<BatchQuery> = vec![
+            (b"AB".to_vec(), 0.3),
+            (b"AB".to_vec(), 0.3),
+            (b"AB".to_vec(), 0.3),
+            (b"B".to_vec(), 0.5),
+        ];
+        let results = service.query_batch(&batch);
+        // Followers share the leader's allocation, not a recomputation.
+        assert!(Arc::ptr_eq(
+            results[0].as_ref().unwrap(),
+            results[1].as_ref().unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            results[0].as_ref().unwrap(),
+            results[2].as_ref().unwrap()
+        ));
+        // And duplicates still agree with sequential evaluation (served from
+        // the now-warm cache).
+        let seq = service.query_batch_sequential(&batch);
+        for (a, b) in results.iter().zip(seq.iter()) {
+            assert_eq!(a.as_ref().unwrap().as_ref(), b.as_ref().unwrap().as_ref());
+        }
+        let (hits, _) = service.cache_stats();
+        assert_eq!(hits, 4, "sequential pass is fully cache-served");
+    }
+
+    #[test]
+    fn empty_collection_serves_empty_answers() {
+        let service = QueryService::build(&[], 0.1, config(2, 2, 4)).unwrap();
+        assert_eq!(service.num_docs(), 0);
+        assert!(service.query(b"A", 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn save_dir_load_dir_round_trips() {
+        let docs = collection();
+        let built = QueryService::build(&docs, 0.05, config(2, 3, 0)).unwrap();
+        let dir = std::env::temp_dir().join("ustr_service_round_trip");
+        let _ = std::fs::remove_dir_all(&dir);
+        built.save_dir(&dir).unwrap();
+        let loaded = QueryService::load_dir(&dir, config(4, 2, 0)).unwrap();
+        assert_eq!(loaded.num_docs(), docs.len());
+        let batch: Vec<BatchQuery> = vec![
+            (b"AB".to_vec(), 0.3),
+            (b"C".to_vec(), 0.8),
+            (b"B".to_vec(), 0.1),
+        ];
+        let a = built.query_batch(&batch);
+        let b = loaded.query_batch(&batch);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.as_ref().unwrap().as_ref(), y.as_ref().unwrap().as_ref());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_dir_rejects_empty_directories() {
+        let dir = std::env::temp_dir().join("ustr_service_empty_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            QueryService::load_dir(&dir, ServiceConfig::default()),
+            Err(ServiceError::NoSnapshots)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,122 @@
+//! A fixed-size thread pool over `std::sync` primitives (no external
+//! dependencies): one shared job queue, workers parked on a channel.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed worker pool. Jobs run in submission order per worker pickup;
+/// callers that need ordered results tag jobs with their own indices.
+pub struct ThreadPool {
+    workers: Vec<JoinHandle<()>>,
+    sender: Option<Sender<Job>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (min 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = channel();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("ustr-service-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = receiver.lock().expect("pool queue poisoned");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // sender dropped: shut down
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            workers,
+            sender: Some(sender),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job))
+            .expect("workers exited early");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv() fail and exit.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_across_workers() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (done, results) = channel();
+        for i in 0..100usize {
+            let counter = Arc::clone(&counter);
+            let done = done.clone();
+            pool.execute(move || {
+                counter.fetch_add(i, Ordering::SeqCst);
+                done.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            results.recv().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), (0..100).sum());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let (done, results) = channel();
+        pool.execute(move || done.send(42).unwrap());
+        assert_eq!(results.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_queued_work() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Dropping waits for workers; queued jobs all run first because
+            // the channel drains before recv() errors.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+}

@@ -1,0 +1,640 @@
+//! Versioned binary snapshots for the uncertain-string indexes.
+//!
+//! The paper's indexes are built once and queried many times; this crate
+//! makes the "built once" part durable. [`Snapshot::save`] serializes the
+//! query-critical state of an [`Index`], [`SpecialIndex`], or
+//! [`ListingIndex`] — the source model, the transformed text with its
+//! position mapping, the suffix substrate as a `(text, SA, LCP)` triple, the
+//! cumulative log-probability prefix sums, and every per-level RMQ table
+//! (champion indices + duplicate masks) — and [`Snapshot::load`] reassembles
+//! an index that answers **byte-identical** query results, skipping the
+//! expensive construction passes (the Lemma-2 transform, SA-IS, and the
+//! level mask sweeps).
+//!
+//! # Snapshot container format
+//!
+//! Every snapshot is a 32-byte header followed by one payload:
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0  | 8 | magic `"USTRSNAP"` |
+//! | 8  | 4 | format version, `u32` little-endian (currently 1) |
+//! | 12 | 1 | index kind: 1 = `Index`, 2 = `SpecialIndex`, 3 = `ListingIndex` |
+//! | 13 | 3 | reserved, must be zero |
+//! | 16 | 8 | payload length in bytes, `u64` little-endian |
+//! | 24 | 8 | FNV-1a 64-bit checksum of the payload |
+//! | 32 | …  | payload |
+//!
+//! All payload integers are little-endian; `f64`s are stored as their IEEE-754
+//! bit patterns (so probabilities and prefix sums survive round-trips
+//! bit-exactly); variable-length sequences are length-prefixed with a `u64`.
+//!
+//! # Versioning policy
+//!
+//! The format version is bumped whenever the payload layout changes in any
+//! way. Readers accept exactly their own version — a snapshot written by a
+//! different version fails with [`StoreError::UnsupportedVersion`] instead of
+//! being misdecoded; rebuilding from source data is always possible and is
+//! the supported migration path. The reserved header bytes allow future flags
+//! without disturbing the field offsets.
+//!
+//! # Failure model
+//!
+//! Loading never panics on bad input: wrong magic, a foreign version, a
+//! kind mismatch, truncation, checksum failures, and structurally
+//! inconsistent (but well-checksummed) payloads all surface as
+//! [`StoreError`] values.
+//!
+//! ```
+//! use ustr_core::Index;
+//! use ustr_store::Snapshot;
+//! use ustr_uncertain::UncertainString;
+//!
+//! let s = UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
+//! let built = Index::build(&s, 0.1).unwrap();
+//!
+//! let mut bytes = Vec::new();
+//! built.write_snapshot(&mut bytes).unwrap();
+//! let loaded = Index::read_snapshot(&bytes[..]).unwrap();
+//!
+//! assert_eq!(
+//!     built.query(b"QP", 0.2).unwrap().hits(),
+//!     loaded.query(b"QP", 0.2).unwrap().hits(),
+//! );
+//! ```
+
+mod error;
+mod wire;
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use ustr_core::snapshot::{CumState, IndexState, ListingIndexState, SpecialIndexState, TreeState};
+use ustr_core::{
+    BuildStats, Index, LevelsParts, ListingIndex, LongLevelParts, ShortLevelParts, SpecialIndex,
+};
+use ustr_uncertain::{Correlation, SpecialUncertainString, Transformed, UncertainString};
+
+pub use error::StoreError;
+pub use wire::{Reader, Writer};
+
+/// The 8-byte magic prefix of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"USTRSNAP";
+
+/// Current snapshot format version (see the crate docs for the policy).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Total header size in bytes.
+pub const HEADER_LEN: usize = 32;
+
+/// Which index type a snapshot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// A general substring [`Index`].
+    Index = 1,
+    /// A [`SpecialIndex`].
+    Special = 2,
+    /// A [`ListingIndex`].
+    Listing = 3,
+}
+
+impl SnapshotKind {
+    fn from_byte(b: u8) -> Result<Self, StoreError> {
+        match b {
+            1 => Ok(SnapshotKind::Index),
+            2 => Ok(SnapshotKind::Special),
+            3 => Ok(SnapshotKind::Listing),
+            other => Err(StoreError::UnknownKind { found: other }),
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash (the payload checksum).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Parsed snapshot header.
+#[derive(Debug, Clone, Copy)]
+pub struct Header {
+    /// Format version the snapshot was written with.
+    pub version: u32,
+    /// Index type held by the payload.
+    pub kind: SnapshotKind,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+    /// FNV-1a checksum of the payload.
+    pub checksum: u64,
+}
+
+impl Header {
+    /// Parses and validates the fixed-size header (magic, version, kind).
+    pub fn parse(bytes: &[u8]) -> Result<Self, StoreError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(StoreError::Truncated {
+                context: "snapshot header",
+            });
+        }
+        if bytes[0..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion { found: version });
+        }
+        let kind = SnapshotKind::from_byte(bytes[12])?;
+        if bytes[13..16] != [0, 0, 0] {
+            return Err(StoreError::Corrupt {
+                detail: "reserved header bytes are not zero".into(),
+            });
+        }
+        let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        Ok(Self {
+            version,
+            kind,
+            payload_len,
+            checksum,
+        })
+    }
+}
+
+/// Reads a snapshot's header without decoding its payload (e.g. to discover
+/// which index type a file holds).
+pub fn read_header(path: impl AsRef<Path>) -> Result<Header, StoreError> {
+    let mut file = File::open(path)?;
+    let mut buf = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = file.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    Header::parse(&buf[..filled])
+}
+
+/// Save/load support for an index type.
+///
+/// The provided methods wrap the type-specific payload codec in the common
+/// container: header, length, checksum. `save`/`load` are the file-path
+/// conveniences over `write_snapshot`/`read_snapshot`.
+pub trait Snapshot: Sized {
+    /// The kind byte identifying this index type in the header.
+    const KIND: SnapshotKind;
+
+    /// Encodes the payload (no header) into `w`.
+    fn encode_payload(&self, w: &mut Writer);
+
+    /// Decodes the payload (no header) and reassembles the index.
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, StoreError>;
+
+    /// Writes a complete snapshot (header + checksummed payload).
+    fn write_snapshot(&self, mut out: impl Write) -> Result<(), StoreError> {
+        let mut w = Writer::new();
+        self.encode_payload(&mut w);
+        let payload = w.into_bytes();
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.push(Self::KIND as u8);
+        header.extend_from_slice(&[0, 0, 0]);
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        header.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.write_all(&header)?;
+        out.write_all(&payload)?;
+        Ok(())
+    }
+
+    /// Reads a complete snapshot, verifying magic, version, kind, length,
+    /// and checksum before decoding.
+    fn read_snapshot(mut input: impl Read) -> Result<Self, StoreError> {
+        let mut bytes = Vec::new();
+        input.read_to_end(&mut bytes)?;
+        let header = Header::parse(&bytes)?;
+        if header.kind != Self::KIND {
+            return Err(StoreError::KindMismatch {
+                expected: Self::KIND as u8,
+                found: header.kind as u8,
+            });
+        }
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() as u64 != header.payload_len {
+            return Err(StoreError::Truncated {
+                context: "snapshot payload",
+            });
+        }
+        if fnv1a(payload) != header.checksum {
+            return Err(StoreError::ChecksumMismatch);
+        }
+        let mut r = Reader::new(payload);
+        let value = Self::decode_payload(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(StoreError::Corrupt {
+                detail: "trailing bytes after payload".into(),
+            });
+        }
+        Ok(value)
+    }
+
+    /// Saves a snapshot to `path` (buffered).
+    fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        self.write_snapshot(&mut out)?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Loads a snapshot from `path` (buffered).
+    fn load(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let file = File::open(path)?;
+        Self::read_snapshot(BufReader::new(file))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs for the shared building blocks.
+// ---------------------------------------------------------------------------
+
+fn encode_uncertain_string(w: &mut Writer, s: &UncertainString) {
+    w.put_u64(s.len() as u64);
+    for pos in s.positions() {
+        let choices = pos.choices();
+        w.put_u32(choices.len() as u32);
+        for &(c, p) in choices {
+            w.put_u8(c);
+            w.put_f64(p);
+        }
+    }
+    let correlations: Vec<&Correlation> = s.correlations().iter().collect();
+    w.put_u64(correlations.len() as u64);
+    for corr in correlations {
+        w.put_u64(corr.subject_pos as u64);
+        w.put_u8(corr.subject_char);
+        w.put_u64(corr.cond_pos as u64);
+        w.put_u8(corr.cond_char);
+        w.put_f64(corr.p_present);
+        w.put_f64(corr.p_absent);
+    }
+}
+
+fn decode_correlation(r: &mut Reader<'_>) -> Result<Correlation, StoreError> {
+    Ok(Correlation {
+        subject_pos: r.get_usize()?,
+        subject_char: r.get_u8()?,
+        cond_pos: r.get_usize()?,
+        cond_char: r.get_u8()?,
+        p_present: r.get_f64()?,
+        p_absent: r.get_f64()?,
+    })
+}
+
+fn decode_uncertain_string(r: &mut Reader<'_>) -> Result<UncertainString, StoreError> {
+    let n = r.get_len(1)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = r.get_u32()? as usize;
+        if k.saturating_mul(9) > r.remaining() {
+            return Err(StoreError::Truncated {
+                context: "uncertain character choices",
+            });
+        }
+        let mut row = Vec::with_capacity(k);
+        for _ in 0..k {
+            let c = r.get_u8()?;
+            let p = r.get_f64()?;
+            row.push((c, p));
+        }
+        rows.push(row);
+    }
+    let mut s = UncertainString::from_rows(rows)?;
+    let num_corr = r.get_len(27)?;
+    if num_corr > 0 {
+        let mut set = ustr_uncertain::CorrelationSet::new();
+        for _ in 0..num_corr {
+            set.add(decode_correlation(r)?)?;
+        }
+        s.set_correlations(set)?;
+    }
+    Ok(s)
+}
+
+fn encode_special(w: &mut Writer, x: &SpecialUncertainString) {
+    w.put_bytes(x.chars());
+    w.put_f64s(x.probs());
+}
+
+fn decode_special(r: &mut Reader<'_>) -> Result<SpecialUncertainString, StoreError> {
+    let chars = r.get_bytes()?;
+    let probs = r.get_f64s()?;
+    Ok(SpecialUncertainString::new(chars, probs)?)
+}
+
+fn encode_transformed(w: &mut Writer, t: &Transformed) {
+    encode_special(w, &t.special);
+    w.put_u32s(&t.pos);
+    w.put_f64(t.tau_min);
+    w.put_u64(t.num_factors as u64);
+    w.put_u64(t.source_len as u64);
+}
+
+fn decode_transformed(r: &mut Reader<'_>) -> Result<Transformed, StoreError> {
+    Ok(Transformed {
+        special: decode_special(r)?,
+        pos: r.get_u32s()?,
+        tau_min: r.get_f64()?,
+        num_factors: r.get_usize()?,
+        source_len: r.get_usize()?,
+    })
+}
+
+fn encode_tree(w: &mut Writer, t: &TreeState) {
+    w.put_bytes(&t.text);
+    w.put_u32s(&t.sa);
+    w.put_u32s(&t.lcp);
+}
+
+fn decode_tree(r: &mut Reader<'_>) -> Result<TreeState, StoreError> {
+    Ok(TreeState {
+        text: r.get_bytes()?,
+        sa: r.get_u32s()?,
+        lcp: r.get_u32s()?,
+    })
+}
+
+fn encode_cum(w: &mut Writer, c: &CumState) {
+    w.put_f64s(&c.prefix);
+    w.put_u32s(&c.sentinels);
+}
+
+fn decode_cum(r: &mut Reader<'_>) -> Result<CumState, StoreError> {
+    Ok(CumState {
+        prefix: r.get_f64s()?,
+        sentinels: r.get_u32s()?,
+    })
+}
+
+fn encode_levels(w: &mut Writer, l: &LevelsParts) {
+    w.put_u64(l.max_short as u64);
+    w.put_u64(l.short.len() as u64);
+    for s in &l.short {
+        w.put_u64s(&s.mask_words);
+        w.put_u64(s.block_size as u64);
+        w.put_u32s(&s.champions);
+    }
+    w.put_u64(l.long.len() as u64);
+    for lv in &l.long {
+        w.put_u64(lv.len as u64);
+        w.put_u64(lv.block_size as u64);
+        w.put_u32s(&lv.champions);
+    }
+}
+
+fn decode_levels(r: &mut Reader<'_>) -> Result<LevelsParts, StoreError> {
+    let max_short = r.get_usize()?;
+    let num_short = r.get_len(8)?;
+    let mut short = Vec::with_capacity(num_short);
+    for _ in 0..num_short {
+        short.push(ShortLevelParts {
+            mask_words: r.get_u64s()?,
+            block_size: r.get_usize()?,
+            champions: r.get_u32s()?,
+        });
+    }
+    let num_long = r.get_len(8)?;
+    let mut long = Vec::with_capacity(num_long);
+    for _ in 0..num_long {
+        long.push(LongLevelParts {
+            len: r.get_usize()?,
+            block_size: r.get_usize()?,
+            champions: r.get_u32s()?,
+        });
+    }
+    Ok(LevelsParts {
+        max_short,
+        short,
+        long,
+    })
+}
+
+fn encode_stats(w: &mut Writer, s: &BuildStats) {
+    w.put_u64(s.source_len as u64);
+    w.put_u64(s.transformed_len as u64);
+    w.put_u64(s.num_factors as u64);
+    w.put_u64(s.build_time.as_nanos().min(u64::MAX as u128) as u64);
+    w.put_u64(s.heap_bytes as u64);
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<BuildStats, StoreError> {
+    Ok(BuildStats {
+        source_len: r.get_usize()?,
+        transformed_len: r.get_usize()?,
+        num_factors: r.get_usize()?,
+        build_time: std::time::Duration::from_nanos(r.get_u64()?),
+        heap_bytes: r.get_usize()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot impls for the three index types.
+// ---------------------------------------------------------------------------
+
+impl Snapshot for Index {
+    const KIND: SnapshotKind = SnapshotKind::Index;
+
+    fn encode_payload(&self, w: &mut Writer) {
+        let state = self.to_snapshot();
+        encode_uncertain_string(w, &state.source);
+        encode_transformed(w, &state.transformed);
+        encode_tree(w, &state.tree);
+        encode_cum(w, &state.cum);
+        encode_levels(w, &state.levels);
+        w.put_f64(state.tau_min);
+        w.put_bool(state.dedup_enabled);
+        encode_stats(w, &state.stats);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let state = IndexState {
+            source: decode_uncertain_string(r)?,
+            transformed: decode_transformed(r)?,
+            tree: decode_tree(r)?,
+            cum: decode_cum(r)?,
+            levels: decode_levels(r)?,
+            tau_min: r.get_f64()?,
+            dedup_enabled: r.get_bool()?,
+            stats: decode_stats(r)?,
+        };
+        Ok(Index::from_snapshot(state)?)
+    }
+}
+
+impl Snapshot for SpecialIndex {
+    const KIND: SnapshotKind = SnapshotKind::Special;
+
+    fn encode_payload(&self, w: &mut Writer) {
+        let state = self.to_snapshot();
+        encode_special(w, &state.special);
+        w.put_u64(state.correlations.len() as u64);
+        for corr in &state.correlations {
+            w.put_u64(corr.subject_pos as u64);
+            w.put_u8(corr.subject_char);
+            w.put_u64(corr.cond_pos as u64);
+            w.put_u8(corr.cond_char);
+            w.put_f64(corr.p_present);
+            w.put_f64(corr.p_absent);
+        }
+        encode_tree(w, &state.tree);
+        encode_cum(w, &state.cum);
+        encode_levels(w, &state.levels);
+        encode_stats(w, &state.stats);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let special = decode_special(r)?;
+        let num_corr = r.get_len(27)?;
+        let mut correlations = Vec::with_capacity(num_corr);
+        for _ in 0..num_corr {
+            correlations.push(decode_correlation(r)?);
+        }
+        let state = SpecialIndexState {
+            special,
+            correlations,
+            tree: decode_tree(r)?,
+            cum: decode_cum(r)?,
+            levels: decode_levels(r)?,
+            stats: decode_stats(r)?,
+        };
+        Ok(SpecialIndex::from_snapshot(state)?)
+    }
+}
+
+impl Snapshot for ListingIndex {
+    const KIND: SnapshotKind = SnapshotKind::Listing;
+
+    fn encode_payload(&self, w: &mut Writer) {
+        let state = self.to_snapshot();
+        w.put_u64(state.docs.len() as u64);
+        for doc in &state.docs {
+            encode_uncertain_string(w, doc);
+        }
+        encode_tree(w, &state.tree);
+        encode_cum(w, &state.cum);
+        encode_levels(w, &state.levels);
+        w.put_u32s(&state.doc_of);
+        w.put_u32s(&state.src_of);
+        w.put_u32s(&state.doc_base);
+        w.put_f64(state.tau_min);
+        encode_stats(w, &state.stats);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let num_docs = r.get_len(9)?;
+        let mut docs = Vec::with_capacity(num_docs);
+        for _ in 0..num_docs {
+            docs.push(decode_uncertain_string(r)?);
+        }
+        let state = ListingIndexState {
+            docs,
+            tree: decode_tree(r)?,
+            cum: decode_cum(r)?,
+            levels: decode_levels(r)?,
+            doc_of: r.get_u32s()?,
+            src_of: r.get_u32s()?,
+            doc_base: r.get_u32s()?,
+            tau_min: r.get_f64()?,
+            stats: decode_stats(r)?,
+        };
+        Ok(ListingIndex::from_snapshot(state)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> Index {
+        let s = UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
+        Index::build(&s, 0.1).unwrap()
+    }
+
+    #[test]
+    fn header_survives_round_trip() {
+        let mut bytes = Vec::new();
+        sample_index().write_snapshot(&mut bytes).unwrap();
+        let header = Header::parse(&bytes).unwrap();
+        assert_eq!(header.version, FORMAT_VERSION);
+        assert_eq!(header.kind, SnapshotKind::Index);
+        assert_eq!(header.payload_len as usize, bytes.len() - HEADER_LEN);
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let mut bytes = Vec::new();
+        sample_index().write_snapshot(&mut bytes).unwrap();
+        let Err(err) = SpecialIndex::read_snapshot(&bytes[..]) else {
+            panic!("wrong kind must fail");
+        };
+        assert!(matches!(err, StoreError::KindMismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let mut bytes = Vec::new();
+        sample_index().write_snapshot(&mut bytes).unwrap();
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[mid] ^= 0xFF;
+        let Err(err) = Index::read_snapshot(&bytes[..]) else {
+            panic!("corrupt payload must fail");
+        };
+        assert!(matches!(err, StoreError::ChecksumMismatch), "{err:?}");
+    }
+
+    #[test]
+    fn listing_snapshot_round_trips() {
+        let docs = vec![
+            UncertainString::parse("A:.4,B:.3,F:.3 | B:.3,L:.3,F:.3,J:.1 | F:.5,J:.5").unwrap(),
+            UncertainString::parse("A:.6,C:.4 | B:.5,F:.3,E:.2 | B:.4,C:.3,P:.2,F:.1").unwrap(),
+        ];
+        let built = ListingIndex::build(&docs, 0.05).unwrap();
+        let mut bytes = Vec::new();
+        built.write_snapshot(&mut bytes).unwrap();
+        let loaded = ListingIndex::read_snapshot(&bytes[..]).unwrap();
+        for pattern in [&b"BF"[..], b"A", b"F", b"ZZ"] {
+            for tau in [0.05, 0.1, 0.3] {
+                assert_eq!(
+                    built.query(pattern, tau).unwrap(),
+                    loaded.query(pattern, tau).unwrap(),
+                    "pattern {pattern:?} tau {tau}"
+                );
+            }
+        }
+        assert_eq!(built.num_docs(), loaded.num_docs());
+    }
+
+    #[test]
+    fn special_snapshot_round_trips() {
+        let x = SpecialUncertainString::new(b"banana".to_vec(), vec![0.4, 0.7, 0.5, 0.8, 0.9, 0.6])
+            .unwrap();
+        let built = SpecialIndex::build(&x).unwrap();
+        let mut bytes = Vec::new();
+        built.write_snapshot(&mut bytes).unwrap();
+        let loaded = SpecialIndex::read_snapshot(&bytes[..]).unwrap();
+        for pattern in [&b"ana"[..], b"a", b"banana", b"nan"] {
+            for tau in [0.05, 0.2, 0.3, 0.5] {
+                assert_eq!(
+                    built.query(pattern, tau).unwrap().hits(),
+                    loaded.query(pattern, tau).unwrap().hits(),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Little-endian payload encoding primitives.
+//!
+//! Scalars are fixed-width little-endian; `f64`s travel as IEEE-754 bit
+//! patterns (bit-exact round trips); sequences are `u64`-length-prefixed.
+//! Every [`Reader`] accessor bounds-checks before touching the buffer and
+//! validates declared sequence lengths against the bytes actually remaining,
+//! so corrupt length fields fail cleanly instead of over-allocating.
+
+use crate::StoreError;
+
+/// Append-only payload buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the payload bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed `u32` sequence.
+    pub fn put_u32s(&mut self, v: &[u32]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Length-prefixed `u64` sequence.
+    pub fn put_u64s(&mut self, v: &[u64]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Length-prefixed `f64` sequence (bit patterns).
+    pub fn put_f64s(&mut self, v: &[f64]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Bounds-checked payload cursor.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated { context });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, StoreError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StoreError::Corrupt {
+                detail: format!("invalid bool byte {other}"),
+            }),
+        }
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// A `u64` that must fit in `usize`.
+    pub fn get_usize(&mut self) -> Result<usize, StoreError> {
+        usize::try_from(self.get_u64()?).map_err(|_| StoreError::Corrupt {
+            detail: "value exceeds the platform word size".into(),
+        })
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// A sequence length whose elements occupy at least `min_elem_bytes`
+    /// each; rejects lengths that could not possibly fit in the remaining
+    /// input (over-allocation guard for corrupt length fields).
+    pub fn get_len(&mut self, min_elem_bytes: usize) -> Result<usize, StoreError> {
+        let len = self.get_usize()?;
+        if len.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(StoreError::Truncated {
+                context: "sequence length",
+            });
+        }
+        Ok(len)
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, StoreError> {
+        let len = self.get_len(1)?;
+        Ok(self.take(len, "byte sequence")?.to_vec())
+    }
+
+    /// Length-prefixed `u32` sequence.
+    pub fn get_u32s(&mut self) -> Result<Vec<u32>, StoreError> {
+        let len = self.get_len(4)?;
+        let raw = self.take(len * 4, "u32 sequence")?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Length-prefixed `u64` sequence.
+    pub fn get_u64s(&mut self) -> Result<Vec<u64>, StoreError> {
+        let len = self.get_len(8)?;
+        let raw = self.take(len * 8, "u64 sequence")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Length-prefixed `f64` sequence (bit patterns).
+    pub fn get_f64s(&mut self) -> Result<Vec<f64>, StoreError> {
+        let len = self.get_len(8)?;
+        let raw = self.take(len * 8, "f64 sequence")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_sequences_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(123_456);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.25);
+        w.put_bytes(b"hello");
+        w.put_u32s(&[1, 2, 3]);
+        w.put_u64s(&[u64::MAX, 0]);
+        w.put_f64s(&[1.5, f64::NEG_INFINITY]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 123_456);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f64().unwrap(), -0.25);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_u32s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_u64s().unwrap(), vec![u64::MAX, 0]);
+        let f = r.get_f64s().unwrap();
+        assert_eq!(f[0], 1.5);
+        assert!(f[1].is_infinite());
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicked() {
+        let mut w = Writer::new();
+        w.put_u32s(&[1, 2, 3, 4]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(r.get_u32s().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // a sequence length no buffer can satisfy
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_u32s(), Err(StoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn invalid_bool_is_corrupt() {
+        let mut r = Reader::new(&[2u8]);
+        assert!(matches!(r.get_bool(), Err(StoreError::Corrupt { .. })));
+    }
+}

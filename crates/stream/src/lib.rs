@@ -124,7 +124,11 @@ impl StreamMatcher {
             } else {
                 let needed = self.pattern[m - 1 - k];
                 let p = event.prob_of(needed);
-                let cand = if p > 0.0 { lp + p.ln() } else { f64::NEG_INFINITY };
+                let cand = if p > 0.0 {
+                    lp + p.ln()
+                } else {
+                    f64::NEG_INFINITY
+                };
                 // Prune below τ: probabilities only shrink with more events.
                 if cand >= self.log_tau - ustr_uncertain::PROB_EPS {
                     cand

@@ -6,22 +6,20 @@ use ustr_stream::{ContainmentTracker, StreamMatcher};
 use ustr_uncertain::UncertainString;
 
 fn rows() -> impl Strategy<Value = Vec<Vec<(u8, f64)>>> {
-    prop::collection::vec(
-        prop::collection::vec((0u8..3, 1u32..40), 1..=3),
-        1..=20,
+    prop::collection::vec(prop::collection::vec((0u8..3, 1u32..40), 1..=3), 1..=20).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|mut row| {
+                    row.sort_by_key(|&(c, _)| c);
+                    row.dedup_by_key(|&mut (c, _)| c);
+                    let total: u32 = row.iter().map(|&(_, w)| w).sum();
+                    row.into_iter()
+                        .map(|(c, w)| (b'a' + c, w as f64 / total as f64))
+                        .collect()
+                })
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|mut row| {
-                row.sort_by_key(|&(c, _)| c);
-                row.dedup_by_key(|&mut (c, _)| c);
-                let total: u32 = row.iter().map(|&(_, w)| w).sum();
-                row.into_iter()
-                    .map(|(c, w)| (b'a' + c, w as f64 / total as f64))
-                    .collect()
-            })
-            .collect()
-    })
 }
 
 proptest! {

@@ -45,7 +45,7 @@ impl DocumentConcat {
             );
             starts.push(text.len() as u32);
             text.extend_from_slice(d);
-            doc.extend(std::iter::repeat(id as u32).take(d.len()));
+            doc.extend(std::iter::repeat_n(id as u32, d.len()));
             text.push(separator);
             doc.push(SEP_MARK);
         }

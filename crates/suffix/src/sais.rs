@@ -208,7 +208,10 @@ mod tests {
     #[test]
     fn known_small_cases() {
         assert_eq!(suffix_array(b"banana"), vec![5, 3, 1, 0, 4, 2]);
-        assert_eq!(suffix_array(b"mississippi"), naive_suffix_array(b"mississippi"));
+        assert_eq!(
+            suffix_array(b"mississippi"),
+            naive_suffix_array(b"mississippi")
+        );
         assert_eq!(suffix_array(b"a"), vec![0]);
         assert_eq!(suffix_array(b"ab"), vec![0, 1]);
         assert_eq!(suffix_array(b"ba"), vec![1, 0]);
@@ -223,7 +226,11 @@ mod tests {
             b"aabaabaabaab",
             b"zzzzyzzzzyzzzzy",
         ] {
-            assert_eq!(suffix_array(text), naive_suffix_array(text), "text {text:?}");
+            assert_eq!(
+                suffix_array(text),
+                naive_suffix_array(text),
+                "text {text:?}"
+            );
         }
     }
 

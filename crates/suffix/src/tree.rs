@@ -239,6 +239,23 @@ impl SuffixTree {
         &self.text
     }
 
+    /// Decomposes the tree into the `(text, suffix array, LCP array)` triple
+    /// accepted by [`SuffixTree::from_parts`] — the persistent representation
+    /// used by index snapshots. Rebuilding from these parts is a linear,
+    /// deterministic pass, so the reconstructed tree answers every query
+    /// identically (and skips the SA-IS construction entirely).
+    pub fn to_parts(&self) -> (Vec<u8>, Vec<u32>, Vec<u32>) {
+        let n = self.text.len();
+        // `sa[0]` is the virtual-terminator slot; the plain SA follows.
+        let plain_sa = self.sa[1..].to_vec();
+        // `slot_lcp[j]` for `j >= 2` holds `lcp[j - 1]`; `lcp[0]` is 0.
+        let mut lcp = vec![0u32; n];
+        if n > 1 {
+            lcp[1..n].copy_from_slice(&self.slot_lcp[2..n + 1]);
+        }
+        (self.text.clone(), plain_sa, lcp)
+    }
+
     /// Text length (excluding the virtual terminator).
     pub fn text_len(&self) -> usize {
         self.text.len()
@@ -458,7 +475,7 @@ mod tests {
         let st = SuffixTree::build(b"banana".to_vec());
         assert_eq!(st.num_slots(), 7);
         assert_eq!(st.sa(0), 6); // virtual terminator slot
-        // Real suffixes preserve plain SA order.
+                                 // Real suffixes preserve plain SA order.
         let plain = SuffixArray::new(b"banana".to_vec());
         for j in 0..6 {
             assert_eq!(st.sa(j + 1), plain.sa()[j] as usize);
@@ -667,6 +684,30 @@ mod tests {
                 let mut got = st.occurrences(&pattern);
                 got.sort_unstable();
                 assert_eq!(got, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn to_parts_round_trips_through_from_parts() {
+        for text in [&b"mississippi"[..], b"A\0A\0\0", b"a", b"aaaaaa"] {
+            let original = SuffixTree::build(text.to_vec());
+            let (t, sa, lcp) = original.to_parts();
+            let rebuilt = SuffixTree::from_parts(t, sa, lcp);
+            assert_eq!(original.num_nodes(), rebuilt.num_nodes());
+            for j in 0..original.num_slots() {
+                assert_eq!(original.sa(j), rebuilt.sa(j));
+                assert_eq!(original.slot_lcp(j), rebuilt.slot_lcp(j));
+            }
+            for m in 1..=3.min(text.len()) {
+                for start in 0..=text.len() - m {
+                    let pattern = &text[start..start + m];
+                    assert_eq!(
+                        original.suffix_range(pattern),
+                        rebuilt.suffix_range(pattern),
+                        "pattern {pattern:?}"
+                    );
+                }
             }
         }
     }

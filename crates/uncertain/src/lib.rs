@@ -32,7 +32,9 @@ pub use correlation::{Correlation, CorrelationSet};
 pub use error::ModelError;
 pub use special::SpecialUncertainString;
 pub use string::UncertainString;
-pub use transform::{transform, transform_with_options, Transformed, TransformOptions, NO_POSITION, SENTINEL};
+pub use transform::{
+    transform, transform_with_options, TransformOptions, Transformed, NO_POSITION, SENTINEL,
+};
 pub use worlds::{WorldIter, DEFAULT_WORLD_LIMIT};
 
 /// Relative tolerance used for probability comparisons throughout the

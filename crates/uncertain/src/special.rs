@@ -150,7 +150,9 @@ mod tests {
         assert!(SpecialUncertainString::new(b"ab".to_vec(), vec![0.5]).is_err());
         assert!(SpecialUncertainString::new(b"a".to_vec(), vec![0.0]).is_err());
         assert!(SpecialUncertainString::new(b"a".to_vec(), vec![1.1]).is_err());
-        assert!(SpecialUncertainString::new(Vec::new(), Vec::new()).unwrap().is_empty());
+        assert!(SpecialUncertainString::new(Vec::new(), Vec::new())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -3,9 +3,7 @@
 use std::fmt;
 
 use crate::{
-    chars::UncertainChar,
-    correlation::CorrelationSet,
-    error::ModelError,
+    chars::UncertainChar, correlation::CorrelationSet, error::ModelError,
     special::SpecialUncertainString,
 };
 
@@ -38,7 +36,11 @@ impl UncertainString {
 
     /// Builds a fully deterministic uncertain string from plain bytes.
     pub fn deterministic(text: &[u8]) -> Self {
-        Self::new(text.iter().map(|&b| UncertainChar::deterministic(b)).collect())
+        Self::new(
+            text.iter()
+                .map(|&b| UncertainChar::deterministic(b))
+                .collect(),
+        )
     }
 
     /// Builds from raw `(char, prob)` rows, validating each position.
@@ -59,10 +61,7 @@ impl UncertainString {
                 (c.subject_pos, c.subject_char, "subject"),
                 (c.cond_pos, c.cond_char, "condition"),
             ] {
-                let valid = self
-                    .positions
-                    .get(pos)
-                    .is_some_and(|u| u.prob_of(ch) > 0.0);
+                let valid = self.positions.get(pos).is_some_and(|u| u.prob_of(ch) > 0.0);
                 if !valid {
                     return Err(ModelError::InvalidCorrelation {
                         detail: format!(
@@ -113,7 +112,11 @@ impl UncertainString {
         if self.positions.is_empty() {
             return 0.0;
         }
-        let uncertain = self.positions.iter().filter(|p| p.num_choices() > 1).count();
+        let uncertain = self
+            .positions
+            .iter()
+            .filter(|p| p.num_choices() > 1)
+            .count();
         uncertain as f64 / self.positions.len() as f64
     }
 
@@ -227,7 +230,9 @@ impl UncertainString {
                 let bytes = ch_str.as_bytes();
                 if bytes.len() != 1 {
                     return Err(ModelError::Parse {
-                        detail: format!("expected a single character, got {ch_str:?} at position {idx}"),
+                        detail: format!(
+                            "expected a single character, got {ch_str:?} at position {idx}"
+                        ),
                     });
                 }
                 row.push((bytes[0], prob));

@@ -275,8 +275,7 @@ mod tests {
     #[test]
     fn conservation_on_paper_figure_10_string() {
         // S = Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1
-        let s =
-            UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
+        let s = UncertainString::parse("Q:.7,S:.3 | Q:.3,P:.7 | P | A:.4,F:.3,P:.2,Q:.1").unwrap();
         assert_conservation(&s, 0.1);
         assert_conservation(&s, 0.3);
     }
@@ -301,16 +300,16 @@ mod tests {
     fn factors_are_prefix_free_per_start() {
         // Maximal factors starting at one position can never be prefixes of
         // each other (maximality), hence they are ≤ 1/τmin many.
-        let s = UncertainString::parse(
-            "A:.5,B:.5 | C:.5,D:.5 | E:.5,F:.5 | G:.5,H:.5",
-        )
-        .unwrap();
+        let s = UncertainString::parse("A:.5,B:.5 | C:.5,D:.5 | E:.5,F:.5 | G:.5,H:.5").unwrap();
         let t = transform(&s, 0.25).unwrap();
         // From position 0: prefixes of length 2 have prob .25 ≥ τ; length 3
         // drops to .125 < τ. So factors from start 0 are the 4 two-char
         // combos; similar for starts 1, 2; start 3: single chars.
         let text = t.special.chars();
-        let factors: Vec<&[u8]> = text.split(|&b| b == SENTINEL).filter(|f| !f.is_empty()).collect();
+        let factors: Vec<&[u8]> = text
+            .split(|&b| b == SENTINEL)
+            .filter(|f| !f.is_empty())
+            .collect();
         assert_eq!(t.num_factors, factors.len());
         for f in &factors {
             assert!(f.len() <= 2);
@@ -363,8 +362,10 @@ mod tests {
         // Start 0: factors XABC and YABC; start 1: ABC (positions 2,3 are
         // covered by the factor through the deterministic run).
         let text = t.special.chars();
-        let factors: Vec<&[u8]> =
-            text.split(|&b| b == SENTINEL).filter(|f| !f.is_empty()).collect();
+        let factors: Vec<&[u8]> = text
+            .split(|&b| b == SENTINEL)
+            .filter(|f| !f.is_empty())
+            .collect();
         assert_eq!(factors.len(), 3);
         assert!(factors.contains(&&b"XABC"[..]));
         assert!(factors.contains(&&b"YABC"[..]));
@@ -418,7 +419,9 @@ mod tests {
         let text = t.special.chars();
         assert!(text.windows(3).any(|w| w == b"eqz"));
         // The stored probability for z inside that factor is the bound .4.
-        let k = (0..text.len() - 2).find(|&k| &text[k..k + 3] == b"eqz").unwrap();
+        let k = (0..text.len() - 2)
+            .find(|&k| &text[k..k + 3] == b"eqz")
+            .unwrap();
         assert!((t.special.prob_at(k + 2) - 0.4).abs() < 1e-12);
     }
 }

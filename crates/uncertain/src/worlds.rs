@@ -27,7 +27,6 @@ impl<'a> WorldIter<'a> {
         };
         Self { s, state }
     }
-
 }
 
 impl Iterator for WorldIter<'_> {

@@ -182,8 +182,11 @@ mod tests {
             .iter()
             .filter(|p| p.num_choices() > 1)
             .collect();
-        let avg: f64 =
-            uncertain.iter().map(|p| p.num_choices() as f64).sum::<f64>() / uncertain.len() as f64;
+        let avg: f64 = uncertain
+            .iter()
+            .map(|p| p.num_choices() as f64)
+            .sum::<f64>()
+            / uncertain.len() as f64;
         assert!(
             (3.0..=7.0).contains(&avg),
             "average choices {avg} should be near the paper's 5"

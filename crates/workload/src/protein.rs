@@ -5,15 +5,15 @@ use rand::Rng;
 /// The 22-letter protein alphabet used by the paper's dataset (20 amino
 /// acids plus the IUPAC ambiguity codes B and Z).
 pub const PROTEIN_ALPHABET: [u8; 22] = [
-    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P',
-    b'S', b'T', b'W', b'Y', b'V', b'B', b'Z',
+    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P', b'S',
+    b'T', b'W', b'Y', b'V', b'B', b'Z',
 ];
 
 /// Natural amino-acid abundances (percent), with small masses for the
 /// ambiguity codes. Source: UniProtKB/Swiss-Prot composition statistics.
 const FREQUENCIES: [f64; 22] = [
-    8.25, 5.53, 4.06, 5.45, 1.37, 3.93, 6.75, 7.07, 2.27, 5.96, 9.66, 5.84, 2.42, 3.86, 4.70,
-    6.56, 5.34, 1.08, 2.92, 6.87, 0.05, 0.06,
+    8.25, 5.53, 4.06, 5.45, 1.37, 3.93, 6.75, 7.07, 2.27, 5.96, 9.66, 5.84, 2.42, 3.86, 4.70, 6.56,
+    5.34, 1.08, 2.92, 6.87, 0.05, 0.06,
 ];
 
 /// Cumulative distribution for inverse-transform sampling.

@@ -76,9 +76,7 @@ mod tests {
         assert_eq!(patterns.len(), 20);
         let hits = patterns
             .iter()
-            .filter(|p| {
-                (0..=s.len() - p.len()).any(|i| s.match_probability(p, i) > 0.0)
-            })
+            .filter(|p| (0..=s.len() - p.len()).any(|i| s.match_probability(p, i) > 0.0))
             .count();
         assert!(hits >= 18, "probable patterns should nearly always occur");
     }

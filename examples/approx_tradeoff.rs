@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let patterns = sample_patterns(&s, 6, 25, PatternMode::Probable, 5);
     let tau = 0.25;
 
-    println!("\n{:<8} {:>10} {:>12} {:>10} {:>10} {:>8}", "epsilon", "links", "build", "query", "exact-q", "extra");
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>10} {:>10} {:>8}",
+        "epsilon", "links", "build", "query", "exact-q", "extra"
+    );
     for eps in [0.2, 0.1, 0.05, 0.02] {
         let t0 = Instant::now();
         let approx = ApproxIndex::build(&s, tau_min, eps)?;

@@ -34,9 +34,7 @@ fn simulate_beats(n: usize, seed: u64) -> UncertainString {
             // A single noisy beat.
             let alt = [b'L', b'R', b'A', b'V'][rng.gen_range(0..4)];
             let p = 0.55 + rng.gen::<f64>() * 0.3;
-            beats.push(
-                UncertainChar::new(vec![(b'N', p), (alt, 1.0 - p)], i).expect("valid pdf"),
-            );
+            beats.push(UncertainChar::new(vec![(b'N', p), (alt, 1.0 - p)], i).expect("valid pdf"));
             i += 1;
         } else {
             beats.push(UncertainChar::deterministic(b'N'));

@@ -80,10 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for tau in [0.9, 0.5, 0.25, 0.05] {
         let hits = index.query(SIGNATURE, tau)?;
         let ids: Vec<usize> = hits.iter().map(|h| h.doc).collect();
-        println!(
-            "confidence >= {tau:<4}: quarantine {:?}",
-            ids
-        );
+        println!("confidence >= {tau:<4}: quarantine {:?}", ids);
         // Cross-check against the scan-every-file baseline.
         let expected = NaiveScanner::listing(&files, SIGNATURE, tau);
         assert_eq!(ids, expected);
@@ -93,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let or_hits = index.query_with_metric(SIGNATURE, 0.05, RelMetric::Or)?;
     println!(
         "\nOR-relevance >= 0.05: {:?}",
-        or_hits.iter().map(|h| (h.doc, h.relevance)).collect::<Vec<_>>()
+        or_hits
+            .iter()
+            .map(|h| (h.doc, h.relevance))
+            .collect::<Vec<_>>()
     );
     Ok(())
 }

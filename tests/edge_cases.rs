@@ -2,8 +2,8 @@
 //! extremes, degenerate strings, boundary thresholds, and hostile inputs.
 
 use uncertain_strings::{
-    baseline::NaiveScanner, ApproxIndex, Index, ListingIndex, SpecialIndex,
-    SpecialUncertainString, UncertainChar, UncertainString,
+    baseline::NaiveScanner, ApproxIndex, Index, ListingIndex, SpecialIndex, SpecialUncertainString,
+    UncertainChar, UncertainString,
 };
 
 #[test]

@@ -12,7 +12,11 @@ use uncertain_strings::{
 fn workload_pipeline_substring_search() {
     let s = generate_string(&DatasetConfig::new(4000, 0.3, 123));
     let idx = Index::build(&s, 0.1).unwrap();
-    for mode in [PatternMode::Probable, PatternMode::Weighted, PatternMode::Random] {
+    for mode in [
+        PatternMode::Probable,
+        PatternMode::Weighted,
+        PatternMode::Random,
+    ] {
         for m in [2, 4, 8, 16] {
             for pattern in sample_patterns(&s, m, 5, mode, 7) {
                 for tau in [0.1, 0.3, 0.7] {

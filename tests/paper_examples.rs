@@ -62,11 +62,8 @@ fn figure_3_queries() {
 /// Figure 5: the simple index on the special string (banana).
 #[test]
 fn figure_5_simple_and_efficient_special_index() {
-    let x = SpecialUncertainString::new(
-        b"banana".to_vec(),
-        vec![0.4, 0.7, 0.5, 0.8, 0.9, 0.6],
-    )
-    .unwrap();
+    let x = SpecialUncertainString::new(b"banana".to_vec(), vec![0.4, 0.7, 0.5, 0.8, 0.9, 0.6])
+        .unwrap();
     // Efficient index (§4.2).
     let idx = SpecialIndex::build(&x).unwrap();
     let r = idx.query(b"ana", 0.3).unwrap();
@@ -103,9 +100,8 @@ fn section_5_maximal_factors() {
     let t = uncertain_strings::uncertain::transform(&s, 0.15).unwrap();
     let text = t.special.chars();
     for factor in [&b"QPA"[..], b"QPF", b"TPA", b"TPF"] {
-        let found = (0..text.len() - factor.len()).any(|k| {
-            &text[k..k + factor.len()] == factor && t.source_pos(k) == Some(4)
-        });
+        let found = (0..text.len() - factor.len())
+            .any(|k| &text[k..k + factor.len()] == factor && t.source_pos(k) == Some(4));
         assert!(
             found,
             "maximal factor {:?} at location 5 missing",

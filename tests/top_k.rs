@@ -64,7 +64,10 @@ fn general_index_top_k_matches_reference() {
                     .collect();
                 assert_eq!(got.len(), reference.len(), "m={m} k={k}");
                 for (g, r) in got.iter().zip(reference.iter()) {
-                    assert!((g - r).abs() < 1e-9, "m={m} k={k}: {got:?} vs {reference:?}");
+                    assert!(
+                        (g - r).abs() < 1e-9,
+                        "m={m} k={k}: {got:?} vs {reference:?}"
+                    );
                 }
             }
         }

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in network-isolated environments, so the bench API
+//! subset used by `crates/bench` is vendored here: benchmark groups,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs a short warm-up
+//! followed by `sample_size` timed samples and prints the mean and best
+//! wall-clock time per iteration. There is no statistical analysis, HTML
+//! report, or baseline comparison — the goal is that `cargo bench` compiles,
+//! runs, and produces comparable relative numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for groups benchmarking one function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and minimum per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording mean and best sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up (also primes caches and lazy statics).
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            best = best.min(dt);
+        }
+        self.result = Some((total / self.samples as u32, best));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((mean, best)) => println!(
+                "{}/{}: mean {:?}, best {:?} ({} samples)",
+                self.name, id.label, mean, best, self.sample_size
+            ),
+            None => println!("{}/{}: no measurement recorded", self.name, id.label),
+        }
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Kept for API parity with the real crate's generated `main`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group (default 10 samples per benchmark).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

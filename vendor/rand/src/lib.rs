@@ -1,0 +1,283 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in network-isolated environments where crates.io is
+//! unreachable, so the small deterministic subset of `rand` actually used by
+//! the workspace is vendored here: [`rngs::StdRng`], the [`Rng`] sampling
+//! trait (`gen`, `gen_range`, `gen_bool`), and [`SeedableRng::seed_from_u64`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — high-quality,
+//! fast, and fully deterministic under a seed, which is all the workload
+//! generators and examples require. Streams differ from the real `rand`
+//! crate's `StdRng` (ChaCha12); every consumer in this workspace treats the
+//! stream as an opaque deterministic function of the seed, so only
+//! *within-workspace* reproducibility matters.
+
+/// Sample a value of type `Self` uniformly from an RNG ("standard"
+/// distribution in `rand` terms: `f64` in `[0, 1)`, full range for ints).
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range (`a..b` or `a..=b`) that `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer types samplable from ranges via rejection-free bounded draw.
+pub trait UniformInt: Copy {
+    fn from_u64_mod(value: u64, low: Self, span: u64) -> Self;
+    fn span(low: Self, high_exclusive: Self) -> u64;
+    /// Inclusive span; 0 means the range covers the type's full domain.
+    fn checked_inclusive_span(low: Self, high: Self) -> u64;
+    /// Truncating bit cast of a raw draw (full-domain inclusive ranges).
+    fn truncate(value: u64) -> Self;
+}
+
+// $ut is the unsigned type of the same width: the two's-complement
+// difference reinterpreted unsigned is the true span even for signed
+// ranges wider than the signed maximum (e.g. -2e9..2e9 for i32), where a
+// plain `as u64` on the signed difference would sign-extend garbage.
+macro_rules! impl_uniform_int {
+    ($($t:ty => $ut:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn from_u64_mod(value: u64, low: Self, span: u64) -> Self {
+                low.wrapping_add((value % span) as $t)
+            }
+            #[inline]
+            fn span(low: Self, high_exclusive: Self) -> u64 {
+                assert!(low < high_exclusive, "cannot sample from empty range");
+                high_exclusive.wrapping_sub(low) as $ut as u64
+            }
+            #[inline]
+            fn checked_inclusive_span(low: Self, high: Self) -> u64 {
+                assert!(low <= high, "cannot sample from empty range");
+                (high.wrapping_sub(low) as $ut as u64).wrapping_add(1)
+            }
+            #[inline]
+            fn truncate(value: u64) -> Self {
+                value as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let span = T::span(self.start, self.end);
+        T::from_u64_mod(rng.next_u64(), self.start, span)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = (*self.start(), *self.end());
+        let span = T::checked_inclusive_span(low, high);
+        if span == 0 {
+            // The range covers the type's full domain: any draw is uniform.
+            return T::truncate(rng.next_u64());
+        }
+        T::from_u64_mod(rng.next_u64(), low, span)
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// Core entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// The sampling interface used throughout the workspace.
+pub trait Rng: RngCore {
+    /// Uniform sample of the standard distribution for `T`.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from a range.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable construction (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (see the crate docs for how this
+    /// relates to the real `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..13);
+            assert!((3..13).contains(&x));
+            seen[x - 3] = true;
+            let y = rng.gen_range(0..=5u8);
+            assert!(y <= 5);
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn wide_signed_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2_000_000_000i32..2_000_000_000);
+            assert!((-2_000_000_000..2_000_000_000).contains(&x), "{x}");
+            let y = rng.gen_range(i64::MIN..i64::MAX);
+            assert!(y < i64::MAX);
+            let z = rng.gen_range(i8::MIN..=i8::MAX); // full domain
+            let _ = z;
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+}
