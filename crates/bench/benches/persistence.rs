@@ -65,6 +65,7 @@ fn bench_service_batch(c: &mut Criterion) {
                 threads,
                 shards: threads,
                 cache_capacity: 0, // measure computation, not the cache
+                epsilon: None,
             },
         )
         .unwrap();
@@ -84,6 +85,7 @@ fn bench_service_batch(c: &mut Criterion) {
             threads: 4,
             shards: 4,
             cache_capacity: 4096,
+            epsilon: None,
         },
     )
     .unwrap();

@@ -7,18 +7,27 @@
 //! ustr top data.ustr PATTERN --k 5 [--tau-min 0.1]
 //! ustr list collection.ustr PATTERN --tau 0.3   (one document per line)
 //! ustr stats data.ustr [--tau-min 0.1]
-//! ustr build-index data.ustr --out data.idx [--tau-min 0.1]
-//! ustr serve-batch INDEXDIR queries.txt --threads 4
+//! ustr build-index data.ustr --out data.idx --kind threshold|approx|listing
+//! ustr build-collection collection.ustr --out data.coll [--epsilon 0.05]
+//! ustr serve-batch (INDEXDIR | FILE.coll | FILE) queries.txt --threads 4
 //! ```
 //!
 //! Files hold uncertain strings in the text format of
 //! [`UncertainString::parse`]; `generate` writes one. For `list`, each
 //! non-empty line is one document. `build-index` snapshots a built index to
-//! disk (`ustr-store` format); `search --index` loads one instead of
-//! rebuilding. `serve-batch` answers a file of `PATTERN TAU` query lines over
-//! a directory of `*.idx` snapshots (or a collection file) using the
-//! `ustr-service` concurrent engine. `--quiet` on any query command prints
-//! result rows only, for scripting.
+//! disk (`ustr-store` format) — `--kind` selects the index type (`threshold`
+//! is the default §5 substring index; `approx` is the §7 ε-approximate
+//! index; `listing` builds the §6 collection index from a one-document-per-
+//! line file) — and `search --index` loads one instead of rebuilding.
+//! `build-collection` packs a whole collection (per-document substring
+//! indexes, plus approx indexes when `--epsilon` is given) into one `.coll`
+//! snapshot. `serve-batch` answers a query file over a snapshot directory, a
+//! `.coll` collection snapshot, or a plain collection file using the
+//! `ustr-service` concurrent engine; query lines are either the legacy
+//! `PATTERN TAU` (threshold search) or mixed-mode
+//! `search|top|list|approx PATTERN ARG` lines, where `ARG` is τ (or K for
+//! `top`). `--quiet` on any query command prints result rows only, for
+//! scripting.
 
 mod args;
 
@@ -26,9 +35,9 @@ use std::fs;
 use std::process::ExitCode;
 
 use args::Args;
-use ustr_core::{Index, ListingIndex};
-use ustr_service::{BatchQuery, QueryService, ServiceConfig};
-use ustr_store::Snapshot;
+use ustr_core::{ApproxIndex, Index, ListingIndex};
+use ustr_service::{QueryRequest, QueryResponse, QueryService, ServiceConfig};
+use ustr_store::{Snapshot, COLLECTION_MAGIC};
 use ustr_uncertain::UncertainString;
 use ustr_workload::{generate_string, DatasetConfig};
 
@@ -61,13 +70,18 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     ),
     (
         "build-index",
-        "ustr build-index FILE --out FILE.idx [--tau-min T0] [--quiet]",
+        "ustr build-index FILE --out FILE.idx [--kind threshold|approx|listing] [--tau-min T0] [--epsilon E] [--quiet]",
         "build and snapshot an index",
     ),
     (
+        "build-collection",
+        "ustr build-collection FILE --out FILE.coll [--tau-min T0] [--epsilon E] [--shards S] [--quiet]",
+        "pack a collection into one snapshot file",
+    ),
+    (
         "serve-batch",
-        "ustr serve-batch (INDEXDIR | FILE) QUERIES.txt --threads N [--shards S] [--cache C] [--tau-min T0] [--quiet]",
-        "answer a query batch concurrently",
+        "ustr serve-batch (INDEXDIR | FILE.coll | FILE) QUERIES.txt --threads N [--shards S] [--cache C] [--tau-min T0] [--epsilon E] [--quiet]",
+        "answer a (mixed-mode) query batch concurrently",
     ),
 ];
 
@@ -114,6 +128,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "list" => cmd_list(&args),
         "stats" => cmd_stats(&args),
         "build-index" => cmd_build_index(&args),
+        "build-collection" => cmd_build_collection(&args),
         "serve-batch" => cmd_serve_batch(&args),
         "help" | "--help" => Ok(usage_for(None)),
         other => Err(format!("unknown subcommand {other:?}")),
@@ -199,24 +214,86 @@ fn cmd_build_index(args: &Args) -> Result<String, String> {
         .get("out")
         .ok_or_else(|| "missing required option --out".to_string())?;
     let tau_min: f64 = args.get_parsed("tau-min", 0.1)?;
-    let s = load_string(path)?;
-    let index = Index::build(&s, tau_min).map_err(|e| e.to_string())?;
-    index.save(out_path).map_err(|e| e.to_string())?;
+    let kind = args.get("kind").unwrap_or("threshold");
+    let stats = match kind {
+        "threshold" => {
+            let s = load_string(path)?;
+            let index = Index::build(&s, tau_min).map_err(|e| e.to_string())?;
+            index.save(out_path).map_err(|e| e.to_string())?;
+            index.stats().clone()
+        }
+        "approx" => {
+            let epsilon: f64 = args.get_parsed("epsilon", 0.05)?;
+            let s = load_string(path)?;
+            let index = ApproxIndex::build(&s, tau_min, epsilon).map_err(|e| e.to_string())?;
+            index.save(out_path).map_err(|e| e.to_string())?;
+            index.stats().clone()
+        }
+        "listing" => {
+            let docs = load_collection(path)?;
+            let index = ListingIndex::build(&docs, tau_min).map_err(|e| e.to_string())?;
+            index.save(out_path).map_err(|e| e.to_string())?;
+            index.stats().clone()
+        }
+        other => {
+            return Err(format!(
+                "unknown --kind {other:?} (expected threshold, approx, or listing)"
+            ))
+        }
+    };
     if args.flag("quiet") {
         return Ok(String::new());
     }
     let bytes = fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
-    let st = index.stats();
     Ok(format!(
-        "wrote {out_path}: {} source positions, {} factors, tau_min {tau_min}, \
+        "wrote {out_path} ({kind}): {} source positions, {} factors, tau_min {tau_min}, \
          {bytes} bytes (built in {:?})",
-        st.source_len, st.num_factors, st.build_time
+        stats.source_len, stats.num_factors, stats.build_time
     ))
 }
 
-/// Parses a queries file: one `PATTERN TAU` per line; `#` comments and blank
-/// lines are skipped.
-fn load_queries(path: &str) -> Result<Vec<BatchQuery>, String> {
+fn cmd_build_collection(args: &Args) -> Result<String, String> {
+    let path = args.positional(0, "FILE")?;
+    let out_path = args
+        .get("out")
+        .ok_or_else(|| "missing required option --out".to_string())?;
+    let tau_min: f64 = args.get_parsed("tau-min", 0.05)?;
+    let epsilon: Option<f64> = match args.get("epsilon") {
+        Some(_) => Some(args.get_parsed("epsilon", 0.05)?),
+        None => None,
+    };
+    let config = ServiceConfig {
+        threads: 1,
+        shards: args.get_parsed("shards", 0usize)?,
+        cache_capacity: 0,
+        epsilon,
+    };
+    let docs = load_collection(path)?;
+    let service = QueryService::build(&docs, tau_min, config).map_err(|e| e.to_string())?;
+    service
+        .save_collection(out_path)
+        .map_err(|e| e.to_string())?;
+    if args.flag("quiet") {
+        return Ok(String::new());
+    }
+    let bytes = fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "wrote {out_path}: {} document(s) in {} shard(s), approx indexes: {}, {bytes} bytes",
+        service.num_docs(),
+        service.num_shards(),
+        if service.has_approx_indexes() {
+            "yes"
+        } else {
+            "no"
+        },
+    ))
+}
+
+/// Parses a (mixed-mode) queries file. Each non-comment line is either the
+/// legacy `PATTERN TAU` (threshold search) or an explicit mode line:
+/// `search PATTERN TAU`, `top PATTERN K`, `list PATTERN TAU`,
+/// `approx PATTERN TAU`.
+fn load_queries(path: &str) -> Result<Vec<QueryRequest>, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut queries = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -224,41 +301,104 @@ fn load_queries(path: &str) -> Result<Vec<BatchQuery>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let pattern = parts.next().expect("non-empty line").as_bytes().to_vec();
-        let tau: f64 = parts
-            .next()
-            .ok_or_else(|| format!("{path}:{}: expected 'PATTERN TAU'", lineno + 1))?
-            .parse()
-            .map_err(|_| format!("{path}:{}: invalid TAU", lineno + 1))?;
-        queries.push((pattern, tau));
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let bad = |what: &str| format!("{path}:{}: invalid {what}", lineno + 1);
+        let tau_of = |tok: &str| tok.parse::<f64>().map_err(|_| bad("TAU"));
+        let request = match tokens.as_slice() {
+            [pattern, tau] | ["search", pattern, tau] => QueryRequest::Threshold {
+                pattern: pattern.as_bytes().to_vec(),
+                tau: tau_of(tau)?,
+            },
+            ["top", pattern, k] => QueryRequest::TopK {
+                pattern: pattern.as_bytes().to_vec(),
+                k: k.parse().map_err(|_| bad("K"))?,
+            },
+            ["list", pattern, tau] => QueryRequest::Listing {
+                pattern: pattern.as_bytes().to_vec(),
+                tau: tau_of(tau)?,
+            },
+            ["approx", pattern, tau] => QueryRequest::Approx {
+                pattern: pattern.as_bytes().to_vec(),
+                tau: tau_of(tau)?,
+            },
+            _ => {
+                return Err(format!(
+                    "{path}:{}: expected 'PATTERN TAU' or 'search|top|list|approx PATTERN ARG'",
+                    lineno + 1
+                ))
+            }
+        };
+        queries.push(request);
     }
     Ok(queries)
+}
+
+/// Human-readable one-line description of a request (for batch output).
+fn describe_request(req: &QueryRequest) -> String {
+    match req {
+        QueryRequest::Threshold { pattern, tau } => {
+            format!("search {:?} tau={tau}", String::from_utf8_lossy(pattern))
+        }
+        QueryRequest::TopK { pattern, k } => {
+            format!("top {:?} k={k}", String::from_utf8_lossy(pattern))
+        }
+        QueryRequest::Listing { pattern, tau } => {
+            format!("list {:?} tau={tau}", String::from_utf8_lossy(pattern))
+        }
+        QueryRequest::Approx { pattern, tau } => {
+            format!("approx {:?} tau={tau}", String::from_utf8_lossy(pattern))
+        }
+    }
+}
+
+/// `true` when `path` is a single-file collection snapshot (by magic).
+fn is_collection_file(path: &str) -> bool {
+    let mut prefix = [0u8; 8];
+    std::fs::File::open(path)
+        .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut prefix))
+        .map(|()| prefix == COLLECTION_MAGIC)
+        .unwrap_or(false)
 }
 
 fn cmd_serve_batch(args: &Args) -> Result<String, String> {
     let source = args.positional(0, "INDEXDIR")?;
     let queries_path = args.positional(1, "QUERIES.txt")?;
     let quiet = args.flag("quiet");
+    let epsilon: Option<f64> = match args.get("epsilon") {
+        Some(_) => Some(args.get_parsed("epsilon", 0.05)?),
+        None => None,
+    };
     let config = ServiceConfig {
         threads: args.get_parsed("threads", 0usize)?,
         shards: args.get_parsed("shards", 0usize)?,
         cache_capacity: args.get_parsed("cache", 1024usize)?,
+        epsilon,
     };
     let queries = load_queries(queries_path)?;
-    let start = std::time::Instant::now();
-    let service = if fs::metadata(source)
+    let is_dir = fs::metadata(source)
         .map_err(|e| format!("cannot read {source}: {e}"))?
-        .is_dir()
-    {
-        if args.get("tau-min").is_some() {
-            return Err(
-                "--tau-min applies only when building from a collection file; \
-                 snapshots carry their own tau_min"
-                    .to_string(),
-            );
-        }
+        .is_dir();
+    let from_snapshots = is_dir || is_collection_file(source);
+    if from_snapshots && args.get("tau-min").is_some() {
+        return Err(
+            "--tau-min applies only when building from a collection file; \
+             snapshots carry their own tau_min"
+                .to_string(),
+        );
+    }
+    if from_snapshots && args.get("epsilon").is_some() {
+        return Err(
+            "--epsilon applies only when building from a collection file; \
+             snapshot sources serve the approx indexes they already carry \
+             (build them in with `ustr build-collection --epsilon`)"
+                .to_string(),
+        );
+    }
+    let start = std::time::Instant::now();
+    let service = if is_dir {
         QueryService::load_dir(source, config).map_err(|e| e.to_string())?
+    } else if from_snapshots {
+        QueryService::load_collection(source, config).map_err(|e| e.to_string())?
     } else {
         let docs = load_collection(source)?;
         let tau_min: f64 = args.get_parsed("tau-min", 0.05)?;
@@ -267,7 +407,7 @@ fn cmd_serve_batch(args: &Args) -> Result<String, String> {
     let ready = start.elapsed();
 
     let t0 = std::time::Instant::now();
-    let results = service.query_batch(&queries);
+    let results = service.query_requests(&queries);
     let answered = t0.elapsed();
 
     let mut out = String::new();
@@ -281,13 +421,13 @@ fn cmd_serve_batch(args: &Args) -> Result<String, String> {
             queries.len(),
         ));
     }
-    for (q, ((pattern, tau), result)) in queries.iter().zip(results.iter()).enumerate() {
+    for (q, (request, result)) in queries.iter().zip(results.iter()).enumerate() {
         match result {
-            Ok(hits) => {
+            Ok(QueryResponse::Threshold(hits)) | Ok(QueryResponse::Approx(hits)) => {
                 if !quiet {
                     out.push_str(&format!(
-                        "query {q} {:?} tau={tau}: {} document(s)\n",
-                        String::from_utf8_lossy(pattern),
+                        "query {q} {}: {} document(s)\n",
+                        describe_request(request),
                         hits.len()
                     ));
                 }
@@ -304,9 +444,50 @@ fn cmd_serve_batch(args: &Args) -> Result<String, String> {
                     }
                 }
             }
+            Ok(QueryResponse::TopK(top)) => {
+                if !quiet {
+                    out.push_str(&format!(
+                        "query {q} {}: {} occurrence(s)\n",
+                        describe_request(request),
+                        top.len()
+                    ));
+                }
+                for (rank, hit) in top.iter().enumerate() {
+                    if quiet {
+                        out.push_str(&format!("{q} {} {} {:.9}\n", hit.doc, hit.pos, hit.prob));
+                    } else {
+                        out.push_str(&format!(
+                            "  #{:<3} doc {:>6} position {:>8} p = {:.6}\n",
+                            rank + 1,
+                            hit.doc,
+                            hit.pos,
+                            hit.prob
+                        ));
+                    }
+                }
+            }
+            Ok(QueryResponse::Listing(listed)) => {
+                if !quiet {
+                    out.push_str(&format!(
+                        "query {q} {}: {} document(s)\n",
+                        describe_request(request),
+                        listed.len()
+                    ));
+                }
+                for hit in listed.iter() {
+                    if quiet {
+                        out.push_str(&format!("{q} {} {:.9}\n", hit.doc, hit.relevance));
+                    } else {
+                        out.push_str(&format!(
+                            "  doc {:>6} Rel_max = {:.6}\n",
+                            hit.doc, hit.relevance
+                        ));
+                    }
+                }
+            }
             Err(e) => out.push_str(&format!(
-                "query {q} {:?} tau={tau}: error: {e}\n",
-                String::from_utf8_lossy(pattern)
+                "query {q} {}: error: {e}\n",
+                describe_request(request)
             )),
         }
     }
@@ -539,7 +720,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("3 document(s)"), "{out}");
         assert!(
-            out.contains("query 0 \"AB\" tau=0.3: 2 document(s)"),
+            out.contains("query 0 search \"AB\" tau=0.3: 2 document(s)"),
             "{out}"
         );
 
@@ -554,6 +735,7 @@ mod tests {
                 threads: 1,
                 shards: 1,
                 cache_capacity: 0,
+                epsilon: None,
             },
         )
         .unwrap();
@@ -567,5 +749,120 @@ mod tests {
         assert!(quiet.lines().all(|l| l.split_whitespace().count() == 4));
         assert!(quiet.contains("0 0 0 0.9"), "{quiet}");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn build_index_kinds_produce_loadable_snapshots() {
+        let single = write_temp("ustr_cli_kind_one.ustr", "a:.9,b:.1 | a | a:.5,b:.5 | a");
+        let multi = write_temp(
+            "ustr_cli_kind_docs.ustr",
+            "A:.4,B:.3,F:.3 | B:.3,L:.3,F:.3,J:.1 | F:.5,J:.5\n\
+             A:.6,C:.4 | B:.5,F:.3,E:.2 | B:.4,C:.3,P:.2,F:.1\n",
+        );
+        let tmp = std::env::temp_dir();
+
+        let approx = tmp.join("ustr_cli_kind.approx.idx");
+        let msg = run(&argv(&format!(
+            "build-index {single} --out {} --kind approx --tau-min 0.05 --epsilon 0.1",
+            approx.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("(approx)"), "{msg}");
+        let loaded = ApproxIndex::load(&approx).unwrap();
+        assert!((loaded.epsilon() - 0.1).abs() < 1e-12);
+        assert!(!loaded.query(b"aa", 0.3).unwrap().is_empty());
+
+        let listing = tmp.join("ustr_cli_kind.listing.idx");
+        let msg = run(&argv(&format!(
+            "build-index {multi} --out {} --kind listing --tau-min 0.05",
+            listing.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("(listing)"), "{msg}");
+        let loaded = ListingIndex::load(&listing).unwrap();
+        assert_eq!(loaded.num_docs(), 2);
+
+        assert!(run(&argv(&format!(
+            "build-index {single} --out /tmp/x.idx --kind bogus"
+        )))
+        .is_err());
+        let _ = fs::remove_file(&approx);
+        let _ = fs::remove_file(&listing);
+    }
+
+    #[test]
+    fn build_collection_then_serve_mixed_modes() {
+        let docs = write_temp(
+            "ustr_cli_coll_docs.ustr",
+            "A:.9,B:.1 | B | C\nC | C | C\nA:.5,B:.5 | B | C\n",
+        );
+        let queries = write_temp(
+            "ustr_cli_coll_q.txt",
+            "# every mode in one batch\n\
+             AB 0.3\n\
+             search C 0.9\n\
+             top AB 2\n\
+             list AB 0.3\n\
+             approx AB 0.3\n",
+        );
+        let coll = std::env::temp_dir().join("ustr_cli_coll.coll");
+        let msg = run(&argv(&format!(
+            "build-collection {docs} --out {} --tau-min 0.05 --epsilon 0.05 --shards 2",
+            coll.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("3 document(s)"), "{msg}");
+        assert!(msg.contains("approx indexes: yes"), "{msg}");
+
+        let out = run(&argv(&format!(
+            "serve-batch {} {queries} --threads 2",
+            coll.display()
+        )))
+        .unwrap();
+        assert!(
+            out.contains("query 0 search \"AB\" tau=0.3: 2 document(s)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("query 2 top \"AB\" k=2: 2 occurrence(s)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("query 3 list \"AB\" tau=0.3: 2 document(s)"),
+            "{out}"
+        );
+        assert!(out.contains("query 4 approx \"AB\" tau=0.3"), "{out}");
+        assert!(out.contains("#1"), "ranked output present: {out}");
+        assert!(out.contains("Rel_max"), "listing output present: {out}");
+
+        // --tau-min and --epsilon are rejected for snapshot sources: both
+        // only apply when the service is built from a collection file.
+        assert!(run(&argv(&format!(
+            "serve-batch {} {queries} --tau-min 0.1",
+            coll.display()
+        )))
+        .is_err());
+        let err = run(&argv(&format!(
+            "serve-batch {} {queries} --epsilon 0.1",
+            coll.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("--epsilon"), "{err}");
+        let _ = fs::remove_file(&coll);
+    }
+
+    #[test]
+    fn malformed_query_lines_are_rejected() {
+        let docs = write_temp("ustr_cli_badq_docs.ustr", "A | B\n");
+        let bad = write_temp("ustr_cli_badq.txt", "top AB 3 extra\n");
+        let err = run(&argv(&format!("serve-batch {docs} {bad}"))).unwrap_err();
+        assert!(err.contains("search|top|list|approx"), "{err}");
+        let bad_k = write_temp("ustr_cli_badk.txt", "top AB notanumber\n");
+        assert!(run(&argv(&format!("serve-batch {docs} {bad_k}"))).is_err());
+        // A two-token line is always the legacy threshold form — even when
+        // the pattern collides with a mode keyword.
+        let twotok = write_temp("ustr_cli_twotok.txt", "top 0.5\n");
+        let out = run(&argv(&format!("serve-batch {docs} {twotok}"))).unwrap();
+        assert!(out.contains("search \"top\" tau=0.5"), "{out}");
     }
 }

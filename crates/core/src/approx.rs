@@ -35,6 +35,7 @@ use crate::{
     error::{validate_query, Error},
     options::IndexOptions,
     result::QueryResult,
+    snapshot::{ApproxIndexState, ApproxLinkState, CumState, TreeState},
     stats::BuildStats,
 };
 
@@ -68,10 +69,8 @@ struct Link {
 /// assert!(!hits.positions().contains(&1));
 /// ```
 pub struct ApproxIndex {
-    #[allow(dead_code)]
     transformed: Transformed,
     tree: SuffixTree,
-    #[allow(dead_code)]
     cum: CumulativeLogProb,
     links: Vec<Link>,
     /// Min-RMQ over `links[..].target_depth`.
@@ -228,6 +227,105 @@ impl ApproxIndex {
     /// Construction statistics.
     pub fn stats(&self) -> &BuildStats {
         &self.stats
+    }
+
+    /// Decomposes the index into its persistence-ready snapshot state (see
+    /// [`crate::snapshot`]). The byte encoding lives in `ustr-store`.
+    pub fn to_snapshot(&self) -> ApproxIndexState {
+        let (text, sa, lcp) = self.tree.to_parts();
+        let (prefix, sentinels) = self.cum.to_parts();
+        ApproxIndexState {
+            transformed: self.transformed.clone(),
+            tree: TreeState { text, sa, lcp },
+            cum: CumState { prefix, sentinels },
+            links: self
+                .links
+                .iter()
+                .map(|l| ApproxLinkState {
+                    origin_pre: l.origin_pre,
+                    origin_depth: l.origin_depth,
+                    target_depth: l.target_depth,
+                    source_pos: l.source_pos,
+                    prob: l.prob,
+                })
+                .collect(),
+            epsilon: self.epsilon,
+            tau_min: self.tau_min,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Reassembles an index from snapshot state. Only the cheap derived
+    /// structures are rebuilt (the suffix-tree arena from SA + LCP and the
+    /// min-RMQ over link target depths); the sub-link table is restored
+    /// verbatim, so the result answers every query byte-identically to the
+    /// index the snapshot was taken from. Fails with
+    /// [`Error::InvalidSnapshot`] on structurally inconsistent state.
+    pub fn from_snapshot(state: ApproxIndexState) -> Result<Self, Error> {
+        use crate::snapshot::{invalid, validate_tree_state};
+        validate_tree_state(&state.tree)?;
+        if state.tree.text != state.transformed.special.chars() {
+            return Err(invalid("tree text does not match the transformed text"));
+        }
+        if state.transformed.pos.len() != state.transformed.special.len() {
+            return Err(invalid("position map length does not match text"));
+        }
+        if !(state.epsilon > 0.0 && state.epsilon < 1.0) {
+            return Err(invalid("epsilon outside (0, 1)"));
+        }
+        if !(state.tau_min > 0.0 && state.tau_min <= 1.0) {
+            return Err(invalid("tau_min outside (0, 1]"));
+        }
+        let tree = SuffixTree::from_parts(state.tree.text, state.tree.sa, state.tree.lcp);
+        let cum = CumulativeLogProb::from_parts(state.cum.prefix, state.cum.sentinels)
+            .map_err(invalid)?;
+        if cum.len() != tree.text_len() {
+            return Err(invalid("cumulative array length does not match text"));
+        }
+        let num_nodes = tree.num_nodes() as u32;
+        let source_len = state.transformed.source_len as u32;
+        let mut prev_pre = 0u32;
+        for link in &state.links {
+            if link.origin_pre >= num_nodes {
+                return Err(invalid("link origin preorder outside the tree"));
+            }
+            if link.origin_pre < prev_pre {
+                return Err(invalid("links are not sorted by origin preorder"));
+            }
+            prev_pre = link.origin_pre;
+            if link.target_depth >= link.origin_depth {
+                return Err(invalid("link target depth not below its origin"));
+            }
+            if link.source_pos >= source_len {
+                return Err(invalid("link source position outside the source"));
+            }
+            if !link.prob.is_finite() || link.prob < 0.0 {
+                return Err(invalid("link probability is not a finite non-negative"));
+            }
+        }
+        let links: Vec<Link> = state
+            .links
+            .into_iter()
+            .map(|l| Link {
+                origin_pre: l.origin_pre,
+                origin_depth: l.origin_depth,
+                target_depth: l.target_depth,
+                source_pos: l.source_pos,
+                prob: l.prob,
+            })
+            .collect();
+        let depths: Vec<f64> = links.iter().map(|l| l.target_depth as f64).collect();
+        let target_rmq = BlockRmq::new(&depths, Direction::Min);
+        Ok(Self {
+            transformed: state.transformed,
+            tree,
+            cum,
+            links,
+            target_rmq,
+            epsilon: state.epsilon,
+            tau_min: state.tau_min,
+            stats: state.stats,
+        })
     }
 
     /// Positions where `pattern` matches with probability ≥ τ, up to the
@@ -423,6 +521,47 @@ mod tests {
             );
             assert!(true_p - approx_p <= 0.1 + 1e-9, "within epsilon");
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_answers_identically() {
+        let s = UncertainString::parse(
+            "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 | \
+             I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+        )
+        .unwrap();
+        let built = ApproxIndex::build(&s, 0.02, 0.03).unwrap();
+        let loaded = ApproxIndex::from_snapshot(built.to_snapshot()).unwrap();
+        assert_eq!(built.num_links(), loaded.num_links());
+        assert_eq!(built.epsilon().to_bits(), loaded.epsilon().to_bits());
+        for pattern in [&b"AT"[..], b"PQ", b"SFPQ", b"PA", b"TPA", b"FPQP", b"Z"] {
+            for tau in [0.05, 0.12, 0.3, 0.5] {
+                assert_eq!(
+                    built.query(pattern, tau).unwrap().hits(),
+                    loaded.query(pattern, tau).unwrap().hits(),
+                    "pattern {pattern:?} tau {tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_tampered_links() {
+        let s = UncertainString::parse("a:.9,b:.1 | a | a:.9,b:.1").unwrap();
+        let built = ApproxIndex::build(&s, 0.05, 0.1).unwrap();
+        let mut state = built.to_snapshot();
+        assert!(!state.links.is_empty());
+        state.links[0].target_depth = state.links[0].origin_depth + 1;
+        assert!(matches!(
+            ApproxIndex::from_snapshot(state),
+            Err(Error::InvalidSnapshot { .. })
+        ));
+        let mut state = built.to_snapshot();
+        state.epsilon = 0.0;
+        assert!(matches!(
+            ApproxIndex::from_snapshot(state),
+            Err(Error::InvalidSnapshot { .. })
+        ));
     }
 
     #[test]

@@ -207,7 +207,7 @@ impl Levels {
     /// Reassembles levels from parts produced by [`Levels::to_parts`],
     /// re-deriving all RMQ champion values through `tree` and `cum` (which
     /// must be the reloaded structures of the same index). Fails with
-    /// [`Error::InvalidSnapshot`] on structurally inconsistent parts.
+    /// [`crate::Error::InvalidSnapshot`] on structurally inconsistent parts.
     pub fn from_parts(
         parts: LevelsParts,
         tree: &SuffixTree,

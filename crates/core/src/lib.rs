@@ -5,19 +5,21 @@
 //! a construction-time threshold `τmin` and answering queries for any
 //! `τ ≥ τmin`:
 //!
-//! | Type | Paper | Problem |
-//! |---|---|---|
-//! | [`SpecialIndex`] | §4 | substring search in a *special* uncertain string (one probabilistic character per position) |
-//! | [`Index`] | §5 | substring search in a general uncertain string |
-//! | [`ListingIndex`] | §6 | string listing from an uncertain collection, with [`RelMetric`] relevance |
-//! | [`ApproxIndex`] | §7 | approximate substring search with additive error ε |
+//! | Type | Paper | Problem | Service query mode |
+//! |---|---|---|---|
+//! | [`SpecialIndex`] | §4 | substring search in a *special* uncertain string (one probabilistic character per position) | — |
+//! | [`Index`] | §5 | substring search in a general uncertain string | `Threshold`, `TopK` |
+//! | [`ListingIndex`] | §6 | string listing from an uncertain collection, with [`RelMetric`] relevance | `Listing` |
+//! | [`ApproxIndex`] | §7 | approximate substring search with additive error ε | `Approx` |
 //!
-//! [`SpecialIndex`], [`Index`], and [`ListingIndex`] additionally expose
-//! `to_snapshot` / `from_snapshot` pairs over the plain-data state structs in
-//! [`snapshot`] — the build-once/serve-forever persistence layer. The byte
-//! encoding (magic, format version, checksum) lives in the `ustr-store`
-//! crate; the concurrent sharded serving engine on top of built or loaded
-//! indexes lives in `ustr-service`.
+//! Every index type — [`SpecialIndex`], [`Index`], [`ListingIndex`], and
+//! [`ApproxIndex`] — exposes a `to_snapshot` / `from_snapshot` pair over the
+//! plain-data state structs in [`snapshot`]: the build-once/serve-forever
+//! persistence layer. The byte encoding (magic, format version, checksum)
+//! lives in the `ustr-store` crate (which also defines the single-file
+//! *collection snapshot* container); the concurrent sharded serving engine
+//! dispatching all four query modes over built or loaded indexes lives in
+//! `ustr-service`.
 //!
 //! The machinery follows the paper: the uncertain string is reduced to a
 //! deterministic text (via the Lemma-2 maximal-factor transform for general
@@ -49,6 +51,9 @@ pub use levels::{DedupStrategy, Levels, LevelsParts, LongLevelParts, ShortLevelP
 pub use listing::{ListingHit, ListingIndex, RelMetric};
 pub use options::IndexOptions;
 pub use result::QueryResult;
-pub use snapshot::{CumState, IndexState, ListingIndexState, SpecialIndexState, TreeState};
+pub use snapshot::{
+    ApproxIndexState, ApproxLinkState, CumState, IndexState, ListingIndexState, SpecialIndexState,
+    TreeState,
+};
 pub use special::SpecialIndex;
 pub use stats::BuildStats;

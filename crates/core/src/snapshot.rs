@@ -84,6 +84,46 @@ pub struct SpecialIndexState {
     pub stats: BuildStats,
 }
 
+/// One ε-refined link of an [`crate::ApproxIndex`], as plain data.
+///
+/// Links are the §7 sub-link table: each connects an origin endpoint at
+/// `origin_depth` to a target endpoint at `target_depth` along the path from
+/// a marked suffix-tree node toward the root, and carries the probability of
+/// the origin-depth prefix at `source_pos`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxLinkState {
+    /// Preorder rank of the (real) node anchoring the origin endpoint.
+    pub origin_pre: u32,
+    /// String depth of the origin endpoint.
+    pub origin_depth: u32,
+    /// String depth of the target endpoint (`< origin_depth`).
+    pub target_depth: u32,
+    /// Original string position (`Posid`).
+    pub source_pos: u32,
+    /// Probability of the origin-depth prefix at `source_pos`.
+    pub prob: f64,
+}
+
+/// Snapshot state of an [`crate::ApproxIndex`].
+#[derive(Debug, Clone)]
+pub struct ApproxIndexState {
+    /// The Lemma-2 transform output.
+    pub transformed: Transformed,
+    /// Suffix substrate over the transformed text.
+    pub tree: TreeState,
+    /// Cumulative log probabilities of the transformed text.
+    pub cum: CumState,
+    /// The ε-refined sub-link table, sorted by `origin_pre` (the min-RMQ
+    /// over target depths is rebuilt from this on reassembly).
+    pub links: Vec<ApproxLinkState>,
+    /// The additive error bound ε.
+    pub epsilon: f64,
+    /// Construction-time threshold.
+    pub tau_min: f64,
+    /// Build statistics.
+    pub stats: BuildStats,
+}
+
 /// Snapshot state of a [`crate::ListingIndex`].
 #[derive(Debug, Clone)]
 pub struct ListingIndexState {

@@ -1,21 +1,50 @@
-//! Concurrent sharded query engine over uncertain-string indexes.
+//! Concurrent sharded query engine over uncertain-string indexes — every
+//! query mode of the paper, served through one typed dispatcher.
 //!
 //! The ROADMAP's north star is serving heavy query traffic over indexes
 //! that were built (or [loaded from snapshots](ustr_store)) once. This crate
 //! supplies the serving layer:
 //!
+//! * **Four query modes** — a [`QueryRequest`] is `Threshold` (§5 substring
+//!   search), `TopK` (ranked retrieval), `Listing` (§6 string listing with
+//!   `Rel_max` relevance), or `Approx` (§7 ε-approximate search). Any mix of
+//!   modes can share one batch; each answer comes back as the matching
+//!   [`QueryResponse`] variant.
 //! * **Document sharding** — a collection is split into contiguous shards,
-//!   each holding one [`Index`] per document.
+//!   each holding one [`Index`] (and optionally one [`ApproxIndex`]) per
+//!   document.
 //! * **Fixed thread pool** — batch queries fan out as one job per
-//!   `(query, shard)` pair onto [`ThreadPool`] workers.
+//!   `(request, shard)` pair onto [`ThreadPool`] workers.
 //! * **Deterministic merge** — per-shard results are reassembled in shard
-//!   order, so a parallel batch returns *exactly* the same answer as
-//!   sequential evaluation, regardless of thread interleaving.
-//! * **LRU result cache** — hot `(pattern, τ)` pairs are served from an
-//!   [`LruCache`] without touching the indexes.
+//!   order (top-k answers are re-ranked with a total tie-break on
+//!   `(probability, doc, position)`), so a parallel batch returns *exactly*
+//!   the same answer as sequential evaluation for **every** mode, regardless
+//!   of thread interleaving.
+//! * **LRU result cache** — hot requests are served from an [`LruCache`]
+//!   without touching the indexes. Cache keys are per-mode: a `Threshold`
+//!   and an `Approx` request for the same `(pattern, τ)` occupy distinct
+//!   entries, and τ is quantized to the validation tolerance (see
+//!   [`TAU_TOLERANCE`]) so thresholds the service treats as equal share one
+//!   entry.
+//!
+//! # Persistence
+//!
+//! The primary format is the single-file **collection snapshot**
+//! ([`QueryService::save_collection`] / [`QueryService::load_collection`],
+//! format in [`ustr_store::collection`]): one `.coll` artifact holding a
+//! manifest (doc count, shard plan, per-doc offsets, per-section checksums)
+//! plus one substring-index section — and, when the service was built with
+//! [`ServiceConfig::epsilon`], one approx-index section — per document.
+//! Loading memory-plans shards from the manifest's per-document sizes.
+//!
+//! The older one-file-per-document directory layout
+//! ([`QueryService::save_dir`] / [`QueryService::load_dir`]) remains
+//! supported but is **deprecated as the primary path**: it cannot carry
+//! approx indexes, and a collection can only be moved or checksummed as a
+//! unit with the single-file format.
 //!
 //! ```
-//! use ustr_service::{QueryService, ServiceConfig};
+//! use ustr_service::{QueryRequest, QueryResponse, QueryService, ServiceConfig};
 //! use ustr_uncertain::UncertainString;
 //!
 //! let docs = vec![
@@ -29,31 +58,64 @@
 //! assert_eq!(hits.len(), 2);
 //! assert_eq!((hits[0].doc, hits[0].hits[0].0), (0, 0));
 //! assert_eq!((hits[1].doc, hits[1].hits[0].0), (2, 0));
+//!
+//! // Mixed-mode batches go through the typed dispatcher.
+//! let batch = vec![
+//!     QueryRequest::Threshold { pattern: b"AB".to_vec(), tau: 0.4 },
+//!     QueryRequest::TopK { pattern: b"AB".to_vec(), k: 2 },
+//!     QueryRequest::Listing { pattern: b"C".to_vec(), tau: 0.9 },
+//! ];
+//! let answers = service.query_requests(&batch);
+//! assert!(matches!(answers[0], Ok(QueryResponse::Threshold(_))));
+//! let Ok(QueryResponse::TopK(top)) = &answers[1] else { panic!() };
+//! assert_eq!((top[0].doc, top[0].pos), (0, 0)); // p = .9 ranks first
 //! ```
 
 mod cache;
 mod pool;
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex};
 
-use ustr_core::{Error, Index};
-use ustr_store::{Snapshot, StoreError};
+use ustr_core::{ApproxIndex, Error, Index};
+use ustr_store::{collection, CollectionSection, Snapshot, SnapshotKind, StoreError};
 use ustr_uncertain::UncertainString;
 
 pub use cache::LruCache;
 pub use pool::ThreadPool;
+pub use ustr_core::ListingHit;
+
+/// τ values closer than this are treated as the same threshold by request
+/// validation (see `validate`), and are therefore quantized onto one cache
+/// key: two requests whose τs round to the same multiple of `TAU_TOLERANCE`
+/// share a cache entry.
+pub const TAU_TOLERANCE: f64 = 1e-12;
+
+/// Quantizes τ onto the `TAU_TOLERANCE` lattice for cache keying. Only
+/// called on validated thresholds (finite, in `(0, 1]`), so the cast is
+/// always in range.
+fn quantize_tau(tau: f64) -> i64 {
+    (tau / TAU_TOLERANCE).round() as i64
+}
 
 /// Tuning knobs for a [`QueryService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads in the pool (0 = one per available core).
     pub threads: usize,
-    /// Document shards (0 = same as the effective thread count).
+    /// Document shards (0 = same as the effective thread count; always
+    /// clamped to the document count so no empty shard is ever planned).
     pub shards: usize,
-    /// LRU cache capacity in `(pattern, τ)` entries (0 disables caching).
+    /// LRU cache capacity in request entries (0 disables caching).
     pub cache_capacity: usize,
+    /// When set, [`QueryService::build`] additionally builds one
+    /// [`ApproxIndex`] with this ε per document, making `Approx` requests
+    /// ε-approximate. Without approx indexes, `Approx` requests fall back to
+    /// the exact index (a valid — if slower — answer under the §7 sandwich
+    /// guarantee).
+    pub epsilon: Option<f64>,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +124,7 @@ impl Default for ServiceConfig {
             threads: 0,
             shards: 0,
             cache_capacity: 1024,
+            epsilon: None,
         }
     }
 }
@@ -85,39 +148,250 @@ pub struct DocHits {
     pub hits: Vec<(usize, f64)>,
 }
 
-/// A batch query: the pattern and its probability threshold τ.
+/// One ranked occurrence from a `TopK` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopHit {
+    /// Document id.
+    pub doc: usize,
+    /// Position within the document.
+    pub pos: usize,
+    /// Occurrence probability (the ranking key).
+    pub prob: f64,
+}
+
+/// Total order for top-k answers: probability descending, then `(doc, pos)`
+/// ascending — a deterministic tie-break so parallel merges are stable.
+fn top_hit_order(a: &TopHit, b: &TopHit) -> std::cmp::Ordering {
+    b.prob
+        .partial_cmp(&a.prob)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.doc.cmp(&b.doc))
+        .then(a.pos.cmp(&b.pos))
+}
+
+/// One query of any mode, addressed to the whole collection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryRequest {
+    /// §5 substring search: all `(doc, position)` occurrences with
+    /// probability ≥ τ.
+    Threshold {
+        /// Query pattern.
+        pattern: Vec<u8>,
+        /// Probability threshold.
+        tau: f64,
+    },
+    /// Ranked retrieval: the `k` most probable occurrences across the
+    /// collection (among occurrences visible at the construction τmin).
+    TopK {
+        /// Query pattern.
+        pattern: Vec<u8>,
+        /// Number of occurrences to return.
+        k: usize,
+    },
+    /// §6 string listing: every document whose `Rel_max` is ≥ τ.
+    Listing {
+        /// Query pattern.
+        pattern: Vec<u8>,
+        /// Relevance threshold.
+        tau: f64,
+    },
+    /// §7 ε-approximate search: all occurrences with probability ≥ τ, none
+    /// below τ − ε (exact when the service has no approx indexes).
+    Approx {
+        /// Query pattern.
+        pattern: Vec<u8>,
+        /// Probability threshold.
+        tau: f64,
+    },
+}
+
+/// The answer to one [`QueryRequest`], in the matching variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// Answer to [`QueryRequest::Threshold`].
+    Threshold(SharedHits),
+    /// Answer to [`QueryRequest::TopK`]: probability descending with a
+    /// deterministic `(doc, pos)` tie-break.
+    TopK(Arc<Vec<TopHit>>),
+    /// Answer to [`QueryRequest::Listing`], sorted by document id.
+    Listing(Arc<Vec<ListingHit>>),
+    /// Answer to [`QueryRequest::Approx`].
+    Approx(SharedHits),
+}
+
+/// A batch query: the pattern and its probability threshold τ (the legacy
+/// threshold-only batch shape; see [`QueryRequest`] for the typed form).
 pub type BatchQuery = (Vec<u8>, f64);
 
 /// Shared, immutable results (cache entries hand out clones of the `Arc`).
 pub type SharedHits = Arc<Vec<DocHits>>;
 
-/// One shard: a contiguous run of documents, each with its own index.
+/// Everything the service holds for one document.
+struct DocIndex {
+    /// The exact substring index (serves `Threshold`, `TopK`, `Listing`).
+    index: Index,
+    /// The ε-approximate index (serves `Approx`; exact fallback when absent).
+    approx: Option<ApproxIndex>,
+}
+
+/// One shard: a contiguous run of documents, each with its own indexes.
 struct Shard {
-    /// `(doc_id, index)` pairs in ascending doc order.
-    docs: Vec<(usize, Index)>,
+    /// `(doc_id, indexes)` pairs in ascending doc order.
+    docs: Vec<(usize, DocIndex)>,
+}
+
+/// One shard's (partial) answer to one request.
+enum ShardPartial {
+    /// Threshold / approx occurrences, in ascending doc order.
+    Hits(Vec<DocHits>),
+    /// The shard-local top-k, already in [`top_hit_order`].
+    TopK(Vec<TopHit>),
+    /// Listed documents, in ascending doc order.
+    Listing(Vec<ListingHit>),
 }
 
 impl Shard {
-    /// Sequentially queries every document in the shard.
-    fn query(&self, pattern: &[u8], tau: f64) -> Result<Vec<DocHits>, Error> {
-        let mut out = Vec::new();
-        for (doc, index) in &self.docs {
-            let result = index.query(pattern, tau)?;
-            if !result.is_empty() {
-                out.push(DocHits {
-                    doc: *doc,
-                    hits: result.hits().to_vec(),
-                });
+    /// Sequentially answers `req` over every document in the shard.
+    fn answer(&self, req: &QueryRequest) -> Result<ShardPartial, Error> {
+        match req {
+            QueryRequest::Threshold { pattern, tau } => {
+                let mut out = Vec::new();
+                for (doc, d) in &self.docs {
+                    let result = d.index.query(pattern, *tau)?;
+                    if !result.is_empty() {
+                        out.push(DocHits {
+                            doc: *doc,
+                            hits: result.hits().to_vec(),
+                        });
+                    }
+                }
+                Ok(ShardPartial::Hits(out))
+            }
+            QueryRequest::Approx { pattern, tau } => {
+                let mut out = Vec::new();
+                for (doc, d) in &self.docs {
+                    let result = match &d.approx {
+                        Some(approx) => approx.query(pattern, *tau)?,
+                        // Exact answers trivially satisfy the ε sandwich.
+                        None => d.index.query(pattern, *tau)?,
+                    };
+                    if !result.is_empty() {
+                        out.push(DocHits {
+                            doc: *doc,
+                            hits: result.hits().to_vec(),
+                        });
+                    }
+                }
+                Ok(ShardPartial::Hits(out))
+            }
+            QueryRequest::TopK { pattern, k } => {
+                // Any global top-k hit is inside its document's top-k, so
+                // per-doc truncation loses nothing.
+                let mut all = Vec::new();
+                for (doc, d) in &self.docs {
+                    for (pos, prob) in d.index.query_top_k(pattern, *k)? {
+                        all.push(TopHit {
+                            doc: *doc,
+                            pos,
+                            prob,
+                        });
+                    }
+                }
+                all.sort_by(top_hit_order);
+                all.truncate(*k);
+                Ok(ShardPartial::TopK(all))
+            }
+            QueryRequest::Listing { pattern, tau } => {
+                let mut out = Vec::new();
+                for (doc, d) in &self.docs {
+                    let result = d.index.query(pattern, *tau)?;
+                    if !result.is_empty() {
+                        let relevance = result
+                            .hits()
+                            .iter()
+                            .map(|&(_, p)| p)
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        out.push(ListingHit {
+                            doc: *doc,
+                            relevance,
+                        });
+                    }
+                }
+                Ok(ShardPartial::Listing(out))
             }
         }
-        Ok(out)
     }
 }
 
-type CacheKey = (Vec<u8>, u64);
+/// Per-mode cache key. The mode tag keeps e.g. `Threshold("AB", τ)` and
+/// `Approx("AB", τ)` in distinct entries; τ is pre-quantized (see
+/// [`TAU_TOLERANCE`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Threshold(Vec<u8>, i64),
+    TopK(Vec<u8>, usize),
+    Listing(Vec<u8>, i64),
+    Approx(Vec<u8>, i64),
+}
 
-/// One shard's answer to one query (collected during a parallel batch).
-type ShardAnswer = Result<Vec<DocHits>, Error>;
+fn request_key(req: &QueryRequest) -> CacheKey {
+    match req {
+        QueryRequest::Threshold { pattern, tau } => {
+            CacheKey::Threshold(pattern.clone(), quantize_tau(*tau))
+        }
+        QueryRequest::TopK { pattern, k } => CacheKey::TopK(pattern.clone(), *k),
+        QueryRequest::Listing { pattern, tau } => {
+            CacheKey::Listing(pattern.clone(), quantize_tau(*tau))
+        }
+        QueryRequest::Approx { pattern, tau } => {
+            CacheKey::Approx(pattern.clone(), quantize_tau(*tau))
+        }
+    }
+}
+
+/// Merges per-shard partial answers (already in shard = ascending doc
+/// order) into the response for `req`. Used identically by the parallel and
+/// sequential paths, which is what makes them answer-identical.
+fn merge_partials(req: &QueryRequest, parts: Vec<ShardPartial>) -> QueryResponse {
+    match req {
+        QueryRequest::Threshold { .. } | QueryRequest::Approx { .. } => {
+            let mut merged = Vec::new();
+            for p in parts {
+                if let ShardPartial::Hits(mut h) = p {
+                    merged.append(&mut h);
+                }
+            }
+            let shared: SharedHits = Arc::new(merged);
+            match req {
+                QueryRequest::Threshold { .. } => QueryResponse::Threshold(shared),
+                _ => QueryResponse::Approx(shared),
+            }
+        }
+        QueryRequest::TopK { k, .. } => {
+            let mut all = Vec::new();
+            for p in parts {
+                if let ShardPartial::TopK(mut h) = p {
+                    all.append(&mut h);
+                }
+            }
+            all.sort_by(top_hit_order);
+            all.truncate(*k);
+            QueryResponse::TopK(Arc::new(all))
+        }
+        QueryRequest::Listing { .. } => {
+            let mut merged = Vec::new();
+            for p in parts {
+                if let ShardPartial::Listing(mut h) = p {
+                    merged.append(&mut h);
+                }
+            }
+            QueryResponse::Listing(Arc::new(merged))
+        }
+    }
+}
+
+/// One shard's answer to one request (collected during a parallel batch).
+type ShardAnswer = Result<ShardPartial, Error>;
 
 /// Errors from assembling a service out of snapshot files.
 #[derive(Debug)]
@@ -130,6 +404,22 @@ pub enum ServiceError {
     Io(std::io::Error),
     /// The index directory holds no snapshots.
     NoSnapshots,
+    /// A `.idx` file in the directory is not named `doc_<id>.idx`.
+    BadSnapshotName {
+        /// The offending file name.
+        name: String,
+    },
+    /// Two snapshot files name the same document id (e.g. `doc_1.idx` and
+    /// `doc_01.idx`).
+    DuplicateDocId {
+        /// The id claimed twice.
+        id: usize,
+    },
+    /// Document ids are not contiguous from 0 (a snapshot is missing).
+    MissingDocId {
+        /// The first id with no snapshot.
+        id: usize,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -139,6 +429,18 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Store(e) => write!(f, "snapshot error: {e}"),
             ServiceError::Io(e) => write!(f, "I/O error: {e}"),
             ServiceError::NoSnapshots => write!(f, "no .idx snapshots found in directory"),
+            ServiceError::BadSnapshotName { name } => {
+                write!(f, "snapshot file {name:?} is not named doc_<id>.idx")
+            }
+            ServiceError::DuplicateDocId { id } => {
+                write!(f, "two snapshot files claim document id {id}")
+            }
+            ServiceError::MissingDocId { id } => {
+                write!(
+                    f,
+                    "no snapshot for document id {id} (ids must be contiguous from 0)"
+                )
+            }
         }
     }
 }
@@ -163,22 +465,67 @@ impl From<std::io::Error> for ServiceError {
     }
 }
 
+/// Plans `num_shards` contiguous, non-empty document ranges balancing the
+/// given per-document weights; returns the shard sizes (summing to
+/// `weights.len()`). With uniform weights this degenerates to count
+/// balancing. The shard count is clamped to the document count, so no empty
+/// shard is ever planned (one empty shard stands in for an empty collection).
+fn plan_shards(weights: &[usize], num_shards: usize) -> Vec<usize> {
+    let n = weights.len();
+    if n == 0 {
+        return vec![0];
+    }
+    let num_shards = num_shards.clamp(1, n);
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    let mut sizes = Vec::with_capacity(num_shards);
+    let mut doc = 0usize;
+    let mut acc: u128 = 0;
+    for s in 0..num_shards {
+        let shards_left = num_shards - s;
+        // Leave at least one document for each later shard.
+        let max_take = n - doc - (shards_left - 1);
+        let target = total * (s as u128 + 1) / num_shards as u128;
+        let mut take = 1;
+        acc += weights[doc] as u128;
+        while take < max_take && acc < target {
+            acc += weights[doc + take] as u128;
+            take += 1;
+        }
+        sizes.push(take);
+        doc += take;
+    }
+    debug_assert_eq!(doc, n, "every document is assigned to a shard");
+    sizes
+}
+
+/// Parses the document id out of a `doc_<id>.idx` file name; `None` for any
+/// other shape (including non-numeric or overflowing ids).
+fn doc_id_from_name(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("doc_")?.strip_suffix(".idx")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
 /// A document-sharded, thread-pooled, result-cached query engine.
 ///
 /// Built from a collection ([`QueryService::build`]), pre-built indexes
-/// ([`QueryService::from_indexes`]), or a directory of snapshots
-/// ([`QueryService::load_dir`]).
+/// ([`QueryService::from_indexes`]), a single-file collection snapshot
+/// ([`QueryService::load_collection`]), or a directory of per-document
+/// snapshots ([`QueryService::load_dir`], deprecated path).
 pub struct QueryService {
     shards: Vec<Arc<Shard>>,
     pool: ThreadPool,
-    cache: Option<Mutex<LruCache<CacheKey, SharedHits>>>,
+    cache: Option<Mutex<LruCache<CacheKey, QueryResponse>>>,
     /// Smallest τ every underlying index accepts.
     tau_min: f64,
     num_docs: usize,
 }
 
 impl QueryService {
-    /// Builds one index per document and shards the collection.
+    /// Builds one index per document (plus one approx index per document
+    /// when [`ServiceConfig::epsilon`] is set) and shards the collection.
     pub fn build(
         docs: &[UncertainString],
         tau_min: f64,
@@ -186,35 +533,66 @@ impl QueryService {
     ) -> Result<Self, Error> {
         let indexes = docs
             .iter()
-            .map(|d| Index::build(d, tau_min))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self::from_indexes(indexes, config))
+            .map(|d| {
+                let index = Index::build(d, tau_min)?;
+                let approx = config
+                    .epsilon
+                    .map(|eps| ApproxIndex::build(d, tau_min, eps))
+                    .transpose()?;
+                Ok(DocIndex { index, approx })
+            })
+            .collect::<Result<Vec<_>, Error>>()?;
+        let shards = match config.shards {
+            0 => config.effective_threads(),
+            n => n,
+        };
+        Ok(Self::assemble(indexes, None, shards, &config))
     }
 
     /// Assembles a service from pre-built (or snapshot-loaded) indexes.
     /// Document ids follow the input order. The service's threshold floor is
     /// the largest `τmin` among the indexes.
     pub fn from_indexes(indexes: Vec<Index>, config: ServiceConfig) -> Self {
-        let num_docs = indexes.len();
-        let threads = config.effective_threads();
-        let num_shards = match config.shards {
-            0 => threads,
+        let docs = indexes
+            .into_iter()
+            .map(|index| DocIndex {
+                index,
+                approx: None,
+            })
+            .collect();
+        let shards = match config.shards {
+            0 => config.effective_threads(),
             n => n,
-        }
-        .clamp(1, num_docs.max(1));
-        let tau_min = indexes.iter().map(|i| i.tau_min()).fold(0.0, f64::max);
+        };
+        Self::assemble(docs, None, shards, &config)
+    }
 
-        // Contiguous, balanced shards: the first `rem` shards get one extra.
-        let base = num_docs / num_shards;
-        let rem = num_docs % num_shards;
-        let mut shards = Vec::with_capacity(num_shards);
-        let mut iter = indexes.into_iter().enumerate();
-        for s in 0..num_shards {
-            let take = base + usize::from(s < rem);
-            let docs: Vec<(usize, Index)> = iter.by_ref().take(take).collect();
+    /// Shards `docs` (by `weights` when given, uniformly otherwise) and
+    /// wires up the pool and cache.
+    fn assemble(
+        docs: Vec<DocIndex>,
+        weights: Option<&[usize]>,
+        num_shards: usize,
+        config: &ServiceConfig,
+    ) -> Self {
+        let num_docs = docs.len();
+        let threads = config.effective_threads();
+        let tau_min = docs.iter().map(|d| d.index.tau_min()).fold(0.0, f64::max);
+        let uniform: Vec<usize>;
+        let weights = match weights {
+            Some(w) => w,
+            None => {
+                uniform = vec![1; num_docs];
+                &uniform
+            }
+        };
+        let sizes = plan_shards(weights, num_shards);
+        let mut shards = Vec::with_capacity(sizes.len());
+        let mut iter = docs.into_iter().enumerate();
+        for take in sizes {
+            let docs: Vec<(usize, DocIndex)> = iter.by_ref().take(take).collect();
             shards.push(Arc::new(Shard { docs }));
         }
-
         Self {
             shards,
             pool: ThreadPool::new(threads),
@@ -225,37 +603,151 @@ impl QueryService {
         }
     }
 
-    /// Loads every `*.idx` snapshot in `dir` (sorted by file name — the sort
-    /// order defines document ids) and assembles a service.
+    /// Loads every `doc_<id>.idx` snapshot in `dir` and assembles a service;
+    /// document ids come from the *parsed numeric id*, not the sort order of
+    /// the file names, so unpadded ids (`doc_10.idx` next to `doc_2.idx`)
+    /// load correctly. Any other `.idx` name, a duplicated id, or a gap in
+    /// the ids is an error.
+    ///
+    /// This directory layout is the deprecated persistence path — it cannot
+    /// carry approx indexes; prefer [`QueryService::load_collection`].
     pub fn load_dir(dir: impl AsRef<Path>, config: ServiceConfig) -> Result<Self, ServiceError> {
-        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
-            .collect::<Result<Vec<_>, _>>()?
-            .into_iter()
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|ext| ext == "idx"))
-            .collect();
-        if paths.is_empty() {
+        let mut entries: Vec<(usize, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().is_none_or(|ext| ext != "idx") {
+                continue;
+            }
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            match doc_id_from_name(&name) {
+                Some(id) => entries.push((id, path)),
+                None => return Err(ServiceError::BadSnapshotName { name }),
+            }
+        }
+        if entries.is_empty() {
             return Err(ServiceError::NoSnapshots);
         }
-        paths.sort();
-        let indexes = paths
+        entries.sort_by_key(|&(id, _)| id);
+        for (expected, &(id, _)) in entries.iter().enumerate() {
+            if id == expected {
+                continue;
+            }
+            return Err(if entries[..expected].iter().any(|&(prev, _)| prev == id) {
+                ServiceError::DuplicateDocId { id }
+            } else {
+                ServiceError::MissingDocId { id: expected }
+            });
+        }
+        let indexes = entries
             .iter()
-            .map(Index::load)
+            .map(|(_, path)| Index::load(path))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self::from_indexes(indexes, config))
     }
 
     /// Saves one snapshot per document into `dir` as `doc_<id>.idx`
-    /// (zero-padded so [`QueryService::load_dir`]'s name sort restores ids).
+    /// (zero-padded; [`QueryService::load_dir`] parses the numeric id back).
+    ///
+    /// This directory layout is the deprecated persistence path — approx
+    /// indexes are **not** saved; prefer [`QueryService::save_collection`].
     pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), ServiceError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         for shard in &self.shards {
-            for (doc, index) in &shard.docs {
-                index.save(dir.join(format!("doc_{doc:08}.idx")))?;
+            for (doc, d) in &shard.docs {
+                d.index.save(dir.join(format!("doc_{doc:08}.idx")))?;
             }
         }
         Ok(())
+    }
+
+    /// Saves the whole collection as one file: a manifest (doc count, shard
+    /// plan, per-doc offsets, per-section checksums) followed by each
+    /// document's substring-index snapshot — and its approx-index snapshot,
+    /// when the service holds one. Format:
+    /// [`ustr_store::collection`].
+    pub fn save_collection(&self, path: impl AsRef<Path>) -> Result<(), ServiceError> {
+        let mut sections = Vec::with_capacity(self.num_docs);
+        for shard in &self.shards {
+            for (doc, d) in &shard.docs {
+                let mut bytes = Vec::new();
+                d.index.write_snapshot(&mut bytes)?;
+                sections.push(CollectionSection {
+                    doc: *doc,
+                    kind: SnapshotKind::Index,
+                    bytes,
+                });
+                if let Some(approx) = &d.approx {
+                    let mut bytes = Vec::new();
+                    approx.write_snapshot(&mut bytes)?;
+                    sections.push(CollectionSection {
+                        doc: *doc,
+                        kind: SnapshotKind::Approx,
+                        bytes,
+                    });
+                }
+            }
+        }
+        collection::save_collection_file(path, self.num_docs, self.num_shards(), &sections)?;
+        Ok(())
+    }
+
+    /// Loads a single-file collection snapshot and assembles a service.
+    /// Shards are **memory-planned** from the manifest: contiguous document
+    /// ranges balanced by per-document snapshot size (a proxy for index
+    /// heap), using `config.shards` when non-zero and the file's recorded
+    /// shard plan otherwise. Truncated or corrupted files fail with a clean
+    /// [`StoreError`] (wrapped in [`ServiceError::Store`]), never a panic.
+    pub fn load_collection(
+        path: impl AsRef<Path>,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        let coll = collection::load_collection_file(path)?;
+        let corrupt = |detail: String| ServiceError::Store(StoreError::Corrupt { detail });
+        let n = coll.num_docs;
+        let mut index_bytes: Vec<Option<Vec<u8>>> = (0..n).map(|_| None).collect();
+        let mut approx_bytes: Vec<Option<Vec<u8>>> = (0..n).map(|_| None).collect();
+        for section in coll.sections {
+            let slot = match section.kind {
+                SnapshotKind::Index => &mut index_bytes[section.doc],
+                SnapshotKind::Approx => &mut approx_bytes[section.doc],
+                other => {
+                    return Err(corrupt(format!(
+                        "collection section for document {} holds unsupported kind {}",
+                        section.doc, other as u8
+                    )))
+                }
+            };
+            if slot.is_some() {
+                return Err(corrupt(format!(
+                    "document {} has duplicate sections of one kind",
+                    section.doc
+                )));
+            }
+            *slot = Some(section.bytes);
+        }
+        let mut docs = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        for (id, (ib, ab)) in index_bytes.into_iter().zip(approx_bytes).enumerate() {
+            let ib =
+                ib.ok_or_else(|| corrupt(format!("document {id} has no substring-index section")))?;
+            weights.push(ib.len() + ab.as_ref().map_or(0, Vec::len));
+            let index = Index::read_snapshot(&ib[..])?;
+            let approx = ab
+                .map(|bytes| ApproxIndex::read_snapshot(&bytes[..]))
+                .transpose()?;
+            docs.push(DocIndex { index, approx });
+        }
+        let shards = match config.shards {
+            0 if coll.shard_hint > 0 => coll.shard_hint,
+            0 => config.effective_threads(),
+            s => s,
+        };
+        Ok(Self::assemble(docs, Some(&weights), shards, &config))
     }
 
     /// Number of documents served.
@@ -278,6 +770,16 @@ impl QueryService {
         self.tau_min
     }
 
+    /// `true` when every document carries an [`ApproxIndex`] (so `Approx`
+    /// requests are genuinely ε-approximate rather than exact fallbacks).
+    pub fn has_approx_indexes(&self) -> bool {
+        self.num_docs > 0
+            && self
+                .shards
+                .iter()
+                .all(|s| s.docs.iter().all(|(_, d)| d.approx.is_some()))
+    }
+
     /// `(hits, misses)` of the result cache; zeros when caching is disabled.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache
@@ -285,17 +787,22 @@ impl QueryService {
             .map_or((0, 0), |c| c.lock().expect("cache poisoned").stats())
     }
 
-    fn validate(&self, pattern: &[u8], tau: f64) -> Result<(), Error> {
+    fn validate_pattern(pattern: &[u8]) -> Result<(), Error> {
         if pattern.is_empty() {
             return Err(Error::EmptyPattern);
         }
         if pattern.contains(&0u8) {
             return Err(Error::PatternContainsSentinel);
         }
+        Ok(())
+    }
+
+    fn validate(&self, pattern: &[u8], tau: f64) -> Result<(), Error> {
+        Self::validate_pattern(pattern)?;
         if !(tau > 0.0 && tau <= 1.0) {
             return Err(Error::InvalidThreshold { value: tau });
         }
-        if tau < self.tau_min - 1e-12 {
+        if tau < self.tau_min - TAU_TOLERANCE {
             return Err(Error::ThresholdBelowTauMin {
                 tau,
                 tau_min: self.tau_min,
@@ -304,47 +811,107 @@ impl QueryService {
         Ok(())
     }
 
-    fn cache_get(&self, key: &CacheKey) -> Option<SharedHits> {
+    fn validate_request(&self, req: &QueryRequest) -> Result<(), Error> {
+        match req {
+            QueryRequest::Threshold { pattern, tau }
+            | QueryRequest::Listing { pattern, tau }
+            | QueryRequest::Approx { pattern, tau } => self.validate(pattern, *tau),
+            QueryRequest::TopK { pattern, .. } => Self::validate_pattern(pattern),
+        }
+    }
+
+    fn cache_get(&self, key: &CacheKey) -> Option<QueryResponse> {
         self.cache
             .as_ref()
             .and_then(|c| c.lock().expect("cache poisoned").get(key))
     }
 
-    fn cache_put(&self, key: CacheKey, value: SharedHits) {
+    fn cache_put(&self, key: CacheKey, value: QueryResponse) {
         if let Some(c) = &self.cache {
             c.lock().expect("cache poisoned").insert(key, value);
         }
     }
 
-    /// Answers one query (through the cache and the thread pool).
+    /// Answers one threshold query (through the cache and the thread pool).
     pub fn query(&self, pattern: &[u8], tau: f64) -> Result<Vec<DocHits>, Error> {
-        let mut out = self.query_batch(&[(pattern.to_vec(), tau)]);
-        out.pop()
-            .expect("one query yields one result")
-            .map(|shared| shared.as_ref().clone())
+        let req = QueryRequest::Threshold {
+            pattern: pattern.to_vec(),
+            tau,
+        };
+        match self.one_request(req)? {
+            QueryResponse::Threshold(shared) => Ok(shared.as_ref().clone()),
+            _ => unreachable!("threshold requests produce threshold responses"),
+        }
     }
 
-    /// Answers a batch of queries, fanning each across every shard on the
-    /// thread pool. Results are positionally aligned with `queries` and are
-    /// **identical** to [`QueryService::query_batch_sequential`] — per-shard
-    /// answers are merged in shard order, never in completion order.
-    pub fn query_batch(&self, queries: &[BatchQuery]) -> Vec<Result<SharedHits, Error>> {
+    /// Answers one collection-wide top-k query: the `k` most probable
+    /// occurrences across every document, ranked by probability with a
+    /// deterministic `(doc, pos)` tie-break.
+    pub fn query_top_k(&self, pattern: &[u8], k: usize) -> Result<Vec<TopHit>, Error> {
+        let req = QueryRequest::TopK {
+            pattern: pattern.to_vec(),
+            k,
+        };
+        match self.one_request(req)? {
+            QueryResponse::TopK(shared) => Ok(shared.as_ref().clone()),
+            _ => unreachable!("top-k requests produce top-k responses"),
+        }
+    }
+
+    /// Answers one listing query: every document whose `Rel_max` for
+    /// `pattern` is ≥ τ, sorted by document id.
+    pub fn query_listing(&self, pattern: &[u8], tau: f64) -> Result<Vec<ListingHit>, Error> {
+        let req = QueryRequest::Listing {
+            pattern: pattern.to_vec(),
+            tau,
+        };
+        match self.one_request(req)? {
+            QueryResponse::Listing(shared) => Ok(shared.as_ref().clone()),
+            _ => unreachable!("listing requests produce listing responses"),
+        }
+    }
+
+    /// Answers one ε-approximate query (exact when the service holds no
+    /// approx indexes — see [`ServiceConfig::epsilon`]).
+    pub fn query_approx(&self, pattern: &[u8], tau: f64) -> Result<Vec<DocHits>, Error> {
+        let req = QueryRequest::Approx {
+            pattern: pattern.to_vec(),
+            tau,
+        };
+        match self.one_request(req)? {
+            QueryResponse::Approx(shared) => Ok(shared.as_ref().clone()),
+            _ => unreachable!("approx requests produce approx responses"),
+        }
+    }
+
+    fn one_request(&self, req: QueryRequest) -> Result<QueryResponse, Error> {
+        self.query_requests(std::slice::from_ref(&req))
+            .pop()
+            .expect("one request yields one response")
+    }
+
+    /// Answers a typed batch of any mix of query modes, fanning each request
+    /// across every shard on the thread pool. Responses are positionally
+    /// aligned with `requests` and are **identical** to
+    /// [`QueryService::query_requests_sequential`] for every mode —
+    /// per-shard answers are merged in shard order (top-k with a total
+    /// tie-break), never in completion order.
+    pub fn query_requests(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse, Error>> {
         let num_shards = self.shards.len();
-        let mut results: Vec<Option<Result<SharedHits, Error>>> = vec![None; queries.len()];
+        let mut results: Vec<Option<Result<QueryResponse, Error>>> = vec![None; requests.len()];
 
         // Resolve validation failures and cache hits up front, and collapse
-        // duplicate (pattern, τ) queries onto one computation: only the first
-        // occurrence (the leader) fans out; followers copy its result.
+        // duplicate requests onto one computation: only the first occurrence
+        // (the leader) fans out; followers copy its result.
         let mut pending: Vec<usize> = Vec::new();
-        let mut leaders: std::collections::HashMap<CacheKey, usize> =
-            std::collections::HashMap::new();
-        let mut followers: Vec<(usize, usize)> = Vec::new(); // (query, leader)
-        for (q, (pattern, tau)) in queries.iter().enumerate() {
-            if let Err(e) = self.validate(pattern, *tau) {
+        let mut leaders: HashMap<CacheKey, usize> = HashMap::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new(); // (request, leader)
+        for (q, req) in requests.iter().enumerate() {
+            if let Err(e) = self.validate_request(req) {
                 results[q] = Some(Err(e));
                 continue;
             }
-            let key = (pattern.clone(), tau.to_bits());
+            let key = request_key(req);
             if let Some(hit) = self.cache_get(&key) {
                 results[q] = Some(Ok(hit));
                 continue;
@@ -358,19 +925,17 @@ impl QueryService {
             }
         }
 
-        // Fan out: one job per (pending query, shard).
+        // Fan out: one job per (pending request, shard).
         let (tx, rx) = channel::<(usize, usize, ShardAnswer)>();
         for &q in &pending {
-            let (pattern, tau) = &queries[q];
             for (s, shard) in self.shards.iter().enumerate() {
                 let shard = Arc::clone(shard);
-                let pattern = pattern.clone();
-                let tau = *tau;
+                let req = requests[q].clone();
                 let tx = tx.clone();
                 self.pool.execute(move || {
                     // A send failure means the batch was abandoned; nothing
                     // useful to do from a worker.
-                    let _ = tx.send((q, s, shard.query(&pattern, tau)));
+                    let _ = tx.send((q, s, shard.answer(&req)));
                 });
             }
         }
@@ -378,7 +943,10 @@ impl QueryService {
 
         // Collect in completion order, merge in shard order.
         let mut per_query: Vec<Vec<Option<ShardAnswer>>> =
-            vec![vec![None; num_shards]; queries.len()];
+            (0..requests.len()).map(|_| Vec::new()).collect();
+        for &q in &pending {
+            per_query[q] = (0..num_shards).map(|_| None).collect();
+        }
         let mut outstanding = pending.len() * num_shards;
         while outstanding > 0 {
             let (q, s, result) = rx.recv().expect("workers never drop mid-batch");
@@ -386,11 +954,11 @@ impl QueryService {
             outstanding -= 1;
         }
         for &q in &pending {
-            let mut merged = Vec::new();
+            let mut parts = Vec::with_capacity(num_shards);
             let mut error: Option<Error> = None;
             for slot in per_query[q].drain(..) {
                 match slot.expect("every shard reported") {
-                    Ok(mut part) => merged.append(&mut part),
+                    Ok(part) => parts.push(part),
                     Err(e) => {
                         // Keep the first (lowest-shard) error: deterministic.
                         error.get_or_insert(e);
@@ -400,10 +968,9 @@ impl QueryService {
             results[q] = Some(match error {
                 Some(e) => Err(e),
                 None => {
-                    let shared: SharedHits = Arc::new(merged);
-                    let (pattern, tau) = &queries[q];
-                    self.cache_put((pattern.clone(), tau.to_bits()), Arc::clone(&shared));
-                    Ok(shared)
+                    let response = merge_partials(&requests[q], parts);
+                    self.cache_put(request_key(&requests[q]), response.clone());
+                    Ok(response)
                 }
             });
         }
@@ -414,29 +981,76 @@ impl QueryService {
 
         results
             .into_iter()
-            .map(|r| r.expect("every query resolved"))
+            .map(|r| r.expect("every request resolved"))
             .collect()
     }
 
-    /// Reference implementation: the same batch answered shard-by-shard on
-    /// the calling thread (no pool), sharing the same cache. Exists to state
-    /// — and test — the determinism contract of [`QueryService::query_batch`].
-    pub fn query_batch_sequential(&self, queries: &[BatchQuery]) -> Vec<Result<SharedHits, Error>> {
-        queries
+    /// Reference implementation: the same typed batch answered
+    /// shard-by-shard on the calling thread (no pool), sharing the same
+    /// cache and merge code. Exists to state — and test — the determinism
+    /// contract of [`QueryService::query_requests`].
+    pub fn query_requests_sequential(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryResponse, Error>> {
+        requests
             .iter()
-            .map(|(pattern, tau)| {
-                self.validate(pattern, *tau)?;
-                let key = (pattern.clone(), tau.to_bits());
+            .map(|req| {
+                self.validate_request(req)?;
+                let key = request_key(req);
                 if let Some(hit) = self.cache_get(&key) {
                     return Ok(hit);
                 }
-                let mut merged = Vec::new();
+                let mut parts = Vec::with_capacity(self.shards.len());
                 for shard in &self.shards {
-                    merged.append(&mut shard.query(pattern, *tau)?);
+                    parts.push(shard.answer(req)?);
                 }
-                let shared: SharedHits = Arc::new(merged);
-                self.cache_put(key, Arc::clone(&shared));
-                Ok(shared)
+                let response = merge_partials(req, parts);
+                self.cache_put(key, response.clone());
+                Ok(response)
+            })
+            .collect()
+    }
+
+    /// Answers a legacy threshold-only batch (see [`QueryRequest`] /
+    /// [`QueryService::query_requests`] for mixed-mode batches). Results are
+    /// positionally aligned with `queries` and identical to
+    /// [`QueryService::query_batch_sequential`].
+    pub fn query_batch(&self, queries: &[BatchQuery]) -> Vec<Result<SharedHits, Error>> {
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .map(|(pattern, tau)| QueryRequest::Threshold {
+                pattern: pattern.clone(),
+                tau: *tau,
+            })
+            .collect();
+        self.query_requests(&requests)
+            .into_iter()
+            .map(|r| {
+                r.map(|resp| match resp {
+                    QueryResponse::Threshold(shared) => shared,
+                    _ => unreachable!("threshold requests produce threshold responses"),
+                })
+            })
+            .collect()
+    }
+
+    /// Sequential reference for [`QueryService::query_batch`].
+    pub fn query_batch_sequential(&self, queries: &[BatchQuery]) -> Vec<Result<SharedHits, Error>> {
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .map(|(pattern, tau)| QueryRequest::Threshold {
+                pattern: pattern.clone(),
+                tau: *tau,
+            })
+            .collect();
+        self.query_requests_sequential(&requests)
+            .into_iter()
+            .map(|r| {
+                r.map(|resp| match resp {
+                    QueryResponse::Threshold(shared) => shared,
+                    _ => unreachable!("threshold requests produce threshold responses"),
+                })
             })
             .collect()
     }
@@ -461,7 +1075,45 @@ mod tests {
             threads,
             shards,
             cache_capacity: cache,
+            epsilon: None,
         }
+    }
+
+    fn mixed_batch() -> Vec<QueryRequest> {
+        vec![
+            QueryRequest::Threshold {
+                pattern: b"AB".to_vec(),
+                tau: 0.3,
+            },
+            QueryRequest::TopK {
+                pattern: b"AB".to_vec(),
+                k: 4,
+            },
+            QueryRequest::Listing {
+                pattern: b"B".to_vec(),
+                tau: 0.5,
+            },
+            QueryRequest::Approx {
+                pattern: b"AB".to_vec(),
+                tau: 0.3,
+            },
+            QueryRequest::Threshold {
+                pattern: b"C".to_vec(),
+                tau: 0.9,
+            },
+            QueryRequest::TopK {
+                pattern: b"ZZ".to_vec(),
+                k: 3,
+            },
+            QueryRequest::Listing {
+                pattern: b"AB".to_vec(),
+                tau: 0.45,
+            },
+            QueryRequest::Approx {
+                pattern: b"B".to_vec(),
+                tau: 0.6,
+            },
+        ]
     }
 
     #[test]
@@ -503,6 +1155,130 @@ mod tests {
     }
 
     #[test]
+    fn mixed_mode_parallel_equals_sequential() {
+        let docs = collection();
+        let mut services = vec![
+            QueryService::build(&docs, 0.05, config(1, 1, 0)).unwrap(),
+            QueryService::build(&docs, 0.05, config(4, 3, 0)).unwrap(),
+            QueryService::build(&docs, 0.05, config(8, 5, 0)).unwrap(),
+        ];
+        // One service with real approx indexes: approx answers may differ
+        // from the exact fallback, but parallel ≡ sequential must still hold.
+        services.push(
+            QueryService::build(
+                &docs,
+                0.05,
+                ServiceConfig {
+                    threads: 4,
+                    shards: 2,
+                    cache_capacity: 0,
+                    epsilon: Some(0.05),
+                },
+            )
+            .unwrap(),
+        );
+        let batch = mixed_batch();
+        let reference = services[0].query_requests_sequential(&batch);
+        for (i, service) in services.iter().enumerate() {
+            let got = service.query_requests(&batch);
+            let seq = service.query_requests_sequential(&batch);
+            for (q, (g, s)) in got.iter().zip(seq.iter()).enumerate() {
+                assert_eq!(
+                    g.as_ref().unwrap(),
+                    s.as_ref().unwrap(),
+                    "service {i} request {q}: parallel != sequential"
+                );
+            }
+            if i < 3 {
+                // All-exact services agree with each other too.
+                for (q, (g, r)) in got.iter().zip(reference.iter()).enumerate() {
+                    assert_eq!(
+                        g.as_ref().unwrap(),
+                        r.as_ref().unwrap(),
+                        "service {i} request {q}: diverged from reference"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_ranks_across_documents() {
+        let service = QueryService::build(&collection(), 0.05, config(4, 3, 0)).unwrap();
+        let top = service.query_top_k(b"AB", 5).unwrap();
+        assert_eq!(top.len(), 5);
+        // Four certain occurrences (doc 0 pos 3; doc 3 pos 0, 2, 4) rank
+        // first in (doc, pos) tie-break order; then doc 0 pos 0 (p = .9).
+        assert_eq!((top[0].doc, top[0].pos), (0, 3));
+        assert_eq!((top[1].doc, top[1].pos), (3, 0));
+        assert_eq!((top[2].doc, top[2].pos), (3, 2));
+        assert_eq!((top[3].doc, top[3].pos), (3, 4));
+        assert_eq!((top[4].doc, top[4].pos), (0, 0));
+        assert!((top[4].prob - 0.9).abs() < 1e-9);
+        for w in top.windows(2) {
+            assert!(w[0].prob >= w[1].prob, "ranked descending");
+        }
+    }
+
+    #[test]
+    fn listing_reports_rel_max_per_document() {
+        let docs = collection();
+        let service = QueryService::build(&docs, 0.05, config(2, 2, 0)).unwrap();
+        let listed = service.query_listing(b"AB", 0.45).unwrap();
+        let ids: Vec<usize> = listed.iter().map(|h| h.doc).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+        // Agrees with the §6 ListingIndex under Rel_max.
+        let reference = ustr_core::ListingIndex::build(&docs, 0.05).unwrap();
+        assert_eq!(listed, reference.query(b"AB", 0.45).unwrap());
+    }
+
+    #[test]
+    fn approx_requests_respect_the_sandwich() {
+        let docs = collection();
+        let exact = QueryService::build(&docs, 0.05, config(2, 2, 0)).unwrap();
+        assert!(!exact.has_approx_indexes());
+        let eps = 0.05;
+        let approx = QueryService::build(
+            &docs,
+            0.05,
+            ServiceConfig {
+                threads: 2,
+                shards: 2,
+                cache_capacity: 0,
+                epsilon: Some(eps),
+            },
+        )
+        .unwrap();
+        assert!(approx.has_approx_indexes());
+        for (pattern, tau) in [(&b"AB"[..], 0.4), (b"B", 0.5), (b"C", 0.9)] {
+            let must: Vec<(usize, usize)> = exact
+                .query(pattern, tau)
+                .unwrap()
+                .iter()
+                .flat_map(|d| d.hits.iter().map(|&(p, _)| (d.doc, p)).collect::<Vec<_>>())
+                .collect();
+            let may: Vec<(usize, usize)> = exact
+                .query(pattern, (tau - eps).max(0.05))
+                .unwrap()
+                .iter()
+                .flat_map(|d| d.hits.iter().map(|&(p, _)| (d.doc, p)).collect::<Vec<_>>())
+                .collect();
+            let got: Vec<(usize, usize)> = approx
+                .query_approx(pattern, tau)
+                .unwrap()
+                .iter()
+                .flat_map(|d| d.hits.iter().map(|&(p, _)| (d.doc, p)).collect::<Vec<_>>())
+                .collect();
+            for m in &must {
+                assert!(got.contains(m), "missing exact hit {m:?}");
+            }
+            for g in &got {
+                assert!(may.contains(g), "spurious hit {g:?} below tau - eps");
+            }
+        }
+    }
+
+    #[test]
     fn cache_serves_repeats_without_divergence() {
         let service = QueryService::build(&collection(), 0.05, config(2, 2, 8)).unwrap();
         let first = service.query(b"AB", 0.3).unwrap();
@@ -515,6 +1291,25 @@ mod tests {
         // Different τ is a different cache entry.
         let _ = service.query(b"AB", 0.5).unwrap();
         assert_eq!(service.cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn cache_key_quantizes_tau_to_validation_tolerance() {
+        let service = QueryService::build(&collection(), 0.05, config(2, 2, 8)).unwrap();
+        let a = service.query(b"AB", 0.3).unwrap();
+        assert_eq!(service.cache_stats(), (0, 1));
+        // τ within the validation tolerance: same entry, served from cache.
+        let b = service.query(b"AB", 0.3 + 2e-13).unwrap();
+        assert_eq!(service.cache_stats(), (1, 1), "quantized τ must hit");
+        assert_eq!(a, b);
+        // τ a full lattice step away: distinct entry.
+        let _ = service.query(b"AB", 0.3 + 1e-11).unwrap();
+        assert_eq!(service.cache_stats(), (1, 2));
+        // Modes never share entries, even for identical (pattern, τ).
+        let _ = service.query_approx(b"AB", 0.3).unwrap();
+        assert_eq!(service.cache_stats(), (1, 3));
+        let _ = service.query_listing(b"AB", 0.3).unwrap();
+        assert_eq!(service.cache_stats(), (1, 4));
     }
 
     #[test]
@@ -536,6 +1331,22 @@ mod tests {
         assert!(results[2].is_ok());
         assert!(matches!(results[3], Err(Error::PatternContainsSentinel)));
         assert!(matches!(results[4], Err(Error::InvalidThreshold { .. })));
+        // Top-k has no τ to validate, but patterns are still checked.
+        let typed = service.query_requests(&[
+            QueryRequest::TopK {
+                pattern: b"".to_vec(),
+                k: 3,
+            },
+            QueryRequest::TopK {
+                pattern: b"AB".to_vec(),
+                k: 0,
+            },
+        ]);
+        assert!(matches!(typed[0], Err(Error::EmptyPattern)));
+        let Ok(QueryResponse::TopK(empty)) = &typed[1] else {
+            panic!("k = 0 answers with an empty ranking");
+        };
+        assert!(empty.is_empty());
     }
 
     #[test]
@@ -572,6 +1383,45 @@ mod tests {
         let service = QueryService::build(&[], 0.1, config(2, 2, 4)).unwrap();
         assert_eq!(service.num_docs(), 0);
         assert!(service.query(b"A", 0.5).unwrap().is_empty());
+        assert!(service.query_top_k(b"A", 3).unwrap().is_empty());
+        assert!(service.query_listing(b"A", 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn one_doc_many_threads_clamps_to_one_shard() {
+        let docs = vec![UncertainString::parse("A:.9,B:.1 | B | C").unwrap()];
+        let service = QueryService::build(&docs, 0.05, config(8, 8, 0)).unwrap();
+        assert_eq!(service.num_shards(), 1, "no empty shards are planned");
+        assert_eq!(service.threads(), 8);
+        let hits = service.query(b"AB", 0.5).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, 0);
+        let mixed = service.query_requests(&mixed_batch());
+        let seq = service.query_requests_sequential(&mixed_batch());
+        for (a, b) in mixed.iter().zip(seq.iter()) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn shard_planning_is_contiguous_and_nonempty() {
+        assert_eq!(plan_shards(&[], 4), vec![0]);
+        assert_eq!(plan_shards(&[1], 8), vec![1]);
+        assert_eq!(plan_shards(&[1, 1, 1, 1, 1], 2).iter().sum::<usize>(), 5);
+        // Weighted planning: a huge first doc gets its own shard.
+        let sizes = plan_shards(&[1000, 1, 1, 1], 2);
+        assert_eq!(sizes, vec![1, 3]);
+        for n in 1..12usize {
+            for shards in 1..12usize {
+                let sizes = plan_shards(&vec![1; n], shards);
+                assert_eq!(sizes.iter().sum::<usize>(), n);
+                assert!(
+                    sizes.iter().all(|&s| s >= 1),
+                    "no empty shard for {n}/{shards}"
+                );
+                assert_eq!(sizes.len(), shards.min(n));
+            }
+        }
     }
 
     #[test]
@@ -597,6 +1447,71 @@ mod tests {
     }
 
     #[test]
+    fn load_dir_parses_numeric_ids_from_unpadded_names() {
+        // Hand-named, unpadded snapshots: lexicographic order (doc_10 <
+        // doc_2) must NOT permute ids.
+        let docs: Vec<UncertainString> = (0..11)
+            .map(|i| {
+                UncertainString::parse(&format!("A:.{}{},B:.{}{} | B", 9 - i % 9, 0, i % 9, 9))
+                    .unwrap_or_else(|_| UncertainString::deterministic(b"AB"))
+            })
+            .collect();
+        let dir = std::env::temp_dir().join("ustr_service_unpadded");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (i, d) in docs.iter().enumerate() {
+            let index = Index::build(d, 0.05).unwrap();
+            index.save(dir.join(format!("doc_{i}.idx"))).unwrap();
+        }
+        let loaded = QueryService::load_dir(&dir, config(2, 2, 0)).unwrap();
+        assert_eq!(loaded.num_docs(), docs.len());
+        // Each document answers under its own id: compare with a freshly
+        // built service over the same ordered collection.
+        let built = QueryService::build(&docs, 0.05, config(1, 1, 0)).unwrap();
+        for tau in [0.3, 0.6] {
+            assert_eq!(
+                loaded.query(b"AB", tau).unwrap(),
+                built.query(b"AB", tau).unwrap()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_dir_rejects_foreign_duplicate_and_gapped_names() {
+        let dir = std::env::temp_dir().join("ustr_service_bad_names");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let index = Index::build(&UncertainString::deterministic(b"AB"), 0.5).unwrap();
+
+        // Foreign name.
+        index.save(dir.join("doc_0.idx")).unwrap();
+        index.save(dir.join("stray.idx")).unwrap();
+        assert!(matches!(
+            QueryService::load_dir(&dir, config(1, 1, 0)),
+            Err(ServiceError::BadSnapshotName { .. })
+        ));
+        std::fs::remove_file(dir.join("stray.idx")).unwrap();
+
+        // Duplicate id via padding variants.
+        index.save(dir.join("doc_1.idx")).unwrap();
+        index.save(dir.join("doc_01.idx")).unwrap();
+        assert!(matches!(
+            QueryService::load_dir(&dir, config(1, 1, 0)),
+            Err(ServiceError::DuplicateDocId { id: 1 })
+        ));
+        std::fs::remove_file(dir.join("doc_01.idx")).unwrap();
+
+        // Gap: ids {0, 1, 3}.
+        index.save(dir.join("doc_3.idx")).unwrap();
+        assert!(matches!(
+            QueryService::load_dir(&dir, config(1, 1, 0)),
+            Err(ServiceError::MissingDocId { id: 2 })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn load_dir_rejects_empty_directories() {
         let dir = std::env::temp_dir().join("ustr_service_empty_dir");
         let _ = std::fs::remove_dir_all(&dir);
@@ -606,5 +1521,67 @@ mod tests {
             Err(ServiceError::NoSnapshots)
         ));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn collection_snapshot_round_trips_every_mode() {
+        let docs = collection();
+        let built = QueryService::build(
+            &docs,
+            0.05,
+            ServiceConfig {
+                threads: 2,
+                shards: 3,
+                cache_capacity: 0,
+                epsilon: Some(0.05),
+            },
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join("ustr_service_round_trip.coll");
+        built.save_collection(&path).unwrap();
+        // Reload at several thread/shard configurations: answers must be
+        // identical to the freshly built service for every mode.
+        let batch = mixed_batch();
+        let reference = built.query_requests_sequential(&batch);
+        for cfg in [config(1, 1, 0), config(4, 0, 0), config(8, 5, 0)] {
+            let loaded = QueryService::load_collection(&path, cfg).unwrap();
+            assert_eq!(loaded.num_docs(), docs.len());
+            assert!(loaded.has_approx_indexes(), "approx sections reloaded");
+            for (a, b) in loaded.query_requests(&batch).iter().zip(reference.iter()) {
+                assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+            }
+        }
+        // shards = 0 adopts the file's recorded shard plan.
+        let planned = QueryService::load_collection(&path, config(2, 0, 0)).unwrap();
+        assert_eq!(planned.num_shards(), built.num_shards());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_collection_files_fail_cleanly() {
+        let built = QueryService::build(&collection(), 0.05, config(1, 2, 0)).unwrap();
+        let path = std::env::temp_dir().join("ustr_service_corrupt.coll");
+        built.save_collection(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Truncation at several depths (header, manifest, section bodies).
+        for cut in [0, 7, 39, 60, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            match QueryService::load_collection(&path, config(1, 1, 0)) {
+                Err(ServiceError::Store(_)) => {}
+                Err(other) => panic!("cut at {cut}: expected a StoreError, got {other:?}"),
+                Ok(_) => panic!("cut at {cut}: truncated collection must not load"),
+            }
+        }
+        // A flipped payload byte fails a checksum.
+        let mut flipped = bytes.clone();
+        let at = flipped.len() - 9;
+        flipped[at] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            QueryService::load_collection(&path, config(1, 1, 0)),
+            Err(ServiceError::Store(_))
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 }

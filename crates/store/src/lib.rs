@@ -2,14 +2,20 @@
 //!
 //! The paper's indexes are built once and queried many times; this crate
 //! makes the "built once" part durable. [`Snapshot::save`] serializes the
-//! query-critical state of an [`Index`], [`SpecialIndex`], or
-//! [`ListingIndex`] — the source model, the transformed text with its
+//! query-critical state of an [`Index`], [`SpecialIndex`], [`ListingIndex`],
+//! or [`ApproxIndex`] — the source model, the transformed text with its
 //! position mapping, the suffix substrate as a `(text, SA, LCP)` triple, the
 //! cumulative log-probability prefix sums, and every per-level RMQ table
-//! (champion indices + duplicate masks) — and [`Snapshot::load`] reassembles
+//! (champion indices + duplicate masks; for the approximate index, the
+//! ε-refined sub-link table instead) — and [`Snapshot::load`] reassembles
 //! an index that answers **byte-identical** query results, skipping the
 //! expensive construction passes (the Lemma-2 transform, SA-IS, and the
 //! level mask sweeps).
+//!
+//! Beyond single indexes, the [`collection`] module defines a one-file
+//! container for a whole document collection (manifest + per-section
+//! checksums) — the primary persistence path of the `ustr-service` serving
+//! layer.
 //!
 //! # Snapshot container format
 //!
@@ -18,8 +24,8 @@
 //! | offset | size | field |
 //! |---|---|---|
 //! | 0  | 8 | magic `"USTRSNAP"` |
-//! | 8  | 4 | format version, `u32` little-endian (currently 1) |
-//! | 12 | 1 | index kind: 1 = `Index`, 2 = `SpecialIndex`, 3 = `ListingIndex` |
+//! | 8  | 4 | format version, `u32` little-endian (currently 2) |
+//! | 12 | 1 | index kind: 1 = `Index`, 2 = `SpecialIndex`, 3 = `ListingIndex`, 4 = `ApproxIndex` |
 //! | 13 | 3 | reserved, must be zero |
 //! | 16 | 8 | payload length in bytes, `u64` little-endian |
 //! | 24 | 8 | FNV-1a 64-bit checksum of the payload |
@@ -63,6 +69,7 @@
 //! );
 //! ```
 
+pub mod collection;
 mod error;
 mod wire;
 
@@ -70,12 +77,20 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use ustr_core::snapshot::{CumState, IndexState, ListingIndexState, SpecialIndexState, TreeState};
+use ustr_core::snapshot::{
+    ApproxIndexState, ApproxLinkState, CumState, IndexState, ListingIndexState, SpecialIndexState,
+    TreeState,
+};
 use ustr_core::{
-    BuildStats, Index, LevelsParts, ListingIndex, LongLevelParts, ShortLevelParts, SpecialIndex,
+    ApproxIndex, BuildStats, Index, LevelsParts, ListingIndex, LongLevelParts, ShortLevelParts,
+    SpecialIndex,
 };
 use ustr_uncertain::{Correlation, SpecialUncertainString, Transformed, UncertainString};
 
+pub use collection::{
+    read_collection, write_collection, Collection, CollectionSection, COLLECTION_MAGIC,
+    COLLECTION_VERSION,
+};
 pub use error::StoreError;
 pub use wire::{Reader, Writer};
 
@@ -83,7 +98,8 @@ pub use wire::{Reader, Writer};
 pub const MAGIC: [u8; 8] = *b"USTRSNAP";
 
 /// Current snapshot format version (see the crate docs for the policy).
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the `ApproxIndex` record kind.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Total header size in bytes.
 pub const HEADER_LEN: usize = 32;
@@ -97,21 +113,24 @@ pub enum SnapshotKind {
     Special = 2,
     /// A [`ListingIndex`].
     Listing = 3,
+    /// An [`ApproxIndex`].
+    Approx = 4,
 }
 
 impl SnapshotKind {
-    fn from_byte(b: u8) -> Result<Self, StoreError> {
+    pub(crate) fn from_byte(b: u8) -> Result<Self, StoreError> {
         match b {
             1 => Ok(SnapshotKind::Index),
             2 => Ok(SnapshotKind::Special),
             3 => Ok(SnapshotKind::Listing),
+            4 => Ok(SnapshotKind::Approx),
             other => Err(StoreError::UnknownKind { found: other }),
         }
     }
 }
 
 /// FNV-1a 64-bit hash (the payload checksum).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -557,6 +576,55 @@ impl Snapshot for ListingIndex {
     }
 }
 
+impl Snapshot for ApproxIndex {
+    const KIND: SnapshotKind = SnapshotKind::Approx;
+
+    fn encode_payload(&self, w: &mut Writer) {
+        let state = self.to_snapshot();
+        encode_transformed(w, &state.transformed);
+        encode_tree(w, &state.tree);
+        encode_cum(w, &state.cum);
+        w.put_u64(state.links.len() as u64);
+        for link in &state.links {
+            w.put_u32(link.origin_pre);
+            w.put_u32(link.origin_depth);
+            w.put_u32(link.target_depth);
+            w.put_u32(link.source_pos);
+            w.put_f64(link.prob);
+        }
+        w.put_f64(state.epsilon);
+        w.put_f64(state.tau_min);
+        encode_stats(w, &state.stats);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let transformed = decode_transformed(r)?;
+        let tree = decode_tree(r)?;
+        let cum = decode_cum(r)?;
+        let num_links = r.get_len(24)?;
+        let mut links = Vec::with_capacity(num_links);
+        for _ in 0..num_links {
+            links.push(ApproxLinkState {
+                origin_pre: r.get_u32()?,
+                origin_depth: r.get_u32()?,
+                target_depth: r.get_u32()?,
+                source_pos: r.get_u32()?,
+                prob: r.get_f64()?,
+            });
+        }
+        let state = ApproxIndexState {
+            transformed,
+            tree,
+            cum,
+            links,
+            epsilon: r.get_f64()?,
+            tau_min: r.get_f64()?,
+            stats: decode_stats(r)?,
+        };
+        Ok(ApproxIndex::from_snapshot(state)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,6 +686,30 @@ mod tests {
             }
         }
         assert_eq!(built.num_docs(), loaded.num_docs());
+    }
+
+    #[test]
+    fn approx_snapshot_round_trips() {
+        let s = UncertainString::parse(
+            "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 | \
+             I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+        )
+        .unwrap();
+        let built = ApproxIndex::build(&s, 0.02, 0.03).unwrap();
+        let mut bytes = Vec::new();
+        built.write_snapshot(&mut bytes).unwrap();
+        let header = Header::parse(&bytes).unwrap();
+        assert_eq!(header.kind, SnapshotKind::Approx);
+        let loaded = ApproxIndex::read_snapshot(&bytes[..]).unwrap();
+        assert_eq!(built.num_links(), loaded.num_links());
+        for pattern in [&b"AT"[..], b"PQ", b"SFPQ", b"PA", b"FPQP"] {
+            for tau in [0.05, 0.12, 0.3, 0.5] {
+                assert_eq!(
+                    built.query(pattern, tau).unwrap().hits(),
+                    loaded.query(pattern, tau).unwrap().hits(),
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! every flavour of file corruption fails with a clean error, never a panic.
 
 use proptest::prelude::*;
-use ustr_core::{Index, ListingIndex, SpecialIndex};
+use ustr_core::{ApproxIndex, Index, ListingIndex, SpecialIndex};
 use ustr_store::{Snapshot, StoreError, FORMAT_VERSION, HEADER_LEN, MAGIC};
 use ustr_uncertain::{SpecialUncertainString, UncertainString};
 
@@ -114,6 +114,57 @@ proptest! {
         prop_assert_eq!(
             built.query_top_k(&p, 3).unwrap(),
             loaded.query_top_k(&p, 3).unwrap()
+        );
+    }
+
+    /// The approximate index round-trips byte-identically: positions AND
+    /// reported (ε-approximate) probabilities, across ε and τ values — both
+    /// through `to_snapshot`/`from_snapshot` directly and through the full
+    /// byte encoding.
+    #[test]
+    fn approx_round_trip_is_exact(
+        r in rows(14),
+        p in pattern(4),
+        eps_idx in 0usize..3,
+        tau_idx in 0usize..4,
+    ) {
+        let epsilon = [0.02, 0.05, 0.2][eps_idx];
+        let tau = [0.1, 0.25, 0.5, 0.8][tau_idx];
+        let s = UncertainString::from_rows(r).unwrap();
+        let built = ApproxIndex::build(&s, 0.05, epsilon).unwrap();
+
+        let reassembled = ApproxIndex::from_snapshot(built.to_snapshot()).unwrap();
+        prop_assert_eq!(
+            built.query(&p, tau).unwrap().hits(),
+            reassembled.query(&p, tau).unwrap().hits(),
+            "state round-trip diverged"
+        );
+
+        let mut bytes = Vec::new();
+        built.write_snapshot(&mut bytes).unwrap();
+        let loaded = ApproxIndex::read_snapshot(&bytes[..]).unwrap();
+        let a = built.query(&p, tau).unwrap();
+        let b = loaded.query(&p, tau).unwrap();
+        prop_assert_eq!(a.hits(), b.hits(), "byte round-trip diverged");
+        for (&(_, pa), &(_, pb)) in a.hits().iter().zip(b.hits().iter()) {
+            prop_assert_eq!(pa.to_bits(), pb.to_bits(), "probabilities not bit-exact");
+        }
+        prop_assert_eq!(built.num_links(), loaded.num_links());
+        prop_assert_eq!(built.epsilon().to_bits(), loaded.epsilon().to_bits());
+        prop_assert_eq!(built.tau_min().to_bits(), loaded.tau_min().to_bits());
+    }
+
+    /// Every truncation point of a valid approx snapshot fails cleanly.
+    #[test]
+    fn approx_truncation_always_errors(r in rows(8), cut_seed in 0u32..10_000) {
+        let s = UncertainString::from_rows(r).unwrap();
+        let built = ApproxIndex::build(&s, 0.1, 0.1).unwrap();
+        let mut bytes = Vec::new();
+        built.write_snapshot(&mut bytes).unwrap();
+        let cut = cut_seed as usize % bytes.len();
+        prop_assert!(
+            ApproxIndex::read_snapshot(&bytes[..cut]).is_err(),
+            "prefix of {} bytes must not load", cut
         );
     }
 

@@ -40,6 +40,7 @@ fn main() {
             threads: 4,
             shards: 4,
             cache_capacity: 256,
+            epsilon: None,
         },
     )
     .unwrap();

@@ -18,10 +18,13 @@
 //!   additive error ε on the probability threshold.
 //!
 //! Indexes are built once and served many times: [`Snapshot`] persists any
-//! index to a versioned, checksummed binary file that loads back with
-//! byte-identical query behaviour, and [`QueryService`] serves batch queries
-//! over a sharded collection with a fixed thread pool and an LRU result
-//! cache.
+//! index (including [`ApproxIndex`]) to a versioned, checksummed binary file
+//! that loads back with byte-identical query behaviour; a whole collection
+//! packs into one single-file *collection snapshot* (`.coll`, manifest +
+//! per-section checksums) via `QueryService::save_collection`; and
+//! [`QueryService`] serves batches mixing all four [`QueryRequest`] modes —
+//! threshold, top-k, listing, approx — over a sharded collection with a
+//! fixed thread pool, deterministic merge, and a per-mode LRU result cache.
 //!
 //! # Quickstart
 //!
@@ -48,8 +51,8 @@
 //! |---|---|---|
 //! | [`UncertainString`], [`SpecialUncertainString`], correlation & transform | `ustr-uncertain` | data model, possible worlds, Lemma-2 factor transform |
 //! | [`Index`], [`SpecialIndex`], [`ListingIndex`], [`ApproxIndex`] | `ustr-core` | the paper's indexes (§4–§7) |
-//! | [`Snapshot`], [`StoreError`], snapshot format | `ustr-store` | versioned binary index persistence (save/load) |
-//! | [`QueryService`], [`ServiceConfig`], [`DocHits`] | `ustr-service` | concurrent sharded serving: thread pool, deterministic merge, LRU cache |
+//! | [`Snapshot`], [`StoreError`], snapshot + collection formats | `ustr-store` | versioned binary index persistence; single-file collection snapshots |
+//! | [`QueryService`], [`QueryRequest`], [`ServiceConfig`], [`DocHits`], [`TopHit`] | `ustr-service` | concurrent sharded serving: four typed query modes, thread pool, deterministic merge, per-mode LRU cache |
 //! | [`NaiveScanner`], [`SimpleIndex`], DP containment | `ustr-baseline` | baselines & test oracles |
 //! | [`StreamMatcher`], [`ContainmentTracker`] | `ustr-stream` | online matching over event streams (§2) |
 //! | suffix arrays / trees | `ustr-suffix` | SA-IS, LCP, suffix tree substrate |
@@ -61,7 +64,9 @@ pub use ustr_core::{
     self as core, ApproxIndex, Error, Index, ListingIndex, QueryResult, RelMetric, SpecialIndex,
 };
 pub use ustr_rmq as rmq;
-pub use ustr_service::{self as service, DocHits, QueryService, ServiceConfig};
+pub use ustr_service::{
+    self as service, DocHits, QueryRequest, QueryResponse, QueryService, ServiceConfig, TopHit,
+};
 pub use ustr_store::{self as store, Snapshot, SnapshotKind, StoreError};
 pub use ustr_stream::{self as stream, Alert, ContainmentTracker, StreamMatcher};
 pub use ustr_suffix::{self as suffix, SuffixArray, SuffixTree};

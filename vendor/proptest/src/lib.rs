@@ -291,7 +291,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::TestRng;
 
-    /// Element-count bounds accepted by [`vec`].
+    /// Element-count bounds accepted by [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
