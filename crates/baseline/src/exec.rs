@@ -1,0 +1,192 @@
+//! [`ScanIndex`]: the scan-based [`QueryExecutor`].
+//!
+//! Wraps one [`UncertainString`] and answers the per-document query
+//! contract by scanning (via [`NaiveScanner`]) instead of building the
+//! paper's index. Construction is O(1) — no transform, no suffix tree —
+//! which is exactly what a live memtable needs: a freshly ingested document
+//! is queryable immediately, and the answers are **bit-identical** to what
+//! a built [`ustr_core::Index`] over the same document at the same `τmin`
+//! returns (both report canonical probabilities recomputed from the model,
+//! both use the same threshold tolerance, and top-k uses the same total
+//! order — see [`ustr_core::QueryExecutor`]).
+
+use ustr_core::{validate_pattern, validate_query, Error, QueryExecutor};
+use ustr_uncertain::{UncertainString, PROB_EPS};
+
+use crate::scan::NaiveScanner;
+
+/// A scan-backed per-document query engine (O(1) construction, O(n·m)
+/// queries) satisfying the [`QueryExecutor`] interchangeability contract.
+#[derive(Debug, Clone)]
+pub struct ScanIndex {
+    doc: UncertainString,
+    tau_min: f64,
+}
+
+impl ScanIndex {
+    /// Wraps `doc` with the construction threshold `tau_min ∈ (0, 1]` (the
+    /// same value an [`ustr_core::Index`] would be built with).
+    pub fn new(doc: UncertainString, tau_min: f64) -> Result<Self, Error> {
+        if !(tau_min > 0.0 && tau_min <= 1.0) {
+            return Err(Error::InvalidThreshold { value: tau_min });
+        }
+        Ok(Self { doc, tau_min })
+    }
+
+    /// The wrapped document.
+    pub fn source(&self) -> &UncertainString {
+        &self.doc
+    }
+
+    /// Consumes the executor, returning the document (e.g. to build a real
+    /// index when the memtable is sealed).
+    pub fn into_source(self) -> UncertainString {
+        self.doc
+    }
+}
+
+impl QueryExecutor for ScanIndex {
+    fn tau_min(&self) -> f64 {
+        self.tau_min
+    }
+
+    fn threshold_hits(&self, pattern: &[u8], tau: f64) -> Result<Vec<(usize, f64)>, Error> {
+        validate_query(pattern, tau, self.tau_min)?;
+        // The scanner's log-domain prefilter mirrors the index's RMQ report
+        // threshold; the linear-domain retain mirrors the index's final
+        // canonical-probability filter.
+        let mut hits = NaiveScanner::find_with_probs(&self.doc, pattern, tau);
+        hits.retain(|&(_, p)| p >= tau - PROB_EPS);
+        Ok(hits)
+    }
+
+    fn top_k_hits(&self, pattern: &[u8], k: usize) -> Result<Vec<(usize, f64)>, Error> {
+        validate_pattern(pattern)?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        // Candidates = the threshold answer at τmin (log prefilter plus
+        // the same canonical linear filter the index applies); canonical
+        // (probability ↓, position ↑) order decides ties at the cut.
+        let mut hits = NaiveScanner::find_with_probs(&self.doc, pattern, self.tau_min);
+        hits.retain(|&(_, p)| p >= self.tau_min - PROB_EPS);
+        hits.sort_by(ustr_core::canonical_hit_order);
+        hits.truncate(k);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustr_core::Index;
+
+    fn figure_3_string() -> UncertainString {
+        UncertainString::parse(
+            "P | S:.7,F:.3 | F | P | Q:.5,T:.5 | P | A:.4,F:.4,P:.2 | \
+             I:.3,L:.3,P:.3,T:.1 | A | S:.5,T:.5 | A",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn threshold_hits_are_bit_identical_to_an_index() {
+        let s = figure_3_string();
+        let scan = ScanIndex::new(s.clone(), 0.05).unwrap();
+        let idx = Index::build(&s, 0.05).unwrap();
+        for pattern in [&b"AT"[..], b"P", b"FP", b"SFPQ", b"ZZ"] {
+            for tau in [0.05, 0.1, 0.4, 0.9] {
+                assert_eq!(
+                    scan.threshold_hits(pattern, tau).unwrap(),
+                    QueryExecutor::threshold_hits(&idx, pattern, tau).unwrap(),
+                    "pattern {pattern:?} tau {tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_bit_identical_to_an_index() {
+        let s = figure_3_string();
+        let scan = ScanIndex::new(s.clone(), 0.05).unwrap();
+        let idx = Index::build(&s, 0.05).unwrap();
+        for pattern in [&b"P"[..], b"AT", b"T", b"F"] {
+            for k in [1usize, 2, 5, 100] {
+                assert_eq!(
+                    scan.top_k_hits(pattern, k).unwrap(),
+                    QueryExecutor::top_k_hits(&idx, pattern, k).unwrap(),
+                    "pattern {pattern:?} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_tie_break_is_positional_under_equal_probabilities() {
+        // "ABABAB" deterministic: every "AB" occurrence has p = 1 exactly.
+        let s = UncertainString::deterministic(b"ABABAB");
+        let scan = ScanIndex::new(s.clone(), 0.5).unwrap();
+        let idx = Index::build(&s, 0.5).unwrap();
+        let got = scan.top_k_hits(b"AB", 2).unwrap();
+        assert_eq!(got, vec![(0, 1.0), (2, 1.0)], "smallest positions win");
+        assert_eq!(got, QueryExecutor::top_k_hits(&idx, b"AB", 2).unwrap());
+    }
+
+    #[test]
+    fn correlated_documents_stay_bit_identical() {
+        // Under correlation the index's stored values are only upper
+        // bounds; both executors must still agree bitwise (the index falls
+        // back to ranking the canonical τmin threshold answer).
+        let mut s = UncertainString::parse("A:.5,B:.5 | T | A:.4,T:.6 | T | A:.3,B:.7").unwrap();
+        let mut set = ustr_uncertain::CorrelationSet::new();
+        set.add(ustr_uncertain::Correlation {
+            subject_pos: 2,
+            subject_char: b'A',
+            cond_pos: 0,
+            cond_char: b'A',
+            p_present: 0.9,
+            p_absent: 0.1,
+        })
+        .unwrap();
+        s.set_correlations(set).unwrap();
+        let scan = ScanIndex::new(s.clone(), 0.05).unwrap();
+        let idx = Index::build(&s, 0.05).unwrap();
+        for pattern in [&b"AT"[..], b"T", b"A"] {
+            for tau in [0.05, 0.2, 0.5] {
+                assert_eq!(
+                    scan.threshold_hits(pattern, tau).unwrap(),
+                    QueryExecutor::threshold_hits(&idx, pattern, tau).unwrap(),
+                    "threshold {pattern:?} tau {tau}"
+                );
+            }
+            for k in [1usize, 2, 10] {
+                assert_eq!(
+                    scan.top_k_hits(pattern, k).unwrap(),
+                    QueryExecutor::top_k_hits(&idx, pattern, k).unwrap(),
+                    "top-k {pattern:?} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation_matches_the_index_layer() {
+        let scan = ScanIndex::new(figure_3_string(), 0.2).unwrap();
+        assert!(matches!(
+            scan.threshold_hits(b"", 0.5),
+            Err(Error::EmptyPattern)
+        ));
+        assert!(matches!(
+            scan.threshold_hits(b"AT", 0.1),
+            Err(Error::ThresholdBelowTauMin { .. })
+        ));
+        assert!(matches!(
+            scan.top_k_hits(b"A\0T", 3),
+            Err(Error::PatternContainsSentinel)
+        ));
+        assert!(matches!(
+            ScanIndex::new(figure_3_string(), 0.0),
+            Err(Error::InvalidThreshold { .. })
+        ));
+    }
+}

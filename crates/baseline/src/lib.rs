@@ -12,13 +12,21 @@
 //!
 //! [`PossibleWorldOracle`] enumerates possible worlds outright and serves as
 //! the ground truth for every property test in the workspace.
+//!
+//! [`ScanIndex`] packages the scanner behind the `ustr-core`
+//! [`QueryExecutor`](ustr_core::QueryExecutor) contract: a per-document
+//! engine with O(1) construction whose answers are bit-identical to a built
+//! index — the serving path for documents too young to have been indexed
+//! (the `ustr-live` memtable).
 
 mod dp;
+mod exec;
 mod oracle;
 mod scan;
 mod simple;
 
 pub use dp::{containment_probability, expected_occurrences, kmp_delta, prefix_function};
+pub use exec::ScanIndex;
 pub use oracle::PossibleWorldOracle;
 pub use scan::NaiveScanner;
 pub use simple::SimpleIndex;

@@ -36,8 +36,9 @@ use std::process::ExitCode;
 
 use args::Args;
 use ustr_core::{ApproxIndex, Index, ListingIndex};
+use ustr_live::{LiveConfig, LiveService};
 use ustr_service::{QueryRequest, QueryResponse, QueryService, ServiceConfig};
-use ustr_store::{Snapshot, COLLECTION_MAGIC};
+use ustr_store::{Snapshot, COLLECTION_MAGIC, MAGIC};
 use ustr_uncertain::UncertainString;
 use ustr_workload::{generate_string, DatasetConfig};
 
@@ -66,7 +67,7 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     (
         "stats",
         "ustr stats FILE [--tau-min T0]",
-        "construction statistics",
+        "construction statistics, or the manifest of a .coll/.idx snapshot",
     ),
     (
         "build-index",
@@ -82,6 +83,26 @@ const COMMANDS: &[(&str, &str, &str)] = &[
         "serve-batch",
         "ustr serve-batch (INDEXDIR | FILE.coll | FILE) QUERIES.txt --threads N [--shards S] [--cache C] [--tau-min T0] [--epsilon E] [--quiet]",
         "answer a (mixed-mode) query batch concurrently",
+    ),
+    (
+        "ingest",
+        "ustr ingest LIVEDIR FILE [--tau-min T0] [--epsilon E] [--seal-threshold N] [--quiet]",
+        "append documents to a live collection (WAL + memtable)",
+    ),
+    (
+        "delete",
+        "ustr delete LIVEDIR ID... [--quiet]",
+        "tombstone live documents by stable id",
+    ),
+    (
+        "compact",
+        "ustr compact LIVEDIR [--quiet]",
+        "seal the memtable and merge all segments into one",
+    ),
+    (
+        "serve-live",
+        "ustr serve-live LIVEDIR QUERIES.txt [--threads N] [--cache C] [--quiet]",
+        "answer a (mixed-mode) query batch over a live collection",
     ),
 ];
 
@@ -130,6 +151,10 @@ fn run(argv: &[String]) -> Result<String, String> {
         "build-index" => cmd_build_index(&args),
         "build-collection" => cmd_build_collection(&args),
         "serve-batch" => cmd_serve_batch(&args),
+        "ingest" => cmd_ingest(&args),
+        "delete" => cmd_delete(&args),
+        "compact" => cmd_compact(&args),
+        "serve-live" => cmd_serve_live(&args),
         "help" | "--help" => Ok(usage_for(None)),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -420,7 +445,33 @@ fn cmd_serve_batch(args: &Args) -> Result<String, String> {
             service.threads(),
             queries.len(),
         ));
+        out.push_str(&cache_summary(service.cache_stats()));
     }
+    render_results(&mut out, &queries, &results, quiet);
+    Ok(out.trim_end().to_string())
+}
+
+/// One summary line for the result cache: hits, misses, and hit ratio.
+/// The counters are process-lifetime totals for the service instance (see
+/// `QueryService::cache_stats`), which for a CLI invocation means totals
+/// across this batch including its duplicate-request cache hits.
+fn cache_summary((hits, misses): (u64, u64)) -> String {
+    let total = hits + misses;
+    let ratio = if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64 * 100.0
+    };
+    format!("cache: {hits} hit(s), {misses} miss(es), hit ratio {ratio:.1}%\n")
+}
+
+/// Renders batch answers (shared by `serve-batch` and `serve-live`).
+fn render_results(
+    out: &mut String,
+    queries: &[QueryRequest],
+    results: &[Result<QueryResponse, ustr_core::Error>],
+    quiet: bool,
+) {
     for (q, (request, result)) in queries.iter().zip(results.iter()).enumerate() {
         match result {
             Ok(QueryResponse::Threshold(hits)) | Ok(QueryResponse::Approx(hits)) => {
@@ -491,6 +542,137 @@ fn cmd_serve_batch(args: &Args) -> Result<String, String> {
             )),
         }
     }
+}
+
+/// Builds a [`LiveConfig`] from the shared live-collection options.
+fn live_config(args: &Args) -> Result<LiveConfig, String> {
+    let epsilon = match args.get("epsilon") {
+        Some(_) => Some(args.get_parsed("epsilon", 0.05)?),
+        None => None,
+    };
+    Ok(LiveConfig {
+        threads: args.get_parsed("threads", 0usize)?,
+        cache_capacity: args.get_parsed("cache", 1024usize)?,
+        tau_min: args.get_parsed("tau-min", 0.05)?,
+        epsilon,
+        seal_threshold: args.get_parsed("seal-threshold", 64usize)?,
+        compact_min_segments: args.get_parsed("compact-min", 4usize)?,
+    })
+}
+
+fn cmd_ingest(args: &Args) -> Result<String, String> {
+    let dir = args.positional(0, "LIVEDIR")?;
+    let file = args.positional(1, "FILE")?;
+    let docs = load_collection(file)?;
+    let live = LiveService::open(dir, live_config(args)?).map_err(|e| e.to_string())?;
+    let mut first = None;
+    let mut last = None;
+    for d in docs {
+        let id = live.insert(d).map_err(|e| e.to_string())?;
+        first.get_or_insert(id);
+        last = Some(id);
+    }
+    live.wait_idle().map_err(|e| e.to_string())?;
+    if args.flag("quiet") {
+        return Ok(match (first, last) {
+            (Some(a), Some(b)) => format!("{a} {b}"),
+            _ => String::new(),
+        });
+    }
+    Ok(match (first, last) {
+        (Some(a), Some(b)) => format!(
+            "ingested documents {a}..={b}: {} live document(s), {} sealed segment(s), \
+             {} memtable document(s)",
+            live.num_docs(),
+            live.num_segments(),
+            live.memtable_len(),
+        ),
+        _ => "nothing to ingest".to_string(),
+    })
+}
+
+/// Ensures `dir` already holds a live collection. Administrative commands
+/// (`delete`, `compact`, `serve-live`) must not materialize a brand-new
+/// live directory on a mistyped path — only `ingest` creates one.
+fn require_live_dir(dir: &str) -> Result<(), String> {
+    let p = std::path::Path::new(dir);
+    if p.join(ustr_live::MANIFEST_FILE).exists() || p.join(ustr_live::WAL_FILE).exists() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{dir} is not a live collection directory (no MANIFEST or wal.log); \
+             create one with `ustr ingest`"
+        ))
+    }
+}
+
+fn cmd_delete(args: &Args) -> Result<String, String> {
+    let dir = args.positional(0, "LIVEDIR")?;
+    require_live_dir(dir)?;
+    if args.positional.len() < 2 {
+        return Err("missing argument: ID".to_string());
+    }
+    let ids: Vec<u64> = args.positional[1..]
+        .iter()
+        .map(|s| s.parse().map_err(|_| format!("invalid document id {s:?}")))
+        .collect::<Result<_, _>>()?;
+    let live = LiveService::open(dir, LiveConfig::default()).map_err(|e| e.to_string())?;
+    for id in &ids {
+        live.delete(*id).map_err(|e| e.to_string())?;
+    }
+    if args.flag("quiet") {
+        return Ok(String::new());
+    }
+    Ok(format!(
+        "tombstoned {} document(s); {} live document(s) remain",
+        ids.len(),
+        live.num_docs()
+    ))
+}
+
+fn cmd_compact(args: &Args) -> Result<String, String> {
+    let dir = args.positional(0, "LIVEDIR")?;
+    require_live_dir(dir)?;
+    let live = LiveService::open(dir, LiveConfig::default()).map_err(|e| e.to_string())?;
+    let before = live.num_segments();
+    live.flush().map_err(|e| e.to_string())?;
+    live.compact().map_err(|e| e.to_string())?;
+    live.wait_idle().map_err(|e| e.to_string())?;
+    if args.flag("quiet") {
+        return Ok(String::new());
+    }
+    Ok(format!(
+        "compacted {before} segment(s) (+ memtable) into {}; {} live document(s)",
+        live.num_segments(),
+        live.num_docs()
+    ))
+}
+
+fn cmd_serve_live(args: &Args) -> Result<String, String> {
+    let dir = args.positional(0, "LIVEDIR")?;
+    require_live_dir(dir)?;
+    let queries_path = args.positional(1, "QUERIES.txt")?;
+    let quiet = args.flag("quiet");
+    let queries = load_queries(queries_path)?;
+    let start = std::time::Instant::now();
+    let live = LiveService::open(dir, live_config(args)?).map_err(|e| e.to_string())?;
+    let ready = start.elapsed();
+    let t0 = std::time::Instant::now();
+    let results = live.query_requests(&queries);
+    let answered = t0.elapsed();
+    let mut out = String::new();
+    if !quiet {
+        out.push_str(&format!(
+            "{} live document(s): {} sealed segment(s) + {} memtable document(s); \
+             ready in {ready:?}, {} query(ies) answered in {answered:?}\n",
+            live.num_docs(),
+            live.num_segments(),
+            live.memtable_len(),
+            queries.len(),
+        ));
+        out.push_str(&cache_summary(live.cache_stats()));
+    }
+    render_results(&mut out, &queries, &results, quiet);
     Ok(out.trim_end().to_string())
 }
 
@@ -555,8 +737,68 @@ fn cmd_list(args: &Args) -> Result<String, String> {
     Ok(out.trim_end().to_string())
 }
 
+/// `stats` on a `.coll` collection snapshot: the manifest alone is read —
+/// format version, document count, per-document section sizes and
+/// checksums — no index payload is loaded or decoded.
+fn collection_stats(path: &str) -> Result<String, String> {
+    let m = ustr_store::read_collection_manifest(path).map_err(|e| e.to_string())?;
+    let total: u64 = m.entries.iter().map(|e| e.len).sum();
+    let mut out = format!(
+        "collection snapshot      {path}\n\
+         format version           {}\n\
+         documents                {}\n\
+         shard plan hint          {}\n\
+         sections                 {} ({total} payload bytes)\n",
+        m.version,
+        m.num_docs,
+        m.shard_hint,
+        m.entries.len(),
+    );
+    for e in &m.entries {
+        out.push_str(&format!(
+            "  doc {:>6} {:<9} {:>10} bytes at offset {:>10}  fnv1a {:016x}\n",
+            e.doc,
+            format!("{:?}", e.kind).to_lowercase(),
+            e.len,
+            e.offset,
+            e.checksum
+        ));
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// `stats` on a single-index `.idx` snapshot: header only.
+fn snapshot_stats(path: &str) -> Result<String, String> {
+    let h = ustr_store::read_header(path).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "index snapshot           {path}\n\
+         format version           {}\n\
+         kind                     {:?}\n\
+         payload                  {} bytes\n\
+         payload checksum         fnv1a {:016x}",
+        h.version, h.kind, h.payload_len, h.checksum
+    ))
+}
+
+/// The first 8 bytes of a file (for magic sniffing); empty on any error.
+fn file_magic(path: &str) -> [u8; 8] {
+    let mut prefix = [0u8; 8];
+    let _ =
+        std::fs::File::open(path).and_then(|mut f| std::io::Read::read_exact(&mut f, &mut prefix));
+    prefix
+}
+
 fn cmd_stats(args: &Args) -> Result<String, String> {
     let path = args.positional(0, "FILE")?;
+    // Snapshot artifacts are inspected from their manifests, without
+    // loading any index.
+    let magic = file_magic(path);
+    if magic == COLLECTION_MAGIC {
+        return collection_stats(path);
+    }
+    if magic == MAGIC {
+        return snapshot_stats(path);
+    }
     let tau_min: f64 = args.get_parsed("tau-min", 0.1)?;
     let s = load_string(path)?;
     let index = Index::build(&s, tau_min).map_err(|e| e.to_string())?;
@@ -849,6 +1091,132 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("--epsilon"), "{err}");
         let _ = fs::remove_file(&coll);
+    }
+
+    #[test]
+    fn serve_batch_reports_cache_effectiveness() {
+        let docs = write_temp(
+            "ustr_cli_cachestats_docs.ustr",
+            "A:.9,B:.1 | B | C\nC | C | C\n",
+        );
+        // The same query three times: one miss, then cache hits.
+        let queries = write_temp("ustr_cli_cachestats_q.txt", "AB 0.3\nAB 0.3\nAB 0.3\n");
+        let out = run(&argv(&format!(
+            "serve-batch {docs} {queries} --threads 2 --tau-min 0.05"
+        )))
+        .unwrap();
+        assert!(out.contains("cache:"), "{out}");
+        assert!(out.contains("miss(es)"), "{out}");
+        // --quiet suppresses the summary (result rows only).
+        let quiet = run(&argv(&format!(
+            "serve-batch {docs} {queries} --threads 2 --tau-min 0.05 --quiet"
+        )))
+        .unwrap();
+        assert!(!quiet.contains("cache:"), "{quiet}");
+    }
+
+    #[test]
+    fn stats_inspects_snapshots_without_loading_indexes() {
+        let docs = write_temp(
+            "ustr_cli_stats_docs.ustr",
+            "A:.9,B:.1 | B | C\nC | C | C\nA:.5,B:.5 | B | C\n",
+        );
+        let coll = std::env::temp_dir().join("ustr_cli_stats.coll");
+        run(&argv(&format!(
+            "build-collection {docs} --out {} --tau-min 0.05 --epsilon 0.05",
+            coll.display()
+        )))
+        .unwrap();
+        let out = run(&argv(&format!("stats {}", coll.display()))).unwrap();
+        assert!(out.contains("documents                3"), "{out}");
+        assert!(out.contains("format version           1"), "{out}");
+        assert!(out.contains("approx"), "approx sections listed: {out}");
+        assert!(out.contains("fnv1a"), "checksums listed: {out}");
+
+        let idx = std::env::temp_dir().join("ustr_cli_stats.idx");
+        let single = write_temp("ustr_cli_stats_one.ustr", "a:.9,b:.1 | a");
+        run(&argv(&format!(
+            "build-index {single} --out {} --tau-min 0.05",
+            idx.display()
+        )))
+        .unwrap();
+        let out = run(&argv(&format!("stats {}", idx.display()))).unwrap();
+        assert!(out.contains("kind                     Index"), "{out}");
+        let _ = fs::remove_file(&coll);
+        let _ = fs::remove_file(&idx);
+    }
+
+    #[test]
+    fn live_lifecycle_ingest_delete_compact_serve() {
+        let docs = write_temp(
+            "ustr_cli_live_docs.ustr",
+            "A:.9,B:.1 | B | C\nC | C | C\nA:.5,B:.5 | B | C\n",
+        );
+        let more = write_temp("ustr_cli_live_more.ustr", "A | B | A:.6,C:.4\n");
+        let queries = write_temp(
+            "ustr_cli_live_q.txt",
+            "AB 0.3\ntop AB 3\nlist B 0.5\napprox AB 0.3\n",
+        );
+        let dir = std::env::temp_dir().join("ustr_cli_live_dir");
+        let _ = fs::remove_dir_all(&dir);
+
+        // Ingest with a tiny seal threshold: two documents seal, one stays
+        // in the memtable.
+        let msg = run(&argv(&format!(
+            "ingest {} {docs} --tau-min 0.05 --seal-threshold 2 --compact-min 0",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("ingested documents 0..=2"), "{msg}");
+        assert!(msg.contains("1 sealed segment(s)"), "{msg}");
+        assert!(msg.contains("1 memtable document(s)"), "{msg}");
+
+        // Serve mixed modes over segments + memtable.
+        let out = run(&argv(&format!(
+            "serve-live {} {queries} --threads 2",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("3 live document(s)"), "{out}");
+        assert!(
+            out.contains("query 0 search \"AB\" tau=0.3: 2 document(s)"),
+            "{out}"
+        );
+        assert!(out.contains("cache:"), "{out}");
+
+        // Ingest more, tombstone one, compact everything into one segment.
+        run(&argv(&format!("ingest {} {more} --quiet", dir.display()))).unwrap();
+        let msg = run(&argv(&format!("delete {} 1", dir.display()))).unwrap();
+        assert!(msg.contains("3 live document(s) remain"), "{msg}");
+        let msg = run(&argv(&format!("compact {}", dir.display()))).unwrap();
+        assert!(msg.contains("into 1"), "{msg}");
+
+        // Deleted documents stay gone; the survivor ids are stable.
+        let quiet = run(&argv(&format!(
+            "serve-live {} {queries} --quiet",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(!quiet.contains("cache:"), "{quiet}");
+        assert!(quiet.contains("0 0 0 0.9"), "doc 0 answers: {quiet}");
+        assert!(quiet.contains("0 3 0"), "new doc 3 answers: {quiet}");
+        for line in quiet.lines().filter(|l| l.starts_with("0 ")) {
+            assert!(!line.starts_with("0 1 "), "doc 1 was deleted: {quiet}");
+        }
+
+        // Deleting a dead id is a clean error.
+        assert!(run(&argv(&format!("delete {} 1", dir.display()))).is_err());
+        let _ = fs::remove_dir_all(&dir);
+
+        // Administrative commands refuse mistyped paths instead of
+        // materializing a fresh live directory there.
+        let typo = std::env::temp_dir().join("ustr_cli_live_typo");
+        let _ = fs::remove_dir_all(&typo);
+        for cmd in ["delete {} 0", "compact {}", "serve-live {} q.txt"] {
+            let err = run(&argv(&cmd.replace("{}", &typo.display().to_string()))).unwrap_err();
+            assert!(err.contains("not a live collection"), "{err}");
+        }
+        assert!(!typo.exists(), "no directory was created");
     }
 
     #[test]

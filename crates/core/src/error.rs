@@ -65,7 +65,7 @@ impl From<ModelError> for Error {
 }
 
 /// Validates a pattern alone (top-k queries have no threshold).
-pub(crate) fn validate_pattern(pattern: &[u8]) -> Result<(), Error> {
+pub fn validate_pattern(pattern: &[u8]) -> Result<(), Error> {
     if pattern.is_empty() {
         return Err(Error::EmptyPattern);
     }
@@ -76,7 +76,7 @@ pub(crate) fn validate_pattern(pattern: &[u8]) -> Result<(), Error> {
 }
 
 /// Validates a query `(pattern, tau)` pair against `tau_min`.
-pub(crate) fn validate_query(pattern: &[u8], tau: f64, tau_min: f64) -> Result<(), Error> {
+pub fn validate_query(pattern: &[u8], tau: f64, tau_min: f64) -> Result<(), Error> {
     validate_pattern(pattern)?;
     if !(tau > 0.0 && tau <= 1.0) {
         return Err(Error::InvalidThreshold { value: tau });

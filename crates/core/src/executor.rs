@@ -1,0 +1,65 @@
+//! Execution-strategy-independent per-document querying.
+//!
+//! A query over one uncertain document can be answered by very different
+//! machinery: the paper's built [`Index`] (suffix tree + RMQ levels), or a
+//! direct scan of the source string (as `ustr-baseline`'s `ScanIndex` does
+//! for documents that have not been indexed yet — e.g. a live memtable).
+//! [`QueryExecutor`] is the contract that makes those interchangeable: any
+//! two executors over the same document with the same `τmin` must return
+//! **bit-identical** answers for every method.
+//!
+//! That contract is only satisfiable because answers are *canonical*:
+//!
+//! * probabilities are always recomputed from the source model
+//!   (`UncertainString::match_probability`), never read off an execution
+//!   structure's internal arithmetic;
+//! * top-k uses the total `(probability ↓, position ↑)` order, so ties at
+//!   the cut are never left to implementation arbitration;
+//! * the top-k candidate set is exactly the threshold answer at `τmin`.
+
+use crate::{error::Error, index::Index};
+
+/// The canonical total order for per-document hits: probability
+/// descending, then position ascending. Every [`QueryExecutor`]'s top-k
+/// ranks with exactly this comparator — it is what makes ties at the cut
+/// implementation-independent.
+pub fn canonical_hit_order(a: &(usize, f64), b: &(usize, f64)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.0.cmp(&b.0))
+}
+
+/// A per-document query engine for one uncertain string, fixed at a
+/// construction threshold `τmin`.
+///
+/// **Interchangeability contract:** any two executors over the same
+/// document with the same `τmin` must return bit-identical answers for
+/// every method — probabilities are canonical (recomputed from the source
+/// model), top-k uses the total `(probability ↓, position ↑)` order, and
+/// the top-k candidate set is exactly the threshold answer at `τmin`.
+pub trait QueryExecutor: Send + Sync {
+    /// The smallest τ this executor accepts.
+    fn tau_min(&self) -> f64;
+
+    /// All `(position, probability)` occurrences of `pattern` with
+    /// probability ≥ `tau`, sorted by position. Requires `tau ≥ tau_min`.
+    fn threshold_hits(&self, pattern: &[u8], tau: f64) -> Result<Vec<(usize, f64)>, Error>;
+
+    /// The `k` most probable occurrences with probability ≥ `tau_min`, in
+    /// `(probability ↓, position ↑)` order.
+    fn top_k_hits(&self, pattern: &[u8], k: usize) -> Result<Vec<(usize, f64)>, Error>;
+}
+
+impl QueryExecutor for Index {
+    fn tau_min(&self) -> f64 {
+        Index::tau_min(self)
+    }
+
+    fn threshold_hits(&self, pattern: &[u8], tau: f64) -> Result<Vec<(usize, f64)>, Error> {
+        Ok(self.query(pattern, tau)?.into_hits())
+    }
+
+    fn top_k_hits(&self, pattern: &[u8], k: usize) -> Result<Vec<(usize, f64)>, Error> {
+        self.query_top_k(pattern, k)
+    }
+}

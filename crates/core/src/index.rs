@@ -216,18 +216,21 @@ impl Index {
         // Short path with dedup: each reported slot is a distinct source
         // position (the suffix range is one locus partition). Long path and
         // dedup-disabled builds may repeat sources — aggregate.
+        //
+        // Reported probabilities are *canonical*: always recomputed from the
+        // source model via `match_probability`, never read off the stored
+        // prefix sums. The two agree to float noise, but the canonical value
+        // is independent of the transform's factor layout — so an index, a
+        // snapshot-loaded index, and a `QueryExecutor` that scans the source
+        // directly all report bit-identical probabilities. (Under
+        // correlation the stored values are only upper bounds, making the
+        // recomputation mandatory rather than merely canonical.)
         let mut hits: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
-        for (slot, stored) in candidates {
+        for (slot, _stored) in candidates {
             let Some(src) = self.source_pos_of_slot(slot) else {
                 continue;
             };
-            let exact = if has_corr {
-                // Stored factor probabilities are upper bounds under
-                // correlation; re-verify against the source string.
-                self.source.match_probability(pattern, src)
-            } else {
-                stored.exp()
-            };
+            let exact = self.source.match_probability(pattern, src);
             if exact >= tau - ustr_uncertain::PROB_EPS {
                 hits.push((src, exact));
             }
@@ -239,37 +242,75 @@ impl Index {
         Ok(QueryResult::from_hits(hits))
     }
 
-    /// The `k` most probable occurrences of `pattern`, ranked by
-    /// occurrence probability (descending), among occurrences visible at
-    /// the construction threshold (every occurrence with probability ≥
-    /// `tau_min` is a candidate). Best-first search over the RMQ levels —
-    /// no threshold needed.
+    /// The `k` most probable occurrences of `pattern` with probability
+    /// ≥ `tau_min`, ranked by occurrence probability (descending) with an
+    /// ascending-position tie-break. Best-first search over the RMQ levels.
     ///
-    /// Under correlations the ranking key is the stored upper bound; the
-    /// returned probabilities are exact.
+    /// The candidate set (exactly the occurrences a threshold query at
+    /// `tau_min` would report) and the total `(probability ↓, position ↑)`
+    /// order make the answer *canonical*: independent of heap arbitration
+    /// among ties and identical for any [`crate::QueryExecutor`] over the
+    /// same document. Probabilities are recomputed from the source model
+    /// (see [`Index::query`]).
     pub fn query_top_k(&self, pattern: &[u8], k: usize) -> Result<Vec<(usize, f64)>, Error> {
         crate::error::validate_pattern(pattern)?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
         let Some((l, r)) = self.tree.suffix_range(pattern) else {
             return Ok(Vec::new());
         };
+        if !self.source.correlations().is_empty() {
+            // Stored values are only *upper bounds* under correlation —
+            // arbitrarily far from the canonical probabilities, so neither
+            // the best-first cut nor the tie-closure test below is sound.
+            // Rank the full τmin threshold answer (already canonical and
+            // exactly the documented candidate set) instead.
+            let mut out = self.query(pattern, self.tau_min)?.into_hits();
+            out.sort_by(crate::canonical_hit_order);
+            out.truncate(k);
+            return Ok(out);
+        }
         let m = pattern.len();
-        let has_corr = !self.source.correlations().is_empty();
-        let hits =
-            crate::topk::top_k_for_range(&self.tree, &self.cum, &self.levels, m, l, r, k, |slot| {
-                self.source_pos_of_slot(slot)
-            });
-        let mut out: Vec<(usize, f64)> = hits
+        let floor = self.tau_min.ln() - ustr_uncertain::PROB_EPS;
+        // Fetch k candidates, then widen until the boundary value drops
+        // strictly below the k-th value (the tie class at the cut is closed)
+        // or the candidates run out — so the cut is decided by the canonical
+        // order below, not by heap arbitration among equal stored values.
+        let mut want = k;
+        let mut ranked;
+        loop {
+            ranked = crate::topk::top_k_for_range(
+                &self.tree,
+                &self.cum,
+                &self.levels,
+                m,
+                l,
+                r,
+                want,
+                floor,
+                |slot| self.source_pos_of_slot(slot),
+            );
+            if ranked.len() < want {
+                break;
+            }
+            if ranked[want - 1].1 < ranked[k - 1].1 - ustr_uncertain::PROB_EPS {
+                break;
+            }
+            match want.checked_mul(2) {
+                Some(w) => want = w,
+                None => break,
+            }
+        }
+        let mut out: Vec<(usize, f64)> = ranked
             .into_iter()
-            .map(|(src, v)| {
-                let p = if has_corr {
-                    self.source.match_probability(pattern, src)
-                } else {
-                    v.exp()
-                };
-                (src, p)
-            })
+            .map(|(src, _)| (src, self.source.match_probability(pattern, src)))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Mirror the threshold query's final canonical filter at τmin, so
+        // the candidate set is exactly the τmin threshold answer.
+        out.retain(|&(_, p)| p >= self.tau_min - ustr_uncertain::PROB_EPS);
+        out.sort_by(crate::canonical_hit_order);
+        out.truncate(k);
         Ok(out)
     }
 

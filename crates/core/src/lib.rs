@@ -33,6 +33,7 @@
 mod approx;
 mod carray;
 mod error;
+mod executor;
 mod index;
 mod levels;
 mod listing;
@@ -45,7 +46,8 @@ mod topk;
 
 pub use approx::ApproxIndex;
 pub use carray::CumulativeLogProb;
-pub use error::Error;
+pub use error::{validate_pattern, validate_query, Error};
+pub use executor::{canonical_hit_order, QueryExecutor};
 pub use index::Index;
 pub use levels::{DedupStrategy, Levels, LevelsParts, LongLevelParts, ShortLevelParts};
 pub use listing::{ListingHit, ListingIndex, RelMetric};

@@ -311,15 +311,14 @@ impl ListingIndex {
                 .report_long(m, l, r, log_tau, &self.tree, &self.cum)
         };
         let mut best: HashMap<usize, f64> = HashMap::new();
-        for (slot, stored) in candidates {
+        for (slot, _stored) in candidates {
             let Some((doc, src)) = self.doc_and_src(slot) else {
                 continue;
             };
-            let exact = if self.has_correlations {
-                self.docs[doc].match_probability(pattern, src)
-            } else {
-                stored.exp()
-            };
+            // Canonical probability (see `Index::query`): recomputed from
+            // the document model, so `Rel_max` values agree bit-for-bit with
+            // any per-document executor folding its own threshold hits.
+            let exact = self.docs[doc].match_probability(pattern, src);
             if exact >= tau - ustr_uncertain::PROB_EPS {
                 let e = best.entry(doc).or_insert(0.0);
                 if exact > *e {
@@ -358,11 +357,7 @@ impl ListingIndex {
             if stored == f64::NEG_INFINITY {
                 continue;
             }
-            let exact = if self.has_correlations {
-                self.docs[doc].match_probability(pattern, src)
-            } else {
-                stored.exp()
-            };
+            let exact = self.docs[doc].match_probability(pattern, src);
             if exact > 0.0 {
                 occs.insert((doc, src), exact);
             }
@@ -405,10 +400,17 @@ impl ListingIndex {
             return Ok(Vec::new());
         };
         let m = pattern.len();
-        let hits =
-            crate::topk::top_k_for_range(&self.tree, &self.cum, &self.levels, m, l, r, k, |slot| {
-                self.doc_and_src(slot).map(|(doc, _)| doc)
-            });
+        let hits = crate::topk::top_k_for_range(
+            &self.tree,
+            &self.cum,
+            &self.levels,
+            m,
+            l,
+            r,
+            k,
+            f64::MIN,
+            |slot| self.doc_and_src(slot).map(|(doc, _)| doc),
+        );
         let mut out: Vec<ListingHit> = hits
             .into_iter()
             .map(|(doc, v)| {

@@ -19,6 +19,12 @@ impl QueryResult {
         &self.hits
     }
 
+    /// Consumes the result, returning the sorted `(position, probability)`
+    /// pairs without copying.
+    pub fn into_hits(self) -> Vec<(usize, f64)> {
+        self.hits
+    }
+
     /// The occurrence positions, sorted ascending.
     pub fn positions(&self) -> Vec<usize> {
         self.hits.iter().map(|&(p, _)| p).collect()

@@ -194,10 +194,17 @@ impl SpecialIndex {
             return Ok(Vec::new());
         };
         let m = pattern.len();
-        let hits =
-            crate::topk::top_k_for_range(&self.tree, &self.cum, &self.levels, m, l, r, k, |slot| {
-                Some(self.tree.sa(slot))
-            });
+        let hits = crate::topk::top_k_for_range(
+            &self.tree,
+            &self.cum,
+            &self.levels,
+            m,
+            l,
+            r,
+            k,
+            f64::MIN,
+            |slot| Some(self.tree.sa(slot)),
+        );
         let mut out: Vec<(usize, f64)> = hits
             .into_iter()
             .map(|(pos, v)| {

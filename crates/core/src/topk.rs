@@ -131,6 +131,8 @@ pub(crate) fn top_k_search(
 
 /// Shared driver used by the index types: top-k over the suffix range of a
 /// pattern at window length `m`, through a level RMQ accessor pair.
+/// `floor` is a log-probability cut-off: candidates whose (exact) window
+/// value falls below it are never emitted (`f64::MIN` disables the cut).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn top_k_for_range(
     tree: &SuffixTree,
@@ -140,9 +142,9 @@ pub(crate) fn top_k_for_range(
     l: usize,
     r: usize,
     k: usize,
+    floor: f64,
     source: impl Fn(usize) -> Option<usize>,
 ) -> Vec<(usize, f64)> {
-    let floor = f64::MIN; // no threshold: ranked purely by probability
     if m <= levels.max_short() {
         let (query, value) = levels.short_accessors(m, tree, cum);
         top_k_search(
@@ -163,7 +165,7 @@ pub(crate) fn top_k_for_range(
             let mut all: Vec<(usize, f64)> = (l..=r)
                 .filter_map(|j| {
                     let v = cum.window(tree.sa(j), m);
-                    if v == f64::NEG_INFINITY {
+                    if v == f64::NEG_INFINITY || v < floor {
                         return None;
                     }
                     source(j).map(|s| (s, v))

@@ -1,0 +1,1578 @@
+//! Mutable uncertain-document collections served live.
+//!
+//! The paper's motivating data — ECG annotations, RFID event streams,
+//! sequencing reads — is produced *continuously*, yet the static serving
+//! stack (`ustr-service`) is frozen at build time. This crate layers a
+//! mutable collection on the existing machinery:
+//!
+//! ```text
+//!            insert/delete
+//!                 │
+//!                 ▼
+//!        ┌─── WAL (fsync) ───┐          durability: every acknowledged
+//!        │   wal.log         │          write survives a crash
+//!        └────────┬──────────┘
+//!                 ▼
+//!        ┌─── memtable ──────┐          recent documents, served by the
+//!        │  ScanIndex (exact │          `ustr-baseline` scanner — answers
+//!        │  scans, O(1) add) │          bit-identical to a built index
+//!        └────────┬──────────┘
+//!                 │ seal (background thread, off the query path)
+//!                 ▼
+//!        ┌─── sealed segments┐          real `Index`/`ApproxIndex` per
+//!        │ segment_<id>.coll │          document, built with the existing
+//!        └────────┬──────────┘          constructors, persisted as `.coll`
+//!                 │ compact (background)
+//!                 ▼
+//!        ┌─── one big segment┐          tombstoned documents dropped,
+//!        │   + MANIFEST      │          small segments merged
+//!        └───────────────────┘
+//! ```
+//!
+//! Queries fan out over *sealed segments + sealing batches + memtable*
+//! through the same typed [`QueryRequest`] dispatcher
+//! ([`ustr_service::Engine`]) the static service uses, and merge
+//! deterministically in ascending document order. Deletes are tombstones,
+//! filtered when the per-batch segment snapshot is taken and physically
+//! dropped at compaction. The per-mode LRU result cache is invalidated on
+//! every mutation (cached answers describe a collection that no longer
+//! exists).
+//!
+//! Because the memtable's scan executor and a built index satisfy the
+//! [`ustr_core::QueryExecutor`] interchangeability contract, a
+//! [`LiveService`] answers **byte-identically** to a static
+//! [`ustr_service::QueryService`] rebuilt from scratch over the same live
+//! documents — before, during, and after any seal or compaction.
+//!
+//! ```
+//! use ustr_live::{LiveConfig, LiveService};
+//! use ustr_uncertain::UncertainString;
+//!
+//! let dir = std::env::temp_dir().join("ustr_live_doc_example");
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let live = LiveService::open(&dir, LiveConfig::default()).unwrap();
+//! let id = live.insert(UncertainString::parse("A:.9,B:.1 | B | C").unwrap()).unwrap();
+//! let hits = live.query(b"AB", 0.5).unwrap();
+//! assert_eq!((hits[0].doc as u64, hits[0].hits[0].0), (id, 0));
+//! live.delete(id).unwrap();
+//! assert!(live.query(b"AB", 0.5).unwrap().is_empty());
+//! drop(live);
+//! let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ustr_baseline::ScanIndex;
+use ustr_core::{ApproxIndex, Error, Index};
+use ustr_service::{
+    DocExecutor, DocHits, Engine, ListingHit, QueryRequest, QueryResponse, Segment, SegmentSet,
+    TopHit,
+};
+use ustr_store::{
+    collection, wal, CollectionSection, Snapshot, SnapshotKind, StoreError, WalOp, WalRecord,
+    WalWriter,
+};
+use ustr_uncertain::UncertainString;
+
+/// File name of the write-ahead log inside a live directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// File name of the manifest inside a live directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// File name of the advisory lock inside a live directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// Tuning knobs for a [`LiveService`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Worker threads in the query pool (0 = one per available core).
+    pub threads: usize,
+    /// LRU result-cache capacity in request entries (0 disables caching;
+    /// the cache is invalidated on every mutation either way).
+    pub cache_capacity: usize,
+    /// Construction threshold `τmin ∈ (0, 1]` for every document. Fixed at
+    /// directory creation; reopening adopts the recorded value.
+    pub tau_min: f64,
+    /// When set, sealing additionally builds one ε-approximate index per
+    /// document, making `Approx` requests ε-approximate for sealed
+    /// documents (memtable documents always answer exactly, which
+    /// trivially satisfies the sandwich). Fixed at directory creation.
+    pub epsilon: Option<f64>,
+    /// Memtable document count that triggers a background seal
+    /// (0 = only seal on explicit [`LiveService::seal`]).
+    pub seal_threshold: usize,
+    /// Sealed-segment count that triggers background compaction
+    /// (0 = only compact on explicit [`LiveService::compact`]).
+    pub compact_min_segments: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            cache_capacity: 1024,
+            tau_min: 0.05,
+            epsilon: None,
+            seal_threshold: 64,
+            compact_min_segments: 4,
+        }
+    }
+}
+
+/// Everything that can go wrong operating a live collection.
+#[derive(Debug)]
+pub enum LiveError {
+    /// Index construction or query validation failed.
+    Index(Error),
+    /// The WAL, manifest, or a segment snapshot failed.
+    Store(StoreError),
+    /// Filesystem error outside the store layer.
+    Io(std::io::Error),
+    /// The configuration is invalid (e.g. `tau_min` outside `(0, 1]`).
+    Config(String),
+    /// A delete named a document id that is not live.
+    UnknownDocument {
+        /// The id that was not found.
+        id: u64,
+    },
+    /// Another process holds the live directory open (advisory `LOCK`
+    /// file): concurrent writers would interleave WAL appends and corrupt
+    /// the log.
+    DirectoryLocked {
+        /// The contended live directory.
+        dir: PathBuf,
+    },
+    /// A background seal or compaction failed earlier; the error is
+    /// surfaced (sticky) on the next mutation.
+    Background(String),
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::Index(e) => write!(f, "index error: {e}"),
+            LiveError::Store(e) => write!(f, "store error: {e}"),
+            LiveError::Io(e) => write!(f, "I/O error: {e}"),
+            LiveError::Config(detail) => write!(f, "invalid live config: {detail}"),
+            LiveError::UnknownDocument { id } => {
+                write!(f, "document {id} is not live (never inserted or deleted)")
+            }
+            LiveError::DirectoryLocked { dir } => {
+                write!(
+                    f,
+                    "live directory {} is in use by another process",
+                    dir.display()
+                )
+            }
+            LiveError::Background(detail) => {
+                write!(f, "background maintenance failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl From<Error> for LiveError {
+    fn from(e: Error) -> Self {
+        LiveError::Index(e)
+    }
+}
+
+impl From<StoreError> for LiveError {
+    fn from(e: StoreError) -> Self {
+        LiveError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for LiveError {
+    fn from(e: std::io::Error) -> Self {
+        LiveError::Io(e)
+    }
+}
+
+/// One sealed segment: built per-document indexes plus the manifest
+/// metadata tying local positions to stable document ids.
+struct SealedSegment {
+    meta: wal::SegmentMeta,
+    /// `(stable_id, executor)` pairs in ascending stable-id order.
+    docs: Vec<(u64, Arc<DocExecutor>)>,
+}
+
+/// A memtable batch handed to the background sealer. Still query-visible
+/// (between the sealed segments and the current memtable) until the
+/// segment install replaces it.
+struct SealingBatch {
+    batch_id: u64,
+    docs: Vec<(u64, Arc<DocExecutor>)>,
+    max_seq: u64,
+}
+
+/// Mutable state behind the service lock. The lock is held only for
+/// snapshots, WAL appends, and installs — never while an index builds.
+struct LiveState {
+    wal: WalWriter,
+    memtable: Vec<(u64, Arc<DocExecutor>)>,
+    sealing: Vec<SealingBatch>,
+    segments: Vec<Arc<SealedSegment>>,
+    tombstones: BTreeSet<u64>,
+    next_doc_id: u64,
+    next_seq: u64,
+    next_segment_id: u64,
+    next_batch_id: u64,
+    applied_seq: u64,
+}
+
+enum Job {
+    Seal { batch_id: u64 },
+    Compact,
+    Shutdown,
+}
+
+/// Shared core between the front handle and the background worker.
+struct Inner {
+    dir: PathBuf,
+    tau_min: f64,
+    epsilon: Option<f64>,
+    compact_min_segments: usize,
+    state: Mutex<LiveState>,
+    engine: Engine,
+    /// Bumped on every mutation **under the state lock**; query snapshots
+    /// carry it as their cache epoch, so responses computed against a
+    /// superseded state can never serve a later lookup (see
+    /// [`SegmentSet::cache_epoch`]).
+    generation: AtomicU64,
+    /// Bumped (under the state lock) whenever the physical layout changes —
+    /// mutations *and* seal/compact installs — and used to key the memoized
+    /// view below. Installs do not bump `generation` because answers are
+    /// identical across them (cached responses stay valid).
+    structure_version: AtomicU64,
+    /// The last built view, reused until `structure_version` moves so a
+    /// read-heavy workload does not rebuild O(docs) segment vectors per
+    /// batch.
+    view_cache: Mutex<Option<(u64, LiveView)>>,
+    /// Held (flock) for the service's lifetime to keep a second process
+    /// from appending to the same WAL.
+    _dir_lock: File,
+    /// Outstanding background jobs, for [`LiveService::wait_idle`].
+    pending_jobs: Mutex<usize>,
+    idle: Condvar,
+    background_error: Mutex<Option<String>>,
+}
+
+/// A point-in-time view of the live collection, in ascending document
+/// order: sealed segments, then sealing batches, then the memtable —
+/// tombstoned documents already filtered out. This is the live side of the
+/// [`SegmentSet`] abstraction the shared dispatcher runs over.
+#[derive(Clone)]
+struct LiveView {
+    segments: Vec<Arc<Segment>>,
+    tau_min: f64,
+    epoch: u64,
+}
+
+impl SegmentSet for LiveView {
+    fn segments(&self) -> Vec<Arc<Segment>> {
+        self.segments.clone()
+    }
+
+    fn tau_min(&self) -> f64 {
+        self.tau_min
+    }
+
+    fn cache_epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Inner {
+    /// Builds (or reuses) the query snapshot. The epoch and structure
+    /// version are read under the state lock, so a view can never pair one
+    /// collection state with another state's cache epoch.
+    fn view(&self) -> LiveView {
+        let st = self.state.lock().expect("live state poisoned");
+        let epoch = self.generation.load(Ordering::Acquire);
+        let structure = self.structure_version.load(Ordering::Acquire);
+        {
+            let cache = self.view_cache.lock().expect("view cache poisoned");
+            if let Some((cached_structure, view)) = cache.as_ref() {
+                if *cached_structure == structure {
+                    return view.clone();
+                }
+            }
+        }
+        let mut segments = Vec::with_capacity(st.segments.len() + st.sealing.len() + 1);
+        let alive = |id: &u64| !st.tombstones.contains(id);
+        for seg in &st.segments {
+            let docs: Vec<(usize, Arc<DocExecutor>)> = seg
+                .docs
+                .iter()
+                .filter(|(id, _)| alive(id))
+                .map(|(id, d)| (*id as usize, Arc::clone(d)))
+                .collect();
+            segments.push(Arc::new(Segment { docs }));
+        }
+        for batch in &st.sealing {
+            let docs: Vec<(usize, Arc<DocExecutor>)> = batch
+                .docs
+                .iter()
+                .filter(|(id, _)| alive(id))
+                .map(|(id, d)| (*id as usize, Arc::clone(d)))
+                .collect();
+            segments.push(Arc::new(Segment { docs }));
+        }
+        let docs: Vec<(usize, Arc<DocExecutor>)> = st
+            .memtable
+            .iter()
+            .filter(|(id, _)| alive(id))
+            .map(|(id, d)| (*id as usize, Arc::clone(d)))
+            .collect();
+        segments.push(Arc::new(Segment { docs }));
+        let view = LiveView {
+            segments,
+            tau_min: self.tau_min,
+            epoch,
+        };
+        *self.view_cache.lock().expect("view cache poisoned") = Some((structure, view.clone()));
+        view
+    }
+
+    /// Drops tombstones for ids that exist nowhere (purged by compaction,
+    /// or whose delete record outlived the document). A tombstone only
+    /// carries information while the document is still physically present
+    /// somewhere; keeping the rest would grow the manifest forever.
+    fn prune_dead_tombstones(st: &mut LiveState) {
+        let mut present: BTreeSet<u64> = BTreeSet::new();
+        for seg in &st.segments {
+            present.extend(seg.meta.docs.iter().copied());
+        }
+        for batch in &st.sealing {
+            present.extend(batch.docs.iter().map(|(id, _)| *id));
+        }
+        present.extend(st.memtable.iter().map(|(id, _)| *id));
+        st.tombstones.retain(|id| present.contains(id));
+    }
+
+    fn record_background_error(&self, detail: String) {
+        let mut slot = self
+            .background_error
+            .lock()
+            .expect("background error poisoned");
+        slot.get_or_insert(detail);
+    }
+
+    fn job_started(&self) {
+        *self.pending_jobs.lock().expect("pending jobs poisoned") += 1;
+    }
+
+    fn job_finished(&self) {
+        let mut pending = self.pending_jobs.lock().expect("pending jobs poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Persists the manifest reflecting the current (locked) state.
+    fn write_manifest(&self, st: &LiveState) -> Result<(), StoreError> {
+        let manifest = wal::LiveManifest {
+            applied_seq: st.applied_seq,
+            next_doc_id: st.next_doc_id,
+            next_segment_id: st.next_segment_id,
+            tau_min: self.tau_min,
+            epsilon: self.epsilon,
+            tombstones: st.tombstones.iter().copied().collect(),
+            segments: st.segments.iter().map(|s| s.meta.clone()).collect(),
+        };
+        wal::save_manifest(self.dir.join(MANIFEST_FILE), &manifest)
+    }
+
+    /// Rewrites the WAL keeping only records newer than `applied_seq`
+    /// (everything older is reflected in the manifest + segments), then
+    /// reopens the writer on the new file. One fsync for the whole file
+    /// (plus the rename's directory fsync), not one per record — this
+    /// runs under the state lock.
+    fn rewrite_wal(&self, st: &mut LiveState) -> Result<(), StoreError> {
+        let path = self.dir.join(WAL_FILE);
+        let replay = wal::read_wal(&path)?;
+        let keep: Vec<wal::WalRecord> = replay
+            .records
+            .into_iter()
+            .filter(|r| r.seq > st.applied_seq)
+            .collect();
+        wal::replace_wal_file(&path, &keep)?;
+        st.wal = WalWriter::open_append(&path)?;
+        Ok(())
+    }
+
+    /// Background seal: build real indexes for one memtable batch, persist
+    /// them as a `.coll` segment, and install. Only the install step takes
+    /// the state lock — queries keep running against the scan-served batch
+    /// while the indexes build.
+    fn run_seal(&self, batch_id: u64) -> Result<(), LiveError> {
+        // Snapshot the batch (and the tombstones as of now) without
+        // holding the lock during the build. Documents already tombstoned
+        // are skipped outright: building and persisting an index for a
+        // deleted document is pure waste. A delete that lands *after* this
+        // snapshot still seals and is filtered at query time until the
+        // next compaction.
+        let (docs, max_seq) = {
+            let st = self.state.lock().expect("live state poisoned");
+            let Some(batch) = st.sealing.iter().find(|b| b.batch_id == batch_id) else {
+                return Ok(()); // already handled (e.g. duplicate schedule)
+            };
+            let docs: Vec<(u64, Arc<DocExecutor>)> = batch
+                .docs
+                .iter()
+                .filter(|(id, _)| !st.tombstones.contains(id))
+                .cloned()
+                .collect();
+            (docs, batch.max_seq)
+        };
+        if docs.is_empty() {
+            // Nothing (left) to seal: the batch's records are still fully
+            // accounted for — every doc is tombstoned — so install the
+            // empty result directly.
+            let mut st = self.state.lock().expect("live state poisoned");
+            st.sealing.retain(|b| b.batch_id != batch_id);
+            st.applied_seq = st.applied_seq.max(max_seq);
+            self.structure_version.fetch_add(1, Ordering::AcqRel);
+            Inner::prune_dead_tombstones(&mut st);
+            self.write_manifest(&st)?;
+            self.rewrite_wal(&mut st)?;
+            return Ok(());
+        }
+        let mut built: Vec<(u64, Arc<DocExecutor>)> = Vec::with_capacity(docs.len());
+        let mut sections = Vec::new();
+        for (local, (id, exec)) in docs.iter().enumerate() {
+            let source = match exec.as_ref() {
+                DocExecutor::Scanned(scan) => scan.source().clone(),
+                DocExecutor::Built { index, .. } => index.source().clone(),
+            };
+            let index = Index::build(&source, self.tau_min)?;
+            let approx = self
+                .epsilon
+                .map(|eps| ApproxIndex::build(&source, self.tau_min, eps))
+                .transpose()?;
+            let mut bytes = Vec::new();
+            index.write_snapshot(&mut bytes)?;
+            sections.push(CollectionSection {
+                doc: local,
+                kind: SnapshotKind::Index,
+                bytes,
+            });
+            if let Some(approx) = &approx {
+                let mut bytes = Vec::new();
+                approx.write_snapshot(&mut bytes)?;
+                sections.push(CollectionSection {
+                    doc: local,
+                    kind: SnapshotKind::Approx,
+                    bytes,
+                });
+            }
+            built.push((*id, Arc::new(DocExecutor::Built { index, approx })));
+        }
+        let (segment_id, file) = {
+            let mut st = self.state.lock().expect("live state poisoned");
+            let id = st.next_segment_id;
+            st.next_segment_id += 1;
+            (id, format!("segment_{id:08}.coll"))
+        };
+        // The segment must be durable — file *and* directory entry —
+        // before the manifest names it and the WAL drops its records.
+        let segment_path = self.dir.join(&file);
+        collection::save_collection_file(&segment_path, docs.len(), 1, &sections)?;
+        wal::fsync_parent_dir(&segment_path)?;
+        let meta = wal::SegmentMeta {
+            id: segment_id,
+            file,
+            docs: docs.iter().map(|(id, _)| *id).collect(),
+        };
+        // Install: swap the sealing batch for the sealed segment, advance
+        // applied_seq, persist the manifest, shrink the WAL.
+        let mut st = self.state.lock().expect("live state poisoned");
+        st.segments
+            .push(Arc::new(SealedSegment { meta, docs: built }));
+        st.sealing.retain(|b| b.batch_id != batch_id);
+        st.applied_seq = st.applied_seq.max(max_seq);
+        self.structure_version.fetch_add(1, Ordering::AcqRel);
+        Inner::prune_dead_tombstones(&mut st);
+        self.write_manifest(&st)?;
+        self.rewrite_wal(&mut st)?;
+        Ok(())
+    }
+
+    /// Background compaction: merge every sealed segment into one, dropping
+    /// tombstoned documents for good. Reuses the already-built executors —
+    /// per-document indexes are independent, so merging is a rewrite, not a
+    /// rebuild.
+    fn run_compact(&self) -> Result<(), LiveError> {
+        let (captured, tombstones) = {
+            let st = self.state.lock().expect("live state poisoned");
+            (st.segments.clone(), st.tombstones.clone())
+        };
+        let has_garbage = captured
+            .iter()
+            .any(|s| s.meta.docs.iter().any(|id| tombstones.contains(id)));
+        if captured.len() <= 1 && !has_garbage {
+            return Ok(());
+        }
+        let mut kept: Vec<(u64, Arc<DocExecutor>)> = Vec::new();
+        for seg in &captured {
+            for (id, d) in &seg.docs {
+                if !tombstones.contains(id) {
+                    kept.push((*id, Arc::clone(d)));
+                }
+            }
+        }
+        let mut sections = Vec::new();
+        for (local, (_, d)) in kept.iter().enumerate() {
+            let DocExecutor::Built { index, approx } = d.as_ref() else {
+                unreachable!("sealed segments hold built executors");
+            };
+            let mut bytes = Vec::new();
+            index.write_snapshot(&mut bytes)?;
+            sections.push(CollectionSection {
+                doc: local,
+                kind: SnapshotKind::Index,
+                bytes,
+            });
+            if let Some(approx) = approx {
+                let mut bytes = Vec::new();
+                approx.write_snapshot(&mut bytes)?;
+                sections.push(CollectionSection {
+                    doc: local,
+                    kind: SnapshotKind::Approx,
+                    bytes,
+                });
+            }
+        }
+        let (segment_id, file) = {
+            let mut st = self.state.lock().expect("live state poisoned");
+            let id = st.next_segment_id;
+            st.next_segment_id += 1;
+            (id, format!("segment_{id:08}.coll"))
+        };
+        // Durable before the manifest points at it and the old segment
+        // files (the only other copy) are deleted.
+        let segment_path = self.dir.join(&file);
+        collection::save_collection_file(&segment_path, kept.len(), 1, &sections)?;
+        wal::fsync_parent_dir(&segment_path)?;
+        let meta = wal::SegmentMeta {
+            id: segment_id,
+            file,
+            docs: kept.iter().map(|(id, _)| *id).collect(),
+        };
+        let old_files: Vec<String> = {
+            let mut st = self.state.lock().expect("live state poisoned");
+            // The background worker is the only segment mutator and runs
+            // jobs serially, so the captured segments are exactly the
+            // current prefix of the list.
+            debug_assert!(st.segments.len() >= captured.len());
+            let old_files = captured.iter().map(|s| s.meta.file.clone()).collect();
+            let tail = st.segments.split_off(captured.len());
+            st.segments = vec![Arc::new(SealedSegment { meta, docs: kept })];
+            st.segments.extend(tail);
+            // Tombstoned documents are gone from the merged segment; drop
+            // every tombstone whose document no longer exists anywhere
+            // (including strays a replayed delete record resurrected after
+            // an earlier compaction already removed the document).
+            self.structure_version.fetch_add(1, Ordering::AcqRel);
+            Inner::prune_dead_tombstones(&mut st);
+            self.write_manifest(&st)?;
+            old_files
+        };
+        for file in old_files {
+            let _ = std::fs::remove_file(self.dir.join(file));
+        }
+        Ok(())
+    }
+}
+
+/// A mutable uncertain-document collection: durable writes, immediately
+/// queryable documents, and background index maintenance. See the
+/// [module docs](self) for the architecture.
+pub struct LiveService {
+    inner: Arc<Inner>,
+    jobs: Sender<Job>,
+    seal_threshold: usize,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl LiveService {
+    /// Opens (or creates) the live collection in `dir`. An existing
+    /// directory recovers its durable state: the manifest names the sealed
+    /// segments (loaded from their `.coll` files), and the WAL tail
+    /// replays into the memtable — a torn final record (interrupted crash
+    /// write) is discarded, every committed write is recovered. On an
+    /// existing directory, `config.tau_min`/`config.epsilon` are ignored
+    /// in favor of the recorded values.
+    pub fn open(dir: impl AsRef<Path>, config: LiveConfig) -> Result<Self, LiveError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        // One writer per directory: two processes appending to the same
+        // WAL would interleave records with duplicate sequence numbers.
+        let dir_lock = File::create(dir.join(LOCK_FILE))?;
+        if let Err(e) = dir_lock.try_lock() {
+            return Err(match e {
+                std::fs::TryLockError::WouldBlock => LiveError::DirectoryLocked { dir },
+                std::fs::TryLockError::Error(io) => io.into(),
+            });
+        }
+        let manifest = wal::load_manifest(dir.join(MANIFEST_FILE))?;
+        let (tau_min, epsilon) = match &manifest {
+            Some(m) => (m.tau_min, m.epsilon),
+            None => (config.tau_min, config.epsilon),
+        };
+        if !(tau_min > 0.0 && tau_min <= 1.0) {
+            return Err(LiveError::Config(format!(
+                "tau_min {tau_min} is outside (0, 1]"
+            )));
+        }
+        if let Some(eps) = epsilon {
+            if !(eps > 0.0 && eps < 1.0) {
+                return Err(LiveError::Config(format!(
+                    "epsilon {eps} is outside (0, 1)"
+                )));
+            }
+        }
+        let fresh_directory = manifest.is_none();
+        let manifest = manifest.unwrap_or(wal::LiveManifest {
+            tau_min,
+            epsilon,
+            ..Default::default()
+        });
+
+        // Load sealed segments from their collection snapshots.
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        for meta in &manifest.segments {
+            let coll = collection::load_collection_file(dir.join(&meta.file))?;
+            let corrupt = |detail: String| StoreError::Corrupt { detail };
+            if coll.num_docs != meta.docs.len() {
+                return Err(corrupt(format!(
+                    "segment {} holds {} documents, manifest says {}",
+                    meta.id,
+                    coll.num_docs,
+                    meta.docs.len()
+                ))
+                .into());
+            }
+            let mut index_bytes: Vec<Option<Vec<u8>>> = (0..coll.num_docs).map(|_| None).collect();
+            let mut approx_bytes: Vec<Option<Vec<u8>>> = (0..coll.num_docs).map(|_| None).collect();
+            for section in coll.sections {
+                let slot = match section.kind {
+                    SnapshotKind::Index => &mut index_bytes[section.doc],
+                    SnapshotKind::Approx => &mut approx_bytes[section.doc],
+                    other => {
+                        return Err(corrupt(format!(
+                            "segment {} document {} holds unsupported kind {}",
+                            meta.id, section.doc, other as u8
+                        ))
+                        .into())
+                    }
+                };
+                if slot.replace(section.bytes).is_some() {
+                    return Err(corrupt(format!(
+                        "segment {} document {} has duplicate sections",
+                        meta.id, section.doc
+                    ))
+                    .into());
+                }
+            }
+            let mut docs = Vec::with_capacity(coll.num_docs);
+            for (local, (ib, ab)) in index_bytes.into_iter().zip(approx_bytes).enumerate() {
+                let ib = ib.ok_or_else(|| {
+                    corrupt(format!(
+                        "segment {} document {local} has no substring-index section",
+                        meta.id
+                    ))
+                })?;
+                let index = Index::read_snapshot(&ib[..])?;
+                let approx = ab
+                    .map(|bytes| ApproxIndex::read_snapshot(&bytes[..]))
+                    .transpose()?;
+                docs.push((
+                    meta.docs[local],
+                    Arc::new(DocExecutor::Built { index, approx }),
+                ));
+            }
+            segments.push(Arc::new(SealedSegment {
+                meta: meta.clone(),
+                docs,
+            }));
+        }
+
+        // Replay the WAL tail (everything newer than the manifest) into
+        // the memtable and tombstone set.
+        let wal_path = dir.join(WAL_FILE);
+        let replay = ustr_store::read_wal(&wal_path)?;
+        let mut memtable: Vec<(u64, Arc<DocExecutor>)> = Vec::new();
+        let mut tombstones: BTreeSet<u64> = manifest.tombstones.iter().copied().collect();
+        let mut next_doc_id = manifest.next_doc_id;
+        let mut next_seq = manifest.applied_seq + 1;
+        for record in &replay.records {
+            next_seq = next_seq.max(record.seq + 1);
+            if record.seq <= manifest.applied_seq {
+                continue; // already reflected in the manifest's segments
+            }
+            match &record.op {
+                WalOp::Insert { doc, body } => {
+                    let scan = ScanIndex::new(body.clone(), tau_min)?;
+                    memtable.push((*doc, Arc::new(DocExecutor::Scanned(scan))));
+                    next_doc_id = next_doc_id.max(doc + 1);
+                }
+                WalOp::Delete { doc } => {
+                    tombstones.insert(*doc);
+                }
+                WalOp::Manifest(_) => {
+                    return Err(LiveError::Store(StoreError::Corrupt {
+                        detail: "manifest record inside the WAL".into(),
+                    }))
+                }
+            }
+        }
+        if !replay.clean {
+            // Drop the torn tail record before appending anything new.
+            wal::replace_wal_file(&wal_path, &replay.records)?;
+        }
+        let wal = WalWriter::open_append(&wal_path)?;
+
+        let mut state = LiveState {
+            wal,
+            memtable,
+            sealing: Vec::new(),
+            segments,
+            tombstones,
+            next_doc_id,
+            next_seq,
+            next_segment_id: manifest.next_segment_id,
+            next_batch_id: 0,
+            applied_seq: manifest.applied_seq,
+        };
+        Inner::prune_dead_tombstones(&mut state);
+        let state = state;
+        let threads = if config.threads > 0 {
+            config.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        let inner = Arc::new(Inner {
+            dir,
+            tau_min,
+            epsilon,
+            compact_min_segments: config.compact_min_segments,
+            state: Mutex::new(state),
+            engine: Engine::new(threads, config.cache_capacity),
+            generation: AtomicU64::new(0),
+            structure_version: AtomicU64::new(0),
+            view_cache: Mutex::new(None),
+            _dir_lock: dir_lock,
+            pending_jobs: Mutex::new(0),
+            idle: Condvar::new(),
+            background_error: Mutex::new(None),
+        });
+        if fresh_directory {
+            // Record tau_min/epsilon immediately: a never-sealed directory
+            // must not adopt whatever config the *next* opener passes.
+            let st = inner.state.lock().expect("live state poisoned");
+            inner.write_manifest(&st)?;
+        }
+
+        let (tx, rx) = channel::<Job>();
+        let worker_inner = Arc::clone(&inner);
+        let worker_tx = tx.clone();
+        let worker = std::thread::Builder::new()
+            .name("ustr-live-maintenance".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    // Once any maintenance step fails, stop maintaining: a
+                    // later seal would advance applied_seq past the failed
+                    // batch's records and truncate them out of the WAL,
+                    // losing acknowledged writes. The sticky error already
+                    // blocks new mutations; draining jobs keeps wait_idle
+                    // honest.
+                    let halted = worker_inner
+                        .background_error
+                        .lock()
+                        .expect("background error poisoned")
+                        .is_some();
+                    match job {
+                        Job::Shutdown => break,
+                        Job::Seal { .. } | Job::Compact if halted => {
+                            worker_inner.job_finished();
+                        }
+                        Job::Seal { batch_id } => {
+                            if let Err(e) = worker_inner.run_seal(batch_id) {
+                                worker_inner.record_background_error(format!("seal failed: {e}"));
+                            } else if worker_inner.compact_min_segments > 0 {
+                                let count = {
+                                    let st =
+                                        worker_inner.state.lock().expect("live state poisoned");
+                                    st.segments.len()
+                                };
+                                if count >= worker_inner.compact_min_segments {
+                                    worker_inner.job_started();
+                                    // The channel outlives the worker; a send
+                                    // failure only means shutdown won the race.
+                                    if worker_tx.send(Job::Compact).is_err() {
+                                        worker_inner.job_finished();
+                                    }
+                                }
+                            }
+                            worker_inner.job_finished();
+                        }
+                        Job::Compact => {
+                            if let Err(e) = worker_inner.run_compact() {
+                                worker_inner
+                                    .record_background_error(format!("compaction failed: {e}"));
+                            }
+                            worker_inner.job_finished();
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn live maintenance thread");
+
+        Ok(Self {
+            inner,
+            jobs: tx,
+            seal_threshold: config.seal_threshold,
+            worker: Some(worker),
+        })
+    }
+
+    /// Surfaces a sticky background failure, if any.
+    fn check_background(&self) -> Result<(), LiveError> {
+        let slot = self
+            .inner
+            .background_error
+            .lock()
+            .expect("background error poisoned");
+        match slot.as_ref() {
+            Some(detail) => Err(LiveError::Background(detail.clone())),
+            None => Ok(()),
+        }
+    }
+
+    fn enqueue(&self, job: Job) {
+        self.inner.job_started();
+        if self.jobs.send(job).is_err() {
+            self.inner.job_finished();
+        }
+    }
+
+    /// Inserts a document, returning its stable id. The write is in the
+    /// fsynced WAL before this returns, and the document is immediately
+    /// queryable (scan-served until a seal indexes it). May trigger a
+    /// background seal per [`LiveConfig::seal_threshold`].
+    pub fn insert(&self, body: UncertainString) -> Result<u64, LiveError> {
+        self.check_background()?;
+        let scan = ScanIndex::new(body.clone(), self.inner.tau_min)?;
+        let mut st = self.inner.state.lock().expect("live state poisoned");
+        let id = st.next_doc_id;
+        let seq = st.next_seq;
+        st.wal.append(&WalRecord {
+            seq,
+            op: WalOp::Insert { doc: id, body },
+        })?;
+        st.next_doc_id += 1;
+        st.next_seq += 1;
+        st.memtable.push((id, Arc::new(DocExecutor::Scanned(scan))));
+        let batch = if self.seal_threshold > 0 && st.memtable.len() >= self.seal_threshold {
+            Self::freeze_memtable(&mut st)
+        } else {
+            None
+        };
+        self.inner.generation.fetch_add(1, Ordering::AcqRel);
+        self.inner.structure_version.fetch_add(1, Ordering::AcqRel);
+        drop(st);
+        if let Some(batch_id) = batch {
+            self.enqueue(Job::Seal { batch_id });
+        }
+        self.inner.engine.invalidate_cache();
+        Ok(id)
+    }
+
+    /// Moves the current memtable into a sealing batch (still
+    /// query-visible); returns its id, or `None` for an empty memtable.
+    fn freeze_memtable(st: &mut LiveState) -> Option<u64> {
+        if st.memtable.is_empty() {
+            return None;
+        }
+        let batch_id = st.next_batch_id;
+        st.next_batch_id += 1;
+        let docs = std::mem::take(&mut st.memtable);
+        // Every WAL record so far is covered once this batch is sealed:
+        // inserts are in segments or this batch, deletes are tombstones
+        // snapshotted into the manifest at install time.
+        let max_seq = st.next_seq - 1;
+        st.sealing.push(SealingBatch {
+            batch_id,
+            docs,
+            max_seq,
+        });
+        Some(batch_id)
+    }
+
+    /// Tombstones a live document. The delete is durable (fsynced WAL)
+    /// and takes effect immediately; the document's storage is reclaimed
+    /// by the next compaction.
+    pub fn delete(&self, id: u64) -> Result<(), LiveError> {
+        self.check_background()?;
+        let mut st = self.inner.state.lock().expect("live state poisoned");
+        let exists = !st.tombstones.contains(&id)
+            && (st.memtable.iter().any(|(d, _)| *d == id)
+                || st
+                    .sealing
+                    .iter()
+                    .any(|b| b.docs.iter().any(|(d, _)| *d == id))
+                || st.segments.iter().any(|s| s.meta.docs.contains(&id)));
+        if !exists {
+            return Err(LiveError::UnknownDocument { id });
+        }
+        let seq = st.next_seq;
+        st.wal.append(&WalRecord {
+            seq,
+            op: WalOp::Delete { doc: id },
+        })?;
+        st.next_seq += 1;
+        st.tombstones.insert(id);
+        self.inner.generation.fetch_add(1, Ordering::AcqRel);
+        self.inner.structure_version.fetch_add(1, Ordering::AcqRel);
+        drop(st);
+        self.inner.engine.invalidate_cache();
+        Ok(())
+    }
+
+    /// Schedules a background seal of the current memtable (no-op when the
+    /// memtable is empty). Returns immediately; [`LiveService::wait_idle`]
+    /// blocks until the segment is installed.
+    pub fn seal(&self) -> Result<(), LiveError> {
+        self.check_background()?;
+        let mut st = self.inner.state.lock().expect("live state poisoned");
+        if let Some(batch_id) = Self::freeze_memtable(&mut st) {
+            self.inner.structure_version.fetch_add(1, Ordering::AcqRel);
+            drop(st);
+            self.enqueue(Job::Seal { batch_id });
+        }
+        Ok(())
+    }
+
+    /// Schedules a background compaction merging every sealed segment into
+    /// one and dropping tombstoned documents. Returns immediately.
+    pub fn compact(&self) -> Result<(), LiveError> {
+        self.check_background()?;
+        self.enqueue(Job::Compact);
+        Ok(())
+    }
+
+    /// Blocks until every scheduled background job (seals, compactions)
+    /// has completed, then surfaces any background failure.
+    pub fn wait_idle(&self) -> Result<(), LiveError> {
+        let mut pending = self
+            .inner
+            .pending_jobs
+            .lock()
+            .expect("pending jobs poisoned");
+        while *pending > 0 {
+            pending = self
+                .inner
+                .idle
+                .wait(pending)
+                .expect("pending jobs poisoned");
+        }
+        drop(pending);
+        self.check_background()
+    }
+
+    /// Seals the memtable and waits for the segment install (a synchronous
+    /// flush: afterwards every document is index-served and the WAL holds
+    /// only post-seal records).
+    pub fn flush(&self) -> Result<(), LiveError> {
+        self.seal()?;
+        self.wait_idle()
+    }
+
+    /// The construction threshold every document uses.
+    pub fn tau_min(&self) -> f64 {
+        self.inner.tau_min
+    }
+
+    /// ε for sealed approx indexes, when configured.
+    pub fn epsilon(&self) -> Option<f64> {
+        self.inner.epsilon
+    }
+
+    /// Number of live (inserted, not deleted) documents.
+    pub fn num_docs(&self) -> usize {
+        self.live_doc_ids().len()
+    }
+
+    /// Stable ids of every live document, ascending.
+    pub fn live_doc_ids(&self) -> Vec<u64> {
+        let st = self.inner.state.lock().expect("live state poisoned");
+        let mut ids = Vec::new();
+        for seg in &st.segments {
+            ids.extend(seg.meta.docs.iter().copied());
+        }
+        for batch in &st.sealing {
+            ids.extend(batch.docs.iter().map(|(id, _)| *id));
+        }
+        ids.extend(st.memtable.iter().map(|(id, _)| *id));
+        ids.retain(|id| !st.tombstones.contains(id));
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The live documents themselves, in ascending stable-id order
+    /// (cloned; used by tests and offline rebuilds).
+    pub fn live_docs(&self) -> Vec<(u64, UncertainString)> {
+        let st = self.inner.state.lock().expect("live state poisoned");
+        let mut docs: Vec<(u64, UncertainString)> = Vec::new();
+        let mut push = |id: u64, d: &DocExecutor| {
+            if !st.tombstones.contains(&id) {
+                let body = match d {
+                    DocExecutor::Scanned(scan) => scan.source().clone(),
+                    DocExecutor::Built { index, .. } => index.source().clone(),
+                };
+                docs.push((id, body));
+            }
+        };
+        for seg in &st.segments {
+            for (id, d) in &seg.docs {
+                push(*id, d);
+            }
+        }
+        for batch in &st.sealing {
+            for (id, d) in &batch.docs {
+                push(*id, d);
+            }
+        }
+        for (id, d) in &st.memtable {
+            push(*id, d);
+        }
+        docs.sort_by_key(|&(id, _)| id);
+        docs
+    }
+
+    /// Number of sealed segments currently serving.
+    pub fn num_segments(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("live state poisoned")
+            .segments
+            .len()
+    }
+
+    /// Number of documents currently scan-served (memtable + batches whose
+    /// seal has not installed yet).
+    pub fn memtable_len(&self) -> usize {
+        let st = self.inner.state.lock().expect("live state poisoned");
+        st.memtable.len() + st.sealing.iter().map(|b| b.docs.len()).sum::<usize>()
+    }
+
+    /// `(hits, misses)` of the result cache — cumulative totals for the
+    /// service's lifetime (never reset, not even by the invalidation every
+    /// mutation performs).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.inner.engine.cache_stats()
+    }
+
+    /// Answers a typed batch of any mix of query modes over a consistent
+    /// point-in-time snapshot, fanning out on the thread pool through the
+    /// same dispatcher as the static service. Document ids in responses
+    /// are the stable insert-time ids.
+    pub fn query_requests(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse, Error>> {
+        let view = self.inner.view();
+        self.inner.engine.run(&view, requests)
+    }
+
+    /// Sequential reference for [`LiveService::query_requests`] (same
+    /// snapshot semantics, same merge path, no pool) — answers are
+    /// identical for every mode.
+    pub fn query_requests_sequential(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryResponse, Error>> {
+        let view = self.inner.view();
+        self.inner.engine.run_sequential(&view, requests)
+    }
+
+    /// Answers one threshold query.
+    pub fn query(&self, pattern: &[u8], tau: f64) -> Result<Vec<DocHits>, Error> {
+        let req = QueryRequest::Threshold {
+            pattern: pattern.to_vec(),
+            tau,
+        };
+        match self.one_request(req)? {
+            QueryResponse::Threshold(shared) => Ok(shared.as_ref().clone()),
+            _ => unreachable!("threshold requests produce threshold responses"),
+        }
+    }
+
+    /// Answers one collection-wide top-k query.
+    pub fn query_top_k(&self, pattern: &[u8], k: usize) -> Result<Vec<TopHit>, Error> {
+        let req = QueryRequest::TopK {
+            pattern: pattern.to_vec(),
+            k,
+        };
+        match self.one_request(req)? {
+            QueryResponse::TopK(shared) => Ok(shared.as_ref().clone()),
+            _ => unreachable!("top-k requests produce top-k responses"),
+        }
+    }
+
+    /// Answers one listing query.
+    pub fn query_listing(&self, pattern: &[u8], tau: f64) -> Result<Vec<ListingHit>, Error> {
+        let req = QueryRequest::Listing {
+            pattern: pattern.to_vec(),
+            tau,
+        };
+        match self.one_request(req)? {
+            QueryResponse::Listing(shared) => Ok(shared.as_ref().clone()),
+            _ => unreachable!("listing requests produce listing responses"),
+        }
+    }
+
+    /// Answers one ε-approximate query (exact for scan-served documents
+    /// and when ε is not configured).
+    pub fn query_approx(&self, pattern: &[u8], tau: f64) -> Result<Vec<DocHits>, Error> {
+        let req = QueryRequest::Approx {
+            pattern: pattern.to_vec(),
+            tau,
+        };
+        match self.one_request(req)? {
+            QueryResponse::Approx(shared) => Ok(shared.as_ref().clone()),
+            _ => unreachable!("approx requests produce approx responses"),
+        }
+    }
+
+    fn one_request(&self, req: QueryRequest) -> Result<QueryResponse, Error> {
+        self.query_requests(std::slice::from_ref(&req))
+            .pop()
+            .expect("one request yields one response")
+    }
+}
+
+impl Drop for LiveService {
+    fn drop(&mut self) {
+        let _ = self.jobs.send(Job::Shutdown);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustr_service::{QueryService, ServiceConfig};
+
+    fn doc(spec: &str) -> UncertainString {
+        UncertainString::parse(spec).unwrap()
+    }
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(seal_threshold: usize) -> LiveConfig {
+        LiveConfig {
+            threads: 2,
+            cache_capacity: 16,
+            tau_min: 0.05,
+            epsilon: None,
+            seal_threshold,
+            compact_min_segments: 0,
+        }
+    }
+
+    fn sample_docs() -> Vec<UncertainString> {
+        vec![
+            doc("A:.9,B:.1 | B | C | A | B"),
+            doc("C | C | C"),
+            doc("A:.5,B:.5 | B | A:.7,C:.3 | B"),
+            UncertainString::deterministic(b"ABABAB"),
+            doc("B | A:.2,B:.8 | B"),
+        ]
+    }
+
+    /// Static reference over the same documents (dense ids = position in
+    /// ascending stable-id order).
+    fn static_reference(live: &LiveService) -> QueryService {
+        let docs: Vec<UncertainString> = live.live_docs().into_iter().map(|(_, d)| d).collect();
+        QueryService::build(
+            &docs,
+            live.tau_min(),
+            ServiceConfig {
+                threads: 1,
+                shards: 1,
+                cache_capacity: 0,
+                epsilon: None,
+            },
+        )
+        .unwrap()
+    }
+
+    /// Translates a static response's dense ids to the live stable ids.
+    fn translate(resp: &QueryResponse, ids: &[u64]) -> QueryResponse {
+        match resp {
+            QueryResponse::Threshold(h) => QueryResponse::Threshold(Arc::new(
+                h.iter()
+                    .map(|d| DocHits {
+                        doc: ids[d.doc] as usize,
+                        hits: d.hits.clone(),
+                    })
+                    .collect(),
+            )),
+            QueryResponse::Approx(h) => QueryResponse::Approx(Arc::new(
+                h.iter()
+                    .map(|d| DocHits {
+                        doc: ids[d.doc] as usize,
+                        hits: d.hits.clone(),
+                    })
+                    .collect(),
+            )),
+            QueryResponse::TopK(h) => QueryResponse::TopK(Arc::new(
+                h.iter()
+                    .map(|t| TopHit {
+                        doc: ids[t.doc] as usize,
+                        pos: t.pos,
+                        prob: t.prob,
+                    })
+                    .collect(),
+            )),
+            QueryResponse::Listing(h) => QueryResponse::Listing(Arc::new(
+                h.iter()
+                    .map(|l| ListingHit {
+                        doc: ids[l.doc] as usize,
+                        relevance: l.relevance,
+                    })
+                    .collect(),
+            )),
+        }
+    }
+
+    fn mixed_batch() -> Vec<QueryRequest> {
+        vec![
+            QueryRequest::Threshold {
+                pattern: b"AB".to_vec(),
+                tau: 0.3,
+            },
+            QueryRequest::TopK {
+                pattern: b"AB".to_vec(),
+                k: 4,
+            },
+            QueryRequest::Listing {
+                pattern: b"B".to_vec(),
+                tau: 0.5,
+            },
+            QueryRequest::Approx {
+                pattern: b"AB".to_vec(),
+                tau: 0.3,
+            },
+        ]
+    }
+
+    fn assert_matches_static(live: &LiveService) {
+        let stat = static_reference(live);
+        let ids = live.live_doc_ids();
+        let batch = mixed_batch();
+        let got = live.query_requests(&batch);
+        let seq = live.query_requests_sequential(&batch);
+        let want = stat.query_requests_sequential(&batch);
+        for (q, ((g, s), w)) in got.iter().zip(seq.iter()).zip(want.iter()).enumerate() {
+            let g = g.as_ref().unwrap();
+            assert_eq!(
+                g,
+                s.as_ref().unwrap(),
+                "request {q}: parallel != sequential"
+            );
+            assert_eq!(
+                g,
+                &translate(w.as_ref().unwrap(), &ids),
+                "request {q}: live != static rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn memtable_docs_answer_immediately_and_match_static() {
+        let dir = fresh_dir("ustr_live_memtable");
+        let live = LiveService::open(&dir, config(0)).unwrap();
+        for d in sample_docs() {
+            live.insert(d).unwrap();
+        }
+        assert_eq!(live.num_segments(), 0, "nothing sealed yet");
+        assert_eq!(live.memtable_len(), 5);
+        assert_matches_static(&live);
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sealed_segments_answer_identically() {
+        let dir = fresh_dir("ustr_live_sealed");
+        let live = LiveService::open(&dir, config(2)).unwrap();
+        for d in sample_docs() {
+            live.insert(d).unwrap();
+        }
+        live.wait_idle().unwrap();
+        assert!(live.num_segments() >= 2, "auto-seals at threshold 2");
+        assert_matches_static(&live);
+        // Deletes tombstone across segments and memtable alike.
+        live.delete(0).unwrap();
+        live.delete(4).unwrap();
+        assert_eq!(live.num_docs(), 3);
+        assert_matches_static(&live);
+        assert!(matches!(
+            live.delete(0),
+            Err(LiveError::UnknownDocument { id: 0 })
+        ));
+        assert!(matches!(
+            live.delete(99),
+            Err(LiveError::UnknownDocument { id: 99 })
+        ));
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_merges_segments_and_reclaims_tombstones() {
+        let dir = fresh_dir("ustr_live_compact");
+        let live = LiveService::open(&dir, config(1)).unwrap();
+        for d in sample_docs() {
+            live.insert(d).unwrap();
+        }
+        live.wait_idle().unwrap();
+        assert_eq!(live.num_segments(), 5);
+        live.delete(1).unwrap();
+        live.compact().unwrap();
+        live.wait_idle().unwrap();
+        assert_eq!(live.num_segments(), 1);
+        assert_eq!(live.num_docs(), 4);
+        assert_matches_static(&live);
+        // The tombstone was physically reclaimed: one segment file remains.
+        let colls = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "coll")
+            })
+            .count();
+        assert_eq!(colls, 1);
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_restores_memtable_segments_and_tombstones() {
+        let dir = fresh_dir("ustr_live_recovery");
+        {
+            let live = LiveService::open(&dir, config(2)).unwrap();
+            for d in sample_docs() {
+                live.insert(d).unwrap();
+            }
+            live.wait_idle().unwrap();
+            live.delete(2).unwrap();
+        }
+        // Reopen: sealed segments load from .coll, the WAL tail replays.
+        let live = LiveService::open(&dir, config(0)).unwrap();
+        assert_eq!(live.num_docs(), 4);
+        assert_eq!(live.live_doc_ids(), vec![0, 1, 3, 4]);
+        assert_matches_static(&live);
+        // New writes continue from the recovered counters.
+        let id = live.insert(doc("C | A:.6,B:.4")).unwrap();
+        assert_eq!(id, 5);
+        assert_matches_static(&live);
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queries_run_concurrently_with_a_seal() {
+        let dir = fresh_dir("ustr_live_concurrent");
+        let live = Arc::new(LiveService::open(&dir, config(0)).unwrap());
+        // A fat memtable so the background build takes a little while.
+        for i in 0..40 {
+            let spec = match i % 3 {
+                0 => "A:.9,B:.1 | B | C | A | B | A:.5,C:.5 | B | A",
+                1 => "C | C | C | A:.5,B:.5 | B | C | B:.7,C:.3",
+                _ => "A:.5,B:.5 | B | A:.7,C:.3 | B | A | B | C | A:.4,B:.6",
+            };
+            live.insert(doc(spec)).unwrap();
+        }
+        let before = live.query(b"AB", 0.3).unwrap();
+        live.seal().unwrap();
+        // Hammer queries while the seal builds and installs off-thread.
+        let mut observed = 0u32;
+        loop {
+            let during = live.query(b"AB", 0.3).unwrap();
+            assert_eq!(during, before, "answers never change across a seal");
+            observed += 1;
+            let idle = *live.inner.pending_jobs.lock().unwrap() == 0;
+            if idle && observed > 3 {
+                break;
+            }
+        }
+        live.wait_idle().unwrap();
+        assert_eq!(live.num_segments(), 1);
+        assert_eq!(live.memtable_len(), 0);
+        assert_eq!(live.query(b"AB", 0.3).unwrap(), before);
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_directories_record_their_config_before_any_seal() {
+        let dir = fresh_dir("ustr_live_fresh_manifest");
+        {
+            let cfg = LiveConfig {
+                tau_min: 0.01,
+                ..config(0)
+            };
+            let live = LiveService::open(&dir, cfg).unwrap();
+            live.insert(doc("A:.2,B:.8 | B")).unwrap();
+            // No seal ever ran; the manifest must still exist.
+        }
+        // A reopen with a *different* configured tau_min adopts the
+        // recorded 0.01, so low-τ queries keep working.
+        let live = LiveService::open(&dir, LiveConfig::default()).unwrap();
+        assert_eq!(live.tau_min(), 0.01);
+        let hits = live.query(b"AB", 0.02).unwrap();
+        assert_eq!(hits.len(), 1);
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstones_do_not_accumulate_across_compactions_and_reopens() {
+        let dir = fresh_dir("ustr_live_tombstone_prune");
+        {
+            let live = LiveService::open(&dir, config(2)).unwrap();
+            for d in sample_docs() {
+                live.insert(d).unwrap();
+            }
+            live.flush().unwrap();
+            live.delete(1).unwrap();
+            live.compact().unwrap();
+            live.wait_idle().unwrap();
+        }
+        // The WAL still holds the delete record; reopening must not let it
+        // resurrect a tombstone for the already-purged document forever.
+        let live = LiveService::open(&dir, config(0)).unwrap();
+        assert_eq!(live.num_docs(), 4);
+        live.flush().unwrap();
+        live.compact().unwrap();
+        live.wait_idle().unwrap();
+        drop(live);
+        let manifest = ustr_store::load_manifest(dir.join(MANIFEST_FILE))
+            .unwrap()
+            .unwrap();
+        assert!(
+            manifest.tombstones.is_empty(),
+            "purged tombstones must not persist: {:?}",
+            manifest.tombstones
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_opener_is_rejected_while_the_directory_is_live() {
+        let dir = fresh_dir("ustr_live_lock");
+        let live = LiveService::open(&dir, config(0)).unwrap();
+        live.insert(doc("A | B")).unwrap();
+        assert!(matches!(
+            LiveService::open(&dir, config(0)),
+            Err(LiveError::DirectoryLocked { .. })
+        ));
+        drop(live);
+        // The lock dies with the service: reopening now succeeds.
+        let reopened = LiveService::open(&dir, config(0)).unwrap();
+        assert_eq!(reopened.num_docs(), 1);
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_is_invalidated_on_every_mutation() {
+        let dir = fresh_dir("ustr_live_cache");
+        let live = LiveService::open(&dir, config(0)).unwrap();
+        live.insert(doc("A:.9,B:.1 | B")).unwrap();
+        let first = live.query(b"AB", 0.5).unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(live.cache_stats(), (0, 1));
+        let again = live.query(b"AB", 0.5).unwrap();
+        assert_eq!(again, first);
+        assert_eq!(live.cache_stats(), (1, 1), "repeat is cache-served");
+        // A mutation drops the entry: the same query misses and recomputes
+        // against the new collection state.
+        live.insert(doc("A | B")).unwrap();
+        let after = live.query(b"AB", 0.5).unwrap();
+        assert_eq!(after.len(), 2);
+        assert_eq!(live.cache_stats(), (1, 2), "mutation invalidated the cache");
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn epsilon_directories_serve_approx_from_sealed_segments() {
+        let dir = fresh_dir("ustr_live_epsilon");
+        let cfg = LiveConfig {
+            epsilon: Some(0.05),
+            ..config(0)
+        };
+        let live = LiveService::open(&dir, cfg).unwrap();
+        for d in sample_docs() {
+            live.insert(d).unwrap();
+        }
+        live.flush().unwrap();
+        let eps = live.epsilon().unwrap();
+        // ε-sandwich: everything ≥ τ is present, nothing below τ − ε.
+        let tau = 0.4;
+        let must: Vec<(usize, usize)> = live
+            .query(b"AB", tau)
+            .unwrap()
+            .iter()
+            .flat_map(|d| d.hits.iter().map(|&(p, _)| (d.doc, p)).collect::<Vec<_>>())
+            .collect();
+        let may: Vec<(usize, usize)> = live
+            .query(b"AB", (tau - eps).max(0.05))
+            .unwrap()
+            .iter()
+            .flat_map(|d| d.hits.iter().map(|&(p, _)| (d.doc, p)).collect::<Vec<_>>())
+            .collect();
+        let got: Vec<(usize, usize)> = live
+            .query_approx(b"AB", tau)
+            .unwrap()
+            .iter()
+            .flat_map(|d| d.hits.iter().map(|&(p, _)| (d.doc, p)).collect::<Vec<_>>())
+            .collect();
+        for m in &must {
+            assert!(got.contains(m), "missing exact hit {m:?}");
+        }
+        for g in &got {
+            assert!(may.contains(g), "spurious hit {g:?} below tau - eps");
+        }
+        // Reopening adopts the recorded ε even when the config omits it.
+        drop(live);
+        let live = LiveService::open(&dir, config(0)).unwrap();
+        assert_eq!(live.epsilon(), Some(0.05));
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

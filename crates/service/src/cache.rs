@@ -52,9 +52,20 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.map.is_empty()
     }
 
-    /// `(hits, misses)` counters since construction.
+    /// `(hits, misses)` counters since construction. The counters are
+    /// lifetime totals: they survive evictions and [`LruCache::clear`], and
+    /// are never reset.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Drops every entry, keeping the capacity and the hit/miss counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
     }
 
     fn unlink(&mut self, i: usize) {

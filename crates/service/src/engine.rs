@@ -1,0 +1,304 @@
+//! The typed batch dispatcher: validation, per-mode result cache, thread
+//! pool fan-out, and deterministic merge — over any [`SegmentSet`].
+//!
+//! [`Engine::run`] is the one concurrent dispatch path in the workspace.
+//! The static [`crate::QueryService`] hands it a fixed shard list; the
+//! mutable `ustr-live` service hands it a point-in-time snapshot of sealed
+//! segments plus the memtable. Both get the same guarantees: parallel
+//! answers identical to sequential evaluation, duplicate requests computed
+//! once, and per-mode LRU caching keyed on quantized thresholds.
+
+use std::collections::HashMap;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+
+use ustr_core::Error;
+
+use crate::exec::{merge_partials, Segment, ShardPartial};
+use crate::{LruCache, QueryRequest, QueryResponse, ThreadPool};
+
+/// τ values closer than this are treated as the same threshold by request
+/// validation (see [`validate_request`]), and are therefore quantized onto
+/// one cache key: two requests whose τs round to the same multiple of
+/// `TAU_TOLERANCE` share a cache entry.
+pub const TAU_TOLERANCE: f64 = 1e-12;
+
+/// Quantizes τ onto the `TAU_TOLERANCE` lattice for cache keying. Only
+/// called on validated thresholds (finite, in `(0, 1]`), so the cast is
+/// always in range.
+fn quantize_tau(tau: f64) -> i64 {
+    (tau / TAU_TOLERANCE).round() as i64
+}
+
+/// Per-mode request key. The mode tag keeps e.g. `Threshold("AB", τ)` and
+/// `Approx("AB", τ)` in distinct entries; τ is pre-quantized (see
+/// [`TAU_TOLERANCE`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum RequestKey {
+    Threshold(Vec<u8>, i64),
+    TopK(Vec<u8>, usize),
+    Listing(Vec<u8>, i64),
+    Approx(Vec<u8>, i64),
+}
+
+/// Full cache key: the request key plus the [`SegmentSet::cache_epoch`]
+/// the answer was computed against. Keying on the epoch makes stale
+/// entries unreachable even when a mutation races an in-flight batch —
+/// the batch's `cache_put` lands under the *old* epoch, and every later
+/// lookup uses the new one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    epoch: u64,
+    request: RequestKey,
+}
+
+fn request_key(req: &QueryRequest, epoch: u64) -> CacheKey {
+    let request = match req {
+        QueryRequest::Threshold { pattern, tau } => {
+            RequestKey::Threshold(pattern.clone(), quantize_tau(*tau))
+        }
+        QueryRequest::TopK { pattern, k } => RequestKey::TopK(pattern.clone(), *k),
+        QueryRequest::Listing { pattern, tau } => {
+            RequestKey::Listing(pattern.clone(), quantize_tau(*tau))
+        }
+        QueryRequest::Approx { pattern, tau } => {
+            RequestKey::Approx(pattern.clone(), quantize_tau(*tau))
+        }
+    };
+    CacheKey { epoch, request }
+}
+
+use ustr_core::validate_pattern;
+
+/// Validates one request against the serving threshold floor `tau_min`
+/// (the largest `τmin` among the served documents).
+pub fn validate_request(req: &QueryRequest, tau_min: f64) -> Result<(), Error> {
+    match req {
+        QueryRequest::Threshold { pattern, tau }
+        | QueryRequest::Listing { pattern, tau }
+        | QueryRequest::Approx { pattern, tau } => {
+            validate_pattern(pattern)?;
+            if !(*tau > 0.0 && *tau <= 1.0) {
+                return Err(Error::InvalidThreshold { value: *tau });
+            }
+            if *tau < tau_min - TAU_TOLERANCE {
+                return Err(Error::ThresholdBelowTauMin { tau: *tau, tau_min });
+            }
+            Ok(())
+        }
+        QueryRequest::TopK { pattern, .. } => validate_pattern(pattern),
+    }
+}
+
+/// A point-in-time view of a served collection: an ordered list of
+/// [`Segment`]s (ascending document order across the list) and the
+/// validation threshold floor. [`Engine::run`] answers batches over any
+/// implementor; a mutable service returns a fresh snapshot per batch.
+pub trait SegmentSet {
+    /// Segments in ascending document order. Partial answers are merged in
+    /// exactly this order.
+    fn segments(&self) -> Vec<Arc<Segment>>;
+
+    /// The smallest τ the set accepts (largest `τmin` of its documents).
+    fn tau_min(&self) -> f64;
+
+    /// A monotone counter identifying the collection state this snapshot
+    /// describes. Cached responses are keyed on it, so an answer computed
+    /// against one state can never serve a lookup against another — even
+    /// when a mutation races an in-flight batch. Immutable sets keep the
+    /// default 0.
+    fn cache_epoch(&self) -> u64 {
+        0
+    }
+}
+
+/// One segment's answer to one request (collected during a parallel batch).
+type SegmentAnswer = Result<ShardPartial, Error>;
+
+/// The reusable dispatch core: a fixed thread pool plus an optional LRU
+/// result cache. Holds no documents — every batch runs over the
+/// [`SegmentSet`] it is handed.
+pub struct Engine {
+    pool: ThreadPool,
+    cache: Option<Mutex<LruCache<CacheKey, QueryResponse>>>,
+}
+
+impl Engine {
+    /// Spawns `threads` workers (min 1); `cache_capacity` of 0 disables the
+    /// result cache.
+    pub fn new(threads: usize, cache_capacity: usize) -> Self {
+        Self {
+            pool: ThreadPool::new(threads),
+            cache: (cache_capacity > 0).then(|| Mutex::new(LruCache::new(cache_capacity))),
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// `(hits, misses)` of the result cache since the engine was created;
+    /// zeros when caching is disabled. The counters are cumulative totals
+    /// over the engine's lifetime — they are never reset, not even by
+    /// [`Engine::invalidate_cache`].
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache
+            .as_ref()
+            .map_or((0, 0), |c| c.lock().expect("cache poisoned").stats())
+    }
+
+    /// Drops every cached response (the hit/miss counters are preserved).
+    /// A mutable service calls this on every write, because cached answers
+    /// describe a collection state that no longer exists.
+    pub fn invalidate_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.lock().expect("cache poisoned").clear();
+        }
+    }
+
+    fn cache_get(&self, key: &CacheKey) -> Option<QueryResponse> {
+        self.cache
+            .as_ref()
+            .and_then(|c| c.lock().expect("cache poisoned").get(key))
+    }
+
+    fn cache_put(&self, key: CacheKey, value: QueryResponse) {
+        if let Some(c) = &self.cache {
+            c.lock().expect("cache poisoned").insert(key, value);
+        }
+    }
+
+    /// Answers a typed batch of any mix of query modes, fanning each
+    /// request across every segment of `set` on the thread pool. Responses
+    /// are positionally aligned with `requests` and **identical** to
+    /// [`Engine::run_sequential`] for every mode — per-segment answers are
+    /// merged in segment order (top-k with a total tie-break), never in
+    /// completion order.
+    pub fn run(
+        &self,
+        set: &dyn SegmentSet,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryResponse, Error>> {
+        let segments = set.segments();
+        let tau_min = set.tau_min();
+        let epoch = set.cache_epoch();
+        let num_segments = segments.len();
+        let mut results: Vec<Option<Result<QueryResponse, Error>>> = vec![None; requests.len()];
+
+        // Resolve validation failures and cache hits up front, and collapse
+        // duplicate requests onto one computation: only the first occurrence
+        // (the leader) fans out; followers copy its result.
+        let mut pending: Vec<usize> = Vec::new();
+        let mut leaders: HashMap<CacheKey, usize> = HashMap::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new(); // (request, leader)
+        for (q, req) in requests.iter().enumerate() {
+            if let Err(e) = validate_request(req, tau_min) {
+                results[q] = Some(Err(e));
+                continue;
+            }
+            let key = request_key(req, epoch);
+            if let Some(hit) = self.cache_get(&key) {
+                results[q] = Some(Ok(hit));
+                continue;
+            }
+            match leaders.get(&key) {
+                Some(&leader) => followers.push((q, leader)),
+                None => {
+                    leaders.insert(key, q);
+                    pending.push(q);
+                }
+            }
+        }
+
+        // Fan out: one job per (pending request, segment).
+        let (tx, rx) = channel::<(usize, usize, SegmentAnswer)>();
+        for &q in &pending {
+            for (s, segment) in segments.iter().enumerate() {
+                let segment = Arc::clone(segment);
+                let req = requests[q].clone();
+                let tx = tx.clone();
+                self.pool.execute(move || {
+                    // A send failure means the batch was abandoned; nothing
+                    // useful to do from a worker.
+                    let _ = tx.send((q, s, segment.answer(&req)));
+                });
+            }
+        }
+        drop(tx);
+
+        // Collect in completion order, merge in segment order.
+        let mut per_query: Vec<Vec<Option<SegmentAnswer>>> =
+            (0..requests.len()).map(|_| Vec::new()).collect();
+        for &q in &pending {
+            per_query[q] = (0..num_segments).map(|_| None).collect();
+        }
+        let mut outstanding = pending.len() * num_segments;
+        while outstanding > 0 {
+            let (q, s, result) = rx.recv().expect("workers never drop mid-batch");
+            per_query[q][s] = Some(result);
+            outstanding -= 1;
+        }
+        for &q in &pending {
+            let mut parts = Vec::with_capacity(num_segments);
+            let mut error: Option<Error> = None;
+            for slot in per_query[q].drain(..) {
+                match slot.expect("every segment reported") {
+                    Ok(part) => parts.push(part),
+                    Err(e) => {
+                        // Keep the first (lowest-segment) error: deterministic.
+                        error.get_or_insert(e);
+                    }
+                }
+            }
+            results[q] = Some(match error {
+                Some(e) => Err(e),
+                None => {
+                    let response = merge_partials(&requests[q], parts);
+                    self.cache_put(request_key(&requests[q], epoch), response.clone());
+                    Ok(response)
+                }
+            });
+        }
+
+        for (q, leader) in followers {
+            results[q] = Some(results[leader].clone().expect("leader resolved"));
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every request resolved"))
+            .collect()
+    }
+
+    /// Reference implementation: the same typed batch answered
+    /// segment-by-segment on the calling thread (no pool), sharing the same
+    /// cache and merge code. Exists to state — and test — the determinism
+    /// contract of [`Engine::run`].
+    pub fn run_sequential(
+        &self,
+        set: &dyn SegmentSet,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryResponse, Error>> {
+        let segments = set.segments();
+        let tau_min = set.tau_min();
+        let epoch = set.cache_epoch();
+        requests
+            .iter()
+            .map(|req| {
+                validate_request(req, tau_min)?;
+                let key = request_key(req, epoch);
+                if let Some(hit) = self.cache_get(&key) {
+                    return Ok(hit);
+                }
+                let mut parts = Vec::with_capacity(segments.len());
+                for segment in &segments {
+                    parts.push(segment.answer(req)?);
+                }
+                let response = merge_partials(req, parts);
+                self.cache_put(key, response.clone());
+                Ok(response)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,222 @@
+//! The per-segment execution layer shared by every service front end.
+//!
+//! A collection — static ([`crate::QueryService`]) or mutable
+//! (`ustr-live`'s `LiveService`) — is served as an ordered sequence of
+//! [`Segment`]s, each holding `(doc id, executor)` pairs in ascending doc
+//! order. One function ([`Segment::answer`]) evaluates any
+//! [`QueryRequest`] over a segment; one function ([`merge_partials`])
+//! deterministically reassembles per-segment partials into the final
+//! [`QueryResponse`]. Both services share these code paths, which is what
+//! makes their answers identical for identical document sets.
+
+use std::sync::Arc;
+
+use ustr_baseline::ScanIndex;
+use ustr_core::{ApproxIndex, Error, Index, ListingHit, QueryExecutor};
+
+use crate::{DocHits, QueryRequest, QueryResponse, SharedHits, TopHit};
+
+/// How one document is queried: through built index structures, or by
+/// scanning the source string (bit-identical answers — see
+/// [`ustr_core::QueryExecutor`]). `Scanned` is the serving strategy for
+/// documents too young to have been indexed (a live memtable).
+// Executors always live behind an `Arc` in a `Segment`, so the size
+// difference between a built index bundle and a bare scan wrapper is paid
+// once per document, not per handle.
+#[allow(clippy::large_enum_variant)]
+pub enum DocExecutor {
+    /// The paper's built indexes.
+    Built {
+        /// The exact substring index (serves `Threshold`, `TopK`,
+        /// `Listing`).
+        index: Index,
+        /// The ε-approximate index (serves `Approx`; exact fallback when
+        /// absent).
+        approx: Option<ApproxIndex>,
+    },
+    /// A scan of the source document (always exact; `Approx` requests get
+    /// the exact answer, which trivially satisfies the ε sandwich).
+    Scanned(ScanIndex),
+}
+
+impl DocExecutor {
+    /// The smallest τ the document accepts.
+    pub fn tau_min(&self) -> f64 {
+        match self {
+            DocExecutor::Built { index, .. } => index.tau_min(),
+            DocExecutor::Scanned(scan) => QueryExecutor::tau_min(scan),
+        }
+    }
+
+    /// `true` when `Approx` requests are served ε-approximately rather than
+    /// by an exact fallback.
+    pub fn has_approx(&self) -> bool {
+        matches!(
+            self,
+            DocExecutor::Built {
+                approx: Some(_),
+                ..
+            }
+        )
+    }
+
+    /// Threshold occurrences, sorted by position.
+    pub fn threshold(&self, pattern: &[u8], tau: f64) -> Result<Vec<(usize, f64)>, Error> {
+        match self {
+            DocExecutor::Built { index, .. } => index.threshold_hits(pattern, tau),
+            DocExecutor::Scanned(scan) => scan.threshold_hits(pattern, tau),
+        }
+    }
+
+    /// The document's top-k occurrences in `(probability ↓, position ↑)`
+    /// order.
+    pub fn top_k(&self, pattern: &[u8], k: usize) -> Result<Vec<(usize, f64)>, Error> {
+        match self {
+            DocExecutor::Built { index, .. } => index.top_k_hits(pattern, k),
+            DocExecutor::Scanned(scan) => scan.top_k_hits(pattern, k),
+        }
+    }
+
+    /// ε-approximate occurrences (exact when no approx index is held).
+    pub fn approx(&self, pattern: &[u8], tau: f64) -> Result<Vec<(usize, f64)>, Error> {
+        match self {
+            DocExecutor::Built {
+                approx: Some(approx),
+                ..
+            } => Ok(approx.query(pattern, tau)?.into_hits()),
+            _ => self.threshold(pattern, tau),
+        }
+    }
+}
+
+/// One unit of query fan-out: a contiguous run of documents (ascending doc
+/// ids), each with its executor. The static service's shards and the live
+/// service's sealed segments + memtable are all `Segment`s.
+pub struct Segment {
+    /// `(doc_id, executor)` pairs in ascending doc order.
+    pub docs: Vec<(usize, Arc<DocExecutor>)>,
+}
+
+/// One segment's (partial) answer to one request.
+pub enum ShardPartial {
+    /// Threshold / approx occurrences, in ascending doc order.
+    Hits(Vec<DocHits>),
+    /// The segment-local top-k, already in [`top_hit_order`].
+    TopK(Vec<TopHit>),
+    /// Listed documents, in ascending doc order.
+    Listing(Vec<ListingHit>),
+}
+
+/// Total order for top-k answers: probability descending, then `(doc, pos)`
+/// ascending — a deterministic tie-break so parallel merges are stable.
+pub fn top_hit_order(a: &TopHit, b: &TopHit) -> std::cmp::Ordering {
+    b.prob
+        .partial_cmp(&a.prob)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.doc.cmp(&b.doc))
+        .then(a.pos.cmp(&b.pos))
+}
+
+impl Segment {
+    /// Sequentially answers `req` over every document in the segment.
+    pub fn answer(&self, req: &QueryRequest) -> Result<ShardPartial, Error> {
+        match req {
+            QueryRequest::Threshold { pattern, tau } => {
+                let mut out = Vec::new();
+                for (doc, d) in &self.docs {
+                    let hits = d.threshold(pattern, *tau)?;
+                    if !hits.is_empty() {
+                        out.push(DocHits { doc: *doc, hits });
+                    }
+                }
+                Ok(ShardPartial::Hits(out))
+            }
+            QueryRequest::Approx { pattern, tau } => {
+                let mut out = Vec::new();
+                for (doc, d) in &self.docs {
+                    let hits = d.approx(pattern, *tau)?;
+                    if !hits.is_empty() {
+                        out.push(DocHits { doc: *doc, hits });
+                    }
+                }
+                Ok(ShardPartial::Hits(out))
+            }
+            QueryRequest::TopK { pattern, k } => {
+                // Any global top-k hit is inside its document's top-k, so
+                // per-doc truncation loses nothing.
+                let mut all = Vec::new();
+                for (doc, d) in &self.docs {
+                    for (pos, prob) in d.top_k(pattern, *k)? {
+                        all.push(TopHit {
+                            doc: *doc,
+                            pos,
+                            prob,
+                        });
+                    }
+                }
+                all.sort_by(top_hit_order);
+                all.truncate(*k);
+                Ok(ShardPartial::TopK(all))
+            }
+            QueryRequest::Listing { pattern, tau } => {
+                let mut out = Vec::new();
+                for (doc, d) in &self.docs {
+                    let hits = d.threshold(pattern, *tau)?;
+                    if !hits.is_empty() {
+                        let relevance = hits
+                            .iter()
+                            .map(|&(_, p)| p)
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        out.push(ListingHit {
+                            doc: *doc,
+                            relevance,
+                        });
+                    }
+                }
+                Ok(ShardPartial::Listing(out))
+            }
+        }
+    }
+}
+
+/// Merges per-segment partial answers (already in segment = ascending doc
+/// order) into the response for `req`. Used identically by the parallel
+/// and sequential paths — and by both the static and the live service —
+/// which is what makes them all answer-identical.
+pub fn merge_partials(req: &QueryRequest, parts: Vec<ShardPartial>) -> QueryResponse {
+    match req {
+        QueryRequest::Threshold { .. } | QueryRequest::Approx { .. } => {
+            let mut merged = Vec::new();
+            for p in parts {
+                if let ShardPartial::Hits(mut h) = p {
+                    merged.append(&mut h);
+                }
+            }
+            let shared: SharedHits = Arc::new(merged);
+            match req {
+                QueryRequest::Threshold { .. } => QueryResponse::Threshold(shared),
+                _ => QueryResponse::Approx(shared),
+            }
+        }
+        QueryRequest::TopK { k, .. } => {
+            let mut all = Vec::new();
+            for p in parts {
+                if let ShardPartial::TopK(mut h) = p {
+                    all.append(&mut h);
+                }
+            }
+            all.sort_by(top_hit_order);
+            all.truncate(*k);
+            QueryResponse::TopK(Arc::new(all))
+        }
+        QueryRequest::Listing { .. } => {
+            let mut merged = Vec::new();
+            for p in parts {
+                if let ShardPartial::Listing(mut h) = p {
+                    merged.append(&mut h);
+                }
+            }
+            QueryResponse::Listing(Arc::new(merged))
+        }
+    }
+}

@@ -38,10 +38,23 @@
 //! Loading memory-plans shards from the manifest's per-document sizes.
 //!
 //! The older one-file-per-document directory layout
-//! ([`QueryService::save_dir`] / [`QueryService::load_dir`]) remains
-//! supported but is **deprecated as the primary path**: it cannot carry
-//! approx indexes, and a collection can only be moved or checksummed as a
-//! unit with the single-file format.
+//! ([`QueryService::save_dir`] / [`QueryService::load_dir`]) is
+//! **superseded for new code** by collection snapshots (and, for mutable
+//! collections, `ustr-live` directories): it cannot carry approx indexes,
+//! and a collection can only be moved or checksummed as a unit with the
+//! single-file format. It remains supported for existing data.
+//!
+//! # Architecture
+//!
+//! The serving machinery is layered so static and mutable services share
+//! every query path: [`exec`] defines [`DocExecutor`] (a built index or an
+//! exact scan — interchangeable under `ustr_core::QueryExecutor`),
+//! [`Segment`] (an ordered run of documents), and the deterministic
+//! [`merge_partials`]; [`engine`] defines the [`Engine`] dispatcher
+//! (validation, per-mode LRU cache, thread-pool fan-out) running over any
+//! [`SegmentSet`]. [`QueryService`] is the static `SegmentSet` (fixed
+//! shards); `ustr-live`'s `LiveService` is the mutable one (sealed
+//! segments + memtable snapshot per batch).
 //!
 //! ```
 //! use ustr_service::{QueryRequest, QueryResponse, QueryService, ServiceConfig};
@@ -72,33 +85,22 @@
 //! ```
 
 mod cache;
+pub mod engine;
+pub mod exec;
 mod pool;
 
-use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use ustr_core::{ApproxIndex, Error, Index};
 use ustr_store::{collection, CollectionSection, Snapshot, SnapshotKind, StoreError};
 use ustr_uncertain::UncertainString;
 
 pub use cache::LruCache;
+pub use engine::{validate_request, Engine, SegmentSet, TAU_TOLERANCE};
+pub use exec::{merge_partials, top_hit_order, DocExecutor, Segment, ShardPartial};
 pub use pool::ThreadPool;
 pub use ustr_core::ListingHit;
-
-/// τ values closer than this are treated as the same threshold by request
-/// validation (see `validate`), and are therefore quantized onto one cache
-/// key: two requests whose τs round to the same multiple of `TAU_TOLERANCE`
-/// share a cache entry.
-pub const TAU_TOLERANCE: f64 = 1e-12;
-
-/// Quantizes τ onto the `TAU_TOLERANCE` lattice for cache keying. Only
-/// called on validated thresholds (finite, in `(0, 1]`), so the cast is
-/// always in range.
-fn quantize_tau(tau: f64) -> i64 {
-    (tau / TAU_TOLERANCE).round() as i64
-}
 
 /// Tuning knobs for a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -159,16 +161,6 @@ pub struct TopHit {
     pub prob: f64,
 }
 
-/// Total order for top-k answers: probability descending, then `(doc, pos)`
-/// ascending — a deterministic tie-break so parallel merges are stable.
-fn top_hit_order(a: &TopHit, b: &TopHit) -> std::cmp::Ordering {
-    b.prob
-        .partial_cmp(&a.prob)
-        .unwrap_or(std::cmp::Ordering::Equal)
-        .then(a.doc.cmp(&b.doc))
-        .then(a.pos.cmp(&b.pos))
-}
-
 /// One query of any mode, addressed to the whole collection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryRequest {
@@ -225,173 +217,6 @@ pub type BatchQuery = (Vec<u8>, f64);
 
 /// Shared, immutable results (cache entries hand out clones of the `Arc`).
 pub type SharedHits = Arc<Vec<DocHits>>;
-
-/// Everything the service holds for one document.
-struct DocIndex {
-    /// The exact substring index (serves `Threshold`, `TopK`, `Listing`).
-    index: Index,
-    /// The ε-approximate index (serves `Approx`; exact fallback when absent).
-    approx: Option<ApproxIndex>,
-}
-
-/// One shard: a contiguous run of documents, each with its own indexes.
-struct Shard {
-    /// `(doc_id, indexes)` pairs in ascending doc order.
-    docs: Vec<(usize, DocIndex)>,
-}
-
-/// One shard's (partial) answer to one request.
-enum ShardPartial {
-    /// Threshold / approx occurrences, in ascending doc order.
-    Hits(Vec<DocHits>),
-    /// The shard-local top-k, already in [`top_hit_order`].
-    TopK(Vec<TopHit>),
-    /// Listed documents, in ascending doc order.
-    Listing(Vec<ListingHit>),
-}
-
-impl Shard {
-    /// Sequentially answers `req` over every document in the shard.
-    fn answer(&self, req: &QueryRequest) -> Result<ShardPartial, Error> {
-        match req {
-            QueryRequest::Threshold { pattern, tau } => {
-                let mut out = Vec::new();
-                for (doc, d) in &self.docs {
-                    let result = d.index.query(pattern, *tau)?;
-                    if !result.is_empty() {
-                        out.push(DocHits {
-                            doc: *doc,
-                            hits: result.hits().to_vec(),
-                        });
-                    }
-                }
-                Ok(ShardPartial::Hits(out))
-            }
-            QueryRequest::Approx { pattern, tau } => {
-                let mut out = Vec::new();
-                for (doc, d) in &self.docs {
-                    let result = match &d.approx {
-                        Some(approx) => approx.query(pattern, *tau)?,
-                        // Exact answers trivially satisfy the ε sandwich.
-                        None => d.index.query(pattern, *tau)?,
-                    };
-                    if !result.is_empty() {
-                        out.push(DocHits {
-                            doc: *doc,
-                            hits: result.hits().to_vec(),
-                        });
-                    }
-                }
-                Ok(ShardPartial::Hits(out))
-            }
-            QueryRequest::TopK { pattern, k } => {
-                // Any global top-k hit is inside its document's top-k, so
-                // per-doc truncation loses nothing.
-                let mut all = Vec::new();
-                for (doc, d) in &self.docs {
-                    for (pos, prob) in d.index.query_top_k(pattern, *k)? {
-                        all.push(TopHit {
-                            doc: *doc,
-                            pos,
-                            prob,
-                        });
-                    }
-                }
-                all.sort_by(top_hit_order);
-                all.truncate(*k);
-                Ok(ShardPartial::TopK(all))
-            }
-            QueryRequest::Listing { pattern, tau } => {
-                let mut out = Vec::new();
-                for (doc, d) in &self.docs {
-                    let result = d.index.query(pattern, *tau)?;
-                    if !result.is_empty() {
-                        let relevance = result
-                            .hits()
-                            .iter()
-                            .map(|&(_, p)| p)
-                            .fold(f64::NEG_INFINITY, f64::max);
-                        out.push(ListingHit {
-                            doc: *doc,
-                            relevance,
-                        });
-                    }
-                }
-                Ok(ShardPartial::Listing(out))
-            }
-        }
-    }
-}
-
-/// Per-mode cache key. The mode tag keeps e.g. `Threshold("AB", τ)` and
-/// `Approx("AB", τ)` in distinct entries; τ is pre-quantized (see
-/// [`TAU_TOLERANCE`]).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum CacheKey {
-    Threshold(Vec<u8>, i64),
-    TopK(Vec<u8>, usize),
-    Listing(Vec<u8>, i64),
-    Approx(Vec<u8>, i64),
-}
-
-fn request_key(req: &QueryRequest) -> CacheKey {
-    match req {
-        QueryRequest::Threshold { pattern, tau } => {
-            CacheKey::Threshold(pattern.clone(), quantize_tau(*tau))
-        }
-        QueryRequest::TopK { pattern, k } => CacheKey::TopK(pattern.clone(), *k),
-        QueryRequest::Listing { pattern, tau } => {
-            CacheKey::Listing(pattern.clone(), quantize_tau(*tau))
-        }
-        QueryRequest::Approx { pattern, tau } => {
-            CacheKey::Approx(pattern.clone(), quantize_tau(*tau))
-        }
-    }
-}
-
-/// Merges per-shard partial answers (already in shard = ascending doc
-/// order) into the response for `req`. Used identically by the parallel and
-/// sequential paths, which is what makes them answer-identical.
-fn merge_partials(req: &QueryRequest, parts: Vec<ShardPartial>) -> QueryResponse {
-    match req {
-        QueryRequest::Threshold { .. } | QueryRequest::Approx { .. } => {
-            let mut merged = Vec::new();
-            for p in parts {
-                if let ShardPartial::Hits(mut h) = p {
-                    merged.append(&mut h);
-                }
-            }
-            let shared: SharedHits = Arc::new(merged);
-            match req {
-                QueryRequest::Threshold { .. } => QueryResponse::Threshold(shared),
-                _ => QueryResponse::Approx(shared),
-            }
-        }
-        QueryRequest::TopK { k, .. } => {
-            let mut all = Vec::new();
-            for p in parts {
-                if let ShardPartial::TopK(mut h) = p {
-                    all.append(&mut h);
-                }
-            }
-            all.sort_by(top_hit_order);
-            all.truncate(*k);
-            QueryResponse::TopK(Arc::new(all))
-        }
-        QueryRequest::Listing { .. } => {
-            let mut merged = Vec::new();
-            for p in parts {
-                if let ShardPartial::Listing(mut h) = p {
-                    merged.append(&mut h);
-                }
-            }
-            QueryResponse::Listing(Arc::new(merged))
-        }
-    }
-}
-
-/// One shard's answer to one request (collected during a parallel batch).
-type ShardAnswer = Result<ShardPartial, Error>;
 
 /// Errors from assembling a service out of snapshot files.
 #[derive(Debug)]
@@ -515,12 +340,23 @@ fn doc_id_from_name(name: &str) -> Option<usize> {
 /// ([`QueryService::load_collection`]), or a directory of per-document
 /// snapshots ([`QueryService::load_dir`], deprecated path).
 pub struct QueryService {
-    shards: Vec<Arc<Shard>>,
-    pool: ThreadPool,
-    cache: Option<Mutex<LruCache<CacheKey, QueryResponse>>>,
+    shards: Vec<Arc<Segment>>,
+    engine: Engine,
     /// Smallest τ every underlying index accepts.
     tau_min: f64,
     num_docs: usize,
+}
+
+/// The static service *is* a [`SegmentSet`]: its segments are the fixed
+/// shard list planned at assembly time.
+impl SegmentSet for QueryService {
+    fn segments(&self) -> Vec<Arc<Segment>> {
+        self.shards.clone()
+    }
+
+    fn tau_min(&self) -> f64 {
+        self.tau_min
+    }
 }
 
 impl QueryService {
@@ -539,7 +375,7 @@ impl QueryService {
                     .epsilon
                     .map(|eps| ApproxIndex::build(d, tau_min, eps))
                     .transpose()?;
-                Ok(DocIndex { index, approx })
+                Ok(DocExecutor::Built { index, approx })
             })
             .collect::<Result<Vec<_>, Error>>()?;
         let shards = match config.shards {
@@ -555,7 +391,7 @@ impl QueryService {
     pub fn from_indexes(indexes: Vec<Index>, config: ServiceConfig) -> Self {
         let docs = indexes
             .into_iter()
-            .map(|index| DocIndex {
+            .map(|index| DocExecutor::Built {
                 index,
                 approx: None,
             })
@@ -568,16 +404,16 @@ impl QueryService {
     }
 
     /// Shards `docs` (by `weights` when given, uniformly otherwise) and
-    /// wires up the pool and cache.
+    /// wires up the dispatch engine.
     fn assemble(
-        docs: Vec<DocIndex>,
+        docs: Vec<DocExecutor>,
         weights: Option<&[usize]>,
         num_shards: usize,
         config: &ServiceConfig,
     ) -> Self {
         let num_docs = docs.len();
         let threads = config.effective_threads();
-        let tau_min = docs.iter().map(|d| d.index.tau_min()).fold(0.0, f64::max);
+        let tau_min = docs.iter().map(|d| d.tau_min()).fold(0.0, f64::max);
         let uniform: Vec<usize>;
         let weights = match weights {
             Some(w) => w,
@@ -590,14 +426,16 @@ impl QueryService {
         let mut shards = Vec::with_capacity(sizes.len());
         let mut iter = docs.into_iter().enumerate();
         for take in sizes {
-            let docs: Vec<(usize, DocIndex)> = iter.by_ref().take(take).collect();
-            shards.push(Arc::new(Shard { docs }));
+            let docs: Vec<(usize, Arc<DocExecutor>)> = iter
+                .by_ref()
+                .take(take)
+                .map(|(doc, d)| (doc, Arc::new(d)))
+                .collect();
+            shards.push(Arc::new(Segment { docs }));
         }
         Self {
             shards,
-            pool: ThreadPool::new(threads),
-            cache: (config.cache_capacity > 0)
-                .then(|| Mutex::new(LruCache::new(config.cache_capacity))),
+            engine: Engine::new(threads, config.cache_capacity),
             tau_min,
             num_docs,
         }
@@ -659,7 +497,16 @@ impl QueryService {
         std::fs::create_dir_all(dir)?;
         for shard in &self.shards {
             for (doc, d) in &shard.docs {
-                d.index.save(dir.join(format!("doc_{doc:08}.idx")))?;
+                let path = dir.join(format!("doc_{doc:08}.idx"));
+                match d.as_ref() {
+                    DocExecutor::Built { index, .. } => index.save(path)?,
+                    // Persistence always writes real index snapshots; a
+                    // scan-served document is indexed on the way out.
+                    DocExecutor::Scanned(scan) => {
+                        Index::build(scan.source(), ustr_core::QueryExecutor::tau_min(scan))?
+                            .save(path)?
+                    }
+                }
             }
         }
         Ok(())
@@ -675,13 +522,23 @@ impl QueryService {
         for shard in &self.shards {
             for (doc, d) in &shard.docs {
                 let mut bytes = Vec::new();
-                d.index.write_snapshot(&mut bytes)?;
+                match d.as_ref() {
+                    DocExecutor::Built { index, .. } => index.write_snapshot(&mut bytes)?,
+                    DocExecutor::Scanned(scan) => {
+                        Index::build(scan.source(), ustr_core::QueryExecutor::tau_min(scan))?
+                            .write_snapshot(&mut bytes)?
+                    }
+                }
                 sections.push(CollectionSection {
                     doc: *doc,
                     kind: SnapshotKind::Index,
                     bytes,
                 });
-                if let Some(approx) = &d.approx {
+                if let DocExecutor::Built {
+                    approx: Some(approx),
+                    ..
+                } = d.as_ref()
+                {
                     let mut bytes = Vec::new();
                     approx.write_snapshot(&mut bytes)?;
                     sections.push(CollectionSection {
@@ -740,7 +597,7 @@ impl QueryService {
             let approx = ab
                 .map(|bytes| ApproxIndex::read_snapshot(&bytes[..]))
                 .transpose()?;
-            docs.push(DocIndex { index, approx });
+            docs.push(DocExecutor::Built { index, approx });
         }
         let shards = match config.shards {
             0 if coll.shard_hint > 0 => coll.shard_hint,
@@ -762,7 +619,7 @@ impl QueryService {
 
     /// Worker threads in the pool.
     pub fn threads(&self) -> usize {
-        self.pool.threads()
+        self.engine.threads()
     }
 
     /// The smallest τ the service accepts (largest `τmin` of its indexes).
@@ -777,59 +634,15 @@ impl QueryService {
             && self
                 .shards
                 .iter()
-                .all(|s| s.docs.iter().all(|(_, d)| d.approx.is_some()))
+                .all(|s| s.docs.iter().all(|(_, d)| d.has_approx()))
     }
 
-    /// `(hits, misses)` of the result cache; zeros when caching is disabled.
+    /// `(hits, misses)` of the result cache; zeros when caching is
+    /// disabled. The counters are cumulative totals over the service's
+    /// lifetime (for a CLI invocation: process-lifetime totals) — they are
+    /// never reset.
     pub fn cache_stats(&self) -> (u64, u64) {
-        self.cache
-            .as_ref()
-            .map_or((0, 0), |c| c.lock().expect("cache poisoned").stats())
-    }
-
-    fn validate_pattern(pattern: &[u8]) -> Result<(), Error> {
-        if pattern.is_empty() {
-            return Err(Error::EmptyPattern);
-        }
-        if pattern.contains(&0u8) {
-            return Err(Error::PatternContainsSentinel);
-        }
-        Ok(())
-    }
-
-    fn validate(&self, pattern: &[u8], tau: f64) -> Result<(), Error> {
-        Self::validate_pattern(pattern)?;
-        if !(tau > 0.0 && tau <= 1.0) {
-            return Err(Error::InvalidThreshold { value: tau });
-        }
-        if tau < self.tau_min - TAU_TOLERANCE {
-            return Err(Error::ThresholdBelowTauMin {
-                tau,
-                tau_min: self.tau_min,
-            });
-        }
-        Ok(())
-    }
-
-    fn validate_request(&self, req: &QueryRequest) -> Result<(), Error> {
-        match req {
-            QueryRequest::Threshold { pattern, tau }
-            | QueryRequest::Listing { pattern, tau }
-            | QueryRequest::Approx { pattern, tau } => self.validate(pattern, *tau),
-            QueryRequest::TopK { pattern, .. } => Self::validate_pattern(pattern),
-        }
-    }
-
-    fn cache_get(&self, key: &CacheKey) -> Option<QueryResponse> {
-        self.cache
-            .as_ref()
-            .and_then(|c| c.lock().expect("cache poisoned").get(key))
-    }
-
-    fn cache_put(&self, key: CacheKey, value: QueryResponse) {
-        if let Some(c) = &self.cache {
-            c.lock().expect("cache poisoned").insert(key, value);
-        }
+        self.engine.cache_stats()
     }
 
     /// Answers one threshold query (through the cache and the thread pool).
@@ -890,99 +703,14 @@ impl QueryService {
             .expect("one request yields one response")
     }
 
-    /// Answers a typed batch of any mix of query modes, fanning each request
-    /// across every shard on the thread pool. Responses are positionally
-    /// aligned with `requests` and are **identical** to
-    /// [`QueryService::query_requests_sequential`] for every mode —
-    /// per-shard answers are merged in shard order (top-k with a total
-    /// tie-break), never in completion order.
+    /// Answers a typed batch of any mix of query modes through the shared
+    /// [`Engine`], fanning each request across every shard on the thread
+    /// pool. Responses are positionally aligned with `requests` and are
+    /// **identical** to [`QueryService::query_requests_sequential`] for
+    /// every mode — per-shard answers are merged in shard order (top-k with
+    /// a total tie-break), never in completion order.
     pub fn query_requests(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse, Error>> {
-        let num_shards = self.shards.len();
-        let mut results: Vec<Option<Result<QueryResponse, Error>>> = vec![None; requests.len()];
-
-        // Resolve validation failures and cache hits up front, and collapse
-        // duplicate requests onto one computation: only the first occurrence
-        // (the leader) fans out; followers copy its result.
-        let mut pending: Vec<usize> = Vec::new();
-        let mut leaders: HashMap<CacheKey, usize> = HashMap::new();
-        let mut followers: Vec<(usize, usize)> = Vec::new(); // (request, leader)
-        for (q, req) in requests.iter().enumerate() {
-            if let Err(e) = self.validate_request(req) {
-                results[q] = Some(Err(e));
-                continue;
-            }
-            let key = request_key(req);
-            if let Some(hit) = self.cache_get(&key) {
-                results[q] = Some(Ok(hit));
-                continue;
-            }
-            match leaders.get(&key) {
-                Some(&leader) => followers.push((q, leader)),
-                None => {
-                    leaders.insert(key, q);
-                    pending.push(q);
-                }
-            }
-        }
-
-        // Fan out: one job per (pending request, shard).
-        let (tx, rx) = channel::<(usize, usize, ShardAnswer)>();
-        for &q in &pending {
-            for (s, shard) in self.shards.iter().enumerate() {
-                let shard = Arc::clone(shard);
-                let req = requests[q].clone();
-                let tx = tx.clone();
-                self.pool.execute(move || {
-                    // A send failure means the batch was abandoned; nothing
-                    // useful to do from a worker.
-                    let _ = tx.send((q, s, shard.answer(&req)));
-                });
-            }
-        }
-        drop(tx);
-
-        // Collect in completion order, merge in shard order.
-        let mut per_query: Vec<Vec<Option<ShardAnswer>>> =
-            (0..requests.len()).map(|_| Vec::new()).collect();
-        for &q in &pending {
-            per_query[q] = (0..num_shards).map(|_| None).collect();
-        }
-        let mut outstanding = pending.len() * num_shards;
-        while outstanding > 0 {
-            let (q, s, result) = rx.recv().expect("workers never drop mid-batch");
-            per_query[q][s] = Some(result);
-            outstanding -= 1;
-        }
-        for &q in &pending {
-            let mut parts = Vec::with_capacity(num_shards);
-            let mut error: Option<Error> = None;
-            for slot in per_query[q].drain(..) {
-                match slot.expect("every shard reported") {
-                    Ok(part) => parts.push(part),
-                    Err(e) => {
-                        // Keep the first (lowest-shard) error: deterministic.
-                        error.get_or_insert(e);
-                    }
-                }
-            }
-            results[q] = Some(match error {
-                Some(e) => Err(e),
-                None => {
-                    let response = merge_partials(&requests[q], parts);
-                    self.cache_put(request_key(&requests[q]), response.clone());
-                    Ok(response)
-                }
-            });
-        }
-
-        for (q, leader) in followers {
-            results[q] = Some(results[leader].clone().expect("leader resolved"));
-        }
-
-        results
-            .into_iter()
-            .map(|r| r.expect("every request resolved"))
-            .collect()
+        self.engine.run(self, requests)
     }
 
     /// Reference implementation: the same typed batch answered
@@ -993,23 +721,7 @@ impl QueryService {
         &self,
         requests: &[QueryRequest],
     ) -> Vec<Result<QueryResponse, Error>> {
-        requests
-            .iter()
-            .map(|req| {
-                self.validate_request(req)?;
-                let key = request_key(req);
-                if let Some(hit) = self.cache_get(&key) {
-                    return Ok(hit);
-                }
-                let mut parts = Vec::with_capacity(self.shards.len());
-                for shard in &self.shards {
-                    parts.push(shard.answer(req)?);
-                }
-                let response = merge_partials(req, parts);
-                self.cache_put(key, response.clone());
-                Ok(response)
-            })
-            .collect()
+        self.engine.run_sequential(self, requests)
     }
 
     /// Answers a legacy threshold-only batch (see [`QueryRequest`] /

@@ -110,6 +110,9 @@ pub fn write_collection(
 }
 
 /// Convenience wrapper: [`write_collection`] to a file path (buffered).
+/// The file is fsynced before returning, so callers recording it in a
+/// manifest (the live serving path truncates its WAL once a segment is
+/// manifested) can rely on the bytes surviving a power loss.
 pub fn save_collection_file(
     path: impl AsRef<Path>,
     num_docs: usize,
@@ -120,6 +123,7 @@ pub fn save_collection_file(
     let mut out = BufWriter::new(file);
     write_collection(&mut out, num_docs, shard_hint, sections)?;
     out.flush()?;
+    out.get_ref().sync_data()?;
     Ok(())
 }
 
@@ -129,6 +133,138 @@ fn corrupt(detail: impl Into<String>) -> StoreError {
     }
 }
 
+/// Parsed collection header fields (shared by the full reader and the
+/// manifest-only inspector, so the two can never drift).
+struct HeaderFields {
+    version: u32,
+    num_docs: usize,
+    shard_hint: usize,
+    num_sections: usize,
+}
+
+/// Parses and validates the fixed-size collection header.
+fn parse_collection_header(header: &[u8]) -> Result<HeaderFields, StoreError> {
+    if header.len() < COLLECTION_HEADER_LEN {
+        return Err(StoreError::Truncated {
+            context: "collection header",
+        });
+    }
+    if header[0..8] != COLLECTION_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if version != COLLECTION_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    if header[12..16] != [0, 0, 0, 0] {
+        return Err(corrupt("reserved collection header bytes are not zero"));
+    }
+    let num_docs = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let shard_hint = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    let num_sections = u64::from_le_bytes(header[32..40].try_into().unwrap());
+    Ok(HeaderFields {
+        version,
+        num_docs: usize::try_from(num_docs).map_err(|_| corrupt("document count overflows"))?,
+        shard_hint: usize::try_from(shard_hint).unwrap_or(0),
+        num_sections: usize::try_from(num_sections)
+            .map_err(|_| corrupt("section count overflows"))?,
+    })
+}
+
+/// Decodes one 33-byte manifest row.
+fn parse_manifest_entry(entry: &[u8]) -> Result<ManifestEntry, StoreError> {
+    let doc = u64::from_le_bytes(entry[0..8].try_into().unwrap());
+    Ok(ManifestEntry {
+        doc: usize::try_from(doc).map_err(|_| corrupt("document id overflows"))?,
+        kind: SnapshotKind::from_byte(entry[8])?,
+        offset: u64::from_le_bytes(entry[9..17].try_into().unwrap()),
+        len: u64::from_le_bytes(entry[17..25].try_into().unwrap()),
+        checksum: u64::from_le_bytes(entry[25..33].try_into().unwrap()),
+    })
+}
+
+/// One manifest row, as stored (nothing about the section bytes is read).
+#[derive(Debug, Clone)]
+pub struct ManifestEntry {
+    /// Document id the section belongs to.
+    pub doc: usize,
+    /// Index kind the section holds.
+    pub kind: SnapshotKind,
+    /// Byte offset of the section from the start of the file.
+    pub offset: u64,
+    /// Section length in bytes.
+    pub len: u64,
+    /// Recorded FNV-1a 64 checksum of the section bytes.
+    pub checksum: u64,
+}
+
+/// The manifest-level metadata of a collection snapshot, read without
+/// touching (or verifying) any section payload.
+#[derive(Debug, Clone)]
+pub struct CollectionManifest {
+    /// Collection container format version.
+    pub version: u32,
+    /// Number of documents the collection declares.
+    pub num_docs: usize,
+    /// Shard count recorded at save time.
+    pub shard_hint: usize,
+    /// All manifest rows, in stored order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// Reads only the header and manifest of a collection snapshot — O(manifest)
+/// work and memory regardless of how large the index payloads are. Used to
+/// *inspect* a `.coll` file (`ustr stats`) without loading any index.
+pub fn read_collection_manifest(path: impl AsRef<Path>) -> Result<CollectionManifest, StoreError> {
+    let mut file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut header = [0u8; COLLECTION_HEADER_LEN];
+    let mut filled = 0;
+    while filled < COLLECTION_HEADER_LEN {
+        let n = file.read(&mut header[filled..])?;
+        if n == 0 {
+            return Err(StoreError::Truncated {
+                context: "collection header",
+            });
+        }
+        filled += n;
+    }
+    let h = parse_collection_header(&header)?;
+    // The header is not checksummed: bound the declared manifest size
+    // against the actual file before allocating anything for it.
+    let manifest_len = h
+        .num_sections
+        .checked_mul(MANIFEST_ENTRY_LEN)
+        .filter(|&m| {
+            m.checked_add(COLLECTION_HEADER_LEN)
+                .is_some_and(|end| end as u64 <= file_len)
+        })
+        .ok_or(StoreError::Truncated {
+            context: "collection manifest",
+        })?;
+    let mut manifest = vec![0u8; manifest_len];
+    let mut filled = 0;
+    while filled < manifest_len {
+        let n = file.read(&mut manifest[filled..])?;
+        if n == 0 {
+            return Err(StoreError::Truncated {
+                context: "collection manifest",
+            });
+        }
+        filled += n;
+    }
+    let entries = manifest
+        .chunks_exact(MANIFEST_ENTRY_LEN)
+        .map(parse_manifest_entry)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CollectionManifest {
+        version: h.version,
+        num_docs: h.num_docs,
+        shard_hint: h.shard_hint,
+        entries,
+    })
+}
+
 /// Reads and validates a collection snapshot: magic, version, manifest
 /// bounds, section contiguity, and every per-section checksum. Sections are
 /// returned verbatim; decoding each into an index (which re-verifies the
@@ -136,28 +272,8 @@ fn corrupt(detail: impl Into<String>) -> StoreError {
 pub fn read_collection(mut input: impl Read) -> Result<Collection, StoreError> {
     let mut bytes = Vec::new();
     input.read_to_end(&mut bytes)?;
-    if bytes.len() < COLLECTION_HEADER_LEN {
-        return Err(StoreError::Truncated {
-            context: "collection header",
-        });
-    }
-    if bytes[0..8] != COLLECTION_MAGIC {
-        return Err(StoreError::BadMagic);
-    }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != COLLECTION_VERSION {
-        return Err(StoreError::UnsupportedVersion { found: version });
-    }
-    if bytes[12..16] != [0, 0, 0, 0] {
-        return Err(corrupt("reserved collection header bytes are not zero"));
-    }
-    let num_docs = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
-    let shard_hint = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
-    let num_sections = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
-    let num_docs = usize::try_from(num_docs).map_err(|_| corrupt("document count overflows"))?;
-    let shard_hint = usize::try_from(shard_hint).unwrap_or(0);
-    let num_sections =
-        usize::try_from(num_sections).map_err(|_| corrupt("section count overflows"))?;
+    let h = parse_collection_header(&bytes)?;
+    let (num_docs, shard_hint, num_sections) = (h.num_docs, h.shard_hint, h.num_sections);
     let manifest_end = num_sections
         .checked_mul(MANIFEST_ENTRY_LEN)
         .and_then(|m| m.checked_add(COLLECTION_HEADER_LEN))
@@ -181,39 +297,36 @@ pub fn read_collection(mut input: impl Read) -> Result<Collection, StoreError> {
     let mut expected_offset = manifest_end as u64;
     for i in 0..num_sections {
         let e = COLLECTION_HEADER_LEN + i * MANIFEST_ENTRY_LEN;
-        let entry = &bytes[e..e + MANIFEST_ENTRY_LEN];
-        let doc = u64::from_le_bytes(entry[0..8].try_into().unwrap());
-        let kind = SnapshotKind::from_byte(entry[8])?;
-        let offset = u64::from_le_bytes(entry[9..17].try_into().unwrap());
-        let len = u64::from_le_bytes(entry[17..25].try_into().unwrap());
-        let checksum = u64::from_le_bytes(entry[25..33].try_into().unwrap());
-        let doc = usize::try_from(doc).map_err(|_| corrupt("document id overflows"))?;
-        if doc >= num_docs {
+        let entry = parse_manifest_entry(&bytes[e..e + MANIFEST_ENTRY_LEN])?;
+        if entry.doc >= num_docs {
             return Err(corrupt(format!(
-                "manifest entry {i} names document {doc}, but the collection declares {num_docs}"
+                "manifest entry {i} names document {}, but the collection declares {num_docs}",
+                entry.doc
             )));
         }
-        if offset != expected_offset {
+        if entry.offset != expected_offset {
             return Err(corrupt(format!(
-                "section {i} is not contiguous (offset {offset}, expected {expected_offset})"
+                "section {i} is not contiguous (offset {}, expected {expected_offset})",
+                entry.offset
             )));
         }
-        let end = offset
-            .checked_add(len)
+        let end = entry
+            .offset
+            .checked_add(entry.len)
             .ok_or_else(|| corrupt("section extent overflows"))?;
         if end > bytes.len() as u64 {
             return Err(StoreError::Truncated {
                 context: "collection section",
             });
         }
-        let section = bytes[offset as usize..end as usize].to_vec();
-        if fnv1a(&section) != checksum {
+        let section = bytes[entry.offset as usize..end as usize].to_vec();
+        if fnv1a(&section) != entry.checksum {
             return Err(StoreError::ChecksumMismatch);
         }
         expected_offset = end;
         sections.push(CollectionSection {
-            doc,
-            kind,
+            doc: entry.doc,
+            kind: entry.kind,
             bytes: section,
         });
     }
@@ -328,6 +441,36 @@ mod tests {
             read_collection(&bytes[..]),
             Err(StoreError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn manifest_reader_inspects_without_decoding() {
+        let bytes = sample_bytes();
+        let path = std::env::temp_dir().join("ustr_store_manifest_read.coll");
+        std::fs::write(&path, &bytes).unwrap();
+        let m = read_collection_manifest(&path).unwrap();
+        assert_eq!(m.version, COLLECTION_VERSION);
+        assert_eq!(m.num_docs, 2);
+        assert_eq!(m.shard_hint, 2);
+        assert_eq!(m.entries.len(), 2);
+        // Entries agree with the full reader's sections.
+        let coll = read_collection(&bytes[..]).unwrap();
+        for (e, s) in m.entries.iter().zip(coll.sections.iter()) {
+            assert_eq!(e.doc, s.doc);
+            assert_eq!(e.kind, s.kind);
+            assert_eq!(e.len as usize, s.bytes.len());
+            assert_eq!(e.checksum, fnv1a(&s.bytes));
+        }
+        // A corrupt section count must fail cleanly *before* any
+        // allocation sized from the untrusted header.
+        let mut huge = bytes.clone();
+        huge[32..40].copy_from_slice(&(u64::MAX / 64).to_le_bytes());
+        std::fs::write(&path, &huge).unwrap();
+        assert!(matches!(
+            read_collection_manifest(&path),
+            Err(StoreError::Truncated { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

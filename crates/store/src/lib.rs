@@ -71,6 +71,7 @@
 
 pub mod collection;
 mod error;
+pub mod wal;
 mod wire;
 
 use std::fs::File;
@@ -88,10 +89,15 @@ use ustr_core::{
 use ustr_uncertain::{Correlation, SpecialUncertainString, Transformed, UncertainString};
 
 pub use collection::{
-    read_collection, write_collection, Collection, CollectionSection, COLLECTION_MAGIC,
-    COLLECTION_VERSION,
+    read_collection, read_collection_manifest, write_collection, Collection, CollectionManifest,
+    CollectionSection, ManifestEntry, COLLECTION_MAGIC, COLLECTION_VERSION,
 };
 pub use error::StoreError;
+pub use wal::{
+    fsync_parent_dir, load_manifest, read_wal, read_wal_bytes, replace_wal_file, save_manifest,
+    write_wal_file, LiveManifest, SegmentMeta, WalOp, WalRecord, WalReplay, WalWriter, WAL_MAGIC,
+    WAL_VERSION,
+};
 pub use wire::{Reader, Writer};
 
 /// The 8-byte magic prefix of every snapshot file.
@@ -283,7 +289,7 @@ pub trait Snapshot: Sized {
 // Payload codecs for the shared building blocks.
 // ---------------------------------------------------------------------------
 
-fn encode_uncertain_string(w: &mut Writer, s: &UncertainString) {
+pub(crate) fn encode_uncertain_string(w: &mut Writer, s: &UncertainString) {
     w.put_u64(s.len() as u64);
     for pos in s.positions() {
         let choices = pos.choices();
@@ -316,7 +322,7 @@ fn decode_correlation(r: &mut Reader<'_>) -> Result<Correlation, StoreError> {
     })
 }
 
-fn decode_uncertain_string(r: &mut Reader<'_>) -> Result<UncertainString, StoreError> {
+pub(crate) fn decode_uncertain_string(r: &mut Reader<'_>) -> Result<UncertainString, StoreError> {
     let n = r.get_len(1)?;
     let mut rows = Vec::with_capacity(n);
     for _ in 0..n {

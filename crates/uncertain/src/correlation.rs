@@ -59,7 +59,7 @@ impl Correlation {
 ///
 /// At most one correlation per subject is supported (matching the paper's
 /// presentation); self-correlations are rejected.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CorrelationSet {
     by_subject: HashMap<(usize, u8), Correlation>,
 }

@@ -19,7 +19,7 @@ use crate::{
 /// assert!((s.match_probability(b"BAD", 0) - 0.24).abs() < 1e-12);
 /// assert_eq!(s.match_probability(b"Z", 0), 0.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UncertainString {
     positions: Vec<UncertainChar>,
     correlations: CorrelationSet,

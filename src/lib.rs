@@ -26,6 +26,18 @@
 //! threshold, top-k, listing, approx — over a sharded collection with a
 //! fixed thread pool, deterministic merge, and a per-mode LRU result cache.
 //!
+//! Collections are **mutable** too: [`LiveService`] accepts inserts and
+//! deletes at serving time — writes go through a checksummed, fsynced
+//! write-ahead log into a scan-served memtable (immediately queryable,
+//! answers bit-identical to a built index under the
+//! [`QueryExecutor`](ustr_core::QueryExecutor) contract), a background
+//! thread seals memtables into immutable `.coll` segments built with the
+//! ordinary constructors, and a compactor merges small segments while
+//! dropping tombstoned documents. Static and live serving share one
+//! dispatcher (`ustr_service::Engine` over `SegmentSet`), so a live
+//! collection answers byte-identically to a static rebuild at every point
+//! of its lifecycle.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -50,19 +62,23 @@
 //! | Re-export | Crate | Role |
 //! |---|---|---|
 //! | [`UncertainString`], [`SpecialUncertainString`], correlation & transform | `ustr-uncertain` | data model, possible worlds, Lemma-2 factor transform |
-//! | [`Index`], [`SpecialIndex`], [`ListingIndex`], [`ApproxIndex`] | `ustr-core` | the paper's indexes (§4–§7) |
-//! | [`Snapshot`], [`StoreError`], snapshot + collection formats | `ustr-store` | versioned binary index persistence; single-file collection snapshots |
-//! | [`QueryService`], [`QueryRequest`], [`ServiceConfig`], [`DocHits`], [`TopHit`] | `ustr-service` | concurrent sharded serving: four typed query modes, thread pool, deterministic merge, per-mode LRU cache |
-//! | [`NaiveScanner`], [`SimpleIndex`], DP containment | `ustr-baseline` | baselines & test oracles |
+//! | [`Index`], [`SpecialIndex`], [`ListingIndex`], [`ApproxIndex`], [`core::QueryExecutor`] | `ustr-core` | the paper's indexes (§4–§7) + the execution-strategy contract |
+//! | [`Snapshot`], [`StoreError`], snapshot/collection/WAL formats | `ustr-store` | versioned binary index persistence; single-file collection snapshots; write-ahead log + live manifest |
+//! | [`QueryService`], [`QueryRequest`], [`ServiceConfig`], [`DocHits`], [`TopHit`] | `ustr-service` | concurrent sharded serving: four typed query modes, one `Engine` dispatcher over `SegmentSet`s, deterministic merge, per-mode LRU cache |
+//! | [`LiveService`], [`LiveConfig`] | `ustr-live` | mutable collections: WAL → memtable → sealed segments → compaction |
+//! | [`NaiveScanner`], [`SimpleIndex`], [`ScanIndex`], DP containment | `ustr-baseline` | baselines, test oracles, and the scan-backed memtable executor |
 //! | [`StreamMatcher`], [`ContainmentTracker`] | `ustr-stream` | online matching over event streams (§2) |
 //! | suffix arrays / trees | `ustr-suffix` | SA-IS, LCP, suffix tree substrate |
 //! | RMQ structures | `ustr-rmq` | Lemma-1 substrate |
 //! | dataset generators | `ustr-workload` | §8.1 synthetic workloads |
 
-pub use ustr_baseline::{self as baseline, NaiveScanner, PossibleWorldOracle, SimpleIndex};
+pub use ustr_baseline::{
+    self as baseline, NaiveScanner, PossibleWorldOracle, ScanIndex, SimpleIndex,
+};
 pub use ustr_core::{
     self as core, ApproxIndex, Error, Index, ListingIndex, QueryResult, RelMetric, SpecialIndex,
 };
+pub use ustr_live::{self as live, LiveConfig, LiveError, LiveService};
 pub use ustr_rmq as rmq;
 pub use ustr_service::{
     self as service, DocHits, QueryRequest, QueryResponse, QueryService, ServiceConfig, TopHit,
