@@ -1,0 +1,186 @@
+//! Network serving benchmark: a real `ustr-net` server plus a
+//! multi-connection load generator. Emits machine-readable `BENCH_net.json`
+//! (total pipelined throughput and per-mode round-trip p50/p99, at 1, 8,
+//! and 64 concurrent connections) for CI artifact upload and the
+//! `bench-gate` regression check.
+//!
+//! Like the `live` bench this is a custom `harness = false` main: the
+//! interesting numbers are latency percentiles under concurrency, which we
+//! time directly and serialize ourselves. The result cache is disabled so
+//! the wire + dispatch + index path is what gets measured.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ustr_net::{NetClient, NetServer, ServerConfig};
+use ustr_service::{QueryRequest, QueryService, ServiceConfig};
+use ustr_workload::{generate_collection, DatasetConfig};
+
+/// Round trips per (connection, mode) in the latency phase.
+const LATENCY_ITERS: usize = 20;
+/// Pipelined batches per connection in the throughput phase.
+const THROUGHPUT_BATCHES: usize = 8;
+/// Requests per pipelined batch.
+const BATCH_SIZE: usize = 16;
+/// Connection counts swept.
+const CONN_COUNTS: [usize; 3] = [1, 8, 64];
+
+/// `(mode key, one representative request)` for the latency phase.
+fn modes() -> Vec<(&'static str, QueryRequest)> {
+    vec![
+        (
+            "threshold",
+            QueryRequest::Threshold {
+                pattern: b"ab".to_vec(),
+                tau: 0.3,
+            },
+        ),
+        (
+            "topk",
+            QueryRequest::TopK {
+                pattern: b"ab".to_vec(),
+                k: 5,
+            },
+        ),
+        (
+            "listing",
+            QueryRequest::Listing {
+                pattern: b"ba".to_vec(),
+                tau: 0.2,
+            },
+        ),
+        (
+            "approx",
+            QueryRequest::Approx {
+                pattern: b"ab".to_vec(),
+                tau: 0.3,
+            },
+        ),
+    ]
+}
+
+/// The mixed-mode batch the throughput phase pipelines.
+fn throughput_batch() -> Vec<QueryRequest> {
+    let modes = modes();
+    (0..BATCH_SIZE)
+        .map(|i| modes[i % modes.len()].1.clone())
+        .collect()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct ConnStats {
+    /// Per-mode round-trip latencies in µs.
+    latencies: Vec<Vec<f64>>,
+    /// Requests answered in the throughput phase.
+    answered: usize,
+}
+
+/// One load-generator connection: sequential round trips per mode, then
+/// pipelined mixed-mode bursts.
+fn drive_connection(addr: SocketAddr, seed: usize) -> ConnStats {
+    let mut client = NetClient::connect(addr).expect("connect");
+    let modes = modes();
+    let mut latencies = vec![Vec::with_capacity(LATENCY_ITERS); modes.len()];
+    // Stagger the mode order per connection so all 64 connections do not
+    // hammer the same pattern in lockstep.
+    for k in 0..modes.len() {
+        let (_, request) = &modes[(seed + k) % modes.len()];
+        let slot = (seed + k) % modes.len();
+        for _ in 0..LATENCY_ITERS {
+            let t0 = Instant::now();
+            let answers = client
+                .query_requests(std::slice::from_ref(request))
+                .expect("round trip");
+            assert!(answers[0].is_ok(), "bench queries answer");
+            latencies[slot].push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    let batch = throughput_batch();
+    let mut answered = 0;
+    for _ in 0..THROUGHPUT_BATCHES {
+        let answers = client.query_requests(&batch).expect("pipelined batch");
+        assert!(answers.iter().all(|a| a.is_ok()));
+        answered += answers.len();
+    }
+    let _ = client.goodbye();
+    ConnStats {
+        latencies,
+        answered,
+    }
+}
+
+fn main() {
+    // Ignore harness flags (`cargo bench` passes --bench).
+    let docs = generate_collection(&DatasetConfig::new(2_000, 0.25, 43));
+    let num_docs = docs.len();
+    let service = QueryService::build(
+        &docs,
+        0.1,
+        ServiceConfig {
+            threads: 0,
+            shards: 0,
+            cache_capacity: 0, // measure the serving path, not the cache
+            epsilon: Some(0.05),
+        },
+    )
+    .expect("service build");
+    let server =
+        NetServer::serve("127.0.0.1:0", Arc::new(service), ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mode_keys: Vec<&str> = modes().iter().map(|&(k, _)| k).collect();
+    let mut sections = Vec::new();
+    for &conns in &CONN_COUNTS {
+        let t0 = Instant::now();
+        let stats: Vec<ConnStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..conns)
+                .map(|seed| scope.spawn(move || drive_connection(addr, seed)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        let round_trips: usize = conns * LATENCY_ITERS * mode_keys.len();
+        let answered: usize = stats.iter().map(|s| s.answered).sum::<usize>() + round_trips;
+        let throughput = answered as f64 / wall;
+
+        let mut mode_json = Vec::new();
+        for (m, key) in mode_keys.iter().enumerate() {
+            let mut all: Vec<f64> = stats.iter().flat_map(|s| s.latencies[m].clone()).collect();
+            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            mode_json.push(format!(
+                "      \"{key}\": {{ \"p50_us\": {:.1}, \"p99_us\": {:.1} }}",
+                percentile(&all, 0.50),
+                percentile(&all, 0.99)
+            ));
+        }
+        sections.push(format!(
+            "  \"conns_{conns}\": {{\n    \"throughput_rps\": {throughput:.1},\n    \
+             \"requests\": {answered},\n    \"modes\": {{\n{}\n    }}\n  }}",
+            mode_json.join(",\n")
+        ));
+        println!(
+            "{conns:>3} connection(s): {answered} request(s) in {wall:.3}s \
+             ({throughput:.0} req/s)"
+        );
+    }
+    server.shutdown();
+
+    let json = format!(
+        "{{\n  \"num_docs\": {num_docs},\n{}\n}}\n",
+        sections.join(",\n")
+    );
+    std::fs::write("BENCH_net.json", &json).unwrap();
+    println!("{json}");
+    println!(
+        "wrote BENCH_net.json to {}",
+        std::env::current_dir().unwrap().display()
+    );
+}

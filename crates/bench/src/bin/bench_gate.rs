@@ -1,0 +1,134 @@
+//! `bench-gate` — fails CI when a bench artifact's p50s regress against
+//! the committed baselines.
+//!
+//! ```text
+//! bench-gate [--baseline-dir BENCH_baseline] [--tolerance 0.30] [--update] \
+//!            NAME=CURRENT_PATH ...
+//! ```
+//!
+//! Each `NAME=PATH` pair compares the freshly produced artifact at `PATH`
+//! against `BASELINE_DIR/NAME`. Only keys whose dotted path contains `p50`
+//! are gated; a current value above `baseline × (1 + tolerance)` — or a
+//! gated baseline key missing from the current artifact — fails with exit
+//! code 1.
+//!
+//! Refreshing baselines (the skip path): run with `--update` to overwrite
+//! `BASELINE_DIR/NAME` with the current artifacts and exit 0, commit the
+//! result. A missing baseline file is reported as `SKIP` and passes, so
+//! brand-new benches gate only once their baseline lands.
+
+use std::process::ExitCode;
+
+use ustr_bench::gate::{compare_p50s, parse};
+
+fn run() -> Result<bool, String> {
+    let mut baseline_dir = "BENCH_baseline".to_string();
+    let mut tolerance = 0.30f64;
+    let mut update = false;
+    let mut pairs: Vec<(String, String)> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline-dir" => {
+                baseline_dir = args.next().ok_or("--baseline-dir needs a value")?;
+            }
+            "--tolerance" => {
+                let raw = args.next().ok_or("--tolerance needs a value")?;
+                tolerance = raw
+                    .parse()
+                    .map_err(|_| format!("invalid tolerance {raw:?}"))?;
+            }
+            "--update" => update = true,
+            other => {
+                let (name, path) = other
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected NAME=PATH, got {other:?}"))?;
+                pairs.push((name.to_string(), path.to_string()));
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return Err("no NAME=PATH artifact pairs given".into());
+    }
+
+    let mut all_ok = true;
+    for (name, current_path) in &pairs {
+        let baseline_path = format!("{baseline_dir}/{name}");
+        let current_text = std::fs::read_to_string(current_path)
+            .map_err(|e| format!("cannot read current artifact {current_path}: {e}"))?;
+        // The current artifact must at least be valid JSON, even in
+        // --update mode: a broken bench must not become the baseline.
+        let current = parse(&current_text).map_err(|e| format!("{current_path}: {e}"))?;
+
+        if update {
+            std::fs::create_dir_all(&baseline_dir)
+                .map_err(|e| format!("cannot create {baseline_dir}: {e}"))?;
+            std::fs::write(&baseline_path, &current_text)
+                .map_err(|e| format!("cannot write {baseline_path}: {e}"))?;
+            println!("UPDATE {name}: baseline refreshed from {current_path}");
+            continue;
+        }
+
+        let baseline_text = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text,
+            Err(_) => {
+                println!(
+                    "SKIP {name}: no baseline at {baseline_path} \
+                     (run with --update to record one)"
+                );
+                continue;
+            }
+        };
+        let baseline = parse(&baseline_text).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let report = compare_p50s(&baseline, &current, tolerance);
+        for (key, base, now) in &report.passed {
+            println!(
+                "  ok   {name} {key}: {now:.1} vs baseline {base:.1} \
+                 ({:+.1}%, tolerance {:.0}%)",
+                (now / base - 1.0) * 100.0,
+                tolerance * 100.0
+            );
+        }
+        for key in &report.missing {
+            all_ok = false;
+            println!("  FAIL {name} {key}: gated metric missing from {current_path}");
+        }
+        for r in &report.regressions {
+            all_ok = false;
+            println!(
+                "  FAIL {name} {}: {:.1} vs baseline {:.1} ({:+.1}% > {:.0}% tolerance)",
+                r.key,
+                r.current,
+                r.baseline,
+                (r.current / r.baseline - 1.0) * 100.0,
+                tolerance * 100.0
+            );
+        }
+        println!(
+            "{} {name}: {} gated metric(s), {} regression(s), {} missing",
+            if report.ok() { "PASS" } else { "FAIL" },
+            report.passed.len() + report.regressions.len() + report.missing.len(),
+            report.regressions.len(),
+            report.missing.len()
+        );
+    }
+    Ok(all_ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!(
+                "bench-gate: p50 regression(s) detected; if intentional, refresh the \
+                 baselines with --update and commit BENCH_baseline/"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The perf-regression gate: a dependency-free JSON reader and a p50
+//! comparator over the machine-readable `BENCH_*.json` artifacts.
+//!
+//! CI checks current bench output against the snapshots committed under
+//! `BENCH_baseline/` (see the `bench-gate` binary). Only keys whose dotted
+//! path contains `p50` are gated — throughput and one-shot maintenance
+//! durations are reported but too machine-dependent to fail a build on.
+
+/// A parsed JSON value (the subset the bench artifacts use, which is all of
+/// JSON minus exotic escapes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string (supports the standard short escapes and `\uXXXX`).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(what))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.fail("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.fail("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.fail("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self
+                .peek()
+                .ok_or_else(|| self.fail("unterminated string"))?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.fail("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.fail("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.fail("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.fail("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the artifacts are ASCII, but
+                    // stay correct on arbitrary input).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.fail("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.fail("invalid number"))
+    }
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.fail("trailing bytes after the JSON document"));
+    }
+    Ok(value)
+}
+
+/// Every numeric leaf as a `(dotted.path, value)` pair, in source order.
+/// Array elements use their index as the path segment.
+pub fn flatten_numbers(value: &Json) -> Vec<(String, f64)> {
+    fn walk(prefix: &str, value: &Json, out: &mut Vec<(String, f64)>) {
+        let join = |key: &str| {
+            if prefix.is_empty() {
+                key.to_string()
+            } else {
+                format!("{prefix}.{key}")
+            }
+        };
+        match value {
+            Json::Num(n) => out.push((prefix.to_string(), *n)),
+            Json::Obj(fields) => {
+                for (key, v) in fields {
+                    walk(&join(key), v, out);
+                }
+            }
+            Json::Arr(items) => {
+                for (i, v) in items.iter().enumerate() {
+                    walk(&join(&i.to_string()), v, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk("", value, &mut out);
+    out
+}
+
+/// One gated metric that got slower than the baseline allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Dotted path of the metric.
+    pub key: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+}
+
+/// The comparator's verdict for one artifact.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// `(key, baseline, current)` for every gated metric that passed.
+    pub passed: Vec<(String, f64, f64)>,
+    /// Gated metrics above `baseline × (1 + tolerance)`.
+    pub regressions: Vec<Regression>,
+    /// Gated baseline keys with no numeric counterpart in the current
+    /// artifact (a renamed or vanished metric also fails the gate).
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when nothing regressed and nothing went missing.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Gates the current artifact against the baseline: every baseline key
+/// whose dotted path contains `p50` (latencies — lower is better) must be
+/// ≤ `baseline × (1 + tolerance)` in the current artifact.
+pub fn compare_p50s(baseline: &Json, current: &Json, tolerance: f64) -> GateReport {
+    let current: std::collections::HashMap<String, f64> =
+        flatten_numbers(current).into_iter().collect();
+    let mut report = GateReport::default();
+    for (key, base) in flatten_numbers(baseline) {
+        if !key.to_ascii_lowercase().contains("p50") {
+            continue;
+        }
+        match current.get(&key) {
+            None => report.missing.push(key),
+            Some(&now) if now > base * (1.0 + tolerance) => report.regressions.push(Regression {
+                key,
+                baseline: base,
+                current: now,
+            }),
+            Some(&now) => report.passed.push((key, base, now)),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "num_docs": 57,
+        "ingest_docs_per_sec": 1234.5,
+        "query_p50_us": { "memtable_only": 80.0, "one_segment": 40.0 },
+        "conns_8": { "threshold": { "p50_us": 12.5, "p99_us": 30.0 } },
+        "labels": ["a", "b"],
+        "flag": true,
+        "nothing": null
+    }"#;
+
+    #[test]
+    fn parses_and_flattens_bench_artifacts() {
+        let json = parse(SAMPLE).unwrap();
+        let flat = flatten_numbers(&json);
+        let get = |k: &str| flat.iter().find(|(key, _)| key == k).map(|&(_, v)| v);
+        assert_eq!(get("num_docs"), Some(57.0));
+        assert_eq!(get("query_p50_us.memtable_only"), Some(80.0));
+        assert_eq!(get("conns_8.threshold.p50_us"), Some(12.5));
+        assert_eq!(get("conns_8.threshold.p99_us"), Some(30.0));
+    }
+
+    #[test]
+    fn malformed_json_is_a_clean_error() {
+        for bad in ["", "{", "{\"a\": }", "[1,]", "{\"a\":1} x", "nul"] {
+            assert!(parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn scientific_and_negative_numbers_parse() {
+        let json = parse(r#"{"a": -1.5e3, "b": 2E-2}"#).unwrap();
+        let flat = flatten_numbers(&json);
+        assert_eq!(flat[0], ("a".into(), -1500.0));
+        assert_eq!(flat[1], ("b".into(), 0.02));
+    }
+
+    #[test]
+    fn only_p50_keys_are_gated() {
+        let baseline = parse(SAMPLE).unwrap();
+        // Throughput collapses and p99 doubles: the gate does not care.
+        let current = parse(
+            r#"{
+            "num_docs": 57,
+            "ingest_docs_per_sec": 1.0,
+            "query_p50_us": { "memtable_only": 81.0, "one_segment": 40.0 },
+            "conns_8": { "threshold": { "p50_us": 12.5, "p99_us": 300.0 } }
+        }"#,
+        )
+        .unwrap();
+        let report = compare_p50s(&baseline, &current, 0.30);
+        assert!(report.ok(), "{report:?}");
+        assert_eq!(report.passed.len(), 3);
+    }
+
+    #[test]
+    fn regressions_beyond_tolerance_fail() {
+        let baseline = parse(r#"{"p50_us": 100.0, "other_p50": 10.0}"#).unwrap();
+        let current = parse(r#"{"p50_us": 131.0, "other_p50": 12.9}"#).unwrap();
+        let report = compare_p50s(&baseline, &current, 0.30);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].key, "p50_us");
+        assert_eq!(report.passed.len(), 1, "12.9 <= 10 * 1.3 passes");
+    }
+
+    #[test]
+    fn missing_gated_keys_fail() {
+        let baseline = parse(r#"{"a": {"p50_us": 5.0}}"#).unwrap();
+        let current = parse(r#"{"b": {"p50_us": 5.0}}"#).unwrap();
+        let report = compare_p50s(&baseline, &current, 0.30);
+        assert!(!report.ok());
+        assert_eq!(report.missing, vec!["a.p50_us".to_string()]);
+    }
+}

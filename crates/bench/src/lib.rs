@@ -1,5 +1,8 @@
 //! Shared measurement utilities for the figure harness and criterion
-//! benches (Section 8 of the paper).
+//! benches (Section 8 of the paper), plus the CI perf-regression gate
+//! ([`gate`]).
+
+pub mod gate;
 
 use std::time::{Duration, Instant};
 

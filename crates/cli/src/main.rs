@@ -104,6 +104,18 @@ const COMMANDS: &[(&str, &str, &str)] = &[
         "ustr serve-live LIVEDIR QUERIES.txt [--threads N] [--cache C] [--quiet]",
         "answer a (mixed-mode) query batch over a live collection",
     ),
+    (
+        "serve-net",
+        "ustr serve-net (LIVEDIR | INDEXDIR | FILE.coll | FILE) --addr HOST:PORT \
+         [--threads N] [--inflight N] [--max-conns N] [--port-file PATH] \
+         [--tau-min T0] [--epsilon E] [--quiet]",
+        "serve queries over TCP (ustr-net wire protocol)",
+    ),
+    (
+        "client",
+        "ustr client HOST:PORT QUERIES.txt [--quiet]",
+        "answer a (mixed-mode) query batch over a TCP connection",
+    ),
 ];
 
 /// Usage text for one subcommand, or the full listing for unknown input.
@@ -155,6 +167,8 @@ fn run(argv: &[String]) -> Result<String, String> {
         "delete" => cmd_delete(&args),
         "compact" => cmd_compact(&args),
         "serve-live" => cmd_serve_live(&args),
+        "serve-net" => cmd_serve_net(&args),
+        "client" => cmd_client(&args),
         "help" | "--help" => Ok(usage_for(None)),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -385,21 +399,12 @@ fn is_collection_file(path: &str) -> bool {
         .unwrap_or(false)
 }
 
-fn cmd_serve_batch(args: &Args) -> Result<String, String> {
-    let source = args.positional(0, "INDEXDIR")?;
-    let queries_path = args.positional(1, "QUERIES.txt")?;
-    let quiet = args.flag("quiet");
-    let epsilon: Option<f64> = match args.get("epsilon") {
-        Some(_) => Some(args.get_parsed("epsilon", 0.05)?),
-        None => None,
-    };
-    let config = ServiceConfig {
-        threads: args.get_parsed("threads", 0usize)?,
-        shards: args.get_parsed("shards", 0usize)?,
-        cache_capacity: args.get_parsed("cache", 1024usize)?,
-        epsilon,
-    };
-    let queries = load_queries(queries_path)?;
+/// Detects a *static* source's shape (snapshot directory, `.coll`
+/// snapshot, or plain collection text file), rejects `--tau-min`/
+/// `--epsilon` for snapshot sources (they would be silently ignored —
+/// snapshots carry their own), and loads or builds the service. Shared by
+/// `serve-batch` and `serve-net`.
+fn load_static_service(source: &str, args: &Args) -> Result<QueryService, String> {
     let is_dir = fs::metadata(source)
         .map_err(|e| format!("cannot read {source}: {e}"))?
         .is_dir();
@@ -419,16 +424,34 @@ fn cmd_serve_batch(args: &Args) -> Result<String, String> {
                 .to_string(),
         );
     }
-    let start = std::time::Instant::now();
-    let service = if is_dir {
-        QueryService::load_dir(source, config).map_err(|e| e.to_string())?
+    let epsilon: Option<f64> = match args.get("epsilon") {
+        Some(_) => Some(args.get_parsed("epsilon", 0.05)?),
+        None => None,
+    };
+    let config = ServiceConfig {
+        threads: args.get_parsed("threads", 0usize)?,
+        shards: args.get_parsed("shards", 0usize)?,
+        cache_capacity: args.get_parsed("cache", 1024usize)?,
+        epsilon,
+    };
+    if is_dir {
+        QueryService::load_dir(source, config).map_err(|e| e.to_string())
     } else if from_snapshots {
-        QueryService::load_collection(source, config).map_err(|e| e.to_string())?
+        QueryService::load_collection(source, config).map_err(|e| e.to_string())
     } else {
         let docs = load_collection(source)?;
         let tau_min: f64 = args.get_parsed("tau-min", 0.05)?;
-        QueryService::build(&docs, tau_min, config).map_err(|e| e.to_string())?
-    };
+        QueryService::build(&docs, tau_min, config).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_serve_batch(args: &Args) -> Result<String, String> {
+    let source = args.positional(0, "INDEXDIR")?;
+    let queries_path = args.positional(1, "QUERIES.txt")?;
+    let quiet = args.flag("quiet");
+    let queries = load_queries(queries_path)?;
+    let start = std::time::Instant::now();
+    let service = load_static_service(source, args)?;
     let ready = start.elapsed();
 
     let t0 = std::time::Instant::now();
@@ -465,11 +488,13 @@ fn cache_summary((hits, misses): (u64, u64)) -> String {
     format!("cache: {hits} hit(s), {misses} miss(es), hit ratio {ratio:.1}%\n")
 }
 
-/// Renders batch answers (shared by `serve-batch` and `serve-live`).
-fn render_results(
+/// Renders batch answers (shared by `serve-batch`, `serve-live`, and
+/// `client` — the error type is local for in-process serving and the
+/// transported `RemoteError` for TCP answers).
+fn render_results<E: std::fmt::Display>(
     out: &mut String,
     queries: &[QueryRequest],
-    results: &[Result<QueryResponse, ustr_core::Error>],
+    results: &[Result<QueryResponse, E>],
     quiet: bool,
 ) {
     for (q, (request, result)) in queries.iter().zip(results.iter()).enumerate() {
@@ -671,6 +696,96 @@ fn cmd_serve_live(args: &Args) -> Result<String, String> {
             queries.len(),
         ));
         out.push_str(&cache_summary(live.cache_stats()));
+    }
+    render_results(&mut out, &queries, &results, quiet);
+    Ok(out.trim_end().to_string())
+}
+
+/// Assembles the query backend `serve-net` wraps: a live directory, a
+/// snapshot directory, a `.coll` collection snapshot, or a plain collection
+/// text file — the same source shapes `serve-batch`/`serve-live` accept.
+fn net_backend(
+    source: &str,
+    args: &Args,
+) -> Result<(std::sync::Arc<dyn ustr_net::QueryBackend>, String), String> {
+    use std::sync::Arc;
+    // Live directories take the live options for the first-open case
+    // (exactly like serve-live; an existing directory adopts its recorded
+    // values); every static shape goes through the shared
+    // `load_static_service` path, flag validation included.
+    let p = std::path::Path::new(source);
+    if p.is_dir()
+        && (p.join(ustr_live::MANIFEST_FILE).exists() || p.join(ustr_live::WAL_FILE).exists())
+    {
+        let live = LiveService::open(source, live_config(args)?).map_err(|e| e.to_string())?;
+        let what = format!("live directory {source} ({} document(s))", live.num_docs());
+        return Ok((Arc::new(live), what));
+    }
+    let service = load_static_service(source, args)?;
+    let what = format!("{source} ({} document(s))", service.num_docs());
+    Ok((Arc::new(service), what))
+}
+
+fn cmd_serve_net(args: &Args) -> Result<String, String> {
+    let source = args.positional(0, "SOURCE")?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let quiet = args.flag("quiet");
+    let (backend, what) = net_backend(source, args)?;
+    let config = ustr_net::ServerConfig {
+        threads: args.get_parsed("threads", 0usize)?,
+        inflight: args.get_parsed("inflight", 64usize)?,
+        max_conns: args.get_parsed("max-conns", 0usize)?,
+        ..ustr_net::ServerConfig::default()
+    };
+    let max_conns = config.max_conns;
+    let server = ustr_net::NetServer::serve(addr, backend, config)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server.local_addr();
+    // The listening line (and optional port file) must land *before* the
+    // server blocks, so scripts can discover an ephemeral port.
+    if let Some(path) = args.get("port-file") {
+        fs::write(path, format!("{bound}\n")).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if !quiet {
+        println!(
+            "serving {what} on {bound} (ustr-net protocol v{})",
+            ustr_net::PROTOCOL_VERSION
+        );
+        if max_conns > 0 {
+            println!("will shut down after {max_conns} connection(s)");
+        }
+    }
+    server.wait();
+    server.shutdown();
+    if quiet {
+        return Ok(String::new());
+    }
+    Ok(format!("served on {bound}; shut down cleanly"))
+}
+
+fn cmd_client(args: &Args) -> Result<String, String> {
+    let addr = args.positional(0, "HOST:PORT")?;
+    let queries_path = args.positional(1, "QUERIES.txt")?;
+    let quiet = args.flag("quiet");
+    let queries = load_queries(queries_path)?;
+    let t0 = std::time::Instant::now();
+    let mut client = ustr_net::NetClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let info = client.server_info();
+    let results = client
+        .query_requests(&queries)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let answered = t0.elapsed();
+    let _ = client.goodbye();
+    let mut out = String::new();
+    if !quiet {
+        out.push_str(&format!(
+            "{} document(s) at {addr} (protocol v{}, tau_min {}); \
+             {} query(ies) answered in {answered:?}\n",
+            info.num_docs,
+            info.protocol_version,
+            info.tau_min,
+            queries.len(),
+        ));
     }
     render_results(&mut out, &queries, &results, quiet);
     Ok(out.trim_end().to_string())
@@ -1217,6 +1332,71 @@ mod tests {
             assert!(err.contains("not a live collection"), "{err}");
         }
         assert!(!typo.exists(), "no directory was created");
+    }
+
+    #[test]
+    fn serve_net_then_client_matches_serve_batch() {
+        let docs = write_temp(
+            "ustr_cli_net_docs.ustr",
+            "A:.9,B:.1 | B | C\nC | C | C\nA:.5,B:.5 | B | C\n",
+        );
+        let queries = write_temp(
+            "ustr_cli_net_q.txt",
+            "AB 0.3\ntop AB 2\nlist AB 0.3\napprox AB 0.3\nZZ 0.5\n",
+        );
+        let port_file = std::env::temp_dir().join("ustr_cli_net_port");
+        let _ = fs::remove_file(&port_file);
+        let serve_argv = format!(
+            "serve-net {docs} --tau-min 0.05 --max-conns 1 --port-file {} --quiet",
+            port_file.display()
+        );
+        let server = std::thread::spawn(move || run(&argv(&serve_argv)));
+        // The port file appears once the listener is bound.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(addr) = fs::read_to_string(&port_file) {
+                if addr.trim().contains(':') {
+                    break addr.trim().to_string();
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let remote = run(&argv(&format!("client {addr} {queries} --quiet"))).unwrap();
+        server.join().unwrap().unwrap();
+        let local = run(&argv(&format!(
+            "serve-batch {docs} {queries} --tau-min 0.05 --quiet"
+        )))
+        .unwrap();
+        assert_eq!(remote, local, "TCP rows equal in-process rows");
+
+        // The verbose client header names the server.
+        let _ = fs::remove_file(&port_file);
+        let err = run(&argv(&format!("client 127.0.0.1:1 {queries}"))).unwrap_err();
+        assert!(err.contains("127.0.0.1:1"), "{err}");
+
+        // Snapshot sources reject --tau-min/--epsilon instead of silently
+        // ignoring them, exactly like serve-batch.
+        let coll = std::env::temp_dir().join("ustr_cli_net_flags.coll");
+        run(&argv(&format!(
+            "build-collection {docs} --out {} --tau-min 0.05",
+            coll.display()
+        )))
+        .unwrap();
+        let err = run(&argv(&format!(
+            "serve-net {} --tau-min 0.2 --max-conns 1",
+            coll.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("--tau-min"), "{err}");
+        let err = run(&argv(&format!(
+            "serve-net {} --epsilon 0.1 --max-conns 1",
+            coll.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("--epsilon"), "{err}");
+        let _ = fs::remove_file(&coll);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! The pipelining TCP client.
+//!
+//! [`NetClient::connect`] performs the version handshake;
+//! [`NetClient::query_requests`] writes a whole batch as one buffer (full
+//! pipelining — no write→read round trip per request) and then collects
+//! responses, which the server may deliver **in any order**: they are
+//! matched back to their requests by id, so the returned vector is always
+//! positionally aligned with the input batch.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ustr_service::{QueryRequest, QueryResponse};
+use ustr_store::StoreError;
+
+use crate::proto::{
+    frame_bytes, read_message, Frame, RemoteError, DEFAULT_MAX_FRAME_LEN, NET_MAGIC,
+    PROTOCOL_VERSION,
+};
+
+/// Everything that can go wrong on the client side of a session. Per-query
+/// failures (validation errors) are **not** here — they come back as
+/// [`RemoteError`]s inside the result vector, and the connection stays
+/// usable.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode as a frame.
+    Frame(StoreError),
+    /// The peer sent a well-formed frame that violates the session state
+    /// machine (e.g. a response id that was never requested).
+    Protocol(String),
+    /// The server reported a fatal session error and closed.
+    Server {
+        /// One of the [`crate::proto::err_code`] constants.
+        code: u32,
+        /// The server's description.
+        message: String,
+    },
+    /// The connection ended (EOF or server goodbye) while responses were
+    /// still outstanding.
+    Disconnected,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "network I/O error: {e}"),
+            NetError::Frame(e) => write!(f, "malformed frame from server: {e}"),
+            NetError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            NetError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            NetError::Disconnected => {
+                write!(f, "connection closed with responses outstanding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<StoreError> for NetError {
+    fn from(e: StoreError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+/// What the server advertised in its [`Frame::HelloAck`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerInfo {
+    /// The protocol version the session speaks.
+    pub protocol_version: u32,
+    /// Documents served at handshake time.
+    pub num_docs: u64,
+    /// The serving threshold floor (τ below this fails validation).
+    pub tau_min: f64,
+}
+
+/// One client connection (the client side of one pipelined session).
+pub struct NetClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    info: ServerInfo,
+    next_id: u64,
+    max_frame_len: usize,
+}
+
+impl NetClient {
+    /// Connects and handshakes with the default frame-length cap.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Self::connect_with(addr, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// Connects and handshakes; `max_frame_len` caps response payloads.
+    pub fn connect_with(addr: impl ToSocketAddrs, max_frame_len: usize) -> Result<Self, NetError> {
+        let mut writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let mut reader = BufReader::new(writer.try_clone()?);
+        writer.write_all(&frame_bytes(&Frame::Hello {
+            magic: NET_MAGIC,
+            version: PROTOCOL_VERSION,
+        }))?;
+        let info = match read_message(&mut reader, max_frame_len)? {
+            Some(Frame::HelloAck {
+                version,
+                num_docs,
+                tau_min,
+            }) => ServerInfo {
+                protocol_version: version,
+                num_docs,
+                tau_min,
+            },
+            Some(Frame::Error { code, message }) => return Err(NetError::Server { code, message }),
+            Some(other) => {
+                return Err(NetError::Protocol(format!(
+                    "expected HelloAck, got {other:?}"
+                )))
+            }
+            None => return Err(NetError::Disconnected),
+        };
+        Ok(NetClient {
+            writer,
+            reader,
+            info,
+            next_id: 0,
+            max_frame_len,
+        })
+    }
+
+    /// What the server advertised at handshake time.
+    pub fn server_info(&self) -> ServerInfo {
+        self.info
+    }
+
+    /// Answers a typed batch over the connection: all requests are written
+    /// as one pipelined burst, then responses are collected and re-aligned
+    /// by id. The outer `Err` is a session failure (the connection should
+    /// be dropped); inner `Err`s are per-query validation errors from the
+    /// server, after which the connection remains usable.
+    #[allow(clippy::type_complexity)]
+    pub fn query_requests(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<Result<QueryResponse, RemoteError>>, NetError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base = self.next_id;
+        self.next_id += requests.len() as u64;
+        let mut burst = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            burst.extend_from_slice(&frame_bytes(&Frame::Request {
+                id: base + i as u64,
+                request: request.clone(),
+            }));
+        }
+        // A burst bigger than the socket buffers could deadlock if written
+        // synchronously: the server answers the first in-flight window,
+        // its writer fills our receive buffer, and both sides block on
+        // write. Large bursts are therefore written from a helper thread
+        // while this thread drains responses; small ones (the common case)
+        // fit in the kernel buffers and skip the thread.
+        const SYNC_BURST_LIMIT: usize = 32 << 10;
+        let write_thread = if burst.len() <= SYNC_BURST_LIMIT {
+            self.writer.write_all(&burst)?;
+            None
+        } else {
+            let mut writer = self.writer.try_clone()?;
+            Some(std::thread::spawn(move || writer.write_all(&burst)))
+        };
+
+        let mut results: Vec<Option<Result<QueryResponse, RemoteError>>> =
+            vec![None; requests.len()];
+        let mut outstanding = requests.len();
+        while outstanding > 0 {
+            match read_message(&mut self.reader, self.max_frame_len)? {
+                Some(Frame::Response { id, result }) => {
+                    let slot = id
+                        .checked_sub(base)
+                        .and_then(|i| results.get_mut(i as usize))
+                        .ok_or_else(|| {
+                            NetError::Protocol(format!("response for unknown request id {id}"))
+                        })?;
+                    if slot.is_some() {
+                        return Err(NetError::Protocol(format!(
+                            "duplicate response for request id {id}"
+                        )));
+                    }
+                    *slot = Some(result);
+                    outstanding -= 1;
+                }
+                Some(Frame::Error { code, message }) => {
+                    return Err(NetError::Server { code, message })
+                }
+                Some(Frame::Goodbye) | None => return Err(NetError::Disconnected),
+                Some(other) => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected frame mid-session: {other:?}"
+                    )))
+                }
+            }
+        }
+        if let Some(handle) = write_thread {
+            handle
+                .join()
+                .map_err(|_| NetError::Protocol("burst writer thread panicked".into()))??;
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all outstanding responses collected"))
+            .collect())
+    }
+
+    /// Convenience: one threshold query.
+    pub fn query(
+        &mut self,
+        pattern: &[u8],
+        tau: f64,
+    ) -> Result<Result<QueryResponse, RemoteError>, NetError> {
+        let req = QueryRequest::Threshold {
+            pattern: pattern.to_vec(),
+            tau,
+        };
+        Ok(self
+            .query_requests(std::slice::from_ref(&req))?
+            .pop()
+            .expect("one request yields one response"))
+    }
+
+    /// Tells the server this session is done (it may drain and close).
+    pub fn goodbye(mut self) -> Result<(), NetError> {
+        self.writer.write_all(&frame_bytes(&Frame::Goodbye))?;
+        Ok(())
+    }
+}

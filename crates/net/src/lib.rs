@@ -1,0 +1,325 @@
+//! `ustr-net` — the network serving layer: every query mode of the paper,
+//! over TCP, from a std-only server and client.
+//!
+//! After `ustr-service` (concurrent in-process dispatch) and `ustr-live`
+//! (mutable collections), the remaining gap to the ROADMAP's
+//! "heavy traffic from millions of users" was the front door: queries could
+//! only enter through an in-process CLI. This crate adds it, reusing every
+//! existing layer instead of inventing parallel ones:
+//!
+//! * **Wire protocol** ([`proto`]) — length-prefixed, FNV-1a-checksummed
+//!   frames built on [`ustr_store::wire`]'s framing and payload primitives.
+//!   A session opens with a magic + version handshake; requests and
+//!   responses are the *same* typed [`QueryRequest`]/[`QueryResponse`]
+//!   values the in-process engine dispatches, with `f64` probabilities as
+//!   IEEE-754 bit patterns — a decoded response compares equal to the
+//!   in-process answer, bit for bit.
+//! * **Server** ([`NetServer`]) — one accept thread, one reader thread per
+//!   connection, and query execution fanned onto the shared
+//!   [`ustr_service::ThreadPool`]. The backend is anything implementing
+//!   [`QueryBackend`]: a static [`ustr_service::QueryService`] (`.coll`
+//!   snapshot or snapshot directory) or a mutable
+//!   [`ustr_live::LiveService`] — both reached through the same
+//!   `Engine`/`SegmentSet` dispatch path, so network answers inherit the
+//!   determinism contract (parallel ≡ sequential, at any thread count).
+//! * **Client** ([`NetClient`]) — handshakes, pipelines whole batches in
+//!   one write, and re-aligns out-of-order responses by request id.
+//!
+//! # Guarantees
+//!
+//! **Backpressure.** Each connection may have at most
+//! [`ServerConfig::inflight`] requests decoded-but-unanswered. At the bound
+//! the reader stops consuming bytes, so TCP flow control stalls the client;
+//! server memory per connection stays bounded by
+//! `inflight × max_frame_len` no matter how hard a client pipelines.
+//!
+//! **Robustness.** Frame decoding is total: truncated, corrupted, oversize,
+//! or out-of-state frames are answered with one fatal error frame
+//! ([`proto::err_code`]) and a close — never a panic, never a hang, and
+//! never a partial answer (fuzzed in `tests/prop_frames.rs`). Per-query
+//! validation failures travel *inside* a response frame as
+//! [`RemoteError`]s; the connection stays healthy.
+//!
+//! **Graceful shutdown.** [`NetServer::shutdown`] stops accepting, stops
+//! *reading*, runs every already-accepted request to completion, writes its
+//! response, then sends [`proto::Frame::Goodbye`] on each connection and
+//! closes it. No accepted query is ever dropped and no new query is
+//! admitted after the drain begins — with one bound: a client that stops
+//! reading its responses is force-closed after
+//! [`ServerConfig::drain_timeout`], because an unbounded drain would let
+//! one stalled client wedge shutdown forever.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ustr_net::{NetClient, NetServer, ServerConfig};
+//! use ustr_service::{QueryRequest, QueryService, ServiceConfig};
+//! use ustr_uncertain::UncertainString;
+//!
+//! let docs = vec![UncertainString::parse("A:.9,B:.1 | B | C").unwrap()];
+//! let service = QueryService::build(&docs, 0.05, ServiceConfig::default()).unwrap();
+//! let server = NetServer::serve("127.0.0.1:0", Arc::new(service), ServerConfig::default())?;
+//!
+//! let mut client = NetClient::connect(server.local_addr())?;
+//! let answers = client.query_requests(&[QueryRequest::Threshold {
+//!     pattern: b"AB".to_vec(),
+//!     tau: 0.5,
+//! }])?;
+//! assert!(answers[0].is_ok());
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{NetClient, NetError, ServerInfo};
+pub use proto::{Frame, RemoteError, DEFAULT_MAX_FRAME_LEN, NET_MAGIC, PROTOCOL_VERSION};
+pub use server::{NetServer, QueryBackend, ServerConfig};
+
+// Re-exported so downstream callers can speak the typed request/response
+// vocabulary without a direct ustr-service dependency.
+pub use ustr_service::{QueryRequest, QueryResponse};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use ustr_service::{QueryService, ServiceConfig};
+    use ustr_uncertain::UncertainString;
+
+    use super::*;
+
+    fn service() -> QueryService {
+        let docs = vec![
+            UncertainString::parse("A:.9,B:.1 | B | C | A | B").unwrap(),
+            UncertainString::parse("C | C | C").unwrap(),
+            UncertainString::parse("A:.5,B:.5 | B | A:.7,C:.3 | B").unwrap(),
+        ];
+        QueryService::build(
+            &docs,
+            0.05,
+            ServiceConfig {
+                threads: 2,
+                shards: 2,
+                cache_capacity: 16,
+                epsilon: Some(0.05),
+            },
+        )
+        .unwrap()
+    }
+
+    fn batch() -> Vec<QueryRequest> {
+        vec![
+            QueryRequest::Threshold {
+                pattern: b"AB".to_vec(),
+                tau: 0.3,
+            },
+            QueryRequest::TopK {
+                pattern: b"AB".to_vec(),
+                k: 4,
+            },
+            QueryRequest::Listing {
+                pattern: b"B".to_vec(),
+                tau: 0.5,
+            },
+            QueryRequest::Approx {
+                pattern: b"AB".to_vec(),
+                tau: 0.3,
+            },
+        ]
+    }
+
+    #[test]
+    fn served_answers_equal_in_process_answers() {
+        let service = Arc::new(service());
+        let server = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::clone(&service) as _,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.server_info().num_docs, 3);
+        assert_eq!(client.server_info().protocol_version, PROTOCOL_VERSION);
+
+        let remote = client.query_requests(&batch()).unwrap();
+        let local = service.query_requests(&batch());
+        for (r, l) in remote.iter().zip(local.iter()) {
+            assert_eq!(r.as_ref().unwrap(), l.as_ref().unwrap());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn validation_errors_ride_inside_responses() {
+        let server =
+            NetServer::serve("127.0.0.1:0", Arc::new(service()), ServerConfig::default()).unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let answers = client
+            .query_requests(&[
+                QueryRequest::Threshold {
+                    pattern: b"".to_vec(),
+                    tau: 0.3,
+                },
+                QueryRequest::Threshold {
+                    pattern: b"AB".to_vec(),
+                    tau: 0.3,
+                },
+            ])
+            .unwrap();
+        let err = answers[0].as_ref().unwrap_err();
+        assert_eq!(err.code, 1, "EmptyPattern travels as code 1: {err}");
+        assert!(answers[1].is_ok(), "the connection stays usable");
+        server.shutdown();
+    }
+
+    #[test]
+    fn deep_pipelining_respects_a_tiny_inflight_bound() {
+        let server = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::new(service()),
+            ServerConfig {
+                inflight: 1,
+                threads: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        // 64 pipelined requests through a 1-permit window: all answered,
+        // positionally aligned.
+        let requests: Vec<QueryRequest> = (0..64)
+            .map(|i| QueryRequest::TopK {
+                pattern: b"AB".to_vec(),
+                k: i % 5 + 1,
+            })
+            .collect();
+        let answers = client.query_requests(&requests).unwrap();
+        assert_eq!(answers.len(), 64);
+        for (req, ans) in requests.iter().zip(answers.iter()) {
+            let QueryRequest::TopK { k, .. } = req else {
+                unreachable!()
+            };
+            let QueryResponse::TopK(top) = ans.as_ref().unwrap() else {
+                panic!("mode preserved")
+            };
+            assert!(top.len() <= *k, "aligned answer for k={k}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_and_says_goodbye() {
+        let service = Arc::new(service());
+        let server = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::clone(&service) as _,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let first = client.query(b"AB", 0.3).unwrap().unwrap();
+        server.shutdown();
+        // The server stopped reading: the next query cannot complete, and
+        // the failure is a clean error, not a hang or a panic.
+        let after = client.query(b"AB", 0.3);
+        assert!(after.is_err(), "post-shutdown query fails cleanly");
+        assert_eq!(first, service.query_requests(&batch()).remove(0).unwrap());
+    }
+
+    #[test]
+    fn a_non_reading_client_does_not_starve_other_connections() {
+        use std::io::Write;
+        // One big document so each threshold answer is ~50 KiB: a client
+        // that pipelines 30 of those and never reads fills the kernel
+        // buffers and stalls its *own* writer thread — the shared query
+        // workers must stay free for other connections.
+        let docs = vec![UncertainString::deterministic(&b"AB".repeat(3000))];
+        let service = QueryService::build(
+            &docs,
+            0.5,
+            ServiceConfig {
+                threads: 2,
+                shards: 1,
+                cache_capacity: 0,
+                epsilon: None,
+            },
+        )
+        .unwrap();
+        let server = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::new(service),
+            ServerConfig {
+                threads: 2,
+                drain_timeout: std::time::Duration::from_millis(300),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut stalled = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stalled
+            .write_all(&proto::frame_bytes(&Frame::Hello {
+                magic: NET_MAGIC,
+                version: PROTOCOL_VERSION,
+            }))
+            .unwrap();
+        for id in 0..30u64 {
+            stalled
+                .write_all(&proto::frame_bytes(&Frame::Request {
+                    id,
+                    request: QueryRequest::Threshold {
+                        pattern: b"AB".to_vec(),
+                        tau: 0.5,
+                    },
+                }))
+                .unwrap();
+        }
+        // Never read: the stalled connection's responses back up.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+
+        // A healthy client on another connection still gets answers. (With
+        // workers writing responses themselves, both pool workers would be
+        // wedged in write_all here and this would hang.)
+        let mut healthy = NetClient::connect(server.local_addr()).unwrap();
+        let answer = healthy.query(b"AB", 0.5).unwrap().unwrap();
+        let QueryResponse::Threshold(hits) = answer else {
+            panic!("mode preserved")
+        };
+        assert_eq!(hits[0].hits.len(), 3000);
+
+        // Shutdown with the stalled client STILL connected and unread: the
+        // drain cannot flush its responses, so the drain-timeout
+        // force-close must fire and shutdown must return anyway.
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(30),
+            "shutdown must not wedge on a non-reading client"
+        );
+        drop(stalled);
+    }
+
+    #[test]
+    fn version_mismatch_is_refused_with_a_clear_error() {
+        use std::io::Write;
+        let server =
+            NetServer::serve("127.0.0.1:0", Arc::new(service()), ServerConfig::default()).unwrap();
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(&proto::frame_bytes(&Frame::Hello {
+            magic: NET_MAGIC,
+            version: 999,
+        }))
+        .unwrap();
+        let reply = proto::read_message(&mut raw, DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        let Frame::Error { code, message } = reply else {
+            panic!("expected an error frame, got {reply:?}");
+        };
+        assert_eq!(code, proto::err_code::UNSUPPORTED_VERSION);
+        assert!(message.contains("999"), "{message}");
+        server.shutdown();
+    }
+}

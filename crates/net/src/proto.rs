@@ -1,0 +1,563 @@
+//! The `ustr-net` wire protocol: typed frames over the shared
+//! [`ustr_store::wire`] framing.
+//!
+//! Every message travels as one checksummed frame
+//! ([`ustr_store::write_frame`] / [`ustr_store::read_frame`]: `u32` payload
+//! length, payload, FNV-1a 64-bit trailer). The payload's first byte is the
+//! frame kind; the body is encoded with the bounds-checked
+//! [`Writer`]/[`Reader`] primitives, so `f64` probabilities travel as IEEE-754
+//! bit patterns and decode **bit-exactly** — a response decoded by the client
+//! compares equal to the server's in-process [`QueryResponse`].
+//!
+//! # Session shape
+//!
+//! ```text
+//! client                                server
+//!   │── Hello { magic, version } ─────────▶│   exactly one, first
+//!   │◀─ HelloAck { version, docs, τmin } ──│   (or Error + close)
+//!   │── Request { id, query }  ──────────▶│
+//!   │── Request { id, query }  ──────────▶│   pipelined freely
+//!   │◀─ Response { id, result } ───────────│   any order, matched by id
+//!   │◀─ Response { id, result } ───────────│
+//!   │◀─ Error { code, message } ───────────│   fatal: connection closes
+//!   │◀─ Goodbye ───────────────────────────│   graceful server shutdown
+//! ```
+//!
+//! Decoding is total: any truncated, corrupted, or structurally inconsistent
+//! frame surfaces as a clean [`StoreError`], never a panic — the robustness
+//! property tests in `tests/prop_frames.rs` fuzz this against a live server.
+
+use std::sync::Arc;
+
+use ustr_core::Error;
+use ustr_service::{DocHits, ListingHit, QueryRequest, QueryResponse, TopHit};
+use ustr_store::{write_frame, Reader, StoreError, Writer};
+
+/// Magic bytes opening every [`Frame::Hello`].
+pub const NET_MAGIC: [u8; 8] = *b"USTRNET1";
+
+/// Protocol version spoken by this build. The handshake accepts exactly this
+/// version; anything else is answered with [`err_code::UNSUPPORTED_VERSION`]
+/// and a close (rebuildable clients are the supported migration path, as
+/// with snapshot formats).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default cap on one frame's payload length (requests and responses).
+pub const DEFAULT_MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Fatal protocol error codes carried by [`Frame::Error`]. After sending
+/// one of these the server closes the connection (framing can no longer be
+/// trusted, or the session never became valid).
+pub mod err_code {
+    /// The first frame was not a well-formed `Hello`.
+    pub const BAD_HANDSHAKE: u32 = 1;
+    /// The `Hello` named a protocol version this server does not speak.
+    pub const UNSUPPORTED_VERSION: u32 = 2;
+    /// A frame failed to decode (truncated, corrupt, oversize, or an
+    /// unexpected kind mid-session).
+    pub const MALFORMED_FRAME: u32 = 3;
+}
+
+/// Frame kind bytes (the first payload byte).
+mod kind {
+    pub const HELLO: u8 = 1;
+    pub const HELLO_ACK: u8 = 2;
+    pub const REQUEST: u8 = 3;
+    pub const RESPONSE: u8 = 4;
+    pub const ERROR: u8 = 5;
+    pub const GOODBYE: u8 = 6;
+}
+
+/// A query-layer error transported over the wire (the remote twin of
+/// [`ustr_core::Error`]). Carried inside a [`Frame::Response`]: the
+/// connection stays healthy — only this request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteError {
+    /// Stable numeric code (one per [`ustr_core::Error`] variant).
+    pub code: u8,
+    /// The error's rendered message.
+    pub message: String,
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (remote error code {})", self.message, self.code)
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<&Error> for RemoteError {
+    fn from(e: &Error) -> Self {
+        let code = match e {
+            Error::EmptyPattern => 1,
+            Error::PatternContainsSentinel => 2,
+            Error::ThresholdBelowTauMin { .. } => 3,
+            Error::InvalidThreshold { .. } => 4,
+            Error::InvalidEpsilon { .. } => 5,
+            Error::InvalidSnapshot { .. } => 6,
+            Error::Model(_) => 7,
+        };
+        RemoteError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client's opening frame: magic + the protocol version it speaks.
+    Hello {
+        /// Must equal [`NET_MAGIC`].
+        magic: [u8; 8],
+        /// Must equal [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Server's handshake acceptance, with a sketch of what it serves.
+    HelloAck {
+        /// The protocol version the session will speak.
+        version: u32,
+        /// Documents currently served (a point-in-time count for live
+        /// collections).
+        num_docs: u64,
+        /// The serving threshold floor: τ below this fails validation.
+        tau_min: f64,
+    },
+    /// One query, tagged with a connection-local id for pipelining.
+    Request {
+        /// Echoed verbatim in the matching [`Frame::Response`].
+        id: u64,
+        /// The query itself.
+        request: QueryRequest,
+    },
+    /// The answer to the [`Frame::Request`] with the same `id`.
+    Response {
+        /// The id of the request this answers.
+        id: u64,
+        /// The engine's answer, or the per-request validation error.
+        result: Result<QueryResponse, RemoteError>,
+    },
+    /// Fatal protocol failure; the sender closes the connection after it.
+    Error {
+        /// One of the [`err_code`] constants.
+        code: u32,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Graceful end-of-session notice (server shutdown drain complete).
+    Goodbye,
+}
+
+fn put_string(w: &mut Writer, s: &str) {
+    w.put_bytes(s.as_bytes());
+}
+
+fn get_string(r: &mut Reader<'_>) -> Result<String, StoreError> {
+    String::from_utf8(r.get_bytes()?).map_err(|_| StoreError::Corrupt {
+        detail: "string field is not UTF-8".into(),
+    })
+}
+
+/// Query-mode tag bytes shared by requests and responses.
+mod mode {
+    pub const THRESHOLD: u8 = 1;
+    pub const TOP_K: u8 = 2;
+    pub const LISTING: u8 = 3;
+    pub const APPROX: u8 = 4;
+}
+
+fn encode_request(w: &mut Writer, req: &QueryRequest) {
+    match req {
+        QueryRequest::Threshold { pattern, tau } => {
+            w.put_u8(mode::THRESHOLD);
+            w.put_bytes(pattern);
+            w.put_f64(*tau);
+        }
+        QueryRequest::TopK { pattern, k } => {
+            w.put_u8(mode::TOP_K);
+            w.put_bytes(pattern);
+            w.put_u64(*k as u64);
+        }
+        QueryRequest::Listing { pattern, tau } => {
+            w.put_u8(mode::LISTING);
+            w.put_bytes(pattern);
+            w.put_f64(*tau);
+        }
+        QueryRequest::Approx { pattern, tau } => {
+            w.put_u8(mode::APPROX);
+            w.put_bytes(pattern);
+            w.put_f64(*tau);
+        }
+    }
+}
+
+fn decode_request(r: &mut Reader<'_>) -> Result<QueryRequest, StoreError> {
+    let tag = r.get_u8()?;
+    let pattern = r.get_bytes()?;
+    Ok(match tag {
+        mode::THRESHOLD => QueryRequest::Threshold {
+            pattern,
+            tau: r.get_f64()?,
+        },
+        mode::TOP_K => QueryRequest::TopK {
+            pattern,
+            k: r.get_usize()?,
+        },
+        mode::LISTING => QueryRequest::Listing {
+            pattern,
+            tau: r.get_f64()?,
+        },
+        mode::APPROX => QueryRequest::Approx {
+            pattern,
+            tau: r.get_f64()?,
+        },
+        other => {
+            return Err(StoreError::Corrupt {
+                detail: format!("unknown query mode byte {other}"),
+            })
+        }
+    })
+}
+
+fn encode_doc_hits(w: &mut Writer, docs: &[DocHits]) {
+    w.put_u64(docs.len() as u64);
+    for d in docs {
+        w.put_u64(d.doc as u64);
+        w.put_u64(d.hits.len() as u64);
+        for &(pos, p) in &d.hits {
+            w.put_u64(pos as u64);
+            w.put_f64(p);
+        }
+    }
+}
+
+fn decode_doc_hits(r: &mut Reader<'_>) -> Result<Vec<DocHits>, StoreError> {
+    let n = r.get_len(16)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let doc = r.get_usize()?;
+        let m = r.get_len(16)?;
+        let mut hits = Vec::with_capacity(m);
+        for _ in 0..m {
+            hits.push((r.get_usize()?, r.get_f64()?));
+        }
+        out.push(DocHits { doc, hits });
+    }
+    Ok(out)
+}
+
+fn encode_result(w: &mut Writer, result: &Result<QueryResponse, RemoteError>) {
+    match result {
+        Err(e) => {
+            w.put_u8(0);
+            w.put_u8(e.code);
+            put_string(w, &e.message);
+        }
+        Ok(QueryResponse::Threshold(docs)) => {
+            w.put_u8(mode::THRESHOLD);
+            encode_doc_hits(w, docs);
+        }
+        Ok(QueryResponse::TopK(top)) => {
+            w.put_u8(mode::TOP_K);
+            w.put_u64(top.len() as u64);
+            for h in top.iter() {
+                w.put_u64(h.doc as u64);
+                w.put_u64(h.pos as u64);
+                w.put_f64(h.prob);
+            }
+        }
+        Ok(QueryResponse::Listing(listed)) => {
+            w.put_u8(mode::LISTING);
+            w.put_u64(listed.len() as u64);
+            for h in listed.iter() {
+                w.put_u64(h.doc as u64);
+                w.put_f64(h.relevance);
+            }
+        }
+        Ok(QueryResponse::Approx(docs)) => {
+            w.put_u8(mode::APPROX);
+            encode_doc_hits(w, docs);
+        }
+    }
+}
+
+fn decode_result(r: &mut Reader<'_>) -> Result<Result<QueryResponse, RemoteError>, StoreError> {
+    Ok(match r.get_u8()? {
+        0 => Err(RemoteError {
+            code: r.get_u8()?,
+            message: get_string(r)?,
+        }),
+        mode::THRESHOLD => Ok(QueryResponse::Threshold(Arc::new(decode_doc_hits(r)?))),
+        mode::TOP_K => {
+            let n = r.get_len(24)?;
+            let mut top = Vec::with_capacity(n);
+            for _ in 0..n {
+                top.push(TopHit {
+                    doc: r.get_usize()?,
+                    pos: r.get_usize()?,
+                    prob: r.get_f64()?,
+                });
+            }
+            Ok(QueryResponse::TopK(Arc::new(top)))
+        }
+        mode::LISTING => {
+            let n = r.get_len(16)?;
+            let mut listed = Vec::with_capacity(n);
+            for _ in 0..n {
+                listed.push(ListingHit {
+                    doc: r.get_usize()?,
+                    relevance: r.get_f64()?,
+                });
+            }
+            Ok(QueryResponse::Listing(Arc::new(listed)))
+        }
+        mode::APPROX => Ok(QueryResponse::Approx(Arc::new(decode_doc_hits(r)?))),
+        other => {
+            return Err(StoreError::Corrupt {
+                detail: format!("unknown response tag byte {other}"),
+            })
+        }
+    })
+}
+
+/// Encodes one frame's *payload* (kind byte + body, no length/checksum).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut w = Writer::new();
+    match frame {
+        Frame::Hello { magic, version } => {
+            w.put_u8(kind::HELLO);
+            for &b in magic {
+                w.put_u8(b);
+            }
+            w.put_u32(*version);
+        }
+        Frame::HelloAck {
+            version,
+            num_docs,
+            tau_min,
+        } => {
+            w.put_u8(kind::HELLO_ACK);
+            w.put_u32(*version);
+            w.put_u64(*num_docs);
+            w.put_f64(*tau_min);
+        }
+        Frame::Request { id, request } => {
+            w.put_u8(kind::REQUEST);
+            w.put_u64(*id);
+            encode_request(&mut w, request);
+        }
+        Frame::Response { id, result } => {
+            w.put_u8(kind::RESPONSE);
+            w.put_u64(*id);
+            encode_result(&mut w, result);
+        }
+        Frame::Error { code, message } => {
+            w.put_u8(kind::ERROR);
+            w.put_u32(*code);
+            put_string(&mut w, message);
+        }
+        Frame::Goodbye => w.put_u8(kind::GOODBYE),
+    }
+    w.into_bytes()
+}
+
+/// Decodes one frame payload. Total: every malformed input is a clean
+/// [`StoreError`]; trailing bytes after a well-formed body are rejected.
+pub fn decode_frame(payload: &[u8]) -> Result<Frame, StoreError> {
+    let mut r = Reader::new(payload);
+    let frame = match r.get_u8()? {
+        kind::HELLO => {
+            let mut magic = [0u8; 8];
+            for b in &mut magic {
+                *b = r.get_u8()?;
+            }
+            Frame::Hello {
+                magic,
+                version: r.get_u32()?,
+            }
+        }
+        kind::HELLO_ACK => Frame::HelloAck {
+            version: r.get_u32()?,
+            num_docs: r.get_u64()?,
+            tau_min: r.get_f64()?,
+        },
+        kind::REQUEST => Frame::Request {
+            id: r.get_u64()?,
+            request: decode_request(&mut r)?,
+        },
+        kind::RESPONSE => Frame::Response {
+            id: r.get_u64()?,
+            result: decode_result(&mut r)?,
+        },
+        kind::ERROR => Frame::Error {
+            code: r.get_u32()?,
+            message: get_string(&mut r)?,
+        },
+        kind::GOODBYE => Frame::Goodbye,
+        other => {
+            return Err(StoreError::Corrupt {
+                detail: format!("unknown frame kind byte {other}"),
+            })
+        }
+    };
+    if !r.is_exhausted() {
+        return Err(StoreError::Corrupt {
+            detail: "trailing bytes after frame body".into(),
+        });
+    }
+    Ok(frame)
+}
+
+/// One frame, fully framed (length prefix + payload + checksum) as a single
+/// buffer — so a connection writer can emit it with one `write_all` under
+/// its lock, never interleaving two frames.
+pub fn frame_bytes(frame: &Frame) -> Vec<u8> {
+    let payload = encode_frame(frame);
+    let mut out = Vec::with_capacity(payload.len() + ustr_store::FRAME_OVERHEAD);
+    write_frame(&mut out, &payload).expect("writing to a Vec cannot fail");
+    out
+}
+
+/// Reads and decodes one frame from a stream. `Ok(None)` is a clean
+/// end-of-stream at a frame boundary; everything malformed is a
+/// [`StoreError`].
+pub fn read_message(
+    input: impl std::io::Read,
+    max_payload_len: usize,
+) -> Result<Option<Frame>, StoreError> {
+    match ustr_store::read_frame(input, max_payload_len)? {
+        None => Ok(None),
+        Some(payload) => Ok(Some(decode_frame(&payload)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                magic: NET_MAGIC,
+                version: PROTOCOL_VERSION,
+            },
+            Frame::HelloAck {
+                version: 1,
+                num_docs: 42,
+                tau_min: 0.05,
+            },
+            Frame::Request {
+                id: 7,
+                request: QueryRequest::Threshold {
+                    pattern: b"AB".to_vec(),
+                    tau: 0.25,
+                },
+            },
+            Frame::Request {
+                id: 8,
+                request: QueryRequest::TopK {
+                    pattern: b"X".to_vec(),
+                    k: 5,
+                },
+            },
+            Frame::Response {
+                id: 7,
+                result: Ok(QueryResponse::Threshold(Arc::new(vec![DocHits {
+                    doc: 3,
+                    hits: vec![(0, 0.9), (4, 0.25)],
+                }]))),
+            },
+            Frame::Response {
+                id: 8,
+                result: Ok(QueryResponse::TopK(Arc::new(vec![TopHit {
+                    doc: 1,
+                    pos: 2,
+                    prob: 0.75,
+                }]))),
+            },
+            Frame::Response {
+                id: 9,
+                result: Ok(QueryResponse::Listing(Arc::new(vec![ListingHit {
+                    doc: 0,
+                    relevance: 0.5,
+                }]))),
+            },
+            Frame::Response {
+                id: 10,
+                result: Err(RemoteError {
+                    code: 1,
+                    message: "query pattern is empty".into(),
+                }),
+            },
+            Frame::Error {
+                code: err_code::MALFORMED_FRAME,
+                message: "bad frame".into(),
+            },
+            Frame::Goodbye,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips_bit_exactly() {
+        for frame in frames() {
+            let payload = encode_frame(&frame);
+            assert_eq!(decode_frame(&payload).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn a_session_transcript_round_trips_through_a_stream() {
+        let mut stream = Vec::new();
+        for frame in frames() {
+            stream.extend_from_slice(&frame_bytes(&frame));
+        }
+        let mut cursor = &stream[..];
+        for frame in frames() {
+            assert_eq!(
+                read_message(&mut cursor, DEFAULT_MAX_FRAME_LEN)
+                    .unwrap()
+                    .unwrap(),
+                frame
+            );
+        }
+        assert!(read_message(&mut cursor, DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn truncated_payloads_fail_cleanly_at_every_cut() {
+        for frame in frames() {
+            let payload = encode_frame(&frame);
+            for cut in 0..payload.len() {
+                assert!(
+                    decode_frame(&payload[..cut]).is_err(),
+                    "{frame:?} cut at {cut} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_frame(&Frame::Goodbye);
+        payload.push(0);
+        assert!(matches!(
+            decode_frame(&payload),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn remote_errors_carry_stable_codes() {
+        let e = Error::ThresholdBelowTauMin {
+            tau: 0.01,
+            tau_min: 0.05,
+        };
+        let remote = RemoteError::from(&e);
+        assert_eq!(remote.code, 3);
+        assert!(remote.message.contains("0.05"), "{remote}");
+    }
+}

@@ -1,0 +1,549 @@
+//! The concurrent TCP server: accept loop, per-connection pipelining,
+//! bounded in-flight backpressure, graceful drain.
+//!
+//! # Threading model
+//!
+//! One accept thread owns the listener. Each connection gets one reader
+//! thread (handshake + frame decode) and one writer thread (response
+//! frames, each a single pre-framed buffer, so responses never interleave
+//! on the wire); query execution fans onto the shared [`ThreadPool`] — the
+//! same `ustr-service` pool type the in-process engine uses — so `N`
+//! connections pipelining requests share one fixed set of workers. (Each
+//! worker drives `backend.query_requests`, which in turn fans shards onto
+//! the backend engine's own pool — the server pool bounds concurrent
+//! *requests*, the engine pool bounds per-request index parallelism.)
+//! Pool workers only compute and enqueue: a slow or non-reading client
+//! stalls its own writer thread, never a shared query worker, so one bad
+//! client cannot starve the other connections.
+//!
+//! # Backpressure
+//!
+//! Every connection holds a bounded in-flight permit counter
+//! ([`ServerConfig::inflight`]). The reader acquires a permit *before*
+//! decoding past a request and blocks when the connection already has that
+//! many answers outstanding — it simply stops reading, and TCP flow control
+//! propagates the stall to the client. Memory per connection is therefore
+//! bounded by `inflight × max_frame_len` regardless of how aggressively a
+//! client pipelines.
+//!
+//! # Shutdown
+//!
+//! [`NetServer::shutdown`] (also run on drop) is a drain, not an abort:
+//! the listener stops accepting, every connection's read half is shut down
+//! (no *new* requests), all in-flight queries run to completion and their
+//! responses are written, then each connection receives [`Frame::Goodbye`]
+//! and closes. A client that stops *reading* its responses cannot be
+//! drained; after [`ServerConfig::drain_timeout`] its socket is
+//! force-closed so shutdown always terminates. `shutdown` returns only
+//! after every connection thread has exited.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ustr_core::Error;
+use ustr_service::{QueryRequest, QueryResponse, QueryService, ThreadPool};
+
+use crate::proto::{
+    err_code, frame_bytes, read_message, Frame, RemoteError, DEFAULT_MAX_FRAME_LEN, NET_MAGIC,
+    PROTOCOL_VERSION,
+};
+
+/// Anything the server can answer queries from: the static
+/// [`QueryService`], the mutable [`ustr_live::LiveService`], or any other
+/// implementor of the engine's typed dispatch path.
+pub trait QueryBackend: Send + Sync {
+    /// Answers a typed batch (positionally aligned with `requests`).
+    fn query_requests(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse, Error>>;
+
+    /// Documents currently served (point-in-time for mutable backends).
+    fn num_docs(&self) -> usize;
+
+    /// The serving threshold floor advertised in the handshake.
+    fn tau_min(&self) -> f64;
+}
+
+impl QueryBackend for QueryService {
+    fn query_requests(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse, Error>> {
+        QueryService::query_requests(self, requests)
+    }
+
+    fn num_docs(&self) -> usize {
+        QueryService::num_docs(self)
+    }
+
+    fn tau_min(&self) -> f64 {
+        QueryService::tau_min(self)
+    }
+}
+
+impl QueryBackend for ustr_live::LiveService {
+    fn query_requests(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse, Error>> {
+        ustr_live::LiveService::query_requests(self, requests)
+    }
+
+    fn num_docs(&self) -> usize {
+        ustr_live::LiveService::num_docs(self)
+    }
+
+    fn tau_min(&self) -> f64 {
+        ustr_live::LiveService::tau_min(self)
+    }
+}
+
+/// Tuning knobs for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Query worker threads shared by every connection (0 = one per
+    /// available core).
+    pub threads: usize,
+    /// Cap on one frame's payload length; larger frames are answered with a
+    /// fatal error frame before the body is read.
+    pub max_frame_len: usize,
+    /// Per-connection bound on pipelined requests being computed or awaiting
+    /// write (min 1). The reader stops consuming frames at the bound, so
+    /// TCP flow control pushes back on the client.
+    pub inflight: usize,
+    /// When non-zero, stop accepting after this many connections (the
+    /// already-accepted ones are served to completion). `0` accepts until
+    /// [`NetServer::shutdown`].
+    pub max_conns: usize,
+    /// How long [`NetServer::shutdown`] waits for the graceful drain
+    /// (in-flight responses flushing to clients) before force-closing the
+    /// stragglers' sockets — without this bound, one client that stops
+    /// reading its responses would wedge shutdown forever.
+    pub drain_timeout: std::time::Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            inflight: 64,
+            max_conns: 0,
+            drain_timeout: std::time::Duration::from_secs(5),
+        }
+    }
+}
+
+/// Bounded in-flight counter: acquire blocks at the bound; `wait_idle`
+/// blocks until every permit is back (the connection's drain barrier).
+struct Permits {
+    max: usize,
+    in_use: Mutex<usize>,
+    returned: Condvar,
+}
+
+impl Permits {
+    fn new(max: usize) -> Self {
+        Self {
+            max: max.max(1),
+            in_use: Mutex::new(0),
+            returned: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut n = self.in_use.lock().expect("permits poisoned");
+        while *n >= self.max {
+            n = self.returned.wait(n).expect("permits poisoned");
+        }
+        *n += 1;
+    }
+
+    fn release(&self) {
+        let mut n = self.in_use.lock().expect("permits poisoned");
+        *n -= 1;
+        self.returned.notify_all();
+    }
+
+    fn wait_idle(&self) {
+        let mut n = self.in_use.lock().expect("permits poisoned");
+        while *n > 0 {
+            n = self.returned.wait(n).expect("permits poisoned");
+        }
+    }
+}
+
+/// Connection bookkeeping shared with the accept loop and `shutdown`.
+#[derive(Default)]
+struct ConnTable {
+    /// Socket handles, for unblocking reader threads during shutdown.
+    streams: HashMap<u64, TcpStream>,
+    /// Reader threads not yet joined. Each exiting thread reaps its own
+    /// entry (long-running servers must not accumulate one handle per
+    /// connection ever served); `wait` joins whatever remains.
+    threads: HashMap<u64, JoinHandle<()>>,
+    /// Live connection count (threads still running).
+    active: usize,
+}
+
+struct Shared {
+    backend: Arc<dyn QueryBackend>,
+    pool: ThreadPool,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    conns: Mutex<ConnTable>,
+    conns_changed: Condvar,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    /// Writes one pre-framed message; I/O errors are swallowed (a vanished
+    /// client is not a server failure).
+    fn send(writer: &Mutex<TcpStream>, frame: &Frame) {
+        let bytes = frame_bytes(frame);
+        let mut stream = writer.lock().expect("connection writer poisoned");
+        let _ = stream.write_all(&bytes);
+    }
+}
+
+/// A running TCP query server. See the [module docs](self) for the
+/// threading, backpressure, and shutdown guarantees.
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — read it back with
+    /// [`NetServer::local_addr`]) and starts serving `backend`.
+    pub fn serve(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn QueryBackend>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let threads = if config.threads > 0 {
+            config.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        let shared = Arc::new(Shared {
+            backend,
+            pool: ThreadPool::new(threads),
+            config,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(ConnTable::default()),
+            conns_changed: Condvar::new(),
+            next_conn: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("ustr-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Self {
+            addr,
+            shared,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound address (the real port, when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared
+            .conns
+            .lock()
+            .expect("conn table poisoned")
+            .active
+    }
+
+    /// Blocks until the accept loop has stopped (shutdown requested, or
+    /// [`ServerConfig::max_conns`] reached) **and** every accepted
+    /// connection has fully drained. A `max_conns` server is "served to
+    /// completion" when this returns.
+    pub fn wait(&self) {
+        if let Some(handle) = self.accept.lock().expect("accept handle poisoned").take() {
+            let _ = handle.join();
+        }
+        let handles = {
+            let mut table = self.shared.conns.lock().expect("conn table poisoned");
+            while table.active > 0 {
+                table = self
+                    .shared
+                    .conns_changed
+                    .wait(table)
+                    .expect("conn table poisoned");
+            }
+            std::mem::take(&mut table.threads)
+        };
+        for (_, handle) in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, stop *reading* (each connection's
+    /// read half is shut down), let every in-flight query finish and its
+    /// response flush, send [`Frame::Goodbye`], close. A connection whose
+    /// client stops reading its responses cannot flush; after
+    /// [`ServerConfig::drain_timeout`] such stragglers have their sockets
+    /// force-closed (their remaining responses are dropped — the
+    /// alternative is a shutdown that never returns). Returns when every
+    /// connection thread has exited. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection; if the loop
+        // already exited (max_conns reached) the connect simply fails.
+        let _ = TcpStream::connect(self.addr);
+        {
+            let table = self.shared.conns.lock().expect("conn table poisoned");
+            for stream in table.streams.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        // Graceful drain window, then force-close whoever is left: a
+        // write_all wedged on a non-reading client fails once the socket
+        // is fully shut down, releasing its permits and its reader.
+        let deadline = std::time::Instant::now() + self.shared.config.drain_timeout;
+        {
+            let mut table = self.shared.conns.lock().expect("conn table poisoned");
+            while table.active > 0 {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    for stream in table.streams.values() {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                    break;
+                }
+                let (t, _) = self
+                    .shared
+                    .conns_changed
+                    .wait_timeout(table, deadline - now)
+                    .expect("conn table poisoned");
+                table = t;
+            }
+        }
+        self.wait();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut served = 0usize;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            // accept() can fail persistently (e.g. EMFILE under fd
+            // pressure) without dequeuing anything: back off instead of
+            // spinning a core.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            continue;
+        };
+        served += 1;
+        spawn_connection(&shared, stream);
+        let max = shared.config.max_conns;
+        if max > 0 && served >= max {
+            break;
+        }
+    }
+}
+
+fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+    let read_half = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return, // dead socket: nothing to serve
+    };
+    let conn_shared = Arc::clone(shared);
+    let mut table = shared.conns.lock().expect("conn table poisoned");
+    // Register the read half *before* the thread starts so a racing
+    // shutdown can always unblock it.
+    table.streams.insert(id, read_half);
+    if conn_shared.shutdown.load(Ordering::SeqCst) {
+        let _ = stream.shutdown(Shutdown::Both);
+        table.streams.remove(&id);
+        return;
+    }
+    table.active += 1;
+    let handle = std::thread::Builder::new()
+        .name(format!("ustr-net-conn-{id}"))
+        .spawn(move || {
+            handle_connection(&conn_shared, stream);
+            // Self-reap: the spawner holds the table lock until the handle
+            // is stored, so this remove always finds it (or runs after).
+            // Dropping one's own JoinHandle just detaches the (already
+            // finished) thread; `active` is what liveness waits on.
+            let mut table = conn_shared.conns.lock().expect("conn table poisoned");
+            table.streams.remove(&id);
+            table.threads.remove(&id);
+            table.active -= 1;
+            conn_shared.conns_changed.notify_all();
+        });
+    match handle {
+        Ok(handle) => {
+            table.threads.insert(id, handle);
+        }
+        Err(_) => {
+            // Could not spawn: roll the registration back.
+            table.streams.remove(&id);
+            table.active -= 1;
+        }
+    }
+}
+
+/// Runs one connection to completion: handshake, pipelined request loop,
+/// drain, goodbye.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = std::io::BufReader::new(reader);
+    let writer = Arc::new(Mutex::new(stream));
+    let max_len = shared.config.max_frame_len;
+
+    // Handshake: the first frame must be a well-formed, version-matching
+    // Hello. Anything else is answered with a fatal error frame and close.
+    match read_message(&mut reader, max_len) {
+        Ok(Some(Frame::Hello { magic, version })) if magic == NET_MAGIC => {
+            if version != PROTOCOL_VERSION {
+                Shared::send(
+                    &writer,
+                    &Frame::Error {
+                        code: err_code::UNSUPPORTED_VERSION,
+                        message: format!(
+                            "protocol version {version} is not supported \
+                             (this server speaks {PROTOCOL_VERSION})"
+                        ),
+                    },
+                );
+                return;
+            }
+            Shared::send(
+                &writer,
+                &Frame::HelloAck {
+                    version: PROTOCOL_VERSION,
+                    num_docs: shared.backend.num_docs() as u64,
+                    tau_min: shared.backend.tau_min(),
+                },
+            );
+        }
+        Ok(Some(_)) => {
+            Shared::send(
+                &writer,
+                &Frame::Error {
+                    code: err_code::BAD_HANDSHAKE,
+                    message: "the first frame must be Hello with magic USTRNET1".into(),
+                },
+            );
+            return;
+        }
+        Ok(None) => return, // connected and left: nothing to answer
+        Err(e) => {
+            Shared::send(
+                &writer,
+                &Frame::Error {
+                    code: err_code::MALFORMED_FRAME,
+                    message: format!("malformed handshake frame: {e}"),
+                },
+            );
+            return;
+        }
+    }
+
+    // Response writer: one thread per connection owns all response writes,
+    // releasing the in-flight permit only after the frame hits the socket
+    // (or the socket proves dead). Pool workers just compute and enqueue —
+    // a slow or non-reading client stalls *its own* writer thread, never a
+    // shared query worker, so one bad client cannot starve the others.
+    let permits = Arc::new(Permits::new(shared.config.inflight));
+    let (response_tx, response_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    let writer_thread = {
+        let writer = Arc::clone(&writer);
+        let permits = Arc::clone(&permits);
+        let spawned = std::thread::Builder::new()
+            .name("ustr-net-writer".into())
+            .spawn(move || {
+                let mut dead = false;
+                for bytes in response_rx {
+                    if !dead {
+                        let mut stream = writer.lock().expect("connection writer poisoned");
+                        dead = stream.write_all(&bytes).is_err();
+                    }
+                    // Released even when the client vanished: the reader's
+                    // drain barrier must never wedge on a dead socket.
+                    permits.release();
+                }
+            });
+        match spawned {
+            Ok(handle) => handle,
+            Err(_) => return, // cannot serve without a writer
+        }
+    };
+
+    // Request loop: decode, acquire an in-flight permit (backpressure), fan
+    // the query onto the shared pool; the worker computes and enqueues.
+    let fatal = loop {
+        match read_message(&mut reader, max_len) {
+            Ok(Some(Frame::Request { id, request })) => {
+                permits.acquire();
+                let backend = Arc::clone(&shared.backend);
+                let response_tx = response_tx.clone();
+                let permits = Arc::clone(&permits);
+                shared.pool.execute(move || {
+                    let result = backend
+                        .query_requests(std::slice::from_ref(&request))
+                        .pop()
+                        .expect("one request yields one response")
+                        .map_err(|e| RemoteError::from(&e));
+                    // A send failure means the writer died with the
+                    // connection; release the permit here so the reader's
+                    // drain barrier cannot wedge.
+                    if response_tx
+                        .send(frame_bytes(&Frame::Response { id, result }))
+                        .is_err()
+                    {
+                        permits.release();
+                    }
+                });
+            }
+            Ok(Some(Frame::Goodbye)) | Ok(None) => break None, // client done
+            Ok(Some(_)) => {
+                break Some(Frame::Error {
+                    code: err_code::MALFORMED_FRAME,
+                    message: "unexpected frame kind mid-session".into(),
+                })
+            }
+            Err(e) => {
+                break Some(Frame::Error {
+                    code: err_code::MALFORMED_FRAME,
+                    message: format!("malformed frame: {e}"),
+                })
+            }
+        }
+    };
+
+    // Drain: every accepted request is answered (its response written, or
+    // its client proven gone) before the session ends. The writer is idle
+    // once the permits are back, so the final frame cannot interleave.
+    permits.wait_idle();
+    match fatal {
+        Some(error_frame) => Shared::send(&writer, &error_frame),
+        None => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                Shared::send(&writer, &Frame::Goodbye);
+            }
+        }
+    }
+    drop(response_tx);
+    let _ = writer_thread.join();
+}

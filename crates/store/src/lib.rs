@@ -72,7 +72,7 @@
 pub mod collection;
 mod error;
 pub mod wal;
-mod wire;
+pub mod wire;
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -98,7 +98,7 @@ pub use wal::{
     write_wal_file, LiveManifest, SegmentMeta, WalOp, WalRecord, WalReplay, WalWriter, WAL_MAGIC,
     WAL_VERSION,
 };
-pub use wire::{Reader, Writer};
+pub use wire::{read_frame, write_frame, Reader, Writer, FRAME_OVERHEAD};
 
 /// The 8-byte magic prefix of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"USTRSNAP";

@@ -1,12 +1,99 @@
-//! Little-endian payload encoding primitives.
+//! Little-endian payload encoding primitives and checksummed framing.
 //!
 //! Scalars are fixed-width little-endian; `f64`s travel as IEEE-754 bit
 //! patterns (bit-exact round trips); sequences are `u64`-length-prefixed.
 //! Every [`Reader`] accessor bounds-checks before touching the buffer and
 //! validates declared sequence lengths against the bytes actually remaining,
 //! so corrupt length fields fail cleanly instead of over-allocating.
+//!
+//! [`write_frame`] / [`read_frame`] wrap one payload in the shared frame
+//! format used by streaming consumers (the WAL's cousins and the `ustr-net`
+//! wire protocol): a `u32` payload length, the payload, and an FNV-1a 64-bit
+//! checksum trailer. Reading is total: truncation mid-frame, a length above
+//! the caller's limit, and a checksum mismatch are all clean [`StoreError`]s,
+//! and end-of-stream *between* frames is a well-formed `None`.
+
+use std::io::{Read, Write};
 
 use crate::StoreError;
+
+/// Byte overhead of one frame around its payload: the `u32` length prefix
+/// plus the `u64` FNV-1a checksum trailer.
+pub const FRAME_OVERHEAD: usize = 4 + 8;
+
+/// Writes one frame: `u32` payload length (little-endian), the payload
+/// bytes, and the payload's FNV-1a 64-bit checksum (little-endian).
+pub fn write_frame(mut out: impl Write, payload: &[u8]) -> Result<(), StoreError> {
+    let len = u32::try_from(payload.len()).map_err(|_| StoreError::Corrupt {
+        detail: format!("frame payload of {} bytes exceeds u32::MAX", payload.len()),
+    })?;
+    out.write_all(&len.to_le_bytes())?;
+    out.write_all(payload)?;
+    out.write_all(&crate::fnv1a(payload).to_le_bytes())?;
+    Ok(())
+}
+
+/// Fills `buf` from `input`; `Ok(0)` on immediate end-of-stream, an error on
+/// end-of-stream after a partial read (a torn frame is never returned).
+fn read_exact_or_eof(
+    mut input: impl Read,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<usize, StoreError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(0),
+            Ok(0) => return Err(StoreError::Truncated { context }),
+            Ok(n) => filled += n,
+            // A signal mid-read is not end-of-stream: retry, exactly as
+            // `Read::read_exact` does.
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads one frame written by [`write_frame`]. Returns `Ok(None)` on a clean
+/// end-of-stream at a frame boundary; a stream ending mid-frame is
+/// [`StoreError::Truncated`], a declared length above `max_payload_len` is
+/// [`StoreError::Corrupt`] (over-allocation guard — the oversized body is
+/// **not** read), and a checksum mismatch is
+/// [`StoreError::ChecksumMismatch`].
+pub fn read_frame(
+    mut input: impl Read,
+    max_payload_len: usize,
+) -> Result<Option<Vec<u8>>, StoreError> {
+    let mut len_buf = [0u8; 4];
+    if read_exact_or_eof(&mut input, &mut len_buf, "frame length")? == 0 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_payload_len {
+        return Err(StoreError::Corrupt {
+            detail: format!(
+                "frame payload of {len} bytes exceeds the {max_payload_len}-byte limit"
+            ),
+        });
+    }
+    let mut payload = vec![0u8; len];
+    if len > 0 && read_exact_or_eof(&mut input, &mut payload, "frame payload")? == 0 {
+        return Err(StoreError::Truncated {
+            context: "frame payload",
+        });
+    }
+    let mut sum_buf = [0u8; 8];
+    if read_exact_or_eof(&mut input, &mut sum_buf, "frame checksum")? == 0 {
+        return Err(StoreError::Truncated {
+            context: "frame checksum",
+        });
+    }
+    if u64::from_le_bytes(sum_buf) != crate::fnv1a(&payload) {
+        return Err(StoreError::ChecksumMismatch);
+    }
+    Ok(Some(payload))
+}
 
 /// Append-only payload buffer.
 #[derive(Debug, Default)]
@@ -247,5 +334,68 @@ mod tests {
     fn invalid_bool_is_corrupt() {
         let mut r = Reader::new(&[2u8]);
         assert!(matches!(r.get_bool(), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"first").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, &[0xABu8; 300]).unwrap();
+        let mut cursor = &stream[..];
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut cursor, 1024).unwrap().unwrap(),
+            vec![0xAB; 300]
+        );
+        // Clean end-of-stream at a frame boundary.
+        assert!(read_frame(&mut cursor, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_error_at_every_cut() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"payload bytes").unwrap();
+        for cut in 1..stream.len() {
+            let mut cursor = &stream[..cut];
+            assert!(
+                matches!(
+                    read_frame(&mut cursor, 1024),
+                    Err(StoreError::Truncated { .. })
+                ),
+                "cut at {cut} must be a clean truncation error"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_frame_length_is_rejected_without_reading_the_body() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        // No body at all: the length check must fire before any body read.
+        let mut cursor = &stream[..];
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_frame_byte_fails_the_checksum() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"sensitive").unwrap();
+        for at in 4..4 + 9 {
+            let mut mutated = stream.clone();
+            mutated[at] ^= 0x40;
+            let mut cursor = &mutated[..];
+            assert!(
+                matches!(
+                    read_frame(&mut cursor, 1024),
+                    Err(StoreError::ChecksumMismatch)
+                ),
+                "flip at {at} must fail the checksum"
+            );
+        }
     }
 }

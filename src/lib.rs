@@ -66,6 +66,7 @@
 //! | [`Snapshot`], [`StoreError`], snapshot/collection/WAL formats | `ustr-store` | versioned binary index persistence; single-file collection snapshots; write-ahead log + live manifest |
 //! | [`QueryService`], [`QueryRequest`], [`ServiceConfig`], [`DocHits`], [`TopHit`] | `ustr-service` | concurrent sharded serving: four typed query modes, one `Engine` dispatcher over `SegmentSet`s, deterministic merge, per-mode LRU cache |
 //! | [`LiveService`], [`LiveConfig`] | `ustr-live` | mutable collections: WAL → memtable → sealed segments → compaction |
+//! | [`NetServer`], [`NetClient`], [`ServerConfig`] | `ustr-net` | TCP serving: checksummed wire protocol, handshake, pipelined concurrent server, client |
 //! | [`NaiveScanner`], [`SimpleIndex`], [`ScanIndex`], DP containment | `ustr-baseline` | baselines, test oracles, and the scan-backed memtable executor |
 //! | [`StreamMatcher`], [`ContainmentTracker`] | `ustr-stream` | online matching over event streams (§2) |
 //! | suffix arrays / trees | `ustr-suffix` | SA-IS, LCP, suffix tree substrate |
@@ -79,6 +80,7 @@ pub use ustr_core::{
     self as core, ApproxIndex, Error, Index, ListingIndex, QueryResult, RelMetric, SpecialIndex,
 };
 pub use ustr_live::{self as live, LiveConfig, LiveError, LiveService};
+pub use ustr_net::{self as net, NetClient, NetError, NetServer, ServerConfig};
 pub use ustr_rmq as rmq;
 pub use ustr_service::{
     self as service, DocHits, QueryRequest, QueryResponse, QueryService, ServiceConfig, TopHit,
