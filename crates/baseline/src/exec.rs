@@ -1,25 +1,34 @@
 //! [`ScanIndex`]: the scan-based [`QueryExecutor`].
 //!
 //! Wraps one [`UncertainString`] and answers the per-document query
-//! contract by scanning (via [`NaiveScanner`]) instead of building the
-//! paper's index. Construction is O(1) — no transform, no suffix tree —
-//! which is exactly what a live memtable needs: a freshly ingested document
-//! is queryable immediately, and the answers are **bit-identical** to what
-//! a built [`ustr_core::Index`] over the same document at the same `τmin`
-//! returns (both report canonical probabilities recomputed from the model,
-//! both use the same threshold tolerance, and top-k uses the same total
-//! order — see [`ustr_core::QueryExecutor`]).
+//! contract by scanning instead of building the paper's index.
+//! Construction builds only the flat [`ProbPlane`] — no transform, no
+//! suffix tree — which is exactly what a live memtable needs: a freshly
+//! ingested document is queryable immediately, and the answers are
+//! **bit-identical** to what a built [`ustr_core::Index`] over the same
+//! document at the same `τmin` returns (both report canonical
+//! probabilities recomputed from the model through the same
+//! [`MatchKernel`], both use the same threshold tolerance, and top-k uses
+//! the same total order — see [`ustr_core::QueryExecutor`]).
+//!
+//! The scan itself runs on the plane: candidate start positions are
+//! prefiltered with the presence bitmap of the *first* pattern character
+//! (every other start fails at its first factor), and each surviving
+//! window is verified by the kernel's bounded flat loop with the same
+//! per-factor early exit [`crate::NaiveScanner`] uses. `NaiveScanner`
+//! stays as the plane-free reference implementation the differential tests
+//! compare against.
 
 use ustr_core::{validate_pattern, validate_query, Error, QueryExecutor};
-use ustr_uncertain::{UncertainString, PROB_EPS};
+use ustr_uncertain::{MatchKernel, ProbPlane, UncertainString, PROB_EPS};
 
-use crate::scan::NaiveScanner;
-
-/// A scan-backed per-document query engine (O(1) construction, O(n·m)
-/// queries) satisfying the [`QueryExecutor`] interchangeability contract.
+/// A scan-backed per-document query engine (O(n·σ) construction for the
+/// probability plane, O(n·m) queries) satisfying the [`QueryExecutor`]
+/// interchangeability contract.
 #[derive(Debug, Clone)]
 pub struct ScanIndex {
     doc: UncertainString,
+    plane: ProbPlane,
     tau_min: f64,
 }
 
@@ -30,7 +39,12 @@ impl ScanIndex {
         if !(tau_min > 0.0 && tau_min <= 1.0) {
             return Err(Error::InvalidThreshold { value: tau_min });
         }
-        Ok(Self { doc, tau_min })
+        let plane = ProbPlane::build(&doc);
+        Ok(Self {
+            doc,
+            plane,
+            tau_min,
+        })
     }
 
     /// The wrapped document.
@@ -38,10 +52,38 @@ impl ScanIndex {
         &self.doc
     }
 
+    /// The document's flat verification plane.
+    pub fn plane(&self) -> &ProbPlane {
+        &self.plane
+    }
+
     /// Consumes the executor, returning the document (e.g. to build a real
     /// index when the memtable is sealed).
     pub fn into_source(self) -> UncertainString {
         self.doc
+    }
+
+    /// The plane-backed scan shared by threshold and top-k: presence-row
+    /// prefilter on the first pattern character, bounded kernel loop per
+    /// surviving candidate, canonical linear-domain filter at `tau`.
+    /// Equivalent to `NaiveScanner::find_with_probs` + retain, bit for bit.
+    fn scan(&self, kernel: &MatchKernel<'_>, pattern: &[u8], tau: f64) -> Vec<(usize, f64)> {
+        let m = pattern.len();
+        let n = self.doc.len();
+        let mut hits = Vec::new();
+        if m == 0 || m > n {
+            return hits;
+        }
+        let log_tau = tau.ln();
+        for i in kernel.candidates(n - m + 1) {
+            if let Some(log_p) = kernel.log_match_bounded(i, log_tau) {
+                let p = log_p.exp();
+                if p >= tau - PROB_EPS {
+                    hits.push((i, p));
+                }
+            }
+        }
+        hits
     }
 }
 
@@ -52,12 +94,12 @@ impl QueryExecutor for ScanIndex {
 
     fn threshold_hits(&self, pattern: &[u8], tau: f64) -> Result<Vec<(usize, f64)>, Error> {
         validate_query(pattern, tau, self.tau_min)?;
-        // The scanner's log-domain prefilter mirrors the index's RMQ report
-        // threshold; the linear-domain retain mirrors the index's final
+        // The kernel's log-domain early exit mirrors the index's RMQ report
+        // threshold; the linear-domain filter mirrors the index's final
         // canonical-probability filter.
-        let mut hits = NaiveScanner::find_with_probs(&self.doc, pattern, tau);
-        hits.retain(|&(_, p)| p >= tau - PROB_EPS);
-        Ok(hits)
+        Ok(self
+            .plane
+            .with_kernel(pattern, |kernel| self.scan(kernel, pattern, tau)))
     }
 
     fn top_k_hits(&self, pattern: &[u8], k: usize) -> Result<Vec<(usize, f64)>, Error> {
@@ -68,8 +110,9 @@ impl QueryExecutor for ScanIndex {
         // Candidates = the threshold answer at τmin (log prefilter plus
         // the same canonical linear filter the index applies); canonical
         // (probability ↓, position ↑) order decides ties at the cut.
-        let mut hits = NaiveScanner::find_with_probs(&self.doc, pattern, self.tau_min);
-        hits.retain(|&(_, p)| p >= self.tau_min - PROB_EPS);
+        let mut hits = self
+            .plane
+            .with_kernel(pattern, |kernel| self.scan(kernel, pattern, self.tau_min));
         hits.sort_by(ustr_core::canonical_hit_order);
         hits.truncate(k);
         Ok(hits)

@@ -13,11 +13,15 @@
 //! [`PossibleWorldOracle`] enumerates possible worlds outright and serves as
 //! the ground truth for every property test in the workspace.
 //!
-//! [`ScanIndex`] packages the scanner behind the `ustr-core`
+//! [`ScanIndex`] packages the scan strategy behind the `ustr-core`
 //! [`QueryExecutor`](ustr_core::QueryExecutor) contract: a per-document
-//! engine with O(1) construction whose answers are bit-identical to a built
-//! index — the serving path for documents too young to have been indexed
-//! (the `ustr-live` memtable).
+//! engine whose only construction cost is the flat
+//! [`ProbPlane`](ustr_uncertain::ProbPlane) (no transform, no suffix tree)
+//! and whose answers are bit-identical to a built index — the serving path
+//! for documents too young to have been indexed (the `ustr-live`
+//! memtable). Its scan prefilters candidate starts with the plane's
+//! first-pattern-character presence row and verifies through the
+//! [`MatchKernel`](ustr_uncertain::MatchKernel) flat loop.
 
 mod dp;
 mod exec;

@@ -7,7 +7,7 @@
 //! the efficient RMQ index removes.
 
 use ustr_suffix::SuffixArray;
-use ustr_uncertain::{transform, ModelError, Transformed, UncertainString};
+use ustr_uncertain::{transform, ModelError, ProbPlane, Transformed, UncertainString};
 
 /// Simple (non-RMQ) index over a general uncertain string.
 ///
@@ -22,7 +22,9 @@ use ustr_uncertain::{transform, ModelError, Transformed, UncertainString};
 /// ```
 #[derive(Debug)]
 pub struct SimpleIndex {
-    source: UncertainString,
+    /// Flat verification plane over the source model (all the query path
+    /// needs of it — bit-identical to `log_match_probability`).
+    plane: ProbPlane,
     transformed: Transformed,
     sa: SuffixArray,
     tau_min: f64,
@@ -34,7 +36,7 @@ impl SimpleIndex {
         let transformed = transform(source, tau_min)?;
         let sa = SuffixArray::new(transformed.special.chars().to_vec());
         Ok(Self {
-            source: source.clone(),
+            plane: ProbPlane::build(source),
             transformed,
             sa,
             tau_min,
@@ -62,17 +64,20 @@ impl SimpleIndex {
         };
         // Scan the whole range (the inefficiency the efficient index fixes),
         // mapping each text offset back to the source position and verifying
-        // the exact probability there.
-        for j in l..=r {
-            let x = self.sa.sa()[j] as usize;
-            let Some(src) = self.transformed.source_pos(x) else {
-                continue;
-            };
-            let log_p = self.source.log_match_probability(pattern, src);
-            if ustr_uncertain::log_meets_threshold(log_p, tau.ln()) {
-                out.push(src);
+        // the exact probability there through the flat plane kernel
+        // (bit-identical to `log_match_probability`, pattern remapped once).
+        let log_tau = tau.ln();
+        self.plane.with_kernel(pattern, |kernel| {
+            for j in l..=r {
+                let x = self.sa.sa()[j] as usize;
+                let Some(src) = self.transformed.source_pos(x) else {
+                    continue;
+                };
+                if ustr_uncertain::log_meets_threshold(kernel.log_match(src), log_tau) {
+                    out.push(src);
+                }
             }
-        }
+        });
         out.sort_unstable();
         out.dedup();
         Ok(out)
@@ -86,7 +91,7 @@ impl SimpleIndex {
 
     /// Approximate heap footprint in bytes.
     pub fn heap_size(&self) -> usize {
-        self.sa.heap_size() + self.transformed.heap_size()
+        self.sa.heap_size() + self.transformed.heap_size() + self.plane.heap_size()
     }
 }
 

@@ -105,23 +105,40 @@ impl ApproxIndex {
             transformed.special.char_at(i) == 0
         });
 
-        // Group marked leaves by Posid. Slots ascend in preorder order.
+        // Group marked leaves by Posid (slots ascend in preorder order)
+        // with a counting sort into one flat arena — two passes, zero
+        // per-position `Vec` allocations (the plane/kernel treatment of the
+        // query path, applied to the build's hottest grouping loop).
         let n_src = source.len();
-        let mut leaves_of: Vec<Vec<u32>> = vec![Vec::new(); n_src];
-        for slot in 1..tree.num_slots() {
+        let marked = |slot: usize| -> Option<usize> {
             let x = tree.sa(slot);
             if x >= transformed.pos.len() {
-                continue;
+                return None;
             }
-            if let Some(d) = transformed.source_pos(x) {
-                leaves_of[d].push(slot as u32);
+            transformed.source_pos(x)
+        };
+        let mut bucket_start = vec![0u32; n_src + 2];
+        for slot in 1..tree.num_slots() {
+            if let Some(d) = marked(slot) {
+                bucket_start[d + 2] += 1;
+            }
+        }
+        for d in 2..bucket_start.len() {
+            bucket_start[d] += bucket_start[d - 1];
+        }
+        let mut flat = vec![0u32; *bucket_start.last().unwrap() as usize];
+        for slot in 1..tree.num_slots() {
+            if let Some(d) = marked(slot) {
+                flat[bucket_start[d + 1] as usize] = slot as u32;
+                bucket_start[d + 1] += 1;
             }
         }
 
         let mut links: Vec<Link> = Vec::new();
         let mut stack: Vec<u32> = Vec::new();
         let mut witness: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-        for (d, slots) in leaves_of.iter().enumerate() {
+        for d in 0..n_src {
+            let slots = &flat[bucket_start[d] as usize..bucket_start[d + 1] as usize];
             if slots.is_empty() {
                 continue;
             }

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use ustr_suffix::SuffixTree;
-use ustr_uncertain::{transform_with_options, Transformed, UncertainString};
+use ustr_uncertain::{transform_with_options, ProbPlane, Transformed, UncertainString};
 
 use crate::{
     carray::CumulativeLogProb,
@@ -34,6 +34,9 @@ use crate::{
 /// ```
 pub struct Index {
     source: UncertainString,
+    /// Flat verification plane over `source` — derived state, rebuilt on
+    /// construction and snapshot load, never persisted.
+    plane: ProbPlane,
     transformed: Transformed,
     tree: SuffixTree,
     cum: CumulativeLogProb,
@@ -94,6 +97,7 @@ impl Index {
         };
         let mut idx = Self {
             source: source.clone(),
+            plane: ProbPlane::build(source),
             transformed,
             tree,
             cum,
@@ -162,8 +166,10 @@ impl Index {
             return Err(invalid("cumulative array length does not match text"));
         }
         let levels = Levels::from_parts(state.levels, &tree, &cum)?;
+        let plane = ProbPlane::build(&state.source);
         Ok(Self {
             source: state.source,
+            plane,
             transformed: state.transformed,
             tree,
             cum,
@@ -218,22 +224,28 @@ impl Index {
         // dedup-disabled builds may repeat sources — aggregate.
         //
         // Reported probabilities are *canonical*: always recomputed from the
-        // source model via `match_probability`, never read off the stored
-        // prefix sums. The two agree to float noise, but the canonical value
-        // is independent of the transform's factor layout — so an index, a
-        // snapshot-loaded index, and a `QueryExecutor` that scans the source
-        // directly all report bit-identical probabilities. (Under
-        // correlation the stored values are only upper bounds, making the
-        // recomputation mandatory rather than merely canonical.)
+        // source model, never read off the stored prefix sums. The two agree
+        // to float noise, but the canonical value is independent of the
+        // transform's factor layout — so an index, a snapshot-loaded index,
+        // and a `QueryExecutor` that scans the source directly all report
+        // bit-identical probabilities. (Under correlation the stored values
+        // are only upper bounds, making the recomputation mandatory rather
+        // than merely canonical.) Recomputation goes through the flat
+        // `ProbPlane` kernel — bit-identical to `match_probability` with the
+        // pattern remapped to plane ranks once, not once per candidate.
         let mut hits: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
-        for (slot, _stored) in candidates {
-            let Some(src) = self.source_pos_of_slot(slot) else {
-                continue;
-            };
-            let exact = self.source.match_probability(pattern, src);
-            if exact >= tau - ustr_uncertain::PROB_EPS {
-                hits.push((src, exact));
-            }
+        if !candidates.is_empty() {
+            self.plane.with_kernel(pattern, |kernel| {
+                for (slot, _stored) in candidates {
+                    let Some(src) = self.source_pos_of_slot(slot) else {
+                        continue;
+                    };
+                    let exact = kernel.match_probability(src);
+                    if exact >= tau - ustr_uncertain::PROB_EPS {
+                        hits.push((src, exact));
+                    }
+                }
+            });
         }
         if !(short && self.dedup_enabled && !has_corr) {
             hits.sort_unstable_by_key(|&(p, _)| p);
@@ -277,6 +289,10 @@ impl Index {
         // strictly below the k-th value (the tie class at the cut is closed)
         // or the candidates run out — so the cut is decided by the canonical
         // order below, not by heap arbitration among equal stored values.
+        // The widening is capped at the suffix-range width: the range holds
+        // at most `r - l + 1` candidates, so doubling past the population
+        // can never surface anything new.
+        let cap = r - l + 1;
         let mut want = k;
         let mut ranked;
         loop {
@@ -291,21 +307,24 @@ impl Index {
                 floor,
                 |slot| self.source_pos_of_slot(slot),
             );
-            if ranked.len() < want {
+            if ranked.len() < want || want >= cap {
                 break;
             }
             if ranked[want - 1].1 < ranked[k - 1].1 - ustr_uncertain::PROB_EPS {
                 break;
             }
-            match want.checked_mul(2) {
-                Some(w) => want = w,
-                None => break,
-            }
+            want = want.saturating_mul(2).min(cap);
         }
-        let mut out: Vec<(usize, f64)> = ranked
-            .into_iter()
-            .map(|(src, _)| (src, self.source.match_probability(pattern, src)))
-            .collect();
+        let mut out: Vec<(usize, f64)> = Vec::with_capacity(ranked.len());
+        if !ranked.is_empty() {
+            self.plane.with_kernel(pattern, |kernel| {
+                out.extend(
+                    ranked
+                        .into_iter()
+                        .map(|(src, _)| (src, kernel.match_probability(src))),
+                );
+            });
+        }
         // Mirror the threshold query's final canonical filter at τmin, so
         // the candidate set is exactly the τmin threshold answer.
         out.retain(|&(_, p)| p >= self.tau_min - ustr_uncertain::PROB_EPS);
@@ -320,6 +339,7 @@ impl Index {
             + self.cum.heap_size()
             + self.levels.heap_size()
             + self.transformed.heap_size()
+            + self.plane.heap_size()
     }
 }
 

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use ustr_suffix::SuffixTree;
-use ustr_uncertain::{transform_with_options, UncertainString};
+use ustr_uncertain::{transform_with_options, PatternRanks, ProbPlane, UncertainString};
 
 use crate::{
     carray::CumulativeLogProb,
@@ -57,6 +57,9 @@ pub struct ListingHit {
 /// ```
 pub struct ListingIndex {
     docs: Vec<UncertainString>,
+    /// Per-document flat verification planes — derived state, rebuilt on
+    /// construction and snapshot load, never persisted.
+    planes: Vec<ProbPlane>,
     tree: SuffixTree,
     cum: CumulativeLogProb,
     levels: Levels,
@@ -159,6 +162,7 @@ impl ListingIndex {
         };
         let mut idx = Self {
             docs: docs.to_vec(),
+            planes: docs.iter().map(ProbPlane::build).collect(),
             tree,
             cum,
             levels,
@@ -242,8 +246,10 @@ impl ListingIndex {
             return Err(invalid("cumulative array length does not match text"));
         }
         let levels = Levels::from_parts(state.levels, &tree, &cum)?;
+        let planes = state.docs.iter().map(ProbPlane::build).collect();
         Ok(Self {
             docs: state.docs,
+            planes,
             tree,
             cum,
             levels,
@@ -294,6 +300,25 @@ impl ListingIndex {
         Some((d as usize, self.src_of[x] as usize))
     }
 
+    /// Canonical probability of `pattern` at `src` in `doc`, verified
+    /// through the document's flat plane. Candidates arrive in slot order
+    /// with documents interleaved, so the pattern→rank remap is compiled
+    /// lazily per touched document and cached in `compiled` for the rest of
+    /// the query — nothing is allocated per candidate.
+    fn verify(
+        &self,
+        compiled: &mut HashMap<usize, PatternRanks>,
+        pattern: &[u8],
+        doc: usize,
+        src: usize,
+    ) -> f64 {
+        let plane = &self.planes[doc];
+        let ranks = compiled
+            .entry(doc)
+            .or_insert_with(|| plane.compile(pattern));
+        plane.kernel(pattern, ranks).match_probability(src)
+    }
+
     fn query_max(
         &self,
         pattern: &[u8],
@@ -311,14 +336,16 @@ impl ListingIndex {
                 .report_long(m, l, r, log_tau, &self.tree, &self.cum)
         };
         let mut best: HashMap<usize, f64> = HashMap::new();
+        let mut compiled: HashMap<usize, PatternRanks> = HashMap::new();
         for (slot, _stored) in candidates {
             let Some((doc, src)) = self.doc_and_src(slot) else {
                 continue;
             };
             // Canonical probability (see `Index::query`): recomputed from
-            // the document model, so `Rel_max` values agree bit-for-bit with
-            // any per-document executor folding its own threshold hits.
-            let exact = self.docs[doc].match_probability(pattern, src);
+            // the document model via its plane kernel, so `Rel_max` values
+            // agree bit-for-bit with any per-document executor folding its
+            // own threshold hits.
+            let exact = self.verify(&mut compiled, pattern, doc, src);
             if exact >= tau - ustr_uncertain::PROB_EPS {
                 let e = best.entry(doc).or_insert(0.0);
                 if exact > *e {
@@ -346,6 +373,7 @@ impl ListingIndex {
     ) -> Result<Vec<ListingHit>, Error> {
         let m = pattern.len();
         let mut occs: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut compiled: HashMap<usize, PatternRanks> = HashMap::new();
         for slot in l..=r {
             let Some((doc, src)) = self.doc_and_src(slot) else {
                 continue;
@@ -357,7 +385,7 @@ impl ListingIndex {
             if stored == f64::NEG_INFINITY {
                 continue;
             }
-            let exact = self.docs[doc].match_probability(pattern, src);
+            let exact = self.verify(&mut compiled, pattern, doc, src);
             if exact > 0.0 {
                 occs.insert((doc, src), exact);
             }
@@ -416,8 +444,8 @@ impl ListingIndex {
             .map(|(doc, v)| {
                 let relevance = if self.has_correlations {
                     // Stored values are bounds; recompute the document's
-                    // exact Rel_max.
-                    crate::listing::exact_rel_max(&self.docs[doc], pattern)
+                    // exact Rel_max through its plane.
+                    crate::listing::exact_rel_max(&self.planes[doc], pattern)
                 } else {
                     v.exp()
                 };
@@ -438,21 +466,24 @@ impl ListingIndex {
         self.tree.heap_size()
             + self.cum.heap_size()
             + self.levels.heap_size()
+            + self.planes.iter().map(ProbPlane::heap_size).sum::<usize>()
             + (self.doc_of.capacity() + self.src_of.capacity() + self.doc_base.capacity())
                 * size_of::<u32>()
     }
 }
 
-/// Exact `Rel_max` by scanning one document (used only under correlations,
-/// where stored values are upper bounds).
-fn exact_rel_max(doc: &UncertainString, pattern: &[u8]) -> f64 {
+/// Exact `Rel_max` by scanning one document's plane (used only under
+/// correlations, where stored values are upper bounds).
+fn exact_rel_max(plane: &ProbPlane, pattern: &[u8]) -> f64 {
     let m = pattern.len();
-    if m > doc.len() {
+    if m > plane.len() {
         return 0.0;
     }
-    (0..=doc.len() - m)
-        .map(|i| doc.match_probability(pattern, i))
-        .fold(0.0, f64::max)
+    plane.with_kernel(pattern, |kernel| {
+        (0..=plane.len() - m)
+            .map(|i| kernel.match_probability(i))
+            .fold(0.0, f64::max)
+    })
 }
 
 #[cfg(test)]

@@ -10,6 +10,11 @@
 //! filter-level upper bound; when an entry surfaces, its exact length-`m`
 //! value is computed and re-inserted, and it is only emitted once exact —
 //! correct because every other entry still bounds its contents from above.
+//!
+//! Values ranked here are the *stored* window products read off the
+//! cumulative array; the callers re-verify every emitted source through
+//! the flat [`ustr_uncertain::ProbPlane`] kernel to produce the canonical
+//! probabilities the [`crate::QueryExecutor`] contract reports.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};

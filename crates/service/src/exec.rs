@@ -8,6 +8,13 @@
 //! deterministically reassembles per-segment partials into the final
 //! [`QueryResponse`]. Both services share these code paths, which is what
 //! makes their answers identical for identical document sets.
+//!
+//! Per-candidate verification inside every executor — built index or scan —
+//! runs on the flat [`ustr_uncertain::ProbPlane`] kernel (pattern remapped
+//! to plane ranks once per document per query, thread-local scratch, no
+//! per-candidate allocation), so the whole serving stack inherits the
+//! kernel's bit-identity contract: a query answered here matches the naive
+//! `match_probability` evaluation bit for bit.
 
 use std::sync::Arc;
 

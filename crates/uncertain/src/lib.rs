@@ -18,10 +18,16 @@
 //!   a special one by concatenating *extended maximal factors* with respect
 //!   to a construction-time threshold `τmin`, together with the position
 //!   mapping `Pos` used to report original offsets.
+//! * [`ProbPlane`] / [`MatchKernel`] — the flat `pos × σ` probability plane
+//!   and its zero-allocation verification kernel: bit-identical to
+//!   [`UncertainString::log_match_probability`], but evaluated as a tight
+//!   flat-array loop (see [`plane`]). Every query executor in the workspace
+//!   verifies candidates through it.
 
 mod chars;
 mod correlation;
 mod error;
+pub mod plane;
 mod special;
 mod string;
 mod transform;
@@ -30,6 +36,7 @@ mod worlds;
 pub use chars::UncertainChar;
 pub use correlation::{Correlation, CorrelationSet};
 pub use error::ModelError;
+pub use plane::{MatchKernel, PatternRanks, ProbPlane};
 pub use special::SpecialUncertainString;
 pub use string::UncertainString;
 pub use transform::{

@@ -1,0 +1,1018 @@
+//! Flat probability planes: the zero-allocation verification kernel behind
+//! every query hot path.
+//!
+//! Per-candidate verification (`UncertainString::log_match_probability`)
+//! walks a `Vec<UncertainChar>` of per-position heap `Vec<(u8, f64)>`
+//! choices, binary-searching each pattern character and probing the
+//! correlation hash map at every window position. On the alphabets real
+//! workloads use (DNA/IUPAC σ ≤ 16, protein σ ≤ 25) that walk dominates
+//! query time. This module lays the same model out flat, the way related
+//! work on weighted sequences stores position × character probabilities:
+//!
+//! * [`ProbPlane`] — built once per document. The live alphabet is remapped
+//!   to ranks `0..σ` and the **natural-log** probabilities are stored as one
+//!   contiguous row-major `pos × σ` table (a CSR layout is used instead
+//!   when σ is large and the rows are sparse). Sidecars: per-character
+//!   *presence bitmaps* (which positions can produce a character at all),
+//!   a *deterministic-position* bitmask with the flattened deterministic
+//!   bytes, and a *correlation-subject* bitmask over the handful of
+//!   correlated positions.
+//! * [`MatchKernel`] — a per-query view that remaps the pattern to ranks
+//!   **once**, then evaluates every candidate window as a tight flat-array
+//!   loop with first-impossible-factor early exit. Pattern rank scratch
+//!   lives in a thread-local buffer, so steady-state verification allocates
+//!   nothing per candidate (and nothing per query once the buffer is warm).
+//!
+//! **Bit-identity contract.** For every `(pattern, pos)`,
+//! [`MatchKernel::log_match`] returns *exactly* the `f64`
+//! [`UncertainString::log_match_probability`] returns — not merely a close
+//! value. The kernel preserves the naive evaluator's summation order and
+//! adds precomputed `ln` values of the *same* `f64` inputs the naive path
+//! feeds to `ln` at query time; the deterministic fast path only triggers
+//! when every factor is exactly `ln 1 = 0.0`. This is what lets every
+//! executor in the workspace (built index, scan, snapshot-loaded, TCP) keep
+//! reporting bit-identical canonical probabilities while verifying through
+//! the plane. The differential property test in `tests/prop_kernel.rs`
+//! pins the contract down to `f64::to_bits` equality.
+
+use std::cell::RefCell;
+
+use crate::{log_meets_threshold, string::UncertainString};
+
+/// Rank value meaning "this byte never occurs in the document".
+pub const RANK_NONE: u16 = u16::MAX;
+
+/// Dense layout is always used up to this alphabet size (covers IUPAC DNA
+/// at σ ≤ 16 and protein at σ ≤ 25 — the workloads the kernel targets; a
+/// dense row costs one indexed load where CSR costs a chain of them, and
+/// CSR measured slower on protein windows even with the deterministic
+/// byte sidecar absorbing the single-choice positions). The deliberate
+/// trade: up to `32 × 8 = 256` bytes of mostly-`−∞` cells per position on
+/// sparse documents, bounded by this cap, in exchange for one-load
+/// verification at the uncertain positions.
+const DENSE_SIGMA_MAX: usize = 32;
+/// Dense layout is always used when the whole table stays below this many
+/// cells (512 KiB of `f64`) — small documents never pay CSR indirection.
+const DENSE_CELLS_SMALL: usize = 1 << 16;
+
+/// One flattened pairwise correlation, with every probability outcome the
+/// naive evaluator could compute already resolved to its `ln` at build time.
+#[derive(Debug, Clone)]
+struct PlaneCorrelation {
+    /// Subject position.
+    pos: u32,
+    /// Subject character byte.
+    ch: u8,
+    /// Conditioning position.
+    cond_pos: u32,
+    /// Conditioning character byte.
+    cond_char: u8,
+    /// `ln pr⁺` — conditioning character chosen inside the window.
+    ln_present: f64,
+    /// `ln pr⁻` — a different character chosen at the conditioning position.
+    ln_absent: f64,
+    /// `ln` of the total-probability marginal — conditioning position
+    /// outside the window.
+    ln_outside: f64,
+}
+
+/// Probability storage: dense row-major `pos × σ`, or CSR rows when the
+/// dense table would be large *and* mostly `−∞`.
+#[derive(Debug, Clone)]
+enum Storage {
+    /// `logs[pos * sigma + rank]` = `ln pr(char(rank) at pos)`, `−∞` absent.
+    Dense(Vec<f64>),
+    /// Compressed sparse rows: `row_start[pos]..row_start[pos + 1]` indexes
+    /// `ranks`/`logs`, ranks ascending within a row.
+    Csr {
+        row_start: Vec<u32>,
+        ranks: Vec<u16>,
+        logs: Vec<f64>,
+    },
+}
+
+/// A flat, rank-remapped view of one [`UncertainString`]'s probabilities,
+/// built once per document and shared by every query against it.
+///
+/// Purely *derived* state: rebuilt from the model on construction and on
+/// snapshot load, never persisted.
+///
+/// ```
+/// use ustr_uncertain::{ProbPlane, UncertainString};
+/// let s = UncertainString::parse("A:.3,B:.7 | C | A:.5,C:.5").unwrap();
+/// let plane = ProbPlane::build(&s);
+/// assert_eq!(plane.sigma(), 3);
+/// plane.with_kernel(b"AC", |kernel| {
+///     assert_eq!(
+///         kernel.log_match(0).to_bits(),
+///         s.log_match_probability(b"AC", 0).to_bits(),
+///     );
+/// });
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProbPlane {
+    /// Number of positions (the document length).
+    len: usize,
+    /// Live alphabet size.
+    sigma: usize,
+    /// Byte → rank (`RANK_NONE` when the byte never occurs).
+    rank_of: Box<[u16; 256]>,
+    /// Rank → byte, ascending.
+    alphabet: Vec<u8>,
+    storage: Storage,
+    /// `sigma` presence rows of `words_per_row` words each: bit `p` of row
+    /// `r` is set when `char(r)` has nonzero probability at position `p`.
+    presence: Vec<u64>,
+    words_per_row: usize,
+    /// Bit `p` set when position `p` is deterministic *for the kernel*:
+    /// a single choice with probability exactly `1.0` and no correlation
+    /// subject (so its factor is exactly `ln 1 = 0.0`).
+    det_mask: Vec<u64>,
+    /// Length of the maximal all-deterministic run starting at each
+    /// position — the O(1) form of the `det_mask` window test the kernel
+    /// actually loads (one `u32` per candidate instead of a word fold).
+    det_run: Vec<u32>,
+    /// The deterministic byte at det positions (`0`, the reserved sentinel,
+    /// elsewhere) — lets an all-deterministic window verify by byte compare.
+    det_chars: Vec<u8>,
+    /// Bit `p` set when any correlation subject lives at position `p`.
+    corr_mask: Vec<u64>,
+    /// Length of the maximal correlation-free run starting at each position
+    /// (empty when the document has no correlations at all).
+    corr_run: Vec<u32>,
+    /// Flattened correlations, sorted by `(pos, ch)` for binary search.
+    corr: Vec<PlaneCorrelation>,
+}
+
+thread_local! {
+    /// Reusable pattern→rank scratch. Taken (not borrowed) around kernel
+    /// use so nested kernels degrade to a fresh allocation instead of a
+    /// re-borrow panic.
+    static RANK_SCRATCH: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
+}
+
+impl ProbPlane {
+    /// Flattens `source` into a plane. Layout (dense vs CSR) is chosen from
+    /// the alphabet size and choice density; both answer identically.
+    pub fn build(source: &UncertainString) -> Self {
+        let n = source.len();
+        let mut rank_of: Box<[u16; 256]> = Box::new([RANK_NONE; 256]);
+        let mut seen = [false; 256];
+        let mut entries = 0usize;
+        for p in source.positions() {
+            for &(c, _) in p.choices() {
+                seen[c as usize] = true;
+                entries += 1;
+            }
+        }
+        let alphabet: Vec<u8> = (0u16..256)
+            .filter(|&c| seen[c as usize])
+            .map(|c| c as u8)
+            .collect();
+        let sigma = alphabet.len();
+        for (r, &c) in alphabet.iter().enumerate() {
+            rank_of[c as usize] = r as u16;
+        }
+
+        let cells = n * sigma;
+        let dense = sigma <= DENSE_SIGMA_MAX || cells <= DENSE_CELLS_SMALL || entries * 2 >= cells;
+        let storage = if dense {
+            let mut logs = vec![f64::NEG_INFINITY; cells];
+            for (i, p) in source.positions().iter().enumerate() {
+                let row = &mut logs[i * sigma..(i + 1) * sigma];
+                for &(c, pr) in p.choices() {
+                    row[rank_of[c as usize] as usize] = pr.ln();
+                }
+            }
+            Storage::Dense(logs)
+        } else {
+            let mut row_start = Vec::with_capacity(n + 1);
+            let mut ranks = Vec::with_capacity(entries);
+            let mut logs = Vec::with_capacity(entries);
+            row_start.push(0u32);
+            for p in source.positions() {
+                // Choices are sorted by byte, and rank order is byte order,
+                // so each CSR row comes out rank-ascending for free.
+                for &(c, pr) in p.choices() {
+                    ranks.push(rank_of[c as usize]);
+                    logs.push(pr.ln());
+                }
+                row_start.push(ranks.len() as u32);
+            }
+            Storage::Csr {
+                row_start,
+                ranks,
+                logs,
+            }
+        };
+
+        let words_per_row = n.div_ceil(64);
+        let mut presence = vec![0u64; sigma * words_per_row];
+        for (i, p) in source.positions().iter().enumerate() {
+            for &(c, _) in p.choices() {
+                let r = rank_of[c as usize] as usize;
+                presence[r * words_per_row + i / 64] |= 1u64 << (i % 64);
+            }
+        }
+
+        let corrs = source.correlations();
+        let mut det_mask = vec![0u64; words_per_row];
+        let mut det_chars = vec![0u8; n];
+        for (i, p) in source.positions().iter().enumerate() {
+            let choices = p.choices();
+            if choices.len() == 1
+                && choices[0].1.to_bits() == 1.0f64.to_bits()
+                && !corrs.has_subject_at(i)
+            {
+                det_mask[i / 64] |= 1u64 << (i % 64);
+                det_chars[i] = choices[0].0;
+            }
+        }
+
+        let mut det_run = vec![0u32; n];
+        let mut run = 0u32;
+        for i in (0..n).rev() {
+            run = if det_mask[i / 64] >> (i % 64) & 1 == 1 {
+                run.saturating_add(1)
+            } else {
+                0
+            };
+            det_run[i] = run;
+        }
+
+        let mut corr_mask = vec![0u64; words_per_row];
+        let mut corr: Vec<PlaneCorrelation> = corrs
+            .iter()
+            .map(|c| {
+                let marginal = source.position(c.cond_pos).prob_of(c.cond_char);
+                // Same formula (and the same f64 inputs) the naive
+                // evaluator feeds through `effective_prob` at query time,
+                // so the precomputed ln values are bit-identical.
+                let outside = c.effective_prob(None, marginal);
+                PlaneCorrelation {
+                    pos: c.subject_pos as u32,
+                    ch: c.subject_char,
+                    cond_pos: c.cond_pos as u32,
+                    cond_char: c.cond_char,
+                    ln_present: c.p_present.ln(),
+                    ln_absent: c.p_absent.ln(),
+                    ln_outside: outside.ln(),
+                }
+            })
+            .collect();
+        corr.sort_unstable_by_key(|c| (c.pos, c.ch));
+        for c in &corr {
+            corr_mask[c.pos as usize / 64] |= 1u64 << (c.pos % 64);
+        }
+        let corr_run = if corr.is_empty() {
+            Vec::new()
+        } else {
+            let mut corr_run = vec![0u32; n];
+            let mut run = 0u32;
+            for i in (0..n).rev() {
+                run = if corr_mask[i / 64] >> (i % 64) & 1 == 1 {
+                    0
+                } else {
+                    run.saturating_add(1)
+                };
+                corr_run[i] = run;
+            }
+            corr_run
+        };
+
+        Self {
+            len: n,
+            sigma,
+            rank_of,
+            alphabet,
+            storage,
+            presence,
+            words_per_row,
+            det_mask,
+            det_run,
+            det_chars,
+            corr_mask,
+            corr_run,
+            corr,
+        }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for a zero-length document.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Live alphabet size σ.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// The live alphabet, ascending by byte.
+    pub fn alphabet(&self) -> &[u8] {
+        &self.alphabet
+    }
+
+    /// Rank of `ch`, or `None` when the byte never occurs in the document.
+    #[inline]
+    pub fn rank(&self, ch: u8) -> Option<u16> {
+        match self.rank_of[ch as usize] {
+            RANK_NONE => None,
+            r => Some(r),
+        }
+    }
+
+    /// `true` when the plane uses the dense row-major table (as opposed to
+    /// the CSR fallback for large sparse alphabets).
+    pub fn is_dense(&self) -> bool {
+        matches!(self.storage, Storage::Dense(_))
+    }
+
+    /// `ln pr(char(rank) at pos)`; `−∞` when absent (or `rank` is
+    /// [`RANK_NONE`]).
+    #[inline]
+    pub fn log_prob(&self, pos: usize, rank: u16) -> f64 {
+        if rank == RANK_NONE {
+            return f64::NEG_INFINITY;
+        }
+        match &self.storage {
+            Storage::Dense(logs) => logs[pos * self.sigma + rank as usize],
+            Storage::Csr {
+                row_start,
+                ranks,
+                logs,
+            } => {
+                let lo = row_start[pos] as usize;
+                let hi = row_start[pos + 1] as usize;
+                // Rows hold a handful of ascending ranks; a linear scan with
+                // early break beats binary search at these sizes.
+                for i in lo..hi {
+                    match ranks[i] {
+                        r if r == rank => return logs[i],
+                        r if r > rank => return f64::NEG_INFINITY,
+                        _ => {}
+                    }
+                }
+                f64::NEG_INFINITY
+            }
+        }
+    }
+
+    /// `true` when position `pos` is deterministic for the kernel (single
+    /// choice with probability exactly 1 and no correlation subject).
+    #[inline]
+    pub fn is_deterministic_at(&self, pos: usize) -> bool {
+        self.det_mask[pos / 64] >> (pos % 64) & 1 == 1
+    }
+
+    /// Iterates the positions `< limit` where `ch` has nonzero probability,
+    /// ascending — the first-pattern-character candidate prefilter used by
+    /// the scan executors.
+    pub fn positions_with(&self, ch: u8, limit: usize) -> PresenceIter<'_> {
+        let words = match self.rank(ch) {
+            Some(r) => {
+                let r = r as usize;
+                &self.presence[r * self.words_per_row..(r + 1) * self.words_per_row]
+            }
+            None => &[],
+        };
+        PresenceIter::new(words, None, limit.min(self.len))
+    }
+
+    /// Remaps `pattern` to plane ranks (one small allocation per call; the
+    /// hot paths use [`ProbPlane::with_kernel`], which reuses a
+    /// thread-local buffer instead).
+    pub fn compile(&self, pattern: &[u8]) -> PatternRanks {
+        let mut ranks = Vec::new();
+        let impossible = self.remap_into(pattern, &mut ranks);
+        PatternRanks { ranks, impossible }
+    }
+
+    /// A kernel over previously [`compile`](Self::compile)d ranks.
+    pub fn kernel<'a>(&'a self, pattern: &'a [u8], compiled: &'a PatternRanks) -> MatchKernel<'a> {
+        debug_assert_eq!(pattern.len(), compiled.ranks.len());
+        MatchKernel {
+            plane: self,
+            pattern,
+            ranks: &compiled.ranks,
+            first_row: self.first_char_row(pattern),
+            impossible: compiled.impossible,
+            any_corr: !self.corr.is_empty(),
+        }
+    }
+
+    /// Runs `f` with a [`MatchKernel`] for `pattern`, remapping the pattern
+    /// into a reusable thread-local rank buffer: once the buffer is warm, a
+    /// query allocates nothing here no matter how many candidates it
+    /// verifies.
+    pub fn with_kernel<R>(&self, pattern: &[u8], f: impl FnOnce(&MatchKernel<'_>) -> R) -> R {
+        let mut buf = RANK_SCRATCH.with(RefCell::take);
+        let impossible = self.remap_into(pattern, &mut buf);
+        let kernel = MatchKernel {
+            plane: self,
+            pattern,
+            ranks: &buf,
+            first_row: self.first_char_row(pattern),
+            impossible,
+            any_corr: !self.corr.is_empty(),
+        };
+        let out = f(&kernel);
+        RANK_SCRATCH.with(|cell| cell.replace(buf));
+        out
+    }
+
+    /// Fills `ranks` with the pattern's plane ranks; returns `true` when
+    /// some pattern byte never occurs in the document (every window is then
+    /// impossible).
+    fn remap_into(&self, pattern: &[u8], ranks: &mut Vec<u16>) -> bool {
+        ranks.clear();
+        let mut impossible = false;
+        ranks.extend(pattern.iter().map(|&c| {
+            let r = self.rank_of[c as usize];
+            impossible |= r == RANK_NONE;
+            r
+        }));
+        impossible
+    }
+
+    /// The correlation whose subject is `(pos, ch)`, if any.
+    #[inline]
+    fn corr_at(&self, pos: usize, ch: u8) -> Option<&PlaneCorrelation> {
+        let key = (pos as u32, ch);
+        self.corr
+            .binary_search_by_key(&key, |c| (c.pos, c.ch))
+            .ok()
+            .map(|i| &self.corr[i])
+    }
+
+    /// The presence row of `pattern`'s first character — the kernel's
+    /// one-load candidate reject (empty for empty/impossible patterns, in
+    /// which case the kernel never consults it).
+    fn first_char_row(&self, pattern: &[u8]) -> &[u64] {
+        match pattern.first().map(|&c| self.rank_of[c as usize]) {
+            Some(r) if r != RANK_NONE => {
+                let r = r as usize;
+                &self.presence[r * self.words_per_row..(r + 1) * self.words_per_row]
+            }
+            _ => &[],
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_size(&self) -> usize {
+        use std::mem::size_of;
+        let storage = match &self.storage {
+            Storage::Dense(logs) => logs.capacity() * size_of::<f64>(),
+            Storage::Csr {
+                row_start,
+                ranks,
+                logs,
+            } => {
+                row_start.capacity() * size_of::<u32>()
+                    + ranks.capacity() * size_of::<u16>()
+                    + logs.capacity() * size_of::<f64>()
+            }
+        };
+        storage
+            + size_of::<[u16; 256]>()
+            + self.alphabet.capacity()
+            + (self.presence.capacity() + self.det_mask.capacity() + self.corr_mask.capacity())
+                * size_of::<u64>()
+            + (self.det_run.capacity() + self.corr_run.capacity()) * size_of::<u32>()
+            + self.det_chars.capacity()
+            + self.corr.capacity() * size_of::<PlaneCorrelation>()
+    }
+}
+
+/// A pattern remapped to one plane's ranks (see [`ProbPlane::compile`]).
+#[derive(Debug, Clone)]
+pub struct PatternRanks {
+    ranks: Vec<u16>,
+    impossible: bool,
+}
+
+impl PatternRanks {
+    /// `true` when some pattern byte never occurs in the document.
+    pub fn is_impossible(&self) -> bool {
+        self.impossible
+    }
+}
+
+/// Ascending iterator over candidate start positions, driven by presence
+/// bitmaps: the set bits of one presence row, optionally ANDed word-by-word
+/// with a second row shifted left by one (candidates whose *second*
+/// character is also possible at `pos + 1` — dropped starts fail their
+/// first or second factor, so the filter never changes the survivor set).
+pub struct PresenceIter<'a> {
+    words: &'a [u64],
+    /// Second-character row, tested at `pos + 1` via the shifted AND.
+    next_words: Option<&'a [u64]>,
+    word_idx: usize,
+    current: u64,
+    limit: usize,
+}
+
+impl<'a> PresenceIter<'a> {
+    fn new(words: &'a [u64], next_words: Option<&'a [u64]>, limit: usize) -> Self {
+        let mut it = Self {
+            words,
+            next_words,
+            word_idx: 0,
+            current: 0,
+            limit,
+        };
+        it.current = it.load_word(0);
+        it
+    }
+
+    /// The candidate bits of word `w`: first-char presence, masked by the
+    /// second-char presence at the next position when available.
+    #[inline]
+    fn load_word(&self, w: usize) -> u64 {
+        let Some(&x) = self.words.get(w) else {
+            return 0;
+        };
+        match self.next_words {
+            Some(next) => {
+                let lo = next.get(w).copied().unwrap_or(0) >> 1;
+                let hi = next.get(w + 1).copied().unwrap_or(0) << 63;
+                x & (lo | hi)
+            }
+            None => x,
+        }
+    }
+}
+
+impl Iterator for PresenceIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                let pos = self.word_idx * 64 + bit;
+                if pos >= self.limit {
+                    return None;
+                }
+                self.current &= self.current - 1;
+                return Some(pos);
+            }
+            self.word_idx += 1;
+            if self.word_idx * 64 >= self.limit || self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.load_word(self.word_idx);
+        }
+    }
+}
+
+/// The per-query verification kernel: `pattern` remapped to ranks once,
+/// candidate windows evaluated as flat-array loops.
+///
+/// Obtained from [`ProbPlane::with_kernel`] (thread-local scratch, the hot
+/// path) or [`ProbPlane::kernel`] over a [`PatternRanks`].
+pub struct MatchKernel<'a> {
+    plane: &'a ProbPlane,
+    pattern: &'a [u8],
+    ranks: &'a [u16],
+    /// Presence row of the first pattern character (empty iff the pattern
+    /// is empty or impossible — never consulted in those cases).
+    first_row: &'a [u64],
+    impossible: bool,
+    any_corr: bool,
+}
+
+impl<'a> MatchKernel<'a> {
+    /// The plane this kernel verifies against.
+    pub fn plane(&self) -> &'a ProbPlane {
+        self.plane
+    }
+
+    /// `true` when some pattern byte never occurs in the document — every
+    /// window is impossible and callers may skip candidate enumeration.
+    pub fn is_impossible(&self) -> bool {
+        self.impossible
+    }
+
+    /// Candidate start positions for a scan: every `pos < limit` where the
+    /// *first* pattern character has nonzero probability — ANDed with the
+    /// second character's presence at `pos + 1` when the pattern has one.
+    /// All other starts evaluate to `−∞` within their first two factors,
+    /// so the filter never changes a scan's survivor set. Empty for an
+    /// empty or impossible pattern.
+    pub fn candidates(&self, limit: usize) -> PresenceIter<'a> {
+        if self.impossible || self.pattern.is_empty() {
+            return PresenceIter::new(&[], None, 0);
+        }
+        let next = (self.pattern.len() > 1)
+            .then(|| self.plane.first_char_row(&self.pattern[1..]))
+            .filter(|row| !row.is_empty());
+        PresenceIter::new(self.first_row, next, limit.min(self.plane.len))
+    }
+
+    /// Bit-identical to
+    /// [`UncertainString::log_match_probability`]`(pattern, pos)`.
+    ///
+    /// Fast-path structure, cheapest test first: (1) one presence-bitmap
+    /// bit decides most candidates — the first factor is 0, exactly the
+    /// naive walk's first early exit, from an L1-resident row instead of
+    /// the probability table; (2) an O(1) `det_run` load turns windows that
+    /// lie entirely in a deterministic run into a byte compare (every
+    /// factor is exactly `ln 1 = 0.0`, so the naive sum is `0.0` on match,
+    /// `−∞` on mismatch); (3) everything else takes the flat loop, with the
+    /// rare correlated windows (O(1) `corr_run` gate) on a cold path that
+    /// mirrors the naive branch structure.
+    #[inline]
+    pub fn log_match(&self, pos: usize) -> f64 {
+        let m = self.pattern.len();
+        let plane = self.plane;
+        if pos + m > plane.len {
+            return f64::NEG_INFINITY;
+        }
+        if m == 0 {
+            return 0.0;
+        }
+        if self.impossible {
+            return f64::NEG_INFINITY;
+        }
+        if self.first_row[pos / 64] >> (pos % 64) & 1 == 0 {
+            return f64::NEG_INFINITY;
+        }
+        if self.any_corr && (plane.corr_run[pos] as usize) < m {
+            return self.log_match_correlated(pos, f64::NEG_INFINITY);
+        }
+        if plane.det_run[pos] as usize >= m {
+            // Byte loop instead of a slice `==` (runtime-length `bcmp`
+            // call): windows this short reject at their first differing
+            // byte.
+            let window = &plane.det_chars[pos..pos + m];
+            return if window.iter().zip(self.pattern).all(|(a, b)| a == b) {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            };
+        }
+        let mut log_p = 0.0;
+        for k in 0..m {
+            let i = pos + k;
+            // Deterministic positions resolve from the byte sidecar: their
+            // factor is exactly 1, and `log_p + ln 1` is `log_p` bit for
+            // bit, so the probability-table load is skipped entirely.
+            let d = plane.det_chars[i];
+            if d != 0 {
+                if d == self.pattern[k] {
+                    continue;
+                }
+                return f64::NEG_INFINITY;
+            }
+            let lp = plane.log_prob(i, self.ranks[k]);
+            if lp == f64::NEG_INFINITY {
+                return f64::NEG_INFINITY;
+            }
+            log_p += lp;
+        }
+        log_p
+    }
+
+    /// `exp` of [`Self::log_match`] — bit-identical to
+    /// [`UncertainString::match_probability`].
+    #[inline]
+    pub fn match_probability(&self, pos: usize) -> f64 {
+        self.log_match(pos).exp()
+    }
+
+    /// Scan-style evaluation with the per-factor threshold early exit of
+    /// `NaiveScanner`: `Some(log_p)` exactly when the running product never
+    /// drops below `log_tau` (within [`crate::PROB_EPS`]); the returned
+    /// value is bit-identical to [`Self::log_match`]. Because factors never
+    /// exceed 1, the early exit can only skip windows whose final value
+    /// fails the threshold too.
+    #[inline]
+    pub fn log_match_bounded(&self, pos: usize, log_tau: f64) -> Option<f64> {
+        let m = self.pattern.len();
+        let plane = self.plane;
+        if m == 0 || pos + m > plane.len || self.impossible {
+            return None;
+        }
+        if self.first_row[pos / 64] >> (pos % 64) & 1 == 0 {
+            return None;
+        }
+        if self.any_corr && (plane.corr_run[pos] as usize) < m {
+            let v = self.log_match_correlated(pos, log_tau);
+            return if v == f64::NEG_INFINITY {
+                None
+            } else {
+                Some(v)
+            };
+        }
+        if plane.det_run[pos] as usize >= m {
+            // All factors are exactly 0.0, so every intermediate threshold
+            // check reduces to `0 ≥ log_tau − eps`, which holds for τ ≤ 1.
+            let window = &plane.det_chars[pos..pos + m];
+            return window
+                .iter()
+                .zip(self.pattern)
+                .all(|(a, b)| a == b)
+                .then_some(0.0);
+        }
+        let mut log_p = 0.0;
+        for k in 0..m {
+            let i = pos + k;
+            // Factor exactly 1: running product and threshold check are
+            // both unchanged, so the table load and the check are skipped.
+            let d = plane.det_chars[i];
+            if d != 0 {
+                if d == self.pattern[k] {
+                    continue;
+                }
+                return None;
+            }
+            let lp = plane.log_prob(i, self.ranks[k]);
+            if lp == f64::NEG_INFINITY {
+                return None;
+            }
+            log_p += lp;
+            if !log_meets_threshold(log_p, log_tau) {
+                return None;
+            }
+        }
+        Some(log_p)
+    }
+
+    /// The correlation-aware cold path, mirroring the naive evaluator's
+    /// branch structure factor by factor. `log_tau` = `−∞` disables the
+    /// per-factor threshold exit (plain `log_match` semantics).
+    #[cold]
+    fn log_match_correlated(&self, pos: usize, log_tau: f64) -> f64 {
+        let m = self.pattern.len();
+        let plane = self.plane;
+        let mut log_p = 0.0;
+        for k in 0..m {
+            let i = pos + k;
+            let lp = plane.log_prob(i, self.ranks[k]);
+            if lp == f64::NEG_INFINITY {
+                return f64::NEG_INFINITY;
+            }
+            let in_corr = plane.corr_mask[i / 64] >> (i % 64) & 1 == 1;
+            let v = if in_corr {
+                match plane.corr_at(i, self.pattern[k]) {
+                    Some(c) => {
+                        let j = c.cond_pos as usize;
+                        if j >= pos && j < pos + m {
+                            if self.pattern[j - pos] == c.cond_char {
+                                c.ln_present
+                            } else {
+                                c.ln_absent
+                            }
+                        } else {
+                            c.ln_outside
+                        }
+                    }
+                    None => lp,
+                }
+            } else {
+                lp
+            };
+            if v == f64::NEG_INFINITY {
+                return f64::NEG_INFINITY;
+            }
+            log_p += v;
+            if log_tau != f64::NEG_INFINITY && !log_meets_threshold(log_p, log_tau) {
+                return f64::NEG_INFINITY;
+            }
+        }
+        log_p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Correlation, CorrelationSet};
+
+    fn assert_bit_identical(s: &UncertainString, pattern: &[u8]) {
+        let plane = ProbPlane::build(s);
+        plane.with_kernel(pattern, |k| {
+            for pos in 0..=s.len() + 1 {
+                let naive = s.log_match_probability(pattern, pos);
+                let fast = k.log_match(pos);
+                assert_eq!(
+                    naive.to_bits(),
+                    fast.to_bits(),
+                    "pattern {:?} pos {pos}: naive {naive} kernel {fast}",
+                    String::from_utf8_lossy(pattern)
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn matches_naive_on_figure_1() {
+        let s = UncertainString::parse("a:.3,b:.4,d:.3 | a:.6,c:.4 | d | a:.5,c:.5 | a").unwrap();
+        for pattern in [&b"aadaa"[..], b"ad", b"da", b"z", b"az", b"", b"dca"] {
+            assert_bit_identical(&s, pattern);
+        }
+    }
+
+    #[test]
+    fn deterministic_fast_path_is_exact() {
+        let s = UncertainString::deterministic(b"banana");
+        let plane = ProbPlane::build(&s);
+        assert!(plane.is_deterministic_at(0));
+        for pattern in [&b"ana"[..], b"nan", b"banana", b"band", b"x"] {
+            assert_bit_identical(&s, pattern);
+        }
+        plane.with_kernel(b"ana", |k| {
+            assert_eq!(k.log_match(1), 0.0);
+            assert_eq!(k.match_probability(1), 1.0);
+            assert_eq!(k.log_match(0), f64::NEG_INFINITY);
+        });
+    }
+
+    #[test]
+    fn near_one_probability_is_not_deterministic_for_the_kernel() {
+        // 0.999999999999 is "deterministic" for the model's tolerance-based
+        // predicate but must NOT take the exact-1.0 fast path.
+        let s = UncertainString::parse("a:.999999999999 | b").unwrap();
+        let plane = ProbPlane::build(&s);
+        assert!(!plane.is_deterministic_at(0));
+        assert!(plane.is_deterministic_at(1));
+        assert_bit_identical(&s, b"ab");
+    }
+
+    #[test]
+    fn correlations_in_and_out_of_window() {
+        let mut s = UncertainString::parse("e:.6,f:.4 | q | z:.36").unwrap();
+        let mut corrs = CorrelationSet::new();
+        corrs
+            .add(Correlation {
+                subject_pos: 2,
+                subject_char: b'z',
+                cond_pos: 0,
+                cond_char: b'e',
+                p_present: 0.3,
+                p_absent: 0.4,
+            })
+            .unwrap();
+        s.set_correlations(corrs).unwrap();
+        for pattern in [&b"eqz"[..], b"fqz", b"qz", b"z", b"eq"] {
+            assert_bit_identical(&s, pattern);
+        }
+    }
+
+    #[test]
+    fn zero_probability_correlation_outcome() {
+        let mut s = UncertainString::parse("a:.5,b:.5 | c").unwrap();
+        let mut corrs = CorrelationSet::new();
+        corrs
+            .add(Correlation {
+                subject_pos: 1,
+                subject_char: b'c',
+                cond_pos: 0,
+                cond_char: b'a',
+                p_present: 0.0, // impossible when 'a' chosen
+                p_absent: 1.0,
+            })
+            .unwrap();
+        s.set_correlations(corrs).unwrap();
+        for pattern in [&b"ac"[..], b"bc", b"c"] {
+            assert_bit_identical(&s, pattern);
+        }
+    }
+
+    #[test]
+    fn csr_fallback_answers_identically() {
+        // A wide, sparse alphabet (every position a distinct pair of bytes)
+        // pushed past the dense thresholds.
+        let mut rows = Vec::new();
+        for i in 0..3000usize {
+            let a = 1 + (i * 7 % 200) as u8;
+            let b = 201 + (i % 50) as u8;
+            rows.push(vec![(a, 0.6), (b, 0.4)]);
+        }
+        let s = UncertainString::from_rows(rows).unwrap();
+        let plane = ProbPlane::build(&s);
+        assert!(!plane.is_dense(), "sparse wide alphabet should pick CSR");
+        let world = s.most_probable_world();
+        for start in [0usize, 17, 1234] {
+            assert_bit_identical(&s, &world[start..start + 5]);
+        }
+    }
+
+    #[test]
+    fn small_strings_stay_dense() {
+        let s = UncertainString::parse("A:.5,B:.5 | C | D").unwrap();
+        assert!(ProbPlane::build(&s).is_dense());
+    }
+
+    #[test]
+    fn presence_prefilter_enumerates_first_char_starts() {
+        let s = UncertainString::parse("a:.5,b:.5 | c | a | c:.9,d:.1 | a:.2,c:.8").unwrap();
+        let plane = ProbPlane::build(&s);
+        let got: Vec<usize> = plane.positions_with(b'a', 5).collect();
+        assert_eq!(got, vec![0, 2, 4]);
+        let got: Vec<usize> = plane.positions_with(b'a', 3).collect();
+        assert_eq!(got, vec![0, 2], "limit is exclusive");
+        assert_eq!(plane.positions_with(b'z', 5).count(), 0);
+        plane.with_kernel(b"ac", |k| {
+            let got: Vec<usize> = k.candidates(4).collect();
+            assert_eq!(got, vec![0, 2]);
+        });
+        plane.with_kernel(b"az", |k| {
+            assert!(k.is_impossible());
+            assert_eq!(k.candidates(5).count(), 0);
+        });
+    }
+
+    #[test]
+    fn bounded_matches_full_evaluation_when_passing() {
+        let s = UncertainString::parse("a:.9,b:.1 | a:.8,b:.2 | a:.7,b:.3").unwrap();
+        let plane = ProbPlane::build(&s);
+        plane.with_kernel(b"aa", |k| {
+            let full = k.log_match(0);
+            assert_eq!(k.log_match_bounded(0, 0.5f64.ln()), Some(full));
+            // .9 * .8 = .72 < .8: dropped by the threshold.
+            assert_eq!(k.log_match_bounded(0, 0.8f64.ln()), None);
+            // Out of bounds and absent chars are dropped, not −∞-summed.
+            assert_eq!(k.log_match_bounded(2, 0.1f64.ln()), None);
+        });
+    }
+
+    #[test]
+    fn empty_pattern_and_empty_string() {
+        let s = UncertainString::parse("a:.5,b:.5").unwrap();
+        assert_bit_identical(&s, b"");
+        let empty = UncertainString::new(Vec::new());
+        let plane = ProbPlane::build(&empty);
+        assert_eq!(plane.sigma(), 0);
+        assert!(plane.is_empty());
+        plane.with_kernel(b"a", |k| {
+            assert_eq!(k.log_match(0), f64::NEG_INFINITY);
+            assert_eq!(k.candidates(0).count(), 0);
+        });
+    }
+
+    #[test]
+    fn long_window_masks_cross_word_boundaries() {
+        // 130 deterministic positions: the det-window fold spans 3 words.
+        let text: Vec<u8> = (0..130u32).map(|i| b'a' + (i % 3) as u8).collect();
+        let s = UncertainString::deterministic(&text);
+        let plane = ProbPlane::build(&s);
+        plane.with_kernel(&text, |k| {
+            assert_eq!(k.log_match(0), 0.0);
+        });
+        let mut wrong = text.clone();
+        wrong[129] = b'z';
+        assert_bit_identical(&s, &wrong);
+        assert_bit_identical(&s, &text[1..128]);
+    }
+
+    #[test]
+    fn nested_kernels_do_not_panic() {
+        let a = UncertainString::parse("a:.5,b:.5 | c").unwrap();
+        let b = UncertainString::parse("x:.5,y:.5 | z").unwrap();
+        let pa = ProbPlane::build(&a);
+        let pb = ProbPlane::build(&b);
+        pa.with_kernel(b"ac", |ka| {
+            pb.with_kernel(b"xz", |kb| {
+                assert_eq!(
+                    ka.log_match(0).to_bits(),
+                    a.log_match_probability(b"ac", 0).to_bits()
+                );
+                assert_eq!(
+                    kb.log_match(0).to_bits(),
+                    b.log_match_probability(b"xz", 0).to_bits()
+                );
+            });
+        });
+    }
+
+    #[test]
+    fn compiled_ranks_reusable_across_calls() {
+        let s = UncertainString::parse("a:.4,b:.6 | b | a:.9,c:.1").unwrap();
+        let plane = ProbPlane::build(&s);
+        let compiled = plane.compile(b"ab");
+        assert!(!compiled.is_impossible());
+        let k = plane.kernel(b"ab", &compiled);
+        assert_eq!(
+            k.log_match(0).to_bits(),
+            s.log_match_probability(b"ab", 0).to_bits()
+        );
+        assert!(plane.compile(b"aq").is_impossible());
+    }
+
+    #[test]
+    fn heap_size_is_positive_and_layout_reported() {
+        let s = UncertainString::parse("A:.5,C:.5 | G | T:.9,A:.1").unwrap();
+        let plane = ProbPlane::build(&s);
+        assert!(plane.heap_size() > 0);
+        assert_eq!(plane.alphabet(), b"ACGT");
+        assert_eq!(plane.rank(b'G'), Some(2));
+        assert_eq!(plane.rank(b'z'), None);
+        assert_eq!(plane.log_prob(1, RANK_NONE), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,225 @@
+//! Differential property test: the flat-plane [`MatchKernel`] is
+//! **bit-identical** (`f64::to_bits`) to the naive
+//! [`UncertainString::log_match_probability`] across random models —
+//! including correlations, non-strict probability sums, degenerate σ = 1
+//! alphabets, and patterns containing characters absent from the alphabet.
+
+use proptest::prelude::*;
+use ustr_uncertain::{
+    log_meets_threshold, Correlation, CorrelationSet, ProbPlane, UncertainString, PROB_EPS,
+};
+
+/// Random rows over a tiny alphabet; `scale < 1` leaves the sums
+/// non-strict (modelling unenumerated rare characters).
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<(u8, f64)>>> {
+    (
+        prop::collection::vec(prop::collection::vec((0u8..5, 1u32..60), 1..=4), 1..=16),
+        50u32..101,
+    )
+        .prop_map(|(rows, scale_pct)| {
+            let scale = scale_pct as f64 / 100.0;
+            rows.into_iter()
+                .map(|mut row| {
+                    row.sort_by_key(|&(c, _)| c);
+                    row.dedup_by_key(|&mut (c, _)| c);
+                    let total: u32 = row.iter().map(|&(_, w)| w).sum();
+                    row.into_iter()
+                        .map(|(c, w)| (b'a' + c, scale * w as f64 / total as f64))
+                        .collect()
+                })
+                .collect()
+        })
+}
+
+/// Raw correlation picks, resolved against the generated string (invalid
+/// picks are skipped, so every generated case is a valid model). Nested
+/// pairs because the vendored proptest implements tuple strategies up to
+/// arity 4.
+type CorrPick = ((usize, usize), (usize, usize), (u32, u32));
+
+fn attach_correlations(s: &mut UncertainString, picks: &[CorrPick]) {
+    let mut set = CorrelationSet::new();
+    for &((subj_pos, subj_idx), (cond_pos, cond_idx), (p_plus, p_minus)) in picks {
+        let n = s.len();
+        let (subj_pos, cond_pos) = (subj_pos % n, cond_pos % n);
+        if subj_pos == cond_pos {
+            continue;
+        }
+        let subj_row = s.position(subj_pos).choices();
+        let cond_row = s.position(cond_pos).choices();
+        let corr = Correlation {
+            subject_pos: subj_pos,
+            subject_char: subj_row[subj_idx % subj_row.len()].0,
+            cond_pos,
+            cond_char: cond_row[cond_idx % cond_row.len()].0,
+            p_present: p_plus as f64 / 100.0,
+            p_absent: p_minus as f64 / 100.0,
+        };
+        let _ = set.add(corr); // duplicates are skipped
+    }
+    s.set_correlations(set)
+        .expect("picks resolve to live choices");
+}
+
+/// Patterns to throw at one string: world windows, mutated windows, and
+/// windows containing a byte that is absent from the whole alphabet.
+fn patterns_for(s: &UncertainString) -> Vec<Vec<u8>> {
+    let world = s.most_probable_world();
+    let n = world.len();
+    let mut out = vec![Vec::new(), b"zz".to_vec()];
+    for start in 0..n {
+        for len in 1..=(n - start).min(5) {
+            let w = world[start..start + len].to_vec();
+            let mut mutated = w.clone();
+            mutated[len / 2] = b'a' + ((mutated[len / 2] - b'a' + 1) % 5);
+            let mut alien = w.clone();
+            alien[len - 1] = b'Q'; // never in the alphabet
+            out.push(w);
+            out.push(mutated);
+            out.push(alien);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Kernel vs naive, bit for bit, over every window of random
+    /// correlation-free models (including non-strict sums).
+    #[test]
+    fn kernel_is_bit_identical_without_correlations(rows in rows_strategy()) {
+        let s = UncertainString::from_rows(rows).unwrap();
+        let plane = ProbPlane::build(&s);
+        for pattern in patterns_for(&s) {
+            plane.with_kernel(&pattern, |k| {
+                for pos in 0..=s.len() + 1 {
+                    let naive = s.log_match_probability(&pattern, pos);
+                    let fast = k.log_match(pos);
+                    prop_assert_eq!(
+                        naive.to_bits(), fast.to_bits(),
+                        "pattern {:?} pos {} naive {} kernel {}",
+                        pattern.clone(), pos, naive, fast
+                    );
+                    prop_assert_eq!(
+                        s.match_probability(&pattern, pos).to_bits(),
+                        k.match_probability(pos).to_bits()
+                    );
+                }
+                Ok(())
+            })?;
+        }
+    }
+
+    /// Kernel vs naive under random pairwise correlations (including
+    /// `pr⁺`/`pr⁻` of exactly 0 and 1).
+    #[test]
+    fn kernel_is_bit_identical_with_correlations(
+        rows in rows_strategy(),
+        picks in prop::collection::vec(
+            ((0usize..64, 0usize..4), (0usize..64, 0usize..4), (0u32..101, 0u32..101)),
+            0..4,
+        ),
+    ) {
+        let mut s = UncertainString::from_rows(rows).unwrap();
+        attach_correlations(&mut s, &picks);
+        let plane = ProbPlane::build(&s);
+        for pattern in patterns_for(&s) {
+            plane.with_kernel(&pattern, |k| {
+                for pos in 0..=s.len() {
+                    prop_assert_eq!(
+                        s.log_match_probability(&pattern, pos).to_bits(),
+                        k.log_match(pos).to_bits(),
+                        "pattern {:?} pos {}", pattern.clone(), pos
+                    );
+                }
+                Ok(())
+            })?;
+        }
+    }
+
+    /// Degenerate σ = 1 alphabets: a single live character, with arbitrary
+    /// (possibly sub-unit, possibly exactly-1) probabilities.
+    #[test]
+    fn kernel_handles_sigma_one(probs in prop::collection::vec(1u32..101, 1..=12)) {
+        let rows: Vec<Vec<(u8, f64)>> = probs
+            .iter()
+            .map(|&p| vec![(b'x', p as f64 / 100.0)])
+            .collect();
+        let s = UncertainString::from_rows(rows).unwrap();
+        let plane = ProbPlane::build(&s);
+        prop_assert_eq!(plane.sigma(), 1);
+        for pattern in [&b"x"[..], b"xx", b"xxxx", b"y", b"xy"] {
+            plane.with_kernel(pattern, |k| {
+                for pos in 0..=s.len() {
+                    prop_assert_eq!(
+                        s.log_match_probability(pattern, pos).to_bits(),
+                        k.log_match(pos).to_bits()
+                    );
+                }
+                Ok(())
+            })?;
+        }
+    }
+
+    /// The bounded (scanner) evaluation agrees with the naive scan loop:
+    /// same survivors, same bits — and candidate prefiltering by the first
+    /// pattern character never changes the survivor set.
+    #[test]
+    fn bounded_kernel_matches_naive_scan(
+        rows in rows_strategy(),
+        tau_pct in 1u32..81,
+    ) {
+        let s = UncertainString::from_rows(rows).unwrap();
+        let tau = tau_pct as f64 / 100.0;
+        let log_tau = tau.ln();
+        let plane = ProbPlane::build(&s);
+        for pattern in patterns_for(&s) {
+            let m = pattern.len();
+            if m == 0 || m > s.len() {
+                continue;
+            }
+            // The naive scan: full window product with per-factor early exit.
+            let mut expected: Vec<(usize, u64)> = Vec::new();
+            'pos: for i in 0..=s.len() - m {
+                let mut log_p = 0.0f64;
+                for (k, &ch) in pattern.iter().enumerate() {
+                    let q = i + k;
+                    let base = s.position(q).prob_of(ch);
+                    if base <= 0.0 {
+                        continue 'pos;
+                    }
+                    let p = match s.correlations().get(q, ch) {
+                        Some(c) => {
+                            let j = c.cond_pos;
+                            if j >= i && j < i + m {
+                                c.effective_prob(Some(pattern[j - i]), 0.0)
+                            } else {
+                                let marginal = s.position(j).prob_of(c.cond_char);
+                                c.effective_prob(None, marginal)
+                            }
+                        }
+                        None => base,
+                    };
+                    if p <= 0.0 {
+                        continue 'pos;
+                    }
+                    log_p += p.ln();
+                    if !log_meets_threshold(log_p, log_tau) {
+                        continue 'pos;
+                    }
+                }
+                expected.push((i, log_p.to_bits()));
+            }
+            plane.with_kernel(&pattern, |k| {
+                let got: Vec<(usize, u64)> = k
+                    .candidates(s.len() + 1 - m)
+                    .filter_map(|i| k.log_match_bounded(i, log_tau).map(|lp| (i, lp.to_bits())))
+                    .collect();
+                prop_assert_eq!(&got, &expected, "pattern {:?} tau {}", pattern.clone(), tau);
+                Ok(())
+            })?;
+        }
+        let _ = PROB_EPS; // tolerance constant shared with the scanner
+    }
+}
