@@ -75,7 +75,10 @@ impl ScanIndex {
             return hits;
         }
         let log_tau = tau.ln();
+        let start = std::time::Instant::now();
+        let mut candidates = 0u64;
         for i in kernel.candidates(n - m + 1) {
+            candidates += 1;
             if let Some(log_p) = kernel.log_match_bounded(i, log_tau) {
                 let p = log_p.exp();
                 if p >= tau - PROB_EPS {
@@ -83,6 +86,13 @@ impl ScanIndex {
                 }
             }
         }
+        // One batched record per scan: the per-candidate loop stays free
+        // of atomics and clock reads.
+        ustr_uncertain::kstats::record_scan(
+            candidates,
+            hits.len() as u64,
+            ustr_uncertain::kstats::elapsed_ns(start),
+        );
         hits
     }
 }

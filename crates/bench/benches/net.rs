@@ -2,7 +2,10 @@
 //! multi-connection load generator. Emits machine-readable `BENCH_net.json`
 //! (total pipelined throughput and per-mode round-trip p50/p99, at 1, 8,
 //! and 64 concurrent connections) for CI artifact upload and the
-//! `bench-gate` regression check.
+//! `bench-gate` regression check. A live exposition endpoint runs
+//! alongside the query port; its post-load scrape lands in
+//! `BENCH_metrics.json` — the full telemetry picture (server traffic,
+//! engine stages, kernel totals) of exactly this run.
 //!
 //! Like the `live` bench this is a custom `harness = false` main: the
 //! interesting numbers are latency percentiles under concurrency, which we
@@ -136,6 +139,23 @@ fn main() {
         NetServer::serve("127.0.0.1:0", Arc::new(service), ServerConfig::default()).expect("bind");
     let addr = server.local_addr();
 
+    // Exposition endpoint scraped while (and after) the load runs, exactly
+    // as `ustr serve-net --metrics-addr` wires it: process-global registry,
+    // kernel totals, and the server's instance metrics in one snapshot.
+    let server_source = server.metrics_source();
+    let snapshot_source: ustr_obs::SnapshotFn = Arc::new(move || {
+        let mut snap = ustr_obs::global().snapshot();
+        let k = ustr_uncertain::kstats::kernel_totals();
+        snap.counters
+            .insert("kernel.candidates".into(), k.candidates);
+        snap.counters.insert("kernel.verified".into(), k.verified);
+        snap.counters.insert("kernel.kernel_ns".into(), k.kernel_ns);
+        snap.merge(&server_source());
+        snap
+    });
+    let metrics = ustr_obs::MetricsServer::serve_with("127.0.0.1:0", Arc::clone(&snapshot_source))
+        .expect("bind metrics endpoint");
+
     let mode_keys: Vec<&str> = modes().iter().map(|&(k, _)| k).collect();
     let mut sections = Vec::new();
     for &conns in &CONN_COUNTS {
@@ -171,6 +191,20 @@ fn main() {
              ({throughput:.0} req/s)"
         );
     }
+    // Scrape the live endpoint over HTTP after the load (proving the
+    // endpoint serves under and after traffic), then persist the same
+    // snapshot as a deterministic JSON artifact.
+    let scraped = ustr_obs::scrape(metrics.local_addr()).expect("scrape metrics endpoint");
+    assert!(
+        scraped.contains("ustr_net_requests"),
+        "scrape carries server counters: {scraped}"
+    );
+    assert!(
+        scraped.contains("ustr_service_requests"),
+        "scrape carries engine counters: {scraped}"
+    );
+    std::fs::write("BENCH_metrics.json", snapshot_source().render_json()).unwrap();
+    metrics.shutdown();
     server.shutdown();
 
     let json = format!(
@@ -180,7 +214,7 @@ fn main() {
     std::fs::write("BENCH_net.json", &json).unwrap();
     println!("{json}");
     println!(
-        "wrote BENCH_net.json to {}",
+        "wrote BENCH_net.json and BENCH_metrics.json to {}",
         std::env::current_dir().unwrap().display()
     );
 }

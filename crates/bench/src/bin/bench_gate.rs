@@ -1,15 +1,17 @@
-//! `bench-gate` — fails CI when a bench artifact's p50s regress against
-//! the committed baselines.
+//! `bench-gate` — fails CI when a bench artifact's latencies regress
+//! against the committed baselines.
 //!
 //! ```text
-//! bench-gate [--baseline-dir BENCH_baseline] [--tolerance 0.30] [--update] \
-//!            NAME=CURRENT_PATH ...
+//! bench-gate [--baseline-dir BENCH_baseline] [--tolerance 0.30] \
+//!            [--tolerance-p99 0.50] [--update] NAME=CURRENT_PATH ...
 //! ```
 //!
 //! Each `NAME=PATH` pair compares the freshly produced artifact at `PATH`
-//! against `BASELINE_DIR/NAME`. Only keys whose dotted path contains `p50`
-//! are gated; a current value above `baseline × (1 + tolerance)` — or a
-//! gated baseline key missing from the current artifact — fails with exit
+//! against `BASELINE_DIR/NAME`. Keys whose dotted path contains `p50` are
+//! gated at `--tolerance`; keys containing `p99` at the looser
+//! `--tolerance-p99` (tails are noisier, but may not regress unboundedly).
+//! A current value above `baseline × (1 + tolerance)` — or a gated
+//! baseline key missing from the current artifact — fails with exit
 //! code 1.
 //!
 //! Refreshing baselines (the skip path): run with `--update` to overwrite
@@ -19,11 +21,12 @@
 
 use std::process::ExitCode;
 
-use ustr_bench::gate::{compare_p50s, parse};
+use ustr_bench::gate::{compare_latencies, parse};
 
 fn run() -> Result<bool, String> {
     let mut baseline_dir = "BENCH_baseline".to_string();
     let mut tolerance = 0.30f64;
+    let mut tolerance_p99 = 0.50f64;
     let mut update = false;
     let mut pairs: Vec<(String, String)> = Vec::new();
 
@@ -36,6 +39,12 @@ fn run() -> Result<bool, String> {
             "--tolerance" => {
                 let raw = args.next().ok_or("--tolerance needs a value")?;
                 tolerance = raw
+                    .parse()
+                    .map_err(|_| format!("invalid tolerance {raw:?}"))?;
+            }
+            "--tolerance-p99" => {
+                let raw = args.next().ok_or("--tolerance-p99 needs a value")?;
+                tolerance_p99 = raw
                     .parse()
                     .map_err(|_| format!("invalid tolerance {raw:?}"))?;
             }
@@ -81,13 +90,21 @@ fn run() -> Result<bool, String> {
             }
         };
         let baseline = parse(&baseline_text).map_err(|e| format!("{baseline_path}: {e}"))?;
-        let report = compare_p50s(&baseline, &current, tolerance);
+        let report = compare_latencies(&baseline, &current, tolerance, tolerance_p99);
+        // The p50/p99 split mirrors the comparator's gating rule.
+        let tolerance_of = |key: &str| {
+            if key.to_ascii_lowercase().contains("p50") {
+                tolerance
+            } else {
+                tolerance_p99
+            }
+        };
         for (key, base, now) in &report.passed {
             println!(
                 "  ok   {name} {key}: {now:.1} vs baseline {base:.1} \
                  ({:+.1}%, tolerance {:.0}%)",
                 (now / base - 1.0) * 100.0,
-                tolerance * 100.0
+                tolerance_of(key) * 100.0
             );
         }
         for key in &report.missing {
@@ -102,7 +119,7 @@ fn run() -> Result<bool, String> {
                 r.current,
                 r.baseline,
                 (r.current / r.baseline - 1.0) * 100.0,
-                tolerance * 100.0
+                tolerance_of(&r.key) * 100.0
             );
         }
         println!(
@@ -121,7 +138,7 @@ fn main() -> ExitCode {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {
             eprintln!(
-                "bench-gate: p50 regression(s) detected; if intentional, refresh the \
+                "bench-gate: latency regression(s) detected; if intentional, refresh the \
                  baselines with --update and commit BENCH_baseline/"
             );
             ExitCode::FAILURE

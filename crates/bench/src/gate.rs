@@ -1,10 +1,11 @@
-//! The perf-regression gate: a dependency-free JSON reader and a p50
+//! The perf-regression gate: a dependency-free JSON reader and a latency
 //! comparator over the machine-readable `BENCH_*.json` artifacts.
 //!
 //! CI checks current bench output against the snapshots committed under
 //! `BENCH_baseline/` (see the `bench-gate` binary). Only keys whose dotted
-//! path contains `p50` are gated — throughput and one-shot maintenance
-//! durations are reported but too machine-dependent to fail a build on.
+//! path contains `p50` (default 30% tolerance) or `p99` (looser, default
+//! 50%) are gated — throughput and one-shot maintenance durations are
+//! reported but too machine-dependent to fail a build on.
 
 /// A parsed JSON value (the subset the bench artifacts use, which is all of
 /// JSON minus exotic escapes).
@@ -274,17 +275,20 @@ impl GateReport {
     }
 }
 
-/// Gates the current artifact against the baseline: every baseline key
-/// whose dotted path contains `p50` (latencies — lower is better) must be
-/// ≤ `baseline × (1 + tolerance)` in the current artifact.
-pub fn compare_p50s(baseline: &Json, current: &Json, tolerance: f64) -> GateReport {
+/// Shared comparator: `tolerance_of` decides, per dotted path (lowercased),
+/// whether a baseline key is gated and at what tolerance.
+fn compare_with(
+    baseline: &Json,
+    current: &Json,
+    tolerance_of: impl Fn(&str) -> Option<f64>,
+) -> GateReport {
     let current: std::collections::HashMap<String, f64> =
         flatten_numbers(current).into_iter().collect();
     let mut report = GateReport::default();
     for (key, base) in flatten_numbers(baseline) {
-        if !key.to_ascii_lowercase().contains("p50") {
+        let Some(tolerance) = tolerance_of(&key.to_ascii_lowercase()) else {
             continue;
-        }
+        };
         match current.get(&key) {
             None => report.missing.push(key),
             Some(&now) if now > base * (1.0 + tolerance) => report.regressions.push(Regression {
@@ -296,6 +300,36 @@ pub fn compare_p50s(baseline: &Json, current: &Json, tolerance: f64) -> GateRepo
         }
     }
     report
+}
+
+/// Gates the current artifact against the baseline: every baseline key
+/// whose dotted path contains `p50` (latencies — lower is better) must be
+/// ≤ `baseline × (1 + tolerance)` in the current artifact.
+pub fn compare_p50s(baseline: &Json, current: &Json, tolerance: f64) -> GateReport {
+    compare_with(baseline, current, |key| {
+        key.contains("p50").then_some(tolerance)
+    })
+}
+
+/// Gates both latency quantiles: `p50` keys at `tolerance_p50` and `p99`
+/// keys at the (looser) `tolerance_p99` — tail latencies are far noisier
+/// than medians, so they get more headroom, but an unbounded p99 regression
+/// still cannot slip through on a green median.
+pub fn compare_latencies(
+    baseline: &Json,
+    current: &Json,
+    tolerance_p50: f64,
+    tolerance_p99: f64,
+) -> GateReport {
+    compare_with(baseline, current, |key| {
+        if key.contains("p50") {
+            Some(tolerance_p50)
+        } else if key.contains("p99") {
+            Some(tolerance_p99)
+        } else {
+            None
+        }
+    })
 }
 
 #[cfg(test)]
@@ -341,7 +375,8 @@ mod tests {
     #[test]
     fn only_p50_keys_are_gated() {
         let baseline = parse(SAMPLE).unwrap();
-        // Throughput collapses and p99 doubles: the gate does not care.
+        // Throughput collapses and p99 doubles: the p50-only gate does not
+        // care.
         let current = parse(
             r#"{
             "num_docs": 57,
@@ -354,6 +389,46 @@ mod tests {
         let report = compare_p50s(&baseline, &current, 0.30);
         assert!(report.ok(), "{report:?}");
         assert_eq!(report.passed.len(), 3);
+    }
+
+    #[test]
+    fn p99_keys_are_gated_at_their_own_tolerance() {
+        let baseline = parse(SAMPLE).unwrap();
+        // p99 grew 10x while every p50 held: the two-quantile gate fails
+        // exactly the tail.
+        let current = parse(
+            r#"{
+            "query_p50_us": { "memtable_only": 80.0, "one_segment": 40.0 },
+            "conns_8": { "threshold": { "p50_us": 12.5, "p99_us": 300.0 } }
+        }"#,
+        )
+        .unwrap();
+        let report = compare_latencies(&baseline, &current, 0.30, 0.50);
+        assert_eq!(report.regressions.len(), 1, "{report:?}");
+        assert_eq!(report.regressions[0].key, "conns_8.threshold.p99_us");
+        assert_eq!(report.passed.len(), 3);
+
+        // A p99 within its looser headroom passes even where the p50
+        // tolerance would have failed it (40.0 vs 30.0 = +33%).
+        let current = parse(
+            r#"{
+            "query_p50_us": { "memtable_only": 80.0, "one_segment": 40.0 },
+            "conns_8": { "threshold": { "p50_us": 12.5, "p99_us": 40.0 } }
+        }"#,
+        )
+        .unwrap();
+        let report = compare_latencies(&baseline, &current, 0.30, 0.50);
+        assert!(report.ok(), "{report:?}");
+        assert_eq!(report.passed.len(), 4);
+
+        // A vanished p99 key fails the gate like a vanished p50.
+        let current = parse(
+            r#"{"query_p50_us": { "memtable_only": 80.0, "one_segment": 40.0 },
+            "conns_8": { "threshold": { "p50_us": 12.5 } }}"#,
+        )
+        .unwrap();
+        let report = compare_latencies(&baseline, &current, 0.30, 0.50);
+        assert_eq!(report.missing, vec!["conns_8.threshold.p99_us".to_string()]);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! ustr top data.ustr PATTERN --k 5 [--tau-min 0.1]
 //! ustr list collection.ustr PATTERN --tau 0.3   (one document per line)
 //! ustr stats data.ustr [--tau-min 0.1]
+//! ustr stats --live HOST:PORT   (scrape a running serve-net server)
 //! ustr build-index data.ustr --out data.idx --kind threshold|approx|listing
 //! ustr build-collection collection.ustr --out data.coll [--epsilon 0.05]
 //! ustr serve-batch (INDEXDIR | FILE.coll | FILE) queries.txt --threads 4
@@ -66,8 +67,8 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     ),
     (
         "stats",
-        "ustr stats FILE [--tau-min T0]",
-        "construction statistics, or the manifest of a .coll/.idx snapshot",
+        "ustr stats (FILE | --live HOST:PORT) [--tau-min T0]",
+        "construction statistics, a .coll/.idx manifest, or a live server's telemetry",
     ),
     (
         "build-index",
@@ -81,7 +82,7 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     ),
     (
         "serve-batch",
-        "ustr serve-batch (INDEXDIR | FILE.coll | FILE) QUERIES.txt --threads N [--shards S] [--cache C] [--tau-min T0] [--epsilon E] [--quiet]",
+        "ustr serve-batch (INDEXDIR | FILE.coll | FILE) QUERIES.txt --threads N [--shards S] [--cache C] [--tau-min T0] [--epsilon E] [--slow-query-us N] [--quiet]",
         "answer a (mixed-mode) query batch concurrently",
     ),
     (
@@ -101,13 +102,14 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     ),
     (
         "serve-live",
-        "ustr serve-live LIVEDIR QUERIES.txt [--threads N] [--cache C] [--quiet]",
+        "ustr serve-live LIVEDIR QUERIES.txt [--threads N] [--cache C] [--slow-query-us N] [--quiet]",
         "answer a (mixed-mode) query batch over a live collection",
     ),
     (
         "serve-net",
         "ustr serve-net (LIVEDIR | INDEXDIR | FILE.coll | FILE) --addr HOST:PORT \
          [--threads N] [--inflight N] [--max-conns N] [--port-file PATH] \
+         [--metrics-addr HOST:PORT] [--slow-query-us N] \
          [--tau-min T0] [--epsilon E] [--quiet]",
         "serve queries over TCP (ustr-net wire protocol)",
     ),
@@ -445,6 +447,27 @@ fn load_static_service(source: &str, args: &Args) -> Result<QueryService, String
     }
 }
 
+/// Applies `--slow-query-us` (when given) to an engine's slow-query log.
+fn apply_slow_query_threshold(args: &Args, log: &ustr_obs::SlowQueryLog) -> Result<(), String> {
+    if args.get("slow-query-us").is_some() {
+        log.set_threshold_us(args.get_parsed("slow-query-us", ustr_obs::DEFAULT_SLOW_QUERY_US)?);
+    }
+    Ok(())
+}
+
+/// Renders the slow-query section appended to verbose batch output;
+/// empty when no query crossed the threshold.
+fn slow_query_summary(log: &ustr_obs::SlowQueryLog) -> String {
+    if log.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("slow queries (worst first):\n");
+    for entry in log.worst(8) {
+        out.push_str(&format!("  {}\n", entry.render()));
+    }
+    out
+}
+
 fn cmd_serve_batch(args: &Args) -> Result<String, String> {
     let source = args.positional(0, "INDEXDIR")?;
     let queries_path = args.positional(1, "QUERIES.txt")?;
@@ -452,6 +475,7 @@ fn cmd_serve_batch(args: &Args) -> Result<String, String> {
     let queries = load_queries(queries_path)?;
     let start = std::time::Instant::now();
     let service = load_static_service(source, args)?;
+    apply_slow_query_threshold(args, service.slow_log())?;
     let ready = start.elapsed();
 
     let t0 = std::time::Instant::now();
@@ -469,6 +493,7 @@ fn cmd_serve_batch(args: &Args) -> Result<String, String> {
             queries.len(),
         ));
         out.push_str(&cache_summary(service.cache_stats()));
+        out.push_str(&slow_query_summary(service.slow_log()));
     }
     render_results(&mut out, &queries, &results, quiet);
     Ok(out.trim_end().to_string())
@@ -681,6 +706,7 @@ fn cmd_serve_live(args: &Args) -> Result<String, String> {
     let queries = load_queries(queries_path)?;
     let start = std::time::Instant::now();
     let live = LiveService::open(dir, live_config(args)?).map_err(|e| e.to_string())?;
+    apply_slow_query_threshold(args, live.slow_log())?;
     let ready = start.elapsed();
     let t0 = std::time::Instant::now();
     let results = live.query_requests(&queries);
@@ -696,6 +722,7 @@ fn cmd_serve_live(args: &Args) -> Result<String, String> {
             queries.len(),
         ));
         out.push_str(&cache_summary(live.cache_stats()));
+        out.push_str(&slow_query_summary(live.slow_log()));
     }
     render_results(&mut out, &queries, &results, quiet);
     Ok(out.trim_end().to_string())
@@ -718,10 +745,12 @@ fn net_backend(
         && (p.join(ustr_live::MANIFEST_FILE).exists() || p.join(ustr_live::WAL_FILE).exists())
     {
         let live = LiveService::open(source, live_config(args)?).map_err(|e| e.to_string())?;
+        apply_slow_query_threshold(args, live.slow_log())?;
         let what = format!("live directory {source} ({} document(s))", live.num_docs());
         return Ok((Arc::new(live), what));
     }
     let service = load_static_service(source, args)?;
+    apply_slow_query_threshold(args, service.slow_log())?;
     let what = format!("{source} ({} document(s))", service.num_docs());
     Ok((Arc::new(service), what))
 }
@@ -746,6 +775,31 @@ fn cmd_serve_net(args: &Args) -> Result<String, String> {
     if let Some(path) = args.get("port-file") {
         fs::write(path, format!("{bound}\n")).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    // Optional plaintext exposition endpoint: process-global registry +
+    // kernel totals + this server's (and its backend's) instance metrics,
+    // scraped over HTTP while the query port serves traffic.
+    let _metrics_endpoint = match args.get("metrics-addr") {
+        Some(maddr) => {
+            let server_source = server.metrics_source();
+            let source: ustr_obs::SnapshotFn = std::sync::Arc::new(move || {
+                let mut snap = ustr_obs::global().snapshot();
+                let k = ustr_uncertain::kstats::kernel_totals();
+                snap.counters
+                    .insert("kernel.candidates".into(), k.candidates);
+                snap.counters.insert("kernel.verified".into(), k.verified);
+                snap.counters.insert("kernel.kernel_ns".into(), k.kernel_ns);
+                snap.merge(&server_source());
+                snap
+            });
+            let endpoint = ustr_obs::MetricsServer::serve_with(maddr, source)
+                .map_err(|e| format!("bind metrics {maddr}: {e}"))?;
+            if !quiet {
+                println!("metrics on http://{}/metrics", endpoint.local_addr());
+            }
+            Some(endpoint)
+        }
+        None => None,
+    };
     if !quiet {
         println!(
             "serving {what} on {bound} (ustr-net protocol v{})",
@@ -760,7 +814,16 @@ fn cmd_serve_net(args: &Args) -> Result<String, String> {
     if quiet {
         return Ok(String::new());
     }
-    Ok(format!("served on {bound}; shut down cleanly"))
+    let snap = server.metrics_snapshot();
+    let total = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    Ok(format!(
+        "served {what} on {bound}: {} connection(s), {} request(s), \
+         {} bytes in, {} bytes out; shut down cleanly",
+        total("net.conns_accepted"),
+        total("net.requests"),
+        total("net.bytes_in"),
+        total("net.bytes_out"),
+    ))
 }
 
 fn cmd_client(args: &Args) -> Result<String, String> {
@@ -903,7 +966,26 @@ fn file_magic(path: &str) -> [u8; 8] {
     prefix
 }
 
+/// `stats --live`: scrape a running `serve-net` server's telemetry over
+/// the wire protocol (one `StatsRequest` round trip, protocol v2+).
+fn live_server_stats(addr: &str) -> Result<String, String> {
+    let mut client = ustr_net::NetClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let info = client.server_info();
+    if info.protocol_version < 2 {
+        return Err(format!(
+            "{addr} speaks protocol v{} — Stats needs v2 or newer",
+            info.protocol_version
+        ));
+    }
+    let text = client.stats().map_err(|e| format!("{addr}: {e}"))?;
+    let _ = client.goodbye();
+    Ok(text.trim_end().to_string())
+}
+
 fn cmd_stats(args: &Args) -> Result<String, String> {
+    if let Some(addr) = args.get("live") {
+        return live_server_stats(addr);
+    }
     let path = args.positional(0, "FILE")?;
     // Snapshot artifacts are inspected from their manifests, without
     // loading any index.
@@ -1397,6 +1479,63 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("--epsilon"), "{err}");
         let _ = fs::remove_file(&coll);
+    }
+
+    #[test]
+    fn stats_live_scrapes_a_running_server() {
+        let docs = write_temp(
+            "ustr_cli_statslive_docs.ustr",
+            "A:.9,B:.1 | B | C\nC | C | C\n",
+        );
+        let queries = write_temp("ustr_cli_statslive_q.txt", "AB 0.3\n");
+        let port_file = std::env::temp_dir().join("ustr_cli_statslive_port");
+        let _ = fs::remove_file(&port_file);
+        // Two connections: the query client, then the stats scrape.
+        let serve_argv = format!(
+            "serve-net {docs} --tau-min 0.05 --max-conns 2 --port-file {} --quiet",
+            port_file.display()
+        );
+        let server = std::thread::spawn(move || run(&argv(&serve_argv)));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(addr) = fs::read_to_string(&port_file) {
+                if addr.trim().contains(':') {
+                    break addr.trim().to_string();
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        run(&argv(&format!("client {addr} {queries} --quiet"))).unwrap();
+        let stats = run(&argv(&format!("stats --live {addr}"))).unwrap();
+        assert!(stats.contains("ustr_net_requests 1"), "{stats}");
+        assert!(stats.contains("ustr_service_requests 1"), "{stats}");
+        assert!(
+            stats.contains("ustr_net_rtt_us_threshold_count 1"),
+            "{stats}"
+        );
+        server.join().unwrap().unwrap();
+        let _ = fs::remove_file(&port_file);
+    }
+
+    #[test]
+    fn serve_batch_slow_query_log_lists_worst_queries() {
+        let docs = write_temp("ustr_cli_slowq_docs.ustr", "A:.9,B:.1 | B | C\nC | C | C\n");
+        let queries = write_temp("ustr_cli_slowq_q.txt", "AB 0.3\ntop AB 2\n");
+        // Threshold 0: every query qualifies as slow.
+        let out = run(&argv(&format!(
+            "serve-batch {docs} {queries} --tau-min 0.05 --slow-query-us 0"
+        )))
+        .unwrap();
+        assert!(out.contains("slow queries (worst first):"), "{out}");
+        assert!(out.contains("threshold"), "{out}");
+        assert!(out.contains("top_k"), "{out}");
+        // At the default threshold these microsecond queries stay silent.
+        let out = run(&argv(&format!(
+            "serve-batch {docs} {queries} --tau-min 0.05"
+        )))
+        .unwrap();
+        assert!(!out.contains("slow queries"), "{out}");
     }
 
     #[test]

@@ -235,6 +235,8 @@ impl Index {
         // pattern remapped to plane ranks once, not once per candidate.
         let mut hits: Vec<(usize, f64)> = Vec::with_capacity(candidates.len());
         if !candidates.is_empty() {
+            let start = std::time::Instant::now();
+            let evaluated = candidates.len() as u64;
             self.plane.with_kernel(pattern, |kernel| {
                 for (slot, _stored) in candidates {
                     let Some(src) = self.source_pos_of_slot(slot) else {
@@ -246,6 +248,11 @@ impl Index {
                     }
                 }
             });
+            ustr_uncertain::kstats::record_scan(
+                evaluated,
+                hits.len() as u64,
+                ustr_uncertain::kstats::elapsed_ns(start),
+            );
         }
         if !(short && self.dedup_enabled && !has_corr) {
             hits.sort_unstable_by_key(|&(p, _)| p);

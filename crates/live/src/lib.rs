@@ -71,6 +71,7 @@ use std::thread::JoinHandle;
 
 use ustr_baseline::ScanIndex;
 use ustr_core::{ApproxIndex, Error, Index};
+use ustr_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, Span};
 use ustr_service::{
     DocExecutor, DocHits, Engine, ListingHit, QueryRequest, QueryResponse, Segment, SegmentSet,
     TopHit,
@@ -237,6 +238,44 @@ enum Job {
     Shutdown,
 }
 
+/// Background-event telemetry, instance-scoped like the engine's (see
+/// [`LiveService::metrics_snapshot`]). WAL metrics are recorded at the
+/// append call sites so the storage layer stays telemetry-free.
+struct LiveMetrics {
+    registry: MetricsRegistry,
+    inserts: Counter,
+    deletes: Counter,
+    wal_appends: Counter,
+    wal_bytes: Counter,
+    wal_fsync_us: Histogram,
+    seals: Counter,
+    sealed_docs: Counter,
+    seal_us: Histogram,
+    compactions: Counter,
+    compact_drops: Counter,
+    compact_us: Histogram,
+}
+
+impl LiveMetrics {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        Self {
+            inserts: registry.counter("live.inserts"),
+            deletes: registry.counter("live.deletes"),
+            wal_appends: registry.counter("live.wal.appends"),
+            wal_bytes: registry.counter("live.wal.appended_bytes"),
+            wal_fsync_us: registry.histogram("live.wal.append_fsync_us"),
+            seals: registry.counter("live.seals"),
+            sealed_docs: registry.counter("live.sealed_docs"),
+            seal_us: registry.histogram("live.seal_us"),
+            compactions: registry.counter("live.compactions"),
+            compact_drops: registry.counter("live.compaction.docs_dropped"),
+            compact_us: registry.histogram("live.compaction_us"),
+            registry,
+        }
+    }
+}
+
 /// Shared core between the front handle and the background worker.
 struct Inner {
     dir: PathBuf,
@@ -266,6 +305,7 @@ struct Inner {
     pending_jobs: Mutex<usize>,
     idle: Condvar,
     background_error: Mutex<Option<String>>,
+    metrics: LiveMetrics,
 }
 
 /// A point-in-time view of the live collection, in ascending document
@@ -437,6 +477,10 @@ impl Inner {
                 .collect();
             (docs, batch.max_seq)
         };
+        // From here on this is a real seal (duplicate schedules returned
+        // above); the span records on every exit, including failures.
+        let _seal_span = Span::on(self.metrics.seal_us.clone());
+        self.metrics.seals.inc();
         if docs.is_empty() {
             // Nothing (left) to seal: the batch's records are still fully
             // accounted for — every doc is tombstoned — so install the
@@ -498,6 +542,7 @@ impl Inner {
         };
         // Install: swap the sealing batch for the sealed segment, advance
         // applied_seq, persist the manifest, shrink the WAL.
+        self.metrics.sealed_docs.add(docs.len() as u64);
         let mut st = self.state.lock().expect("live state poisoned");
         st.segments
             .push(Arc::new(SealedSegment { meta, docs: built }));
@@ -525,6 +570,8 @@ impl Inner {
         if captured.len() <= 1 && !has_garbage {
             return Ok(());
         }
+        let _compact_span = Span::on(self.metrics.compact_us.clone());
+        let captured_docs: usize = captured.iter().map(|s| s.docs.len()).sum();
         let mut kept: Vec<(u64, Arc<DocExecutor>)> = Vec::new();
         for seg in &captured {
             for (id, d) in &seg.docs {
@@ -533,6 +580,7 @@ impl Inner {
                 }
             }
         }
+        let kept_docs = kept.len();
         let mut sections = Vec::new();
         for (local, (_, d)) in kept.iter().enumerate() {
             let DocExecutor::Built { index, approx } = d.as_ref() else {
@@ -593,6 +641,10 @@ impl Inner {
         for file in old_files {
             let _ = std::fs::remove_file(self.dir.join(file));
         }
+        self.metrics.compactions.inc();
+        self.metrics
+            .compact_drops
+            .add((captured_docs - kept_docs) as u64);
         Ok(())
     }
 }
@@ -778,6 +830,7 @@ impl LiveService {
             pending_jobs: Mutex::new(0),
             idle: Condvar::new(),
             background_error: Mutex::new(None),
+            metrics: LiveMetrics::new(),
         });
         if fresh_directory {
             // Record tau_min/epsilon immediately: a never-sealed directory
@@ -879,10 +932,16 @@ impl LiveService {
         let mut st = self.inner.state.lock().expect("live state poisoned");
         let id = st.next_doc_id;
         let seq = st.next_seq;
-        st.wal.append(&WalRecord {
+        let wal_span = Span::on(self.inner.metrics.wal_fsync_us.clone());
+        let appended = st.wal.append(&WalRecord {
             seq,
             op: WalOp::Insert { doc: id, body },
-        })?;
+        });
+        wal_span.finish();
+        let bytes = appended?;
+        self.inner.metrics.wal_appends.inc();
+        self.inner.metrics.wal_bytes.add(bytes);
+        self.inner.metrics.inserts.inc();
         st.next_doc_id += 1;
         st.next_seq += 1;
         st.memtable.push((id, Arc::new(DocExecutor::Scanned(scan))));
@@ -939,10 +998,16 @@ impl LiveService {
             return Err(LiveError::UnknownDocument { id });
         }
         let seq = st.next_seq;
-        st.wal.append(&WalRecord {
+        let wal_span = Span::on(self.inner.metrics.wal_fsync_us.clone());
+        let appended = st.wal.append(&WalRecord {
             seq,
             op: WalOp::Delete { doc: id },
-        })?;
+        });
+        wal_span.finish();
+        let bytes = appended?;
+        self.inner.metrics.wal_appends.inc();
+        self.inner.metrics.wal_bytes.add(bytes);
+        self.inner.metrics.deletes.inc();
         st.next_seq += 1;
         st.tombstones.insert(id);
         self.inner.generation.fetch_add(1, Ordering::AcqRel);
@@ -1085,6 +1150,23 @@ impl LiveService {
     /// mutation performs).
     pub fn cache_stats(&self) -> (u64, u64) {
         self.inner.engine.cache_stats()
+    }
+
+    /// Point-in-time snapshot of the service's metrics: background-event
+    /// telemetry (WAL appends/bytes/fsync time, seal durations, compaction
+    /// drops) merged with the engine's dispatch metrics (cache counters,
+    /// stage histograms). Instance-scoped — two services in one process
+    /// never mix counts.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.metrics.registry.snapshot();
+        snap.merge(&self.inner.engine.metrics_snapshot());
+        snap
+    }
+
+    /// The engine's slow-query ring buffer (threshold adjustable at
+    /// runtime).
+    pub fn slow_log(&self) -> &ustr_obs::SlowQueryLog {
+        self.inner.engine.slow_log()
     }
 
     /// Answers a typed batch of any mix of query modes over a consistent

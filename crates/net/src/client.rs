@@ -235,6 +235,33 @@ impl NetClient {
             .expect("one request yields one response"))
     }
 
+    /// Scrapes the server's telemetry (protocol v2+): one
+    /// [`Frame::StatsRequest`]/[`Frame::StatsResponse`] round trip, with
+    /// the exposition-format text returned verbatim. The server holds the
+    /// answer behind the connection's in-flight permits, so a scrape after
+    /// a pipelined burst observes all of that burst's responses.
+    pub fn stats(&mut self) -> Result<String, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer
+            .write_all(&frame_bytes(&Frame::StatsRequest { id }))?;
+        match read_message(&mut self.reader, self.max_frame_len)? {
+            Some(Frame::StatsResponse { id: got, text }) => {
+                if got != id {
+                    return Err(NetError::Protocol(format!(
+                        "stats response for unknown request id {got}"
+                    )));
+                }
+                Ok(text)
+            }
+            Some(Frame::Error { code, message }) => Err(NetError::Server { code, message }),
+            Some(other) => Err(NetError::Protocol(format!(
+                "expected StatsResponse, got {other:?}"
+            ))),
+            None => Err(NetError::Disconnected),
+        }
+    }
+
     /// Tells the server this session is done (it may drain and close).
     pub fn goodbye(mut self) -> Result<(), NetError> {
         self.writer.write_all(&frame_bytes(&Frame::Goodbye))?;

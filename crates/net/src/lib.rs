@@ -24,6 +24,13 @@
 //!   determinism contract (parallel ≡ sequential, at any thread count).
 //! * **Client** ([`NetClient`]) — handshakes, pipelines whole batches in
 //!   one write, and re-aligns out-of-order responses by request id.
+//! * **Telemetry** — every server keeps an instance-scoped
+//!   [`ustr_obs::MetricsRegistry`] (connections, frames/bytes in and out,
+//!   per-mode round-trip histograms) and answers the protocol-v2
+//!   [`proto::Frame::StatsRequest`] with its own counters merged with the
+//!   backend engine's, rendered as deterministic exposition text. The
+//!   stats path touches no counter, so two idle scrapes are
+//!   byte-identical; v1 clients (no Stats frames) are still served.
 //!
 //! # Guarantees
 //!
@@ -74,7 +81,9 @@ pub mod proto;
 pub mod server;
 
 pub use client::{NetClient, NetError, ServerInfo};
-pub use proto::{Frame, RemoteError, DEFAULT_MAX_FRAME_LEN, NET_MAGIC, PROTOCOL_VERSION};
+pub use proto::{
+    Frame, RemoteError, DEFAULT_MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, NET_MAGIC, PROTOCOL_VERSION,
+};
 pub use server::{NetServer, QueryBackend, ServerConfig};
 
 // Re-exported so downstream callers can speak the typed request/response
@@ -299,6 +308,82 @@ mod tests {
             "shutdown must not wedge on a non-reading client"
         );
         drop(stalled);
+    }
+
+    #[test]
+    fn a_version_1_client_is_still_served() {
+        use std::io::Write;
+        let service = Arc::new(service());
+        let server = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::clone(&service) as _,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(&proto::frame_bytes(&Frame::Hello {
+            magic: NET_MAGIC,
+            version: MIN_PROTOCOL_VERSION,
+        }))
+        .unwrap();
+        let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+        let ack = proto::read_message(&mut reader, DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        let Frame::HelloAck { version, .. } = ack else {
+            panic!("expected HelloAck, got {ack:?}");
+        };
+        assert_eq!(version, MIN_PROTOCOL_VERSION, "ack echoes the client");
+
+        let request = QueryRequest::Threshold {
+            pattern: b"AB".to_vec(),
+            tau: 0.3,
+        };
+        raw.write_all(&proto::frame_bytes(&Frame::Request {
+            id: 7,
+            request: request.clone(),
+        }))
+        .unwrap();
+        let reply = proto::read_message(&mut reader, DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        let Frame::Response { id, result } = reply else {
+            panic!("expected Response, got {reply:?}");
+        };
+        assert_eq!(id, 7);
+        assert_eq!(
+            result.unwrap(),
+            service.query_requests(&[request]).remove(0).unwrap()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_are_byte_stable_across_idle_scrapes() {
+        let server =
+            NetServer::serve("127.0.0.1:0", Arc::new(service()), ServerConfig::default()).unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        client.query_requests(&batch()).unwrap();
+
+        let first = client.stats().unwrap();
+        let second = client.stats().unwrap();
+        assert_eq!(first, second, "idle scrapes must render identical bytes");
+
+        // A monitoring session on its own fresh connection reads the same
+        // bytes too: stats-only connections stay out of every counter,
+        // including conns_accepted/conns_open. (The query client stays
+        // connected so the gauge state is identical across all scrapes.)
+        let mut monitor = NetClient::connect(server.local_addr()).unwrap();
+        let third = monitor.stats().unwrap();
+        assert_eq!(first, third, "a stats-only connection must be invisible");
+
+        // The scrape carries both layers: server traffic counters and the
+        // backend engine's instrumentation.
+        assert!(first.contains("ustr_net_requests 4"), "{first}");
+        assert!(first.contains("ustr_net_conns_accepted 1"), "{first}");
+        assert!(first.contains("ustr_service_requests 4"), "{first}");
+        assert!(first.contains("ustr_net_rtt_us_top_k_count 1"), "{first}");
+        server.shutdown();
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //!   │── Request { id, query }  ──────────▶│   pipelined freely
 //!   │◀─ Response { id, result } ───────────│   any order, matched by id
 //!   │◀─ Response { id, result } ───────────│
+//!   │── StatsRequest { id } ─────────────▶│   v2+: telemetry scrape
+//!   │◀─ StatsResponse { id, text } ────────│   deterministic exposition text
 //!   │◀─ Error { code, message } ───────────│   fatal: connection closes
 //!   │◀─ Goodbye ───────────────────────────│   graceful server shutdown
 //! ```
@@ -36,11 +38,16 @@ use ustr_store::{write_frame, Reader, StoreError, Writer};
 /// Magic bytes opening every [`Frame::Hello`].
 pub const NET_MAGIC: [u8; 8] = *b"USTRNET1";
 
-/// Protocol version spoken by this build. The handshake accepts exactly this
-/// version; anything else is answered with [`err_code::UNSUPPORTED_VERSION`]
-/// and a close (rebuildable clients are the supported migration path, as
-/// with snapshot formats).
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version spoken by this build. Version 2 added the
+/// `StatsRequest`/`StatsResponse` telemetry frames; everything a version-1
+/// session could say is unchanged, so the server still accepts any version
+/// in [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and answers with
+/// the client's version (old clients stay served). Anything outside the
+/// range is answered with [`err_code::UNSUPPORTED_VERSION`] and a close.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version the server still accepts.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Default cap on one frame's payload length (requests and responses).
 pub const DEFAULT_MAX_FRAME_LEN: usize = 16 << 20;
@@ -66,6 +73,8 @@ mod kind {
     pub const RESPONSE: u8 = 4;
     pub const ERROR: u8 = 5;
     pub const GOODBYE: u8 = 6;
+    pub const STATS_REQUEST: u8 = 7;
+    pub const STATS_RESPONSE: u8 = 8;
 }
 
 /// A query-layer error transported over the wire (the remote twin of
@@ -138,6 +147,23 @@ pub enum Frame {
         id: u64,
         /// The engine's answer, or the per-request validation error.
         result: Result<QueryResponse, RemoteError>,
+    },
+    /// Telemetry scrape (protocol v2+), tagged like a request for
+    /// pipelining. Deliberately excluded from the server's traffic
+    /// counters so that two idle scrapes return byte-identical snapshots.
+    StatsRequest {
+        /// Echoed verbatim in the matching [`Frame::StatsResponse`].
+        id: u64,
+    },
+    /// The server's telemetry snapshot: counters, gauges, and histograms
+    /// rendered in the deterministic plaintext exposition format (see
+    /// `ustr_obs::MetricsSnapshot::render_text`), followed by any
+    /// slow-query lines.
+    StatsResponse {
+        /// The id of the [`Frame::StatsRequest`] this answers.
+        id: u64,
+        /// Exposition-format text (stable byte-for-byte given equal state).
+        text: String,
     },
     /// Fatal protocol failure; the sender closes the connection after it.
     Error {
@@ -353,6 +379,15 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             w.put_u64(*id);
             encode_result(&mut w, result);
         }
+        Frame::StatsRequest { id } => {
+            w.put_u8(kind::STATS_REQUEST);
+            w.put_u64(*id);
+        }
+        Frame::StatsResponse { id, text } => {
+            w.put_u8(kind::STATS_RESPONSE);
+            w.put_u64(*id);
+            put_string(&mut w, text);
+        }
         Frame::Error { code, message } => {
             w.put_u8(kind::ERROR);
             w.put_u32(*code);
@@ -390,6 +425,11 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, StoreError> {
         kind::RESPONSE => Frame::Response {
             id: r.get_u64()?,
             result: decode_result(&mut r)?,
+        },
+        kind::STATS_REQUEST => Frame::StatsRequest { id: r.get_u64()? },
+        kind::STATS_RESPONSE => Frame::StatsResponse {
+            id: r.get_u64()?,
+            text: get_string(&mut r)?,
         },
         kind::ERROR => Frame::Error {
             code: r.get_u32()?,
@@ -490,6 +530,11 @@ mod tests {
                     code: 1,
                     message: "query pattern is empty".into(),
                 }),
+            },
+            Frame::StatsRequest { id: 11 },
+            Frame::StatsResponse {
+                id: 11,
+                text: "# TYPE ustr_net_requests counter\nustr_net_requests 12\n".into(),
             },
             Frame::Error {
                 code: err_code::MALFORMED_FRAME,

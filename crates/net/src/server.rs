@@ -45,11 +45,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ustr_core::Error;
-use ustr_service::{QueryRequest, QueryResponse, QueryService, ThreadPool};
+use ustr_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Span};
+use ustr_service::{mode_name, QueryRequest, QueryResponse, QueryService, ThreadPool};
 
 use crate::proto::{
-    err_code, frame_bytes, read_message, Frame, RemoteError, DEFAULT_MAX_FRAME_LEN, NET_MAGIC,
-    PROTOCOL_VERSION,
+    decode_frame, err_code, frame_bytes, read_message, Frame, RemoteError, DEFAULT_MAX_FRAME_LEN,
+    MIN_PROTOCOL_VERSION, NET_MAGIC, PROTOCOL_VERSION,
 };
 
 /// Anything the server can answer queries from: the static
@@ -64,6 +65,18 @@ pub trait QueryBackend: Send + Sync {
 
     /// The serving threshold floor advertised in the handshake.
     fn tau_min(&self) -> f64;
+
+    /// Point-in-time engine telemetry, folded into `Stats` answers.
+    /// Backends without instrumentation report nothing.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Rendered slow-query lines, worst first, folded into `Stats`
+    /// answers. Backends without a slow-query log report nothing.
+    fn slow_queries(&self, _n: usize) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 impl QueryBackend for QueryService {
@@ -78,6 +91,18 @@ impl QueryBackend for QueryService {
     fn tau_min(&self) -> f64 {
         QueryService::tau_min(self)
     }
+
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        QueryService::metrics_snapshot(self)
+    }
+
+    fn slow_queries(&self, n: usize) -> Vec<String> {
+        self.slow_log()
+            .worst(n)
+            .iter()
+            .map(|e| e.render())
+            .collect()
+    }
 }
 
 impl QueryBackend for ustr_live::LiveService {
@@ -91,6 +116,65 @@ impl QueryBackend for ustr_live::LiveService {
 
     fn tau_min(&self) -> f64 {
         ustr_live::LiveService::tau_min(self)
+    }
+
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        ustr_live::LiveService::metrics_snapshot(self)
+    }
+
+    fn slow_queries(&self, n: usize) -> Vec<String> {
+        self.slow_log()
+            .worst(n)
+            .iter()
+            .map(|e| e.render())
+            .collect()
+    }
+}
+
+/// Per-server-instance telemetry. Instance-scoped (not the process-global
+/// registry) so that parallel servers in one process — the test suite, or
+/// a benchmark harness — never bleed into each other's `Stats` answers.
+struct NetMetrics {
+    registry: MetricsRegistry,
+    conns_accepted: Counter,
+    conns_open: Gauge,
+    frames_in: Counter,
+    frames_out: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    requests: Counter,
+    rtt_threshold: Histogram,
+    rtt_top_k: Histogram,
+    rtt_listing: Histogram,
+    rtt_approx: Histogram,
+}
+
+impl NetMetrics {
+    fn new() -> Self {
+        let registry = MetricsRegistry::default();
+        Self {
+            conns_accepted: registry.counter("net.conns_accepted"),
+            conns_open: registry.gauge("net.conns_open"),
+            frames_in: registry.counter("net.frames_in"),
+            frames_out: registry.counter("net.frames_out"),
+            bytes_in: registry.counter("net.bytes_in"),
+            bytes_out: registry.counter("net.bytes_out"),
+            requests: registry.counter("net.requests"),
+            rtt_threshold: registry.histogram("net.rtt_us.threshold"),
+            rtt_top_k: registry.histogram("net.rtt_us.top_k"),
+            rtt_listing: registry.histogram("net.rtt_us.listing"),
+            rtt_approx: registry.histogram("net.rtt_us.approx"),
+            registry,
+        }
+    }
+
+    fn rtt_for(&self, mode: &str) -> &Histogram {
+        match mode {
+            "threshold" => &self.rtt_threshold,
+            "top_k" => &self.rtt_top_k,
+            "listing" => &self.rtt_listing,
+            _ => &self.rtt_approx,
+        }
     }
 }
 
@@ -190,6 +274,7 @@ struct Shared {
     conns: Mutex<ConnTable>,
     conns_changed: Condvar,
     next_conn: AtomicU64,
+    metrics: NetMetrics,
 }
 
 impl Shared {
@@ -233,6 +318,7 @@ impl NetServer {
             conns: Mutex::new(ConnTable::default()),
             conns_changed: Condvar::new(),
             next_conn: AtomicU64::new(0),
+            metrics: NetMetrics::new(),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -248,6 +334,32 @@ impl NetServer {
     /// The bound address (the real port, when bound with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Point-in-time server telemetry: connection and traffic counters
+    /// plus the per-mode round-trip histograms. Server-instance scope only
+    /// — fold in [`QueryBackend::metrics_snapshot`] for the full picture.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.registry.snapshot()
+    }
+
+    /// The exact text a [`Frame::StatsRequest`] on this server is answered
+    /// with: server + backend telemetry in the exposition format, followed
+    /// by any slow-query lines.
+    pub fn stats_text(&self) -> String {
+        stats_text(&self.shared)
+    }
+
+    /// An owning snapshot source (server + backend metrics merged) for
+    /// wiring into an exposition endpoint that must outlive any borrow of
+    /// the server — e.g. `ustr_obs::MetricsServer::serve_with`.
+    pub fn metrics_source(&self) -> impl Fn() -> MetricsSnapshot + Send + Sync + 'static {
+        let shared = Arc::clone(&self.shared);
+        move || {
+            let mut snap = shared.metrics.registry.snapshot();
+            snap.merge(&shared.backend.metrics_snapshot());
+            snap
+        }
     }
 
     /// Connections currently being served.
@@ -411,18 +523,21 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let writer = Arc::new(Mutex::new(stream));
     let max_len = shared.config.max_frame_len;
 
-    // Handshake: the first frame must be a well-formed, version-matching
-    // Hello. Anything else is answered with a fatal error frame and close.
+    // Handshake: the first frame must be a well-formed Hello speaking a
+    // supported version (v1 sessions predate the Stats frames but are
+    // otherwise identical, so old clients stay served; the ack echoes the
+    // client's version). Anything else is answered with a fatal error
+    // frame and close.
     match read_message(&mut reader, max_len) {
         Ok(Some(Frame::Hello { magic, version })) if magic == NET_MAGIC => {
-            if version != PROTOCOL_VERSION {
+            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                 Shared::send(
                     &writer,
                     &Frame::Error {
                         code: err_code::UNSUPPORTED_VERSION,
                         message: format!(
-                            "protocol version {version} is not supported \
-                             (this server speaks {PROTOCOL_VERSION})"
+                            "protocol version {version} is not supported (this server \
+                             speaks {MIN_PROTOCOL_VERSION} through {PROTOCOL_VERSION})"
                         ),
                     },
                 );
@@ -431,7 +546,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             Shared::send(
                 &writer,
                 &Frame::HelloAck {
-                    version: PROTOCOL_VERSION,
+                    version,
                     num_docs: shared.backend.num_docs() as u64,
                     tau_min: shared.backend.tau_min(),
                 },
@@ -465,19 +580,28 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     // (or the socket proves dead). Pool workers just compute and enqueue —
     // a slow or non-reading client stalls *its own* writer thread, never a
     // shared query worker, so one bad client cannot starve the others.
+    // Each queued response carries a `counted` flag: query traffic feeds
+    // the frames/bytes-out counters, `Stats` answers do not — a scrape
+    // that counted its own response would never be byte-stable.
     let permits = Arc::new(Permits::new(shared.config.inflight));
-    let (response_tx, response_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    let (response_tx, response_rx) = std::sync::mpsc::channel::<(Vec<u8>, bool)>();
     let writer_thread = {
         let writer = Arc::clone(&writer);
         let permits = Arc::clone(&permits);
+        let frames_out = shared.metrics.frames_out.clone();
+        let bytes_out = shared.metrics.bytes_out.clone();
         let spawned = std::thread::Builder::new()
             .name("ustr-net-writer".into())
             .spawn(move || {
                 let mut dead = false;
-                for bytes in response_rx {
+                for (bytes, counted) in response_rx {
                     if !dead {
                         let mut stream = writer.lock().expect("connection writer poisoned");
                         dead = stream.write_all(&bytes).is_err();
+                        if !dead && counted {
+                            frames_out.inc();
+                            bytes_out.add(bytes.len() as u64);
+                        }
                     }
                     // Released even when the client vanished: the reader's
                     // drain barrier must never wedge on a dead socket.
@@ -492,31 +616,72 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
 
     // Request loop: decode, acquire an in-flight permit (backpressure), fan
     // the query onto the shared pool; the worker computes and enqueues.
+    // Frames are read in two steps (raw payload, then decode) so the
+    // traffic counters can see the wire length of each request.
+    // Connections join the conns_accepted/conns_open counters only once
+    // they issue their first query request: a monitoring session that only
+    // ever scrapes `Stats` must not perturb the numbers it reads, or two
+    // idle scrapes from separate connections could never be byte-equal.
+    let mut counted_conn = false;
     let fatal = loop {
-        match read_message(&mut reader, max_len) {
-            Ok(Some(Frame::Request { id, request })) => {
+        let message = match ustr_store::read_frame(&mut reader, max_len) {
+            Ok(None) => Ok(None),
+            Ok(Some(payload)) => {
+                let wire_len = (payload.len() + ustr_store::FRAME_OVERHEAD) as u64;
+                decode_frame(&payload).map(|frame| Some((frame, wire_len)))
+            }
+            Err(e) => Err(e),
+        };
+        match message {
+            Ok(Some((Frame::Request { id, request }, wire_len))) => {
+                if !counted_conn {
+                    counted_conn = true;
+                    shared.metrics.conns_accepted.inc();
+                    shared.metrics.conns_open.add(1);
+                }
+                shared.metrics.frames_in.inc();
+                shared.metrics.bytes_in.add(wire_len);
+                shared.metrics.requests.inc();
                 permits.acquire();
                 let backend = Arc::clone(&shared.backend);
                 let response_tx = response_tx.clone();
                 let permits = Arc::clone(&permits);
+                let rtt = shared.metrics.rtt_for(mode_name(&request)).clone();
                 shared.pool.execute(move || {
+                    let span = Span::on(rtt);
                     let result = backend
                         .query_requests(std::slice::from_ref(&request))
                         .pop()
                         .expect("one request yields one response")
                         .map_err(|e| RemoteError::from(&e));
+                    span.finish();
                     // A send failure means the writer died with the
                     // connection; release the permit here so the reader's
                     // drain barrier cannot wedge.
                     if response_tx
-                        .send(frame_bytes(&Frame::Response { id, result }))
+                        .send((frame_bytes(&Frame::Response { id, result }), true))
                         .is_err()
                     {
                         permits.release();
                     }
                 });
             }
-            Ok(Some(Frame::Goodbye)) | Ok(None) => break None, // client done
+            Ok(Some((Frame::StatsRequest { id }, _))) => {
+                // Answered inline (a snapshot render, not a query) but
+                // still under a permit and through the writer channel, so
+                // it stays ordered with the pipelined responses and the
+                // drain barrier accounts for it. Deliberately invisible to
+                // every counter: two idle scrapes return identical bytes.
+                permits.acquire();
+                let text = stats_text(shared);
+                if response_tx
+                    .send((frame_bytes(&Frame::StatsResponse { id, text }), false))
+                    .is_err()
+                {
+                    permits.release();
+                }
+            }
+            Ok(Some((Frame::Goodbye, _))) | Ok(None) => break None, // client done
             Ok(Some(_)) => {
                 break Some(Frame::Error {
                     code: err_code::MALFORMED_FRAME,
@@ -546,4 +711,30 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
     drop(response_tx);
     let _ = writer_thread.join();
+    if counted_conn {
+        shared.metrics.conns_open.sub(1);
+    }
+}
+
+/// How many slow-query lines a `Stats` answer carries at most.
+const STATS_SLOW_QUERIES: usize = 8;
+
+/// Renders the `Stats` answer: server + backend telemetry merged into one
+/// exposition-format snapshot, then slow-query lines as comments. Every
+/// source is instance-scoped and the stats path itself counts nothing, so
+/// equal state renders to equal bytes.
+fn stats_text(shared: &Shared) -> String {
+    let mut snap = shared.metrics.registry.snapshot();
+    snap.merge(&shared.backend.metrics_snapshot());
+    let mut text = snap.render_text();
+    let slow = shared.backend.slow_queries(STATS_SLOW_QUERIES);
+    if !slow.is_empty() {
+        text.push_str("# slow queries (worst first)\n");
+        for line in slow {
+            text.push_str("# ");
+            text.push_str(&line);
+            text.push('\n');
+        }
+    }
+    text
 }

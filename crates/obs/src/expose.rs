@@ -1,0 +1,178 @@
+//! Plaintext metrics exposition over HTTP: a dedicated listener thread
+//! answers every request with the current snapshot rendered as
+//! Prometheus-style text. Zero dependencies — just enough HTTP/1.0 for
+//! `curl`, a scraper, or a raw `TcpStream` GET.
+
+use crate::metrics::{global, MetricsSnapshot};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Produces the snapshot served at scrape time. Callers compose layers
+/// here (e.g. global registry + server registry + backend metrics).
+pub type SnapshotFn = Arc<dyn Fn() -> MetricsSnapshot + Send + Sync>;
+
+/// Background exposition endpoint. One listener thread; each request is
+/// answered inline (scrapes are rare and the snapshot is cheap).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Serves the [global](crate::global) registry.
+    pub fn serve(addr: impl ToSocketAddrs) -> io::Result<MetricsServer> {
+        Self::serve_with(addr, Arc::new(|| global().snapshot()))
+    }
+
+    /// Serves snapshots produced by `source`.
+    pub fn serve_with(addr: impl ToSocketAddrs, source: SnapshotFn) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("ustr-obs-expose".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let _ = answer(stream, &source);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Unblock accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn answer(stream: TcpStream, source: &SnapshotFn) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    // Consume the request head (request line + headers) up to the blank
+    // line; tolerate clients that close early.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let body = source().render_text();
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Performs one HTTP GET against an exposition endpoint and returns the
+/// body. Used by the bench harness and tests so they need no external
+/// HTTP client.
+pub fn scrape(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET /metrics HTTP/1.0\r\nHost: ustr\r\n\r\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before body",
+            ));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    if !head.starts_with("HTTP/1.0 200") && !head.starts_with("HTTP/1.1 200") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "non-200 scrape response: {}",
+                head.lines().next().unwrap_or("")
+            ),
+        ));
+    }
+    let mut body = String::new();
+    io::Read::read_to_string(&mut reader, &mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn scrape_round_trips_the_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.counter("expose.test").add(7);
+        let reg = Arc::new(reg);
+        let source: SnapshotFn = {
+            let reg = Arc::clone(&reg);
+            Arc::new(move || reg.snapshot())
+        };
+        let server = MetricsServer::serve_with("127.0.0.1:0", source).unwrap();
+        let body = scrape(server.local_addr()).unwrap();
+        assert!(body.contains("ustr_expose_test 7"));
+        // Scrapes are byte-stable while nothing records.
+        let again = scrape(server.local_addr()).unwrap();
+        assert_eq!(body, again);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_and_frees_the_port() {
+        let server = MetricsServer::serve("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // The port is released; a fresh bind on it succeeds (racy in
+        // principle, but the address was ours a moment ago).
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok());
+    }
+}

@@ -1,0 +1,207 @@
+//! Ring-buffered slow-query log: queries whose total latency crosses a
+//! configurable threshold are kept (pattern, mode, per-stage breakdown)
+//! for later dumping, bounded by a fixed capacity.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One recorded slow query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowQueryEntry {
+    /// Pattern, lossily decoded for display.
+    pub pattern: String,
+    /// Query mode name (`threshold`, `top_k`, `listing`, `approx`).
+    pub mode: &'static str,
+    /// End-to-end latency in microseconds.
+    pub total_us: u64,
+    /// `(stage name, microseconds)` breakdown, in lifecycle order.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+impl SlowQueryEntry {
+    /// One-line rendering: `12345us threshold "AT" [lookup=3 fanout=12000 merge=40]`.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}us {} {:?} [", self.total_us, self.mode, self.pattern);
+        for (i, (stage, us)) in self.stages.iter().enumerate() {
+            let sep = if i == 0 { "" } else { " " };
+            let _ = write!(out, "{sep}{stage}={us}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Fixed-capacity ring of the most recent slow queries. The threshold is
+/// an atomic so serving code can adjust it without locks; the ring itself
+/// is mutex-guarded but only touched for queries that are already slow.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    capacity: usize,
+    threshold_us: AtomicU64,
+    ring: Mutex<VecDeque<SlowQueryEntry>>,
+}
+
+/// Default slow-query threshold: 10ms.
+pub const DEFAULT_SLOW_QUERY_US: u64 = 10_000;
+
+/// Default ring capacity.
+pub const DEFAULT_SLOW_QUERY_CAPACITY: usize = 32;
+
+impl Default for SlowQueryLog {
+    fn default() -> Self {
+        Self::new(DEFAULT_SLOW_QUERY_CAPACITY, DEFAULT_SLOW_QUERY_US)
+    }
+}
+
+impl SlowQueryLog {
+    pub fn new(capacity: usize, threshold_us: u64) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            threshold_us: AtomicU64::new(threshold_us),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    pub fn set_threshold_us(&self, us: u64) {
+        self.threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records `entry` if it is at or over the threshold, evicting the
+    /// oldest entry when full. Returns whether it was kept.
+    pub fn observe(&self, entry: SlowQueryEntry) -> bool {
+        if entry.total_us < self.threshold_us() {
+            return false;
+        }
+        let mut ring = self.ring.lock().expect("slow-query log poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+        true
+    }
+
+    /// Entries in arrival order (oldest first).
+    pub fn entries(&self) -> Vec<SlowQueryEntry> {
+        self.ring
+            .lock()
+            .expect("slow-query log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The `n` worst recent queries, slowest first (ties keep arrival
+    /// order).
+    pub fn worst(&self, n: usize) -> Vec<SlowQueryEntry> {
+        let mut all = self.entries();
+        all.sort_by_key(|e| std::cmp::Reverse(e.total_us));
+        all.truncate(n);
+        all
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("slow-query log poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        self.ring.lock().expect("slow-query log poisoned").clear();
+    }
+
+    /// Multi-line dump of the worst `n` entries, one per line; empty
+    /// string when nothing was recorded.
+    pub fn render(&self, n: usize) -> String {
+        let mut out = String::new();
+        for e in self.worst(n) {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(total_us: u64) -> SlowQueryEntry {
+        SlowQueryEntry {
+            pattern: "AT".to_string(),
+            mode: "threshold",
+            total_us,
+            stages: vec![
+                ("lookup", 1),
+                ("fanout", total_us.saturating_sub(2)),
+                ("merge", 1),
+            ],
+        }
+    }
+
+    #[test]
+    fn threshold_filters_and_is_adjustable() {
+        let log = SlowQueryLog::new(4, 100);
+        assert!(!log.observe(entry(99)));
+        assert!(log.observe(entry(100)));
+        log.set_threshold_us(1000);
+        assert!(!log.observe(entry(500)));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let log = SlowQueryLog::new(3, 0);
+        for t in 1..=5 {
+            log.observe(entry(t));
+        }
+        let totals: Vec<u64> = log.entries().iter().map(|e| e.total_us).collect();
+        assert_eq!(totals, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn worst_sorts_descending() {
+        let log = SlowQueryLog::new(8, 0);
+        for t in [5, 900, 20, 300] {
+            log.observe(entry(t));
+        }
+        let worst: Vec<u64> = log.worst(2).iter().map(|e| e.total_us).collect();
+        assert_eq!(worst, vec![900, 300]);
+    }
+
+    #[test]
+    fn render_includes_stage_breakdown() {
+        let log = SlowQueryLog::new(2, 0);
+        log.observe(entry(1000));
+        let text = log.render(10);
+        assert!(text.contains("1000us threshold \"AT\""));
+        assert!(text.contains("fanout=998"));
+    }
+
+    #[test]
+    fn concurrent_observers_never_exceed_capacity() {
+        let log = std::sync::Arc::new(SlowQueryLog::new(16, 0));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let log = std::sync::Arc::clone(&log);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        log.observe(entry(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), 16);
+    }
+}

@@ -22,8 +22,6 @@ pub struct LruCache<K, V> {
     head: usize, // most recently used
     tail: usize, // least recently used
     capacity: usize,
-    hits: u64,
-    misses: u64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
@@ -37,8 +35,6 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
-            hits: 0,
-            misses: 0,
         }
     }
 
@@ -52,14 +48,9 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.map.is_empty()
     }
 
-    /// `(hits, misses)` counters since construction. The counters are
-    /// lifetime totals: they survive evictions and [`LruCache::clear`], and
-    /// are never reset.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
-    }
-
-    /// Drops every entry, keeping the capacity and the hit/miss counters.
+    /// Drops every entry, keeping the capacity. Hit/miss accounting lives
+    /// with the cache's owner (the engine's metrics registry), not here —
+    /// the cache is pure storage.
     pub fn clear(&mut self) {
         self.map.clear();
         self.nodes.clear();
@@ -98,15 +89,11 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     pub fn get(&mut self, key: &K) -> Option<V> {
         match self.map.get(key).copied() {
             Some(i) => {
-                self.hits += 1;
                 self.unlink(i);
                 self.push_front(i);
                 Some(self.nodes[i].value.clone())
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+            None => None,
         }
     }
 
@@ -177,16 +164,6 @@ mod tests {
         cache.insert("c", 3); // evicts b
         assert_eq!(cache.get(&"a"), Some(10));
         assert_eq!(cache.get(&"b"), None);
-    }
-
-    #[test]
-    fn stats_count_hits_and_misses() {
-        let mut cache = LruCache::new(4);
-        cache.insert(1, "x");
-        let _ = cache.get(&1);
-        let _ = cache.get(&2);
-        let _ = cache.get(&1);
-        assert_eq!(cache.stats(), (2, 1));
     }
 
     #[test]

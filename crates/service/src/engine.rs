@@ -13,6 +13,9 @@ use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex};
 
 use ustr_core::Error;
+use ustr_obs::{
+    Counter, Histogram, MetricsRegistry, MetricsSnapshot, SlowQueryEntry, SlowQueryLog, Span,
+};
 
 use crate::exec::{merge_partials, Segment, ShardPartial};
 use crate::{LruCache, QueryRequest, QueryResponse, ThreadPool};
@@ -115,12 +118,79 @@ pub trait SegmentSet {
 /// One segment's answer to one request (collected during a parallel batch).
 type SegmentAnswer = Result<ShardPartial, Error>;
 
+/// Per-engine telemetry handles, all registered in one instance-scoped
+/// [`MetricsRegistry`] so concurrent engines (parallel tests, multiple
+/// services in one process) never mix counts. Snapshot via
+/// [`Engine::metrics_snapshot`].
+struct EngineMetrics {
+    registry: MetricsRegistry,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    requests: Counter,
+    errors: Counter,
+    batch_us: Histogram,
+    lookup_us: Histogram,
+    fanout_us: Histogram,
+    merge_us: Histogram,
+    request_us: Histogram,
+    segment_us: Histogram,
+}
+
+impl EngineMetrics {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        Self {
+            cache_hits: registry.counter("service.cache.hits"),
+            cache_misses: registry.counter("service.cache.misses"),
+            requests: registry.counter("service.requests"),
+            errors: registry.counter("service.errors"),
+            batch_us: registry.histogram("service.batch_us"),
+            lookup_us: registry.histogram("service.stage.cache_lookup_us"),
+            fanout_us: registry.histogram("service.stage.fanout_us"),
+            merge_us: registry.histogram("service.stage.merge_us"),
+            request_us: registry.histogram("service.request_us"),
+            segment_us: registry.histogram("service.stage.segment_answer_us"),
+            registry,
+        }
+    }
+}
+
+/// How one request in a batch was resolved (drives per-request latency
+/// accounting and the slow-query log).
+#[derive(Clone, Copy, PartialEq)]
+enum Outcome {
+    Invalid,
+    CacheHit,
+    Computed,
+}
+
+/// Display name of a request's mode for telemetry.
+pub fn mode_name(req: &QueryRequest) -> &'static str {
+    match req {
+        QueryRequest::Threshold { .. } => "threshold",
+        QueryRequest::TopK { .. } => "top_k",
+        QueryRequest::Listing { .. } => "listing",
+        QueryRequest::Approx { .. } => "approx",
+    }
+}
+
+fn pattern_of(req: &QueryRequest) -> &[u8] {
+    match req {
+        QueryRequest::Threshold { pattern, .. }
+        | QueryRequest::TopK { pattern, .. }
+        | QueryRequest::Listing { pattern, .. }
+        | QueryRequest::Approx { pattern, .. } => pattern,
+    }
+}
+
 /// The reusable dispatch core: a fixed thread pool plus an optional LRU
 /// result cache. Holds no documents — every batch runs over the
 /// [`SegmentSet`] it is handed.
 pub struct Engine {
     pool: ThreadPool,
     cache: Option<Mutex<LruCache<CacheKey, QueryResponse>>>,
+    metrics: EngineMetrics,
+    slow_log: Arc<SlowQueryLog>,
 }
 
 impl Engine {
@@ -130,6 +200,8 @@ impl Engine {
         Self {
             pool: ThreadPool::new(threads),
             cache: (cache_capacity > 0).then(|| Mutex::new(LruCache::new(cache_capacity))),
+            metrics: EngineMetrics::new(),
+            slow_log: Arc::new(SlowQueryLog::default()),
         }
     }
 
@@ -141,11 +213,26 @@ impl Engine {
     /// `(hits, misses)` of the result cache since the engine was created;
     /// zeros when caching is disabled. The counters are cumulative totals
     /// over the engine's lifetime — they are never reset, not even by
-    /// [`Engine::invalidate_cache`].
+    /// [`Engine::invalidate_cache`]. They are the `service.cache.hits` /
+    /// `service.cache.misses` counters of [`Engine::metrics_snapshot`]:
+    /// one source of truth, two views.
     pub fn cache_stats(&self) -> (u64, u64) {
-        self.cache
-            .as_ref()
-            .map_or((0, 0), |c| c.lock().expect("cache poisoned").stats())
+        (
+            self.metrics.cache_hits.get(),
+            self.metrics.cache_misses.get(),
+        )
+    }
+
+    /// Point-in-time snapshot of this engine's metrics registry (cache
+    /// counters, request/error totals, per-stage latency histograms).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.registry.snapshot()
+    }
+
+    /// This engine's slow-query ring (threshold adjustable at runtime via
+    /// [`SlowQueryLog::set_threshold_us`]).
+    pub fn slow_log(&self) -> &SlowQueryLog {
+        &self.slow_log
     }
 
     /// Drops every cached response (the hit/miss counters are preserved).
@@ -158,9 +245,13 @@ impl Engine {
     }
 
     fn cache_get(&self, key: &CacheKey) -> Option<QueryResponse> {
-        self.cache
-            .as_ref()
-            .and_then(|c| c.lock().expect("cache poisoned").get(key))
+        let cache = self.cache.as_ref()?;
+        let hit = cache.lock().expect("cache poisoned").get(key);
+        match &hit {
+            Some(_) => self.metrics.cache_hits.inc(),
+            None => self.metrics.cache_misses.inc(),
+        }
+        hit
     }
 
     fn cache_put(&self, key: CacheKey, value: QueryResponse) {
@@ -180,25 +271,32 @@ impl Engine {
         set: &dyn SegmentSet,
         requests: &[QueryRequest],
     ) -> Vec<Result<QueryResponse, Error>> {
+        let batch_span = Span::on(self.metrics.batch_us.clone());
+        self.metrics.requests.add(requests.len() as u64);
         let segments = set.segments();
         let tau_min = set.tau_min();
         let epoch = set.cache_epoch();
         let num_segments = segments.len();
         let mut results: Vec<Option<Result<QueryResponse, Error>>> = vec![None; requests.len()];
+        let mut outcomes: Vec<Outcome> = vec![Outcome::Computed; requests.len()];
 
         // Resolve validation failures and cache hits up front, and collapse
         // duplicate requests onto one computation: only the first occurrence
         // (the leader) fans out; followers copy its result.
+        let lookup_span = Span::on(self.metrics.lookup_us.clone());
         let mut pending: Vec<usize> = Vec::new();
         let mut leaders: HashMap<CacheKey, usize> = HashMap::new();
         let mut followers: Vec<(usize, usize)> = Vec::new(); // (request, leader)
         for (q, req) in requests.iter().enumerate() {
             if let Err(e) = validate_request(req, tau_min) {
+                self.metrics.errors.inc();
+                outcomes[q] = Outcome::Invalid;
                 results[q] = Some(Err(e));
                 continue;
             }
             let key = request_key(req, epoch);
             if let Some(hit) = self.cache_get(&key) {
+                outcomes[q] = Outcome::CacheHit;
                 results[q] = Some(Ok(hit));
                 continue;
             }
@@ -210,18 +308,24 @@ impl Engine {
                 }
             }
         }
+        let lookup_us = lookup_span.finish();
 
         // Fan out: one job per (pending request, segment).
+        let fanout_span = Span::on(self.metrics.fanout_us.clone());
         let (tx, rx) = channel::<(usize, usize, SegmentAnswer)>();
         for &q in &pending {
             for (s, segment) in segments.iter().enumerate() {
                 let segment = Arc::clone(segment);
                 let req = requests[q].clone();
                 let tx = tx.clone();
+                let segment_us = self.metrics.segment_us.clone();
                 self.pool.execute(move || {
+                    let span = Span::on(segment_us);
+                    let answer = segment.answer(&req);
+                    span.finish();
                     // A send failure means the batch was abandoned; nothing
                     // useful to do from a worker.
-                    let _ = tx.send((q, s, segment.answer(&req)));
+                    let _ = tx.send((q, s, answer));
                 });
             }
         }
@@ -239,6 +343,9 @@ impl Engine {
             per_query[q][s] = Some(result);
             outstanding -= 1;
         }
+        let fanout_us = fanout_span.finish();
+
+        let merge_span = Span::on(self.metrics.merge_us.clone());
         for &q in &pending {
             let mut parts = Vec::with_capacity(num_segments);
             let mut error: Option<Error> = None;
@@ -252,7 +359,10 @@ impl Engine {
                 }
             }
             results[q] = Some(match error {
-                Some(e) => Err(e),
+                Some(e) => {
+                    self.metrics.errors.inc();
+                    Err(e)
+                }
                 None => {
                     let response = merge_partials(&requests[q], parts);
                     self.cache_put(request_key(&requests[q], epoch), response.clone());
@@ -264,6 +374,38 @@ impl Engine {
         for (q, leader) in followers {
             results[q] = Some(results[leader].clone().expect("leader resolved"));
         }
+        let merge_us = merge_span.finish();
+
+        // Per-request accounting. Stage timings are batch-level (requests
+        // in one batch share the pool), so a request's attributed latency
+        // is the sum of the stages it went through: cache hits stop after
+        // the lookup stage, computed requests ride all three.
+        let computed_us = lookup_us + fanout_us + merge_us;
+        for (q, req) in requests.iter().enumerate() {
+            let total_us = match outcomes[q] {
+                Outcome::Invalid => continue,
+                Outcome::CacheHit => lookup_us,
+                Outcome::Computed => computed_us,
+            };
+            self.metrics.request_us.record(total_us);
+            if total_us >= self.slow_log.threshold_us() {
+                let stages = match outcomes[q] {
+                    Outcome::CacheHit => vec![("cache_lookup", lookup_us)],
+                    _ => vec![
+                        ("cache_lookup", lookup_us),
+                        ("fanout", fanout_us),
+                        ("merge", merge_us),
+                    ],
+                };
+                self.slow_log.observe(SlowQueryEntry {
+                    pattern: String::from_utf8_lossy(pattern_of(req)).into_owned(),
+                    mode: mode_name(req),
+                    total_us,
+                    stages,
+                });
+            }
+        }
+        batch_span.finish();
 
         results
             .into_iter()
@@ -283,21 +425,38 @@ impl Engine {
         let segments = set.segments();
         let tau_min = set.tau_min();
         let epoch = set.cache_epoch();
+        self.metrics.requests.add(requests.len() as u64);
         requests
             .iter()
             .map(|req| {
-                validate_request(req, tau_min)?;
-                let key = request_key(req, epoch);
-                if let Some(hit) = self.cache_get(&key) {
-                    return Ok(hit);
+                let span = Span::on(self.metrics.request_us.clone());
+                let result = (|| {
+                    validate_request(req, tau_min)?;
+                    let key = request_key(req, epoch);
+                    if let Some(hit) = self.cache_get(&key) {
+                        return Ok(hit);
+                    }
+                    let mut parts = Vec::with_capacity(segments.len());
+                    for segment in &segments {
+                        parts.push(segment.answer(req)?);
+                    }
+                    let response = merge_partials(req, parts);
+                    self.cache_put(key, response.clone());
+                    Ok(response)
+                })();
+                let total_us = span.finish();
+                if result.is_err() {
+                    self.metrics.errors.inc();
                 }
-                let mut parts = Vec::with_capacity(segments.len());
-                for segment in &segments {
-                    parts.push(segment.answer(req)?);
+                if total_us >= self.slow_log.threshold_us() {
+                    self.slow_log.observe(SlowQueryEntry {
+                        pattern: String::from_utf8_lossy(pattern_of(req)).into_owned(),
+                        mode: mode_name(req),
+                        total_us,
+                        stages: vec![("sequential", total_us)],
+                    });
                 }
-                let response = merge_partials(req, parts);
-                self.cache_put(key, response.clone());
-                Ok(response)
+                result
             })
             .collect()
     }

@@ -97,7 +97,7 @@ use ustr_store::{collection, CollectionSection, Snapshot, SnapshotKind, StoreErr
 use ustr_uncertain::UncertainString;
 
 pub use cache::LruCache;
-pub use engine::{validate_request, Engine, SegmentSet, TAU_TOLERANCE};
+pub use engine::{mode_name, validate_request, Engine, SegmentSet, TAU_TOLERANCE};
 pub use exec::{merge_partials, top_hit_order, DocExecutor, Segment, ShardPartial};
 pub use pool::ThreadPool;
 pub use ustr_core::ListingHit;
@@ -643,6 +643,20 @@ impl QueryService {
     /// never reset.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.engine.cache_stats()
+    }
+
+    /// Point-in-time snapshot of the engine's metrics registry: cache
+    /// hit/miss counters, request/error totals, and per-stage latency
+    /// histograms. Instance-scoped — two services in one process never
+    /// mix counts.
+    pub fn metrics_snapshot(&self) -> ustr_obs::MetricsSnapshot {
+        self.engine.metrics_snapshot()
+    }
+
+    /// The engine's slow-query ring buffer (threshold adjustable at
+    /// runtime).
+    pub fn slow_log(&self) -> &ustr_obs::SlowQueryLog {
+        self.engine.slow_log()
     }
 
     /// Answers one threshold query (through the cache and the thread pool).

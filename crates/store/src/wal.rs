@@ -286,10 +286,11 @@ impl WalWriter {
         })
     }
 
-    /// Appends one record, flushing and fsyncing before returning. On
+    /// Appends one record, flushing and fsyncing before returning; on
+    /// success yields the framed byte count (telemetry feeds on it). On
     /// failure the partial frame is truncated away; an unrecoverable
     /// partial write poisons the writer.
-    pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, StoreError> {
         if self.poisoned {
             return Err(StoreError::Corrupt {
                 detail: "WAL writer is poisoned by an earlier failed append".into(),
@@ -303,7 +304,7 @@ impl WalWriter {
         match result {
             Ok(()) => {
                 self.len += frame.len() as u64;
-                Ok(())
+                Ok(frame.len() as u64)
             }
             Err(e) => {
                 // Roll back to the last record boundary so the log stays

@@ -55,11 +55,12 @@ fn wal_records(max_records: usize) -> impl Strategy<Value = Vec<WalRecord>> {
 
 /// Writes records through the real writer and returns the file bytes.
 fn committed_bytes(records: &[WalRecord]) -> Vec<u8> {
-    let path = std::env::temp_dir().join(format!(
-        "ustr_prop_wal_{}_{}.wal",
-        std::process::id(),
-        records.len()
-    ));
+    // Unique per call: the two property tests run concurrently and would
+    // otherwise collide on a pid+len-keyed filename.
+    static CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let call = CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("ustr_prop_wal_{}_{}.wal", std::process::id(), call));
     let _ = std::fs::remove_file(&path);
     let mut w = WalWriter::create(&path).unwrap();
     for r in records {

@@ -1,0 +1,70 @@
+//! Process-global kernel counters: how much candidate enumeration and
+//! verification work the [`MatchKernel`](crate::MatchKernel) callers have
+//! done, mirroring the paper's cost model (candidate count vs.
+//! verification work, Biswas et al. §5).
+//!
+//! Plain relaxed atomics, zero dependencies. Hot loops batch their local
+//! counts and call [`record_scan`] **once per scan**, so the per-candidate
+//! cost of instrumentation is zero. Counters are cumulative for the
+//! process lifetime; telemetry layers surface them via
+//! [`kernel_totals`] (e.g. merged into an exposition snapshot under
+//! `kernel.*` names).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static CANDIDATES: AtomicU64 = AtomicU64::new(0);
+static VERIFIED: AtomicU64 = AtomicU64::new(0);
+static KERNEL_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative kernel work since process start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelTotals {
+    /// Candidate windows handed to the kernel for evaluation.
+    pub candidates: u64,
+    /// Candidates that survived verification (reported as hits).
+    pub verified: u64,
+    /// Nanoseconds spent inside instrumented kernel loops.
+    pub kernel_ns: u64,
+}
+
+/// Adds one scan's batched counts: `candidates` windows evaluated,
+/// `verified` of them kept, `ns` spent in the loop.
+#[inline]
+pub fn record_scan(candidates: u64, verified: u64, ns: u64) {
+    CANDIDATES.fetch_add(candidates, Ordering::Relaxed);
+    VERIFIED.fetch_add(verified, Ordering::Relaxed);
+    KERNEL_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Current totals.
+pub fn kernel_totals() -> KernelTotals {
+    KernelTotals {
+        candidates: CANDIDATES.load(Ordering::Relaxed),
+        verified: VERIFIED.load(Ordering::Relaxed),
+        kernel_ns: KERNEL_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Helper for callers that want wall-time in the batched record: elapsed
+/// nanoseconds since `start`, saturated into a `u64`.
+#[inline]
+pub fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_scan_accumulates() {
+        let before = kernel_totals();
+        record_scan(10, 3, 1_000);
+        record_scan(5, 5, 500);
+        let after = kernel_totals();
+        assert_eq!(after.candidates - before.candidates, 15);
+        assert_eq!(after.verified - before.verified, 8);
+        assert_eq!(after.kernel_ns - before.kernel_ns, 1_500);
+    }
+}

@@ -27,6 +27,7 @@
 mod chars;
 mod correlation;
 mod error;
+pub mod kstats;
 pub mod plane;
 mod special;
 mod string;
