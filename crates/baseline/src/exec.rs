@@ -20,7 +20,7 @@
 //! compare against.
 
 use ustr_core::{validate_pattern, validate_query, Error, QueryExecutor};
-use ustr_uncertain::{MatchKernel, ProbPlane, UncertainString, PROB_EPS};
+use ustr_uncertain::{canon, MatchKernel, ProbPlane, UncertainString};
 
 /// A scan-backed per-document query engine (O(n·σ) construction for the
 /// probability plane, O(n·m) queries) satisfying the [`QueryExecutor`]
@@ -36,7 +36,7 @@ impl ScanIndex {
     /// Wraps `doc` with the construction threshold `tau_min ∈ (0, 1]` (the
     /// same value an [`ustr_core::Index`] would be built with).
     pub fn new(doc: UncertainString, tau_min: f64) -> Result<Self, Error> {
-        if !(tau_min > 0.0 && tau_min <= 1.0) {
+        if !canon::valid_tau(tau_min) {
             return Err(Error::InvalidThreshold { value: tau_min });
         }
         let plane = ProbPlane::build(&doc);
@@ -74,14 +74,14 @@ impl ScanIndex {
         if m == 0 || m > n {
             return hits;
         }
-        let log_tau = tau.ln();
+        let log_tau = canon::ln(tau);
         let start = std::time::Instant::now();
         let mut candidates = 0u64;
         for i in kernel.candidates(n - m + 1) {
             candidates += 1;
             if let Some(log_p) = kernel.log_match_bounded(i, log_tau) {
-                let p = log_p.exp();
-                if p >= tau - PROB_EPS {
+                let p = canon::exp(log_p);
+                if canon::meets_threshold(p, tau) {
                     hits.push((i, p));
                 }
             }

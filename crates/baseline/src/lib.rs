@@ -23,6 +23,8 @@
 //! first-pattern-character presence row and verifies through the
 //! [`MatchKernel`](ustr_uncertain::MatchKernel) flat loop.
 
+#![forbid(unsafe_code)]
+
 mod dp;
 mod exec;
 mod oracle;

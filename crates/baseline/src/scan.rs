@@ -1,6 +1,6 @@
 //! Online per-position scan (the Li et al. \[20\] style baseline).
 
-use ustr_uncertain::{log_meets_threshold, UncertainString};
+use ustr_uncertain::{canon, log_meets_threshold, UncertainString};
 
 /// Stateless online matcher: O(n·m) worst case, with early termination as
 /// soon as a window's running product drops below the threshold (products of
@@ -21,17 +21,17 @@ impl NaiveScanner {
         let m = pattern.len();
         let n = s.len();
         let mut out = Vec::new();
-        if m == 0 || m > n || tau <= 0.0 {
+        if m == 0 || m > n || !canon::is_positive_prob(tau) {
             return out;
         }
-        let log_tau = tau.ln();
+        let log_tau = canon::ln(tau);
         let corrs = s.correlations();
         'positions: for i in 0..=n - m {
             let mut log_p = 0.0f64;
             for (k, &ch) in pattern.iter().enumerate() {
                 let q = i + k;
                 let base = s.position(q).prob_of(ch);
-                if base <= 0.0 {
+                if !canon::is_positive_prob(base) {
                     continue 'positions;
                 }
                 // The conditioning outcome is known from the pattern itself
@@ -50,15 +50,15 @@ impl NaiveScanner {
                     }
                     None => base,
                 };
-                if p <= 0.0 {
+                if !canon::is_positive_prob(p) {
                     continue 'positions;
                 }
-                log_p += p.ln();
+                log_p += canon::ln(p);
                 if !log_meets_threshold(log_p, log_tau) {
                     continue 'positions;
                 }
             }
-            out.push((i, log_p.exp()));
+            out.push((i, canon::exp(log_p)));
         }
         out
     }
@@ -104,7 +104,7 @@ impl NaiveScanner {
     /// to the paper's formula, exposed for comparison.
     pub fn relevance_independent_or(s: &UncertainString, pattern: &[u8]) -> f64 {
         let probs = Self::find_with_probs(s, pattern, f64::MIN_POSITIVE);
-        1.0 - probs.iter().map(|&(_, p)| 1.0 - p).product::<f64>()
+        canon::independent_or(probs.iter().map(|&(_, p)| p))
     }
 }
 

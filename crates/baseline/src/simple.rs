@@ -7,7 +7,7 @@
 //! the efficient RMQ index removes.
 
 use ustr_suffix::SuffixArray;
-use ustr_uncertain::{transform, ModelError, ProbPlane, Transformed, UncertainString};
+use ustr_uncertain::{canon, transform, ModelError, ProbPlane, Transformed, UncertainString};
 
 /// Simple (non-RMQ) index over a general uncertain string.
 ///
@@ -55,7 +55,7 @@ impl SimpleIndex {
         if pattern.is_empty() {
             return Err(ModelError::EmptyPattern);
         }
-        if !(tau >= self.tau_min - 1e-12 && tau <= 1.0) {
+        if !canon::tau_in_range(tau, self.tau_min) {
             return Err(ModelError::InvalidThreshold { value: tau });
         }
         let mut out: Vec<usize> = Vec::new();
@@ -66,7 +66,7 @@ impl SimpleIndex {
         // mapping each text offset back to the source position and verifying
         // the exact probability there through the flat plane kernel
         // (bit-identical to `log_match_probability`, pattern remapped once).
-        let log_tau = tau.ln();
+        let log_tau = canon::ln(tau);
         self.plane.with_kernel(pattern, |kernel| {
             for j in l..=r {
                 let x = self.sa.sa()[j] as usize;

@@ -19,6 +19,8 @@
 //! result. A missing baseline file is reported as `SKIP` and passes, so
 //! brand-new benches gate only once their baseline lands.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use ustr_bench::gate::{compare_latencies, parse};

@@ -11,6 +11,8 @@
 //! from the paper's 2015 C++/i5 testbed; the *shapes* are the comparison
 //! target (see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use ustr_bench::{avg_query_micros, listing_cell, print_table, substring_cell, THETAS};

@@ -2,6 +2,8 @@
 //! benches (Section 8 of the paper), plus the CI perf-regression gate
 //! ([`gate`]).
 
+#![forbid(unsafe_code)]
+
 pub mod gate;
 
 use std::time::{Duration, Instant};

@@ -30,6 +30,8 @@
 //! `top`). `--quiet` on any query command prints result rows only, for
 //! scripting.
 
+#![forbid(unsafe_code)]
+
 mod args;
 
 use std::fs;

@@ -28,7 +28,7 @@ use std::time::Instant;
 
 use ustr_rmq::{BlockRmq, Direction, Rmq, ThresholdReporter};
 use ustr_suffix::SuffixTree;
-use ustr_uncertain::{transform_with_options, Transformed, UncertainString};
+use ustr_uncertain::{canon, transform_with_options, Transformed, UncertainString};
 
 use crate::{
     carray::CumulativeLogProb,
@@ -95,7 +95,7 @@ impl ApproxIndex {
         epsilon: f64,
         options: &IndexOptions,
     ) -> Result<Self, Error> {
-        if !(epsilon > 0.0 && epsilon < 1.0) {
+        if !canon::valid_epsilon(epsilon) {
             return Err(Error::InvalidEpsilon { value: epsilon });
         }
         let start = Instant::now();
@@ -287,10 +287,10 @@ impl ApproxIndex {
         if state.transformed.pos.len() != state.transformed.special.len() {
             return Err(invalid("position map length does not match text"));
         }
-        if !(state.epsilon > 0.0 && state.epsilon < 1.0) {
+        if !canon::valid_epsilon(state.epsilon) {
             return Err(invalid("epsilon outside (0, 1)"));
         }
-        if !(state.tau_min > 0.0 && state.tau_min <= 1.0) {
+        if !canon::valid_tau(state.tau_min) {
             return Err(invalid("tau_min outside (0, 1]"));
         }
         let tree = SuffixTree::from_parts(state.tree.text, state.tree.sa, state.tree.lcp);
@@ -316,7 +316,7 @@ impl ApproxIndex {
             if link.source_pos >= source_len {
                 return Err(invalid("link source position outside the source"));
             }
-            if !link.prob.is_finite() || link.prob < 0.0 {
+            if !link.prob.is_finite() || canon::is_negative(link.prob) {
                 return Err(invalid("link probability is not a finite non-negative"));
             }
         }
@@ -404,7 +404,7 @@ fn refine_link(
     let o0 = tree.string_depth(u);
     debug_assert!(o0 > t0, "virtual child must be deeper than its parent");
     let lmax = cum.run_length(x as usize);
-    let p_at = |depth: usize| -> f64 { cum.window(x as usize, depth.min(lmax)).exp() };
+    let p_at = |depth: usize| -> f64 { canon::exp(cum.window(x as usize, depth.min(lmax))) };
     let origin_pre = tree.preorder(u) as u32;
     let mut o = o0;
     while o > t0 {

@@ -7,6 +7,8 @@
 //! argmax is unchanged. Separator positions contribute 0 to the sums and are
 //! tracked separately so any window crossing one evaluates to −∞.
 
+use ustr_uncertain::canon;
+
 /// Cumulative log-probability array with separator tracking.
 ///
 /// ```
@@ -40,8 +42,8 @@ impl CumulativeLogProb {
             if is_sentinel(i) {
                 count += 1;
             } else {
-                debug_assert!(p > 0.0, "probabilities must be positive");
-                sum += p.ln();
+                debug_assert!(canon::is_positive_prob(p), "probabilities must be positive");
+                sum += canon::ln(p);
             }
             prefix.push(sum);
             sentinels.push(count);

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use ustr_uncertain::ModelError;
+use ustr_uncertain::{canon, ModelError};
 
 /// Errors raised by index construction and querying.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +22,20 @@ pub enum Error {
     /// A snapshot's decoded state is structurally inconsistent and cannot be
     /// assembled into an index.
     InvalidSnapshot { detail: String },
+    /// An internal invariant of the serving machinery was violated (a lost
+    /// worker answer, a mismatched response kind). Serving code returns
+    /// this instead of panicking: one broken response must not take a
+    /// worker thread — and every lock it holds — down with it.
+    Internal { detail: String },
+}
+
+impl Error {
+    /// Shorthand for [`Error::Internal`].
+    pub fn internal(detail: impl Into<String>) -> Self {
+        Error::Internal {
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -44,6 +58,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidSnapshot { detail } => {
                 write!(f, "invalid index snapshot: {detail}")
+            }
+            Error::Internal { detail } => {
+                write!(f, "internal error: {detail}")
             }
         }
     }
@@ -78,10 +95,10 @@ pub fn validate_pattern(pattern: &[u8]) -> Result<(), Error> {
 /// Validates a query `(pattern, tau)` pair against `tau_min`.
 pub fn validate_query(pattern: &[u8], tau: f64, tau_min: f64) -> Result<(), Error> {
     validate_pattern(pattern)?;
-    if !(tau > 0.0 && tau <= 1.0) {
+    if !canon::valid_tau(tau) {
         return Err(Error::InvalidThreshold { value: tau });
     }
-    if tau < tau_min - 1e-12 {
+    if canon::below_floor(tau, tau_min) {
         return Err(Error::ThresholdBelowTauMin { tau, tau_min });
     }
     Ok(())

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use ustr_suffix::SuffixTree;
-use ustr_uncertain::{transform_with_options, ProbPlane, Transformed, UncertainString};
+use ustr_uncertain::{canon, transform_with_options, ProbPlane, Transformed, UncertainString};
 
 use crate::{
     carray::CumulativeLogProb,
@@ -156,7 +156,7 @@ impl Index {
         {
             return Err(invalid("position map points outside the source string"));
         }
-        if !(state.tau_min > 0.0 && state.tau_min <= 1.0) {
+        if !canon::valid_tau(state.tau_min) {
             return Err(invalid("tau_min outside (0, 1]"));
         }
         let tree = SuffixTree::from_parts(state.tree.text, state.tree.sa, state.tree.lcp);
@@ -209,7 +209,7 @@ impl Index {
         let Some((l, r)) = self.tree.suffix_range(pattern) else {
             return Ok(QueryResult::default());
         };
-        let log_tau = tau.ln();
+        let log_tau = canon::ln(tau);
         let has_corr = !self.source.correlations().is_empty();
         let short = m <= self.levels.max_short();
         let candidates = if short {
@@ -291,7 +291,7 @@ impl Index {
             return Ok(out);
         }
         let m = pattern.len();
-        let floor = self.tau_min.ln() - ustr_uncertain::PROB_EPS;
+        let floor = canon::ln(self.tau_min) - ustr_uncertain::PROB_EPS;
         // Fetch k candidates, then widen until the boundary value drops
         // strictly below the k-th value (the tie class at the cut is closed)
         // or the candidates run out — so the cut is decided by the canonical

@@ -30,6 +30,8 @@
 //! to distinct results, and a geometric blocking scheme covers patterns
 //! longer than `log n`.
 
+#![forbid(unsafe_code)]
+
 mod approx;
 mod carray;
 mod error;

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use ustr_suffix::SuffixTree;
-use ustr_uncertain::{transform_with_options, PatternRanks, ProbPlane, UncertainString};
+use ustr_uncertain::{canon, transform_with_options, PatternRanks, ProbPlane, UncertainString};
 
 use crate::{
     carray::CumulativeLogProb,
@@ -235,7 +235,7 @@ impl ListingIndex {
                 return Err(invalid("source offset outside its document"));
             }
         }
-        if !(state.tau_min > 0.0 && state.tau_min <= 1.0) {
+        if !canon::valid_tau(state.tau_min) {
             return Err(invalid("tau_min outside (0, 1]"));
         }
         let has_correlations = state.docs.iter().any(|d| !d.correlations().is_empty());
@@ -327,7 +327,7 @@ impl ListingIndex {
         r: usize,
     ) -> Result<Vec<ListingHit>, Error> {
         let m = pattern.len();
-        let log_tau = tau.ln();
+        let log_tau = canon::ln(tau);
         let candidates = if m <= self.levels.max_short() {
             self.levels
                 .report_short(m, l, r, log_tau, &self.tree, &self.cum)
@@ -386,7 +386,7 @@ impl ListingIndex {
                 continue;
             }
             let exact = self.verify(&mut compiled, pattern, doc, src);
-            if exact > 0.0 {
+            if canon::is_positive_prob(exact) {
                 occs.insert((doc, src), exact);
             }
         }
@@ -408,7 +408,7 @@ impl ListingIndex {
                         sum - prod
                     }
                 }
-                RelMetric::IndependentOr => 1.0 - probs.iter().map(|p| 1.0 - p).product::<f64>(),
+                RelMetric::IndependentOr => canon::independent_or(probs.iter().copied()),
                 RelMetric::Max => unreachable!("handled by query_max"),
             };
             if relevance >= tau - ustr_uncertain::PROB_EPS {
@@ -447,7 +447,7 @@ impl ListingIndex {
                     // exact Rel_max through its plane.
                     crate::listing::exact_rel_max(&self.planes[doc], pattern)
                 } else {
-                    v.exp()
+                    canon::exp(v)
                 };
                 ListingHit { doc, relevance }
             })

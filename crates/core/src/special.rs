@@ -5,7 +5,7 @@
 use std::time::Instant;
 
 use ustr_suffix::SuffixTree;
-use ustr_uncertain::{CorrelationSet, SpecialUncertainString};
+use ustr_uncertain::{canon, CorrelationSet, SpecialUncertainString};
 
 use crate::{
     carray::CumulativeLogProb,
@@ -160,7 +160,7 @@ impl SpecialIndex {
         let Some((l, r)) = self.tree.suffix_range(pattern) else {
             return Ok(QueryResult::default());
         };
-        let log_tau = tau.ln();
+        let log_tau = canon::ln(tau);
         // Candidates come back with their *stored* window log-probability.
         let candidates = if m <= self.levels.max_short() {
             self.levels
@@ -173,7 +173,7 @@ impl SpecialIndex {
         for (slot, stored) in candidates {
             let pos = self.tree.sa(slot);
             let exact = if self.correlations.is_empty() {
-                stored.exp()
+                canon::exp(stored)
             } else {
                 self.special.window_prob_with(&self.correlations, pos, m)
             };
@@ -209,7 +209,7 @@ impl SpecialIndex {
             .into_iter()
             .map(|(pos, v)| {
                 let p = if self.correlations.is_empty() {
-                    v.exp()
+                    canon::exp(v)
                 } else {
                     self.special.window_prob_with(&self.correlations, pos, m)
                 };
@@ -239,7 +239,7 @@ fn correlation_boost(special: &SpecialUncertainString, correlations: &Correlatio
         let pos = corr.subject_pos;
         if special.chars().get(pos) == Some(&corr.subject_char) {
             let stored = special.prob_at(pos);
-            let uplift = (corr.max_prob().ln() - stored.ln()).max(0.0);
+            let uplift = (canon::ln(corr.max_prob()) - canon::ln(stored)).max(0.0);
             boost_log += uplift;
         }
     }

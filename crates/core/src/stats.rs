@@ -1,5 +1,7 @@
 //! Construction statistics (used by the Figure 9 experiments).
 
+use ustr_uncertain::canon;
+
 use std::time::Duration;
 
 /// Statistics recorded while building an index.
@@ -30,7 +32,7 @@ impl BuildStats {
 
     /// Heap footprint in mebibytes.
     pub fn heap_mib(&self) -> f64 {
-        self.heap_bytes as f64 / (1024.0 * 1024.0)
+        canon::bytes_to_mib(self.heap_bytes)
     }
 }
 

@@ -1,0 +1,185 @@
+//! The `lint-allow.toml` baseline: audited, justified exceptions.
+//!
+//! The file is a flat list of `[[allow]]` tables, each naming a rule, a
+//! workspace-relative path, and a human reason. An entry suppresses every
+//! diagnostic of that rule in that file — exceptions are audited at file
+//! granularity so a *new* file never inherits a free pass. A trailing `/`
+//! on `path` makes the entry a directory prefix (discouraged; kept for
+//! completeness).
+//!
+//! The parser is a deliberately tiny TOML subset (this workspace builds
+//! with no external crates): `[[allow]]` headers, `key = "string"` pairs,
+//! `#` comments, blank lines. Anything else is a hard error — a baseline
+//! that cannot be parsed must fail the build, not silently allow nothing.
+
+use std::path::Path;
+
+/// One audited exception.
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    /// Rule name the exception applies to.
+    pub rule: String,
+    /// Workspace-relative path (exact file, or directory prefix when it
+    /// ends with `/`).
+    pub path: String,
+    /// Why this exception is sound. Required: an unexplained exception is
+    /// a parse error.
+    pub reason: String,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Default)]
+pub struct AllowList {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl AllowList {
+    /// Loads and parses `path`. A missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// Parses the TOML-subset text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut in_entry = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(last) = entries.last() {
+                    validate(last, lineno)?;
+                }
+                entries.push(AllowEntry::default());
+                in_entry = true;
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint-allow.toml:{lineno}: expected `key = \"value\"`"))?;
+            if !in_entry {
+                return Err(format!(
+                    "lint-allow.toml:{lineno}: key outside an [[allow]] table"
+                ));
+            }
+            let key = key.trim();
+            let value = parse_string(value.trim())
+                .ok_or_else(|| format!("lint-allow.toml:{lineno}: value must be a \"string\""))?;
+            let entry = entries.last_mut().ok_or("lint-allow.toml: no entry")?;
+            match key {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "reason" => entry.reason = value,
+                other => {
+                    return Err(format!(
+                        "lint-allow.toml:{lineno}: unknown key `{other}` \
+                         (expected rule/path/reason)"
+                    ))
+                }
+            }
+        }
+        if let Some(last) = entries.last() {
+            validate(last, text.lines().count())?;
+        }
+        Ok(Self { entries })
+    }
+
+    /// Whether `(rule, rel_path)` is covered by an entry. Marks the entry
+    /// used via the parallel `used` slice (same indexing as `entries`).
+    pub fn covers(&self, rule: &str, rel_path: &str, used: &mut [bool]) -> bool {
+        let mut hit = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            let path_match = if e.path.ends_with('/') {
+                rel_path.starts_with(&e.path)
+            } else {
+                rel_path == e.path
+            };
+            if e.rule == rule && path_match {
+                used[i] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+fn validate(entry: &AllowEntry, lineno: usize) -> Result<(), String> {
+    if entry.rule.is_empty() || entry.path.is_empty() || entry.reason.is_empty() {
+        return Err(format!(
+            "lint-allow.toml: entry ending near line {lineno} must set rule, path, \
+             and a non-empty reason"
+        ));
+    }
+    Ok(())
+}
+
+/// Parses a basic TOML string: double quotes, `\\` and `\"` escapes.
+fn parse_string(v: &str) -> Option<String> {
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            return None; // unescaped quote mid-string: malformed
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches_paths() {
+        let text = r#"
+# audited exceptions
+[[allow]]
+rule = "float-determinism"
+path = "crates/core/src/levels.rs"
+reason = "construction-time level probabilities"
+
+[[allow]]
+rule = "lock-hygiene"
+path = "crates/net/src/"
+reason = "writer lock serializes frames"
+"#;
+        let list = AllowList::parse(text).unwrap();
+        assert_eq!(list.entries.len(), 2);
+        let mut used = vec![false; 2];
+        assert!(list.covers("float-determinism", "crates/core/src/levels.rs", &mut used));
+        assert!(!list.covers("float-determinism", "crates/core/src/index.rs", &mut used));
+        assert!(list.covers("lock-hygiene", "crates/net/src/server.rs", &mut used));
+        assert_eq!(used, vec![true, true]);
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let text = "[[allow]]\nrule = \"x\"\npath = \"y\"\n";
+        assert!(AllowList::parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(AllowList::parse("[allow]\nrule = \"x\"").is_err());
+        assert!(AllowList::parse("[[allow]]\nrule = unquoted").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! `atomics-justify`: every atomic ordering choice carries its reasoning.
+
+use crate::{Diagnostic, SourceFile};
+
+use super::Rule;
+
+/// Atomic memory orderings (the `std::sync::atomic::Ordering` variants —
+/// `cmp::Ordering`'s `Less`/`Equal`/`Greater` never match).
+const ORDERINGS: &[&str] = &["Relaxed", "SeqCst", "Acquire", "Release", "AcqRel"];
+
+/// How many lines above a site a justification comment may sit (a comment
+/// block directly above a two-line call chain still counts).
+const COMMENT_WINDOW: u32 = 3;
+
+/// Flags `Ordering::*` uses without an adjacent `// ordering:` comment.
+pub struct AtomicsJustify;
+
+impl Rule for AtomicsJustify {
+    fn name(&self) -> &'static str {
+        "atomics-justify"
+    }
+
+    fn summary(&self) -> &'static str {
+        "atomic Ordering uses without an adjacent `// ordering:` justification"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Relaxed vs SeqCst is a correctness decision that the code cannot express on its \
+         own: a telemetry counter may be Relaxed because nobody reads it for \
+         synchronization, while a shutdown flag needs SeqCst (or Acquire/Release pairing) \
+         because threads coordinate through it. As the bit-packed succinct structures land, \
+         the ordering-sensitive surface only grows. Every use of an atomic `Ordering::` \
+         variant must therefore carry a `// ordering: <why this ordering is sufficient>` \
+         comment on the same line or within the three lines above (one comment may cover a \
+         small cluster of sites, e.g. a paired store/load). Unjustified sites fail CI — the \
+         fix is to *write the justification down*, which is the audit. lint-allow.toml \
+         exceptions are possible but discouraged for this rule: the comment is cheaper. \
+         See INVARIANTS.md."
+    }
+
+    fn applies(&self, _rel: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].text != "Ordering" {
+                continue;
+            }
+            let Some(next) = toks.get(i + 1) else {
+                continue;
+            };
+            let Some(variant) = toks.get(i + 2) else {
+                continue;
+            };
+            if next.text != "::" || !ORDERINGS.contains(&variant.text.as_str()) {
+                continue;
+            }
+            if !file.comment_near(toks[i].line, COMMENT_WINDOW, "ordering:") {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.rel.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        "`Ordering::{}` without an adjacent `// ordering:` justification",
+                        variant.text
+                    ),
+                });
+            }
+        }
+        out
+    }
+}

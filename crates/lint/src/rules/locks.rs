@@ -1,0 +1,142 @@
+//! `lock-hygiene`: mutex guards do not straddle blocking calls.
+
+use crate::lexer::Kind;
+use crate::{Diagnostic, SourceFile};
+
+use super::Rule;
+
+/// Blocking calls a held guard must not straddle: thread joins and
+/// socket/file I/O. (`Condvar::wait` is fine — it releases the lock; a
+/// guard consumed by its own `recv()` is the pool's handoff idiom.)
+const BLOCKING: &[&str] = &[
+    "join",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "flush",
+    "accept",
+    "connect",
+    "sync_all",
+    "sync_data",
+];
+
+/// Flags named `let guard = …lock()…` bindings whose enclosing block
+/// later performs a blocking call before `drop(guard)`.
+pub struct LockHygiene;
+
+impl Rule for LockHygiene {
+    fn name(&self) -> &'static str {
+        "lock-hygiene"
+    }
+
+    fn summary(&self) -> &'static str {
+        "mutex guards held across join()/I-O calls"
+    }
+
+    fn explain(&self) -> &'static str {
+        "A mutex guard held across a blocking call turns one slow peer into a pile-up: \
+         every thread that touches the same lock queues behind one socket write, fsync, or \
+         thread join — in the worst case a deadlock (joining a thread that needs the held \
+         lock). This rule flags `let <guard> = …lock()…;` bindings whose enclosing block \
+         performs `join()`, socket/file I/O (`write_all`, `read_exact`, `flush`, …), or an \
+         fsync before the guard is dropped; an explicit `drop(<guard>)` before the blocking \
+         call, or a tighter `{ … }` scope, satisfies it. It is a heuristic: guards bound \
+         through patterns (`if let Some(g) = …`) or temporaries are not tracked. Designs \
+         that *intend* the coupling — e.g. ustr-net's per-connection writer lock, which \
+         exists precisely to serialize whole-frame `write_all`s — are audited exceptions in \
+         lint-allow.toml with the reason the stall is bounded to one connection. See \
+         INVARIANTS.md."
+    }
+
+    fn applies(&self, _rel: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let toks = &file.tokens;
+        let depths = file.depths();
+        let mut i = 0usize;
+        while i < toks.len() {
+            if toks[i].text != "let" {
+                i += 1;
+                continue;
+            }
+            // `let [mut] NAME = … .lock( … ;` on one statement.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.text == "mut") {
+                j += 1;
+            }
+            let Some(name_tok) = toks.get(j) else { break };
+            if name_tok.kind != Kind::Ident || toks.get(j + 1).map(|t| t.text.as_str()) != Some("=")
+            {
+                i += 1;
+                continue;
+            }
+            let guard = name_tok.text.clone();
+            // Scan the initializer (to the `;` closing this statement) for
+            // a `.lock(` call.
+            let stmt_depth = depths[i];
+            let mut k = j + 2;
+            let mut takes_lock = false;
+            while let Some(t) = toks.get(k) {
+                if t.text == ";" && depths[k] == stmt_depth {
+                    break;
+                }
+                // Only a lock taken at the statement's own brace depth makes
+                // the binding a guard: a lock taken inside a `{ … }` block
+                // initializer dies with that block, not with the binding.
+                // Both the raw `.lock()` method and the workspace's
+                // poison-recovering `lock_clean()` helper produce guards.
+                let raw_lock = t.text == "lock"
+                    && k > 0
+                    && toks[k - 1].text == "."
+                    && toks.get(k + 1).is_some_and(|n| n.text == "(");
+                let helper_lock =
+                    t.text == "lock_clean" && toks.get(k + 1).is_some_and(|n| n.text == "(");
+                if (raw_lock || helper_lock) && depths[k] == stmt_depth {
+                    takes_lock = true;
+                }
+                k += 1;
+            }
+            if !takes_lock {
+                i = j;
+                continue;
+            }
+            // From the end of the statement to the end of the enclosing
+            // block: blocking calls before `drop(guard)` are violations.
+            let mut m = k + 1;
+            while let Some(t) = toks.get(m) {
+                if depths[m] < stmt_depth {
+                    break; // enclosing block closed: guard dropped
+                }
+                if t.text == "drop"
+                    && toks.get(m + 1).is_some_and(|n| n.text == "(")
+                    && toks.get(m + 2).is_some_and(|n| n.text == guard)
+                {
+                    break;
+                }
+                if t.kind == Kind::Ident
+                    && BLOCKING.contains(&t.text.as_str())
+                    && m > 0
+                    && toks[m - 1].text == "."
+                    && toks.get(m + 1).is_some_and(|n| n.text == "(")
+                {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        path: file.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "mutex guard `{guard}` (bound on line {}) is still live across \
+                             this blocking `.{}()` call; drop it first or shrink its scope",
+                            name_tok.line, t.text
+                        ),
+                    });
+                }
+                m += 1;
+            }
+            i = k + 1;
+        }
+        out
+    }
+}

@@ -1,0 +1,62 @@
+//! The rule registry: every enforced invariant as a named, explainable
+//! check over a lexed [`SourceFile`](crate::SourceFile).
+
+mod atomics;
+mod durability;
+mod float;
+mod locks;
+mod panics;
+mod unsafe_free;
+
+use crate::{Diagnostic, SourceFile};
+
+pub use atomics::AtomicsJustify;
+pub use durability::DurabilityRename;
+pub use float::FloatDeterminism;
+pub use locks::LockHygiene;
+pub use panics::PanicFreedom;
+pub use unsafe_free::UnsafeFree;
+
+/// One lint rule. Rules are lexical heuristics tuned to this codebase —
+/// see each `explain()` for what is matched, why the invariant exists,
+/// and how to record an audited exception.
+pub trait Rule {
+    /// Stable kebab-case name (diagnostics, `--rule`, `--explain`,
+    /// `lint-allow.toml` all use it).
+    fn name(&self) -> &'static str;
+
+    /// One-line summary shown by `--list`.
+    fn summary(&self) -> &'static str;
+
+    /// Long-form rationale shown by `--explain`.
+    fn explain(&self) -> &'static str;
+
+    /// Whether the rule runs on the workspace-relative path `rel` (unix
+    /// separators). Bypassed in fixture mode (`--rule` with explicit
+    /// files).
+    fn applies(&self, rel: &str) -> bool;
+
+    /// Runs the check.
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic>;
+}
+
+/// Every rule, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(FloatDeterminism),
+        Box::new(PanicFreedom),
+        Box::new(AtomicsJustify),
+        Box::new(DurabilityRename),
+        Box::new(LockHygiene),
+        Box::new(UnsafeFree),
+    ]
+}
+
+/// Rust keywords that may legitimately precede a `[` without the bracket
+/// being an index expression (`return [..]`, `match x { [a] => .. }`).
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type", "union",
+    "unsafe", "use", "where", "while",
+];

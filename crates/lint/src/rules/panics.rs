@@ -1,0 +1,104 @@
+//! `panic-freedom`: serving paths never panic.
+
+use crate::lexer::Kind;
+use crate::{Diagnostic, SourceFile};
+
+use super::{Rule, KEYWORDS};
+
+/// The request-handling crates: one panic here takes a worker thread (or
+/// a whole connection) down with it.
+const SCOPE: &[&str] = &["crates/net/src/", "crates/service/src/", "crates/live/src/"];
+
+/// Method calls that panic on the failure case.
+const PANICKY_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that are unconditional (or reachable-by-bug) panics.
+const PANICKY_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// Flags `unwrap()`/`expect()`, panicking macros, and slice indexing in
+/// the serving crates.
+pub struct PanicFreedom;
+
+impl Rule for PanicFreedom {
+    fn name(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic!/indexing in the request-handling crates"
+    }
+
+    fn explain(&self) -> &'static str {
+        "A panic in ustr-net, ustr-service, or ustr-live does not return an error frame — it \
+         kills the worker or connection thread mid-request, poisons every mutex it held, and \
+         degrades the whole server (a poisoned pool queue takes down all workers). Serving \
+         code must degrade instead: poisoned locks recover the guard (`into_inner`), channel \
+         send failures release their permits, impossible states become error frames or \
+         `StoreError`s. This rule flags `.unwrap()`, `.expect(…)`, the `panic!`/`todo!`/\
+         `unimplemented!`/`unreachable!` macros, and slice/array indexing (`xs[i]` can \
+         panic; prefer `.get(i)` or iterate) in those crates' sources. Test code is exempt \
+         (stripped before rules run), as are `assert!` family macros — invariant checks are \
+         welcome; implicit panics on the request path are not. Audited exceptions go in \
+         lint-allow.toml with a reason why the site cannot be reached with a panicking \
+         value. See INVARIANTS.md."
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        SCOPE.iter().any(|p| rel.starts_with(p))
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind == Kind::Ident
+                && PANICKY_METHODS.contains(&t.text.as_str())
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+            {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` on a serving path can panic; degrade to an error instead",
+                        t.text
+                    ),
+                });
+            }
+            if t.kind == Kind::Ident
+                && PANICKY_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.text == "!")
+            {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.rel.clone(),
+                    line: t.line,
+                    message: format!("`{}!` on a serving path", t.text),
+                });
+            }
+            // Index expressions: `[` directly after an identifier (that is
+            // not a keyword or a macro name), `)`, or `]`.
+            if t.text == "[" && i > 0 {
+                let prev = &toks[i - 1];
+                let is_expr_head = match prev.kind {
+                    Kind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                    Kind::Punct => prev.text == ")" || prev.text == "]",
+                    _ => false,
+                };
+                if is_expr_head {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        path: file.rel.clone(),
+                        line: t.line,
+                        message: "slice/array indexing can panic on a serving path; \
+                                  prefer `.get(…)` or a checked split"
+                            .into(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,79 @@
+//! `unsafe-free`: the workspace stays `#![forbid(unsafe_code)]`.
+
+use crate::{Diagnostic, SourceFile};
+
+use super::Rule;
+
+/// Requires `#![forbid(unsafe_code)]` in every crate root and rejects the
+/// `unsafe` keyword anywhere in project sources.
+pub struct UnsafeFree;
+
+/// Whether `rel` is a crate (or binary-target) root that must carry the
+/// forbid attribute.
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || rel.ends_with("/src/lib.rs")
+        || rel.ends_with("/src/main.rs")
+        || (rel.contains("/src/bin/") && rel.ends_with(".rs"))
+}
+
+impl Rule for UnsafeFree {
+    fn name(&self) -> &'static str {
+        "unsafe-free"
+    }
+
+    fn summary(&self) -> &'static str {
+        "crate roots must forbid unsafe_code; no unsafe blocks anywhere"
+    }
+
+    fn explain(&self) -> &'static str {
+        "The workspace currently contains zero `unsafe` blocks, and the compiler can hold \
+         that line for free: `#![forbid(unsafe_code)]` in a crate root makes any future \
+         unsafe block a hard error that even `#[allow]` cannot re-enable. Locking this in \
+         matters now because the succinct-index work ahead (bit-packed suffix arrays, mmap \
+         snapshot loading) is exactly the kind of code that tempts one \"small\" unsafe \
+         shortcut. This rule checks that every crate root (`src/lib.rs`, `src/main.rs`, \
+         `src/bin/*.rs`) carries the attribute, and flags the `unsafe` keyword in any \
+         project source. If unsafe ever becomes genuinely necessary (e.g. mmap), the \
+         decision is made explicit: relax the attribute in one crate, justify the sites, \
+         and update INVARIANTS.md — not slip a block in unnoticed."
+    }
+
+    fn applies(&self, _rel: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let toks = &file.tokens;
+        if is_crate_root(&file.rel) {
+            let has_forbid = toks.windows(6).any(|w| {
+                w[0].text == "#"
+                    && w[1].text == "!"
+                    && w[2].text == "["
+                    && w[3].text == "forbid"
+                    && w[4].text == "("
+                    && w[5].text == "unsafe_code"
+            });
+            if !has_forbid {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.rel.clone(),
+                    line: 1,
+                    message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+                });
+            }
+        }
+        for t in toks {
+            if t.text == "unsafe" {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.rel.clone(),
+                    line: t.line,
+                    message: "`unsafe` in a forbid(unsafe_code) workspace".into(),
+                });
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: the same atomics with their ordering choices written down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    // ordering: Relaxed — a standalone telemetry counter; nothing
+    // synchronizes on its value.
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn total() -> u64 {
+    // ordering: Relaxed — a racy read of a monotone counter is fine.
+    HITS.load(Ordering::Relaxed)
+}

@@ -1,0 +1,14 @@
+//! Fixture: an atomic ordering chosen silently. Trips `atomics-justify`
+//! because neither site carries a `// ordering:` comment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn total() -> u64 {
+    HITS.load(Ordering::Relaxed)
+}

@@ -1,0 +1,21 @@
+//! Fixture: the full temp-file + rename protocol — content fsync before
+//! the rename, directory fsync after it.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+pub fn replace(target: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = target.with_extension("tmp");
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    fs::rename(&tmp, target)?;
+    fsync_parent_dir(target)?;
+    Ok(())
+}
+
+fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    fs::File::open(parent)?.sync_all()
+}

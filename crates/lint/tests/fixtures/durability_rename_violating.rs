@@ -1,0 +1,15 @@
+//! Fixture: atomic-replace with no fsync on either side. Trips
+//! `durability-rename` twice: the renamed content is never synced, and
+//! neither is the parent directory after the rename.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+pub fn replace(target: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = target.with_extension("tmp");
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    fs::rename(&tmp, target)?;
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Fixture: the same checks routed through the canonical-probability
+//! module — no raw float literals, comparisons, or transcendentals.
+
+use ustr_uncertain::canon;
+
+pub fn tau_ok(tau: f64) -> bool {
+    canon::valid_tau(tau)
+}
+
+pub fn log_prob(p: f64) -> f64 {
+    canon::ln(p)
+}
+
+pub fn any_hit(probs: &[f64]) -> f64 {
+    canon::independent_or(probs.iter().copied())
+}

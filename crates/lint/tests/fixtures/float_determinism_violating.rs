@@ -1,0 +1,15 @@
+//! Fixture: ad-hoc probability math that forks the canonical kernel.
+//! Trips `float-determinism` three ways: a float-literal comparison, a
+//! transcendental method call, and arithmetic with a float literal.
+
+pub fn tau_ok(tau: f64) -> bool {
+    tau > 0.0 && tau <= 1.0
+}
+
+pub fn log_prob(p: f64) -> f64 {
+    p.ln()
+}
+
+pub fn complement(p: f64) -> f64 {
+    1.0 - p
+}

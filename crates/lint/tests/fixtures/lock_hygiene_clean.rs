@@ -1,0 +1,14 @@
+//! Fixture: the same update with the guard explicitly dropped before the
+//! blocking call.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub fn send(state: &Mutex<u64>, sock: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    let mut guard = state.lock().unwrap();
+    *guard += 1;
+    drop(guard);
+    sock.write_all(frame)?;
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Fixture: a mutex guard held across socket I/O. Trips `lock-hygiene`
+//! because `guard` is still live when `write_all` blocks.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub fn send(state: &Mutex<u64>, sock: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    let mut guard = state.lock().unwrap();
+    *guard += 1;
+    sock.write_all(frame)?;
+    Ok(())
+}

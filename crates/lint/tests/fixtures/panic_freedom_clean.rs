@@ -1,0 +1,9 @@
+//! Fixture: the same lookup degrading to an error instead of panicking.
+
+pub fn answer(results: &[Result<u32, String>], i: usize) -> Result<u32, String> {
+    match results.get(i) {
+        Some(Ok(v)) => Ok(*v),
+        Some(Err(e)) => Err(e.clone()),
+        None => Err("no response was recorded for that slot".into()),
+    }
+}

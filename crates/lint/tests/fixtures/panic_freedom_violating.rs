@@ -1,0 +1,10 @@
+//! Fixture: implicit panics on a serving path. Trips `panic-freedom`
+//! via slice indexing, `.unwrap()`, and an `unreachable!` macro.
+
+pub fn answer(results: Vec<Result<u32, String>>, i: usize) -> u32 {
+    let first = results[i].as_ref().unwrap();
+    if *first > 7 {
+        unreachable!("a response slot held an impossible value");
+    }
+    *first
+}

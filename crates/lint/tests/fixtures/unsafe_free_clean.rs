@@ -1,0 +1,5 @@
+//! Fixture: the same access through the safe, checked API.
+
+pub fn read_first(xs: &[u8]) -> Option<u8> {
+    xs.first().copied()
+}

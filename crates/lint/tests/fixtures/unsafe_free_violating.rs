@@ -1,0 +1,5 @@
+//! Fixture: an `unsafe` block in project code. Trips `unsafe-free`.
+
+pub fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

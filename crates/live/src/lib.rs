@@ -60,6 +60,8 @@
 //! let _ = std::fs::remove_dir_all(&dir);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeSet;
 use std::fmt;
 use std::fs::File;
@@ -73,14 +75,14 @@ use ustr_baseline::ScanIndex;
 use ustr_core::{ApproxIndex, Error, Index};
 use ustr_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, Span};
 use ustr_service::{
-    DocExecutor, DocHits, Engine, ListingHit, QueryRequest, QueryResponse, Segment, SegmentSet,
-    TopHit,
+    lock_clean, wait_clean, DocExecutor, DocHits, Engine, ListingHit, QueryRequest, QueryResponse,
+    Segment, SegmentSet, TopHit,
 };
 use ustr_store::{
     collection, wal, CollectionSection, Snapshot, SnapshotKind, StoreError, WalOp, WalRecord,
     WalWriter,
 };
-use ustr_uncertain::UncertainString;
+use ustr_uncertain::{canon, UncertainString};
 
 /// File name of the write-ahead log inside a live directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -338,11 +340,13 @@ impl Inner {
     /// version are read under the state lock, so a view can never pair one
     /// collection state with another state's cache epoch.
     fn view(&self) -> LiveView {
-        let st = self.state.lock().expect("live state poisoned");
+        let st = lock_clean(&self.state);
+        // ordering: Acquire pairs with the AcqRel bumps on mutation, so a view
+        // built for version V observes every state change that produced V.
         let epoch = self.generation.load(Ordering::Acquire);
         let structure = self.structure_version.load(Ordering::Acquire);
         {
-            let cache = self.view_cache.lock().expect("view cache poisoned");
+            let cache = lock_clean(&self.view_cache);
             if let Some((cached_structure, view)) = cache.as_ref() {
                 if *cached_structure == structure {
                     return view.clone();
@@ -381,7 +385,7 @@ impl Inner {
             tau_min: self.tau_min,
             epoch,
         };
-        *self.view_cache.lock().expect("view cache poisoned") = Some((structure, view.clone()));
+        *lock_clean(&self.view_cache) = Some((structure, view.clone()));
         view
     }
 
@@ -402,19 +406,16 @@ impl Inner {
     }
 
     fn record_background_error(&self, detail: String) {
-        let mut slot = self
-            .background_error
-            .lock()
-            .expect("background error poisoned");
+        let mut slot = lock_clean(&self.background_error);
         slot.get_or_insert(detail);
     }
 
     fn job_started(&self) {
-        *self.pending_jobs.lock().expect("pending jobs poisoned") += 1;
+        *lock_clean(&self.pending_jobs) += 1;
     }
 
     fn job_finished(&self) {
-        let mut pending = self.pending_jobs.lock().expect("pending jobs poisoned");
+        let mut pending = lock_clean(&self.pending_jobs);
         *pending -= 1;
         if *pending == 0 {
             self.idle.notify_all();
@@ -465,7 +466,7 @@ impl Inner {
         // snapshot still seals and is filtered at query time until the
         // next compaction.
         let (docs, max_seq) = {
-            let st = self.state.lock().expect("live state poisoned");
+            let st = lock_clean(&self.state);
             let Some(batch) = st.sealing.iter().find(|b| b.batch_id == batch_id) else {
                 return Ok(()); // already handled (e.g. duplicate schedule)
             };
@@ -485,9 +486,11 @@ impl Inner {
             // Nothing (left) to seal: the batch's records are still fully
             // accounted for — every doc is tombstoned — so install the
             // empty result directly.
-            let mut st = self.state.lock().expect("live state poisoned");
+            let mut st = lock_clean(&self.state);
             st.sealing.retain(|b| b.batch_id != batch_id);
             st.applied_seq = st.applied_seq.max(max_seq);
+            // ordering: AcqRel publishes the segment change to the next view()'s
+            // Acquire load.
             self.structure_version.fetch_add(1, Ordering::AcqRel);
             Inner::prune_dead_tombstones(&mut st);
             self.write_manifest(&st)?;
@@ -525,7 +528,7 @@ impl Inner {
             built.push((*id, Arc::new(DocExecutor::Built { index, approx })));
         }
         let (segment_id, file) = {
-            let mut st = self.state.lock().expect("live state poisoned");
+            let mut st = lock_clean(&self.state);
             let id = st.next_segment_id;
             st.next_segment_id += 1;
             (id, format!("segment_{id:08}.coll"))
@@ -543,11 +546,13 @@ impl Inner {
         // Install: swap the sealing batch for the sealed segment, advance
         // applied_seq, persist the manifest, shrink the WAL.
         self.metrics.sealed_docs.add(docs.len() as u64);
-        let mut st = self.state.lock().expect("live state poisoned");
+        let mut st = lock_clean(&self.state);
         st.segments
             .push(Arc::new(SealedSegment { meta, docs: built }));
         st.sealing.retain(|b| b.batch_id != batch_id);
         st.applied_seq = st.applied_seq.max(max_seq);
+        // ordering: AcqRel publishes the segment change to the next view()'s
+        // Acquire load.
         self.structure_version.fetch_add(1, Ordering::AcqRel);
         Inner::prune_dead_tombstones(&mut st);
         self.write_manifest(&st)?;
@@ -561,7 +566,7 @@ impl Inner {
     /// rebuild.
     fn run_compact(&self) -> Result<(), LiveError> {
         let (captured, tombstones) = {
-            let st = self.state.lock().expect("live state poisoned");
+            let st = lock_clean(&self.state);
             (st.segments.clone(), st.tombstones.clone())
         };
         let has_garbage = captured
@@ -584,7 +589,10 @@ impl Inner {
         let mut sections = Vec::new();
         for (local, (_, d)) in kept.iter().enumerate() {
             let DocExecutor::Built { index, approx } = d.as_ref() else {
-                unreachable!("sealed segments hold built executors");
+                return Err(StoreError::Corrupt {
+                    detail: "a sealing batch holds an unbuilt executor".into(),
+                }
+                .into());
             };
             let mut bytes = Vec::new();
             index.write_snapshot(&mut bytes)?;
@@ -604,7 +612,7 @@ impl Inner {
             }
         }
         let (segment_id, file) = {
-            let mut st = self.state.lock().expect("live state poisoned");
+            let mut st = lock_clean(&self.state);
             let id = st.next_segment_id;
             st.next_segment_id += 1;
             (id, format!("segment_{id:08}.coll"))
@@ -620,7 +628,7 @@ impl Inner {
             docs: kept.iter().map(|(id, _)| *id).collect(),
         };
         let old_files: Vec<String> = {
-            let mut st = self.state.lock().expect("live state poisoned");
+            let mut st = lock_clean(&self.state);
             // The background worker is the only segment mutator and runs
             // jobs serially, so the captured segments are exactly the
             // current prefix of the list.
@@ -633,6 +641,8 @@ impl Inner {
             // every tombstone whose document no longer exists anywhere
             // (including strays a replayed delete record resurrected after
             // an earlier compaction already removed the document).
+            // ordering: AcqRel publishes the segment change to the next view()'s
+            // Acquire load.
             self.structure_version.fetch_add(1, Ordering::AcqRel);
             Inner::prune_dead_tombstones(&mut st);
             self.write_manifest(&st)?;
@@ -684,13 +694,13 @@ impl LiveService {
             Some(m) => (m.tau_min, m.epsilon),
             None => (config.tau_min, config.epsilon),
         };
-        if !(tau_min > 0.0 && tau_min <= 1.0) {
+        if !canon::valid_tau(tau_min) {
             return Err(LiveError::Config(format!(
                 "tau_min {tau_min} is outside (0, 1]"
             )));
         }
         if let Some(eps) = epsilon {
-            if !(eps > 0.0 && eps < 1.0) {
+            if !canon::valid_epsilon(eps) {
                 return Err(LiveError::Config(format!(
                     "epsilon {eps} is outside (0, 1)"
                 )));
@@ -720,9 +730,9 @@ impl LiveService {
             let mut index_bytes: Vec<Option<Vec<u8>>> = (0..coll.num_docs).map(|_| None).collect();
             let mut approx_bytes: Vec<Option<Vec<u8>>> = (0..coll.num_docs).map(|_| None).collect();
             for section in coll.sections {
-                let slot = match section.kind {
-                    SnapshotKind::Index => &mut index_bytes[section.doc],
-                    SnapshotKind::Approx => &mut approx_bytes[section.doc],
+                let table = match section.kind {
+                    SnapshotKind::Index => &mut index_bytes,
+                    SnapshotKind::Approx => &mut approx_bytes,
                     other => {
                         return Err(corrupt(format!(
                             "segment {} document {} holds unsupported kind {}",
@@ -730,6 +740,13 @@ impl LiveService {
                         ))
                         .into())
                     }
+                };
+                let Some(slot) = table.get_mut(section.doc) else {
+                    return Err(corrupt(format!(
+                        "segment {} section names document {} of {}",
+                        meta.id, section.doc, coll.num_docs
+                    ))
+                    .into());
                 };
                 if slot.replace(section.bytes).is_some() {
                     return Err(corrupt(format!(
@@ -747,14 +764,18 @@ impl LiveService {
                         meta.id
                     ))
                 })?;
-                let index = Index::read_snapshot(&ib[..])?;
+                let index = Index::read_snapshot(ib.as_slice())?;
                 let approx = ab
-                    .map(|bytes| ApproxIndex::read_snapshot(&bytes[..]))
+                    .map(|bytes| ApproxIndex::read_snapshot(bytes.as_slice()))
                     .transpose()?;
-                docs.push((
-                    meta.docs[local],
-                    Arc::new(DocExecutor::Built { index, approx }),
-                ));
+                let Some(&doc_id) = meta.docs.get(local) else {
+                    return Err(corrupt(format!(
+                        "segment {} holds more documents than its manifest entry",
+                        meta.id
+                    ))
+                    .into());
+                };
+                docs.push((doc_id, Arc::new(DocExecutor::Built { index, approx })));
             }
             segments.push(Arc::new(SealedSegment {
                 meta: meta.clone(),
@@ -835,7 +856,7 @@ impl LiveService {
         if fresh_directory {
             // Record tau_min/epsilon immediately: a never-sealed directory
             // must not adopt whatever config the *next* opener passes.
-            let st = inner.state.lock().expect("live state poisoned");
+            let st = lock_clean(&inner.state);
             inner.write_manifest(&st)?;
         }
 
@@ -852,11 +873,7 @@ impl LiveService {
                     // losing acknowledged writes. The sticky error already
                     // blocks new mutations; draining jobs keeps wait_idle
                     // honest.
-                    let halted = worker_inner
-                        .background_error
-                        .lock()
-                        .expect("background error poisoned")
-                        .is_some();
+                    let halted = lock_clean(&worker_inner.background_error).is_some();
                     match job {
                         Job::Shutdown => break,
                         Job::Seal { .. } | Job::Compact if halted => {
@@ -867,8 +884,7 @@ impl LiveService {
                                 worker_inner.record_background_error(format!("seal failed: {e}"));
                             } else if worker_inner.compact_min_segments > 0 {
                                 let count = {
-                                    let st =
-                                        worker_inner.state.lock().expect("live state poisoned");
+                                    let st = lock_clean(&worker_inner.state);
                                     st.segments.len()
                                 };
                                 if count >= worker_inner.compact_min_segments {
@@ -892,7 +908,7 @@ impl LiveService {
                     }
                 }
             })
-            .expect("failed to spawn live maintenance thread");
+            .map_err(LiveError::Io)?;
 
         Ok(Self {
             inner,
@@ -904,11 +920,7 @@ impl LiveService {
 
     /// Surfaces a sticky background failure, if any.
     fn check_background(&self) -> Result<(), LiveError> {
-        let slot = self
-            .inner
-            .background_error
-            .lock()
-            .expect("background error poisoned");
+        let slot = lock_clean(&self.inner.background_error);
         match slot.as_ref() {
             Some(detail) => Err(LiveError::Background(detail.clone())),
             None => Ok(()),
@@ -929,7 +941,7 @@ impl LiveService {
     pub fn insert(&self, body: UncertainString) -> Result<u64, LiveError> {
         self.check_background()?;
         let scan = ScanIndex::new(body.clone(), self.inner.tau_min)?;
-        let mut st = self.inner.state.lock().expect("live state poisoned");
+        let mut st = lock_clean(&self.inner.state);
         let id = st.next_doc_id;
         let seq = st.next_seq;
         let wal_span = Span::on(self.inner.metrics.wal_fsync_us.clone());
@@ -950,6 +962,8 @@ impl LiveService {
         } else {
             None
         };
+        // ordering: AcqRel — both bumps publish the mutation to the next
+        // view()'s Acquire loads.
         self.inner.generation.fetch_add(1, Ordering::AcqRel);
         self.inner.structure_version.fetch_add(1, Ordering::AcqRel);
         drop(st);
@@ -986,7 +1000,7 @@ impl LiveService {
     /// by the next compaction.
     pub fn delete(&self, id: u64) -> Result<(), LiveError> {
         self.check_background()?;
-        let mut st = self.inner.state.lock().expect("live state poisoned");
+        let mut st = lock_clean(&self.inner.state);
         let exists = !st.tombstones.contains(&id)
             && (st.memtable.iter().any(|(d, _)| *d == id)
                 || st
@@ -1010,6 +1024,8 @@ impl LiveService {
         self.inner.metrics.deletes.inc();
         st.next_seq += 1;
         st.tombstones.insert(id);
+        // ordering: AcqRel — both bumps publish the mutation to the next
+        // view()'s Acquire loads.
         self.inner.generation.fetch_add(1, Ordering::AcqRel);
         self.inner.structure_version.fetch_add(1, Ordering::AcqRel);
         drop(st);
@@ -1022,8 +1038,10 @@ impl LiveService {
     /// blocks until the segment is installed.
     pub fn seal(&self) -> Result<(), LiveError> {
         self.check_background()?;
-        let mut st = self.inner.state.lock().expect("live state poisoned");
+        let mut st = lock_clean(&self.inner.state);
         if let Some(batch_id) = Self::freeze_memtable(&mut st) {
+            // ordering: AcqRel publishes the tombstone purge to the next view()'s
+            // Acquire load.
             self.inner.structure_version.fetch_add(1, Ordering::AcqRel);
             drop(st);
             self.enqueue(Job::Seal { batch_id });
@@ -1042,17 +1060,9 @@ impl LiveService {
     /// Blocks until every scheduled background job (seals, compactions)
     /// has completed, then surfaces any background failure.
     pub fn wait_idle(&self) -> Result<(), LiveError> {
-        let mut pending = self
-            .inner
-            .pending_jobs
-            .lock()
-            .expect("pending jobs poisoned");
+        let mut pending = lock_clean(&self.inner.pending_jobs);
         while *pending > 0 {
-            pending = self
-                .inner
-                .idle
-                .wait(pending)
-                .expect("pending jobs poisoned");
+            pending = wait_clean(&self.inner.idle, pending);
         }
         drop(pending);
         self.check_background()
@@ -1083,7 +1093,7 @@ impl LiveService {
 
     /// Stable ids of every live document, ascending.
     pub fn live_doc_ids(&self) -> Vec<u64> {
-        let st = self.inner.state.lock().expect("live state poisoned");
+        let st = lock_clean(&self.inner.state);
         let mut ids = Vec::new();
         for seg in &st.segments {
             ids.extend(seg.meta.docs.iter().copied());
@@ -1100,7 +1110,7 @@ impl LiveService {
     /// The live documents themselves, in ascending stable-id order
     /// (cloned; used by tests and offline rebuilds).
     pub fn live_docs(&self) -> Vec<(u64, UncertainString)> {
-        let st = self.inner.state.lock().expect("live state poisoned");
+        let st = lock_clean(&self.inner.state);
         let mut docs: Vec<(u64, UncertainString)> = Vec::new();
         let mut push = |id: u64, d: &DocExecutor| {
             if !st.tombstones.contains(&id) {
@@ -1130,18 +1140,13 @@ impl LiveService {
 
     /// Number of sealed segments currently serving.
     pub fn num_segments(&self) -> usize {
-        self.inner
-            .state
-            .lock()
-            .expect("live state poisoned")
-            .segments
-            .len()
+        lock_clean(&self.inner.state).segments.len()
     }
 
     /// Number of documents currently scan-served (memtable + batches whose
     /// seal has not installed yet).
     pub fn memtable_len(&self) -> usize {
-        let st = self.inner.state.lock().expect("live state poisoned");
+        let st = lock_clean(&self.inner.state);
         st.memtable.len() + st.sealing.iter().map(|b| b.docs.len()).sum::<usize>()
     }
 
@@ -1197,7 +1202,9 @@ impl LiveService {
         };
         match self.one_request(req)? {
             QueryResponse::Threshold(shared) => Ok(shared.as_ref().clone()),
-            _ => unreachable!("threshold requests produce threshold responses"),
+            _ => Err(Error::internal(
+                "threshold request produced a mismatched response kind",
+            )),
         }
     }
 
@@ -1209,7 +1216,9 @@ impl LiveService {
         };
         match self.one_request(req)? {
             QueryResponse::TopK(shared) => Ok(shared.as_ref().clone()),
-            _ => unreachable!("top-k requests produce top-k responses"),
+            _ => Err(Error::internal(
+                "top-k request produced a mismatched response kind",
+            )),
         }
     }
 
@@ -1221,7 +1230,9 @@ impl LiveService {
         };
         match self.one_request(req)? {
             QueryResponse::Listing(shared) => Ok(shared.as_ref().clone()),
-            _ => unreachable!("listing requests produce listing responses"),
+            _ => Err(Error::internal(
+                "listing request produced a mismatched response kind",
+            )),
         }
     }
 
@@ -1234,14 +1245,20 @@ impl LiveService {
         };
         match self.one_request(req)? {
             QueryResponse::Approx(shared) => Ok(shared.as_ref().clone()),
-            _ => unreachable!("approx requests produce approx responses"),
+            _ => Err(Error::internal(
+                "approx request produced a mismatched response kind",
+            )),
         }
     }
 
     fn one_request(&self, req: QueryRequest) -> Result<QueryResponse, Error> {
         self.query_requests(std::slice::from_ref(&req))
             .pop()
-            .expect("one request yields one response")
+            .unwrap_or_else(|| {
+                Err(Error::internal(
+                    "the engine returned no response for a one-request batch",
+                ))
+            })
     }
 }
 

@@ -213,10 +213,13 @@ impl NetClient {
                 .join()
                 .map_err(|_| NetError::Protocol("burst writer thread panicked".into()))??;
         }
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("all outstanding responses collected"))
-            .collect())
+        let mut out = Vec::with_capacity(results.len());
+        for r in results {
+            out.push(r.ok_or_else(|| {
+                NetError::Protocol("server closed the session with responses outstanding".into())
+            })?);
+        }
+        Ok(out)
     }
 
     /// Convenience: one threshold query.
@@ -229,10 +232,9 @@ impl NetClient {
             pattern: pattern.to_vec(),
             tau,
         };
-        Ok(self
-            .query_requests(std::slice::from_ref(&req))?
+        self.query_requests(std::slice::from_ref(&req))?
             .pop()
-            .expect("one request yields one response"))
+            .ok_or_else(|| NetError::Protocol("one-request batch yielded no response".into()))
     }
 
     /// Scrapes the server's telemetry (protocol v2+): one

@@ -76,6 +76,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod proto;
 pub mod server;

@@ -106,6 +106,7 @@ impl From<&Error> for RemoteError {
             Error::InvalidEpsilon { .. } => 5,
             Error::InvalidSnapshot { .. } => 6,
             Error::Model(_) => 7,
+            Error::Internal { .. } => 8,
         };
         RemoteError {
             code,
@@ -456,7 +457,12 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, StoreError> {
 pub fn frame_bytes(frame: &Frame) -> Vec<u8> {
     let payload = encode_frame(frame);
     let mut out = Vec::with_capacity(payload.len() + ustr_store::FRAME_OVERHEAD);
-    write_frame(&mut out, &payload).expect("writing to a Vec cannot fail");
+    // Writing into a Vec is infallible, so the Err arm is unreachable —
+    // and if that ever changes, an unframed (empty) buffer is a no-op for
+    // the writer, not a panic that takes the connection down.
+    if write_frame(&mut out, &payload).is_err() {
+        out.clear();
+    }
     out
 }
 

@@ -46,7 +46,10 @@ use std::thread::JoinHandle;
 
 use ustr_core::Error;
 use ustr_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Span};
-use ustr_service::{mode_name, QueryRequest, QueryResponse, QueryService, ThreadPool};
+use ustr_service::{
+    lock_clean, mode_name, wait_clean, wait_timeout_clean, QueryRequest, QueryResponse,
+    QueryService, ThreadPool,
+};
 
 use crate::proto::{
     decode_frame, err_code, frame_bytes, read_message, Frame, RemoteError, DEFAULT_MAX_FRAME_LEN,
@@ -232,23 +235,23 @@ impl Permits {
     }
 
     fn acquire(&self) {
-        let mut n = self.in_use.lock().expect("permits poisoned");
+        let mut n = lock_clean(&self.in_use);
         while *n >= self.max {
-            n = self.returned.wait(n).expect("permits poisoned");
+            n = wait_clean(&self.returned, n);
         }
         *n += 1;
     }
 
     fn release(&self) {
-        let mut n = self.in_use.lock().expect("permits poisoned");
+        let mut n = lock_clean(&self.in_use);
         *n -= 1;
         self.returned.notify_all();
     }
 
     fn wait_idle(&self) {
-        let mut n = self.in_use.lock().expect("permits poisoned");
+        let mut n = lock_clean(&self.in_use);
         while *n > 0 {
-            n = self.returned.wait(n).expect("permits poisoned");
+            n = wait_clean(&self.returned, n);
         }
     }
 }
@@ -282,7 +285,7 @@ impl Shared {
     /// client is not a server failure).
     fn send(writer: &Mutex<TcpStream>, frame: &Frame) {
         let bytes = frame_bytes(frame);
-        let mut stream = writer.lock().expect("connection writer poisoned");
+        let mut stream = lock_clean(writer);
         let _ = stream.write_all(&bytes);
     }
 }
@@ -364,11 +367,7 @@ impl NetServer {
 
     /// Connections currently being served.
     pub fn active_connections(&self) -> usize {
-        self.shared
-            .conns
-            .lock()
-            .expect("conn table poisoned")
-            .active
+        lock_clean(&self.shared.conns).active
     }
 
     /// Blocks until the accept loop has stopped (shutdown requested, or
@@ -376,17 +375,13 @@ impl NetServer {
     /// connection has fully drained. A `max_conns` server is "served to
     /// completion" when this returns.
     pub fn wait(&self) {
-        if let Some(handle) = self.accept.lock().expect("accept handle poisoned").take() {
+        if let Some(handle) = lock_clean(&self.accept).take() {
             let _ = handle.join();
         }
         let handles = {
-            let mut table = self.shared.conns.lock().expect("conn table poisoned");
+            let mut table = lock_clean(&self.shared.conns);
             while table.active > 0 {
-                table = self
-                    .shared
-                    .conns_changed
-                    .wait(table)
-                    .expect("conn table poisoned");
+                table = wait_clean(&self.shared.conns_changed, table);
             }
             std::mem::take(&mut table.threads)
         };
@@ -404,12 +399,15 @@ impl NetServer {
     /// alternative is a shutdown that never returns). Returns when every
     /// connection thread has exited. Idempotent.
     pub fn shutdown(&self) {
+        // ordering: SeqCst — shutdown is a once-per-server edge whose flag,
+        // socket shutdowns, and condvar signals must appear in one total
+        // order to every connection thread; contention is irrelevant here.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Wake the accept loop with a throwaway connection; if the loop
         // already exited (max_conns reached) the connect simply fails.
         let _ = TcpStream::connect(self.addr);
         {
-            let table = self.shared.conns.lock().expect("conn table poisoned");
+            let table = lock_clean(&self.shared.conns);
             for stream in table.streams.values() {
                 let _ = stream.shutdown(Shutdown::Read);
             }
@@ -419,7 +417,7 @@ impl NetServer {
         // is fully shut down, releasing its permits and its reader.
         let deadline = std::time::Instant::now() + self.shared.config.drain_timeout;
         {
-            let mut table = self.shared.conns.lock().expect("conn table poisoned");
+            let mut table = lock_clean(&self.shared.conns);
             while table.active > 0 {
                 let now = std::time::Instant::now();
                 if now >= deadline {
@@ -428,11 +426,7 @@ impl NetServer {
                     }
                     break;
                 }
-                let (t, _) = self
-                    .shared
-                    .conns_changed
-                    .wait_timeout(table, deadline - now)
-                    .expect("conn table poisoned");
+                let (t, _) = wait_timeout_clean(&self.shared.conns_changed, table, deadline - now);
                 table = t;
             }
         }
@@ -449,6 +443,8 @@ impl Drop for NetServer {
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut served = 0usize;
     for stream in listener.incoming() {
+        // ordering: SeqCst pairs with the store in shutdown(): the accept
+        // loop must not accept after the flag is visible anywhere.
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
@@ -469,16 +465,21 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // ordering: SeqCst — a unique-id counter on the once-per-connection
+    // path; consistency with the shutdown flag's total order is worth
+    // more than the cycle Relaxed would save.
     let id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
     let read_half = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return, // dead socket: nothing to serve
     };
     let conn_shared = Arc::clone(shared);
-    let mut table = shared.conns.lock().expect("conn table poisoned");
+    let mut table = lock_clean(&shared.conns);
     // Register the read half *before* the thread starts so a racing
     // shutdown can always unblock it.
     table.streams.insert(id, read_half);
+    // ordering: SeqCst pairs with the store in shutdown(): a connection
+    // registered after the flag is set must close, not serve.
     if conn_shared.shutdown.load(Ordering::SeqCst) {
         let _ = stream.shutdown(Shutdown::Both);
         table.streams.remove(&id);
@@ -493,7 +494,7 @@ fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
             // is stored, so this remove always finds it (or runs after).
             // Dropping one's own JoinHandle just detaches the (already
             // finished) thread; `active` is what liveness waits on.
-            let mut table = conn_shared.conns.lock().expect("conn table poisoned");
+            let mut table = lock_clean(&conn_shared.conns);
             table.streams.remove(&id);
             table.threads.remove(&id);
             table.active -= 1;
@@ -596,7 +597,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 let mut dead = false;
                 for (bytes, counted) in response_rx {
                     if !dead {
-                        let mut stream = writer.lock().expect("connection writer poisoned");
+                        let mut stream = lock_clean(&writer);
                         dead = stream.write_all(&bytes).is_err();
                         if !dead && counted {
                             frames_out.inc();
@@ -652,7 +653,11 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                     let result = backend
                         .query_requests(std::slice::from_ref(&request))
                         .pop()
-                        .expect("one request yields one response")
+                        .unwrap_or_else(|| {
+                            Err(Error::internal(
+                                "the backend returned no response for a one-request batch",
+                            ))
+                        })
                         .map_err(|e| RemoteError::from(&e));
                     span.finish();
                     // A send failure means the writer died with the
@@ -704,6 +709,8 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     match fatal {
         Some(error_frame) => Shared::send(&writer, &error_frame),
         None => {
+            // ordering: SeqCst pairs with the store in shutdown(): only a
+            // server-initiated drain says Goodbye.
             if shared.shutdown.load(Ordering::SeqCst) {
                 Shared::send(&writer, &Frame::Goodbye);
             }

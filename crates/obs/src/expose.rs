@@ -39,6 +39,8 @@ impl MetricsServer {
             .name("ustr-obs-expose".to_string())
             .spawn(move || {
                 for stream in listener.incoming() {
+                    // ordering: SeqCst — the poll loop must observe the stop flag in the
+                    // same total order as the listener shutdown; once per poll tick.
                     if flag.load(Ordering::SeqCst) {
                         break;
                     }
@@ -66,6 +68,7 @@ impl MetricsServer {
 
     fn stop(&mut self) {
         if let Some(handle) = self.handle.take() {
+            // ordering: SeqCst pairs with the poll loop's load.
             self.shutdown.store(true, Ordering::SeqCst);
             // Unblock accept() with a throwaway connection.
             let _ = TcpStream::connect(self.addr);

@@ -24,6 +24,8 @@
 //!   [`render_json`](MetricsSnapshot::render_json) carry no timestamps,
 //!   so identical states render to identical bytes.
 
+#![forbid(unsafe_code)]
+
 mod expose;
 mod metrics;
 mod slowlog;

@@ -50,16 +50,20 @@ impl Counter {
 
     #[inline]
     pub fn inc(&self) {
+        // ordering: Relaxed — an independent monotonic counter; no other
+        // memory depends on its value.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — see inc().
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — snapshot reads tolerate racing increments.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -75,21 +79,25 @@ impl Gauge {
 
     #[inline]
     pub fn set(&self, v: i64) {
+        // ordering: Relaxed — a gauge is a standalone last-write-wins cell.
         self.0.store(v, Ordering::Relaxed);
     }
 
     #[inline]
     pub fn add(&self, n: i64) {
+        // ordering: Relaxed — see set().
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     #[inline]
     pub fn sub(&self, n: i64) {
+        // ordering: Relaxed — see set().
         self.0.fetch_sub(n, Ordering::Relaxed);
     }
 
     #[inline]
     pub fn get(&self) -> i64 {
+        // ordering: Relaxed — snapshot reads tolerate racing updates.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -125,6 +133,7 @@ impl Histogram {
 
     #[inline]
     pub fn record(&self, value: u64) {
+        // ordering: Relaxed — independent monotone counters; a racing snapshot may see a partial sample.
         self.0.count.fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(value, Ordering::Relaxed);
         self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
@@ -135,6 +144,7 @@ impl Histogram {
     /// visible and no count is ever lost.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
+            // ordering: Relaxed — tearing across the cells is accepted; each is a monotone reading.
             count: self.0.count.load(Ordering::Relaxed),
             sum: self.0.sum.load(Ordering::Relaxed),
             buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),

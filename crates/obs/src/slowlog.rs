@@ -65,10 +65,13 @@ impl SlowQueryLog {
     }
 
     pub fn threshold_us(&self) -> u64 {
+        // ordering: Relaxed — a live-tunable threshold read racily; a stale
+        // value only misclassifies the query in flight during the change.
         self.threshold_us.load(Ordering::Relaxed)
     }
 
     pub fn set_threshold_us(&self, us: u64) {
+        // ordering: Relaxed — see threshold_us().
         self.threshold_us.store(us, Ordering::Relaxed);
     }
 

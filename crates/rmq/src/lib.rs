@@ -27,6 +27,8 @@
 //! minimum) and break ties toward the *leftmost* index, which the reporting
 //! recursion relies on for determinism.
 
+#![forbid(unsafe_code)]
+
 mod block;
 mod fischer_heun;
 mod reporter;

@@ -13,6 +13,9 @@ use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex};
 
 use ustr_core::Error;
+use ustr_uncertain::canon;
+
+use crate::sync::lock_clean;
 use ustr_obs::{
     Counter, Histogram, MetricsRegistry, MetricsSnapshot, SlowQueryEntry, SlowQueryLog, Span,
 };
@@ -24,7 +27,7 @@ use crate::{LruCache, QueryRequest, QueryResponse, ThreadPool};
 /// validation (see [`validate_request`]), and are therefore quantized onto
 /// one cache key: two requests whose τs round to the same multiple of
 /// `TAU_TOLERANCE` share a cache entry.
-pub const TAU_TOLERANCE: f64 = 1e-12;
+pub const TAU_TOLERANCE: f64 = canon::TAU_TOLERANCE;
 
 /// Quantizes τ onto the `TAU_TOLERANCE` lattice for cache keying. Only
 /// called on validated thresholds (finite, in `(0, 1]`), so the cast is
@@ -81,7 +84,7 @@ pub fn validate_request(req: &QueryRequest, tau_min: f64) -> Result<(), Error> {
         | QueryRequest::Listing { pattern, tau }
         | QueryRequest::Approx { pattern, tau } => {
             validate_pattern(pattern)?;
-            if !(*tau > 0.0 && *tau <= 1.0) {
+            if !canon::valid_tau(*tau) {
                 return Err(Error::InvalidThreshold { value: *tau });
             }
             if *tau < tau_min - TAU_TOLERANCE {
@@ -240,13 +243,13 @@ impl Engine {
     /// describe a collection state that no longer exists.
     pub fn invalidate_cache(&self) {
         if let Some(c) = &self.cache {
-            c.lock().expect("cache poisoned").clear();
+            lock_clean(c).clear();
         }
     }
 
     fn cache_get(&self, key: &CacheKey) -> Option<QueryResponse> {
         let cache = self.cache.as_ref()?;
-        let hit = cache.lock().expect("cache poisoned").get(key);
+        let hit = lock_clean(cache).get(key);
         match &hit {
             Some(_) => self.metrics.cache_hits.inc(),
             None => self.metrics.cache_misses.inc(),
@@ -256,7 +259,7 @@ impl Engine {
 
     fn cache_put(&self, key: CacheKey, value: QueryResponse) {
         if let Some(c) = &self.cache {
-            c.lock().expect("cache poisoned").insert(key, value);
+            lock_clean(c).insert(key, value);
         }
     }
 
@@ -287,17 +290,21 @@ impl Engine {
         let mut pending: Vec<usize> = Vec::new();
         let mut leaders: HashMap<CacheKey, usize> = HashMap::new();
         let mut followers: Vec<(usize, usize)> = Vec::new(); // (request, leader)
-        for (q, req) in requests.iter().enumerate() {
+        for (q, (req, (outcome, result))) in requests
+            .iter()
+            .zip(outcomes.iter_mut().zip(results.iter_mut()))
+            .enumerate()
+        {
             if let Err(e) = validate_request(req, tau_min) {
                 self.metrics.errors.inc();
-                outcomes[q] = Outcome::Invalid;
-                results[q] = Some(Err(e));
+                *outcome = Outcome::Invalid;
+                *result = Some(Err(e));
                 continue;
             }
             let key = request_key(req, epoch);
             if let Some(hit) = self.cache_get(&key) {
-                outcomes[q] = Outcome::CacheHit;
-                results[q] = Some(Ok(hit));
+                *outcome = Outcome::CacheHit;
+                *result = Some(Ok(hit));
                 continue;
             }
             match leaders.get(&key) {
@@ -314,9 +321,12 @@ impl Engine {
         let fanout_span = Span::on(self.metrics.fanout_us.clone());
         let (tx, rx) = channel::<(usize, usize, SegmentAnswer)>();
         for &q in &pending {
+            let Some(request) = requests.get(q) else {
+                continue;
+            };
             for (s, segment) in segments.iter().enumerate() {
                 let segment = Arc::clone(segment);
-                let req = requests[q].clone();
+                let req = request.clone();
                 let tx = tx.clone();
                 let segment_us = self.metrics.segment_us.clone();
                 self.pool.execute(move || {
@@ -335,12 +345,20 @@ impl Engine {
         let mut per_query: Vec<Vec<Option<SegmentAnswer>>> =
             (0..requests.len()).map(|_| Vec::new()).collect();
         for &q in &pending {
-            per_query[q] = (0..num_segments).map(|_| None).collect();
+            if let Some(row) = per_query.get_mut(q) {
+                *row = (0..num_segments).map(|_| None).collect();
+            }
         }
         let mut outstanding = pending.len() * num_segments;
         while outstanding > 0 {
-            let (q, s, result) = rx.recv().expect("workers never drop mid-batch");
-            per_query[q][s] = Some(result);
+            let Ok((q, s, answer)) = rx.recv() else {
+                // Every worker vanished mid-batch; unreported slots
+                // degrade to internal errors in the merge below.
+                break;
+            };
+            if let Some(slot) = per_query.get_mut(q).and_then(|row| row.get_mut(s)) {
+                *slot = Some(answer);
+            }
             outstanding -= 1;
         }
         let fanout_us = fanout_span.finish();
@@ -349,30 +367,47 @@ impl Engine {
         for &q in &pending {
             let mut parts = Vec::with_capacity(num_segments);
             let mut error: Option<Error> = None;
-            for slot in per_query[q].drain(..) {
-                match slot.expect("every segment reported") {
-                    Ok(part) => parts.push(part),
-                    Err(e) => {
+            let slots = per_query.get_mut(q).map(std::mem::take).unwrap_or_default();
+            for slot in slots {
+                match slot {
+                    Some(Ok(part)) => parts.push(part),
+                    Some(Err(e)) => {
                         // Keep the first (lowest-segment) error: deterministic.
                         error.get_or_insert(e);
                     }
+                    None => {
+                        error.get_or_insert(Error::internal(
+                            "a segment worker never reported its answer",
+                        ));
+                    }
                 }
             }
-            results[q] = Some(match error {
-                Some(e) => {
+            let resolved = match (error, requests.get(q)) {
+                (Some(e), _) => {
                     self.metrics.errors.inc();
                     Err(e)
                 }
-                None => {
-                    let response = merge_partials(&requests[q], parts);
-                    self.cache_put(request_key(&requests[q], epoch), response.clone());
+                (None, Some(req)) => {
+                    let response = merge_partials(req, parts);
+                    self.cache_put(request_key(req, epoch), response.clone());
                     Ok(response)
                 }
-            });
+                (None, None) => Err(Error::internal("a pending index fell outside the batch")),
+            };
+            if let Some(slot) = results.get_mut(q) {
+                *slot = Some(resolved);
+            }
         }
 
         for (q, leader) in followers {
-            results[q] = Some(results[leader].clone().expect("leader resolved"));
+            let resolved = results.get(leader).cloned().flatten().unwrap_or_else(|| {
+                Err(Error::internal(
+                    "a duplicate request's leader never resolved",
+                ))
+            });
+            if let Some(slot) = results.get_mut(q) {
+                *slot = Some(resolved);
+            }
         }
         let merge_us = merge_span.finish();
 
@@ -381,15 +416,15 @@ impl Engine {
         // is the sum of the stages it went through: cache hits stop after
         // the lookup stage, computed requests ride all three.
         let computed_us = lookup_us + fanout_us + merge_us;
-        for (q, req) in requests.iter().enumerate() {
-            let total_us = match outcomes[q] {
+        for (req, outcome) in requests.iter().zip(&outcomes) {
+            let total_us = match outcome {
                 Outcome::Invalid => continue,
                 Outcome::CacheHit => lookup_us,
                 Outcome::Computed => computed_us,
             };
             self.metrics.request_us.record(total_us);
             if total_us >= self.slow_log.threshold_us() {
-                let stages = match outcomes[q] {
+                let stages = match outcome {
                     Outcome::CacheHit => vec![("cache_lookup", lookup_us)],
                     _ => vec![
                         ("cache_lookup", lookup_us),
@@ -409,7 +444,11 @@ impl Engine {
 
         results
             .into_iter()
-            .map(|r| r.expect("every request resolved"))
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(Error::internal("a request in the batch was never resolved"))
+                })
+            })
             .collect()
     }
 

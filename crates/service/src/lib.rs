@@ -84,10 +84,13 @@
 //! assert_eq!((top[0].doc, top[0].pos), (0, 0)); // p = .9 ranks first
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cache;
 pub mod engine;
 pub mod exec;
 mod pool;
+pub mod sync;
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -100,6 +103,7 @@ pub use cache::LruCache;
 pub use engine::{mode_name, validate_request, Engine, SegmentSet, TAU_TOLERANCE};
 pub use exec::{merge_partials, top_hit_order, DocExecutor, Segment, ShardPartial};
 pub use pool::ThreadPool;
+pub use sync::{lock_clean, wait_clean, wait_timeout_clean};
 pub use ustr_core::ListingHit;
 
 /// Tuning knobs for a [`QueryService`].
@@ -311,9 +315,9 @@ fn plan_shards(weights: &[usize], num_shards: usize) -> Vec<usize> {
         let max_take = n - doc - (shards_left - 1);
         let target = total * (s as u128 + 1) / num_shards as u128;
         let mut take = 1;
-        acc += weights[doc] as u128;
+        acc += weights.get(doc).map_or(0, |&w| w as u128);
         while take < max_take && acc < target {
-            acc += weights[doc + take] as u128;
+            acc += weights.get(doc + take).map_or(0, |&w| w as u128);
             take += 1;
         }
         sizes.push(take);
@@ -474,11 +478,13 @@ impl QueryService {
             if id == expected {
                 continue;
             }
-            return Err(if entries[..expected].iter().any(|&(prev, _)| prev == id) {
-                ServiceError::DuplicateDocId { id }
-            } else {
-                ServiceError::MissingDocId { id: expected }
-            });
+            return Err(
+                if entries.iter().take(expected).any(|&(prev, _)| prev == id) {
+                    ServiceError::DuplicateDocId { id }
+                } else {
+                    ServiceError::MissingDocId { id: expected }
+                },
+            );
         }
         let indexes = entries
             .iter()
@@ -569,15 +575,21 @@ impl QueryService {
         let mut index_bytes: Vec<Option<Vec<u8>>> = (0..n).map(|_| None).collect();
         let mut approx_bytes: Vec<Option<Vec<u8>>> = (0..n).map(|_| None).collect();
         for section in coll.sections {
-            let slot = match section.kind {
-                SnapshotKind::Index => &mut index_bytes[section.doc],
-                SnapshotKind::Approx => &mut approx_bytes[section.doc],
+            let table = match section.kind {
+                SnapshotKind::Index => &mut index_bytes,
+                SnapshotKind::Approx => &mut approx_bytes,
                 other => {
                     return Err(corrupt(format!(
                         "collection section for document {} holds unsupported kind {}",
                         section.doc, other as u8
                     )))
                 }
+            };
+            let Some(slot) = table.get_mut(section.doc) else {
+                return Err(corrupt(format!(
+                    "collection section names document {} of {n}",
+                    section.doc
+                )));
             };
             if slot.is_some() {
                 return Err(corrupt(format!(
@@ -593,9 +605,9 @@ impl QueryService {
             let ib =
                 ib.ok_or_else(|| corrupt(format!("document {id} has no substring-index section")))?;
             weights.push(ib.len() + ab.as_ref().map_or(0, Vec::len));
-            let index = Index::read_snapshot(&ib[..])?;
+            let index = Index::read_snapshot(ib.as_slice())?;
             let approx = ab
-                .map(|bytes| ApproxIndex::read_snapshot(&bytes[..]))
+                .map(|bytes| ApproxIndex::read_snapshot(bytes.as_slice()))
                 .transpose()?;
             docs.push(DocExecutor::Built { index, approx });
         }
@@ -667,7 +679,9 @@ impl QueryService {
         };
         match self.one_request(req)? {
             QueryResponse::Threshold(shared) => Ok(shared.as_ref().clone()),
-            _ => unreachable!("threshold requests produce threshold responses"),
+            _ => Err(Error::internal(
+                "threshold request produced a mismatched response kind",
+            )),
         }
     }
 
@@ -681,7 +695,9 @@ impl QueryService {
         };
         match self.one_request(req)? {
             QueryResponse::TopK(shared) => Ok(shared.as_ref().clone()),
-            _ => unreachable!("top-k requests produce top-k responses"),
+            _ => Err(Error::internal(
+                "top-k request produced a mismatched response kind",
+            )),
         }
     }
 
@@ -694,7 +710,9 @@ impl QueryService {
         };
         match self.one_request(req)? {
             QueryResponse::Listing(shared) => Ok(shared.as_ref().clone()),
-            _ => unreachable!("listing requests produce listing responses"),
+            _ => Err(Error::internal(
+                "listing request produced a mismatched response kind",
+            )),
         }
     }
 
@@ -707,14 +725,20 @@ impl QueryService {
         };
         match self.one_request(req)? {
             QueryResponse::Approx(shared) => Ok(shared.as_ref().clone()),
-            _ => unreachable!("approx requests produce approx responses"),
+            _ => Err(Error::internal(
+                "approx request produced a mismatched response kind",
+            )),
         }
     }
 
     fn one_request(&self, req: QueryRequest) -> Result<QueryResponse, Error> {
         self.query_requests(std::slice::from_ref(&req))
             .pop()
-            .expect("one request yields one response")
+            .unwrap_or_else(|| {
+                Err(Error::internal(
+                    "the engine returned no response for a one-request batch",
+                ))
+            })
     }
 
     /// Answers a typed batch of any mix of query modes through the shared
@@ -753,9 +777,11 @@ impl QueryService {
         self.query_requests(&requests)
             .into_iter()
             .map(|r| {
-                r.map(|resp| match resp {
-                    QueryResponse::Threshold(shared) => shared,
-                    _ => unreachable!("threshold requests produce threshold responses"),
+                r.and_then(|resp| match resp {
+                    QueryResponse::Threshold(shared) => Ok(shared),
+                    _ => Err(Error::internal(
+                        "threshold request produced a mismatched response kind",
+                    )),
                 })
             })
             .collect()
@@ -773,9 +799,11 @@ impl QueryService {
         self.query_requests_sequential(&requests)
             .into_iter()
             .map(|r| {
-                r.map(|resp| match resp {
-                    QueryResponse::Threshold(shared) => shared,
-                    _ => unreachable!("threshold requests produce threshold responses"),
+                r.and_then(|resp| match resp {
+                    QueryResponse::Threshold(shared) => Ok(shared),
+                    _ => Err(Error::internal(
+                        "threshold request produced a mismatched response kind",
+                    )),
                 })
             })
             .collect()

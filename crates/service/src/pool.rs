@@ -5,6 +5,8 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::sync::lock_clean;
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Fixed worker pool. Jobs run in submission order per worker pickup;
@@ -20,14 +22,17 @@ impl ThreadPool {
         let threads = threads.max(1);
         let (sender, receiver): (Sender<Job>, Receiver<Job>) = channel();
         let receiver = Arc::new(Mutex::new(receiver));
+        // A failed spawn (thread exhaustion) degrades the pool instead of
+        // panicking: remaining workers carry the load, and if none spawned
+        // at all, `execute` runs jobs inline on the caller.
         let workers = (0..threads)
-            .map(|i| {
+            .filter_map(|i| {
                 let receiver = Arc::clone(&receiver);
                 std::thread::Builder::new()
                     .name(format!("ustr-service-{i}"))
                     .spawn(move || loop {
                         let job = {
-                            let guard = receiver.lock().expect("pool queue poisoned");
+                            let guard = lock_clean(&receiver);
                             guard.recv()
                         };
                         match job {
@@ -35,7 +40,7 @@ impl ThreadPool {
                             Err(_) => break, // sender dropped: shut down
                         }
                     })
-                    .expect("failed to spawn worker thread")
+                    .ok()
             })
             .collect();
         Self {
@@ -49,13 +54,19 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Enqueues one job.
+    /// Enqueues one job. If the workers are gone (none spawned, or every
+    /// one exited), the job runs inline on the caller: slower, but every
+    /// submitted job still completes exactly once.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        self.sender
-            .as_ref()
-            .expect("pool already shut down")
-            .send(Box::new(job))
-            .expect("workers exited early");
+        let job: Job = Box::new(job);
+        match &self.sender {
+            Some(sender) => {
+                if let Err(returned) = sender.send(job) {
+                    (returned.0)();
+                }
+            }
+            None => job(),
+        }
     }
 }
 

@@ -1,0 +1,53 @@
+//! Poison-recovering wrappers over `std::sync` locking.
+//!
+//! The serving crates must not panic (see `INVARIANTS.md`): a panicking
+//! worker poisons every mutex it holds, and `lock().unwrap()` then turns
+//! one dead request into a cascade that takes the whole server down. These
+//! helpers recover the guard from a poisoned lock instead. That is sound
+//! here because every critical section in this workspace either (a) only
+//! reads, (b) writes a single field atomically-enough that a torn update is
+//! impossible, or (c) is followed by validation that treats inconsistent
+//! state as a per-request error — and the alternative (propagating the
+//! poison) is strictly worse: it converts one failure into total outage.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] that recovers the guard on poison.
+pub fn wait_clean<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] that recovers the guard on poison.
+pub fn wait_timeout_clean<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_clean_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7usize));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_clean(&m), 7);
+    }
+}

@@ -69,6 +69,8 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 mod error;
 pub mod wal;

@@ -20,6 +20,8 @@
 //!
 //! [`NaiveScanner`]: ustr_baseline::NaiveScanner
 
+#![forbid(unsafe_code)]
+
 use ustr_baseline::{kmp_delta, prefix_function};
 use ustr_uncertain::{ModelError, UncertainChar};
 

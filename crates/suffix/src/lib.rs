@@ -15,6 +15,8 @@
 //! * [`DocumentConcat`] — document-collection bookkeeping for the
 //!   generalized suffix tree of Section 6.
 
+#![forbid(unsafe_code)]
+
 mod array;
 mod doc;
 mod lcp;

@@ -1,0 +1,158 @@
+//! Canonical floating-point operations for the probability domain.
+//!
+//! Every executor in this workspace promises **bit-identical** answers
+//! (see `INVARIANTS.md`): the indexed path, the plane-backed scan, and the
+//! sequential reference all report the same `f64`s for the same query.
+//! That only holds if the underlying float operations are written once.
+//! This module is that single home: threshold validation, log-domain
+//! conversion, tolerance comparison, and multi-occurrence combination all
+//! live here, and the `float-determinism` lint (`ustr-lint`) rejects raw
+//! float arithmetic against literals anywhere else outside
+//! `ustr-uncertain`'s model modules.
+//!
+//! Everything here is `#[inline]` and delegates straight to the `f64`
+//! primitive — the point is one definition, not a different numeric
+//! result. Changing any formula in this file is a determinism-contract
+//! change and must be called out as such.
+
+use crate::PROB_EPS;
+
+/// Absolute tolerance for comparing query thresholds themselves (e.g.
+/// τ against the construction-time floor). Distinct from [`PROB_EPS`],
+/// which absorbs rounding in *computed* probabilities; thresholds come in
+/// exact but may be re-derived (quantized, serialized) along the way.
+pub const TAU_TOLERANCE: f64 = 1e-12;
+
+/// Natural log of a probability. The one sanctioned entry into the log
+/// domain: probability products are evaluated as sums of these.
+#[inline]
+pub fn ln(p: f64) -> f64 {
+    p.ln()
+}
+
+/// Inverse of [`ln`]: back from the log domain to a linear probability.
+#[inline]
+pub fn exp(log_p: f64) -> f64 {
+    log_p.exp()
+}
+
+/// A query (or construction) threshold is valid iff it lies in `(0, 1]`.
+#[inline]
+pub fn valid_tau(tau: f64) -> bool {
+    tau > 0.0 && tau <= 1.0
+}
+
+/// An approximation parameter ε is valid iff it lies in `(0, 1)` (ε = 1
+/// would retain nothing; ε = 0 is the exact index).
+#[inline]
+pub fn valid_epsilon(epsilon: f64) -> bool {
+    epsilon > 0.0 && epsilon < 1.0
+}
+
+/// Whether τ falls below the construction-time floor, up to
+/// [`TAU_TOLERANCE`] (a τ exactly at the floor is allowed).
+#[inline]
+pub fn below_floor(tau: f64, tau_min: f64) -> bool {
+    tau < tau_min - TAU_TOLERANCE
+}
+
+/// Combined check used by executors whose floor is baked in: τ is at or
+/// above `tau_min` (up to [`TAU_TOLERANCE`]) and at most 1.
+#[inline]
+pub fn tau_in_range(tau: f64, tau_min: f64) -> bool {
+    tau >= tau_min - TAU_TOLERANCE && tau <= 1.0
+}
+
+/// Linear-domain threshold test with the canonical tolerance: `p ≥ τ` up
+/// to [`PROB_EPS`]. The log-domain twin is
+/// [`log_meets_threshold`](crate::log_meets_threshold).
+#[inline]
+pub fn meets_threshold(p: f64, tau: f64) -> bool {
+    p >= tau - PROB_EPS
+}
+
+/// Whether a probability contribution is strictly positive (a zero factor
+/// annihilates a product, so scanners prune on this).
+#[inline]
+pub fn is_positive_prob(p: f64) -> bool {
+    p > 0.0
+}
+
+/// Whether a stored probability weight is negative (snapshot validation:
+/// `NaN` is deliberately *not* negative — it is caught by finiteness
+/// checks so corrupt-state diagnostics stay precise).
+#[inline]
+pub fn is_negative(p: f64) -> bool {
+    p < 0.0
+}
+
+/// Independent-event OR over occurrence probabilities: `1 − Π(1 − pᵢ)`.
+#[inline]
+pub fn independent_or(probs: impl Iterator<Item = f64>) -> f64 {
+    1.0 - probs.map(|p| 1.0 - p).product::<f64>()
+}
+
+/// Bytes → mebibytes for telemetry display. Lives here so display math
+/// cannot be confused with probability math: the divisor is an exact
+/// power of two, so the conversion is lossless in the exponent.
+#[inline]
+pub fn bytes_to_mib(bytes: usize) -> f64 {
+    const BYTES_PER_MIB: f64 = (1u64 << 20) as f64;
+    bytes as f64 / BYTES_PER_MIB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_validation_bounds() {
+        assert!(valid_tau(1.0));
+        assert!(valid_tau(f64::MIN_POSITIVE));
+        assert!(!valid_tau(0.0));
+        assert!(!valid_tau(1.0 + f64::EPSILON));
+        assert!(!valid_tau(f64::NAN));
+    }
+
+    #[test]
+    fn epsilon_validation_bounds() {
+        assert!(valid_epsilon(0.5));
+        assert!(!valid_epsilon(0.0));
+        assert!(!valid_epsilon(1.0));
+        assert!(!valid_epsilon(f64::NAN));
+    }
+
+    #[test]
+    fn floor_checks_tolerate_exact_floor() {
+        assert!(!below_floor(0.1, 0.1));
+        assert!(below_floor(0.0999, 0.1));
+        assert!(tau_in_range(0.1, 0.1));
+        assert!(!tau_in_range(0.0999, 0.1));
+        assert!(!tau_in_range(1.0 + f64::EPSILON, 0.1));
+    }
+
+    #[test]
+    fn log_domain_round_trip_is_the_primitive() {
+        // Bit-identity with the raw primitives, not approximate equality:
+        // call sites were rewritten to route through canon and must not
+        // change a single result bit.
+        for &p in &[0.3, 0.5, 1.0, 1e-12] {
+            assert_eq!(ln(p).to_bits(), p.ln().to_bits());
+            assert_eq!(exp(ln(p)).to_bits(), p.ln().exp().to_bits());
+        }
+    }
+
+    #[test]
+    fn independent_or_matches_closed_form() {
+        let probs = [0.5, 0.5];
+        assert_eq!(independent_or(probs.iter().copied()), 0.75);
+        assert_eq!(independent_or(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn mib_conversion_is_exact_for_whole_mib() {
+        assert_eq!(bytes_to_mib(1 << 20), 1.0);
+        assert_eq!(bytes_to_mib(3 << 19), 1.5);
+        assert_eq!(bytes_to_mib(0), 0.0);
+    }
+}

@@ -32,6 +32,7 @@ pub struct KernelTotals {
 /// `verified` of them kept, `ns` spent in the loop.
 #[inline]
 pub fn record_scan(candidates: u64, verified: u64, ns: u64) {
+    // ordering: Relaxed — process-wide monotone counters; nothing synchronizes on them.
     CANDIDATES.fetch_add(candidates, Ordering::Relaxed);
     VERIFIED.fetch_add(verified, Ordering::Relaxed);
     KERNEL_NS.fetch_add(ns, Ordering::Relaxed);
@@ -40,6 +41,7 @@ pub fn record_scan(candidates: u64, verified: u64, ns: u64) {
 /// Current totals.
 pub fn kernel_totals() -> KernelTotals {
     KernelTotals {
+        // ordering: Relaxed — a racy snapshot is fine; each cell is a monotone reading.
         candidates: CANDIDATES.load(Ordering::Relaxed),
         verified: VERIFIED.load(Ordering::Relaxed),
         kernel_ns: KERNEL_NS.load(Ordering::Relaxed),

@@ -24,6 +24,9 @@
 //!   flat-array loop (see [`plane`]). Every query executor in the workspace
 //!   verifies candidates through it.
 
+#![forbid(unsafe_code)]
+
+pub mod canon;
 mod chars;
 mod correlation;
 mod error;

@@ -14,6 +14,8 @@
 //! sweeps (n, θ, τ, τmin, m) depend on. Everything is deterministic under a
 //! seed.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod iupac;
 pub mod protein;

@@ -73,6 +73,8 @@
 //! | RMQ structures | `ustr-rmq` | Lemma-1 substrate |
 //! | dataset generators | `ustr-workload` | §8.1 synthetic workloads |
 
+#![forbid(unsafe_code)]
+
 pub use ustr_baseline::{
     self as baseline, NaiveScanner, PossibleWorldOracle, ScanIndex, SimpleIndex,
 };
