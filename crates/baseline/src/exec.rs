@@ -87,8 +87,9 @@ impl ScanIndex {
             }
         }
         // One batched record per scan: the per-candidate loop stays free
-        // of atomics and clock reads.
-        ustr_uncertain::kstats::record_scan(
+        // of atomics and clock reads. This is the cold (plane-less) path.
+        ustr_uncertain::kstats::record_scan_on(
+            ustr_uncertain::kstats::ScanPath::Cold,
             candidates,
             hits.len() as u64,
             ustr_uncertain::kstats::elapsed_ns(start),

@@ -5,7 +5,12 @@
 //! `bench-gate` regression check. A live exposition endpoint runs
 //! alongside the query port; its post-load scrape lands in
 //! `BENCH_metrics.json` — the full telemetry picture (server traffic,
-//! engine stages, kernel totals) of exactly this run.
+//! engine stages, kernel totals) of exactly this run, preceded by a
+//! `tracing` section measuring what query tracing costs the serving path:
+//! threshold round-trip p50 with the backend tracer off, at 1%, and at
+//! 100% sampling (the p50 keys are gated by `bench-gate`). The traces the
+//! 100% phase records are exported to `traces.json` as a Chrome
+//! `trace_event` artifact.
 //!
 //! Like the `live` bench this is a custom `harness = false` main: the
 //! interesting numbers are latency percentiles under concurrency, which we
@@ -124,19 +129,25 @@ fn main() {
     // Ignore harness flags (`cargo bench` passes --bench).
     let docs = generate_collection(&DatasetConfig::new(2_000, 0.25, 43));
     let num_docs = docs.len();
-    let service = QueryService::build(
-        &docs,
-        0.1,
-        ServiceConfig {
-            threads: 0,
-            shards: 0,
-            cache_capacity: 0, // measure the serving path, not the cache
-            epsilon: Some(0.05),
-        },
+    let service = Arc::new(
+        QueryService::build(
+            &docs,
+            0.1,
+            ServiceConfig {
+                threads: 0,
+                shards: 0,
+                cache_capacity: 0, // measure the serving path, not the cache
+                epsilon: Some(0.05),
+            },
+        )
+        .expect("service build"),
+    );
+    let server = NetServer::serve(
+        "127.0.0.1:0",
+        Arc::clone(&service) as Arc<dyn ustr_net::QueryBackend>,
+        ServerConfig::default(),
     )
-    .expect("service build");
-    let server =
-        NetServer::serve("127.0.0.1:0", Arc::new(service), ServerConfig::default()).expect("bind");
+    .expect("bind");
     let addr = server.local_addr();
 
     // Exposition endpoint scraped while (and after) the load runs, exactly
@@ -191,9 +202,58 @@ fn main() {
              ({throughput:.0} req/s)"
         );
     }
+    // Tracing overhead phase: sequential threshold round trips on one
+    // connection with the backend tracer off, at 1%, and at 100% rate
+    // sampling. Plain Request frames throughout — this prices exactly what
+    // `serve-net --trace-sample` costs ordinary traffic (root spans are
+    // born in the engine; the sampler decides per trace), not the traced
+    // wire frames.
+    const TRACE_WARMUP: usize = 20;
+    const TRACE_ITERS: usize = 200;
+    let mut trace_p50s = Vec::new();
+    for (label, permyriad) in [
+        ("off", 0u32),
+        ("sample_1pct", 100),
+        ("sample_100pct", 10_000),
+    ] {
+        service.tracer().set_sample_permyriad(permyriad);
+        let mut client = NetClient::connect(addr).expect("connect");
+        let request = QueryRequest::Threshold {
+            pattern: b"ab".to_vec(),
+            tau: 0.3,
+        };
+        let mut lat = Vec::with_capacity(TRACE_ITERS);
+        for i in 0..TRACE_WARMUP + TRACE_ITERS {
+            let t0 = Instant::now();
+            let answers = client
+                .query_requests(std::slice::from_ref(&request))
+                .expect("round trip");
+            assert!(answers[0].is_ok(), "tracing-phase queries answer");
+            if i >= TRACE_WARMUP {
+                lat.push(t0.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+        let _ = client.goodbye();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = percentile(&lat, 0.50);
+        println!("tracing {label}: threshold RTT p50 {p50:.1}us");
+        trace_p50s.push(p50);
+    }
+    service.tracer().set_sample_permyriad(0);
+
+    // The 100% phase filled the trace ring: export it as the Chrome
+    // trace_event artifact CI uploads.
+    let traces = server.traces_json();
+    assert!(
+        traces.contains("\"name\": \"segment_answer\""),
+        "100% sampling records the full request anatomy: {traces}"
+    );
+    std::fs::write("traces.json", &traces).unwrap();
+
     // Scrape the live endpoint over HTTP after the load (proving the
     // endpoint serves under and after traffic), then persist the same
-    // snapshot as a deterministic JSON artifact.
+    // snapshot as a deterministic JSON artifact, prefixed with the gated
+    // tracing-overhead section.
     let scraped = ustr_obs::scrape(metrics.local_addr()).expect("scrape metrics endpoint");
     assert!(
         scraped.contains("ustr_net_requests"),
@@ -203,7 +263,17 @@ fn main() {
         scraped.contains("ustr_service_requests"),
         "scrape carries engine counters: {scraped}"
     );
-    std::fs::write("BENCH_metrics.json", snapshot_source().render_json()).unwrap();
+    let metrics_doc = format!(
+        "{{\n  \"tracing\": {{\n    \"threshold_rtt_p50_us\": {{ \"off\": {:.1}, \
+         \"sample_1pct\": {:.1}, \"sample_100pct\": {:.1} }},\n    \
+         \"overhead_100pct_vs_off_us\": {:.1}\n  }},\n  \"snapshot\": {}}}\n",
+        trace_p50s[0],
+        trace_p50s[1],
+        trace_p50s[2],
+        trace_p50s[2] - trace_p50s[0],
+        snapshot_source().render_json()
+    );
+    std::fs::write("BENCH_metrics.json", &metrics_doc).unwrap();
     metrics.shutdown();
     server.shutdown();
 
@@ -214,7 +284,7 @@ fn main() {
     std::fs::write("BENCH_net.json", &json).unwrap();
     println!("{json}");
     println!(
-        "wrote BENCH_net.json and BENCH_metrics.json to {}",
+        "wrote BENCH_net.json, BENCH_metrics.json, and traces.json to {}",
         std::env::current_dir().unwrap().display()
     );
 }

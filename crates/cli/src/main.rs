@@ -11,6 +11,7 @@
 //! ustr build-index data.ustr --out data.idx --kind threshold|approx|listing
 //! ustr build-collection collection.ustr --out data.coll [--epsilon 0.05]
 //! ustr serve-batch (INDEXDIR | FILE.coll | FILE) queries.txt --threads 4
+//! ustr trace data.coll queries.txt --sample-rate 1.0 --out traces.json
 //! ```
 //!
 //! Files hold uncertain strings in the text format of
@@ -69,7 +70,7 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     ),
     (
         "stats",
-        "ustr stats (FILE | --live HOST:PORT) [--tau-min T0]",
+        "ustr stats (FILE | --live HOST:PORT) [--tau-min T0] [--json]",
         "construction statistics, a .coll/.idx manifest, or a live server's telemetry",
     ),
     (
@@ -111,14 +112,21 @@ const COMMANDS: &[(&str, &str, &str)] = &[
         "serve-net",
         "ustr serve-net (LIVEDIR | INDEXDIR | FILE.coll | FILE) --addr HOST:PORT \
          [--threads N] [--inflight N] [--max-conns N] [--port-file PATH] \
-         [--metrics-addr HOST:PORT] [--slow-query-us N] \
+         [--metrics-addr HOST:PORT] [--trace-sample F] [--slow-query-us N] \
          [--tau-min T0] [--epsilon E] [--quiet]",
         "serve queries over TCP (ustr-net wire protocol)",
     ),
     (
         "client",
-        "ustr client HOST:PORT QUERIES.txt [--quiet]",
+        "ustr client HOST:PORT QUERIES.txt [--trace] [--quiet]",
         "answer a (mixed-mode) query batch over a TCP connection",
+    ),
+    (
+        "trace",
+        "ustr trace (LIVEDIR | INDEXDIR | FILE.coll | FILE) QUERIES.txt \
+         [--sample-rate F] [--out FILE.json] [--threads N] [--shards S] [--cache C] \
+         [--tau-min T0] [--epsilon E] [--quiet]",
+        "answer a query batch with tracing on and export Chrome trace JSON",
     ),
 ];
 
@@ -173,6 +181,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "serve-live" => cmd_serve_live(&args),
         "serve-net" => cmd_serve_net(&args),
         "client" => cmd_client(&args),
+        "trace" => cmd_trace(&args),
         "help" | "--help" => Ok(usage_for(None)),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -757,11 +766,32 @@ fn net_backend(
     Ok((Arc::new(service), what))
 }
 
+/// Parses a sampling-fraction flag (`0.0..=1.0`) into the tracer's integer
+/// parts-per-[`ustr_obs::SAMPLE_SCALE`] rate. The float is a CLI
+/// convenience only: the tracer's sampling decision itself is pure integer
+/// arithmetic (see INVARIANTS.md on deterministic samplers).
+fn sample_permyriad(args: &Args, flag: &str) -> Result<u32, String> {
+    let rate: f64 = args.get_parsed(flag, 1.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--{flag} must be within 0.0..=1.0, got {rate}"));
+    }
+    Ok((rate * f64::from(ustr_obs::SAMPLE_SCALE)).round() as u32)
+}
+
 fn cmd_serve_net(args: &Args) -> Result<String, String> {
     let source = args.positional(0, "SOURCE")?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
     let quiet = args.flag("quiet");
     let (backend, what) = net_backend(source, args)?;
+    // --trace-sample turns the backend engine's tracer on before the first
+    // connection lands, so every served query is eligible for sampling.
+    if args.get("trace-sample").is_some() {
+        let permyriad = sample_permyriad(args, "trace-sample")?;
+        backend
+            .tracer()
+            .ok_or_else(|| "this backend has no tracer to sample".to_string())?
+            .set_sample_permyriad(permyriad);
+    }
     let config = ustr_net::ServerConfig {
         threads: args.get_parsed("threads", 0usize)?,
         inflight: args.get_parsed("inflight", 64usize)?,
@@ -779,7 +809,9 @@ fn cmd_serve_net(args: &Args) -> Result<String, String> {
     }
     // Optional plaintext exposition endpoint: process-global registry +
     // kernel totals + this server's (and its backend's) instance metrics,
-    // scraped over HTTP while the query port serves traffic.
+    // scraped over HTTP while the query port serves traffic. The same
+    // endpoint serves the backend's finished traces as Chrome trace JSON
+    // on /traces (an empty valid document until sampling is on).
     let _metrics_endpoint = match args.get("metrics-addr") {
         Some(maddr) => {
             let server_source = server.metrics_source();
@@ -793,10 +825,12 @@ fn cmd_serve_net(args: &Args) -> Result<String, String> {
                 snap.merge(&server_source());
                 snap
             });
-            let endpoint = ustr_obs::MetricsServer::serve_with(maddr, source)
+            let traces: ustr_obs::TextFn = std::sync::Arc::new(server.trace_source());
+            let endpoint = ustr_obs::MetricsServer::serve_routes(maddr, source, Some(traces))
                 .map_err(|e| format!("bind metrics {maddr}: {e}"))?;
             if !quiet {
                 println!("metrics on http://{}/metrics", endpoint.local_addr());
+                println!("traces  on http://{}/traces", endpoint.local_addr());
             }
             Some(endpoint)
         }
@@ -832,13 +866,32 @@ fn cmd_client(args: &Args) -> Result<String, String> {
     let addr = args.positional(0, "HOST:PORT")?;
     let queries_path = args.positional(1, "QUERIES.txt")?;
     let quiet = args.flag("quiet");
+    let traced = args.flag("trace");
     let queries = load_queries(queries_path)?;
     let t0 = std::time::Instant::now();
     let mut client = ustr_net::NetClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
     let info = client.server_info();
-    let results = client
-        .query_requests(&queries)
-        .map_err(|e| format!("{addr}: {e}"))?;
+    let (results, timings) = if traced {
+        // Force-sampled contexts (one distinct trace id per query) so the
+        // server keeps every trace and reports its per-stage timings.
+        let contexts: Vec<ustr_obs::TraceContext> = (0..queries.len())
+            .map(|q| ustr_obs::TraceContext {
+                trace_id: q as u128 + 1,
+                parent_span: 0,
+                sampled: true,
+            })
+            .collect();
+        let timed = client
+            .query_requests_traced(&queries, &contexts)
+            .map_err(|e| format!("{addr}: {e}"))?;
+        let (results, timings): (Vec<_>, Vec<_>) = timed.into_iter().unzip();
+        (results, Some(timings))
+    } else {
+        let results = client
+            .query_requests(&queries)
+            .map_err(|e| format!("{addr}: {e}"))?;
+        (results, None)
+    };
     let answered = t0.elapsed();
     let _ = client.goodbye();
     let mut out = String::new();
@@ -851,6 +904,61 @@ fn cmd_client(args: &Args) -> Result<String, String> {
             info.tau_min,
             queries.len(),
         ));
+        if let Some(timings) = &timings {
+            for (q, stages) in timings.iter().enumerate() {
+                if stages.is_empty() {
+                    continue;
+                }
+                let line: Vec<String> = stages
+                    .iter()
+                    .map(|(name, us)| format!("{name} {us}us"))
+                    .collect();
+                out.push_str(&format!("query {q} server stages: {}\n", line.join(", ")));
+            }
+        }
+    }
+    render_results(&mut out, &queries, &results, quiet);
+    Ok(out.trim_end().to_string())
+}
+
+/// `trace`: answer a batch in-process with tracing at `--sample-rate`
+/// (default 1.0 — every query), then export the finished traces as Chrome
+/// `trace_event` JSON (`--out`, default `traces.json`) and print the span
+/// trees. The same backend shapes as `serve-net` are accepted.
+fn cmd_trace(args: &Args) -> Result<String, String> {
+    let source = args.positional(0, "SOURCE")?;
+    let queries_path = args.positional(1, "QUERIES.txt")?;
+    let quiet = args.flag("quiet");
+    let out_path = args.get("out").unwrap_or("traces.json");
+    let queries = load_queries(queries_path)?;
+    let (backend, what) = net_backend(source, args)?;
+    let tracer = backend
+        .tracer()
+        .ok_or_else(|| "this backend has no tracer".to_string())?;
+    tracer.set_sample_permyriad(sample_permyriad(args, "sample-rate")?);
+
+    let t0 = std::time::Instant::now();
+    let parents = vec![None; queries.len()];
+    let timed = backend.query_requests_traced(&queries, &parents);
+    let answered = t0.elapsed();
+    let (results, summaries): (Vec<_>, Vec<_>) = timed.into_iter().unzip::<_, _, Vec<_>, Vec<_>>();
+
+    let exporter = ustr_obs::TraceExporter::new(std::sync::Arc::clone(&tracer));
+    let json = exporter.chrome_json();
+    fs::write(out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+
+    let kept = summaries.iter().flatten().filter(|s| s.kept).count();
+    let mut out = String::new();
+    if !quiet {
+        out.push_str(&format!(
+            "traced {} query(ies) against {what} in {answered:?}; {kept} trace(s) kept\n\
+             wrote Chrome trace JSON to {out_path}\n",
+            queries.len(),
+        ));
+        let trees = exporter.render_text();
+        if !trees.is_empty() {
+            out.push_str(&trees);
+        }
     }
     render_results(&mut out, &queries, &results, quiet);
     Ok(out.trim_end().to_string())
@@ -969,24 +1077,38 @@ fn file_magic(path: &str) -> [u8; 8] {
 }
 
 /// `stats --live`: scrape a running `serve-net` server's telemetry over
-/// the wire protocol (one `StatsRequest` round trip, protocol v2+).
-fn live_server_stats(addr: &str) -> Result<String, String> {
+/// the wire protocol — one `StatsRequest` round trip (protocol v2+), or
+/// one `StatsJsonRequest` round trip with `--json` (protocol v3+).
+fn live_server_stats(addr: &str, json: bool) -> Result<String, String> {
     let mut client = ustr_net::NetClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
     let info = client.server_info();
-    if info.protocol_version < 2 {
-        return Err(format!(
-            "{addr} speaks protocol v{} — Stats needs v2 or newer",
-            info.protocol_version
-        ));
-    }
-    let text = client.stats().map_err(|e| format!("{addr}: {e}"))?;
+    let text = if json {
+        if info.protocol_version < 3 {
+            return Err(format!(
+                "{addr} speaks protocol v{} — JSON stats need v3 or newer",
+                info.protocol_version
+            ));
+        }
+        client.stats_json().map_err(|e| format!("{addr}: {e}"))?
+    } else {
+        if info.protocol_version < 2 {
+            return Err(format!(
+                "{addr} speaks protocol v{} — Stats needs v2 or newer",
+                info.protocol_version
+            ));
+        }
+        client.stats().map_err(|e| format!("{addr}: {e}"))?
+    };
     let _ = client.goodbye();
     Ok(text.trim_end().to_string())
 }
 
 fn cmd_stats(args: &Args) -> Result<String, String> {
     if let Some(addr) = args.get("live") {
-        return live_server_stats(addr);
+        return live_server_stats(addr, args.flag("json"));
+    }
+    if args.flag("json") {
+        return Err("--json applies only to `stats --live` (the wire scrape)".to_string());
     }
     let path = args.positional(0, "FILE")?;
     // Snapshot artifacts are inspected from their manifests, without
@@ -1518,6 +1640,99 @@ mod tests {
         );
         server.join().unwrap().unwrap();
         let _ = fs::remove_file(&port_file);
+    }
+
+    #[test]
+    fn trace_exports_chrome_json_and_answers_match_untraced() {
+        let docs = write_temp(
+            "ustr_cli_trace_docs.ustr",
+            "A:.9,B:.1 | B | C\nC | C | C\nA:.5,B:.5 | B | C\n",
+        );
+        let queries = write_temp("ustr_cli_trace_q.txt", "AB 0.3\ntop AB 2\nZZ 0.5\n");
+        let json_path = std::env::temp_dir().join("ustr_cli_trace.json");
+        let out = run(&argv(&format!(
+            "trace {docs} {queries} --tau-min 0.05 --sample-rate 1.0 --out {}",
+            json_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("trace(s) kept"), "{out}");
+        assert!(out.contains("request"), "span trees are printed: {out}");
+        assert!(out.contains("segment_answer"), "{out}");
+        let json = fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"name\": \"segment_answer\""), "{json}");
+        assert!(json.contains("\"candidates\""), "{json}");
+
+        // Tracing must not change a single answer byte: quiet rows at 100%
+        // sampling equal the untraced serve-batch rows.
+        let traced_rows = run(&argv(&format!(
+            "trace {docs} {queries} --tau-min 0.05 --out {} --quiet",
+            json_path.display()
+        )))
+        .unwrap();
+        let untraced_rows = run(&argv(&format!(
+            "serve-batch {docs} {queries} --tau-min 0.05 --quiet"
+        )))
+        .unwrap();
+        assert_eq!(traced_rows, untraced_rows, "tracing changed an answer");
+
+        // Rate 0 keeps nothing but still writes a valid empty document.
+        let out = run(&argv(&format!(
+            "trace {docs} {queries} --tau-min 0.05 --sample-rate 0.0 --out {}",
+            json_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("0 trace(s) kept"), "{out}");
+        assert!(fs::read_to_string(&json_path)
+            .unwrap()
+            .contains("\"traceEvents\""));
+        // Out-of-range rates are a clean error.
+        assert!(run(&argv(&format!(
+            "trace {docs} {queries} --tau-min 0.05 --sample-rate 1.5"
+        )))
+        .is_err());
+        let _ = fs::remove_file(&json_path);
+    }
+
+    #[test]
+    fn client_trace_and_stats_json_against_a_sampled_server() {
+        let docs = write_temp(
+            "ustr_cli_ctrace_docs.ustr",
+            "A:.9,B:.1 | B | C\nC | C | C\n",
+        );
+        let queries = write_temp("ustr_cli_ctrace_q.txt", "AB 0.3\n");
+        let port_file = std::env::temp_dir().join("ustr_cli_ctrace_port");
+        let _ = fs::remove_file(&port_file);
+        // Two connections: the traced client, then the JSON stats scrape.
+        let serve_argv = format!(
+            "serve-net {docs} --tau-min 0.05 --trace-sample 1.0 --max-conns 2 \
+             --port-file {} --quiet",
+            port_file.display()
+        );
+        let server = std::thread::spawn(move || run(&argv(&serve_argv)));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(addr) = fs::read_to_string(&port_file) {
+                if addr.trim().contains(':') {
+                    break addr.trim().to_string();
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let out = run(&argv(&format!("client {addr} {queries} --trace"))).unwrap();
+        assert!(out.contains("server stages:"), "{out}");
+        assert!(out.contains("cache_lookup"), "{out}");
+        assert!(out.contains("merge"), "{out}");
+        let json = run(&argv(&format!("stats --live {addr} --json"))).unwrap();
+        assert!(json.contains("\"net.requests\": 1"), "{json}");
+        assert!(json.contains("\"service.requests\": 1"), "{json}");
+        server.join().unwrap().unwrap();
+        let _ = fs::remove_file(&port_file);
+
+        // --json without --live is refused.
+        let err = run(&argv(&format!("stats {docs} --json"))).unwrap_err();
+        assert!(err.contains("--live"), "{err}");
     }
 
     #[test]

@@ -248,7 +248,8 @@ impl Index {
                     }
                 }
             });
-            ustr_uncertain::kstats::record_scan(
+            ustr_uncertain::kstats::record_scan_on(
+                ustr_uncertain::kstats::ScanPath::Plane,
                 evaluated,
                 hits.len() as u64,
                 ustr_uncertain::kstats::elapsed_ns(start),

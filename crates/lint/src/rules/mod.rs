@@ -1,5 +1,5 @@
 //! The rule registry: every enforced invariant as a named, explainable
-//! check over a lexed [`SourceFile`](crate::SourceFile).
+//! check over a lexed [`SourceFile`].
 
 mod atomics;
 mod durability;

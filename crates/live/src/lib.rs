@@ -479,7 +479,11 @@ impl Inner {
             (docs, batch.max_seq)
         };
         // From here on this is a real seal (duplicate schedules returned
-        // above); the span records on every exit, including failures.
+        // above); the span records on every exit, including failures. The
+        // trace root rides along as a background trace (drop = finish).
+        let mut seal_trace = self.engine.tracer().root_span("seal");
+        seal_trace.set_u64("batch", batch_id);
+        seal_trace.set_u64("docs", docs.len() as u64);
         let _seal_span = Span::on(self.metrics.seal_us.clone());
         self.metrics.seals.inc();
         if docs.is_empty() {
@@ -575,6 +579,9 @@ impl Inner {
         if captured.len() <= 1 && !has_garbage {
             return Ok(());
         }
+        // Background trace root for the whole compaction (drop = finish).
+        let mut compact_trace = self.engine.tracer().root_span("compact");
+        compact_trace.set_u64("segments", captured.len() as u64);
         let _compact_span = Span::on(self.metrics.compact_us.clone());
         let captured_docs: usize = captured.iter().map(|s| s.docs.len()).sum();
         let mut kept: Vec<(u64, Arc<DocExecutor>)> = Vec::new();
@@ -586,6 +593,8 @@ impl Inner {
             }
         }
         let kept_docs = kept.len();
+        compact_trace.set_u64("captured_docs", captured_docs as u64);
+        compact_trace.set_u64("kept_docs", kept_docs as u64);
         let mut sections = Vec::new();
         for (local, (_, d)) in kept.iter().enumerate() {
             let DocExecutor::Built { index, approx } = d.as_ref() else {
@@ -944,6 +953,9 @@ impl LiveService {
         let mut st = lock_clean(&self.inner.state);
         let id = st.next_doc_id;
         let seq = st.next_seq;
+        // WAL appends trace as background roots: one span per durable
+        // write, tagged with the doc id and byte count.
+        let mut trace = self.inner.engine.tracer().root_span("wal_append");
         let wal_span = Span::on(self.inner.metrics.wal_fsync_us.clone());
         let appended = st.wal.append(&WalRecord {
             seq,
@@ -951,6 +963,9 @@ impl LiveService {
         });
         wal_span.finish();
         let bytes = appended?;
+        trace.set_u64("doc", id);
+        trace.set_u64("bytes", bytes);
+        trace.finish();
         self.inner.metrics.wal_appends.inc();
         self.inner.metrics.wal_bytes.add(bytes);
         self.inner.metrics.inserts.inc();
@@ -1183,6 +1198,28 @@ impl LiveService {
         self.inner.engine.run(&view, requests)
     }
 
+    /// [`LiveService::query_requests`] with tracing: each request's trace
+    /// (fresh, or continuing a propagated parent context) is summarized
+    /// alongside its response. See [`Engine::run_traced`].
+    pub fn query_requests_traced(
+        &self,
+        requests: &[QueryRequest],
+        parents: &[Option<ustr_obs::TraceContext>],
+    ) -> Vec<(
+        Result<QueryResponse, Error>,
+        Option<ustr_service::TraceSummary>,
+    )> {
+        let view = self.inner.view();
+        self.inner.engine.run_traced(&view, requests, parents)
+    }
+
+    /// The engine's tracer. Queries *and* background work (WAL appends,
+    /// seals, compactions) trace through it, so one `/traces` export shows
+    /// foreground latency next to the background churn that caused it.
+    pub fn tracer(&self) -> &std::sync::Arc<ustr_obs::Tracer> {
+        self.inner.engine.tracer()
+    }
+
     /// Sequential reference for [`LiveService::query_requests`] (same
     /// snapshot semantics, same merge path, no pool) — answers are
     /// identical for every mode.
@@ -1382,6 +1419,45 @@ mod tests {
                 tau: 0.3,
             },
         ]
+    }
+
+    #[test]
+    fn background_work_and_queries_trace_through_one_tracer() {
+        let dir = fresh_dir("ustr-live-trace-test");
+        let live = LiveService::open(&dir, config(2)).unwrap();
+        live.tracer().set_sample_permyriad(ustr_obs::SAMPLE_SCALE);
+        for d in sample_docs() {
+            live.insert(d).unwrap();
+        }
+        live.wait_idle().unwrap();
+        live.compact().unwrap();
+        live.wait_idle().unwrap();
+        let out = live.query_requests_traced(
+            &[QueryRequest::Threshold {
+                pattern: b"AB".to_vec(),
+                tau: 0.3,
+            }],
+            &[],
+        );
+        assert!(out[0].0.is_ok());
+        assert!(out[0].1.is_some());
+        let spans = live.tracer().spans();
+        let names: std::collections::BTreeSet<&str> = spans.iter().map(|s| s.name).collect();
+        // Foreground and background activity share the ring: WAL appends
+        // (one per insert), at least one seal, and the traced query.
+        assert!(names.contains("wal_append"), "names = {names:?}");
+        assert!(names.contains("seal"), "names = {names:?}");
+        assert!(names.contains("request"), "names = {names:?}");
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "wal_append").count(),
+            sample_docs().len()
+        );
+        let seal = spans.iter().find(|s| s.name == "seal").unwrap();
+        assert!(matches!(
+            seal.attrs.get("docs"),
+            Some(ustr_obs::AttrValue::U64(n)) if n > 0
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     fn assert_matches_static(live: &LiveService) {

@@ -14,8 +14,8 @@ use ustr_service::{QueryRequest, QueryResponse};
 use ustr_store::StoreError;
 
 use crate::proto::{
-    frame_bytes, read_message, Frame, RemoteError, DEFAULT_MAX_FRAME_LEN, NET_MAGIC,
-    PROTOCOL_VERSION,
+    frame_bytes, read_message, Frame, RemoteError, WireTraceContext, DEFAULT_MAX_FRAME_LEN,
+    NET_MAGIC, PROTOCOL_VERSION,
 };
 
 /// Everything that can go wrong on the client side of a session. Per-query
@@ -222,6 +222,122 @@ impl NetClient {
         Ok(out)
     }
 
+    /// Answers a typed batch with client-propagated trace contexts
+    /// (protocol v3+): `contexts[i]` rides to the server on request `i`,
+    /// whose engine-side root span continues the client's trace instead of
+    /// starting a fresh one. Each answer carries the server's per-stage
+    /// timings in microseconds (empty when the server did not sample the
+    /// trace). `contexts` must align positionally with `requests`.
+    #[allow(clippy::type_complexity)]
+    pub fn query_requests_traced(
+        &mut self,
+        requests: &[QueryRequest],
+        contexts: &[ustr_obs::TraceContext],
+    ) -> Result<Vec<(Result<QueryResponse, RemoteError>, Vec<(String, u64)>)>, NetError> {
+        if self.info.protocol_version < 3 {
+            return Err(NetError::Protocol(format!(
+                "traced queries require protocol version 3 (this session negotiated {})",
+                self.info.protocol_version
+            )));
+        }
+        if contexts.len() != requests.len() {
+            return Err(NetError::Protocol(format!(
+                "{} trace contexts for {} requests (must align positionally)",
+                contexts.len(),
+                requests.len()
+            )));
+        }
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base = self.next_id;
+        self.next_id += requests.len() as u64;
+        let mut burst = Vec::new();
+        for (i, (request, ctx)) in requests.iter().zip(contexts).enumerate() {
+            burst.extend_from_slice(&frame_bytes(&Frame::RequestTraced {
+                id: base + i as u64,
+                request: request.clone(),
+                trace: WireTraceContext::from(*ctx),
+            }));
+        }
+        // Same deadlock-avoiding burst split as `query_requests`.
+        const SYNC_BURST_LIMIT: usize = 32 << 10;
+        let write_thread = if burst.len() <= SYNC_BURST_LIMIT {
+            self.writer.write_all(&burst)?;
+            None
+        } else {
+            let mut writer = self.writer.try_clone()?;
+            Some(std::thread::spawn(move || writer.write_all(&burst)))
+        };
+
+        type Timed = (Result<QueryResponse, RemoteError>, Vec<(String, u64)>);
+        let mut results: Vec<Option<Timed>> = Vec::new();
+        results.resize_with(requests.len(), || None);
+        let mut outstanding = requests.len();
+        while outstanding > 0 {
+            match read_message(&mut self.reader, self.max_frame_len)? {
+                Some(Frame::ResponseTimed {
+                    id,
+                    result,
+                    timings,
+                }) => {
+                    let slot = id
+                        .checked_sub(base)
+                        .and_then(|i| results.get_mut(i as usize))
+                        .ok_or_else(|| {
+                            NetError::Protocol(format!("response for unknown request id {id}"))
+                        })?;
+                    if slot.is_some() {
+                        return Err(NetError::Protocol(format!(
+                            "duplicate response for request id {id}"
+                        )));
+                    }
+                    *slot = Some((result, timings));
+                    outstanding -= 1;
+                }
+                Some(Frame::Error { code, message }) => {
+                    return Err(NetError::Server { code, message })
+                }
+                Some(Frame::Goodbye) | None => return Err(NetError::Disconnected),
+                Some(other) => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected frame mid-session: {other:?}"
+                    )))
+                }
+            }
+        }
+        if let Some(handle) = write_thread {
+            handle
+                .join()
+                .map_err(|_| NetError::Protocol("burst writer thread panicked".into()))??;
+        }
+        let mut out = Vec::with_capacity(results.len());
+        for r in results {
+            out.push(r.ok_or_else(|| {
+                NetError::Protocol("server closed the session with responses outstanding".into())
+            })?);
+        }
+        Ok(out)
+    }
+
+    /// Convenience: one traced threshold query. Returns the answer plus
+    /// the server's per-stage timings.
+    #[allow(clippy::type_complexity)]
+    pub fn query_traced(
+        &mut self,
+        pattern: &[u8],
+        tau: f64,
+        ctx: ustr_obs::TraceContext,
+    ) -> Result<(Result<QueryResponse, RemoteError>, Vec<(String, u64)>), NetError> {
+        let req = QueryRequest::Threshold {
+            pattern: pattern.to_vec(),
+            tau,
+        };
+        self.query_requests_traced(std::slice::from_ref(&req), std::slice::from_ref(&ctx))?
+            .pop()
+            .ok_or_else(|| NetError::Protocol("one-request batch yielded no response".into()))
+    }
+
     /// Convenience: one threshold query.
     pub fn query(
         &mut self,
@@ -247,6 +363,37 @@ impl NetClient {
         self.next_id += 1;
         self.writer
             .write_all(&frame_bytes(&Frame::StatsRequest { id }))?;
+        match read_message(&mut self.reader, self.max_frame_len)? {
+            Some(Frame::StatsResponse { id: got, text }) => {
+                if got != id {
+                    return Err(NetError::Protocol(format!(
+                        "stats response for unknown request id {got}"
+                    )));
+                }
+                Ok(text)
+            }
+            Some(Frame::Error { code, message }) => Err(NetError::Server { code, message }),
+            Some(other) => Err(NetError::Protocol(format!(
+                "expected StatsResponse, got {other:?}"
+            ))),
+            None => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Scrapes the server's telemetry in the machine-readable JSON
+    /// rendering (protocol v3+): one [`Frame::StatsJsonRequest`] round
+    /// trip, answered with a [`Frame::StatsResponse`] whose body is JSON.
+    pub fn stats_json(&mut self) -> Result<String, NetError> {
+        if self.info.protocol_version < 3 {
+            return Err(NetError::Protocol(format!(
+                "JSON stats require protocol version 3 (this session negotiated {})",
+                self.info.protocol_version
+            )));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer
+            .write_all(&frame_bytes(&Frame::StatsJsonRequest { id }))?;
         match read_message(&mut self.reader, self.max_frame_len)? {
             Some(Frame::StatsResponse { id: got, text }) => {
                 if got != id {

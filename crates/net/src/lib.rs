@@ -31,6 +31,16 @@
 //!   backend engine's, rendered as deterministic exposition text. The
 //!   stats path touches no counter, so two idle scrapes are
 //!   byte-identical; v1 clients (no Stats frames) are still served.
+//! * **Tracing** (protocol v3) — [`proto::Frame::RequestTraced`] carries a
+//!   client [`ustr_obs::TraceContext`] so the server engine's root span
+//!   *continues* the client's trace (one distributed span tree across both
+//!   processes), and the answer rides back as
+//!   [`proto::Frame::ResponseTimed`] with per-stage server timings.
+//!   [`proto::Frame::StatsJsonRequest`] scrapes telemetry as JSON, and
+//!   [`NetServer::traces_json`]/[`NetServer::trace_source`] export the
+//!   backend's finished traces as Chrome `trace_event` JSON. Sessions
+//!   negotiating v1/v2 never see the new kinds and their encodings are
+//!   untouched, byte for byte.
 //!
 //! # Guarantees
 //!
@@ -84,7 +94,8 @@ pub mod server;
 
 pub use client::{NetClient, NetError, ServerInfo};
 pub use proto::{
-    Frame, RemoteError, DEFAULT_MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, NET_MAGIC, PROTOCOL_VERSION,
+    Frame, RemoteError, WireTraceContext, DEFAULT_MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, NET_MAGIC,
+    PROTOCOL_VERSION,
 };
 pub use server::{NetServer, QueryBackend, ServerConfig};
 
@@ -385,6 +396,196 @@ mod tests {
         assert!(first.contains("ustr_net_conns_accepted 1"), "{first}");
         assert!(first.contains("ustr_service_requests 4"), "{first}");
         assert!(first.contains("ustr_net_rtt_us_top_k_count 1"), "{first}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_query_over_tcp_yields_the_full_span_tree_and_chrome_json() {
+        // The acceptance scenario: 100% sampling, one Threshold query over
+        // TCP with a propagated client context. The server engine's span
+        // tree must carry the whole request anatomy, the answer must be
+        // identical to the untraced one, and both export paths must render
+        // valid Chrome trace JSON containing the tree.
+        let service = Arc::new(service());
+        service.tracer().set_sample_permyriad(10_000);
+        let server = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::clone(&service) as _,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.server_info().protocol_version, 3);
+
+        let ctx = ustr_obs::TraceContext {
+            trace_id: 0x00c0_ffee_0000_0000_0000_0000_0000_0042,
+            parent_span: 99,
+            sampled: true,
+        };
+        let (answer, timings) = client.query_traced(b"AB", 0.3, ctx).unwrap();
+        let plain = client.query(b"AB", 0.3).unwrap();
+        assert_eq!(
+            answer.as_ref().unwrap(),
+            plain.as_ref().unwrap(),
+            "traced and untraced answers are identical"
+        );
+
+        // Per-stage server timings ride back on the wire.
+        let stage_names: Vec<&str> = timings.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            stage_names,
+            ["cache_lookup", "fanout", "merge"],
+            "{timings:?}"
+        );
+
+        // The server-side tree continues the client's trace: same 128-bit
+        // id, root parented under the client's span, with the whole
+        // anatomy (cache lookup, fanout, per-segment kernel spans, merge).
+        let traces = service.tracer().traces();
+        let tree = traces
+            .iter()
+            .find(|t| t.trace_id == ctx.trace_id)
+            .expect("the propagated trace was kept");
+        let root = tree
+            .roots
+            .iter()
+            .find(|r| r.span.name == "request")
+            .expect("request root");
+        assert_eq!(root.span.parent_span, 99, "root continues the client span");
+        assert!(root.children.iter().any(|c| c.span.name == "cache_lookup"));
+        let fanout = root
+            .children
+            .iter()
+            .find(|c| c.span.name == "fanout")
+            .expect("fanout span");
+        let segments: Vec<_> = fanout
+            .children
+            .iter()
+            .filter(|c| c.span.name == "segment_answer")
+            .collect();
+        assert!(!segments.is_empty(), "at least one segment span");
+        assert!(
+            segments
+                .iter()
+                .any(|s| s.span.attrs.get("candidates").is_some()
+                    && s.span.attrs.get("verified").is_some()),
+            "segment spans carry kernel attribution"
+        );
+        assert!(root.children.iter().any(|c| c.span.name == "merge"));
+
+        // Both export paths render the same valid Chrome trace JSON.
+        let via_method = server.traces_json();
+        let via_source = (server.trace_source())();
+        assert_eq!(via_method, via_source);
+        assert!(via_method.starts_with('{') && via_method.trim_end().ends_with('}'));
+        assert!(via_method.contains("\"traceEvents\""), "{via_method}");
+        for name in [
+            "request",
+            "cache_lookup",
+            "fanout",
+            "segment_answer",
+            "merge",
+        ] {
+            assert!(
+                via_method.contains(&format!("\"name\": \"{name}\"")),
+                "missing {name} in {via_method}"
+            );
+        }
+        assert!(via_method.contains("\"candidates\""), "{via_method}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_v2_session_round_trips_byte_identically_and_rejects_traced_frames() {
+        use std::io::Write;
+        // Tracing fully on, yet a v2 session must see byte-for-byte the
+        // same reply a pre-tracing server would send — and the v3 frame
+        // kinds must be refused, not half-served.
+        let service = Arc::new(service());
+        service.tracer().set_sample_permyriad(10_000);
+        let server = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::clone(&service) as _,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(&proto::frame_bytes(&Frame::Hello {
+            magic: NET_MAGIC,
+            version: 2,
+        }))
+        .unwrap();
+        let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+        let ack = proto::read_message(&mut reader, DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        let Frame::HelloAck { version, .. } = ack else {
+            panic!("expected HelloAck, got {ack:?}");
+        };
+        assert_eq!(version, 2, "the ack echoes the negotiated version");
+
+        let request = QueryRequest::Threshold {
+            pattern: b"AB".to_vec(),
+            tau: 0.3,
+        };
+        raw.write_all(&proto::frame_bytes(&Frame::Request {
+            id: 11,
+            request: request.clone(),
+        }))
+        .unwrap();
+        // Byte identity on the wire: the raw reply payload equals the
+        // local encoding of the expected v2 Response frame.
+        let payload = ustr_store::read_frame(&mut reader, DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        let local = service.query_requests(&[request]).remove(0).unwrap();
+        let expected = proto::encode_frame(&Frame::Response {
+            id: 11,
+            result: Ok(local),
+        });
+        assert_eq!(payload, expected, "v2 reply is byte-identical");
+
+        // A v3-only frame on the v2 session is a protocol error.
+        raw.write_all(&proto::frame_bytes(&Frame::RequestTraced {
+            id: 12,
+            request: QueryRequest::Threshold {
+                pattern: b"AB".to_vec(),
+                tau: 0.3,
+            },
+            trace: proto::WireTraceContext::from(ustr_obs::TraceContext {
+                trace_id: 1,
+                parent_span: 2,
+                sampled: true,
+            }),
+        }))
+        .unwrap();
+        let reply = proto::read_message(&mut reader, DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        let Frame::Error { code, message } = reply else {
+            panic!("expected an error frame, got {reply:?}");
+        };
+        assert_eq!(code, proto::err_code::MALFORMED_FRAME);
+        assert!(message.contains("version 3"), "{message}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_json_round_trips_the_merged_snapshot() {
+        let server =
+            NetServer::serve("127.0.0.1:0", Arc::new(service()), ServerConfig::default()).unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        client.query_requests(&batch()).unwrap();
+
+        let json = client.stats_json().unwrap();
+        assert!(
+            json.starts_with('{') && json.trim_end().ends_with('}'),
+            "{json}"
+        );
+        assert!(json.contains("\"net.requests\": 4"), "{json}");
+        assert!(json.contains("\"service.requests\": 4"), "{json}");
+        let again = client.stats_json().unwrap();
+        assert_eq!(json, again, "idle JSON scrapes are byte-stable");
         server.shutdown();
     }
 

@@ -21,6 +21,10 @@
 //!   │◀─ Response { id, result } ───────────│
 //!   │── StatsRequest { id } ─────────────▶│   v2+: telemetry scrape
 //!   │◀─ StatsResponse { id, text } ────────│   deterministic exposition text
+//!   │── RequestTraced { id, query, ctx } ▶│   v3+: query + trace context
+//!   │◀─ ResponseTimed { id, result, t[] } ─│   answer + per-stage timings
+//!   │── StatsJsonRequest { id } ─────────▶│   v3+: JSON telemetry scrape
+//!   │◀─ StatsResponse { id, json } ────────│   (same response frame, JSON body)
 //!   │◀─ Error { code, message } ───────────│   fatal: connection closes
 //!   │◀─ Goodbye ───────────────────────────│   graceful server shutdown
 //! ```
@@ -39,12 +43,17 @@ use ustr_store::{write_frame, Reader, StoreError, Writer};
 pub const NET_MAGIC: [u8; 8] = *b"USTRNET1";
 
 /// Protocol version spoken by this build. Version 2 added the
-/// `StatsRequest`/`StatsResponse` telemetry frames; everything a version-1
-/// session could say is unchanged, so the server still accepts any version
-/// in [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and answers with
-/// the client's version (old clients stay served). Anything outside the
-/// range is answered with [`err_code::UNSUPPORTED_VERSION`] and a close.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `StatsRequest`/`StatsResponse` telemetry frames; version 3 adds the
+/// tracing frames (`RequestTraced` carrying a propagated trace context,
+/// `ResponseTimed` carrying per-stage server timings back) and the
+/// `StatsJsonRequest` JSON telemetry scrape. Everything an older session
+/// could say is byte-for-byte unchanged, so the server still accepts any
+/// version in [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and
+/// answers with the client's version (old clients stay served; v3-only
+/// frames on an older session are a malformed-frame error). Anything
+/// outside the range is answered with [`err_code::UNSUPPORTED_VERSION`]
+/// and a close.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Oldest protocol version the server still accepts.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
@@ -75,6 +84,48 @@ mod kind {
     pub const GOODBYE: u8 = 6;
     pub const STATS_REQUEST: u8 = 7;
     pub const STATS_RESPONSE: u8 = 8;
+    pub const REQUEST_TRACED: u8 = 9;
+    pub const RESPONSE_TIMED: u8 = 10;
+    pub const STATS_JSON_REQUEST: u8 = 11;
+}
+
+/// A trace context as carried on the wire (protocol v3+): the 128-bit
+/// trace id split into two words, the parent span id, and the
+/// originator's sampling decision. The deterministic sampler makes the
+/// same keep/drop choice for the id on every node, so propagating the
+/// originator's `sampled` bit only ever *adds* coverage (it forces
+/// recording on servers whose local rate would skip the id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTraceContext {
+    /// High 64 bits of the trace id.
+    pub trace_hi: u64,
+    /// Low 64 bits of the trace id.
+    pub trace_lo: u64,
+    /// Span id the server's root span should parent under.
+    pub parent_span: u64,
+    /// The originator's sampling decision.
+    pub sampled: bool,
+}
+
+impl From<ustr_obs::TraceContext> for WireTraceContext {
+    fn from(ctx: ustr_obs::TraceContext) -> Self {
+        WireTraceContext {
+            trace_hi: (ctx.trace_id >> 64) as u64,
+            trace_lo: ctx.trace_id as u64,
+            parent_span: ctx.parent_span,
+            sampled: ctx.sampled,
+        }
+    }
+}
+
+impl From<WireTraceContext> for ustr_obs::TraceContext {
+    fn from(wire: WireTraceContext) -> Self {
+        ustr_obs::TraceContext {
+            trace_id: (u128::from(wire.trace_hi) << 64) | u128::from(wire.trace_lo),
+            parent_span: wire.parent_span,
+            sampled: wire.sampled,
+        }
+    }
 }
 
 /// A query-layer error transported over the wire (the remote twin of
@@ -165,6 +216,38 @@ pub enum Frame {
         id: u64,
         /// Exposition-format text (stable byte-for-byte given equal state).
         text: String,
+    },
+    /// One query plus a propagated trace context (protocol v3+). The
+    /// server continues the trace — its spans share the client's trace id
+    /// — and answers with a [`Frame::ResponseTimed`].
+    RequestTraced {
+        /// Echoed verbatim in the matching [`Frame::ResponseTimed`].
+        id: u64,
+        /// The query itself.
+        request: QueryRequest,
+        /// The client's trace context for this request.
+        trace: WireTraceContext,
+    },
+    /// The answer to the [`Frame::RequestTraced`] with the same `id`,
+    /// plus the server-side per-stage breakdown (protocol v3+). The
+    /// result bytes are identical to the plain [`Frame::Response`]
+    /// encoding — tracing never changes an answer.
+    ResponseTimed {
+        /// The id of the traced request this answers.
+        id: u64,
+        /// The engine's answer, or the per-request validation error.
+        result: Result<QueryResponse, RemoteError>,
+        /// `(stage name, microseconds)` measured on the server, in
+        /// lifecycle order — the remote breakdown a client can print.
+        timings: Vec<(String, u64)>,
+    },
+    /// JSON telemetry scrape (protocol v3+): answered with a
+    /// [`Frame::StatsResponse`] whose `text` is the deterministic JSON
+    /// rendering (`ustr_obs::MetricsSnapshot::render_json`). Excluded
+    /// from traffic counters like [`Frame::StatsRequest`].
+    StatsJsonRequest {
+        /// Echoed verbatim in the matching [`Frame::StatsResponse`].
+        id: u64,
     },
     /// Fatal protocol failure; the sender closes the connection after it.
     Error {
@@ -389,6 +472,33 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             w.put_u64(*id);
             put_string(&mut w, text);
         }
+        Frame::RequestTraced { id, request, trace } => {
+            w.put_u8(kind::REQUEST_TRACED);
+            w.put_u64(*id);
+            encode_request(&mut w, request);
+            w.put_u64(trace.trace_hi);
+            w.put_u64(trace.trace_lo);
+            w.put_u64(trace.parent_span);
+            w.put_u8(u8::from(trace.sampled));
+        }
+        Frame::ResponseTimed {
+            id,
+            result,
+            timings,
+        } => {
+            w.put_u8(kind::RESPONSE_TIMED);
+            w.put_u64(*id);
+            encode_result(&mut w, result);
+            w.put_u64(timings.len() as u64);
+            for (stage, us) in timings {
+                put_string(&mut w, stage);
+                w.put_u64(*us);
+            }
+        }
+        Frame::StatsJsonRequest { id } => {
+            w.put_u8(kind::STATS_JSON_REQUEST);
+            w.put_u64(*id);
+        }
         Frame::Error { code, message } => {
             w.put_u8(kind::ERROR);
             w.put_u32(*code);
@@ -432,6 +542,44 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, StoreError> {
             id: r.get_u64()?,
             text: get_string(&mut r)?,
         },
+        kind::REQUEST_TRACED => Frame::RequestTraced {
+            id: r.get_u64()?,
+            request: decode_request(&mut r)?,
+            trace: {
+                let trace_hi = r.get_u64()?;
+                let trace_lo = r.get_u64()?;
+                let parent_span = r.get_u64()?;
+                let sampled = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(StoreError::Corrupt {
+                            detail: format!("invalid sampled flag byte {other}"),
+                        })
+                    }
+                };
+                WireTraceContext {
+                    trace_hi,
+                    trace_lo,
+                    parent_span,
+                    sampled,
+                }
+            },
+        },
+        kind::RESPONSE_TIMED => Frame::ResponseTimed {
+            id: r.get_u64()?,
+            result: decode_result(&mut r)?,
+            timings: {
+                let n = r.get_len(16)?;
+                let mut timings = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let stage = get_string(&mut r)?;
+                    timings.push((stage, r.get_u64()?));
+                }
+                timings
+            },
+        },
+        kind::STATS_JSON_REQUEST => Frame::StatsJsonRequest { id: r.get_u64()? },
         kind::ERROR => Frame::Error {
             code: r.get_u32()?,
             message: get_string(&mut r)?,
@@ -542,6 +690,40 @@ mod tests {
                 id: 11,
                 text: "# TYPE ustr_net_requests counter\nustr_net_requests 12\n".into(),
             },
+            Frame::RequestTraced {
+                id: 12,
+                request: QueryRequest::Threshold {
+                    pattern: b"AB".to_vec(),
+                    tau: 0.25,
+                },
+                trace: WireTraceContext {
+                    trace_hi: 0xdead_beef_0000_0001,
+                    trace_lo: 0x1234_5678_9abc_def0,
+                    parent_span: 42,
+                    sampled: true,
+                },
+            },
+            Frame::ResponseTimed {
+                id: 12,
+                result: Ok(QueryResponse::Threshold(Arc::new(vec![DocHits {
+                    doc: 3,
+                    hits: vec![(0, 0.9)],
+                }]))),
+                timings: vec![
+                    ("cache_lookup".to_string(), 3),
+                    ("fanout".to_string(), 1200),
+                    ("merge".to_string(), 40),
+                ],
+            },
+            Frame::ResponseTimed {
+                id: 13,
+                result: Err(RemoteError {
+                    code: 4,
+                    message: "invalid threshold".into(),
+                }),
+                timings: Vec::new(),
+            },
+            Frame::StatsJsonRequest { id: 14 },
             Frame::Error {
                 code: err_code::MALFORMED_FRAME,
                 message: "bad frame".into(),
@@ -599,6 +781,68 @@ mod tests {
             decode_frame(&payload),
             Err(StoreError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn wire_trace_context_round_trips_the_full_128_bit_id() {
+        let ctx = ustr_obs::TraceContext {
+            trace_id: 0xfedc_ba98_7654_3210_0123_4567_89ab_cdef,
+            parent_span: u64::MAX,
+            sampled: true,
+        };
+        let wire = WireTraceContext::from(ctx);
+        assert_eq!(ustr_obs::TraceContext::from(wire), ctx);
+    }
+
+    #[test]
+    fn invalid_sampled_flag_is_rejected() {
+        let frame = Frame::RequestTraced {
+            id: 1,
+            request: QueryRequest::Threshold {
+                pattern: b"A".to_vec(),
+                tau: 0.5,
+            },
+            trace: WireTraceContext {
+                trace_hi: 0,
+                trace_lo: 1,
+                parent_span: 0,
+                sampled: false,
+            },
+        };
+        let mut payload = encode_frame(&frame);
+        let flag = payload.len() - 1;
+        payload[flag] = 2;
+        assert!(matches!(
+            decode_frame(&payload),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_frame_encodings_are_unchanged_by_the_v3_bump() {
+        // A v2 peer's bytes must decode identically under v3 — pin the
+        // exact encoding of each pre-v3 frame kind.
+        let request = Frame::Request {
+            id: 7,
+            request: QueryRequest::Threshold {
+                pattern: b"AB".to_vec(),
+                tau: 0.25,
+            },
+        };
+        let mut expect = vec![3u8]; // kind::REQUEST
+        expect.extend_from_slice(&7u64.to_le_bytes());
+        expect.push(1); // mode::THRESHOLD
+        expect.extend_from_slice(&2u64.to_le_bytes());
+        expect.extend_from_slice(b"AB");
+        expect.extend_from_slice(&0.25f64.to_bits().to_le_bytes());
+        assert_eq!(encode_frame(&request), expect);
+
+        let stats = Frame::StatsRequest { id: 9 };
+        let mut expect = vec![7u8]; // kind::STATS_REQUEST
+        expect.extend_from_slice(&9u64.to_le_bytes());
+        assert_eq!(encode_frame(&stats), expect);
+
+        assert_eq!(encode_frame(&Frame::Goodbye), vec![6u8]);
     }
 
     #[test]

@@ -45,10 +45,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ustr_core::Error;
-use ustr_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Span};
+use ustr_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Span, Tracer};
 use ustr_service::{
     lock_clean, mode_name, wait_clean, wait_timeout_clean, QueryRequest, QueryResponse,
-    QueryService, ThreadPool,
+    QueryService, ThreadPool, TraceSummary,
 };
 
 use crate::proto::{
@@ -80,6 +80,26 @@ pub trait QueryBackend: Send + Sync {
     fn slow_queries(&self, _n: usize) -> Vec<String> {
         Vec::new()
     }
+
+    /// Answers a typed batch with tracing: `parents[q]`, when present, is a
+    /// propagated client trace context the request's root span continues.
+    /// The default (untraced backends) answers normally with no summaries.
+    fn query_requests_traced(
+        &self,
+        requests: &[QueryRequest],
+        _parents: &[Option<ustr_obs::TraceContext>],
+    ) -> Vec<(Result<QueryResponse, Error>, Option<TraceSummary>)> {
+        self.query_requests(requests)
+            .into_iter()
+            .map(|result| (result, None))
+            .collect()
+    }
+
+    /// The backend's tracer, when it has one — lets the server expose
+    /// trace export without knowing the concrete backend type.
+    fn tracer(&self) -> Option<Arc<Tracer>> {
+        None
+    }
 }
 
 impl QueryBackend for QueryService {
@@ -106,6 +126,18 @@ impl QueryBackend for QueryService {
             .map(|e| e.render())
             .collect()
     }
+
+    fn query_requests_traced(
+        &self,
+        requests: &[QueryRequest],
+        parents: &[Option<ustr_obs::TraceContext>],
+    ) -> Vec<(Result<QueryResponse, Error>, Option<TraceSummary>)> {
+        QueryService::query_requests_traced(self, requests, parents)
+    }
+
+    fn tracer(&self) -> Option<Arc<Tracer>> {
+        Some(Arc::clone(QueryService::tracer(self)))
+    }
 }
 
 impl QueryBackend for ustr_live::LiveService {
@@ -131,6 +163,18 @@ impl QueryBackend for ustr_live::LiveService {
             .iter()
             .map(|e| e.render())
             .collect()
+    }
+
+    fn query_requests_traced(
+        &self,
+        requests: &[QueryRequest],
+        parents: &[Option<ustr_obs::TraceContext>],
+    ) -> Vec<(Result<QueryResponse, Error>, Option<TraceSummary>)> {
+        ustr_live::LiveService::query_requests_traced(self, requests, parents)
+    }
+
+    fn tracer(&self) -> Option<Arc<Tracer>> {
+        Some(Arc::clone(ustr_live::LiveService::tracer(self)))
     }
 }
 
@@ -365,6 +409,20 @@ impl NetServer {
         }
     }
 
+    /// The backend's finished traces rendered as Chrome `trace_event`
+    /// JSON (an empty but valid document when the backend is untraced or
+    /// nothing has been sampled).
+    pub fn traces_json(&self) -> String {
+        traces_json(&self.shared)
+    }
+
+    /// An owning trace source for wiring into an exposition endpoint's
+    /// `/traces` route (e.g. `ustr_obs::MetricsServer::serve_routes`).
+    pub fn trace_source(&self) -> impl Fn() -> String + Send + Sync + 'static {
+        let shared = Arc::clone(&self.shared);
+        move || traces_json(&shared)
+    }
+
     /// Connections currently being served.
     pub fn active_connections(&self) -> usize {
         lock_clean(&self.shared.conns).active
@@ -525,11 +583,13 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let max_len = shared.config.max_frame_len;
 
     // Handshake: the first frame must be a well-formed Hello speaking a
-    // supported version (v1 sessions predate the Stats frames but are
-    // otherwise identical, so old clients stay served; the ack echoes the
-    // client's version). Anything else is answered with a fatal error
-    // frame and close.
-    match read_message(&mut reader, max_len) {
+    // supported version (v1 sessions predate the Stats frames, v2 sessions
+    // predate the traced frames, but both are otherwise identical, so old
+    // clients stay served; the ack echoes the client's version, which
+    // becomes the session version gating the version-specific frame
+    // kinds below). Anything else is answered with a fatal error frame
+    // and close.
+    let session_version = match read_message(&mut reader, max_len) {
         Ok(Some(Frame::Hello { magic, version })) if magic == NET_MAGIC => {
             if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                 Shared::send(
@@ -552,6 +612,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                     tau_min: shared.backend.tau_min(),
                 },
             );
+            version
         }
         Ok(Some(_)) => {
             Shared::send(
@@ -574,7 +635,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             );
             return;
         }
-    }
+    };
 
     // Response writer: one thread per connection owns all response writes,
     // releasing the in-flight permit only after the frame hits the socket
@@ -671,6 +732,97 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                     }
                 });
             }
+            Ok(Some((Frame::RequestTraced { id, request, trace }, wire_len))) => {
+                // Traced queries are a v3 frame kind: a session that
+                // negotiated an older version and sends one anyway is
+                // malformed, exactly like an unknown kind byte would be.
+                if session_version < 3 {
+                    break Some(Frame::Error {
+                        code: err_code::MALFORMED_FRAME,
+                        message: format!(
+                            "RequestTraced requires protocol version 3 \
+                             (this session negotiated {session_version})"
+                        ),
+                    });
+                }
+                if !counted_conn {
+                    counted_conn = true;
+                    shared.metrics.conns_accepted.inc();
+                    shared.metrics.conns_open.add(1);
+                }
+                shared.metrics.frames_in.inc();
+                shared.metrics.bytes_in.add(wire_len);
+                shared.metrics.requests.inc();
+                permits.acquire();
+                let backend = Arc::clone(&shared.backend);
+                let response_tx = response_tx.clone();
+                let permits = Arc::clone(&permits);
+                let rtt = shared.metrics.rtt_for(mode_name(&request)).clone();
+                shared.pool.execute(move || {
+                    let span = Span::on(rtt);
+                    let parent = ustr_obs::TraceContext::from(trace);
+                    let (result, summary) = backend
+                        .query_requests_traced(
+                            std::slice::from_ref(&request),
+                            std::slice::from_ref(&Some(parent)),
+                        )
+                        .pop()
+                        .unwrap_or_else(|| {
+                            (
+                                Err(Error::internal(
+                                    "the backend returned no response for a one-request batch",
+                                )),
+                                None,
+                            )
+                        });
+                    let result = result.map_err(|e| RemoteError::from(&e));
+                    span.finish();
+                    // Per-stage server timings ride back on the response;
+                    // an untraced backend (or unsampled trace) reports none.
+                    let timings = summary
+                        .map(|s| {
+                            s.stages
+                                .into_iter()
+                                .map(|(name, us)| (name.to_string(), us))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    if response_tx
+                        .send((
+                            frame_bytes(&Frame::ResponseTimed {
+                                id,
+                                result,
+                                timings,
+                            }),
+                            true,
+                        ))
+                        .is_err()
+                    {
+                        permits.release();
+                    }
+                });
+            }
+            Ok(Some((Frame::StatsJsonRequest { id }, _))) => {
+                if session_version < 3 {
+                    break Some(Frame::Error {
+                        code: err_code::MALFORMED_FRAME,
+                        message: format!(
+                            "StatsJsonRequest requires protocol version 3 \
+                             (this session negotiated {session_version})"
+                        ),
+                    });
+                }
+                // Same inline, uncounted treatment as StatsRequest — the
+                // answer reuses StatsResponse with a JSON body.
+                permits.acquire();
+                let text = stats_json(shared);
+                if response_tx
+                    .send((frame_bytes(&Frame::StatsResponse { id, text }), false))
+                    .is_err()
+                {
+                    permits.release();
+                }
+            }
             Ok(Some((Frame::StatsRequest { id }, _))) => {
                 // Answered inline (a snapshot render, not a query) but
                 // still under a permit and through the writer channel, so
@@ -744,4 +896,22 @@ fn stats_text(shared: &Shared) -> String {
         }
     }
     text
+}
+
+/// Renders the `StatsJson` answer: the same merged server + backend
+/// snapshot as [`stats_text`], in the machine-readable JSON rendering
+/// (slow-query lines are a text-exposition affordance and stay out).
+fn stats_json(shared: &Shared) -> String {
+    let mut snap = shared.metrics.registry.snapshot();
+    snap.merge(&shared.backend.metrics_snapshot());
+    snap.render_json()
+}
+
+/// Renders the backend's finished traces as Chrome `trace_event` JSON.
+/// Untraced backends render the empty (still valid) document.
+fn traces_json(shared: &Shared) -> String {
+    match shared.backend.tracer() {
+        Some(tracer) => ustr_obs::TraceExporter::new(tracer).chrome_json(),
+        None => ustr_obs::chrome_trace_json(&[]),
+    }
 }

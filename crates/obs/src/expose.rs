@@ -1,7 +1,9 @@
-//! Plaintext metrics exposition over HTTP: a dedicated listener thread
-//! answers every request with the current snapshot rendered as
-//! Prometheus-style text. Zero dependencies — just enough HTTP/1.0 for
-//! `curl`, a scraper, or a raw `TcpStream` GET.
+//! Metrics and trace exposition over HTTP: a dedicated listener thread
+//! routes `GET /metrics` to the current snapshot (Prometheus-style text,
+//! or JSON via `Accept: application/json` / `?format=json`) and
+//! `GET /traces` to the sampled span trees as Chrome `trace_event` JSON.
+//! Zero dependencies — just enough HTTP/1.0 for `curl`, a scraper, or a
+//! raw `TcpStream` GET.
 
 use crate::metrics::{global, MetricsSnapshot};
 use std::io::{self, BufRead, BufReader, Write};
@@ -14,6 +16,11 @@ use std::time::Duration;
 /// Produces the snapshot served at scrape time. Callers compose layers
 /// here (e.g. global registry + server registry + backend metrics).
 pub type SnapshotFn = Arc<dyn Fn() -> MetricsSnapshot + Send + Sync>;
+
+/// Produces an already-rendered body at scrape time — the `/traces`
+/// route's source (typically [`crate::TraceExporter::chrome_json`]
+/// (crate::TraceExporter::chrome_json)).
+pub type TextFn = Arc<dyn Fn() -> String + Send + Sync>;
 
 /// Background exposition endpoint. One listener thread; each request is
 /// answered inline (scrapes are rare and the snapshot is cheap).
@@ -29,8 +36,18 @@ impl MetricsServer {
         Self::serve_with(addr, Arc::new(|| global().snapshot()))
     }
 
-    /// Serves snapshots produced by `source`.
+    /// Serves snapshots produced by `source` (no `/traces` route).
     pub fn serve_with(addr: impl ToSocketAddrs, source: SnapshotFn) -> io::Result<MetricsServer> {
+        Self::serve_routes(addr, source, None)
+    }
+
+    /// Serves snapshots produced by `source`, plus a `/traces` route
+    /// answering with `traces()` as Chrome `trace_event` JSON when given.
+    pub fn serve_routes(
+        addr: impl ToSocketAddrs,
+        source: SnapshotFn,
+        traces: Option<TextFn>,
+    ) -> io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -45,7 +62,7 @@ impl MetricsServer {
                         break;
                     }
                     if let Ok(stream) = stream {
-                        let _ = answer(stream, &source);
+                        let _ = answer(stream, &source, traces.as_ref());
                     }
                 }
             })?;
@@ -83,11 +100,20 @@ impl Drop for MetricsServer {
     }
 }
 
-fn answer(stream: TcpStream, source: &SnapshotFn) -> io::Result<()> {
+fn answer(stream: TcpStream, source: &SnapshotFn, traces: Option<&TextFn>) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    // Consume the request head (request line + headers) up to the blank
-    // line; tolerate clients that close early.
+    // Parse the request line for the path, then scan headers for an
+    // `Accept: application/json` up to the blank line; tolerate clients
+    // that close early.
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let target = request_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or("/metrics")
+        .to_string();
+    let mut accept_json = false;
     let mut line = String::new();
     loop {
         line.clear();
@@ -95,25 +121,65 @@ fn answer(stream: TcpStream, source: &SnapshotFn) -> io::Result<()> {
         if n == 0 || line == "\r\n" || line == "\n" {
             break;
         }
+        let lower = line.to_ascii_lowercase();
+        if lower.starts_with("accept:") && lower.contains("application/json") {
+            accept_json = true;
+        }
     }
-    let body = source().render_text();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let want_json = accept_json || query.split('&').any(|kv| kv == "format=json");
+    let (status, content_type, body) = match path {
+        "/traces" => match traces {
+            Some(render) => ("200 OK", "application/json", render()),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "tracing is not enabled on this endpoint\n".to_string(),
+            ),
+        },
+        "/" | "/metrics" | "/metrics.json" => {
+            if want_json || path == "/metrics.json" {
+                ("200 OK", "application/json", source().render_json())
+            } else {
+                (
+                    "200 OK",
+                    "text/plain; version=0.0.4",
+                    source().render_text(),
+                )
+            }
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            format!("no such path: {path}\n"),
+        ),
+    };
     let mut stream = stream;
     write!(
         stream,
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     )?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 
-/// Performs one HTTP GET against an exposition endpoint and returns the
-/// body. Used by the bench harness and tests so they need no external
-/// HTTP client.
+/// Performs one HTTP GET for `/metrics` against an exposition endpoint
+/// and returns the body. Used by the bench harness and tests so they need
+/// no external HTTP client.
 pub fn scrape(addr: impl ToSocketAddrs) -> io::Result<String> {
+    scrape_path(addr, "/metrics")
+}
+
+/// Performs one HTTP GET for an arbitrary `path` (e.g. `/traces`,
+/// `/metrics?format=json`) and returns the body.
+pub fn scrape_path(addr: impl ToSocketAddrs, path: &str) -> io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    write!(stream, "GET /metrics HTTP/1.0\r\nHost: ustr\r\n\r\n")?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: ustr\r\n\r\n")?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
     let mut head = String::new();
@@ -165,6 +231,67 @@ mod tests {
         // Scrapes are byte-stable while nothing records.
         let again = scrape(server.local_addr()).unwrap();
         assert_eq!(body, again);
+        server.shutdown();
+    }
+
+    #[test]
+    fn json_route_serves_render_json_and_traces_route_serves_chrome_json() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("expose.json").add(3);
+        let source: SnapshotFn = {
+            let reg = Arc::clone(&reg);
+            Arc::new(move || reg.snapshot())
+        };
+        let tracer = Arc::new(crate::Tracer::with_seed(21));
+        tracer.set_sample_permyriad(crate::SAMPLE_SCALE);
+        tracer.root_span("request").finish();
+        let exporter = crate::TraceExporter::new(Arc::clone(&tracer));
+        let traces: TextFn = Arc::new(move || exporter.chrome_json());
+        let server = MetricsServer::serve_routes("127.0.0.1:0", source, Some(traces)).unwrap();
+        let addr = server.local_addr();
+        // Query-string and path-suffix JSON both hit render_json.
+        let json = scrape_path(addr, "/metrics?format=json").unwrap();
+        assert!(json.contains("\"expose.json\": 3"));
+        assert_eq!(json, scrape_path(addr, "/metrics.json").unwrap());
+        // Plain /metrics stays Prometheus text.
+        let text = scrape(addr).unwrap();
+        assert!(text.contains("ustr_expose_json 3"));
+        // /traces serves the sampled spans as Chrome trace-event JSON.
+        let chrome = scrape_path(addr, "/traces").unwrap();
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("\"name\": \"request\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn accept_header_negotiates_json() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("expose.accept").add(1);
+        let source: SnapshotFn = {
+            let reg = Arc::clone(&reg);
+            Arc::new(move || reg.snapshot())
+        };
+        let server = MetricsServer::serve_with("127.0.0.1:0", source).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(
+            stream,
+            "GET /metrics HTTP/1.0\r\nHost: ustr\r\nAccept: application/json\r\n\r\n"
+        )
+        .unwrap();
+        stream.flush().unwrap();
+        let mut body = String::new();
+        io::Read::read_to_string(&mut BufReader::new(stream), &mut body).unwrap();
+        assert!(body.contains("Content-Type: application/json"));
+        assert!(body.contains("\"expose.accept\": 1"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_path_and_missing_traces_route_get_404() {
+        let server = MetricsServer::serve("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        assert!(scrape_path(addr, "/nope").is_err());
+        assert!(scrape_path(addr, "/traces").is_err());
         server.shutdown();
     }
 

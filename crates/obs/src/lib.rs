@@ -4,8 +4,10 @@
 //! workspace: named atomic [counters](Counter)/[gauges](Gauge) and
 //! log2-bucketed latency [histograms](Histogram) in a
 //! [`MetricsRegistry`], a [`Span`] timer for per-stage query-lifecycle
-//! tracing, a ring-buffered [`SlowQueryLog`], and a plaintext
-//! Prometheus-style exposition endpoint ([`MetricsServer`]).
+//! tracing, a ring-buffered [`SlowQueryLog`], a per-request distributed
+//! tracing subsystem ([`Tracer`] / [`TraceSpan`] / [`TraceExporter`]
+//! with Chrome `trace_event` export), and a plaintext Prometheus-style
+//! exposition endpoint ([`MetricsServer`]).
 //!
 //! Design rules, enforced throughout the workspace:
 //!
@@ -30,8 +32,9 @@ mod expose;
 mod metrics;
 mod slowlog;
 mod span;
+mod trace;
 
-pub use expose::{scrape, MetricsServer, SnapshotFn};
+pub use expose::{scrape, scrape_path, MetricsServer, SnapshotFn, TextFn};
 pub use metrics::{
     bucket_floor, bucket_index, global, Counter, Gauge, Histogram, HistogramSnapshot,
     MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS,
@@ -40,3 +43,8 @@ pub use slowlog::{
     SlowQueryEntry, SlowQueryLog, DEFAULT_SLOW_QUERY_CAPACITY, DEFAULT_SLOW_QUERY_US,
 };
 pub use span::Span;
+pub use trace::{
+    assemble_traces, chrome_trace_json, render_tree, AttrSet, AttrValue, FinishedTrace, SpanRecord,
+    TraceContext, TraceExporter, TraceNode, TraceSpan, TraceTree, Tracer, DEFAULT_TRACE_CAPACITY,
+    MAX_SPAN_ATTRS, SAMPLE_SCALE,
+};

@@ -429,7 +429,7 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -496,6 +496,84 @@ mod tests {
         assert_eq!(s.p50(), 0);
         assert_eq!(s.p99(), 0);
         assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_q() {
+        let s = Histogram::new().snapshot();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = Histogram::new();
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        // One sample is rank 1 at every q: p50 and p99 agree, at the
+        // bucket floor of 1000 (512..1024 → 512).
+        assert_eq!(s.p50(), s.p99());
+        assert_eq!(s.p50(), bucket_floor(bucket_index(1000)));
+        assert_eq!(s.p50(), 512);
+        assert_eq!(s.mean(), 1000);
+        // A power-of-two single sample reports itself exactly.
+        let h = Histogram::new();
+        h.record(4096);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 4096);
+        assert_eq!(s.p99(), 4096);
+    }
+
+    #[test]
+    fn bucket_boundary_values_at_powers_of_two_split_cleanly() {
+        // 2^k and 2^k - 1 land in adjacent buckets for every k; the
+        // histogram's quantiles see the split.
+        for k in 1..63u32 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), bucket_index(v - 1) + 1, "2^{k}");
+            assert_eq!(bucket_floor(bucket_index(v)), v);
+            assert!(bucket_floor(bucket_index(v - 1)) < v);
+        }
+        // u64::MAX stays inside the top bucket rather than overflowing.
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.quantile(1.0), bucket_floor(HISTOGRAM_BUCKETS - 1));
+    }
+
+    #[test]
+    fn snapshot_merge_with_disjoint_bucket_ranges() {
+        // One histogram entirely in the low buckets, one entirely in the
+        // high ones: the merge keeps both populations intact and its
+        // quantiles walk from one range into the other.
+        let low = Histogram::new();
+        for _ in 0..60 {
+            low.record(4); // bucket for 4..8
+        }
+        let high = Histogram::new();
+        for _ in 0..40 {
+            high.record(1 << 30);
+        }
+        let mut merged = low.snapshot();
+        merged.merge(&high.snapshot());
+        assert_eq!(merged.count, 100);
+        assert_eq!(merged.sum, 60 * 4 + 40 * (1u64 << 30));
+        // No bucket between the two populated ones gained mass.
+        let lo_i = bucket_index(4);
+        let hi_i = bucket_index(1 << 30);
+        assert_eq!(merged.buckets[lo_i], 60);
+        assert_eq!(merged.buckets[hi_i], 40);
+        for (i, &b) in merged.buckets.iter().enumerate() {
+            if i != lo_i && i != hi_i {
+                assert_eq!(b, 0, "bucket {i}");
+            }
+        }
+        // rank 50 ≤ 60 → low range; rank 99 > 60 → high range.
+        assert_eq!(merged.p50(), 4);
+        assert_eq!(merged.p99(), 1 << 30);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Ring-buffered slow-query log: queries whose total latency crosses a
-//! configurable threshold are kept (pattern, mode, per-stage breakdown)
-//! for later dumping, bounded by a fixed capacity.
+//! configurable threshold are kept (pattern, mode, per-stage breakdown,
+//! and — when the query was traced — its full span tree) for later
+//! dumping, bounded by a fixed capacity.
 
+use crate::trace::{assemble_traces, render_tree, SpanRecord};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,10 +20,15 @@ pub struct SlowQueryEntry {
     pub total_us: u64,
     /// `(stage name, microseconds)` breakdown, in lifecycle order.
     pub stages: Vec<(&'static str, u64)>,
+    /// The query's trace spans when it was traced (empty otherwise);
+    /// rendered as an indented span tree under the flat stage line.
+    pub spans: Vec<SpanRecord>,
 }
 
 impl SlowQueryEntry {
     /// One-line rendering: `12345us threshold "AT" [lookup=3 fanout=12000 merge=40]`.
+    /// Traced entries append their span tree, indented, on following
+    /// lines.
     pub fn render(&self) -> String {
         let mut out = format!("{}us {} {:?} [", self.total_us, self.mode, self.pattern);
         for (i, (stage, us)) in self.stages.iter().enumerate() {
@@ -29,6 +36,12 @@ impl SlowQueryEntry {
             let _ = write!(out, "{sep}{stage}={us}");
         }
         out.push(']');
+        for tree in assemble_traces(&self.spans) {
+            for line in render_tree(&tree).lines() {
+                out.push_str("\n  ");
+                out.push_str(line);
+            }
+        }
         out
     }
 }
@@ -79,10 +92,24 @@ impl SlowQueryLog {
         self.capacity
     }
 
-    /// Records `entry` if it is at or over the threshold, evicting the
-    /// oldest entry when full. Returns whether it was kept.
+    /// Records `entry` if it is at or over the current threshold,
+    /// evicting the oldest entry when full. Returns whether it was kept.
+    ///
+    /// Serving code that checks the threshold earlier in a request (e.g.
+    /// to decide whether to even build the entry) must capture
+    /// [`threshold_us`](Self::threshold_us) once and use
+    /// [`observe_at`](Self::observe_at) with the captured value —
+    /// re-reading here could disagree with that earlier read when the
+    /// threshold is adjusted mid-request.
     pub fn observe(&self, entry: SlowQueryEntry) -> bool {
-        if entry.total_us < self.threshold_us() {
+        self.observe_at(entry, self.threshold_us())
+    }
+
+    /// As [`observe`](Self::observe), but against a caller-captured
+    /// threshold so one request makes exactly one threshold decision even
+    /// if [`set_threshold_us`](Self::set_threshold_us) races with it.
+    pub fn observe_at(&self, entry: SlowQueryEntry, threshold_us: u64) -> bool {
+        if entry.total_us < threshold_us {
             return false;
         }
         let mut ring = self.ring.lock().expect("slow-query log poisoned");
@@ -150,6 +177,7 @@ mod tests {
                 ("fanout", total_us.saturating_sub(2)),
                 ("merge", 1),
             ],
+            spans: Vec::new(),
         }
     }
 
@@ -190,6 +218,89 @@ mod tests {
         let text = log.render(10);
         assert!(text.contains("1000us threshold \"AT\""));
         assert!(text.contains("fanout=998"));
+    }
+
+    #[test]
+    fn traced_entries_render_their_span_tree() {
+        use crate::{Tracer, SAMPLE_SCALE};
+        let t = std::sync::Arc::new(Tracer::with_seed(17));
+        t.set_sample_permyriad(SAMPLE_SCALE);
+        let root = t.root_span("request");
+        let mut child = root.child("cache_lookup");
+        child.set_str("cache", "miss");
+        child.finish();
+        let finished = root.finish_trace().expect("recording root");
+        let log = SlowQueryLog::new(2, 0);
+        let mut e = entry(1000);
+        e.spans = finished.spans;
+        log.observe(e);
+        let text = log.render(10);
+        assert!(text.contains("1000us threshold \"AT\""));
+        // The span tree follows the flat stage line, indented.
+        assert!(text.contains("\n  request "));
+        assert!(text.contains("\n    cache_lookup "));
+        assert!(text.contains("[cache=miss]"));
+    }
+
+    #[test]
+    fn observe_at_uses_the_captured_threshold_not_the_live_one() {
+        let log = SlowQueryLog::new(4, 100);
+        let captured = log.threshold_us();
+        // The threshold moves mid-request; the captured value decides.
+        log.set_threshold_us(10_000);
+        assert!(log.observe_at(entry(150), captured));
+        // And vice versa: a raised captured threshold filters even after
+        // the live one drops.
+        log.set_threshold_us(0);
+        assert!(!log.observe_at(entry(150), 10_000));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn threshold_race_makes_one_decision_per_request() {
+        // A writer flips the threshold between "keep nothing" and "keep
+        // everything" while observers record entries at a fixed captured
+        // threshold of 0. Every observe_at must keep its entry — a
+        // re-read of the live threshold inside observe would drop some.
+        let log = std::sync::Arc::new(SlowQueryLog::new(usize::MAX >> 1, 0));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        const PER_THREAD: u64 = 500;
+        std::thread::scope(|s| {
+            let flipper = {
+                let log = std::sync::Arc::clone(&log);
+                let stop = std::sync::Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut up = false;
+                    // ordering: Relaxed — a test stop flag.
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        log.set_threshold_us(if up { u64::MAX } else { 0 });
+                        up = !up;
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            let mut workers = Vec::new();
+            for _ in 0..3 {
+                let log = std::sync::Arc::clone(&log);
+                workers.push(s.spawn(move || {
+                    let mut kept = 0u64;
+                    for i in 0..PER_THREAD {
+                        // One threshold read per request, then one decision.
+                        let threshold = 0; // captured at request start
+                        if log.observe_at(entry(i + 1), threshold) {
+                            kept += 1;
+                        }
+                    }
+                    kept
+                }));
+            }
+            let kept: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+            // ordering: Relaxed — a test stop flag.
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            flipper.join().unwrap();
+            assert_eq!(kept, 3 * PER_THREAD);
+            assert_eq!(log.len(), (3 * PER_THREAD) as usize);
+        });
     }
 
     #[test]

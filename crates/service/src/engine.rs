@@ -18,7 +18,9 @@ use ustr_uncertain::canon;
 use crate::sync::lock_clean;
 use ustr_obs::{
     Counter, Histogram, MetricsRegistry, MetricsSnapshot, SlowQueryEntry, SlowQueryLog, Span,
+    SpanRecord, TraceContext, TraceSpan, Tracer,
 };
+use ustr_uncertain::kstats;
 
 use crate::exec::{merge_partials, Segment, ShardPartial};
 use crate::{LruCache, QueryRequest, QueryResponse, ThreadPool};
@@ -186,6 +188,25 @@ fn pattern_of(req: &QueryRequest) -> &[u8] {
     }
 }
 
+/// What one traced request looked like from the inside: the flat stage
+/// timings a network response can carry, and the full span set for the
+/// slow-query log or an exporter. Produced by [`Engine::run_traced`] for
+/// requests whose trace recorded; `None` otherwise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// The request's trace id.
+    pub trace_id: u128,
+    /// Root span duration in microseconds.
+    pub duration_us: u64,
+    /// Whether the trace was committed to the tracer's ring.
+    pub kept: bool,
+    /// `(stage, microseconds)` in lifecycle order — the wire-friendly
+    /// flat breakdown.
+    pub stages: Vec<(&'static str, u64)>,
+    /// Every span of the request's trace, root included.
+    pub spans: Vec<SpanRecord>,
+}
+
 /// The reusable dispatch core: a fixed thread pool plus an optional LRU
 /// result cache. Holds no documents — every batch runs over the
 /// [`SegmentSet`] it is handed.
@@ -194,6 +215,7 @@ pub struct Engine {
     cache: Option<Mutex<LruCache<CacheKey, QueryResponse>>>,
     metrics: EngineMetrics,
     slow_log: Arc<SlowQueryLog>,
+    tracer: Arc<Tracer>,
 }
 
 impl Engine {
@@ -205,7 +227,14 @@ impl Engine {
             cache: (cache_capacity > 0).then(|| Mutex::new(LruCache::new(cache_capacity))),
             metrics: EngineMetrics::new(),
             slow_log: Arc::new(SlowQueryLog::default()),
+            tracer: Arc::new(Tracer::new()),
         }
+    }
+
+    /// This engine's tracer (sampling off by default; enable with
+    /// [`Tracer::set_sample_permyriad`] / [`Tracer::set_slow_us`]).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Worker threads in the pool.
@@ -274,6 +303,25 @@ impl Engine {
         set: &dyn SegmentSet,
         requests: &[QueryRequest],
     ) -> Vec<Result<QueryResponse, Error>> {
+        self.run_traced(set, requests, &[])
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect()
+    }
+
+    /// [`Engine::run`] with tracing: opens a root span per request (fresh,
+    /// or continuing a propagated parent from `parents` — positionally
+    /// aligned, missing tail = no parent), records cache-lookup / fanout /
+    /// per-segment / merge child spans, and returns each request's
+    /// [`TraceSummary`] alongside its response. Tracing disabled ⇒ every
+    /// summary is `None` and the span sites cost one branch each; answers
+    /// are identical either way.
+    pub fn run_traced(
+        &self,
+        set: &dyn SegmentSet,
+        requests: &[QueryRequest],
+        parents: &[Option<TraceContext>],
+    ) -> Vec<(Result<QueryResponse, Error>, Option<TraceSummary>)> {
         let batch_span = Span::on(self.metrics.batch_us.clone());
         self.metrics.requests.add(requests.len() as u64);
         let segments = set.segments();
@@ -283,10 +331,27 @@ impl Engine {
         let mut results: Vec<Option<Result<QueryResponse, Error>>> = vec![None; requests.len()];
         let mut outcomes: Vec<Outcome> = vec![Outcome::Computed; requests.len()];
 
+        // One root span per request: continuing the propagated context
+        // when one was carried in, fresh otherwise. Disabled tracer ⇒
+        // every root is a no-op and so is every child derived from it.
+        let mut roots: Vec<TraceSpan> = requests
+            .iter()
+            .enumerate()
+            .map(|(q, req)| {
+                let mut root = match parents.get(q).copied().flatten() {
+                    Some(ctx) => self.tracer.continue_span("request", ctx),
+                    None => self.tracer.root_span("request"),
+                };
+                root.set_str("mode", mode_name(req));
+                root
+            })
+            .collect();
+
         // Resolve validation failures and cache hits up front, and collapse
         // duplicate requests onto one computation: only the first occurrence
         // (the leader) fans out; followers copy its result.
         let lookup_span = Span::on(self.metrics.lookup_us.clone());
+        let lookup_start_ns = self.tracer.now_ns();
         let mut pending: Vec<usize> = Vec::new();
         let mut leaders: HashMap<CacheKey, usize> = HashMap::new();
         let mut followers: Vec<(usize, usize)> = Vec::new(); // (request, leader)
@@ -315,10 +380,38 @@ impl Engine {
                 }
             }
         }
+        let lookup_end_ns = self.tracer.now_ns();
         let lookup_us = lookup_span.finish();
+        // The lookup stage is timed once for the batch; each request's
+        // trace gets its own cache_lookup child with the hit/miss verdict.
+        for (root, outcome) in roots.iter().zip(&outcomes) {
+            if *outcome == Outcome::Invalid {
+                continue;
+            }
+            let verdict = if *outcome == Outcome::CacheHit {
+                "hit"
+            } else {
+                "miss"
+            };
+            root.add_child_at(
+                "cache_lookup",
+                lookup_start_ns,
+                lookup_end_ns,
+                &[("cache", ustr_obs::AttrValue::Str(verdict))],
+            );
+        }
 
-        // Fan out: one job per (pending request, segment).
+        // Fan out: one job per (pending request, segment). Each leader gets
+        // a live fanout child span; its per-segment children are created
+        // here (so parentage is right) but restarted inside the worker so
+        // they measure execution, not queue wait. Kernel counts come from
+        // the worker thread's scratch totals — the hot loop stays
+        // atomic-free and the delta is exactly this segment's work.
         let fanout_span = Span::on(self.metrics.fanout_us.clone());
+        let mut fanout_spans: HashMap<usize, TraceSpan> = pending
+            .iter()
+            .filter_map(|&q| Some((q, roots.get(q)?.child("fanout"))))
+            .collect();
         let (tx, rx) = channel::<(usize, usize, SegmentAnswer)>();
         for &q in &pending {
             let Some(request) = requests.get(q) else {
@@ -329,10 +422,25 @@ impl Engine {
                 let req = request.clone();
                 let tx = tx.clone();
                 let segment_us = self.metrics.segment_us.clone();
+                let mut seg_span = fanout_spans
+                    .get(&q)
+                    .map(|f| f.child("segment_answer"))
+                    .unwrap_or_else(TraceSpan::disabled);
                 self.pool.execute(move || {
+                    seg_span.restart();
+                    let kernel_before = kstats::thread_totals();
                     let span = Span::on(segment_us);
                     let answer = segment.answer(&req);
                     span.finish();
+                    if seg_span.is_recording() {
+                        let d = kstats::thread_totals().since(&kernel_before);
+                        seg_span.set_u64("segment", s as u64);
+                        seg_span.set_u64("candidates", d.candidates);
+                        seg_span.set_u64("verified", d.verified);
+                        seg_span.set_u64("plane_scans", d.plane_scans);
+                        seg_span.set_u64("cold_scans", d.cold_scans);
+                    }
+                    seg_span.finish();
                     // A send failure means the batch was abandoned; nothing
                     // useful to do from a worker.
                     let _ = tx.send((q, s, answer));
@@ -361,9 +469,15 @@ impl Engine {
             }
             outstanding -= 1;
         }
+        // Close every leader's fanout span now that all its segment
+        // answers are in.
+        for (_, span) in fanout_spans.drain() {
+            span.finish();
+        }
         let fanout_us = fanout_span.finish();
 
         let merge_span = Span::on(self.metrics.merge_us.clone());
+        let merge_start_ns = self.tracer.now_ns();
         for &q in &pending {
             let mut parts = Vec::with_capacity(num_segments);
             let mut error: Option<Error> = None;
@@ -409,21 +523,59 @@ impl Engine {
                 *slot = Some(resolved);
             }
         }
+        let merge_end_ns = self.tracer.now_ns();
         let merge_us = merge_span.finish();
+        for (root, outcome) in roots.iter().zip(&outcomes) {
+            if *outcome == Outcome::Computed {
+                root.add_child_at("merge", merge_start_ns, merge_end_ns, &[]);
+            }
+        }
+
+        // Close every root: this is where a trace commits to (or skips)
+        // the ring, and where its span tree becomes available for the
+        // slow-query log and the network response's stage breakdown.
+        let mut summaries: Vec<Option<TraceSummary>> = Vec::with_capacity(requests.len());
+        for (root, outcome) in roots.drain(..).zip(&outcomes) {
+            let stages = |lookup_only: bool| {
+                if lookup_only {
+                    vec![("cache_lookup", lookup_us)]
+                } else {
+                    vec![
+                        ("cache_lookup", lookup_us),
+                        ("fanout", fanout_us),
+                        ("merge", merge_us),
+                    ]
+                }
+            };
+            summaries.push(root.finish_trace().map(|finished| TraceSummary {
+                trace_id: finished.trace_id,
+                duration_us: finished.duration_us,
+                kept: finished.kept,
+                stages: match outcome {
+                    Outcome::Invalid => Vec::new(),
+                    Outcome::CacheHit => stages(true),
+                    Outcome::Computed => stages(false),
+                },
+                spans: finished.spans,
+            }));
+        }
 
         // Per-request accounting. Stage timings are batch-level (requests
         // in one batch share the pool), so a request's attributed latency
         // is the sum of the stages it went through: cache hits stop after
-        // the lookup stage, computed requests ride all three.
+        // the lookup stage, computed requests ride all three. The slow
+        // threshold is read once for the whole batch — one decision per
+        // request even if it is adjusted concurrently.
+        let slow_threshold_us = self.slow_log.threshold_us();
         let computed_us = lookup_us + fanout_us + merge_us;
-        for (req, outcome) in requests.iter().zip(&outcomes) {
+        for ((req, outcome), summary) in requests.iter().zip(&outcomes).zip(&summaries) {
             let total_us = match outcome {
                 Outcome::Invalid => continue,
                 Outcome::CacheHit => lookup_us,
                 Outcome::Computed => computed_us,
             };
             self.metrics.request_us.record(total_us);
-            if total_us >= self.slow_log.threshold_us() {
+            if total_us >= slow_threshold_us {
                 let stages = match outcome {
                     Outcome::CacheHit => vec![("cache_lookup", lookup_us)],
                     _ => vec![
@@ -432,22 +584,33 @@ impl Engine {
                         ("merge", merge_us),
                     ],
                 };
-                self.slow_log.observe(SlowQueryEntry {
-                    pattern: String::from_utf8_lossy(pattern_of(req)).into_owned(),
-                    mode: mode_name(req),
-                    total_us,
-                    stages,
-                });
+                self.slow_log.observe_at(
+                    SlowQueryEntry {
+                        pattern: String::from_utf8_lossy(pattern_of(req)).into_owned(),
+                        mode: mode_name(req),
+                        total_us,
+                        stages,
+                        spans: summary
+                            .as_ref()
+                            .map(|s| s.spans.clone())
+                            .unwrap_or_default(),
+                    },
+                    slow_threshold_us,
+                );
             }
         }
         batch_span.finish();
 
         results
             .into_iter()
-            .map(|r| {
-                r.unwrap_or_else(|| {
-                    Err(Error::internal("a request in the batch was never resolved"))
-                })
+            .zip(summaries)
+            .map(|(r, summary)| {
+                (
+                    r.unwrap_or_else(|| {
+                        Err(Error::internal("a request in the batch was never resolved"))
+                    }),
+                    summary,
+                )
             })
             .collect()
     }
@@ -487,13 +650,19 @@ impl Engine {
                 if result.is_err() {
                     self.metrics.errors.inc();
                 }
-                if total_us >= self.slow_log.threshold_us() {
-                    self.slow_log.observe(SlowQueryEntry {
-                        pattern: String::from_utf8_lossy(pattern_of(req)).into_owned(),
-                        mode: mode_name(req),
-                        total_us,
-                        stages: vec![("sequential", total_us)],
-                    });
+                // One threshold read per request (see SlowQueryLog docs).
+                let slow_threshold_us = self.slow_log.threshold_us();
+                if total_us >= slow_threshold_us {
+                    self.slow_log.observe_at(
+                        SlowQueryEntry {
+                            pattern: String::from_utf8_lossy(pattern_of(req)).into_owned(),
+                            mode: mode_name(req),
+                            total_us,
+                            stages: vec![("sequential", total_us)],
+                            spans: Vec::new(),
+                        },
+                        slow_threshold_us,
+                    );
                 }
                 result
             })

@@ -100,7 +100,7 @@ use ustr_store::{collection, CollectionSection, Snapshot, SnapshotKind, StoreErr
 use ustr_uncertain::UncertainString;
 
 pub use cache::LruCache;
-pub use engine::{mode_name, validate_request, Engine, SegmentSet, TAU_TOLERANCE};
+pub use engine::{mode_name, validate_request, Engine, SegmentSet, TraceSummary, TAU_TOLERANCE};
 pub use exec::{merge_partials, top_hit_order, DocExecutor, Segment, ShardPartial};
 pub use pool::ThreadPool;
 pub use sync::{lock_clean, wait_clean, wait_timeout_clean};
@@ -751,6 +751,25 @@ impl QueryService {
         self.engine.run(self, requests)
     }
 
+    /// [`QueryService::query_requests`] with tracing: each request's trace
+    /// (fresh, or continuing a propagated parent context) is summarized
+    /// alongside its response. See [`Engine::run_traced`].
+    pub fn query_requests_traced(
+        &self,
+        requests: &[QueryRequest],
+        parents: &[Option<ustr_obs::TraceContext>],
+    ) -> Vec<(Result<QueryResponse, Error>, Option<engine::TraceSummary>)> {
+        self.engine.run_traced(self, requests, parents)
+    }
+
+    /// The engine's tracer: configure sampling with
+    /// [`Tracer::set_sample_permyriad`](ustr_obs::Tracer::set_sample_permyriad),
+    /// read sampled span trees back via
+    /// [`Tracer::traces`](ustr_obs::Tracer::traces).
+    pub fn tracer(&self) -> &std::sync::Arc<ustr_obs::Tracer> {
+        self.engine.tracer()
+    }
+
     /// Reference implementation: the same typed batch answered
     /// shard-by-shard on the calling thread (no pool), sharing the same
     /// cache and merge code. Exists to state — and test — the determinism
@@ -906,6 +925,101 @@ mod tests {
             assert_eq!(x.as_ref(), y.as_ref().unwrap().as_ref());
             assert_eq!(x.as_ref(), z.as_ref().unwrap().as_ref());
         }
+    }
+
+    #[test]
+    fn traced_run_yields_full_span_tree_and_identical_answers() {
+        use ustr_obs::{assemble_traces, AttrValue, SAMPLE_SCALE};
+        let docs = collection();
+        let traced = QueryService::build(&docs, 0.05, config(4, 2, 16)).unwrap();
+        let plain = QueryService::build(&docs, 0.05, config(4, 2, 16)).unwrap();
+        traced.tracer().set_sample_permyriad(SAMPLE_SCALE);
+        let batch = vec![QueryRequest::Threshold {
+            pattern: b"AB".to_vec(),
+            tau: 0.3,
+        }];
+
+        let traced_out = traced.query_requests_traced(&batch, &[]);
+        let plain_out = plain.query_requests(&batch);
+        // Tracing never perturbs answers.
+        assert_eq!(
+            traced_out[0].0.as_ref().unwrap(),
+            plain_out[0].as_ref().unwrap()
+        );
+
+        let summary = traced_out[0].1.as_ref().expect("trace recorded at 100%");
+        assert!(summary.kept);
+        let stage_names: Vec<&str> = summary.stages.iter().map(|(n, _)| *n).collect();
+        assert_eq!(stage_names, vec!["cache_lookup", "fanout", "merge"]);
+
+        // The span set assembles into root + cache_lookup(miss) + fanout
+        // + per-segment answers (with kernel attribution) + merge.
+        let trees = assemble_traces(&summary.spans);
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        let root = tree.find("request").expect("root span");
+        assert_eq!(
+            root.span.attrs.get("mode"),
+            Some(AttrValue::Str("threshold"))
+        );
+        let lookup = tree.find("cache_lookup").expect("cache_lookup span");
+        assert_eq!(lookup.span.attrs.get("cache"), Some(AttrValue::Str("miss")));
+        let fanout = tree.find("fanout").expect("fanout span");
+        assert_eq!(fanout.span.parent_span, root.span.span_id);
+        let segs: Vec<_> = fanout
+            .children
+            .iter()
+            .filter(|c| c.span.name == "segment_answer")
+            .collect();
+        assert_eq!(segs.len(), traced.num_shards());
+        assert!(segs
+            .iter()
+            .any(|s| matches!(s.span.attrs.get("candidates"), Some(AttrValue::U64(c)) if c > 0)));
+        assert!(segs.iter().all(|s| s.span.attrs.get("verified").is_some()));
+        assert!(tree.find("merge").is_some());
+        // The tracer ring holds the same trace for exporters.
+        assert_eq!(traced.tracer().traces().len(), 1);
+
+        // A repeat of the same request is a cache hit: its trace has a
+        // cache_lookup child tagged hit and no fanout.
+        let again = traced.query_requests_traced(&batch, &[]);
+        assert_eq!(again[0].0.as_ref().unwrap(), plain_out[0].as_ref().unwrap());
+        let summary = again[0].1.as_ref().expect("hit trace recorded");
+        let trees = assemble_traces(&summary.spans);
+        let lookup = trees[0].find("cache_lookup").expect("cache_lookup span");
+        assert_eq!(lookup.span.attrs.get("cache"), Some(AttrValue::Str("hit")));
+        assert!(trees[0].find("fanout").is_none());
+
+        // A propagated parent context is continued, not restarted.
+        let parent = ustr_obs::TraceContext {
+            trace_id: 0xabcd_1234,
+            parent_span: 77,
+            sampled: true,
+        };
+        let continued = traced.query_requests_traced(&batch, &[Some(parent)]);
+        let summary = continued[0].1.as_ref().expect("continued trace");
+        assert_eq!(summary.trace_id, parent.trace_id);
+        assert!(summary
+            .spans
+            .iter()
+            .any(|s| s.name == "request" && s.parent_span == parent.parent_span));
+    }
+
+    #[test]
+    fn tracing_off_run_traced_returns_no_summaries() {
+        let docs = collection();
+        let service = QueryService::build(&docs, 0.05, config(2, 2, 0)).unwrap();
+        assert!(!service.tracer().enabled());
+        let out = service.query_requests_traced(
+            &[QueryRequest::Threshold {
+                pattern: b"AB".to_vec(),
+                tau: 0.3,
+            }],
+            &[],
+        );
+        assert!(out[0].0.is_ok());
+        assert!(out[0].1.is_none());
+        assert!(service.tracer().spans().is_empty());
     }
 
     #[test]

@@ -10,14 +10,40 @@
 //! [`kernel_totals`] (e.g. merged into an exposition snapshot under
 //! `kernel.*` names).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 static CANDIDATES: AtomicU64 = AtomicU64::new(0);
 static VERIFIED: AtomicU64 = AtomicU64::new(0);
 static KERNEL_NS: AtomicU64 = AtomicU64::new(0);
+static PLANE_SCANS: AtomicU64 = AtomicU64::new(0);
+static COLD_SCANS: AtomicU64 = AtomicU64::new(0);
 
-/// Cumulative kernel work since process start.
+thread_local! {
+    // Per-thread mirror of the same counts. `Cell` adds, no atomics: a
+    // worker can delta [`thread_totals`] around one segment answer and
+    // attribute exactly its own kernel work (e.g. to a trace span)
+    // without any cross-thread traffic in the hot loop.
+    static TL_CANDIDATES: Cell<u64> = const { Cell::new(0) };
+    static TL_VERIFIED: Cell<u64> = const { Cell::new(0) };
+    static TL_KERNEL_NS: Cell<u64> = const { Cell::new(0) };
+    static TL_PLANE_SCANS: Cell<u64> = const { Cell::new(0) };
+    static TL_COLD_SCANS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Which execution path performed a scan: the precomputed flat
+/// probability plane, or the cold per-candidate DP fallback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanPath {
+    /// Plane-backed verification (the paper's indexed fast path).
+    Plane,
+    /// Cold scan without plane reuse.
+    Cold,
+}
+
+/// Cumulative kernel work since process start (or, via
+/// [`thread_totals`], since the calling thread started).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KernelTotals {
     /// Candidate windows handed to the kernel for evaluation.
@@ -26,25 +52,80 @@ pub struct KernelTotals {
     pub verified: u64,
     /// Nanoseconds spent inside instrumented kernel loops.
     pub kernel_ns: u64,
+    /// Scans answered via the plane fast path.
+    pub plane_scans: u64,
+    /// Scans answered via the cold path.
+    pub cold_scans: u64,
 }
 
 /// Adds one scan's batched counts: `candidates` windows evaluated,
-/// `verified` of them kept, `ns` spent in the loop.
+/// `verified` of them kept, `ns` spent in the loop, attributed to `path`.
 #[inline]
-pub fn record_scan(candidates: u64, verified: u64, ns: u64) {
+pub fn record_scan_on(path: ScanPath, candidates: u64, verified: u64, ns: u64) {
     // ordering: Relaxed — process-wide monotone counters; nothing synchronizes on them.
     CANDIDATES.fetch_add(candidates, Ordering::Relaxed);
     VERIFIED.fetch_add(verified, Ordering::Relaxed);
     KERNEL_NS.fetch_add(ns, Ordering::Relaxed);
+    let path_cell = match path {
+        ScanPath::Plane => &PLANE_SCANS,
+        ScanPath::Cold => &COLD_SCANS,
+    };
+    // ordering: Relaxed — see above.
+    path_cell.fetch_add(1, Ordering::Relaxed);
+    TL_CANDIDATES.with(|c| c.set(c.get() + candidates));
+    TL_VERIFIED.with(|c| c.set(c.get() + verified));
+    TL_KERNEL_NS.with(|c| c.set(c.get().saturating_add(ns)));
+    match path {
+        ScanPath::Plane => TL_PLANE_SCANS.with(|c| c.set(c.get() + 1)),
+        ScanPath::Cold => TL_COLD_SCANS.with(|c| c.set(c.get() + 1)),
+    }
 }
 
-/// Current totals.
+/// [`record_scan_on`] for callers that predate the plane/cold split;
+/// attributed to the cold path.
+#[inline]
+pub fn record_scan(candidates: u64, verified: u64, ns: u64) {
+    record_scan_on(ScanPath::Cold, candidates, verified, ns);
+}
+
+/// Current process-wide totals.
 pub fn kernel_totals() -> KernelTotals {
     KernelTotals {
         // ordering: Relaxed — a racy snapshot is fine; each cell is a monotone reading.
         candidates: CANDIDATES.load(Ordering::Relaxed),
         verified: VERIFIED.load(Ordering::Relaxed),
         kernel_ns: KERNEL_NS.load(Ordering::Relaxed),
+        // ordering: Relaxed — same racy-snapshot reasoning as the cells above.
+        plane_scans: PLANE_SCANS.load(Ordering::Relaxed),
+        cold_scans: COLD_SCANS.load(Ordering::Relaxed),
+    }
+}
+
+/// The calling thread's cumulative totals. Deltas around a unit of work
+/// executed on one thread attribute exactly that unit's kernel counts —
+/// the scratch-passed handle trick that keeps hot loops atomic-free while
+/// still feeding per-segment trace spans.
+pub fn thread_totals() -> KernelTotals {
+    KernelTotals {
+        candidates: TL_CANDIDATES.with(Cell::get),
+        verified: TL_VERIFIED.with(Cell::get),
+        kernel_ns: TL_KERNEL_NS.with(Cell::get),
+        plane_scans: TL_PLANE_SCANS.with(Cell::get),
+        cold_scans: TL_COLD_SCANS.with(Cell::get),
+    }
+}
+
+impl KernelTotals {
+    /// Component-wise saturating difference (`self - earlier`): the work
+    /// done between two [`thread_totals`] / [`kernel_totals`] readings.
+    pub fn since(&self, earlier: &KernelTotals) -> KernelTotals {
+        KernelTotals {
+            candidates: self.candidates.saturating_sub(earlier.candidates),
+            verified: self.verified.saturating_sub(earlier.verified),
+            kernel_ns: self.kernel_ns.saturating_sub(earlier.kernel_ns),
+            plane_scans: self.plane_scans.saturating_sub(earlier.plane_scans),
+            cold_scans: self.cold_scans.saturating_sub(earlier.cold_scans),
+        }
     }
 }
 
@@ -68,5 +149,42 @@ mod tests {
         assert_eq!(after.candidates - before.candidates, 15);
         assert_eq!(after.verified - before.verified, 8);
         assert_eq!(after.kernel_ns - before.kernel_ns, 1_500);
+    }
+
+    #[test]
+    fn scan_paths_split_plane_and_cold_counts() {
+        let before = kernel_totals();
+        record_scan_on(ScanPath::Plane, 4, 1, 10);
+        record_scan_on(ScanPath::Cold, 6, 2, 20);
+        record_scan_on(ScanPath::Plane, 2, 2, 30);
+        let d = kernel_totals().since(&before);
+        assert_eq!(d.plane_scans, 2);
+        assert_eq!(d.cold_scans, 1);
+        assert_eq!(d.candidates, 12);
+        assert_eq!(d.verified, 5);
+        assert_eq!(d.kernel_ns, 60);
+    }
+
+    #[test]
+    fn thread_totals_are_isolated_per_thread() {
+        let base = thread_totals();
+        record_scan_on(ScanPath::Plane, 7, 3, 100);
+        let mine = thread_totals().since(&base);
+        assert_eq!(mine.candidates, 7);
+        assert_eq!(mine.plane_scans, 1);
+        // Another thread's work never shows up in this thread's cells.
+        std::thread::spawn(|| {
+            let base = thread_totals();
+            record_scan_on(ScanPath::Cold, 100, 50, 1_000);
+            let theirs = thread_totals().since(&base);
+            assert_eq!(theirs.candidates, 100);
+            assert_eq!(theirs.cold_scans, 1);
+            assert_eq!(theirs.plane_scans, 0);
+        })
+        .join()
+        .unwrap();
+        let after = thread_totals().since(&base);
+        assert_eq!(after.candidates, 7);
+        assert_eq!(after.cold_scans, 0);
     }
 }
