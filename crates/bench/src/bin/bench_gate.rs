@@ -3,16 +3,19 @@
 //!
 //! ```text
 //! bench-gate [--baseline-dir BENCH_baseline] [--tolerance 0.30] \
-//!            [--tolerance-p99 0.50] [--update] NAME=CURRENT_PATH ...
+//!            [--tolerance-p99 0.50] [--tolerance-rps 0.50] [--update] \
+//!            NAME=CURRENT_PATH ...
 //! ```
 //!
 //! Each `NAME=PATH` pair compares the freshly produced artifact at `PATH`
 //! against `BASELINE_DIR/NAME`. Keys whose dotted path contains `p50` are
 //! gated at `--tolerance`; keys containing `p99` at the looser
-//! `--tolerance-p99` (tails are noisier, but may not regress unboundedly).
-//! A current value above `baseline × (1 + tolerance)` — or a gated
-//! baseline key missing from the current artifact — fails with exit
-//! code 1.
+//! `--tolerance-p99` (tails are noisier, but may not regress unboundedly);
+//! keys containing `rps` are gated from *below* at `--tolerance-rps`, so
+//! connection-scaling throughput cannot quietly collapse. A latency above
+//! `baseline × (1 + tolerance)`, a throughput below
+//! `baseline × (1 - tolerance)`, or a gated baseline key missing from the
+//! current artifact fails with exit code 1.
 //!
 //! Refreshing baselines (the skip path): run with `--update` to overwrite
 //! `BASELINE_DIR/NAME` with the current artifacts and exit 0, commit the
@@ -23,12 +26,13 @@
 
 use std::process::ExitCode;
 
-use ustr_bench::gate::{compare_latencies, parse};
+use ustr_bench::gate::{compare_scaling, parse};
 
 fn run() -> Result<bool, String> {
     let mut baseline_dir = "BENCH_baseline".to_string();
     let mut tolerance = 0.30f64;
     let mut tolerance_p99 = 0.50f64;
+    let mut tolerance_rps = 0.50f64;
     let mut update = false;
     let mut pairs: Vec<(String, String)> = Vec::new();
 
@@ -47,6 +51,12 @@ fn run() -> Result<bool, String> {
             "--tolerance-p99" => {
                 let raw = args.next().ok_or("--tolerance-p99 needs a value")?;
                 tolerance_p99 = raw
+                    .parse()
+                    .map_err(|_| format!("invalid tolerance {raw:?}"))?;
+            }
+            "--tolerance-rps" => {
+                let raw = args.next().ok_or("--tolerance-rps needs a value")?;
+                tolerance_rps = raw
                     .parse()
                     .map_err(|_| format!("invalid tolerance {raw:?}"))?;
             }
@@ -92,13 +102,17 @@ fn run() -> Result<bool, String> {
             }
         };
         let baseline = parse(&baseline_text).map_err(|e| format!("{baseline_path}: {e}"))?;
-        let report = compare_latencies(&baseline, &current, tolerance, tolerance_p99);
-        // The p50/p99 split mirrors the comparator's gating rule.
+        let report = compare_scaling(&baseline, &current, tolerance, tolerance_p99, tolerance_rps);
+        // The p50/p99/rps split mirrors the comparator's gating rule; rps
+        // keys are lower-bounded (slower is a negative drift).
         let tolerance_of = |key: &str| {
-            if key.to_ascii_lowercase().contains("p50") {
+            let key = key.to_ascii_lowercase();
+            if key.contains("p50") {
                 tolerance
-            } else {
+            } else if key.contains("p99") {
                 tolerance_p99
+            } else {
+                tolerance_rps
             }
         };
         for (key, base, now) in &report.passed {
@@ -116,7 +130,7 @@ fn run() -> Result<bool, String> {
         for r in &report.regressions {
             all_ok = false;
             println!(
-                "  FAIL {name} {}: {:.1} vs baseline {:.1} ({:+.1}% > {:.0}% tolerance)",
+                "  FAIL {name} {}: {:.1} vs baseline {:.1} ({:+.1}% exceeds the {:.0}% tolerance)",
                 r.key,
                 r.current,
                 r.baseline,
@@ -140,7 +154,7 @@ fn main() -> ExitCode {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => {
             eprintln!(
-                "bench-gate: latency regression(s) detected; if intentional, refresh the \
+                "bench-gate: regression(s) detected; if intentional, refresh the \
                  baselines with --update and commit BENCH_baseline/"
             );
             ExitCode::FAILURE

@@ -2,10 +2,12 @@
 //! comparator over the machine-readable `BENCH_*.json` artifacts.
 //!
 //! CI checks current bench output against the snapshots committed under
-//! `BENCH_baseline/` (see the `bench-gate` binary). Only keys whose dotted
+//! `BENCH_baseline/` (see the `bench-gate` binary). Keys whose dotted
 //! path contains `p50` (default 30% tolerance) or `p99` (looser, default
-//! 50%) are gated — throughput and one-shot maintenance durations are
-//! reported but too machine-dependent to fail a build on.
+//! 50%) are gated from above; keys containing `rps` are gated from *below*
+//! (default 50% headroom) so connection-scaling throughput cannot quietly
+//! collapse. One-shot maintenance durations are reported but too
+//! machine-dependent to fail a build on.
 
 /// A parsed JSON value (the subset the bench artifacts use, which is all of
 /// JSON minus exotic escapes).
@@ -275,23 +277,50 @@ impl GateReport {
     }
 }
 
-/// Shared comparator: `tolerance_of` decides, per dotted path (lowercased),
-/// whether a baseline key is gated and at what tolerance.
+/// Which way a gated metric is allowed to drift: latencies regress by going
+/// *up*, throughputs by going *down*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// Fail when `current > baseline × (1 + tolerance)` (latencies).
+    Upper(f64),
+    /// Fail when `current < baseline × (1 - tolerance)` (throughputs).
+    Lower(f64),
+}
+
+impl Bound {
+    /// The tolerance fraction, direction-agnostic (for reporting).
+    pub fn tolerance(self) -> f64 {
+        match self {
+            Bound::Upper(t) | Bound::Lower(t) => t,
+        }
+    }
+
+    fn violated(self, base: f64, now: f64) -> bool {
+        match self {
+            Bound::Upper(t) => now > base * (1.0 + t),
+            Bound::Lower(t) => now < base * (1.0 - t),
+        }
+    }
+}
+
+/// Shared comparator: `bound_of` decides, per dotted path (lowercased),
+/// whether a baseline key is gated, at what tolerance, and in which
+/// direction.
 fn compare_with(
     baseline: &Json,
     current: &Json,
-    tolerance_of: impl Fn(&str) -> Option<f64>,
+    bound_of: impl Fn(&str) -> Option<Bound>,
 ) -> GateReport {
     let current: std::collections::HashMap<String, f64> =
         flatten_numbers(current).into_iter().collect();
     let mut report = GateReport::default();
     for (key, base) in flatten_numbers(baseline) {
-        let Some(tolerance) = tolerance_of(&key.to_ascii_lowercase()) else {
+        let Some(bound) = bound_of(&key.to_ascii_lowercase()) else {
             continue;
         };
         match current.get(&key) {
             None => report.missing.push(key),
-            Some(&now) if now > base * (1.0 + tolerance) => report.regressions.push(Regression {
+            Some(&now) if bound.violated(base, now) => report.regressions.push(Regression {
                 key,
                 baseline: base,
                 current: now,
@@ -307,7 +336,7 @@ fn compare_with(
 /// ≤ `baseline × (1 + tolerance)` in the current artifact.
 pub fn compare_p50s(baseline: &Json, current: &Json, tolerance: f64) -> GateReport {
     compare_with(baseline, current, |key| {
-        key.contains("p50").then_some(tolerance)
+        key.contains("p50").then_some(Bound::Upper(tolerance))
     })
 }
 
@@ -323,9 +352,34 @@ pub fn compare_latencies(
 ) -> GateReport {
     compare_with(baseline, current, |key| {
         if key.contains("p50") {
-            Some(tolerance_p50)
+            Some(Bound::Upper(tolerance_p50))
         } else if key.contains("p99") {
-            Some(tolerance_p99)
+            Some(Bound::Upper(tolerance_p99))
+        } else {
+            None
+        }
+    })
+}
+
+/// The full serving gate: latency quantiles bounded from above exactly as
+/// [`compare_latencies`], plus every `rps` key bounded from *below* at
+/// `tolerance_rps` — connection-scaling throughput (the `conns_64` /
+/// `conns_256` sections of `BENCH_net.json`) may not quietly collapse while
+/// per-request medians stay green.
+pub fn compare_scaling(
+    baseline: &Json,
+    current: &Json,
+    tolerance_p50: f64,
+    tolerance_p99: f64,
+    tolerance_rps: f64,
+) -> GateReport {
+    compare_with(baseline, current, |key| {
+        if key.contains("p50") {
+            Some(Bound::Upper(tolerance_p50))
+        } else if key.contains("p99") {
+            Some(Bound::Upper(tolerance_p99))
+        } else if key.contains("rps") {
+            Some(Bound::Lower(tolerance_rps))
         } else {
             None
         }
@@ -429,6 +483,54 @@ mod tests {
         .unwrap();
         let report = compare_latencies(&baseline, &current, 0.30, 0.50);
         assert_eq!(report.missing, vec!["conns_8.threshold.p99_us".to_string()]);
+    }
+
+    #[test]
+    fn rps_keys_are_gated_from_below() {
+        let baseline = parse(
+            r#"{
+            "conns_256": { "throughput_rps": 10000.0,
+                           "threshold": { "p50_us": 100.0 } },
+            "ingest_docs_per_sec": 500.0
+        }"#,
+        )
+        .unwrap();
+        // Throughput collapsed to a third while the median held: the
+        // scaling gate fails exactly the rps key (docs/sec is not gated).
+        let current = parse(
+            r#"{
+            "conns_256": { "throughput_rps": 3333.0,
+                           "threshold": { "p50_us": 100.0 } },
+            "ingest_docs_per_sec": 1.0
+        }"#,
+        )
+        .unwrap();
+        let report = compare_scaling(&baseline, &current, 0.30, 0.50, 0.50);
+        assert_eq!(report.regressions.len(), 1, "{report:?}");
+        assert_eq!(report.regressions[0].key, "conns_256.throughput_rps");
+        assert_eq!(report.passed.len(), 1);
+
+        // Faster-than-baseline throughput passes with any headroom to
+        // spare; a *higher* rps can never regress.
+        let current = parse(
+            r#"{
+            "conns_256": { "throughput_rps": 50000.0,
+                           "threshold": { "p50_us": 100.0 } },
+            "ingest_docs_per_sec": 500.0
+        }"#,
+        )
+        .unwrap();
+        let report = compare_scaling(&baseline, &current, 0.30, 0.50, 0.50);
+        assert!(report.ok(), "{report:?}");
+
+        // A vanished rps key fails like a vanished latency key.
+        let current = parse(
+            r#"{"conns_256": { "threshold": { "p50_us": 100.0 } },
+                "ingest_docs_per_sec": 500.0}"#,
+        )
+        .unwrap();
+        let report = compare_scaling(&baseline, &current, 0.30, 0.50, 0.50);
+        assert_eq!(report.missing, vec!["conns_256.throughput_rps".to_string()]);
     }
 
     #[test]

@@ -111,7 +111,7 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     (
         "serve-net",
         "ustr serve-net (LIVEDIR | INDEXDIR | FILE.coll | FILE) --addr HOST:PORT \
-         [--threads N] [--inflight N] [--max-conns N] [--port-file PATH] \
+         [--threads N] [--io-threads N] [--inflight N] [--max-conns N] [--port-file PATH] \
          [--metrics-addr HOST:PORT] [--trace-sample F] [--slow-query-us N] \
          [--tau-min T0] [--epsilon E] [--quiet]",
         "serve queries over TCP (ustr-net wire protocol)",
@@ -794,6 +794,7 @@ fn cmd_serve_net(args: &Args) -> Result<String, String> {
     }
     let config = ustr_net::ServerConfig {
         threads: args.get_parsed("threads", 0usize)?,
+        io_threads: args.get_parsed("io-threads", 0usize)?,
         inflight: args.get_parsed("inflight", 64usize)?,
         max_conns: args.get_parsed("max-conns", 0usize)?,
         ..ustr_net::ServerConfig::default()

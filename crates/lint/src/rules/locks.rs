@@ -42,10 +42,10 @@ impl Rule for LockHygiene {
          fsync before the guard is dropped; an explicit `drop(<guard>)` before the blocking \
          call, or a tighter `{ … }` scope, satisfies it. It is a heuristic: guards bound \
          through patterns (`if let Some(g) = …`) or temporaries are not tracked. Designs \
-         that *intend* the coupling — e.g. ustr-net's per-connection writer lock, which \
-         exists precisely to serialize whole-frame `write_all`s — are audited exceptions in \
-         lint-allow.toml with the reason the stall is bounded to one connection. See \
-         INVARIANTS.md."
+         that genuinely *intend* the coupling can be audited exceptions in lint-allow.toml \
+         with a written reason the stall is bounded — though the last such design, \
+         ustr-net's per-connection writer lock, was retired by the event loop, which \
+         serializes frames with a single-owner write queue instead. See INVARIANTS.md."
     }
 
     fn applies(&self, _rel: &str) -> bool {

@@ -1,0 +1,769 @@
+//! The readiness-driven I/O engine behind [`crate::NetServer`].
+//!
+//! One small set of event-loop threads replaces the old two-threads-per-
+//! connection model: each loop owns a [`Poller`], a [`Waker`], and a share
+//! of the connections; loop 0 additionally owns the (non-blocking)
+//! listener and deals new connections round-robin. Sockets are
+//! non-blocking and level-triggered — the loop reads what is there, parses
+//! with [`FrameReader`], fans queries onto the shared `ustr-service`
+//! [`ThreadPool`](ustr_service::ThreadPool), and drains finished responses
+//! from a [`WakeQueue`] the pool workers push into (the push wakes the
+//! poller, so a response never waits for an unrelated readiness event).
+//!
+//! # Event-thread invariants (see `INVARIANTS.md`)
+//!
+//! * **No blocking syscalls on the event thread.** The only place a loop
+//!   thread parks is `Poller::wait`. Sockets are non-blocking from the
+//!   moment they are accepted; writes go through [`WriteQueue`] which
+//!   stops at `WouldBlock`; queries run on the pool, never inline.
+//! * **No guard held across `wait`.** The loop owns its connections
+//!   outright (a plain `HashMap`, no locks); the only shared state it
+//!   touches — the message queue and the lifecycle table — is locked
+//!   briefly and released before the next poll.
+//! * **Interest mirrors ability to act.** Read interest is dropped while a
+//!   connection's in-flight window is full (backpressure: unread bytes
+//!   stay in the kernel and TCP pushes back on the client) and while
+//!   draining; write interest exists only while the write queue is
+//!   non-empty. A level-triggered poller busy-loops otherwise.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ustr_obs::Span;
+use ustr_poll::{Interest, Poller, Waker};
+use ustr_service::{mode_name, QueryRequest, WakeQueue};
+
+use crate::conn::{FrameReader, FrameStep, Phase, WriteQueue};
+use crate::proto::{
+    err_code, frame_bytes, Frame, RemoteError, MIN_PROTOCOL_VERSION, NET_MAGIC, PROTOCOL_VERSION,
+};
+use crate::server::{stats_json, stats_text, Shared};
+
+/// Token for the listening socket (loop 0 only).
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Token for each loop's waker.
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+
+/// Messages other threads hand an event loop through its [`WakeQueue`].
+pub(crate) enum LoopMsg {
+    /// A freshly accepted connection this loop should own.
+    Conn(TcpStream),
+    /// A pool worker finished a query for connection `conn`: one
+    /// pre-framed response to enqueue (counted traffic, releases one
+    /// in-flight slot when fully written).
+    Done { conn: u64, bytes: Vec<u8> },
+}
+
+/// The handle other threads use to reach a loop: push a message, ring the
+/// waker. Kept in [`Shared`] so `shutdown` can wake every loop, and so
+/// loop 0 can route accepted connections.
+pub(crate) struct LoopHandle {
+    pub(crate) queue: Arc<WakeQueue<LoopMsg>>,
+    pub(crate) waker: Arc<Waker>,
+}
+
+/// Event-loop telemetry, shared by all loops of one server. Kept *outside*
+/// the server's metrics registry on purpose: a `Stats` scrape over TCP is
+/// itself readiness events and wakeups, so folding these counters into the
+/// TCP stats answer would break its byte-stability guarantee. They are
+/// exposed through [`crate::NetServer::loop_stats`] and folded into the
+/// HTTP [`crate::NetServer::metrics_source`] exposition instead.
+#[derive(Default)]
+pub struct LoopStats {
+    ready_events: AtomicU64,
+    wakeups: AtomicU64,
+    registered_conns: AtomicI64,
+}
+
+impl LoopStats {
+    fn note_events(&self, n: u64) {
+        // ordering: Relaxed — monotonic telemetry counter, no reader
+        // infers cross-thread state from it.
+        self.ready_events.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn note_wakeup(&self) {
+        // ordering: Relaxed — monotonic telemetry counter.
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn conn_registered(&self) {
+        // ordering: Relaxed — telemetry gauge; loops never branch on it.
+        self.registered_conns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn conn_deregistered(&self) {
+        // ordering: Relaxed — telemetry gauge.
+        self.registered_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the loop counters.
+    pub fn snapshot(&self) -> LoopStatsSnapshot {
+        LoopStatsSnapshot {
+            // ordering: Relaxed — a telemetry read; slight skew between
+            // the three loads is acceptable.
+            ready_events: self.ready_events.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            // ordering: Relaxed — same telemetry read as above.
+            registered_conns: self.registered_conns.load(Ordering::Relaxed).max(0) as u64,
+        }
+    }
+}
+
+/// Point-in-time event-loop counters (see `LoopStats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopStatsSnapshot {
+    /// Readiness events delivered across all loops since start.
+    pub ready_events: u64,
+    /// Waker firings (response completions, shutdown) across all loops.
+    pub wakeups: u64,
+    /// Connections currently registered with a poller.
+    pub registered_conns: u64,
+}
+
+/// One connection's full state. Owned by exactly one loop; never locked.
+struct Conn {
+    /// The poller token — unique per server, never reused, so a stale
+    /// readiness event or pool completion for a closed connection can
+    /// never be misdelivered to a newer one (fd numbers do get reused;
+    /// tokens do not).
+    id: u64,
+    stream: TcpStream,
+    reader: FrameReader,
+    wq: WriteQueue,
+    phase: Phase,
+    /// The negotiated protocol version (0 until the handshake completes).
+    session_version: u32,
+    /// Requests dispatched (or stats answers queued) whose responses have
+    /// not yet fully reached the socket — the backpressure window.
+    inflight: usize,
+    /// The read half is done: client EOF, client `Goodbye`, or a fatal
+    /// protocol error. No more bytes are consumed.
+    eof: bool,
+    /// The `HelloAck` went out: this session may receive a `Goodbye`.
+    handshaken: bool,
+    /// Joined the `conns_accepted`/`conns_open` counters (first query).
+    counted: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Fatal error frame to send once every accepted request has been
+    /// answered and flushed (the answer-first contract).
+    fatal: Option<Frame>,
+    /// The closing frame (fatal error or `Goodbye`) has been queued; when
+    /// the queue next runs dry the connection closes.
+    finale_queued: bool,
+}
+
+/// One readiness loop. `run` consumes it on a dedicated thread.
+pub(crate) struct EventLoop {
+    index: usize,
+    shared: Arc<Shared>,
+    poller: Poller,
+    waker: Arc<Waker>,
+    queue: Arc<WakeQueue<LoopMsg>>,
+    /// Loop 0 owns the listener until shutdown or `max_conns`.
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    /// Connections accepted so far (loop 0 only; drives `max_conns`).
+    accepted: usize,
+    /// Shutdown has been observed; no new work is admitted.
+    draining: bool,
+    /// Force-close moment for the shutdown drain.
+    deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    /// Builds one loop. The waker is already registered; the listener (loop
+    /// 0 only) is registered here.
+    pub(crate) fn new(
+        index: usize,
+        shared: Arc<Shared>,
+        poller: Poller,
+        waker: Arc<Waker>,
+        queue: Arc<WakeQueue<LoopMsg>>,
+        listener: Option<TcpListener>,
+    ) -> std::io::Result<Self> {
+        poller.register(waker.as_raw_fd(), WAKER_TOKEN, Interest::READ)?;
+        if let Some(l) = &listener {
+            l.set_nonblocking(true)?;
+            poller.register(l.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        }
+        Ok(Self {
+            index,
+            shared,
+            poller,
+            waker,
+            queue,
+            listener,
+            conns: HashMap::new(),
+            accepted: 0,
+            draining: false,
+            deadline: None,
+        })
+    }
+
+    /// The loop body: poll, dispatch readiness, drain the message queue,
+    /// repeat — until shutdown has been observed and every connection is
+    /// gone.
+    pub(crate) fn run(mut self) {
+        let mut events = Vec::new();
+        loop {
+            // ordering: SeqCst pairs with the store in shutdown(): once the
+            // flag is visible anywhere, no loop admits new work.
+            if !self.draining && self.shared.shutdown.load(Ordering::SeqCst) {
+                self.begin_drain();
+            }
+            if self.draining && self.conns.is_empty() {
+                break;
+            }
+            let timeout = self
+                .deadline
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // A failing poller cannot be waited on again without
+                // spinning; force the drain path so the loop terminates.
+                if !self.draining {
+                    self.begin_drain();
+                }
+                self.force_close_all();
+                continue;
+            }
+            self.shared.loop_stats.note_events(events.len() as u64);
+            for ev in events.drain(..) {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_burst(),
+                    WAKER_TOKEN => {
+                        self.shared.loop_stats.note_wakeup();
+                        self.waker.drain();
+                    }
+                    id => self.pump(id, ev.readable || ev.hangup, ev.hangup),
+                }
+            }
+            self.drain_queue();
+            if let Some(deadline) = self.deadline {
+                if self.draining && Instant::now() >= deadline {
+                    self.force_close_all();
+                }
+            }
+        }
+    }
+
+    /// Takes everything other threads queued: new connections to adopt,
+    /// finished responses to enqueue and flush.
+    fn drain_queue(&mut self) {
+        for msg in self.queue.drain() {
+            match msg {
+                LoopMsg::Conn(stream) => {
+                    if self.draining {
+                        // Accepted but never served: shutdown won the race.
+                        drop(stream);
+                        self.shared.release_active();
+                    } else {
+                        self.adopt(stream);
+                    }
+                }
+                LoopMsg::Done { conn, bytes } => {
+                    if let Some(c) = self.conns.get_mut(&conn) {
+                        c.wq.push(bytes, true, true);
+                        self.pump(conn, false, false);
+                    }
+                    // A vanished connection's responses are undeliverable;
+                    // dropping them mirrors the old writer's dead-socket
+                    // path.
+                }
+            }
+        }
+    }
+
+    /// Registers a routed connection with this loop's poller.
+    fn adopt(&mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            self.shared.release_active();
+            return;
+        }
+        // ordering: Relaxed — a unique-id counter; ids only need to be
+        // distinct, never ordered against other state.
+        let id = self.shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if self
+            .poller
+            .register(stream.as_raw_fd(), id, Interest::READ)
+            .is_err()
+        {
+            self.shared.release_active();
+            return;
+        }
+        self.shared.loop_stats.conn_registered();
+        self.conns.insert(
+            id,
+            Conn {
+                id,
+                stream,
+                reader: FrameReader::default(),
+                wq: WriteQueue::default(),
+                phase: Phase::Handshake,
+                session_version: 0,
+                inflight: 0,
+                eof: false,
+                handshaken: false,
+                counted: false,
+                interest: Interest::READ,
+                fatal: None,
+                finale_queued: false,
+            },
+        );
+    }
+
+    /// Accepts until the listener would block, routing connections across
+    /// the loops round-robin. Loop 0 only.
+    fn accept_burst(&mut self) {
+        loop {
+            // ordering: SeqCst pairs with the store in shutdown().
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return; // begin_drain (next iteration) retires the listener
+            }
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.accepted += 1;
+                    self.shared.acquire_active();
+                    let n = self.shared.loops.len().max(1);
+                    let target = (self.accepted - 1) % n;
+                    if let Some(handle) = self.shared.loops.get(target) {
+                        handle.queue.push(LoopMsg::Conn(stream));
+                    } else {
+                        // Unreachable (target < n); never leak the slot.
+                        drop(stream);
+                        self.shared.release_active();
+                    }
+                    let max = self.shared.config.max_conns;
+                    if max > 0 && self.accepted >= max {
+                        self.retire_listener();
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Persistent accept failures (EMFILE under fd pressure)
+                // leave the listener readable; yield to the poller rather
+                // than spin inside the burst.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Stops accepting for good: deregister, drop, and let `wait()` see
+    /// that the accept side is finished.
+    fn retire_listener(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        self.shared.finish_accept();
+    }
+
+    /// First reaction to shutdown: retire the listener, close handshake
+    /// connections (nothing promised yet), stop reading everywhere, and
+    /// start the drain clock.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.deadline = Some(Instant::now() + self.shared.config.drain_timeout);
+        if self.index == 0 {
+            self.retire_listener();
+        }
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let close_now = match self.conns.get_mut(&id) {
+                Some(conn) if conn.phase == Phase::Handshake => true,
+                Some(conn) => {
+                    conn.eof = true;
+                    conn.phase = Phase::Draining;
+                    false
+                }
+                None => false,
+            };
+            if close_now {
+                self.close_conn(id);
+            } else {
+                // Flush what is queued; idle connections reach the finale
+                // (Goodbye) immediately and close well inside the deadline.
+                self.pump(id, false, false);
+            }
+        }
+    }
+
+    /// Force-closes every remaining connection (drain deadline, or a dead
+    /// poller). Undelivered responses are dropped — the bounded-shutdown
+    /// contract.
+    fn force_close_all(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close_conn(id);
+        }
+    }
+
+    /// Deregisters and drops one connection, balancing every counter it
+    /// joined.
+    fn close_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.shared.loop_stats.conn_deregistered();
+            if conn.counted {
+                self.shared.metrics.conns_open.sub(1);
+            }
+            drop(conn);
+            self.shared.release_active();
+        }
+    }
+
+    /// Drives one connection as far as it can go without blocking: read,
+    /// parse, dispatch, flush, finish. `readable` hints that the socket
+    /// may have bytes; `hangup` reports a peer that is gone both ways (the
+    /// connection closes after this pass — level-triggered pollers would
+    /// otherwise report the hangup forever).
+    fn pump(&mut self, id: u64, readable: bool, hangup: bool) {
+        let Some(mut conn) = self.conns.remove(&id) else {
+            return;
+        };
+        let alive = self.drive(&mut conn, readable);
+        if !alive || hangup {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.shared.loop_stats.conn_deregistered();
+            if conn.counted {
+                self.shared.metrics.conns_open.sub(1);
+            }
+            drop(conn);
+            self.shared.release_active();
+            return;
+        }
+        let desired = Interest {
+            readable: !conn.eof
+                && match conn.phase {
+                    Phase::Handshake => true,
+                    Phase::Serving => conn.inflight < self.shared.config.inflight.max(1),
+                    Phase::Draining => false,
+                },
+            writable: !conn.wq.is_empty(),
+        };
+        if desired != conn.interest {
+            if self
+                .poller
+                .reregister(conn.stream.as_raw_fd(), id, desired)
+                .is_err()
+            {
+                self.shared.loop_stats.conn_deregistered();
+                if conn.counted {
+                    self.shared.metrics.conns_open.sub(1);
+                }
+                drop(conn);
+                self.shared.release_active();
+                return;
+            }
+            conn.interest = desired;
+        }
+        self.conns.insert(id, conn);
+    }
+
+    /// The state machine proper. Returns `false` when the connection is
+    /// finished (drained, dead, or refused) and must close now.
+    fn drive(&mut self, conn: &mut Conn, readable: bool) -> bool {
+        let max_inflight = self.shared.config.inflight.max(1);
+        let max_frame = self.shared.config.max_frame_len;
+        let mut can_read = readable && !conn.eof;
+        loop {
+            // Read while the backpressure window is open. Past the window
+            // the bytes stay in the kernel and TCP flow control stalls the
+            // client — per-connection memory stays bounded by
+            // inflight × max_frame_len plus one read chunk.
+            while can_read && conn.phase != Phase::Draining && conn.inflight < max_inflight {
+                let mut buf = [0u8; 16 * 1024];
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        can_read = false;
+                    }
+                    Ok(n) => conn.reader.extend(buf.get(..n).unwrap_or_default()),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => can_read = false,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    // A transport error mid-read means the peer is gone; an
+                    // error frame could not be delivered anyway.
+                    Err(_) => return false,
+                }
+            }
+
+            // Parse and act on every complete frame the window allows.
+            while conn.phase != Phase::Draining && conn.inflight < max_inflight {
+                match conn.reader.next(max_frame, conn.eof) {
+                    FrameStep::NeedMore => break,
+                    FrameStep::Frame { frame, wire_len } => self.on_frame(conn, frame, wire_len),
+                    FrameStep::Malformed(e) => {
+                        let message = if conn.phase == Phase::Handshake {
+                            format!("malformed handshake frame: {e}")
+                        } else {
+                            format!("malformed frame: {e}")
+                        };
+                        conn.fatal = Some(Frame::Error {
+                            code: err_code::MALFORMED_FRAME,
+                            message,
+                        });
+                        conn.eof = true;
+                        conn.phase = Phase::Draining;
+                    }
+                }
+            }
+
+            // A clean end of stream (EOF at a frame boundary, or the
+            // client's Goodbye already handled) starts the drain.
+            if conn.eof && conn.phase != Phase::Draining && conn.reader.is_empty() {
+                conn.phase = Phase::Draining;
+            }
+
+            // Flush as much as the socket accepts.
+            let completions = match conn.wq.flush(&mut conn.stream) {
+                Ok(c) => c,
+                Err(()) => return false,
+            };
+            let mut released = false;
+            for done in completions {
+                if done.counted {
+                    self.shared.metrics.frames_out.inc();
+                    self.shared.metrics.bytes_out.add(done.len as u64);
+                }
+                if done.releases_slot {
+                    conn.inflight = conn.inflight.saturating_sub(1);
+                    released = true;
+                }
+            }
+
+            // Drain finish: every accepted request answered and flushed,
+            // then exactly one closing frame, then close. A Goodbye is
+            // only owed on a server-initiated drain of a handshaken
+            // session.
+            if conn.phase == Phase::Draining && conn.inflight == 0 && conn.wq.is_empty() {
+                if conn.finale_queued {
+                    return false;
+                }
+                conn.finale_queued = true;
+                // ordering: SeqCst pairs with the store in shutdown():
+                // only a server-initiated drain says Goodbye.
+                let goodbye = conn.handshaken && self.shared.shutdown.load(Ordering::SeqCst);
+                match conn.fatal.take() {
+                    Some(frame) => conn.wq.push(frame_bytes(&frame), false, false),
+                    None if goodbye => conn.wq.push(frame_bytes(&Frame::Goodbye), false, false),
+                    None => return false,
+                }
+                continue; // flush the finale
+            }
+
+            // Freed slots may re-open the window over already-buffered
+            // bytes (or a still-readable socket): go around again.
+            if released && conn.phase != Phase::Draining && (can_read || !conn.reader.is_empty()) {
+                continue;
+            }
+            return true;
+        }
+    }
+
+    /// Handles one well-formed frame according to the connection's phase —
+    /// the dispatch table of the old per-connection reader thread, minus
+    /// the blocking.
+    fn on_frame(&self, conn: &mut Conn, frame: Frame, wire_len: u64) {
+        match (conn.phase, frame) {
+            (Phase::Handshake, Frame::Hello { magic, version }) if magic == NET_MAGIC => {
+                if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+                    conn.fatal = Some(Frame::Error {
+                        code: err_code::UNSUPPORTED_VERSION,
+                        message: format!(
+                            "protocol version {version} is not supported (this server \
+                             speaks {MIN_PROTOCOL_VERSION} through {PROTOCOL_VERSION})"
+                        ),
+                    });
+                    conn.eof = true;
+                    conn.phase = Phase::Draining;
+                    return;
+                }
+                conn.session_version = version;
+                conn.handshaken = true;
+                conn.phase = Phase::Serving;
+                conn.wq.push(
+                    frame_bytes(&Frame::HelloAck {
+                        version,
+                        num_docs: self.shared.backend.num_docs() as u64,
+                        tau_min: self.shared.backend.tau_min(),
+                    }),
+                    false,
+                    false,
+                );
+            }
+            (Phase::Handshake, _) => {
+                conn.fatal = Some(Frame::Error {
+                    code: err_code::BAD_HANDSHAKE,
+                    message: "the first frame must be Hello with magic USTRNET1".into(),
+                });
+                conn.eof = true;
+                conn.phase = Phase::Draining;
+            }
+            (Phase::Serving, Frame::Request { id, request }) => {
+                self.note_request(conn, wire_len);
+                conn.inflight += 1;
+                self.dispatch(conn.id, id, request, None);
+            }
+            (Phase::Serving, Frame::RequestTraced { id, request, trace }) => {
+                if conn.session_version < 3 {
+                    conn.fatal = Some(Frame::Error {
+                        code: err_code::MALFORMED_FRAME,
+                        message: format!(
+                            "RequestTraced requires protocol version 3 \
+                             (this session negotiated {})",
+                            conn.session_version
+                        ),
+                    });
+                    conn.eof = true;
+                    conn.phase = Phase::Draining;
+                    return;
+                }
+                self.note_request(conn, wire_len);
+                conn.inflight += 1;
+                self.dispatch(
+                    conn.id,
+                    id,
+                    request,
+                    Some(ustr_obs::TraceContext::from(trace)),
+                );
+            }
+            (Phase::Serving, Frame::StatsRequest { id }) => {
+                // Answered inline (a snapshot render, not a query) but
+                // still through the in-flight window, so it stays ordered
+                // behind the backpressure bound and the drain accounts for
+                // it. Deliberately invisible to every counter: two idle
+                // scrapes return identical bytes.
+                conn.inflight += 1;
+                let text = stats_text(&self.shared);
+                conn.wq
+                    .push(frame_bytes(&Frame::StatsResponse { id, text }), false, true);
+            }
+            (Phase::Serving, Frame::StatsJsonRequest { id }) => {
+                if conn.session_version < 3 {
+                    conn.fatal = Some(Frame::Error {
+                        code: err_code::MALFORMED_FRAME,
+                        message: format!(
+                            "StatsJsonRequest requires protocol version 3 \
+                             (this session negotiated {})",
+                            conn.session_version
+                        ),
+                    });
+                    conn.eof = true;
+                    conn.phase = Phase::Draining;
+                    return;
+                }
+                conn.inflight += 1;
+                let text = stats_json(&self.shared);
+                conn.wq
+                    .push(frame_bytes(&Frame::StatsResponse { id, text }), false, true);
+            }
+            (Phase::Serving, Frame::Goodbye) => {
+                conn.eof = true;
+                conn.phase = Phase::Draining;
+            }
+            (Phase::Serving, _) => {
+                conn.fatal = Some(Frame::Error {
+                    code: err_code::MALFORMED_FRAME,
+                    message: "unexpected frame kind mid-session".into(),
+                });
+                conn.eof = true;
+                conn.phase = Phase::Draining;
+            }
+            // Parsing is gated off while draining; nothing reaches here.
+            (Phase::Draining, _) => {}
+        }
+    }
+
+    /// First-query connection accounting plus per-request traffic counters
+    /// (exactly the frames the old reader counted: query requests only).
+    fn note_request(&self, conn: &mut Conn, wire_len: u64) {
+        if !conn.counted {
+            conn.counted = true;
+            self.shared.metrics.conns_accepted.inc();
+            self.shared.metrics.conns_open.add(1);
+        }
+        self.shared.metrics.frames_in.inc();
+        self.shared.metrics.bytes_in.add(wire_len);
+        self.shared.metrics.requests.inc();
+    }
+
+    /// Fans one query onto the shared pool; the worker computes, frames,
+    /// and pushes the response back through this loop's queue (the push
+    /// rings the waker).
+    fn dispatch(
+        &self,
+        conn_id: u64,
+        id: u64,
+        request: QueryRequest,
+        parent: Option<ustr_obs::TraceContext>,
+    ) {
+        let backend = Arc::clone(&self.shared.backend);
+        let queue = Arc::clone(&self.queue);
+        let rtt = self.shared.metrics.rtt_for(mode_name(&request)).clone();
+        self.shared.pool.execute(move || {
+            let span = Span::on(rtt);
+            let bytes = match parent {
+                None => {
+                    let result = backend
+                        .query_requests(std::slice::from_ref(&request))
+                        .pop()
+                        .unwrap_or_else(|| {
+                            Err(ustr_core::Error::internal(
+                                "the backend returned no response for a one-request batch",
+                            ))
+                        })
+                        .map_err(|e| RemoteError::from(&e));
+                    frame_bytes(&Frame::Response { id, result })
+                }
+                Some(parent) => {
+                    let (result, summary) = backend
+                        .query_requests_traced(
+                            std::slice::from_ref(&request),
+                            std::slice::from_ref(&Some(parent)),
+                        )
+                        .pop()
+                        .unwrap_or_else(|| {
+                            (
+                                Err(ustr_core::Error::internal(
+                                    "the backend returned no response for a one-request batch",
+                                )),
+                                None,
+                            )
+                        });
+                    let result = result.map_err(|e| RemoteError::from(&e));
+                    // Per-stage server timings ride back on the response;
+                    // an untraced backend (or unsampled trace) reports
+                    // none.
+                    let timings = summary
+                        .map(|s| {
+                            s.stages
+                                .into_iter()
+                                .map(|(name, us)| (name.to_string(), us))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    frame_bytes(&Frame::ResponseTimed {
+                        id,
+                        result,
+                        timings,
+                    })
+                }
+            };
+            span.finish();
+            queue.push(LoopMsg::Done {
+                conn: conn_id,
+                bytes,
+            });
+        });
+    }
+}

@@ -14,14 +14,19 @@
 //!   values the in-process engine dispatches, with `f64` probabilities as
 //!   IEEE-754 bit patterns — a decoded response compares equal to the
 //!   in-process answer, bit for bit.
-//! * **Server** ([`NetServer`]) — one accept thread, one reader thread per
-//!   connection, and query execution fanned onto the shared
-//!   [`ustr_service::ThreadPool`]. The backend is anything implementing
-//!   [`QueryBackend`]: a static [`ustr_service::QueryService`] (`.coll`
-//!   snapshot or snapshot directory) or a mutable
-//!   [`ustr_live::LiveService`] — both reached through the same
-//!   `Engine`/`SegmentSet` dispatch path, so network answers inherit the
-//!   determinism contract (parallel ≡ sequential, at any thread count).
+//! * **Server** ([`NetServer`]) — a small set of readiness-driven event
+//!   loops ([`ustr_poll::Poller`]: epoll on Linux, poll(2) elsewhere) own
+//!   a non-blocking listener and every connection's state machine
+//!   (`conn`: handshake → framed read → dispatch → framed write, with
+//!   partial-read and partial-write buffers), while query execution fans
+//!   onto the shared [`ustr_service::ThreadPool`] and finished responses
+//!   return through a wakeable queue. The backend is anything
+//!   implementing [`QueryBackend`]: a static
+//!   [`ustr_service::QueryService`] (`.coll` snapshot or snapshot
+//!   directory) or a mutable [`ustr_live::LiveService`] — both reached
+//!   through the same `Engine`/`SegmentSet` dispatch path, so network
+//!   answers inherit the determinism contract (parallel ≡ sequential, at
+//!   any thread count).
 //! * **Client** ([`NetClient`]) — handshakes, pipelines whole batches in
 //!   one write, and re-aligns out-of-order responses by request id.
 //! * **Telemetry** — every server keeps an instance-scoped
@@ -89,10 +94,13 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub(crate) mod conn;
+mod event_loop;
 pub mod proto;
 pub mod server;
 
 pub use client::{NetClient, NetError, ServerInfo};
+pub use event_loop::LoopStatsSnapshot;
 pub use proto::{
     Frame, RemoteError, WireTraceContext, DEFAULT_MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, NET_MAGIC,
     PROTOCOL_VERSION,

@@ -1,60 +1,69 @@
-//! The concurrent TCP server: accept loop, per-connection pipelining,
-//! bounded in-flight backpressure, graceful drain.
+//! The concurrent TCP server: readiness-driven event loops, per-connection
+//! state machines, bounded in-flight backpressure, graceful drain.
 //!
 //! # Threading model
 //!
-//! One accept thread owns the listener. Each connection gets one reader
-//! thread (handshake + frame decode) and one writer thread (response
-//! frames, each a single pre-framed buffer, so responses never interleave
-//! on the wire); query execution fans onto the shared [`ThreadPool`] — the
-//! same `ustr-service` pool type the in-process engine uses — so `N`
-//! connections pipelining requests share one fixed set of workers. (Each
-//! worker drives `backend.query_requests`, which in turn fans shards onto
-//! the backend engine's own pool — the server pool bounds concurrent
-//! *requests*, the engine pool bounds per-request index parallelism.)
-//! Pool workers only compute and enqueue: a slow or non-reading client
-//! stalls its own writer thread, never a shared query worker, so one bad
-//! client cannot starve the other connections.
+//! A small fixed set of event-loop threads ([`ServerConfig::io_threads`])
+//! drives every connection through a readiness poller
+//! ([`ustr_poll::Poller`]: epoll on Linux, poll(2) elsewhere). Loop 0 owns
+//! the non-blocking listener and deals accepted connections across the
+//! loops round-robin; each loop owns its connections outright — their
+//! partial-read buffers, write queues, and phase machines
+//! (`Handshake → Serving → Draining`, see `crate::conn`) — so no
+//! per-connection state is ever locked. Query execution still fans onto
+//! the shared [`ThreadPool`] — the same `ustr-service` pool type the
+//! in-process engine uses — so `N` connections pipelining requests share
+//! one fixed set of workers. (Each worker drives
+//! `backend.query_requests`, which in turn fans shards onto the backend
+//! engine's own pool — the server pool bounds concurrent *requests*, the
+//! engine pool bounds per-request index parallelism.) A finished worker
+//! pushes the framed response into the owning loop's wake queue and rings
+//! its waker; the loop flushes it on the next pass. Pool workers never
+//! touch a socket: a slow or non-reading client backs up only its own
+//! write queue (bounded by the in-flight window), never a shared query
+//! worker, so one bad client cannot starve the other connections.
 //!
 //! # Backpressure
 //!
-//! Every connection holds a bounded in-flight permit counter
-//! ([`ServerConfig::inflight`]). The reader acquires a permit *before*
-//! decoding past a request and blocks when the connection already has that
-//! many answers outstanding — it simply stops reading, and TCP flow control
-//! propagates the stall to the client. Memory per connection is therefore
-//! bounded by `inflight × max_frame_len` regardless of how aggressively a
-//! client pipelines.
+//! Every connection has a bounded in-flight window
+//! ([`ServerConfig::inflight`]): requests decoded but not yet fully
+//! answered *on the wire*. At the bound the loop stops reading and parsing
+//! that connection — its unread bytes stay in the kernel and TCP flow
+//! control propagates the stall to the client. Memory per connection is
+//! therefore bounded by `inflight × max_frame_len` (plus one read chunk)
+//! regardless of how aggressively a client pipelines. A slot is released
+//! only when its response frame has completely reached the socket, exactly
+//! like the old per-connection writer releasing its permit after
+//! `write_all`.
 //!
 //! # Shutdown
 //!
 //! [`NetServer::shutdown`] (also run on drop) is a drain, not an abort:
-//! the listener stops accepting, every connection's read half is shut down
-//! (no *new* requests), all in-flight queries run to completion and their
-//! responses are written, then each connection receives [`Frame::Goodbye`]
-//! and closes. A client that stops *reading* its responses cannot be
-//! drained; after [`ServerConfig::drain_timeout`] its socket is
-//! force-closed so shutdown always terminates. `shutdown` returns only
-//! after every connection thread has exited.
+//! the listener retires, every connection stops *reading* (no new
+//! requests), all in-flight queries run to completion and their responses
+//! flush, then each handshaken connection receives [`crate::proto::Frame::Goodbye`] and
+//! closes. A client that stops reading its responses cannot be drained;
+//! after [`ServerConfig::drain_timeout`] its socket is force-closed so
+//! shutdown always terminates. With only idle connections the drain is
+//! just a Goodbye per socket — shutdown completes in milliseconds even
+//! with hundreds of them. `shutdown` returns only after every event loop
+//! has exited.
 
-use std::collections::HashMap;
-use std::io::Write;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ustr_core::Error;
-use ustr_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Span, Tracer};
+use ustr_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Tracer};
+use ustr_poll::{Poller, Waker};
 use ustr_service::{
-    lock_clean, mode_name, wait_clean, wait_timeout_clean, QueryRequest, QueryResponse,
-    QueryService, ThreadPool, TraceSummary,
+    lock_clean, wait_clean, QueryRequest, QueryResponse, QueryService, ThreadPool, TraceSummary,
+    WakeQueue,
 };
 
-use crate::proto::{
-    decode_frame, err_code, frame_bytes, read_message, Frame, RemoteError, DEFAULT_MAX_FRAME_LEN,
-    MIN_PROTOCOL_VERSION, NET_MAGIC, PROTOCOL_VERSION,
-};
+use crate::event_loop::{EventLoop, LoopHandle, LoopMsg, LoopStats, LoopStatsSnapshot};
+use crate::proto::DEFAULT_MAX_FRAME_LEN;
 
 /// Anything the server can answer queries from: the static
 /// [`QueryService`], the mutable [`ustr_live::LiveService`], or any other
@@ -181,15 +190,15 @@ impl QueryBackend for ustr_live::LiveService {
 /// Per-server-instance telemetry. Instance-scoped (not the process-global
 /// registry) so that parallel servers in one process — the test suite, or
 /// a benchmark harness — never bleed into each other's `Stats` answers.
-struct NetMetrics {
-    registry: MetricsRegistry,
-    conns_accepted: Counter,
-    conns_open: Gauge,
-    frames_in: Counter,
-    frames_out: Counter,
-    bytes_in: Counter,
-    bytes_out: Counter,
-    requests: Counter,
+pub(crate) struct NetMetrics {
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) conns_accepted: Counter,
+    pub(crate) conns_open: Gauge,
+    pub(crate) frames_in: Counter,
+    pub(crate) frames_out: Counter,
+    pub(crate) bytes_in: Counter,
+    pub(crate) bytes_out: Counter,
+    pub(crate) requests: Counter,
     rtt_threshold: Histogram,
     rtt_top_k: Histogram,
     rtt_listing: Histogram,
@@ -215,7 +224,7 @@ impl NetMetrics {
         }
     }
 
-    fn rtt_for(&self, mode: &str) -> &Histogram {
+    pub(crate) fn rtt_for(&self, mode: &str) -> &Histogram {
         match mode {
             "threshold" => &self.rtt_threshold,
             "top_k" => &self.rtt_top_k,
@@ -231,12 +240,18 @@ pub struct ServerConfig {
     /// Query worker threads shared by every connection (0 = one per
     /// available core).
     pub threads: usize,
+    /// Event-loop (I/O) threads driving connection readiness. Each loop
+    /// owns a share of the connections; loop 0 also owns the listener.
+    /// `0` picks a small automatic count from the available cores — I/O
+    /// readiness is cheap, so a handful of loops drives hundreds of
+    /// connections.
+    pub io_threads: usize,
     /// Cap on one frame's payload length; larger frames are answered with a
     /// fatal error frame before the body is read.
     pub max_frame_len: usize,
     /// Per-connection bound on pipelined requests being computed or awaiting
-    /// write (min 1). The reader stops consuming frames at the bound, so
-    /// TCP flow control pushes back on the client.
+    /// write (min 1). The loop stops reading that connection at the bound,
+    /// so TCP flow control pushes back on the client.
     pub inflight: usize,
     /// When non-zero, stop accepting after this many connections (the
     /// already-accepted ones are served to completion). `0` accepts until
@@ -253,6 +268,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             threads: 0,
+            io_threads: 0,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             inflight: 64,
             max_conns: 0,
@@ -261,76 +277,53 @@ impl Default for ServerConfig {
     }
 }
 
-/// Bounded in-flight counter: acquire blocks at the bound; `wait_idle`
-/// blocks until every permit is back (the connection's drain barrier).
-struct Permits {
-    max: usize,
-    in_use: Mutex<usize>,
-    returned: Condvar,
-}
-
-impl Permits {
-    fn new(max: usize) -> Self {
-        Self {
-            max: max.max(1),
-            in_use: Mutex::new(0),
-            returned: Condvar::new(),
-        }
-    }
-
-    fn acquire(&self) {
-        let mut n = lock_clean(&self.in_use);
-        while *n >= self.max {
-            n = wait_clean(&self.returned, n);
-        }
-        *n += 1;
-    }
-
-    fn release(&self) {
-        let mut n = lock_clean(&self.in_use);
-        *n -= 1;
-        self.returned.notify_all();
-    }
-
-    fn wait_idle(&self) {
-        let mut n = lock_clean(&self.in_use);
-        while *n > 0 {
-            n = wait_clean(&self.returned, n);
-        }
-    }
-}
-
-/// Connection bookkeeping shared with the accept loop and `shutdown`.
+/// What `wait`/`shutdown` block on: connections still alive anywhere, and
+/// whether the accept side has permanently stopped.
 #[derive(Default)]
-struct ConnTable {
-    /// Socket handles, for unblocking reader threads during shutdown.
-    streams: HashMap<u64, TcpStream>,
-    /// Reader threads not yet joined. Each exiting thread reaps its own
-    /// entry (long-running servers must not accumulate one handle per
-    /// connection ever served); `wait` joins whatever remains.
-    threads: HashMap<u64, JoinHandle<()>>,
-    /// Live connection count (threads still running).
-    active: usize,
+pub(crate) struct Lifecycle {
+    /// Accepted connections not yet closed (spans routing and serving).
+    pub(crate) active: usize,
+    /// The listener has retired (shutdown, or `max_conns` reached).
+    pub(crate) accept_done: bool,
 }
 
-struct Shared {
-    backend: Arc<dyn QueryBackend>,
-    pool: ThreadPool,
-    config: ServerConfig,
-    shutdown: AtomicBool,
-    conns: Mutex<ConnTable>,
-    conns_changed: Condvar,
-    next_conn: AtomicU64,
-    metrics: NetMetrics,
+/// State shared by the event loops, the pool workers, and the server
+/// handle.
+pub(crate) struct Shared {
+    pub(crate) backend: Arc<dyn QueryBackend>,
+    pub(crate) pool: ThreadPool,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) lifecycle: Mutex<Lifecycle>,
+    pub(crate) lifecycle_changed: Condvar,
+    pub(crate) next_conn: AtomicU64,
+    pub(crate) metrics: NetMetrics,
+    pub(crate) loop_stats: LoopStats,
+    pub(crate) loops: Vec<LoopHandle>,
 }
 
 impl Shared {
-    /// Writes one pre-framed message; I/O errors are swallowed (a vanished
-    /// client is not a server failure).
-    fn send(writer: &Mutex<TcpStream>, frame: &Frame) {
-        let bytes = frame_bytes(frame);
-        let mut stream = lock_clean(writer);
-        let _ = stream.write_all(&bytes);
+    /// One more accepted connection is alive (counted at accept time, so a
+    /// connection in transit between loops is never invisible to `wait`).
+    pub(crate) fn acquire_active(&self) {
+        lock_clean(&self.lifecycle).active += 1;
+    }
+
+    /// One connection fully closed.
+    pub(crate) fn release_active(&self) {
+        {
+            let mut l = lock_clean(&self.lifecycle);
+            l.active = l.active.saturating_sub(1);
+        }
+        self.lifecycle_changed.notify_all();
+    }
+
+    /// The accept side has permanently stopped.
+    pub(crate) fn finish_accept(&self) {
+        {
+            lock_clean(&self.lifecycle).accept_done = true;
+        }
+        self.lifecycle_changed.notify_all();
     }
 }
 
@@ -339,7 +332,7 @@ impl Shared {
 pub struct NetServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Mutex<Option<JoinHandle<()>>>,
+    loops: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl NetServer {
@@ -357,24 +350,81 @@ impl NetServer {
         } else {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         };
+        let io_threads = if config.io_threads > 0 {
+            config.io_threads
+        } else {
+            // Readiness dispatch is cheap: one loop drives hundreds of
+            // connections, so even large machines want only a few.
+            std::thread::available_parallelism().map_or(1, |n| (n.get() / 2).clamp(1, 4))
+        };
+
+        // Build each loop's poller/waker/queue first so every loop (and
+        // `shutdown`) can reach every other loop through `Shared.loops`.
+        let mut parts = Vec::with_capacity(io_threads);
+        let mut handles = Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            let poller = Poller::new()?;
+            let waker = Arc::new(Waker::new()?);
+            let queue = Arc::new(WakeQueue::new({
+                let waker = Arc::clone(&waker);
+                move || waker.wake()
+            }));
+            handles.push(LoopHandle {
+                queue: Arc::clone(&queue),
+                waker: Arc::clone(&waker),
+            });
+            parts.push((poller, waker, queue));
+        }
+
         let shared = Arc::new(Shared {
             backend,
             pool: ThreadPool::new(threads),
             config,
             shutdown: AtomicBool::new(false),
-            conns: Mutex::new(ConnTable::default()),
-            conns_changed: Condvar::new(),
+            lifecycle: Mutex::new(Lifecycle::default()),
+            lifecycle_changed: Condvar::new(),
             next_conn: AtomicU64::new(0),
             metrics: NetMetrics::new(),
+            loop_stats: LoopStats::default(),
+            loops: handles,
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("ustr-net-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+
+        let mut join = Vec::with_capacity(io_threads);
+        let mut listener = Some(listener);
+        for (index, (poller, waker, queue)) in parts.into_iter().enumerate() {
+            let built = EventLoop::new(
+                index,
+                Arc::clone(&shared),
+                poller,
+                waker,
+                queue,
+                if index == 0 { listener.take() } else { None },
+            );
+            let spawned = built.and_then(|event_loop| {
+                std::thread::Builder::new()
+                    .name(format!("ustr-net-io-{index}"))
+                    .spawn(move || event_loop.run())
+            });
+            match spawned {
+                Ok(handle) => join.push(handle),
+                Err(e) => {
+                    // Unwind the loops already running before reporting.
+                    // ordering: SeqCst — the shutdown edge (see shutdown()).
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    for h in &shared.loops {
+                        h.waker.wake();
+                    }
+                    for handle in join {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
         Ok(Self {
             addr,
             shared,
-            accept: Mutex::new(Some(accept)),
+            loops: Mutex::new(join),
         })
     }
 
@@ -390,21 +440,41 @@ impl NetServer {
         self.shared.metrics.registry.snapshot()
     }
 
-    /// The exact text a [`Frame::StatsRequest`] on this server is answered
+    /// Point-in-time event-loop counters: readiness events delivered,
+    /// waker firings, connections registered with the pollers. Kept out of
+    /// the TCP `Stats` answers on purpose (a scrape over TCP is itself
+    /// readiness events, so counting it there would break the answers'
+    /// byte-stability); the HTTP [`NetServer::metrics_source`] exposition
+    /// carries them as `net.loop.*`.
+    pub fn loop_stats(&self) -> LoopStatsSnapshot {
+        self.shared.loop_stats.snapshot()
+    }
+
+    /// The exact text a [`crate::proto::Frame::StatsRequest`] on this server is answered
     /// with: server + backend telemetry in the exposition format, followed
     /// by any slow-query lines.
     pub fn stats_text(&self) -> String {
         stats_text(&self.shared)
     }
 
-    /// An owning snapshot source (server + backend metrics merged) for
-    /// wiring into an exposition endpoint that must outlive any borrow of
-    /// the server — e.g. `ustr_obs::MetricsServer::serve_with`.
+    /// An owning snapshot source (server + backend metrics merged, plus
+    /// the `net.loop.*` event-loop counters) for wiring into an exposition
+    /// endpoint that must outlive any borrow of the server — e.g.
+    /// `ustr_obs::MetricsServer::serve_with`.
     pub fn metrics_source(&self) -> impl Fn() -> MetricsSnapshot + Send + Sync + 'static {
         let shared = Arc::clone(&self.shared);
         move || {
             let mut snap = shared.metrics.registry.snapshot();
             snap.merge(&shared.backend.metrics_snapshot());
+            let loops = shared.loop_stats.snapshot();
+            snap.counters
+                .insert("net.loop.ready_events".into(), loops.ready_events);
+            snap.counters
+                .insert("net.loop.wakeups".into(), loops.wakeups);
+            snap.gauges.insert(
+                "net.loop.conns_registered".into(),
+                loops.registered_conns.min(i64::MAX as u64) as i64,
+            );
             snap
         }
     }
@@ -425,69 +495,55 @@ impl NetServer {
 
     /// Connections currently being served.
     pub fn active_connections(&self) -> usize {
-        lock_clean(&self.shared.conns).active
+        lock_clean(&self.shared.lifecycle).active
     }
 
-    /// Blocks until the accept loop has stopped (shutdown requested, or
+    /// Blocks until accepting has stopped (shutdown requested, or
     /// [`ServerConfig::max_conns`] reached) **and** every accepted
     /// connection has fully drained. A `max_conns` server is "served to
     /// completion" when this returns.
     pub fn wait(&self) {
-        if let Some(handle) = lock_clean(&self.accept).take() {
-            let _ = handle.join();
-        }
-        let handles = {
-            let mut table = lock_clean(&self.shared.conns);
-            while table.active > 0 {
-                table = wait_clean(&self.shared.conns_changed, table);
-            }
-            std::mem::take(&mut table.threads)
-        };
-        for (_, handle) in handles {
-            let _ = handle.join();
+        let mut lifecycle = lock_clean(&self.shared.lifecycle);
+        while !(lifecycle.accept_done && lifecycle.active == 0) {
+            lifecycle = wait_clean(&self.shared.lifecycle_changed, lifecycle);
         }
     }
 
-    /// Graceful shutdown: stop accepting, stop *reading* (each connection's
-    /// read half is shut down), let every in-flight query finish and its
-    /// response flush, send [`Frame::Goodbye`], close. A connection whose
+    /// Graceful shutdown: stop accepting, stop *reading* (no connection
+    /// admits another request), let every in-flight query finish and its
+    /// response flush, send [`crate::proto::Frame::Goodbye`], close. A connection whose
     /// client stops reading its responses cannot flush; after
     /// [`ServerConfig::drain_timeout`] such stragglers have their sockets
     /// force-closed (their remaining responses are dropped — the
     /// alternative is a shutdown that never returns). Returns when every
-    /// connection thread has exited. Idempotent.
+    /// event loop has exited. Idempotent.
     pub fn shutdown(&self) {
-        // ordering: SeqCst — shutdown is a once-per-server edge whose flag,
-        // socket shutdowns, and condvar signals must appear in one total
-        // order to every connection thread; contention is irrelevant here.
+        // ordering: SeqCst — shutdown is a once-per-server edge whose flag
+        // and waker signals must appear in one total order to every loop
+        // and pool worker; contention is irrelevant here.
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the accept loop with a throwaway connection; if the loop
-        // already exited (max_conns reached) the connect simply fails.
-        let _ = TcpStream::connect(self.addr);
-        {
-            let table = lock_clean(&self.shared.conns);
-            for stream in table.streams.values() {
-                let _ = stream.shutdown(Shutdown::Read);
-            }
+        for handle in &self.shared.loops {
+            handle.waker.wake();
         }
-        // Graceful drain window, then force-close whoever is left: a
-        // write_all wedged on a non-reading client fails once the socket
-        // is fully shut down, releasing its permits and its reader.
-        let deadline = std::time::Instant::now() + self.shared.config.drain_timeout;
-        {
-            let mut table = lock_clean(&self.shared.conns);
-            while table.active > 0 {
-                let now = std::time::Instant::now();
-                if now >= deadline {
-                    for stream in table.streams.values() {
-                        let _ = stream.shutdown(Shutdown::Both);
-                    }
-                    break;
+        let joinable = {
+            let mut guard = lock_clean(&self.loops);
+            std::mem::take(&mut *guard)
+        };
+        for handle in joinable {
+            let _ = handle.join();
+        }
+        // Final sweep: a connection routed in the same instant its target
+        // loop exited would otherwise leak its lifecycle slot. All loops
+        // are gone, so draining here races with nothing.
+        for handle in &self.shared.loops {
+            for msg in handle.queue.drain() {
+                if let LoopMsg::Conn(stream) = msg {
+                    drop(stream);
+                    self.shared.release_active();
                 }
-                let (t, _) = wait_timeout_clean(&self.shared.conns_changed, table, deadline - now);
-                table = t;
             }
         }
+        self.shared.finish_accept();
         self.wait();
     }
 }
@@ -498,391 +554,15 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut served = 0usize;
-    for stream in listener.incoming() {
-        // ordering: SeqCst pairs with the store in shutdown(): the accept
-        // loop must not accept after the flag is visible anywhere.
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else {
-            // accept() can fail persistently (e.g. EMFILE under fd
-            // pressure) without dequeuing anything: back off instead of
-            // spinning a core.
-            std::thread::sleep(std::time::Duration::from_millis(10));
-            continue;
-        };
-        served += 1;
-        spawn_connection(&shared, stream);
-        let max = shared.config.max_conns;
-        if max > 0 && served >= max {
-            break;
-        }
-    }
-}
-
-fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    // ordering: SeqCst — a unique-id counter on the once-per-connection
-    // path; consistency with the shutdown flag's total order is worth
-    // more than the cycle Relaxed would save.
-    let id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
-    let read_half = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return, // dead socket: nothing to serve
-    };
-    let conn_shared = Arc::clone(shared);
-    let mut table = lock_clean(&shared.conns);
-    // Register the read half *before* the thread starts so a racing
-    // shutdown can always unblock it.
-    table.streams.insert(id, read_half);
-    // ordering: SeqCst pairs with the store in shutdown(): a connection
-    // registered after the flag is set must close, not serve.
-    if conn_shared.shutdown.load(Ordering::SeqCst) {
-        let _ = stream.shutdown(Shutdown::Both);
-        table.streams.remove(&id);
-        return;
-    }
-    table.active += 1;
-    let handle = std::thread::Builder::new()
-        .name(format!("ustr-net-conn-{id}"))
-        .spawn(move || {
-            handle_connection(&conn_shared, stream);
-            // Self-reap: the spawner holds the table lock until the handle
-            // is stored, so this remove always finds it (or runs after).
-            // Dropping one's own JoinHandle just detaches the (already
-            // finished) thread; `active` is what liveness waits on.
-            let mut table = lock_clean(&conn_shared.conns);
-            table.streams.remove(&id);
-            table.threads.remove(&id);
-            table.active -= 1;
-            conn_shared.conns_changed.notify_all();
-        });
-    match handle {
-        Ok(handle) => {
-            table.threads.insert(id, handle);
-        }
-        Err(_) => {
-            // Could not spawn: roll the registration back.
-            table.streams.remove(&id);
-            table.active -= 1;
-        }
-    }
-}
-
-/// Runs one connection to completion: handshake, pipelined request loop,
-/// drain, goodbye.
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let reader = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    };
-    let mut reader = std::io::BufReader::new(reader);
-    let writer = Arc::new(Mutex::new(stream));
-    let max_len = shared.config.max_frame_len;
-
-    // Handshake: the first frame must be a well-formed Hello speaking a
-    // supported version (v1 sessions predate the Stats frames, v2 sessions
-    // predate the traced frames, but both are otherwise identical, so old
-    // clients stay served; the ack echoes the client's version, which
-    // becomes the session version gating the version-specific frame
-    // kinds below). Anything else is answered with a fatal error frame
-    // and close.
-    let session_version = match read_message(&mut reader, max_len) {
-        Ok(Some(Frame::Hello { magic, version })) if magic == NET_MAGIC => {
-            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
-                Shared::send(
-                    &writer,
-                    &Frame::Error {
-                        code: err_code::UNSUPPORTED_VERSION,
-                        message: format!(
-                            "protocol version {version} is not supported (this server \
-                             speaks {MIN_PROTOCOL_VERSION} through {PROTOCOL_VERSION})"
-                        ),
-                    },
-                );
-                return;
-            }
-            Shared::send(
-                &writer,
-                &Frame::HelloAck {
-                    version,
-                    num_docs: shared.backend.num_docs() as u64,
-                    tau_min: shared.backend.tau_min(),
-                },
-            );
-            version
-        }
-        Ok(Some(_)) => {
-            Shared::send(
-                &writer,
-                &Frame::Error {
-                    code: err_code::BAD_HANDSHAKE,
-                    message: "the first frame must be Hello with magic USTRNET1".into(),
-                },
-            );
-            return;
-        }
-        Ok(None) => return, // connected and left: nothing to answer
-        Err(e) => {
-            Shared::send(
-                &writer,
-                &Frame::Error {
-                    code: err_code::MALFORMED_FRAME,
-                    message: format!("malformed handshake frame: {e}"),
-                },
-            );
-            return;
-        }
-    };
-
-    // Response writer: one thread per connection owns all response writes,
-    // releasing the in-flight permit only after the frame hits the socket
-    // (or the socket proves dead). Pool workers just compute and enqueue —
-    // a slow or non-reading client stalls *its own* writer thread, never a
-    // shared query worker, so one bad client cannot starve the others.
-    // Each queued response carries a `counted` flag: query traffic feeds
-    // the frames/bytes-out counters, `Stats` answers do not — a scrape
-    // that counted its own response would never be byte-stable.
-    let permits = Arc::new(Permits::new(shared.config.inflight));
-    let (response_tx, response_rx) = std::sync::mpsc::channel::<(Vec<u8>, bool)>();
-    let writer_thread = {
-        let writer = Arc::clone(&writer);
-        let permits = Arc::clone(&permits);
-        let frames_out = shared.metrics.frames_out.clone();
-        let bytes_out = shared.metrics.bytes_out.clone();
-        let spawned = std::thread::Builder::new()
-            .name("ustr-net-writer".into())
-            .spawn(move || {
-                let mut dead = false;
-                for (bytes, counted) in response_rx {
-                    if !dead {
-                        let mut stream = lock_clean(&writer);
-                        dead = stream.write_all(&bytes).is_err();
-                        if !dead && counted {
-                            frames_out.inc();
-                            bytes_out.add(bytes.len() as u64);
-                        }
-                    }
-                    // Released even when the client vanished: the reader's
-                    // drain barrier must never wedge on a dead socket.
-                    permits.release();
-                }
-            });
-        match spawned {
-            Ok(handle) => handle,
-            Err(_) => return, // cannot serve without a writer
-        }
-    };
-
-    // Request loop: decode, acquire an in-flight permit (backpressure), fan
-    // the query onto the shared pool; the worker computes and enqueues.
-    // Frames are read in two steps (raw payload, then decode) so the
-    // traffic counters can see the wire length of each request.
-    // Connections join the conns_accepted/conns_open counters only once
-    // they issue their first query request: a monitoring session that only
-    // ever scrapes `Stats` must not perturb the numbers it reads, or two
-    // idle scrapes from separate connections could never be byte-equal.
-    let mut counted_conn = false;
-    let fatal = loop {
-        let message = match ustr_store::read_frame(&mut reader, max_len) {
-            Ok(None) => Ok(None),
-            Ok(Some(payload)) => {
-                let wire_len = (payload.len() + ustr_store::FRAME_OVERHEAD) as u64;
-                decode_frame(&payload).map(|frame| Some((frame, wire_len)))
-            }
-            Err(e) => Err(e),
-        };
-        match message {
-            Ok(Some((Frame::Request { id, request }, wire_len))) => {
-                if !counted_conn {
-                    counted_conn = true;
-                    shared.metrics.conns_accepted.inc();
-                    shared.metrics.conns_open.add(1);
-                }
-                shared.metrics.frames_in.inc();
-                shared.metrics.bytes_in.add(wire_len);
-                shared.metrics.requests.inc();
-                permits.acquire();
-                let backend = Arc::clone(&shared.backend);
-                let response_tx = response_tx.clone();
-                let permits = Arc::clone(&permits);
-                let rtt = shared.metrics.rtt_for(mode_name(&request)).clone();
-                shared.pool.execute(move || {
-                    let span = Span::on(rtt);
-                    let result = backend
-                        .query_requests(std::slice::from_ref(&request))
-                        .pop()
-                        .unwrap_or_else(|| {
-                            Err(Error::internal(
-                                "the backend returned no response for a one-request batch",
-                            ))
-                        })
-                        .map_err(|e| RemoteError::from(&e));
-                    span.finish();
-                    // A send failure means the writer died with the
-                    // connection; release the permit here so the reader's
-                    // drain barrier cannot wedge.
-                    if response_tx
-                        .send((frame_bytes(&Frame::Response { id, result }), true))
-                        .is_err()
-                    {
-                        permits.release();
-                    }
-                });
-            }
-            Ok(Some((Frame::RequestTraced { id, request, trace }, wire_len))) => {
-                // Traced queries are a v3 frame kind: a session that
-                // negotiated an older version and sends one anyway is
-                // malformed, exactly like an unknown kind byte would be.
-                if session_version < 3 {
-                    break Some(Frame::Error {
-                        code: err_code::MALFORMED_FRAME,
-                        message: format!(
-                            "RequestTraced requires protocol version 3 \
-                             (this session negotiated {session_version})"
-                        ),
-                    });
-                }
-                if !counted_conn {
-                    counted_conn = true;
-                    shared.metrics.conns_accepted.inc();
-                    shared.metrics.conns_open.add(1);
-                }
-                shared.metrics.frames_in.inc();
-                shared.metrics.bytes_in.add(wire_len);
-                shared.metrics.requests.inc();
-                permits.acquire();
-                let backend = Arc::clone(&shared.backend);
-                let response_tx = response_tx.clone();
-                let permits = Arc::clone(&permits);
-                let rtt = shared.metrics.rtt_for(mode_name(&request)).clone();
-                shared.pool.execute(move || {
-                    let span = Span::on(rtt);
-                    let parent = ustr_obs::TraceContext::from(trace);
-                    let (result, summary) = backend
-                        .query_requests_traced(
-                            std::slice::from_ref(&request),
-                            std::slice::from_ref(&Some(parent)),
-                        )
-                        .pop()
-                        .unwrap_or_else(|| {
-                            (
-                                Err(Error::internal(
-                                    "the backend returned no response for a one-request batch",
-                                )),
-                                None,
-                            )
-                        });
-                    let result = result.map_err(|e| RemoteError::from(&e));
-                    span.finish();
-                    // Per-stage server timings ride back on the response;
-                    // an untraced backend (or unsampled trace) reports none.
-                    let timings = summary
-                        .map(|s| {
-                            s.stages
-                                .into_iter()
-                                .map(|(name, us)| (name.to_string(), us))
-                                .collect()
-                        })
-                        .unwrap_or_default();
-                    if response_tx
-                        .send((
-                            frame_bytes(&Frame::ResponseTimed {
-                                id,
-                                result,
-                                timings,
-                            }),
-                            true,
-                        ))
-                        .is_err()
-                    {
-                        permits.release();
-                    }
-                });
-            }
-            Ok(Some((Frame::StatsJsonRequest { id }, _))) => {
-                if session_version < 3 {
-                    break Some(Frame::Error {
-                        code: err_code::MALFORMED_FRAME,
-                        message: format!(
-                            "StatsJsonRequest requires protocol version 3 \
-                             (this session negotiated {session_version})"
-                        ),
-                    });
-                }
-                // Same inline, uncounted treatment as StatsRequest — the
-                // answer reuses StatsResponse with a JSON body.
-                permits.acquire();
-                let text = stats_json(shared);
-                if response_tx
-                    .send((frame_bytes(&Frame::StatsResponse { id, text }), false))
-                    .is_err()
-                {
-                    permits.release();
-                }
-            }
-            Ok(Some((Frame::StatsRequest { id }, _))) => {
-                // Answered inline (a snapshot render, not a query) but
-                // still under a permit and through the writer channel, so
-                // it stays ordered with the pipelined responses and the
-                // drain barrier accounts for it. Deliberately invisible to
-                // every counter: two idle scrapes return identical bytes.
-                permits.acquire();
-                let text = stats_text(shared);
-                if response_tx
-                    .send((frame_bytes(&Frame::StatsResponse { id, text }), false))
-                    .is_err()
-                {
-                    permits.release();
-                }
-            }
-            Ok(Some((Frame::Goodbye, _))) | Ok(None) => break None, // client done
-            Ok(Some(_)) => {
-                break Some(Frame::Error {
-                    code: err_code::MALFORMED_FRAME,
-                    message: "unexpected frame kind mid-session".into(),
-                })
-            }
-            Err(e) => {
-                break Some(Frame::Error {
-                    code: err_code::MALFORMED_FRAME,
-                    message: format!("malformed frame: {e}"),
-                })
-            }
-        }
-    };
-
-    // Drain: every accepted request is answered (its response written, or
-    // its client proven gone) before the session ends. The writer is idle
-    // once the permits are back, so the final frame cannot interleave.
-    permits.wait_idle();
-    match fatal {
-        Some(error_frame) => Shared::send(&writer, &error_frame),
-        None => {
-            // ordering: SeqCst pairs with the store in shutdown(): only a
-            // server-initiated drain says Goodbye.
-            if shared.shutdown.load(Ordering::SeqCst) {
-                Shared::send(&writer, &Frame::Goodbye);
-            }
-        }
-    }
-    drop(response_tx);
-    let _ = writer_thread.join();
-    if counted_conn {
-        shared.metrics.conns_open.sub(1);
-    }
-}
-
 /// How many slow-query lines a `Stats` answer carries at most.
 const STATS_SLOW_QUERIES: usize = 8;
 
 /// Renders the `Stats` answer: server + backend telemetry merged into one
 /// exposition-format snapshot, then slow-query lines as comments. Every
 /// source is instance-scoped and the stats path itself counts nothing, so
-/// equal state renders to equal bytes.
-fn stats_text(shared: &Shared) -> String {
+/// equal state renders to equal bytes. (The `net.loop.*` counters stay out
+/// for the same reason: a TCP scrape is itself readiness events.)
+pub(crate) fn stats_text(shared: &Shared) -> String {
     let mut snap = shared.metrics.registry.snapshot();
     snap.merge(&shared.backend.metrics_snapshot());
     let mut text = snap.render_text();
@@ -901,7 +581,7 @@ fn stats_text(shared: &Shared) -> String {
 /// Renders the `StatsJson` answer: the same merged server + backend
 /// snapshot as [`stats_text`], in the machine-readable JSON rendering
 /// (slow-query lines are a text-exposition affordance and stay out).
-fn stats_json(shared: &Shared) -> String {
+pub(crate) fn stats_json(shared: &Shared) -> String {
     let mut snap = shared.metrics.registry.snapshot();
     snap.merge(&shared.backend.metrics_snapshot());
     snap.render_json()

@@ -103,7 +103,7 @@ pub use cache::LruCache;
 pub use engine::{mode_name, validate_request, Engine, SegmentSet, TraceSummary, TAU_TOLERANCE};
 pub use exec::{merge_partials, top_hit_order, DocExecutor, Segment, ShardPartial};
 pub use pool::ThreadPool;
-pub use sync::{lock_clean, wait_clean, wait_timeout_clean};
+pub use sync::{lock_clean, wait_clean, wait_timeout_clean, WakeQueue};
 pub use ustr_core::ListingHit;
 
 /// Tuning knobs for a [`QueryService`].
