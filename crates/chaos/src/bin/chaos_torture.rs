@@ -1,0 +1,165 @@
+//! Seed-sweep driver for the chaos torture harness.
+//!
+//! Runs [`ustr_chaos::torture_seed_guarded`] over a contiguous seed range
+//! and writes a JSON report. Exits nonzero if any seed produced a
+//! violation — silent divergence, a phantom document, or a panic.
+//!
+//! ```text
+//! chaos-torture [--seeds N] [--start S] [--dir BASE] [--out REPORT.json]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ustr_chaos::{torture_seed_guarded, Outcome, SeedReport};
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    dir: PathBuf,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 64,
+        start: 0,
+        dir: std::env::temp_dir().join("ustr_chaos_torture"),
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--start" => {
+                args.start = value("--start")?
+                    .parse()
+                    .map_err(|e| format!("--start: {e}"))?
+            }
+            "--dir" => args.dir = PathBuf::from(value("--dir")?),
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: chaos-torture [--seeds N] [--start S] [--dir BASE] [--out REPORT.json]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn report_json(r: &SeedReport) -> String {
+    let (outcome, detail) = match &r.outcome {
+        Ok(Outcome::FaultNeverFired) => ("fault-never-fired", String::new()),
+        Ok(Outcome::RecoveredIdentical { injected }) => ("recovered-identical", injected.clone()),
+        Ok(Outcome::CleanError { injected, error }) => {
+            ("clean-error", format!("{injected}: {error}"))
+        }
+        Err(v) => ("VIOLATION", v.clone()),
+    };
+    format!(
+        "{{\"seed\":{},\"fault\":\"{}\",\"acked_inserts\":{},\"acked_deletes\":{},\
+         \"rejected_ops\":{},\"outcome\":\"{}\",\"detail\":\"{}\"}}",
+        r.seed,
+        json_escape(&r.fault.to_string()),
+        r.acked_inserts,
+        r.acked_deletes,
+        r.rejected_ops,
+        outcome,
+        json_escape(&detail),
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.dir) {
+        eprintln!("cannot create {}: {e}", args.dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut reports = Vec::with_capacity(args.seeds as usize);
+    let mut counts = [0u64; 4]; // never-fired, recovered, clean-error, violation
+    for seed in args.start..args.start + args.seeds {
+        let report = torture_seed_guarded(seed, &args.dir);
+        let idx = match &report.outcome {
+            Ok(Outcome::FaultNeverFired) => 0,
+            Ok(Outcome::RecoveredIdentical { .. }) => 1,
+            Ok(Outcome::CleanError { .. }) => 2,
+            Err(detail) => {
+                eprintln!("seed {seed}: VIOLATION: {detail}");
+                3
+            }
+        };
+        counts[idx] += 1;
+        reports.push(report);
+    }
+
+    let body: Vec<String> = reports.iter().map(report_json).collect();
+    let json = format!(
+        "{{\"start\":{},\"seeds\":{},\"fault_never_fired\":{},\"recovered_identical\":{},\
+         \"clean_error\":{},\"violations\":{},\"results\":[\n{}\n]}}\n",
+        args.start,
+        args.seeds,
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
+        body.join(",\n"),
+    );
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let _ = std::io::stdout().write_all(json.as_bytes());
+    }
+    eprintln!(
+        "chaos-torture: {} seeds ({}..{}): {} never fired, {} recovered identical, \
+         {} clean errors, {} violations",
+        args.seeds,
+        args.start,
+        args.start + args.seeds,
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
+    );
+    if counts[3] == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,20 @@
+//! A small tier-1 slice of the torture sweep (CI's `chaos` job runs the
+//! full 64-seed sweep via the `chaos-torture` binary).
+
+use ustr_chaos::{torture_seed_guarded, Outcome};
+
+#[test]
+fn torture_sweep_small() {
+    let base = std::env::temp_dir().join("ustr_chaos_torture_tier1");
+    std::fs::create_dir_all(&base).unwrap();
+    let mut fired = 0;
+    for seed in 0..12 {
+        let report = torture_seed_guarded(seed, &base);
+        match &report.outcome {
+            Ok(Outcome::FaultNeverFired) => {}
+            Ok(_) => fired += 1,
+            Err(v) => panic!("seed {seed} ({}): {v}", report.fault),
+        }
+    }
+    assert!(fired > 0, "no seed in the slice ever fired its fault");
+}

@@ -113,12 +113,12 @@ const COMMANDS: &[(&str, &str, &str)] = &[
         "ustr serve-net (LIVEDIR | INDEXDIR | FILE.coll | FILE) --addr HOST:PORT \
          [--threads N] [--io-threads N] [--inflight N] [--max-conns N] [--port-file PATH] \
          [--metrics-addr HOST:PORT] [--trace-sample F] [--slow-query-us N] \
-         [--tau-min T0] [--epsilon E] [--quiet]",
+         [--idle-timeout-s N] [--error-budget N] [--tau-min T0] [--epsilon E] [--quiet]",
         "serve queries over TCP (ustr-net wire protocol)",
     ),
     (
         "client",
-        "ustr client HOST:PORT QUERIES.txt [--trace] [--quiet]",
+        "ustr client HOST:PORT QUERIES.txt [--trace] [--timeout-ms N] [--retries N] [--quiet]",
         "answer a (mixed-mode) query batch over a TCP connection",
     ),
     (
@@ -792,11 +792,16 @@ fn cmd_serve_net(args: &Args) -> Result<String, String> {
             .ok_or_else(|| "this backend has no tracer to sample".to_string())?
             .set_sample_permyriad(permyriad);
     }
+    // --idle-timeout-s 0 (the default) keeps idle sessions forever;
+    // --error-budget 0 (the default) never closes on failing requests.
+    let idle_timeout_s = args.get_parsed("idle-timeout-s", 0u64)?;
     let config = ustr_net::ServerConfig {
         threads: args.get_parsed("threads", 0usize)?,
         io_threads: args.get_parsed("io-threads", 0usize)?,
         inflight: args.get_parsed("inflight", 64usize)?,
         max_conns: args.get_parsed("max-conns", 0usize)?,
+        idle_timeout: (idle_timeout_s > 0).then(|| std::time::Duration::from_secs(idle_timeout_s)),
+        error_budget: args.get_parsed("error-budget", 0u32)?,
         ..ustr_net::ServerConfig::default()
     };
     let max_conns = config.max_conns;
@@ -868,9 +873,57 @@ fn cmd_client(args: &Args) -> Result<String, String> {
     let queries_path = args.positional(1, "QUERIES.txt")?;
     let quiet = args.flag("quiet");
     let traced = args.flag("trace");
+    // --timeout-ms puts one deadline on connect, reads, and writes;
+    // --retries N allows N reconnect-and-retry rounds past the first try.
+    let timeout_ms = args.get_parsed("timeout-ms", 0u64)?;
+    let retries = args.get_parsed("retries", 0u32)?;
+    if traced && retries > 0 {
+        return Err("--retries applies to untraced batches only (drop --trace)".into());
+    }
+    let deadline = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
+    let config = ustr_net::ClientConfig {
+        connect_timeout: deadline,
+        read_timeout: deadline,
+        write_timeout: deadline,
+        ..ustr_net::ClientConfig::default()
+    };
     let queries = load_queries(queries_path)?;
+    if retries > 0 {
+        let t0 = std::time::Instant::now();
+        let policy = ustr_net::RetryPolicy {
+            max_attempts: retries + 1,
+            ..ustr_net::RetryPolicy::default()
+        };
+        let mut client = ustr_net::ResilientClient::new(addr.to_string(), policy, config);
+        let results = client
+            .query_requests(&queries)
+            .map_err(|e| format!("{addr}: {e}"))?;
+        let info = client.server_info().map_err(|e| format!("{addr}: {e}"))?;
+        let answered = t0.elapsed();
+        let stats = client.stats();
+        let mut out = String::new();
+        if !quiet {
+            out.push_str(&format!(
+                "{} document(s) at {addr} (protocol v{}, tau_min {}); \
+                 {} query(ies) answered in {answered:?}\n",
+                info.num_docs,
+                info.protocol_version,
+                info.tau_min,
+                queries.len(),
+            ));
+            if stats.retries > 0 {
+                out.push_str(&format!(
+                    "resilience: {} retry(ies), {} reconnect(s), {} timeout(s)\n",
+                    stats.retries, stats.reconnects, stats.timeouts,
+                ));
+            }
+        }
+        render_results(&mut out, &queries, &results, quiet);
+        return Ok(out.trim_end().to_string());
+    }
     let t0 = std::time::Instant::now();
-    let mut client = ustr_net::NetClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut client = ustr_net::NetClient::connect_with_config(addr, config)
+        .map_err(|e| format!("{addr}: {e}"))?;
     let info = client.server_info();
     let (results, timings) = if traced {
         // Force-sampled contexts (one distinct trace id per query) so the
@@ -1604,6 +1657,48 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("--epsilon"), "{err}");
         let _ = fs::remove_file(&coll);
+    }
+
+    #[test]
+    fn resilience_flags_work_end_to_end() {
+        let docs = write_temp("ustr_cli_resil_docs.ustr", "A:.9,B:.1 | B | C\nC | C | C\n");
+        let queries = write_temp("ustr_cli_resil_q.txt", "AB 0.3\ntop AB 2\n");
+        let port_file = std::env::temp_dir().join("ustr_cli_resil_port");
+        let _ = fs::remove_file(&port_file);
+        let serve_argv = format!(
+            "serve-net {docs} --tau-min 0.05 --max-conns 1 --idle-timeout-s 30 \
+             --error-budget 8 --port-file {} --quiet",
+            port_file.display()
+        );
+        let server = std::thread::spawn(move || run(&argv(&serve_argv)));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(addr) = fs::read_to_string(&port_file) {
+                if addr.trim().contains(':') {
+                    break addr.trim().to_string();
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let remote = run(&argv(&format!(
+            "client {addr} {queries} --retries 2 --timeout-ms 5000 --quiet"
+        )))
+        .unwrap();
+        server.join().unwrap().unwrap();
+        let local = run(&argv(&format!(
+            "serve-batch {docs} {queries} --tau-min 0.05 --quiet"
+        )))
+        .unwrap();
+        assert_eq!(remote, local, "retried rows equal in-process rows");
+        let _ = fs::remove_file(&port_file);
+
+        // --retries rides the untraced path only.
+        let err = run(&argv(&format!(
+            "client 127.0.0.1:1 {queries} --trace --retries 1"
+        )))
+        .unwrap_err();
+        assert!(err.contains("--retries"), "{err}");
     }
 
     #[test]

@@ -79,8 +79,8 @@ use ustr_service::{
     Segment, SegmentSet, TopHit,
 };
 use ustr_store::{
-    collection, wal, CollectionSection, Snapshot, SnapshotKind, StoreError, WalOp, WalRecord,
-    WalWriter,
+    collection, wal, CollectionSection, RealIo, Snapshot, SnapshotKind, StoreError, StoreIo, WalOp,
+    WalRecord, WalWriter,
 };
 use ustr_uncertain::{canon, UncertainString};
 
@@ -256,6 +256,8 @@ struct LiveMetrics {
     compactions: Counter,
     compact_drops: Counter,
     compact_us: Histogram,
+    recovery_us: Histogram,
+    recovered_records: Counter,
 }
 
 impl LiveMetrics {
@@ -273,6 +275,8 @@ impl LiveMetrics {
             compactions: registry.counter("live.compactions"),
             compact_drops: registry.counter("live.compaction.docs_dropped"),
             compact_us: registry.histogram("live.compaction_us"),
+            recovery_us: registry.histogram("live.recovery_us"),
+            recovered_records: registry.counter("live.recovery.replayed_records"),
             registry,
         }
     }
@@ -281,6 +285,9 @@ impl LiveMetrics {
 /// Shared core between the front handle and the background worker.
 struct Inner {
     dir: PathBuf,
+    /// The filesystem seam every durable operation goes through. `RealIo`
+    /// in production; `ustr-chaos` injects faulting implementations.
+    io: Arc<dyn StoreIo>,
     tau_min: f64,
     epsilon: Option<f64>,
     compact_min_segments: usize,
@@ -433,7 +440,7 @@ impl Inner {
             tombstones: st.tombstones.iter().copied().collect(),
             segments: st.segments.iter().map(|s| s.meta.clone()).collect(),
         };
-        wal::save_manifest(self.dir.join(MANIFEST_FILE), &manifest)
+        wal::save_manifest_with(self.io.as_ref(), self.dir.join(MANIFEST_FILE), &manifest)
     }
 
     /// Rewrites the WAL keeping only records newer than `applied_seq`
@@ -443,15 +450,26 @@ impl Inner {
     /// runs under the state lock.
     fn rewrite_wal(&self, st: &mut LiveState) -> Result<(), StoreError> {
         let path = self.dir.join(WAL_FILE);
-        let replay = wal::read_wal(&path)?;
+        let replay = wal::read_wal_with(self.io.as_ref(), &path)?;
         let keep: Vec<wal::WalRecord> = replay
             .records
             .into_iter()
             .filter(|r| r.seq > st.applied_seq)
             .collect();
-        wal::replace_wal_file(&path, &keep)?;
-        st.wal = WalWriter::open_append(&path)?;
-        Ok(())
+        let replaced = wal::replace_wal_file_with(self.io.as_ref(), &path, &keep);
+        if replaced.is_err() {
+            // The replace may have failed *after* its rename (e.g. on the
+            // directory fsync): the new file is at `path`, and the current
+            // writer handle points at the old, now-unlinked inode — where
+            // an acknowledged append would silently vanish. Retry the
+            // directory fsync so the rename that did happen is durable.
+            wal::fsync_parent_dir_with(self.io.as_ref(), &path)?;
+        }
+        // Re-attach the writer to whatever file is at `path` now — the new
+        // file on success (or post-rename failure), the untouched old one
+        // on a pre-rename failure — before surfacing the replace error.
+        st.wal = WalWriter::open_append_with(self.io.as_ref(), &path)?;
+        replaced
     }
 
     /// Background seal: build real indexes for one memtable batch, persist
@@ -540,8 +558,14 @@ impl Inner {
         // The segment must be durable — file *and* directory entry —
         // before the manifest names it and the WAL drops its records.
         let segment_path = self.dir.join(&file);
-        collection::save_collection_file(&segment_path, docs.len(), 1, &sections)?;
-        wal::fsync_parent_dir(&segment_path)?;
+        collection::save_collection_file_with(
+            self.io.as_ref(),
+            &segment_path,
+            docs.len(),
+            1,
+            &sections,
+        )?;
+        wal::fsync_parent_dir_with(self.io.as_ref(), &segment_path)?;
         let meta = wal::SegmentMeta {
             id: segment_id,
             file,
@@ -629,8 +653,14 @@ impl Inner {
         // Durable before the manifest points at it and the old segment
         // files (the only other copy) are deleted.
         let segment_path = self.dir.join(&file);
-        collection::save_collection_file(&segment_path, kept.len(), 1, &sections)?;
-        wal::fsync_parent_dir(&segment_path)?;
+        collection::save_collection_file_with(
+            self.io.as_ref(),
+            &segment_path,
+            kept.len(),
+            1,
+            &sections,
+        )?;
+        wal::fsync_parent_dir_with(self.io.as_ref(), &segment_path)?;
         let meta = wal::SegmentMeta {
             id: segment_id,
             file,
@@ -658,7 +688,7 @@ impl Inner {
             old_files
         };
         for file in old_files {
-            let _ = std::fs::remove_file(self.dir.join(file));
+            let _ = self.io.remove_file(&self.dir.join(file));
         }
         self.metrics.compactions.inc();
         self.metrics
@@ -687,6 +717,19 @@ impl LiveService {
     /// existing directory, `config.tau_min`/`config.epsilon` are ignored
     /// in favor of the recorded values.
     pub fn open(dir: impl AsRef<Path>, config: LiveConfig) -> Result<Self, LiveError> {
+        Self::open_with_io(dir, config, Arc::new(RealIo))
+    }
+
+    /// [`LiveService::open`] with an injectable filesystem seam: every
+    /// durable operation (WAL appends, manifest replaces, segment
+    /// saves/loads/removes) goes through `io`. The advisory `LOCK` file
+    /// stays on the real filesystem — it guards against concurrent *real*
+    /// processes, and faulting it would only test the test harness.
+    pub fn open_with_io(
+        dir: impl AsRef<Path>,
+        config: LiveConfig,
+        io: Arc<dyn StoreIo>,
+    ) -> Result<Self, LiveError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         // One writer per directory: two processes appending to the same
@@ -698,7 +741,9 @@ impl LiveService {
                 std::fs::TryLockError::Error(io) => io.into(),
             });
         }
-        let manifest = wal::load_manifest(dir.join(MANIFEST_FILE))?;
+        let metrics = LiveMetrics::new();
+        let recovery_started = std::time::Instant::now();
+        let manifest = wal::load_manifest_with(io.as_ref(), dir.join(MANIFEST_FILE))?;
         let (tau_min, epsilon) = match &manifest {
             Some(m) => (m.tau_min, m.epsilon),
             None => (config.tau_min, config.epsilon),
@@ -725,7 +770,7 @@ impl LiveService {
         // Load sealed segments from their collection snapshots.
         let mut segments = Vec::with_capacity(manifest.segments.len());
         for meta in &manifest.segments {
-            let coll = collection::load_collection_file(dir.join(&meta.file))?;
+            let coll = collection::load_collection_file_with(io.as_ref(), dir.join(&meta.file))?;
             let corrupt = |detail: String| StoreError::Corrupt { detail };
             if coll.num_docs != meta.docs.len() {
                 return Err(corrupt(format!(
@@ -795,7 +840,7 @@ impl LiveService {
         // Replay the WAL tail (everything newer than the manifest) into
         // the memtable and tombstone set.
         let wal_path = dir.join(WAL_FILE);
-        let replay = ustr_store::read_wal(&wal_path)?;
+        let replay = wal::read_wal_with(io.as_ref(), &wal_path)?;
         let mut memtable: Vec<(u64, Arc<DocExecutor>)> = Vec::new();
         let mut tombstones: BTreeSet<u64> = manifest.tombstones.iter().copied().collect();
         let mut next_doc_id = manifest.next_doc_id;
@@ -823,9 +868,13 @@ impl LiveService {
         }
         if !replay.clean {
             // Drop the torn tail record before appending anything new.
-            wal::replace_wal_file(&wal_path, &replay.records)?;
+            wal::replace_wal_file_with(io.as_ref(), &wal_path, &replay.records)?;
         }
-        let wal = WalWriter::open_append(&wal_path)?;
+        let wal = WalWriter::open_append_with(io.as_ref(), &wal_path)?;
+        metrics.recovered_records.add(replay.records.len() as u64);
+        metrics
+            .recovery_us
+            .record(u64::try_from(recovery_started.elapsed().as_micros()).unwrap_or(u64::MAX));
 
         let mut state = LiveState {
             wal,
@@ -848,6 +897,7 @@ impl LiveService {
         };
         let inner = Arc::new(Inner {
             dir,
+            io,
             tau_min,
             epsilon,
             compact_min_segments: config.compact_min_segments,
@@ -860,7 +910,7 @@ impl LiveService {
             pending_jobs: Mutex::new(0),
             idle: Condvar::new(),
             background_error: Mutex::new(None),
-            metrics: LiveMetrics::new(),
+            metrics,
         });
         if fresh_directory {
             // Record tau_min/epsilon immediately: a never-sealed directory
@@ -934,6 +984,15 @@ impl LiveService {
             Some(detail) => Err(LiveError::Background(detail.clone())),
             None => Ok(()),
         }
+    }
+
+    /// The sticky background failure, if any, without turning it into an
+    /// error: reads keep serving a degraded (maintenance-halted)
+    /// collection, and the serving layer uses this to *report* the
+    /// degradation (e.g. the net protocol's health frame) instead of
+    /// refusing queries.
+    pub fn background_health(&self) -> Option<String> {
+        lock_clean(&self.inner.background_error).clone()
     }
 
     fn enqueue(&self, job: Job) {

@@ -9,6 +9,7 @@
 
 use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use ustr_service::{QueryRequest, QueryResponse};
 use ustr_store::StoreError;
@@ -26,6 +27,10 @@ use crate::proto::{
 pub enum NetError {
     /// Socket-level failure.
     Io(std::io::Error),
+    /// A configured deadline elapsed (connect, read, or write timeout —
+    /// see [`ClientConfig`]). Split from [`NetError::Io`] because a
+    /// timeout is the retryable failure: the peer may be mid-restart.
+    Timeout(std::io::Error),
     /// The peer sent bytes that do not decode as a frame.
     Frame(StoreError),
     /// The peer sent a well-formed frame that violates the session state
@@ -47,6 +52,7 @@ impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetError::Io(e) => write!(f, "network I/O error: {e}"),
+            NetError::Timeout(e) => write!(f, "network deadline elapsed: {e}"),
             NetError::Frame(e) => write!(f, "malformed frame from server: {e}"),
             NetError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
             NetError::Server { code, message } => {
@@ -61,16 +67,53 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+/// A socket deadline surfaces as `WouldBlock` (Unix `SO_RCVTIMEO`) or
+/// `TimedOut` (Windows, and `connect_timeout`) — either way it is the
+/// retryable kind.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> Self {
-        NetError::Io(e)
+        if is_timeout(&e) {
+            NetError::Timeout(e)
+        } else {
+            NetError::Io(e)
+        }
     }
 }
 
 impl From<StoreError> for NetError {
     fn from(e: StoreError) -> Self {
-        NetError::Frame(e)
+        // A read deadline fires inside the framing layer; unwrap it so
+        // every `?` site classifies timeouts uniformly.
+        match e {
+            StoreError::Io(io) if is_timeout(&io) => NetError::Timeout(io),
+            other => NetError::Frame(other),
+        }
     }
+}
+
+/// Connection-level knobs for [`NetClient::connect_with_config`]. The
+/// default has no deadlines and the default frame cap — identical to
+/// [`NetClient::connect`].
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// Give up on `connect(2)` after this long (per resolved address).
+    /// `None` uses the OS default.
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for each socket read; an expired deadline surfaces as
+    /// [`NetError::Timeout`]. `None` blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each socket write. `None` blocks indefinitely.
+    pub write_timeout: Option<Duration>,
+    /// Cap on one response frame's payload length. `None` uses
+    /// [`DEFAULT_MAX_FRAME_LEN`].
+    pub max_frame_len: Option<usize>,
 }
 
 /// What the server advertised in its [`Frame::HelloAck`].
@@ -101,8 +144,51 @@ impl NetClient {
 
     /// Connects and handshakes; `max_frame_len` caps response payloads.
     pub fn connect_with(addr: impl ToSocketAddrs, max_frame_len: usize) -> Result<Self, NetError> {
-        let mut writer = TcpStream::connect(addr)?;
+        Self::connect_with_config(
+            addr,
+            ClientConfig {
+                max_frame_len: Some(max_frame_len),
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    /// Connects and handshakes with explicit deadlines. With a
+    /// `connect_timeout`, each resolved address is tried in turn under
+    /// that deadline; read/write deadlines apply to every subsequent
+    /// socket operation and surface as [`NetError::Timeout`].
+    pub fn connect_with_config(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Self, NetError> {
+        let max_frame_len = config.max_frame_len.unwrap_or(DEFAULT_MAX_FRAME_LEN);
+        let mut writer = match config.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(deadline) => {
+                let mut last_err: Option<std::io::Error> = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, deadline) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match connected {
+                    Some(stream) => stream,
+                    None => {
+                        return Err(NetError::from(last_err.unwrap_or_else(|| {
+                            std::io::Error::other("address resolved to no candidates")
+                        })))
+                    }
+                }
+            }
+        };
         writer.set_nodelay(true).ok();
+        writer.set_read_timeout(config.read_timeout)?;
+        writer.set_write_timeout(config.write_timeout)?;
         let mut reader = BufReader::new(writer.try_clone()?);
         writer.write_all(&frame_bytes(&Frame::Hello {
             magic: NET_MAGIC,
@@ -406,6 +492,43 @@ impl NetClient {
             Some(Frame::Error { code, message }) => Err(NetError::Server { code, message }),
             Some(other) => Err(NetError::Protocol(format!(
                 "expected StatsResponse, got {other:?}"
+            ))),
+            None => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Probes the server's health (protocol v4+): one
+    /// [`Frame::HealthRequest`]/[`Frame::HealthResponse`] round trip.
+    /// Returns `None` when healthy, or the server's description of the
+    /// impairment — e.g. a live backend whose background maintenance
+    /// halted on a storage fault (still answering queries, degraded).
+    pub fn health(&mut self) -> Result<Option<String>, NetError> {
+        if self.info.protocol_version < 4 {
+            return Err(NetError::Protocol(format!(
+                "health probes require protocol version 4 (this session negotiated {})",
+                self.info.protocol_version
+            )));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer
+            .write_all(&frame_bytes(&Frame::HealthRequest { id }))?;
+        match read_message(&mut self.reader, self.max_frame_len)? {
+            Some(Frame::HealthResponse {
+                id: got,
+                degraded,
+                detail,
+            }) => {
+                if got != id {
+                    return Err(NetError::Protocol(format!(
+                        "health response for unknown request id {got}"
+                    )));
+                }
+                Ok(degraded.then_some(detail))
+            }
+            Some(Frame::Error { code, message }) => Err(NetError::Server { code, message }),
+            Some(other) => Err(NetError::Protocol(format!(
+                "expected HealthResponse, got {other:?}"
             ))),
             None => Err(NetError::Disconnected),
         }

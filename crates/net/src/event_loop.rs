@@ -55,8 +55,13 @@ pub(crate) enum LoopMsg {
     Conn(TcpStream),
     /// A pool worker finished a query for connection `conn`: one
     /// pre-framed response to enqueue (counted traffic, releases one
-    /// in-flight slot when fully written).
-    Done { conn: u64, bytes: Vec<u8> },
+    /// in-flight slot when fully written). `failed` reports a per-request
+    /// error result — it feeds the connection's error budget.
+    Done {
+        conn: u64,
+        bytes: Vec<u8>,
+        failed: bool,
+    },
 }
 
 /// The handle other threads use to reach a loop: push a message, ring the
@@ -78,6 +83,9 @@ pub struct LoopStats {
     ready_events: AtomicU64,
     wakeups: AtomicU64,
     registered_conns: AtomicI64,
+    reaped_idle: AtomicU64,
+    reaped_draining: AtomicU64,
+    budget_closes: AtomicU64,
 }
 
 impl LoopStats {
@@ -102,6 +110,21 @@ impl LoopStats {
         self.registered_conns.fetch_sub(1, Ordering::Relaxed);
     }
 
+    fn note_reaped_idle(&self) {
+        // ordering: Relaxed — monotonic telemetry counter.
+        self.reaped_idle.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_reaped_draining(&self) {
+        // ordering: Relaxed — monotonic telemetry counter.
+        self.reaped_draining.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_budget_close(&self) {
+        // ordering: Relaxed — monotonic telemetry counter.
+        self.budget_closes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of the loop counters.
     pub fn snapshot(&self) -> LoopStatsSnapshot {
         LoopStatsSnapshot {
@@ -111,6 +134,10 @@ impl LoopStats {
             wakeups: self.wakeups.load(Ordering::Relaxed),
             // ordering: Relaxed — same telemetry read as above.
             registered_conns: self.registered_conns.load(Ordering::Relaxed).max(0) as u64,
+            // ordering: Relaxed — telemetry reads.
+            reaped_idle: self.reaped_idle.load(Ordering::Relaxed),
+            reaped_draining: self.reaped_draining.load(Ordering::Relaxed),
+            budget_closes: self.budget_closes.load(Ordering::Relaxed),
         }
     }
 }
@@ -124,6 +151,13 @@ pub struct LoopStatsSnapshot {
     pub wakeups: u64,
     /// Connections currently registered with a poller.
     pub registered_conns: u64,
+    /// Connections reaped for exceeding [`crate::ServerConfig::idle_timeout`].
+    pub reaped_idle: u64,
+    /// Draining connections reaped early because the peer disconnected
+    /// (hangup or transport error) before the drain finished.
+    pub reaped_draining: u64,
+    /// Connections drained for exceeding [`crate::ServerConfig::error_budget`].
+    pub budget_closes: u64,
 }
 
 /// One connection's full state. Owned by exactly one loop; never locked.
@@ -157,6 +191,11 @@ struct Conn {
     /// The closing frame (fatal error or `Goodbye`) has been queued; when
     /// the queue next runs dry the connection closes.
     finale_queued: bool,
+    /// Last moment the connection made observable progress (bytes read,
+    /// or a response frame fully flushed). Drives idle reaping.
+    last_activity: Instant,
+    /// Failing request results so far (feeds the error budget).
+    errors: u32,
 }
 
 /// One readiness loop. `run` consumes it on a dedicated thread.
@@ -221,9 +260,12 @@ impl EventLoop {
             if self.draining && self.conns.is_empty() {
                 break;
             }
-            let timeout = self
-                .deadline
-                .map(|d| d.saturating_duration_since(Instant::now()));
+            let timeout = match (self.deadline, self.next_idle_expiry()) {
+                (Some(d), Some(i)) => Some(d.min(i)),
+                (Some(d), None) => Some(d),
+                (None, idle) => idle,
+            }
+            .map(|t| t.saturating_duration_since(Instant::now()));
             if self.poller.wait(&mut events, timeout).is_err() {
                 // A failing poller cannot be waited on again without
                 // spinning; force the drain path so the loop terminates.
@@ -245,11 +287,48 @@ impl EventLoop {
                 }
             }
             self.drain_queue();
+            self.reap_idle();
             if let Some(deadline) = self.deadline {
                 if self.draining && Instant::now() >= deadline {
                     self.force_close_all();
                 }
             }
+        }
+    }
+
+    /// The soonest moment any reapable connection crosses the idle
+    /// timeout — the poll deadline that makes reaping prompt even on a
+    /// silent server. `None` when reaping is off or nothing qualifies.
+    fn next_idle_expiry(&self) -> Option<Instant> {
+        let idle = self.shared.config.idle_timeout?;
+        self.conns
+            .values()
+            .filter(|c| c.phase != Phase::Draining && c.inflight == 0 && c.wq.is_empty())
+            .map(|c| c.last_activity + idle)
+            .min()
+    }
+
+    /// Closes every connection that has been completely quiet — nothing
+    /// read, nothing in flight, nothing queued — past the idle timeout.
+    fn reap_idle(&mut self) {
+        let Some(idle) = self.shared.config.idle_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .values()
+            .filter(|c| {
+                c.phase != Phase::Draining
+                    && c.inflight == 0
+                    && c.wq.is_empty()
+                    && now.saturating_duration_since(c.last_activity) >= idle
+            })
+            .map(|c| c.id)
+            .collect();
+        for id in expired {
+            self.shared.loop_stats.note_reaped_idle();
+            self.close_conn(id);
         }
     }
 
@@ -267,9 +346,35 @@ impl EventLoop {
                         self.adopt(stream);
                     }
                 }
-                LoopMsg::Done { conn, bytes } => {
+                LoopMsg::Done {
+                    conn,
+                    bytes,
+                    failed,
+                } => {
                     if let Some(c) = self.conns.get_mut(&conn) {
                         c.wq.push(bytes, true, true);
+                        if failed {
+                            c.errors = c.errors.saturating_add(1);
+                            let budget = self.shared.config.error_budget;
+                            if budget > 0
+                                && c.errors >= budget
+                                && c.phase == Phase::Serving
+                                && c.fatal.is_none()
+                            {
+                                // Drain with a fatal frame — queued answers
+                                // (including this one) still deliver first.
+                                c.fatal = Some(Frame::Error {
+                                    code: err_code::ERROR_BUDGET_EXCEEDED,
+                                    message: format!(
+                                        "connection exceeded its error budget \
+                                         ({budget} failing requests)"
+                                    ),
+                                });
+                                c.eof = true;
+                                c.phase = Phase::Draining;
+                                self.shared.loop_stats.note_budget_close();
+                            }
+                        }
                         self.pump(conn, false, false);
                     }
                     // A vanished connection's responses are undeliverable;
@@ -315,6 +420,8 @@ impl EventLoop {
                 interest: Interest::READ,
                 fatal: None,
                 finale_queued: false,
+                last_activity: Instant::now(),
+                errors: 0,
             },
         );
     }
@@ -382,7 +489,11 @@ impl EventLoop {
             let close_now = match self.conns.get_mut(&id) {
                 Some(conn) if conn.phase == Phase::Handshake => true,
                 Some(conn) => {
-                    conn.eof = true;
+                    // Not `eof = true`: the read half stays open as a
+                    // *monitor* (bytes are discarded, no new work) so a
+                    // peer that disconnects mid-drain is detected and
+                    // reaped immediately instead of holding its slot
+                    // until the drain deadline.
                     conn.phase = Phase::Draining;
                     false
                 }
@@ -433,6 +544,12 @@ impl EventLoop {
         };
         let alive = self.drive(&mut conn, readable);
         if !alive || hangup {
+            // A hangup on a still-alive draining connection is an early
+            // peer disconnect; `drive` counts the monitor-read variant
+            // itself, so only the hangup-while-alive path counts here.
+            if alive && hangup && conn.phase == Phase::Draining && !conn.finale_queued {
+                self.shared.loop_stats.note_reaped_draining();
+            }
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
             self.shared.loop_stats.conn_deregistered();
             if conn.counted {
@@ -447,7 +564,10 @@ impl EventLoop {
                 && match conn.phase {
                     Phase::Handshake => true,
                     Phase::Serving => conn.inflight < self.shared.config.inflight.max(1),
-                    Phase::Draining => false,
+                    // Monitor-read: no new work is admitted, but the read
+                    // half stays watched so a peer disconnect mid-drain is
+                    // seen now, not at the drain deadline.
+                    Phase::Draining => true,
                 },
             writable: !conn.wq.is_empty(),
         };
@@ -477,6 +597,31 @@ impl EventLoop {
         let max_frame = self.shared.config.max_frame_len;
         let mut can_read = readable && !conn.eof;
         loop {
+            // Monitor-read while draining: consume and discard whatever
+            // the peer still sends (no new work is admitted), detect its
+            // FIN, and reap immediately on a transport error — a dead
+            // peer must not hold its drain slot until the deadline.
+            while can_read && conn.phase == Phase::Draining {
+                let mut buf = [0u8; 4 * 1024];
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        // FIN: the peer is done talking but may still be
+                        // reading its answers — keep draining to it.
+                        conn.eof = true;
+                        can_read = false;
+                    }
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => can_read = false,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        if !conn.finale_queued {
+                            self.shared.loop_stats.note_reaped_draining();
+                        }
+                        return false;
+                    }
+                }
+            }
+
             // Read while the backpressure window is open. Past the window
             // the bytes stay in the kernel and TCP flow control stalls the
             // client — per-connection memory stays bounded by
@@ -488,7 +633,10 @@ impl EventLoop {
                         conn.eof = true;
                         can_read = false;
                     }
-                    Ok(n) => conn.reader.extend(buf.get(..n).unwrap_or_default()),
+                    Ok(n) => {
+                        conn.reader.extend(buf.get(..n).unwrap_or_default());
+                        conn.last_activity = Instant::now();
+                    }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => can_read = false,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                     // A transport error mid-read means the peer is gone; an
@@ -531,6 +679,7 @@ impl EventLoop {
             };
             let mut released = false;
             for done in completions {
+                conn.last_activity = Instant::now();
                 if done.counted {
                     self.shared.metrics.frames_out.inc();
                     self.shared.metrics.bytes_out.add(done.len as u64);
@@ -667,6 +816,34 @@ impl EventLoop {
                 conn.wq
                     .push(frame_bytes(&Frame::StatsResponse { id, text }), false, true);
             }
+            (Phase::Serving, Frame::HealthRequest { id }) => {
+                if conn.session_version < 4 {
+                    conn.fatal = Some(Frame::Error {
+                        code: err_code::MALFORMED_FRAME,
+                        message: format!(
+                            "HealthRequest requires protocol version 4 \
+                             (this session negotiated {})",
+                            conn.session_version
+                        ),
+                    });
+                    conn.eof = true;
+                    conn.phase = Phase::Draining;
+                    return;
+                }
+                // Answered inline like StatsRequest: a flag read, not a
+                // query — and likewise invisible to the traffic counters.
+                conn.inflight += 1;
+                let health = self.shared.backend.health();
+                conn.wq.push(
+                    frame_bytes(&Frame::HealthResponse {
+                        id,
+                        degraded: health.is_some(),
+                        detail: health.unwrap_or_default(),
+                    }),
+                    false,
+                    true,
+                );
+            }
             (Phase::Serving, Frame::Goodbye) => {
                 conn.eof = true;
                 conn.phase = Phase::Draining;
@@ -712,6 +889,7 @@ impl EventLoop {
         let rtt = self.shared.metrics.rtt_for(mode_name(&request)).clone();
         self.shared.pool.execute(move || {
             let span = Span::on(rtt);
+            let failed;
             let bytes = match parent {
                 None => {
                     let result = backend
@@ -723,6 +901,7 @@ impl EventLoop {
                             ))
                         })
                         .map_err(|e| RemoteError::from(&e));
+                    failed = result.is_err();
                     frame_bytes(&Frame::Response { id, result })
                 }
                 Some(parent) => {
@@ -741,6 +920,7 @@ impl EventLoop {
                             )
                         });
                     let result = result.map_err(|e| RemoteError::from(&e));
+                    failed = result.is_err();
                     // Per-stage server timings ride back on the response;
                     // an untraced backend (or unsampled trace) reports
                     // none.
@@ -763,6 +943,7 @@ impl EventLoop {
             queue.push(LoopMsg::Done {
                 conn: conn_id,
                 bytes,
+                failed,
             });
         });
     }

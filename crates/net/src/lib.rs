@@ -97,14 +97,16 @@ pub mod client;
 pub(crate) mod conn;
 mod event_loop;
 pub mod proto;
+pub mod retry;
 pub mod server;
 
-pub use client::{NetClient, NetError, ServerInfo};
+pub use client::{ClientConfig, NetClient, NetError, ServerInfo};
 pub use event_loop::LoopStatsSnapshot;
 pub use proto::{
     Frame, RemoteError, WireTraceContext, DEFAULT_MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, NET_MAGIC,
     PROTOCOL_VERSION,
 };
+pub use retry::{ResilientClient, RetryPolicy, RetryStats};
 pub use server::{NetServer, QueryBackend, ServerConfig};
 
 // Re-exported so downstream callers can speak the typed request/response
@@ -423,7 +425,7 @@ mod tests {
         )
         .unwrap();
         let mut client = NetClient::connect(server.local_addr()).unwrap();
-        assert_eq!(client.server_info().protocol_version, 3);
+        assert_eq!(client.server_info().protocol_version, PROTOCOL_VERSION);
 
         let ctx = ustr_obs::TraceContext {
             trace_id: 0x00c0_ffee_0000_0000_0000_0000_0000_0042,
@@ -617,5 +619,298 @@ mod tests {
         assert_eq!(code, proto::err_code::UNSUPPORTED_VERSION);
         assert!(message.contains("999"), "{message}");
         server.shutdown();
+    }
+
+    #[test]
+    fn a_read_deadline_surfaces_as_a_timeout_error() {
+        // A listener that accepts but never answers the handshake: the
+        // configured read deadline must fire as the typed Timeout error,
+        // not a hang and not a generic Io.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let err = match NetClient::connect_with_config(
+            addr,
+            ClientConfig {
+                read_timeout: Some(std::time::Duration::from_millis(100)),
+                ..ClientConfig::default()
+            },
+        ) {
+            Err(err) => err,
+            Ok(_) => panic!("no HelloAck ever comes, the connect cannot succeed"),
+        };
+        assert!(matches!(err, NetError::Timeout(_)), "{err}");
+        drop(hold.join());
+    }
+
+    #[test]
+    fn health_probes_report_backend_degradation() {
+        use std::io::Write;
+        // A static backend is always healthy.
+        let server =
+            NetServer::serve("127.0.0.1:0", Arc::new(service()), ServerConfig::default()).unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.health().unwrap(), None);
+        server.shutdown();
+
+        // A degraded backend's detail rides back verbatim.
+        struct Degraded(QueryService);
+        impl QueryBackend for Degraded {
+            fn query_requests(
+                &self,
+                requests: &[QueryRequest],
+            ) -> Vec<Result<QueryResponse, ustr_core::Error>> {
+                self.0.query_requests(requests)
+            }
+            fn num_docs(&self) -> usize {
+                self.0.num_docs()
+            }
+            fn tau_min(&self) -> f64 {
+                self.0.tau_min()
+            }
+            fn health(&self) -> Option<String> {
+                Some("background maintenance halted: injected fault".into())
+            }
+        }
+        let server = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::new(Degraded(service())),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let detail = client.health().unwrap().expect("degraded");
+        assert!(detail.contains("halted"), "{detail}");
+
+        // A v3 session must have the v4-only probe refused, not answered.
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(&proto::frame_bytes(&Frame::Hello {
+            magic: NET_MAGIC,
+            version: 3,
+        }))
+        .unwrap();
+        let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+        proto::read_message(&mut reader, DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        raw.write_all(&proto::frame_bytes(&Frame::HealthRequest { id: 1 }))
+            .unwrap();
+        let reply = proto::read_message(&mut reader, DEFAULT_MAX_FRAME_LEN)
+            .unwrap()
+            .unwrap();
+        let Frame::Error { code, message } = reply else {
+            panic!("expected an error frame, got {reply:?}");
+        };
+        assert_eq!(code, proto::err_code::MALFORMED_FRAME);
+        assert!(message.contains("version 4"), "{message}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_after_the_timeout() {
+        let server = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::new(service()),
+            ServerConfig {
+                idle_timeout: Some(std::time::Duration::from_millis(150)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        client.query(b"AB", 0.3).unwrap().unwrap();
+        // Go quiet past the timeout: the server must close the session.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while server.active_connections() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert_eq!(server.active_connections(), 0, "the idle session lingers");
+        assert_eq!(server.loop_stats().reaped_idle, 1);
+        let after = client.query(b"AB", 0.3);
+        assert!(after.is_err(), "the reaped session is gone");
+        server.shutdown();
+    }
+
+    #[test]
+    fn an_error_budget_drains_the_connection_with_answers_first() {
+        let server = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::new(service()),
+            ServerConfig {
+                error_budget: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let bad = QueryRequest::Threshold {
+            pattern: b"".to_vec(),
+            tau: 0.3,
+        };
+        // Three failing requests against a budget of two: every answer is
+        // still delivered (answer-first), then the connection drains.
+        let answers = client
+            .query_requests(&vec![bad.clone(); 3])
+            .expect("answers beat the budget close");
+        assert!(answers.iter().all(|a| a.is_err()));
+        let after = client.query(b"AB", 0.3);
+        assert!(after.is_err(), "the budget close ends the session");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while server.loop_stats().budget_closes == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(server.loop_stats().budget_closes, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_dead_peer_mid_drain_is_reaped_immediately() {
+        use std::io::Write;
+        use std::sync::{Condvar, Mutex};
+        // A backend whose queries block on a gate: the connection enters
+        // shutdown-drain with one in-flight request, then its peer dies.
+        // The drain must reap it now — not sit out the 10 s drain window.
+        struct Gated {
+            inner: QueryService,
+            gate: Arc<(Mutex<bool>, Condvar)>,
+        }
+        impl QueryBackend for Gated {
+            fn query_requests(
+                &self,
+                requests: &[QueryRequest],
+            ) -> Vec<Result<QueryResponse, ustr_core::Error>> {
+                let (lock, cv) = &*self.gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                drop(open);
+                self.inner.query_requests(requests)
+            }
+            fn num_docs(&self) -> usize {
+                self.inner.num_docs()
+            }
+            fn tau_min(&self) -> f64 {
+                self.inner.tau_min()
+            }
+        }
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let server = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::new(Gated {
+                inner: service(),
+                gate: Arc::clone(&gate),
+            }),
+            ServerConfig {
+                threads: 1,
+                drain_timeout: std::time::Duration::from_secs(10),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(&proto::frame_bytes(&Frame::Hello {
+            magic: NET_MAGIC,
+            version: PROTOCOL_VERSION,
+        }))
+        .unwrap();
+        raw.write_all(&proto::frame_bytes(&Frame::Request {
+            id: 0,
+            request: QueryRequest::Threshold {
+                pattern: b"AB".to_vec(),
+                tau: 0.3,
+            },
+        }))
+        .unwrap();
+        // Let the request dispatch and park on the gate.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+
+        let t0 = std::time::Instant::now();
+        let shutdown = std::thread::spawn({
+            let server = Arc::new(server);
+            let server2 = Arc::clone(&server);
+            move || {
+                server2.shutdown();
+                server
+            }
+        });
+        // Give the drain a moment to begin, then kill the peer with its
+        // HelloAck unread (an abortive close the monitor-read must see).
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        drop(raw);
+        let server = shutdown.join().expect("shutdown thread");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "shutdown waited out the drain window on a dead peer: {:?}",
+            t0.elapsed()
+        );
+        assert!(
+            server.loop_stats().reaped_draining >= 1,
+            "the reap was not accounted: {:?}",
+            server.loop_stats()
+        );
+        // Unblock the parked worker so the pool can join on drop.
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        drop(server);
+    }
+
+    #[test]
+    fn a_resilient_client_completes_its_batch_across_a_server_restart() {
+        let local = service();
+        let control: Vec<QueryResponse> = local
+            .query_requests(&batch())
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+
+        let server1 =
+            NetServer::serve("127.0.0.1:0", Arc::new(service()), ServerConfig::default()).unwrap();
+        let addr = server1.local_addr();
+        let mut client = ResilientClient::new(
+            addr.to_string(),
+            RetryPolicy {
+                max_attempts: 6,
+                base_backoff: std::time::Duration::from_millis(10),
+                max_backoff: std::time::Duration::from_millis(100),
+            },
+            ClientConfig {
+                read_timeout: Some(std::time::Duration::from_secs(5)),
+                ..ClientConfig::default()
+            },
+        );
+        let before: Vec<QueryResponse> = client
+            .query_requests(&batch())
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(before, control);
+
+        // Kill the server and restart on the same port (SO_REUSEADDR).
+        server1.shutdown();
+        drop(server1);
+        let server2 = NetServer::serve(addr, Arc::new(service()), ServerConfig::default())
+            .expect("rebinding the drained port");
+
+        // The cached connection is dead: the batch must complete anyway,
+        // via reconnect + re-issue, with answers identical to an
+        // uninterrupted run.
+        let after: Vec<QueryResponse> = client
+            .query_requests(&batch())
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(after, control, "retried answers must be identical");
+        let stats = client.stats();
+        assert!(
+            stats.retries >= 1,
+            "the dead connection was retried: {stats:?}"
+        );
+        assert!(stats.reconnects >= 1, "the client reconnected: {stats:?}");
+        server2.shutdown();
     }
 }

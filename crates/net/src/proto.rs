@@ -25,6 +25,8 @@
 //!   │◀─ ResponseTimed { id, result, t[] } ─│   answer + per-stage timings
 //!   │── StatsJsonRequest { id } ─────────▶│   v3+: JSON telemetry scrape
 //!   │◀─ StatsResponse { id, json } ────────│   (same response frame, JSON body)
+//!   │── HealthRequest { id } ────────────▶│   v4+: degradation probe
+//!   │◀─ HealthResponse { id, degraded } ───│
 //!   │◀─ Error { code, message } ───────────│   fatal: connection closes
 //!   │◀─ Goodbye ───────────────────────────│   graceful server shutdown
 //! ```
@@ -43,17 +45,20 @@ use ustr_store::{write_frame, Reader, StoreError, Writer};
 pub const NET_MAGIC: [u8; 8] = *b"USTRNET1";
 
 /// Protocol version spoken by this build. Version 2 added the
-/// `StatsRequest`/`StatsResponse` telemetry frames; version 3 adds the
+/// `StatsRequest`/`StatsResponse` telemetry frames; version 3 added the
 /// tracing frames (`RequestTraced` carrying a propagated trace context,
 /// `ResponseTimed` carrying per-stage server timings back) and the
-/// `StatsJsonRequest` JSON telemetry scrape. Everything an older session
-/// could say is byte-for-byte unchanged, so the server still accepts any
-/// version in [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and
-/// answers with the client's version (old clients stay served; v3-only
-/// frames on an older session are a malformed-frame error). Anything
-/// outside the range is answered with [`err_code::UNSUPPORTED_VERSION`]
-/// and a close.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// `StatsJsonRequest` JSON telemetry scrape; version 4 adds the health
+/// probe (`HealthRequest`/`HealthResponse`, reporting whether the backend
+/// is degraded — e.g. a live collection whose background maintenance hit a
+/// storage fault) and the [`err_code::ERROR_BUDGET_EXCEEDED`] close.
+/// Everything an older session could say is byte-for-byte unchanged, so
+/// the server still accepts any version in
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and answers with the
+/// client's version (old clients stay served; newer-only frames on an
+/// older session are a malformed-frame error). Anything outside the range
+/// is answered with [`err_code::UNSUPPORTED_VERSION`] and a close.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Oldest protocol version the server still accepts.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
@@ -72,6 +77,10 @@ pub mod err_code {
     /// A frame failed to decode (truncated, corrupt, oversize, or an
     /// unexpected kind mid-session).
     pub const MALFORMED_FRAME: u32 = 3;
+    /// The connection produced more failing requests than the server's
+    /// per-connection error budget allows (protocol v4+). Pending answers
+    /// are still delivered first — the answer-first contract.
+    pub const ERROR_BUDGET_EXCEEDED: u32 = 4;
 }
 
 /// Frame kind bytes (the first payload byte).
@@ -87,6 +96,8 @@ mod kind {
     pub const REQUEST_TRACED: u8 = 9;
     pub const RESPONSE_TIMED: u8 = 10;
     pub const STATS_JSON_REQUEST: u8 = 11;
+    pub const HEALTH_REQUEST: u8 = 12;
+    pub const HEALTH_RESPONSE: u8 = 13;
 }
 
 /// A trace context as carried on the wire (protocol v3+): the 128-bit
@@ -248,6 +259,25 @@ pub enum Frame {
     StatsJsonRequest {
         /// Echoed verbatim in the matching [`Frame::StatsResponse`].
         id: u64,
+    },
+    /// Health probe (protocol v4+), tagged like a request for pipelining.
+    /// Excluded from traffic counters like [`Frame::StatsRequest`].
+    HealthRequest {
+        /// Echoed verbatim in the matching [`Frame::HealthResponse`].
+        id: u64,
+    },
+    /// The server's health report: whether the backend is degraded —
+    /// still answering queries but with some capability impaired (e.g. a
+    /// live collection whose background maintenance halted on a storage
+    /// fault and is serving from memory until recovery).
+    HealthResponse {
+        /// The id of the [`Frame::HealthRequest`] this answers.
+        id: u64,
+        /// `true` when some backend capability is impaired.
+        degraded: bool,
+        /// Human-readable description of the impairment (empty when
+        /// healthy).
+        detail: String,
     },
     /// Fatal protocol failure; the sender closes the connection after it.
     Error {
@@ -499,6 +529,20 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             w.put_u8(kind::STATS_JSON_REQUEST);
             w.put_u64(*id);
         }
+        Frame::HealthRequest { id } => {
+            w.put_u8(kind::HEALTH_REQUEST);
+            w.put_u64(*id);
+        }
+        Frame::HealthResponse {
+            id,
+            degraded,
+            detail,
+        } => {
+            w.put_u8(kind::HEALTH_RESPONSE);
+            w.put_u64(*id);
+            w.put_u8(u8::from(*degraded));
+            put_string(&mut w, detail);
+        }
         Frame::Error { code, message } => {
             w.put_u8(kind::ERROR);
             w.put_u32(*code);
@@ -580,6 +624,20 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, StoreError> {
             },
         },
         kind::STATS_JSON_REQUEST => Frame::StatsJsonRequest { id: r.get_u64()? },
+        kind::HEALTH_REQUEST => Frame::HealthRequest { id: r.get_u64()? },
+        kind::HEALTH_RESPONSE => Frame::HealthResponse {
+            id: r.get_u64()?,
+            degraded: match r.get_u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(StoreError::Corrupt {
+                        detail: format!("invalid degraded flag byte {other}"),
+                    })
+                }
+            },
+            detail: get_string(&mut r)?,
+        },
         kind::ERROR => Frame::Error {
             code: r.get_u32()?,
             message: get_string(&mut r)?,
@@ -724,6 +782,17 @@ mod tests {
                 timings: Vec::new(),
             },
             Frame::StatsJsonRequest { id: 14 },
+            Frame::HealthRequest { id: 15 },
+            Frame::HealthResponse {
+                id: 15,
+                degraded: true,
+                detail: "background maintenance halted: injected fault".into(),
+            },
+            Frame::HealthResponse {
+                id: 16,
+                degraded: false,
+                detail: String::new(),
+            },
             Frame::Error {
                 code: err_code::MALFORMED_FRAME,
                 message: "bad frame".into(),
@@ -812,6 +881,22 @@ mod tests {
         let mut payload = encode_frame(&frame);
         let flag = payload.len() - 1;
         payload[flag] = 2;
+        assert!(matches!(
+            decode_frame(&payload),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_degraded_flag_is_rejected() {
+        let frame = Frame::HealthResponse {
+            id: 1,
+            degraded: false,
+            detail: String::new(),
+        };
+        let mut payload = encode_frame(&frame);
+        // kind(1) + id(8) puts the flag at offset 9.
+        payload[9] = 7;
         assert!(matches!(
             decode_frame(&payload),
             Err(StoreError::Corrupt { .. })

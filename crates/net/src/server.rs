@@ -109,6 +109,16 @@ pub trait QueryBackend: Send + Sync {
     fn tracer(&self) -> Option<Arc<Tracer>> {
         None
     }
+
+    /// `None` when fully healthy, or a description of a degraded-but-
+    /// serving state (e.g. a live collection whose background maintenance
+    /// halted on a storage fault: queries still answer from memory, but
+    /// sealing/compaction stopped until recovery). Answers the protocol-v4
+    /// [`crate::proto::Frame::HealthRequest`]. Static backends are always
+    /// healthy.
+    fn health(&self) -> Option<String> {
+        None
+    }
 }
 
 impl QueryBackend for QueryService {
@@ -184,6 +194,10 @@ impl QueryBackend for ustr_live::LiveService {
 
     fn tracer(&self) -> Option<Arc<Tracer>> {
         Some(Arc::clone(ustr_live::LiveService::tracer(self)))
+    }
+
+    fn health(&self) -> Option<String> {
+        self.background_health()
     }
 }
 
@@ -262,6 +276,17 @@ pub struct ServerConfig {
     /// stragglers' sockets — without this bound, one client that stops
     /// reading its responses would wedge shutdown forever.
     pub drain_timeout: std::time::Duration,
+    /// Reap a connection that has been completely quiet — no reads, no
+    /// in-flight work, nothing queued to write — for this long. `None`
+    /// (the default) never reaps: idle sessions are held open
+    /// indefinitely, the pre-resilience behavior.
+    pub idle_timeout: Option<std::time::Duration>,
+    /// Per-connection budget of *failing* requests. Once a connection has
+    /// produced this many error results it is drained with a fatal
+    /// [`crate::proto::err_code::ERROR_BUDGET_EXCEEDED`] frame — after its
+    /// pending answers are delivered (the answer-first contract). `0`
+    /// (the default) disables the budget.
+    pub error_budget: u32,
 }
 
 impl Default for ServerConfig {
@@ -273,6 +298,8 @@ impl Default for ServerConfig {
             inflight: 64,
             max_conns: 0,
             drain_timeout: std::time::Duration::from_secs(5),
+            idle_timeout: None,
+            error_budget: 0,
         }
     }
 }
@@ -471,6 +498,12 @@ impl NetServer {
                 .insert("net.loop.ready_events".into(), loops.ready_events);
             snap.counters
                 .insert("net.loop.wakeups".into(), loops.wakeups);
+            snap.counters
+                .insert("net.loop.reaped_idle".into(), loops.reaped_idle);
+            snap.counters
+                .insert("net.loop.reaped_draining".into(), loops.reaped_draining);
+            snap.counters
+                .insert("net.loop.budget_closes".into(), loops.budget_closes);
             snap.gauges.insert(
                 "net.loop.conns_registered".into(),
                 loops.registered_conns.min(i64::MAX as u64) as i64,

@@ -36,6 +36,7 @@ use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::io::{RealIo, StoreIo};
 use crate::{fnv1a, SnapshotKind, StoreError};
 
 /// The 8-byte magic prefix of every collection snapshot file.
@@ -119,11 +120,22 @@ pub fn save_collection_file(
     shard_hint: usize,
     sections: &[CollectionSection],
 ) -> Result<(), StoreError> {
-    let file = File::create(path)?;
+    save_collection_file_with(&RealIo, path, num_docs, shard_hint, sections)
+}
+
+/// [`save_collection_file`] through an injectable [`StoreIo`].
+pub fn save_collection_file_with(
+    io: &dyn StoreIo,
+    path: impl AsRef<Path>,
+    num_docs: usize,
+    shard_hint: usize,
+    sections: &[CollectionSection],
+) -> Result<(), StoreError> {
+    let file = io.create(path.as_ref())?;
     let mut out = BufWriter::new(file);
     write_collection(&mut out, num_docs, shard_hint, sections)?;
     out.flush()?;
-    out.get_ref().sync_data()?;
+    out.get_mut().sync_data()?;
     Ok(())
 }
 
@@ -343,6 +355,24 @@ pub fn read_collection(mut input: impl Read) -> Result<Collection, StoreError> {
 /// Convenience wrapper: [`read_collection`] from a file path.
 pub fn load_collection_file(path: impl AsRef<Path>) -> Result<Collection, StoreError> {
     read_collection(File::open(path)?)
+}
+
+/// [`load_collection_file`] through an injectable [`StoreIo`]. A missing
+/// file is an error here (unlike [`StoreIo::read`]'s `None`): segment
+/// files are always named by a manifest, so absence means a broken
+/// directory, not an empty collection.
+pub fn load_collection_file_with(
+    io: &dyn StoreIo,
+    path: impl AsRef<Path>,
+) -> Result<Collection, StoreError> {
+    let path = path.as_ref();
+    let Some(bytes) = io.read(path)? else {
+        return Err(StoreError::Io(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("segment file {} does not exist", path.display()),
+        )));
+    };
+    read_collection(&bytes[..])
 }
 
 #[cfg(test)]

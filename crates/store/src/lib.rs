@@ -73,6 +73,7 @@
 
 pub mod collection;
 mod error;
+pub mod io;
 pub mod wal;
 pub mod wire;
 
@@ -95,10 +96,12 @@ pub use collection::{
     CollectionSection, ManifestEntry, COLLECTION_MAGIC, COLLECTION_VERSION,
 };
 pub use error::StoreError;
+pub use io::{RealIo, StoreFile, StoreIo};
 pub use wal::{
-    fsync_parent_dir, load_manifest, read_wal, read_wal_bytes, replace_wal_file, save_manifest,
-    write_wal_file, LiveManifest, SegmentMeta, WalOp, WalRecord, WalReplay, WalWriter, WAL_MAGIC,
-    WAL_VERSION,
+    fsync_parent_dir, fsync_parent_dir_with, load_manifest, load_manifest_with, read_wal,
+    read_wal_bytes, read_wal_with, replace_wal_file, replace_wal_file_with, save_manifest,
+    save_manifest_with, write_wal_file, write_wal_file_with, LiveManifest, SegmentMeta, WalOp,
+    WalRecord, WalReplay, WalWriter, WAL_MAGIC, WAL_VERSION,
 };
 pub use wire::{read_frame, write_frame, Reader, Writer, FRAME_OVERHEAD};
 
@@ -280,10 +283,33 @@ pub trait Snapshot: Sized {
         Ok(())
     }
 
+    /// [`Snapshot::save`] through an injectable [`StoreIo`].
+    fn save_with(&self, io: &dyn StoreIo, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let file = io.create(path.as_ref())?;
+        let mut out = BufWriter::new(file);
+        self.write_snapshot(&mut out)?;
+        out.flush()?;
+        Ok(())
+    }
+
     /// Loads a snapshot from `path` (buffered).
     fn load(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let file = File::open(path)?;
         Self::read_snapshot(BufReader::new(file))
+    }
+
+    /// [`Snapshot::load`] through an injectable [`StoreIo`]. A missing
+    /// file surfaces as [`StoreError::Io`] with `NotFound`, matching
+    /// [`Snapshot::load`].
+    fn load_with(io: &dyn StoreIo, path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        let Some(bytes) = io.read(path)? else {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("snapshot file {} does not exist", path.display()),
+            )));
+        };
+        Self::read_snapshot(&bytes[..])
     }
 }
 

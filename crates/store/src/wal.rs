@@ -37,12 +37,12 @@
 //! surfaces as a [`StoreError`]. Replay therefore never panics, never
 //! yields a duplicate sequence number, and never yields a torn document.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::Path;
 
 use ustr_uncertain::UncertainString;
 
+use crate::io::{RealIo, StoreFile, StoreIo};
 use crate::{decode_uncertain_string, encode_uncertain_string, fnv1a, Reader, StoreError, Writer};
 
 /// The 8-byte magic prefix of every WAL / manifest file.
@@ -224,9 +224,14 @@ fn wal_header() -> [u8; WAL_HEADER_LEN] {
 /// or file creation durable (the file's own fsync does not cover its
 /// directory entry).
 pub fn fsync_parent_dir(path: impl AsRef<Path>) -> Result<(), StoreError> {
+    fsync_parent_dir_with(&RealIo, path)
+}
+
+/// [`fsync_parent_dir`] through an injectable [`StoreIo`].
+pub fn fsync_parent_dir_with(io: &dyn StoreIo, path: impl AsRef<Path>) -> Result<(), StoreError> {
     let dir = path.as_ref().parent().filter(|p| !p.as_os_str().is_empty());
     if let Some(dir) = dir {
-        File::open(dir)?.sync_all()?;
+        io.sync_dir(dir)?;
     }
     Ok(())
 }
@@ -241,7 +246,7 @@ pub fn fsync_parent_dir(path: impl AsRef<Path>) -> Result<(), StoreError> {
 /// refuses further appends.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: File,
+    file: Box<dyn StoreFile>,
     /// Committed length: the file ends exactly here after every
     /// successful append.
     len: u64,
@@ -251,11 +256,16 @@ pub struct WalWriter {
 impl WalWriter {
     /// Creates (truncating) a new WAL at `path` and writes the header.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::create_with(&RealIo, path)
+    }
+
+    /// [`WalWriter::create`] through an injectable [`StoreIo`].
+    pub fn create_with(io: &dyn StoreIo, path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let path = path.as_ref();
-        let mut file = File::create(path)?;
+        let mut file = io.create(path)?;
         file.write_all(&wal_header())?;
         file.sync_data()?;
-        fsync_parent_dir(path)?;
+        fsync_parent_dir_with(io, path)?;
         Ok(Self {
             file,
             len: WAL_HEADER_LEN as u64,
@@ -267,18 +277,19 @@ impl WalWriter {
     /// header when absent). The caller is expected to have replayed the
     /// file first; this does not validate existing content.
     pub fn open_append(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_append_with(&RealIo, path)
+    }
+
+    /// [`WalWriter::open_append`] through an injectable [`StoreIo`].
+    pub fn open_append_with(io: &dyn StoreIo, path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let path = path.as_ref();
-        let mut file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .append(true)
-            .open(path)?;
-        if file.metadata()?.len() == 0 {
+        let (mut file, mut len) = io.open_append(path)?;
+        if len == 0 {
             file.write_all(&wal_header())?;
             file.sync_data()?;
-            fsync_parent_dir(path)?;
+            fsync_parent_dir_with(io, path)?;
+            len = WAL_HEADER_LEN as u64;
         }
-        let len = file.metadata()?.len();
         Ok(Self {
             file,
             len,
@@ -324,15 +335,24 @@ impl WalWriter {
 /// where per-record fsyncs would multiply latency for no durability gain:
 /// the rewrite only becomes visible via a subsequent rename.
 pub fn write_wal_file(path: impl AsRef<Path>, records: &[WalRecord]) -> Result<(), StoreError> {
+    write_wal_file_with(&RealIo, path, records)
+}
+
+/// [`write_wal_file`] through an injectable [`StoreIo`].
+pub fn write_wal_file_with(
+    io: &dyn StoreIo,
+    path: impl AsRef<Path>,
+    records: &[WalRecord],
+) -> Result<(), StoreError> {
     let path = path.as_ref();
-    let mut file = File::create(path)?;
+    let mut file = io.create(path)?;
     let mut bytes = wal_header().to_vec();
     for record in records {
         bytes.extend_from_slice(&frame_record(record));
     }
     file.write_all(&bytes)?;
     file.sync_data()?;
-    fsync_parent_dir(path)?;
+    fsync_parent_dir_with(io, path)?;
     Ok(())
 }
 
@@ -454,14 +474,12 @@ pub fn read_wal_bytes(bytes: &[u8]) -> Result<WalReplay, StoreError> {
 /// A missing file replays as empty — the collection simply has no
 /// committed writes yet.
 pub fn read_wal(path: impl AsRef<Path>) -> Result<WalReplay, StoreError> {
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-        Err(e) => return Err(e.into()),
-    }
+    read_wal_with(&RealIo, path)
+}
+
+/// [`read_wal`] through an injectable [`StoreIo`].
+pub fn read_wal_with(io: &dyn StoreIo, path: impl AsRef<Path>) -> Result<WalReplay, StoreError> {
+    let bytes = io.read(path.as_ref())?.unwrap_or_default();
     read_wal_bytes(&bytes)
 }
 
@@ -470,11 +488,20 @@ pub fn read_wal(path: impl AsRef<Path>) -> Result<WalReplay, StoreError> {
 /// to shrink the log after a seal (dropping records the manifest now
 /// covers) and to trim a torn tail on recovery.
 pub fn replace_wal_file(path: impl AsRef<Path>, records: &[WalRecord]) -> Result<(), StoreError> {
+    replace_wal_file_with(&RealIo, path, records)
+}
+
+/// [`replace_wal_file`] through an injectable [`StoreIo`].
+pub fn replace_wal_file_with(
+    io: &dyn StoreIo,
+    path: impl AsRef<Path>,
+    records: &[WalRecord],
+) -> Result<(), StoreError> {
     let path = path.as_ref();
     let tmp = path.with_extension("tmp");
-    write_wal_file(&tmp, records)?;
-    std::fs::rename(&tmp, path)?;
-    fsync_parent_dir(path)?;
+    write_wal_file_with(io, &tmp, records)?;
+    io.rename(&tmp, path)?;
+    fsync_parent_dir_with(io, path)?;
     Ok(())
 }
 
@@ -484,28 +511,46 @@ pub fn replace_wal_file(path: impl AsRef<Path>, records: &[WalRecord]) -> Result
 /// either the old or the new state, never a mixture, even across power
 /// loss.
 pub fn save_manifest(path: impl AsRef<Path>, manifest: &LiveManifest) -> Result<(), StoreError> {
+    save_manifest_with(&RealIo, path, manifest)
+}
+
+/// [`save_manifest`] through an injectable [`StoreIo`].
+pub fn save_manifest_with(
+    io: &dyn StoreIo,
+    path: impl AsRef<Path>,
+    manifest: &LiveManifest,
+) -> Result<(), StoreError> {
     let path = path.as_ref();
     let tmp = path.with_extension("tmp");
-    write_wal_file(
+    write_wal_file_with(
+        io,
         &tmp,
         std::slice::from_ref(&WalRecord {
             seq: manifest.applied_seq.max(1),
             op: WalOp::Manifest(manifest.clone()),
         }),
     )?;
-    std::fs::rename(&tmp, path)?;
-    fsync_parent_dir(path)?;
+    io.rename(&tmp, path)?;
+    fsync_parent_dir_with(io, path)?;
     Ok(())
 }
 
 /// Loads the manifest at `path`: the last manifest-state record wins.
 /// `Ok(None)` when the file does not exist (a brand-new live directory).
 pub fn load_manifest(path: impl AsRef<Path>) -> Result<Option<LiveManifest>, StoreError> {
+    load_manifest_with(&RealIo, path)
+}
+
+/// [`load_manifest`] through an injectable [`StoreIo`].
+pub fn load_manifest_with(
+    io: &dyn StoreIo,
+    path: impl AsRef<Path>,
+) -> Result<Option<LiveManifest>, StoreError> {
     let path = path.as_ref();
-    if !path.exists() {
+    let Some(bytes) = io.read(path)? else {
         return Ok(None);
-    }
-    let replay = read_wal(path)?;
+    };
+    let replay = read_wal_bytes(&bytes)?;
     let mut state = None;
     for record in replay.records {
         if let WalOp::Manifest(m) = record.op {
